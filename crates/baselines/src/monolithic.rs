@@ -1,0 +1,211 @@
+//! A hand-coded monolithic IPv4 forwarder: the performance *lower bound*
+//! for experiment E6.
+//!
+//! Everything a Fig-3 pipeline does — protocol recognition, header
+//! validation, TTL, route lookup, queueing — in one straight-line
+//! function with no component boundaries, no dynamic dispatch, and no
+//! reconfiguration of any kind. The gap between this and the
+//! component-based router *is* the architecture tax the paper's
+//! optimisations (vtable bypass, partial evaluation) aim to claw back.
+
+use std::collections::VecDeque;
+
+use netkit_packet::headers::Ipv4Header;
+use netkit_packet::packet::Packet;
+use netkit_router::routing::RoutingTable;
+use parking_lot::Mutex;
+
+/// Why the forwarder dropped a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Not IPv4, truncated, or bad checksum.
+    Malformed,
+    /// TTL reached zero.
+    TtlExpired,
+    /// No route for the destination.
+    NoRoute,
+    /// The egress queue was full.
+    QueueFull,
+}
+
+/// Counters kept by the forwarder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForwarderStats {
+    /// Packets queued for egress.
+    pub forwarded: u64,
+    /// Malformed drops.
+    pub malformed: u64,
+    /// TTL drops.
+    pub ttl_expired: u64,
+    /// No-route drops.
+    pub no_route: u64,
+    /// Queue-full drops.
+    pub queue_full: u64,
+}
+
+/// The monolithic forwarder: one routing table, one bounded queue per
+/// egress port, one function.
+#[derive(Debug)]
+pub struct MonolithicForwarder {
+    routes: RoutingTable,
+    queues: Vec<Mutex<VecDeque<Packet>>>,
+    queue_cap: usize,
+    stats: Mutex<ForwarderStats>,
+}
+
+impl MonolithicForwarder {
+    /// Creates a forwarder with `ports` egress queues of depth
+    /// `queue_cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0` or `queue_cap == 0`.
+    pub fn new(routes: RoutingTable, ports: u16, queue_cap: usize) -> Self {
+        assert!(ports > 0, "need at least one port");
+        assert!(queue_cap > 0, "queues must hold at least one packet");
+        Self {
+            routes,
+            queues: (0..ports).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queue_cap,
+            stats: Mutex::new(ForwarderStats::default()),
+        }
+    }
+
+    /// The entire data path in one function.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DropReason`] when the packet is not forwarded.
+    pub fn forward(&self, mut pkt: Packet) -> Result<u16, DropReason> {
+        // 1. Protocol recognition + validation (parse checks checksum).
+        let header = match pkt.ipv4() {
+            Ok(h) => h,
+            Err(_) => {
+                self.stats.lock().malformed += 1;
+                return Err(DropReason::Malformed);
+            }
+        };
+        let dst = header.dst;
+
+        // 2. Route lookup (same LPM trie the component router uses, so
+        // the comparison isolates *architecture*, not data structures).
+        let Some(entry) = self.routes.lookup(dst.into()) else {
+            self.stats.lock().no_route += 1;
+            return Err(DropReason::NoRoute);
+        };
+        let egress = entry.egress;
+        if egress as usize >= self.queues.len() {
+            self.stats.lock().no_route += 1;
+            return Err(DropReason::NoRoute);
+        }
+
+        // 3. TTL + incremental checksum update.
+        let alive = matches!(
+            Ipv4Header::decrement_ttl_in_place(pkt.l3_mut()),
+            Ok(ttl) if ttl > 0
+        );
+        if !alive {
+            self.stats.lock().ttl_expired += 1;
+            return Err(DropReason::TtlExpired);
+        }
+
+        // 4. Enqueue for egress.
+        let mut queue = self.queues[egress as usize].lock();
+        if queue.len() >= self.queue_cap {
+            self.stats.lock().queue_full += 1;
+            return Err(DropReason::QueueFull);
+        }
+        queue.push_back(pkt);
+        self.stats.lock().forwarded += 1;
+        Ok(egress)
+    }
+
+    /// Drains one packet from an egress queue.
+    pub fn drain(&self, port: u16) -> Option<Packet> {
+        self.queues.get(port as usize)?.lock().pop_front()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ForwarderStats {
+        *self.stats.lock()
+    }
+
+    /// The routing table (for sizing experiments).
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::packet::PacketBuilder;
+    use netkit_router::routing::RouteEntry;
+
+    fn forwarder() -> MonolithicForwarder {
+        let mut routes = RoutingTable::new();
+        routes.add("10.1.0.0/16", RouteEntry { egress: 0, next_hop: None });
+        routes.add("10.2.0.0/16", RouteEntry { egress: 1, next_hop: None });
+        routes.add("10.2.3.0/24", RouteEntry { egress: 2, next_hop: None });
+        MonolithicForwarder::new(routes, 3, 16)
+    }
+
+    #[test]
+    fn forwards_by_longest_prefix() {
+        let f = forwarder();
+        assert_eq!(
+            f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.1.5.5", 1, 2).build()),
+            Ok(0)
+        );
+        assert_eq!(
+            f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.2.9.9", 1, 2).build()),
+            Ok(1)
+        );
+        assert_eq!(
+            f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.2.3.9", 1, 2).build()),
+            Ok(2),
+            "the /24 beats the /16"
+        );
+        assert_eq!(f.stats().forwarded, 3);
+        assert!(f.drain(2).is_some());
+    }
+
+    #[test]
+    fn drops_have_reasons() {
+        let f = forwarder();
+        assert_eq!(
+            f.forward(PacketBuilder::udp_v4("10.0.0.1", "172.16.0.1", 1, 2).build()),
+            Err(DropReason::NoRoute)
+        );
+        assert_eq!(
+            f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2).ttl(1).build()),
+            Err(DropReason::TtlExpired)
+        );
+        let mut junk = Packet::from_slice(&[0u8; 10]);
+        junk.data_mut()[0] = 0x45;
+        assert_eq!(f.forward(junk), Err(DropReason::Malformed));
+        let s = f.stats();
+        assert_eq!((s.no_route, s.ttl_expired, s.malformed), (1, 1, 1));
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let mut routes = RoutingTable::new();
+        routes.add("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None });
+        let f = MonolithicForwarder::new(routes, 1, 2);
+        let pkt = || PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
+        assert!(f.forward(pkt()).is_ok());
+        assert!(f.forward(pkt()).is_ok());
+        assert_eq!(f.forward(pkt()), Err(DropReason::QueueFull));
+        f.drain(0).unwrap();
+        assert!(f.forward(pkt()).is_ok(), "drained capacity is reusable");
+    }
+
+    #[test]
+    fn ttl_decrement_is_visible_downstream() {
+        let f = forwarder();
+        f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2).ttl(9).build()).unwrap();
+        let out = f.drain(0).unwrap();
+        assert_eq!(out.ipv4().unwrap().ttl, 8);
+    }
+}

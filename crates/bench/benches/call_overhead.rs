@@ -1,0 +1,104 @@
+//! **E1 — cross-component call overhead** (paper §5: "temporarily
+//! bypassing vtables, using partial evaluation techniques, to reduce the
+//! overhead of a cross-component call to that of a C function call").
+//!
+//! Series: the cost of moving one packet across one boundary, per
+//! mechanism. The paper's claim is reproduced when `fused` ≈ `direct_fn`
+//! while `receptacle` (the fully reconfigurable path) carries a visible
+//! but bounded premium and `isolated_ipc` is orders above both.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use netkit_bench::{netkit_chain, test_packet};
+use netkit_packet::packet::Packet;
+use netkit_router::api::{IPacketPush, PushSkeleton, IPACKET_PUSH};
+use netkit_router::elements::Discard;
+use opencom::capsule::Capsule;
+use opencom::runtime::Runtime;
+
+/// The "C function" analogue: same work as Counter→Discard with static
+/// calls the optimiser can see through.
+fn direct_fn(count: &std::sync::atomic::AtomicU64, pkt: Packet) {
+    count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::hint::black_box(pkt);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_call_overhead");
+    let pkt = test_packet();
+
+    // 1. direct static call.
+    let count = std::sync::atomic::AtomicU64::new(0);
+    group.bench_function("direct_fn", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |p| direct_fn(&count, p),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // 2. one dynamic-dispatch call on a trait object (bare vtable).
+    let sink: Arc<dyn IPacketPush> = Discard::new();
+    group.bench_function("trait_object", |b| {
+        b.iter_batched(|| pkt.clone(), |p| sink.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    // 3. the reconfigurable path: Counter element → receptacle → Discard
+    // (receptacle read-lock + vtable per hop).
+    let rig = netkit_chain(1).expect("rig");
+    group.bench_function("receptacle", |b| {
+        b.iter_batched(|| pkt.clone(), |p| rig.entry.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    // 4. the fused path: resolve the binding's raw target once
+    // (`Capsule::fused_target` — the vtable-bypass / partial-evaluation
+    // analogue) and call it directly, skipping receptacle and hooks.
+    let rig_fused = netkit_chain(1).expect("rig");
+    let binding = rig_fused.capsule.arch().binding_records()[0].id;
+    let fused: Arc<dyn IPacketPush> = rig_fused
+        .capsule
+        .fused_target(binding)
+        .unwrap()
+        .downcast()
+        .unwrap();
+    group.bench_function("fused", |b| {
+        b.iter_batched(|| pkt.clone(), |p| fused.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    // 5. the same edge with one no-op interceptor spliced in.
+    let rig2 = netkit_chain(1).expect("rig");
+    let binding = rig2.capsule.arch().binding_records()[0].id;
+    let chain = rig2.capsule.intercept(binding).unwrap();
+    chain.add(opencom::interception::FnHook::noop("bench"));
+    let entry2: Arc<dyn IPacketPush> = rig2
+        .capsule
+        .query_interface(rig2.head, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
+    group.bench_function("intercepted_1", |b| {
+        b.iter_batched(|| pkt.clone(), |p| entry2.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    // 6. out-of-capsule: marshalling proxy into an isolated host.
+    let rt = Runtime::new();
+    netkit_router::api::register_packet_interfaces(&rt);
+    rt.isolation().register_skeleton(
+        "bench.IsolatedSink",
+        Box::new(|| PushSkeleton::new(Discard::new())),
+    );
+    let capsule = Capsule::new("iso", &rt);
+    let iso = capsule.instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH]).unwrap();
+    let proxy: Arc<dyn IPacketPush> =
+        capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+    group.bench_function("isolated_ipc", |b| {
+        b.iter_batched(|| pkt.clone(), |p| proxy.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

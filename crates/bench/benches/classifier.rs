@@ -1,0 +1,96 @@
+//! **E9a — classification micro-benchmark** (paper §3: the in-band
+//! stratum is "a highly performance-critical area in which machine
+//! instructions must be counted with care").
+//!
+//! Series: per-packet classification cost with rule-table sizes
+//! {16, 256, 4096} for (a) the run-time-programmable `ClassifierEngine`
+//! (linear scan, priority order) and (b) LPM route lookup over tables of
+//! the same sizes (the trie path). Expected shape: linear-scan cost grows
+//! with rules; trie lookup stays near-flat.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use netkit_bench::{routing_table, test_packet};
+use netkit_router::api::{
+    register_packet_interfaces, FilterPattern, FilterSpec, IClassifier, IPacketPush, IPACKET_PUSH,
+};
+use netkit_router::elements::{ClassifierEngine, Discard};
+use opencom::capsule::Capsule;
+use opencom::runtime::Runtime;
+
+/// A classifier with `rules` installed, the last one matching the test
+/// packet (worst-case scan).
+fn classifier_with_rules(rules: usize) -> (Arc<ClassifierEngine>, Arc<Capsule>) {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("cls", &rt);
+    let classifier = ClassifierEngine::new();
+    let cid = capsule.adopt(classifier.clone()).unwrap();
+    let sink = Discard::new();
+    let sid = capsule.adopt(sink).unwrap();
+    capsule.bind(cid, "out", "match", sid, IPACKET_PUSH).unwrap();
+    let sink2 = Discard::new();
+    let sid2 = capsule.adopt(sink2).unwrap();
+    capsule.bind(cid, "out", "default", sid2, IPACKET_PUSH).unwrap();
+
+    // rules-1 non-matching filters (each on a distinct dst /32 that the
+    // packet misses), then one catch-all.
+    for i in 0..rules.saturating_sub(1) {
+        let a = 32 + (i >> 8) as u8;
+        let b = (i & 0xff) as u8;
+        classifier
+            .register_filter(FilterSpec::new(
+                FilterPattern::any().dst(&format!("172.{a}.{b}.1"), 32),
+                "match",
+                (rules - i) as i32,
+            ))
+            .unwrap();
+    }
+    classifier
+        .register_filter(FilterSpec::new(FilterPattern::any(), "match", 0))
+        .unwrap();
+    (classifier, capsule)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_classifier");
+    let pkt = test_packet();
+
+    for rules in [16usize, 256, 4096] {
+        let (classifier, _capsule) = classifier_with_rules(rules);
+        group.bench_with_input(BenchmarkId::new("linear_rules", rules), &rules, |b, _| {
+            b.iter_batched(
+                || pkt.clone(),
+                |p| classifier.push(p).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // LPM route lookup at the same table sizes.
+    for routes in [16usize, 256, 4096] {
+        let table = routing_table(routes, 4);
+        let dst: std::net::IpAddr = "10.0.7.9".parse().unwrap();
+        group.bench_with_input(BenchmarkId::new("lpm_routes", routes), &routes, |b, _| {
+            b.iter(|| std::hint::black_box(table.lookup(dst)))
+        });
+    }
+
+    // Filter installation/removal cost (the management path).
+    let (classifier, _capsule) = classifier_with_rules(256);
+    group.bench_function("register_remove_filter", |b| {
+        b.iter(|| {
+            let id = classifier
+                .register_filter(FilterSpec::new(FilterPattern::any().dscp(1), "match", 500))
+                .unwrap();
+            classifier.remove_filter(id).unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

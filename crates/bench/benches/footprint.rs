@@ -1,0 +1,112 @@
+//! **E3 — memory footprint** (paper §5: "our Windows CE implementation
+//! now has a footprint of only 18 Kbytes"; paper §4: bespoke
+//! configurations "achieve desired functionality while minimising memory
+//! footprint").
+//!
+//! This is a *report-style* experiment: the interesting output is the
+//! footprint table printed to stderr (captured in EXPERIMENTS.md), with
+//! a criterion series over the cost of *computing* the footprint via the
+//! architecture meta-model (it must stay cheap enough to run online).
+//!
+//! We cannot compare absolute bytes with a 2003 Windows CE binary; the
+//! reproduced *shape* is (a) a minimal bespoke configuration is tens of
+//! times smaller than a full router, and (b) footprint scales linearly
+//! in components and bindings with small constants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netkit_bench::netkit_chain;
+use netkit_router::api::{register_packet_interfaces, IPACKET_PUSH};
+use netkit_router::cf::RouterCf;
+use netkit_router::composite::CompositeBuilder;
+use netkit_router::elements::{
+    ClassifierEngine, Counter, Discard, DropTailQueue, ProtocolRecogniser, WfqScheduler,
+};
+use opencom::capsule::Capsule;
+use opencom::cf::Principal;
+use opencom::runtime::Runtime;
+use std::sync::Arc;
+
+/// Builds the full Fig-3 style router and returns its capsule.
+fn full_router() -> Arc<Capsule> {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("full", &rt);
+    let cf = RouterCf::new("router", Arc::clone(&capsule));
+    let sys = Principal::system();
+    let recogniser = capsule.adopt(ProtocolRecogniser::new()).unwrap();
+    let classifier = capsule.adopt(ClassifierEngine::new()).unwrap();
+    let q_voice = capsule.adopt(DropTailQueue::new(256)).unwrap();
+    let q_bulk = capsule.adopt(DropTailQueue::new(1024)).unwrap();
+    let sched = capsule.adopt(WfqScheduler::new(&[("voice", 4.0), ("bulk", 1.0)])).unwrap();
+    let counter = capsule.adopt(Counter::new()).unwrap();
+    let sink = capsule.adopt(Discard::new()).unwrap();
+    for id in [recogniser, classifier, q_voice, q_bulk, sched, counter, sink] {
+        cf.plug(&sys, id).unwrap();
+    }
+    cf.bind(&sys, recogniser, "out", "ipv4", classifier, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, classifier, "out", "voice", q_voice, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, classifier, "out", "bulk", q_bulk, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, sched, "in", "voice", q_voice, netkit_router::api::IPACKET_PULL).unwrap();
+    cf.bind(&sys, sched, "in", "bulk", q_bulk, netkit_router::api::IPACKET_PULL).unwrap();
+    cf.bind(&sys, counter, "out", "", sink, IPACKET_PUSH).unwrap();
+    capsule
+}
+
+fn report() {
+    eprintln!("\n== E3 footprint report (bytes, architecture meta-model estimate) ==");
+
+    // Bespoke minimal configuration: one counter into a discard.
+    let minimal = netkit_chain(1).expect("rig");
+    eprintln!("minimal_forwarder(1 stage + sink): {:>8}", minimal.capsule.footprint_bytes());
+
+    // Marginal cost per component/binding: difference between chains.
+    let c8 = netkit_chain(8).expect("rig");
+    let c16 = netkit_chain(16).expect("rig");
+    let marginal =
+        (c16.capsule.footprint_bytes() - c8.capsule.footprint_bytes()) as f64 / 8.0;
+    eprintln!("chain8:  {:>8}", c8.capsule.footprint_bytes());
+    eprintln!("chain16: {:>8}", c16.capsule.footprint_bytes());
+    eprintln!("marginal_per_stage: {marginal:>8.0}");
+
+    // The full diffserv router.
+    let full = full_router();
+    eprintln!("full_router(7 elements, 6 bindings): {:>8}", full.footprint_bytes());
+
+    // A composite wraps the same content plus controller + CF.
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("comp", &rt);
+    let composite = CompositeBuilder::new("bench.Gw", Arc::clone(&capsule))
+        .add("cls", ClassifierEngine::new())
+        .unwrap()
+        .add("q", DropTailQueue::new(64))
+        .unwrap()
+        .wire("cls", "out", "default", "q", IPACKET_PUSH)
+        .ingress("cls")
+        .egress("q")
+        .build()
+        .unwrap();
+    eprintln!(
+        "composite(classifier+queue+controller): {:>8}",
+        opencom::component::Component::footprint_bytes(composite.as_ref())
+    );
+    eprintln!("ratio full/minimal: {:.1}x", full.footprint_bytes() as f64
+        / minimal.capsule.footprint_bytes() as f64);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let mut group = c.benchmark_group("e3_footprint_meter");
+    for n in [4usize, 16, 64] {
+        let rig = netkit_chain(n).expect("rig");
+        group.bench_with_input(BenchmarkId::new("meter_chain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(rig.capsule.footprint_bytes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **E2 — interception cost** (paper §2: interception "is very efficient
+//! as it is implemented at the vtable level").
+//!
+//! Series: per-packet cost of one pipeline edge with 0, 1, 2, 4, and 8
+//! no-op interceptors installed. The claim holds if cost grows roughly
+//! linearly with a small per-hook constant, and 0-hook cost equals the
+//! plain receptacle path (interception is pay-as-you-go).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use netkit_bench::{netkit_chain, test_packet};
+use netkit_router::api::{IPacketPush, IPACKET_PUSH};
+use opencom::interception::FnHook;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_interception");
+    let pkt = test_packet();
+
+    for hooks in [0usize, 1, 2, 4, 8] {
+        let rig = netkit_chain(1).expect("rig");
+        if hooks > 0 {
+            let binding = rig.capsule.arch().binding_records()[0].id;
+            let chain = rig.capsule.intercept(binding).unwrap();
+            for i in 0..hooks {
+                chain.add(FnHook::noop(format!("noop{i}")));
+            }
+        }
+        let entry: Arc<dyn IPacketPush> = rig
+            .capsule
+            .query_interface(rig.head, IPACKET_PUSH)
+            .unwrap()
+            .downcast()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("hooks", hooks), &hooks, |b, _| {
+            b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+        });
+    }
+
+    // A *counting* hook (the realistic use): measures the marginal cost
+    // of doing actual work in the pre-hook.
+    let rig = netkit_chain(1).expect("rig");
+    let binding = rig.capsule.arch().binding_records()[0].id;
+    let chain = rig.capsule.intercept(binding).unwrap();
+    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let c2 = Arc::clone(&counter);
+    chain.add(FnHook::new(
+        "count",
+        move |_ctx| {
+            c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        },
+        |_ctx| {},
+    ));
+    let entry: Arc<dyn IPacketPush> = rig
+        .capsule
+        .query_interface(rig.head, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
+    group.bench_function("counting_hook", |b| {
+        b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    // Un-intercepting restores the raw path: measure after removal.
+    let rig = netkit_chain(1).expect("rig");
+    let binding = rig.capsule.arch().binding_records()[0].id;
+    let chain = rig.capsule.intercept(binding).unwrap();
+    chain.add(FnHook::noop("temp"));
+    rig.capsule.unintercept(binding).unwrap();
+    let entry: Arc<dyn IPacketPush> = rig
+        .capsule
+        .query_interface(rig.head, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
+    group.bench_function("after_unintercept", |b| {
+        b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

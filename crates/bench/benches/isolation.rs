@@ -1,0 +1,135 @@
+//! **E5 — isolation cost and crash containment** (paper §5: "untrusted
+//! constituents can be instantiated, and remotely managed by the parent
+//! composite, in a separate address-space … inter-component bindings in
+//! this case are transparently realised in terms of OS-level IPC
+//! mechanisms rather than intra-address space vtables").
+//!
+//! Series: per-packet push cost in-capsule vs out-of-capsule (the IPC
+//! marshalling tax), and the cost of containing a crash + respawning the
+//! isolated host. The paper's qualitative claim — isolation is orders
+//! more expensive per call but buys crash containment — is the shape to
+//! reproduce.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use netkit_bench::{test_packet, test_packet_sized};
+use netkit_packet::packet::Packet;
+use netkit_router::api::{
+    register_packet_interfaces, IPacketPush, PushError, PushResult, PushSkeleton, IPACKET_PUSH,
+};
+use netkit_router::elements::Discard;
+use opencom::capsule::Capsule;
+use opencom::component::{Component, ComponentCore, ComponentDescriptor, Registrar};
+use opencom::ident::Version;
+use opencom::runtime::Runtime;
+
+/// A sink that panics on demand (payload byte 0 == 0xFF), to exercise
+/// crash containment.
+struct Grenade {
+    core: ComponentCore,
+}
+
+impl Grenade {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            core: ComponentCore::new(ComponentDescriptor::new(
+                "bench.Grenade",
+                Version::new(1, 0, 0),
+            )),
+        })
+    }
+}
+
+impl IPacketPush for Grenade {
+    fn push(&self, pkt: Packet) -> PushResult {
+        if pkt.udp_payload_v4().is_ok_and(|p| p.first() == Some(&0xFF)) {
+            panic!("boom");
+        }
+        Ok(())
+    }
+}
+
+impl Component for Grenade {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+    }
+}
+
+fn setup() -> (Arc<Capsule>, Arc<dyn IPacketPush>, Arc<dyn IPacketPush>) {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    rt.isolation()
+        .register_skeleton("bench.IsolatedSink", Box::new(|| PushSkeleton::new(Discard::new())));
+    let capsule = Capsule::new("e5", &rt);
+
+    let in_proc = Discard::new();
+    let in_id = capsule.adopt(in_proc).unwrap();
+    let in_push: Arc<dyn IPacketPush> =
+        capsule.query_interface(in_id, IPACKET_PUSH).unwrap().downcast().unwrap();
+
+    let iso = capsule.instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH]).unwrap();
+    let iso_push: Arc<dyn IPacketPush> =
+        capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+    (capsule, in_push, iso_push)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_isolation");
+    let (_capsule, in_push, iso_push) = setup();
+
+    // In-capsule vs isolated, at two payload sizes (marshalling scales
+    // with bytes copied).
+    for payload in [64usize, 1400] {
+        let pkt = test_packet_sized(payload);
+        group.bench_function(format!("in_capsule_{payload}B"), |b| {
+            b.iter_batched(|| pkt.clone(), |p| in_push.push(p).unwrap(), BatchSize::SmallInput)
+        });
+        let pkt = test_packet_sized(payload);
+        group.bench_function(format!("isolated_{payload}B"), |b| {
+            b.iter_batched(|| pkt.clone(), |p| iso_push.push(p).unwrap(), BatchSize::SmallInput)
+        });
+    }
+
+    // Crash containment: a grenade hosted isolated takes down only
+    // itself; measure detect+respawn cost.
+    {
+        let rt = Runtime::new();
+        register_packet_interfaces(&rt);
+        rt.isolation()
+            .register_skeleton("bench.Grenade", Box::new(|| PushSkeleton::new(Grenade::new())));
+        let capsule = Capsule::new("e5-crash", &rt);
+        let iso = capsule.instantiate_isolated("bench.Grenade", &[IPACKET_PUSH]).unwrap();
+        let push: Arc<dyn IPacketPush> =
+            capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+        let control = capsule.isolation_control(iso).expect("isolated");
+
+        let mut boom = test_packet();
+        {
+            // First payload byte 0xFF triggers the panic.
+            let data = boom.data_mut();
+            let len = data.len();
+            data[len - 64] = 0xFF;
+        }
+
+        group.bench_function("crash_contain_respawn", |b| {
+            b.iter(|| {
+                let err = push.push(boom.clone()).unwrap_err();
+                assert!(matches!(err, PushError::Crashed(_) | PushError::Veto(_)));
+                control.respawn();
+                // The respawned host serves again.
+                push.push(test_packet()).unwrap();
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

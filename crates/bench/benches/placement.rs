@@ -1,0 +1,87 @@
+//! **E7 — component placement on the IXP1200** (paper §5: "in the IXP
+//! environment we need to additionally place components … according to
+//! performance and load-balancing considerations. We think that the CF
+//! itself should contain the 'intelligence' to transparently manage this
+//! placement, but with the possibility to control/override this via a
+//! 'placement' meta-model").
+//!
+//! Report: sustained packets/second of the reference forwarding pipeline
+//! under each placement policy on the simulated IXP1200 (StrongARM +
+//! 6 micro-engines × 4 hardware contexts, scratch/SRAM/SDRAM costs).
+//! Expected shape: all-StrongARM ≪ round-robin ≤ load-balanced, with the
+//! manual override able to match load-balanced.
+//!
+//! The criterion series measures the *placement decision* cost itself —
+//! it must be cheap enough for the CF to run on every reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netkit_kernel::ixp::{
+    reference_forwarding_pipeline, IxpModel, Placement, PlacementPolicy, Processor,
+};
+
+fn report() {
+    let model = IxpModel::new();
+    let spec = reference_forwarding_pipeline();
+    eprintln!("\n== E7 placement report (reference IPv4 pipeline) ==");
+    let mut manual_best: Option<Placement> = None;
+    for (name, policy) in [
+        ("all_strongarm", PlacementPolicy::AllStrongArm),
+        ("round_robin_uengines", PlacementPolicy::RoundRobinMicroengines),
+        ("load_balanced (CF auto)", PlacementPolicy::LoadBalanced),
+    ] {
+        let placement = model.place(&spec, &policy);
+        let r = model.evaluate(&spec, &placement).expect("valid placement");
+        eprintln!(
+            "{name:>24}: {:>12.0} pps  bottleneck={} handoffs={}",
+            r.throughput_pps, r.bottleneck, r.handoffs
+        );
+        if name.starts_with("load_balanced") {
+            manual_best = Some(placement);
+        }
+    }
+    // The meta-model override: hand the CF an explicit placement.
+    if let Some(best) = manual_best {
+        let manual = PlacementPolicy::Manual(best);
+        let placement = model.place(&spec, &manual);
+        let r = model.evaluate(&spec, &placement).expect("valid placement");
+        eprintln!(
+            "{:>24}: {:>12.0} pps  bottleneck={} handoffs={}",
+            "manual override", r.throughput_pps, r.bottleneck, r.handoffs
+        );
+    }
+    // Per-stage costs on each processor class (the data the policy uses).
+    eprintln!("-- per-stage cycles (StrongARM vs micro-engine) --");
+    for stage in &spec.stages {
+        eprintln!(
+            "{:>18}: sa={:>6.0}  ueng={:>6.0}",
+            stage.name,
+            model.stage_cycles_on(stage, Processor::StrongArm),
+            model.stage_cycles_on(stage, Processor::Microengine(0)),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let model = IxpModel::new();
+    let spec = reference_forwarding_pipeline();
+    let mut group = c.benchmark_group("e7_placement_decision");
+    for (name, policy) in [
+        ("all_strongarm", PlacementPolicy::AllStrongArm),
+        ("round_robin", PlacementPolicy::RoundRobinMicroengines),
+        ("load_balanced", PlacementPolicy::LoadBalanced),
+    ] {
+        group.bench_with_input(BenchmarkId::new("place", name), &policy, |b, p| {
+            b.iter(|| {
+                let placement = model.place(&spec, p);
+                std::hint::black_box(model.evaluate(&spec, &placement).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! **E4 — run-time reconfiguration** (paper §4: explicit support for
+//! "deployment, reconfiguration, and system evolution"; §5's dynamic
+//! add/remove of interfaces and constraints).
+//!
+//! Series: (a) latency of hot-replacing a mid-pipeline element under the
+//! two quiescence modes (ablation from DESIGN.md §5), (b) latency of
+//! dynamic bind/unbind, (c) end-to-end forwarding throughput while a
+//! replacement happens every K packets (the "reconfigure under load"
+//! scenario), verifying no packets are lost through the swap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netkit_bench::{netkit_chain, test_packet};
+use netkit_router::api::IPACKET_PUSH;
+use netkit_router::elements::{Counter, Discard};
+use opencom::capsule::Quiescence;
+use opencom::cf::Principal;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_reconfiguration");
+    let pkt = test_packet();
+    let sys = Principal::system();
+
+    // (a) hot replacement latency, per quiescence mode.
+    for (label, mode) in [("replace_per_edge", Quiescence::PerEdge),
+                          ("replace_full_graph", Quiescence::FullGraph)] {
+        let rig = netkit_chain(6).expect("rig");
+        let mut victim = rig.stages[3];
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let fresh = rig.capsule.adopt(Counter::new()).unwrap();
+                rig.cf.plug(&sys, fresh).unwrap();
+                rig.capsule.replace(victim, fresh, mode).unwrap();
+                rig.cf.unplug(&sys, victim).unwrap();
+                victim = fresh;
+            })
+        });
+    }
+
+    // (b) dynamic bind/unbind of a tap edge (classifier outputs are
+    // multi-cardinality, so extra taps are legal).
+    {
+        let rig = netkit_chain(2).expect("rig");
+        let cls = rig.capsule.adopt(netkit_router::elements::ClassifierEngine::new()).unwrap();
+        rig.cf.plug(&sys, cls).unwrap();
+        let tap = rig.capsule.adopt(Discard::new()).unwrap();
+        rig.cf.plug(&sys, tap).unwrap();
+        group.bench_function("bind_unbind", |b| {
+            b.iter(|| {
+                let id = rig.cf.bind(&sys, cls, "out", "tap", tap, IPACKET_PUSH).unwrap();
+                rig.cf.unbind(&sys, id).unwrap();
+            })
+        });
+    }
+
+    // (c) forwarding with a hot swap every 64 packets; throughput should
+    // stay within a small factor of the undisturbed pipeline and the
+    // sink must see every packet.
+    for (label, swap_every) in [("forward_undisturbed", usize::MAX), ("forward_swap_each_64", 64)]
+    {
+        let rig = netkit_chain(6).expect("rig");
+        let mut victim = rig.stages[3];
+        let mut sent: u64 = 0;
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new(label, 64), &swap_every, |b, &every| {
+            b.iter(|| {
+                if every != usize::MAX && i % every == 0 {
+                    let fresh = rig.capsule.adopt(Counter::new()).unwrap();
+                    rig.cf.plug(&sys, fresh).unwrap();
+                    rig.capsule.replace(victim, fresh, Quiescence::PerEdge).unwrap();
+                    rig.cf.unplug(&sys, victim).unwrap();
+                    victim = fresh;
+                }
+                i += 1;
+                sent += 1;
+                rig.entry.push(pkt.clone()).unwrap();
+            })
+        });
+        // Loss check: every pushed packet reached the sink.
+        assert_eq!(rig.sink.count(), sent, "no packets lost through hot swaps");
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! **E9b — scheduler micro-benchmark** (paper §3 lists "diffserv
+//! schedulers" among the in-band functions; pluggable schedulers are one
+//! of the paper's flagship CF examples).
+//!
+//! Series: per-packet pull cost for strict-priority, DRR, and WFQ over
+//! 2/8/32 backlogged inputs, plus a fairness report (byte shares under
+//! WFQ at weights 4:2:1) — the *shape* to reproduce is that fancier
+//! disciplines cost more per decision but bound the shares.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netkit_packet::packet::PacketBuilder;
+use netkit_router::api::{register_packet_interfaces, IPacketPull, IPacketPush, IPACKET_PULL};
+use netkit_router::elements::{DropTailQueue, DrrScheduler, PriorityScheduler, Scheduler,
+                              WfqScheduler};
+use opencom::capsule::Capsule;
+use opencom::runtime::Runtime;
+
+fn rig(
+    sched: Arc<Scheduler>,
+    inputs: usize,
+    backlog: usize,
+) -> (Vec<Arc<DropTailQueue>>, Arc<Capsule>) {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("sched", &rt);
+    let sid = capsule.adopt(sched).unwrap();
+    let mut queues = Vec::new();
+    for i in 0..inputs {
+        let q = DropTailQueue::new(backlog + 1);
+        let qid = capsule.adopt(q.clone()).unwrap();
+        capsule.bind(sid, "in", &format!("q{i}"), qid, IPACKET_PULL).unwrap();
+        for s in 0..backlog {
+            q.push(
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", s as u16, i as u16)
+                    .payload_len(100)
+                    .build(),
+            )
+            .unwrap();
+        }
+        queues.push(q);
+    }
+    (queues, capsule)
+}
+
+fn refill(queues: &[Arc<DropTailQueue>]) {
+    for (i, q) in queues.iter().enumerate() {
+        while q.depth() < 64 {
+            if q.push(
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 0, i as u16)
+                    .payload_len(100)
+                    .build(),
+            )
+            .is_err()
+            {
+                break;
+            }
+        }
+    }
+}
+
+fn fairness_report() {
+    eprintln!("\n== E9b WFQ fairness report (weights gold=4 silver=2 bronze=1) ==");
+    let sched = WfqScheduler::new(&[("gold", 4.0), ("silver", 2.0), ("bronze", 1.0)]);
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("fair", &rt);
+    let sid = capsule.adopt(sched.clone()).unwrap();
+    for label in ["gold", "silver", "bronze"] {
+        let q = DropTailQueue::new(4096);
+        let qid = capsule.adopt(q.clone()).unwrap();
+        capsule.bind(sid, "in", label, qid, IPACKET_PULL).unwrap();
+        for _ in 0..2048 {
+            q.push(
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+                    .payload_len(100)
+                    .build(),
+            )
+            .unwrap();
+        }
+    }
+    for _ in 0..1400 {
+        sched.pull();
+    }
+    for (label, pkts, bytes) in sched.per_input_stats() {
+        eprintln!("{label:>8}: {pkts:>5} pkts  {bytes:>8} bytes");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    fairness_report();
+
+    let mut group = c.benchmark_group("e9_scheduler");
+    for inputs in [2usize, 8, 32] {
+        for (name, make) in [
+            ("priority", PriorityScheduler::new as fn() -> Arc<Scheduler>),
+            ("drr", (|| DrrScheduler::new(1500.0)) as fn() -> Arc<Scheduler>),
+            ("wfq", (|| WfqScheduler::new(&[])) as fn() -> Arc<Scheduler>),
+        ] {
+            let sched = make();
+            let (queues, _capsule) = rig(sched.clone(), inputs, 64);
+            let mut pulled = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(name, inputs),
+                &inputs,
+                |b, _| {
+                    b.iter(|| {
+                        if sched.pull().is_none() {
+                            refill(&queues);
+                        }
+                        pulled += 1;
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

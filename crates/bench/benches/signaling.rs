@@ -1,0 +1,167 @@
+//! **E8 — stratum-4 coordination** (paper §3's RSVP example and §7's
+//! Genesis spawning networks).
+//!
+//! Series:
+//! * RSVP reservation setup latency (virtual time from first PATH to
+//!   `Established`) vs hop count {2, 4, 8, 16} — expected shape: linear
+//!   in hops with a per-hop constant.
+//! * Genesis spawn wall time and setup-operation count vs member count
+//!   {4, 16, 64} over a line substrate — expected shape: linear in
+//!   members (the spawn touches each member once).
+
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netkit_signaling::genesis::{Genesis, VirtnetDescriptor};
+use netkit_signaling::rsvp::{FlowSpec, RsvpAgent, RsvpConfig, RsvpEvent, SessionId};
+use netkit_sim::link::LinkSpec;
+use netkit_sim::node::NodeId;
+use netkit_sim::Simulator;
+
+fn addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8 + 1)
+}
+
+/// Builds a line of RSVP agents with routes and generous budgets.
+fn rsvp_line(sim: &mut Simulator, n: usize) -> Vec<NodeId> {
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let agent = RsvpAgent::new(
+            addr(i),
+            RsvpConfig { refresh_ns: 5_000_000, lifetime_mult: 3, sweep_ns: 1_000_000 },
+        );
+        ids.push(sim.add_node(Box::new(agent)));
+    }
+    for w in ids.windows(2) {
+        sim.connect(w[0], w[1], LinkSpec::lan());
+    }
+    for i in 0..n {
+        let left = if i == 0 { None } else { Some(0u16) };
+        let right = if i == n - 1 {
+            None
+        } else if i == 0 {
+            Some(0u16)
+        } else {
+            Some(1u16)
+        };
+        let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+        for j in 0..n {
+            if j < i {
+                if let Some(p) = left {
+                    agent.route(addr(j), p);
+                }
+            } else if j > i {
+                if let Some(p) = right {
+                    agent.route(addr(j), p);
+                }
+            }
+        }
+        for p in [left, right].into_iter().flatten() {
+            agent.budget(p, 1_000_000_000);
+        }
+    }
+    ids
+}
+
+/// Runs one full reservation and returns the virtual setup time in ns.
+fn rsvp_setup_ns(hops: usize) -> u64 {
+    let mut sim = Simulator::new(17);
+    let ids = rsvp_line(&mut sim, hops + 1);
+    let session = SessionId(1);
+    sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
+        session,
+        addr(hops),
+        FlowSpec { bandwidth_bps: 1_000_000 },
+    );
+    // Kick the sender so its refresh timer arms at t=0.
+    sim.inject_after(
+        ids[0],
+        0,
+        netkit_packet::packet::PacketBuilder::udp_v4("10.9.9.9", "10.9.9.8", 1, 1).build(),
+    );
+    let deadline = 1_000_000_000;
+    while sim.now().as_nanos() < deadline {
+        sim.run_for(100_000);
+        let sender = sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap();
+        if sender.take_events().contains(&RsvpEvent::Established(session)) {
+            return sim.now().as_nanos();
+        }
+    }
+    panic!("reservation did not establish within {deadline}ns");
+}
+
+/// A line-substrate adjacency for Genesis.
+fn line_adjacency(n: usize) -> Vec<Vec<(u16, usize)>> {
+    (0..n)
+        .map(|i| {
+            let mut links = Vec::new();
+            if i > 0 {
+                links.push((0u16, i - 1));
+            }
+            if i + 1 < n {
+                links.push((if i > 0 { 1u16 } else { 0u16 }, i + 1));
+            }
+            links
+        })
+        .collect()
+}
+
+fn report() {
+    eprintln!("\n== E8 signaling report ==");
+    for hops in [2usize, 4, 8, 16] {
+        let ns = rsvp_setup_ns(hops);
+        eprintln!("rsvp_setup {hops:>2} hops: {:>9.3} ms (virtual)", ns as f64 / 1e6);
+    }
+    for nodes in [4usize, 16, 64] {
+        let mut g = Genesis::new(line_adjacency(nodes));
+        let start = std::time::Instant::now();
+        let (_, r) = g
+            .spawn(
+                VirtnetDescriptor::new("bench", Ipv4Addr::new(10, 200, 0, 0), 16),
+                &(0..nodes).collect::<Vec<_>>(),
+            )
+            .expect("spawns");
+        let elapsed = start.elapsed();
+        eprintln!(
+            "genesis_spawn {nodes:>3} nodes: {:>8.3} ms wall, {} components, {} bindings, {} filters",
+            elapsed.as_secs_f64() * 1e3,
+            r.components,
+            r.bindings,
+            r.filters
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    let mut group = c.benchmark_group("e8_signaling");
+    group.sample_size(10);
+
+    for hops in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("rsvp_setup", hops), &hops, |b, &h| {
+            b.iter(|| std::hint::black_box(rsvp_setup_ns(h)))
+        });
+    }
+
+    for nodes in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("genesis_spawn", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut g = Genesis::new(line_adjacency(n));
+                let (id, r) = g
+                    .spawn(
+                        VirtnetDescriptor::new("bench", Ipv4Addr::new(10, 200, 0, 0), 16),
+                        &(0..n).collect::<Vec<_>>(),
+                    )
+                    .expect("spawns");
+                std::hint::black_box((id, r));
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

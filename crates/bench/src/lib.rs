@@ -1,0 +1,158 @@
+//! Shared rigs for the experiment benches (see DESIGN.md §4 for the
+//! experiment index E1–E9 and EXPERIMENTS.md for results).
+//!
+//! Everything here builds *measurable* configurations: component
+//! pipelines of parametric length, equivalent Click configs, routing
+//! tables of parametric size, and canned packets.
+
+use std::sync::Arc;
+
+use opencom::capsule::Capsule;
+use opencom::cf::Principal;
+use opencom::error::Result;
+use opencom::ident::ComponentId;
+use opencom::runtime::Runtime;
+
+use netkit_packet::packet::{Packet, PacketBuilder};
+use netkit_router::api::{register_packet_interfaces, IPacketPush, IPACKET_PUSH};
+use netkit_router::cf::RouterCf;
+use netkit_router::elements::{Counter, Discard};
+use netkit_router::routing::{RouteEntry, RoutingTable};
+
+/// A ready-to-push component pipeline and the handles the benches need.
+pub struct PipelineRig {
+    /// The hosting capsule (keep alive; also the footprint probe).
+    pub capsule: Arc<Capsule>,
+    /// The CF governing the pipeline.
+    pub cf: RouterCf,
+    /// Push entry point (first element).
+    pub entry: Arc<dyn IPacketPush>,
+    /// Component id of the first element (for interception/replace).
+    pub head: ComponentId,
+    /// Component ids of every stage, in order.
+    pub stages: Vec<ComponentId>,
+    /// The terminal sink.
+    pub sink: Arc<Discard>,
+}
+
+impl std::fmt::Debug for PipelineRig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PipelineRig({} stages)", self.stages.len())
+    }
+}
+
+/// Builds a NETKIT pipeline of `n` pass-through stages (Counter
+/// elements) ending in a Discard, all admitted and bound through the
+/// Router CF.
+///
+/// # Errors
+///
+/// Propagates capsule/CF failures (none expected in a bench rig).
+pub fn netkit_chain(n: usize) -> Result<PipelineRig> {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("bench", &rt);
+    let cf = RouterCf::new("bench-router", Arc::clone(&capsule));
+    let sys = Principal::system();
+
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = capsule.adopt(Counter::new())?;
+        cf.plug(&sys, id)?;
+        stages.push(id);
+    }
+    let sink = Discard::new();
+    let sink_id = capsule.adopt(sink.clone())?;
+    cf.plug(&sys, sink_id)?;
+
+    for w in stages.windows(2) {
+        cf.bind(&sys, w[0], "out", "", w[1], IPACKET_PUSH)?;
+    }
+    if let Some(&last) = stages.last() {
+        cf.bind(&sys, last, "out", "", sink_id, IPACKET_PUSH)?;
+    }
+
+    let head = stages.first().copied().unwrap_or(sink_id);
+    let entry: Arc<dyn IPacketPush> = capsule
+        .query_interface(head, IPACKET_PUSH)?
+        .downcast()
+        .expect("counter exports IPacketPush");
+    Ok(PipelineRig { capsule, cf, entry, head, stages, sink })
+}
+
+/// The equivalent Click configuration: `n` Counter stages into a
+/// Discard.
+pub fn click_chain_config(n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut cfg = String::new();
+    for i in 0..n {
+        let _ = writeln!(cfg, "c{i} :: Counter;");
+    }
+    let _ = writeln!(cfg, "sink :: Discard;");
+    for i in 0..n.saturating_sub(1) {
+        let _ = writeln!(cfg, "c{i} -> c{};", i + 1);
+    }
+    if n > 0 {
+        let _ = writeln!(cfg, "c{} -> sink;", n - 1);
+    }
+    cfg
+}
+
+/// A routing table with `n` /24 prefixes spread over 10/8, cycling over
+/// `ports` egress ports. Deterministic.
+pub fn routing_table(n: usize, ports: u16) -> RoutingTable {
+    let mut table = RoutingTable::new();
+    for i in 0..n {
+        let b = (i >> 8) as u8;
+        let c = (i & 0xff) as u8;
+        table.add(
+            &format!("10.{b}.{c}.0/24"),
+            RouteEntry { egress: (i as u16) % ports, next_hop: None },
+        );
+    }
+    table
+}
+
+/// A canned 64-byte-payload UDP packet to a destination inside
+/// [`routing_table`]'s space.
+pub fn test_packet() -> Packet {
+    PacketBuilder::udp_v4("192.0.2.1", "10.0.7.9", 5000, 5001)
+        .payload_len(64)
+        .build()
+}
+
+/// A canned packet with parametric payload size.
+pub fn test_packet_sized(payload: usize) -> Packet {
+    PacketBuilder::udp_v4("192.0.2.1", "10.0.7.9", 5000, 5001)
+        .payload_len(payload)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_baselines::click::ClickRouter;
+
+    #[test]
+    fn netkit_chain_counts_through_all_stages() {
+        let rig = netkit_chain(4).unwrap();
+        rig.entry.push(test_packet()).unwrap();
+        assert_eq!(rig.sink.count(), 1);
+    }
+
+    #[test]
+    fn click_chain_config_compiles_and_runs() {
+        let router = ClickRouter::compile(&click_chain_config(5)).unwrap();
+        router.push("c0", test_packet());
+        assert_eq!(router.count("sink"), Some(1));
+        assert_eq!(router.element_count(), 6);
+    }
+
+    #[test]
+    fn routing_table_spreads_ports() {
+        let table = routing_table(512, 4);
+        let hit = table.lookup("10.0.7.9".parse().unwrap()).unwrap();
+        assert!(hit.egress < 4);
+        assert_eq!(table.len().0, 512);
+    }
+}

@@ -1,0 +1,28 @@
+//! # netkit-kernel — stratum-1 substrate
+//!
+//! The paper's Figure 1 places a *hardware abstraction* stratum at the
+//! bottom of every programmable-networking node: "minimal operating
+//! system functionality (e.g. threads, memory allocation, and access to
+//! network hardware)" whose character "largely determines the QoS
+//! capabilities … of the higher strata".
+//!
+//! This crate is that stratum, simulated:
+//!
+//! * [`time`] — a deterministic virtual clock and timer queue.
+//! * [`exec`] — a cooperative executor with **pluggable, hot-swappable
+//!   schedulers** (the paper's thread-management CF).
+//! * [`mem`] — quota-policed memory accounting for the resources
+//!   meta-model and the footprint experiments.
+//! * [`nic`] — simulated NICs with bounded rx/tx rings.
+//! * [`ixp`] — an analytic cycle model of the Intel IXP1200
+//!   (StrongARM + 6 micro-engines + scratchpad/SRAM/SDRAM hierarchy)
+//!   for the component-placement experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exec;
+pub mod ixp;
+pub mod mem;
+pub mod nic;
+pub mod time;

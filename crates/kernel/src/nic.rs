@@ -1,0 +1,225 @@
+//! Simulated network interface cards.
+//!
+//! Stratum 1 wraps "access to network hardware" (paper §3). A [`Nic`] is
+//! a pair of bounded rx/tx rings over raw frames plus drop counters —
+//! the substrate the Router CF's device-adapter components sit on. The
+//! simulator (or a test) injects frames into the rx ring and drains the
+//! tx ring; the router polls rx and pushes tx, exactly like a
+//! poll-mode driver.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Identifies a port/NIC on a node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eth{}", self.0)
+    }
+}
+
+/// Counters exposed by a NIC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Frames accepted into the rx ring.
+    pub rx_frames: u64,
+    /// Frames dropped because the rx ring was full.
+    pub rx_dropped: u64,
+    /// Frames accepted into the tx ring.
+    pub tx_frames: u64,
+    /// Frames dropped because the tx ring was full.
+    pub tx_dropped: u64,
+    /// Bytes accepted for transmit.
+    pub tx_bytes: u64,
+}
+
+/// A simulated NIC with bounded rx/tx rings.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use netkit_kernel::nic::{Nic, PortId};
+///
+/// let nic = Nic::new(PortId(0), 4, 4, 1_000_000_000);
+/// nic.inject_rx(Bytes::from_static(b"frame"));
+/// assert_eq!(nic.poll_rx().as_deref(), Some(b"frame".as_ref()));
+/// assert_eq!(nic.poll_rx(), None);
+/// ```
+pub struct Nic {
+    port: PortId,
+    rx: Mutex<VecDeque<Bytes>>,
+    tx: Mutex<VecDeque<Bytes>>,
+    rx_capacity: usize,
+    tx_capacity: usize,
+    link_bps: u64,
+    rx_frames: AtomicU64,
+    rx_dropped: AtomicU64,
+    tx_frames: AtomicU64,
+    tx_dropped: AtomicU64,
+    tx_bytes: AtomicU64,
+}
+
+impl Nic {
+    /// Creates a NIC with the given ring capacities and link rate
+    /// (bits per second).
+    pub fn new(port: PortId, rx_capacity: usize, tx_capacity: usize, link_bps: u64) -> Self {
+        Self {
+            port,
+            rx: Mutex::new(VecDeque::with_capacity(rx_capacity)),
+            tx: Mutex::new(VecDeque::with_capacity(tx_capacity)),
+            rx_capacity,
+            tx_capacity,
+            link_bps,
+            rx_frames: AtomicU64::new(0),
+            rx_dropped: AtomicU64::new(0),
+            tx_frames: AtomicU64::new(0),
+            tx_dropped: AtomicU64::new(0),
+            tx_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The NIC's port id.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// The link rate in bits per second.
+    pub fn link_bps(&self) -> u64 {
+        self.link_bps
+    }
+
+    /// Nanoseconds to serialise `bytes` onto the wire at the link rate.
+    pub fn tx_nanos_for(&self, bytes: usize) -> u64 {
+        if self.link_bps == 0 {
+            return 0;
+        }
+        (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.link_bps
+    }
+
+    /// Delivers a frame into the rx ring (called by the wire side).
+    /// Returns `false` and counts a drop if the ring is full.
+    pub fn inject_rx(&self, frame: Bytes) -> bool {
+        let mut rx = self.rx.lock();
+        if rx.len() >= self.rx_capacity {
+            self.rx_dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        rx.push_back(frame);
+        self.rx_frames.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes the next received frame, if any (called by the router side).
+    pub fn poll_rx(&self) -> Option<Bytes> {
+        self.rx.lock().pop_front()
+    }
+
+    /// Frames currently waiting in the rx ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.lock().len()
+    }
+
+    /// Queues a frame for transmission (called by the router side).
+    /// Returns `false` and counts a drop if the ring is full.
+    pub fn send_tx(&self, frame: Bytes) -> bool {
+        let mut tx = self.tx.lock();
+        if tx.len() >= self.tx_capacity {
+            self.tx_dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.tx_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        tx.push_back(frame);
+        self.tx_frames.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Takes the next frame to put on the wire (called by the wire side).
+    pub fn drain_tx(&self) -> Option<Bytes> {
+        self.tx.lock().pop_front()
+    }
+
+    /// Frames currently waiting in the tx ring.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.lock().len()
+    }
+
+    /// Snapshot of the NIC counters.
+    pub fn stats(&self) -> NicStats {
+        NicStats {
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            rx_dropped: self.rx_dropped.load(Ordering::Relaxed),
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            tx_dropped: self.tx_dropped.load(Ordering::Relaxed),
+            tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Nic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Nic({}, rx {}/{}, tx {}/{})",
+            self.port,
+            self.rx_pending(),
+            self.rx_capacity,
+            self.tx_pending(),
+            self.tx_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: u8) -> Bytes {
+        Bytes::from(vec![n; 64])
+    }
+
+    #[test]
+    fn rx_ring_drops_when_full() {
+        let nic = Nic::new(PortId(1), 2, 2, 1_000_000);
+        assert!(nic.inject_rx(frame(1)));
+        assert!(nic.inject_rx(frame(2)));
+        assert!(!nic.inject_rx(frame(3)));
+        let s = nic.stats();
+        assert_eq!((s.rx_frames, s.rx_dropped), (2, 1));
+        assert_eq!(nic.poll_rx().unwrap()[0], 1);
+        assert!(nic.inject_rx(frame(4)), "space reclaimed after poll");
+    }
+
+    #[test]
+    fn tx_ring_fifo_and_counters() {
+        let nic = Nic::new(PortId(0), 2, 2, 1_000_000);
+        assert!(nic.send_tx(frame(1)));
+        assert!(nic.send_tx(frame(2)));
+        assert!(!nic.send_tx(frame(3)));
+        assert_eq!(nic.drain_tx().unwrap()[0], 1);
+        assert_eq!(nic.drain_tx().unwrap()[0], 2);
+        assert_eq!(nic.drain_tx(), None);
+        let s = nic.stats();
+        assert_eq!((s.tx_frames, s.tx_dropped, s.tx_bytes), (2, 1, 128));
+    }
+
+    #[test]
+    fn serialisation_delay_matches_link_rate() {
+        let nic = Nic::new(PortId(0), 1, 1, 1_000_000_000); // 1 Gbps
+        // 1500 bytes = 12000 bits = 12 us at 1 Gbps.
+        assert_eq!(nic.tx_nanos_for(1500), 12_000);
+        let slow = Nic::new(PortId(1), 1, 1, 10_000_000); // 10 Mbps
+        assert_eq!(slow.tx_nanos_for(1500), 1_200_000);
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(PortId(3).to_string(), "eth3");
+    }
+}

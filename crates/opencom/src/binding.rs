@@ -1,0 +1,285 @@
+//! The `bind` primitive's constraint machinery.
+//!
+//! OpenCOM supports "the dynamic addition/ removal of arbitrary
+//! constraints … implemented as interceptors on OpenCOM's `bind`
+//! primitive" (paper §5). A [`BindConstraint`] inspects a proposed
+//! [`BindRequest`] and may veto it; a [`ConstraintSet`] holds the named
+//! constraints attached to a capsule or composite. Composites police
+//! addition/removal through an ACL (see [`crate::cf::Acl`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::ident::{ComponentId, InterfaceId};
+
+/// A proposed binding, as seen by bind-time constraints.
+#[derive(Clone, Debug)]
+pub struct BindRequest {
+    /// Component whose receptacle is being bound.
+    pub src: ComponentId,
+    /// Deployable type name of the source component.
+    pub src_type: String,
+    /// Receptacle name on the source.
+    pub receptacle: String,
+    /// Label under which the binding attaches (empty for single slots).
+    pub label: String,
+    /// Component exporting the interface.
+    pub dst: ComponentId,
+    /// Deployable type name of the destination component.
+    pub dst_type: String,
+    /// Interface type being bound.
+    pub interface: InterfaceId,
+}
+
+/// A constraint evaluated on every `bind` in its scope.
+pub trait BindConstraint: Send + Sync {
+    /// Constraint name, used for removal and in veto errors.
+    fn name(&self) -> &str;
+
+    /// Checks the request.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error vetoes the bind; the error is surfaced to the
+    /// caller of the `bind` primitive.
+    fn check(&self, req: &BindRequest) -> Result<()>;
+}
+
+/// A constraint built from a closure.
+pub struct FnConstraint<F> {
+    name: String,
+    check: F,
+}
+
+impl<F> std::fmt::Debug for FnConstraint<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnConstraint(`{}`)", self.name)
+    }
+}
+
+impl<F> FnConstraint<F>
+where
+    F: Fn(&BindRequest) -> Result<()> + Send + Sync + 'static,
+{
+    /// Creates a named constraint from a closure.
+    pub fn new(name: impl Into<String>, check: F) -> Arc<dyn BindConstraint> {
+        Arc::new(Self { name: name.into(), check })
+    }
+}
+
+impl<F> BindConstraint for FnConstraint<F>
+where
+    F: Fn(&BindRequest) -> Result<()> + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn check(&self, req: &BindRequest) -> Result<()> {
+        (self.check)(req)
+    }
+}
+
+/// Common topology constraints, ready-made for router composites.
+///
+/// These express the Figure-3 style rules ("the link scheduler must come
+/// after the forwarding stage", "at most one protocol recogniser", …).
+#[derive(Clone, Debug)]
+pub enum TopologyRule {
+    /// Components of type `.0` may never bind directly to components of
+    /// type `.1`.
+    Forbid(String, String),
+    /// Components of type `.0` may *only* bind to components of type `.1`.
+    OnlyTo(String, String),
+    /// The given interface may not appear as the target of any binding.
+    FreezeInterface(InterfaceId),
+}
+
+impl TopologyRule {
+    /// Converts the rule into a named [`BindConstraint`].
+    pub fn into_constraint(self) -> Arc<dyn BindConstraint> {
+        let name = match &self {
+            TopologyRule::Forbid(a, b) => format!("forbid:{a}->{b}"),
+            TopologyRule::OnlyTo(a, b) => format!("only:{a}->{b}"),
+            TopologyRule::FreezeInterface(i) => format!("freeze:{i}"),
+        };
+        let rule = self;
+        FnConstraint::new(name.clone(), move |req| match &rule {
+            TopologyRule::Forbid(a, b) => {
+                if req.src_type == *a && req.dst_type == *b {
+                    Err(Error::ConstraintVeto {
+                        constraint: name.clone(),
+                        reason: format!("{a} may not bind to {b}"),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            TopologyRule::OnlyTo(a, b) => {
+                if req.src_type == *a && req.dst_type != *b {
+                    Err(Error::ConstraintVeto {
+                        constraint: name.clone(),
+                        reason: format!("{a} may only bind to {b}"),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            TopologyRule::FreezeInterface(iface) => {
+                if req.interface == *iface {
+                    Err(Error::ConstraintVeto {
+                        constraint: name.clone(),
+                        reason: format!("interface {iface} is frozen"),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        })
+    }
+}
+
+/// The mutable set of constraints attached to a capsule or composite.
+#[derive(Default)]
+pub struct ConstraintSet {
+    constraints: RwLock<Vec<Arc<dyn BindConstraint>>>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint. Callers enforcing access control check the ACL
+    /// *before* calling this.
+    pub fn add(&self, constraint: Arc<dyn BindConstraint>) {
+        self.constraints.write().push(constraint);
+    }
+
+    /// Removes the first constraint with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::StaleReference`] if no constraint has that name.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let mut cs = self.constraints.write();
+        match cs.iter().position(|c| c.name() == name) {
+            Some(idx) => {
+                cs.remove(idx);
+                Ok(())
+            }
+            None => Err(Error::StaleReference { what: format!("constraint `{name}`") }),
+        }
+    }
+
+    /// Evaluates every constraint against `req`, failing on the first veto.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the vetoing constraint's error.
+    pub fn check(&self, req: &BindRequest) -> Result<()> {
+        for c in self.constraints.read().iter() {
+            c.check(req)?;
+        }
+        Ok(())
+    }
+
+    /// Names of the installed constraints, in evaluation order.
+    pub fn names(&self) -> Vec<String> {
+        self.constraints.read().iter().map(|c| c.name().to_owned()).collect()
+    }
+
+    /// Number of installed constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.read().len()
+    }
+
+    /// True if no constraints are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConstraintSet({:?})", self.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(src_type: &str, dst_type: &str) -> BindRequest {
+        BindRequest {
+            src: ComponentId::from_raw(1),
+            src_type: src_type.into(),
+            receptacle: "out".into(),
+            label: String::new(),
+            dst: ComponentId::from_raw(2),
+            dst_type: dst_type.into(),
+            interface: InterfaceId::new("test.I"),
+        }
+    }
+
+    #[test]
+    fn empty_set_allows_everything() {
+        let set = ConstraintSet::new();
+        assert!(set.check(&req("A", "B")).is_ok());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn forbid_rule_vetoes_matching_pair_only() {
+        let set = ConstraintSet::new();
+        set.add(TopologyRule::Forbid("Queue".into(), "Queue".into()).into_constraint());
+        assert!(set.check(&req("Queue", "Queue")).is_err());
+        assert!(set.check(&req("Queue", "Sched")).is_ok());
+        assert!(set.check(&req("Sched", "Queue")).is_ok());
+    }
+
+    #[test]
+    fn only_to_rule_restricts_source_type() {
+        let set = ConstraintSet::new();
+        set.add(TopologyRule::OnlyTo("Shaper".into(), "Link".into()).into_constraint());
+        assert!(set.check(&req("Shaper", "Link")).is_ok());
+        assert!(set.check(&req("Shaper", "Queue")).is_err());
+        assert!(set.check(&req("Other", "Queue")).is_ok());
+    }
+
+    #[test]
+    fn freeze_interface_blocks_by_interface() {
+        let set = ConstraintSet::new();
+        set.add(TopologyRule::FreezeInterface(InterfaceId::new("test.I")).into_constraint());
+        assert!(set.check(&req("A", "B")).is_err());
+    }
+
+    #[test]
+    fn remove_constraint_restores_bind() {
+        let set = ConstraintSet::new();
+        set.add(TopologyRule::Forbid("A".into(), "B".into()).into_constraint());
+        let name = set.names()[0].clone();
+        assert!(set.check(&req("A", "B")).is_err());
+        set.remove(&name).unwrap();
+        assert!(set.check(&req("A", "B")).is_ok());
+        assert!(set.remove(&name).is_err());
+    }
+
+    #[test]
+    fn constraints_evaluate_in_insertion_order() {
+        let set = ConstraintSet::new();
+        set.add(FnConstraint::new("first", |_| {
+            Err(Error::ConstraintVeto { constraint: "first".into(), reason: "x".into() })
+        }));
+        set.add(FnConstraint::new("second", |_| {
+            Err(Error::ConstraintVeto { constraint: "second".into(), reason: "y".into() })
+        }));
+        match set.check(&req("A", "B")) {
+            Err(Error::ConstraintVeto { constraint, .. }) => assert_eq!(constraint, "first"),
+            other => panic!("expected veto, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Error types for the OpenCOM component model.
+
+use std::fmt;
+
+use crate::ident::{ComponentId, InterfaceId};
+
+/// The error type returned by fallible OpenCOM operations.
+///
+/// Every variant carries enough context to identify the offending
+/// component, interface, or receptacle without consulting external state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A `query_interface` call named an interface the component does not
+    /// export, or the exporting component has been destroyed.
+    InterfaceNotFound {
+        /// The component that was queried.
+        component: ComponentId,
+        /// The interface that was requested.
+        interface: InterfaceId,
+    },
+    /// A receptacle name did not match any receptacle on the component.
+    ReceptacleNotFound {
+        /// The component that was queried.
+        component: ComponentId,
+        /// The receptacle name that was requested.
+        name: String,
+    },
+    /// An attempt was made to bind an interface of type `found` to a
+    /// receptacle expecting type `expected`.
+    TypeMismatch {
+        /// The interface type the receptacle requires.
+        expected: InterfaceId,
+        /// The interface type that was offered.
+        found: InterfaceId,
+    },
+    /// A single-cardinality receptacle is already bound, or a
+    /// multi-receptacle reached its configured maximum.
+    CardinalityExceeded {
+        /// The receptacle that is full.
+        receptacle: String,
+        /// The maximum number of simultaneous bindings allowed.
+        max: usize,
+    },
+    /// The named receptacle holds no binding to the given peer.
+    NotBound {
+        /// The receptacle that was expected to hold the binding.
+        receptacle: String,
+    },
+    /// A bind-time constraint (interceptor on the `bind` primitive)
+    /// vetoed the operation.
+    ConstraintVeto {
+        /// The name of the constraint that fired.
+        constraint: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A component framework refused to admit a component because it
+    /// violates the framework's rules.
+    CfViolation {
+        /// The framework that rejected the component.
+        framework: String,
+        /// Human-readable rule violation.
+        rule: String,
+    },
+    /// The caller lacks the access-control rights for the operation.
+    AccessDenied {
+        /// The principal that attempted the operation.
+        principal: String,
+        /// The operation that was denied.
+        operation: String,
+    },
+    /// A lifecycle transition was requested that is not legal from the
+    /// component's current state.
+    IllegalTransition {
+        /// State the component was in.
+        from: &'static str,
+        /// State that was requested.
+        to: &'static str,
+    },
+    /// No factory is registered under the given component type name
+    /// (and, if specified, version).
+    UnknownComponentType {
+        /// The requested type name.
+        type_name: String,
+    },
+    /// A component hosted in an isolated capsule crashed (panicked);
+    /// the crash was contained at the capsule boundary.
+    ComponentCrashed {
+        /// The component that crashed.
+        component: ComponentId,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A call into an isolated capsule failed at the transport level
+    /// (channel closed, marshalling error, host shut down).
+    IpcFailure {
+        /// Description of the transport failure.
+        detail: String,
+    },
+    /// A resource request exceeded the pool's remaining capacity.
+    ResourceExhausted {
+        /// The resource class (e.g. `"cpu"`, `"memory"`, `"bandwidth"`).
+        class: String,
+        /// Units requested.
+        requested: u64,
+        /// Units still available.
+        available: u64,
+    },
+    /// The named task does not exist in the resources meta-model.
+    UnknownTask {
+        /// The task name.
+        name: String,
+    },
+    /// The target of an architectural adaptation no longer exists.
+    StaleReference {
+        /// Description of the dangling entity.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InterfaceNotFound { component, interface } => {
+                write!(f, "component {component} does not export interface {interface}")
+            }
+            Error::ReceptacleNotFound { component, name } => {
+                write!(f, "component {component} has no receptacle named `{name}`")
+            }
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "receptacle expects {expected} but was offered {found}")
+            }
+            Error::CardinalityExceeded { receptacle, max } => {
+                write!(f, "receptacle `{receptacle}` already holds {max} binding(s)")
+            }
+            Error::NotBound { receptacle } => {
+                write!(f, "receptacle `{receptacle}` holds no such binding")
+            }
+            Error::ConstraintVeto { constraint, reason } => {
+                write!(f, "bind vetoed by constraint `{constraint}`: {reason}")
+            }
+            Error::CfViolation { framework, rule } => {
+                write!(f, "component framework `{framework}` rule violated: {rule}")
+            }
+            Error::AccessDenied { principal, operation } => {
+                write!(f, "principal `{principal}` denied operation `{operation}`")
+            }
+            Error::IllegalTransition { from, to } => {
+                write!(f, "illegal lifecycle transition {from} -> {to}")
+            }
+            Error::UnknownComponentType { type_name } => {
+                write!(f, "no factory registered for component type `{type_name}`")
+            }
+            Error::ComponentCrashed { component, message } => {
+                write!(f, "component {component} crashed: {message}")
+            }
+            Error::IpcFailure { detail } => write!(f, "ipc failure: {detail}"),
+            Error::ResourceExhausted { class, requested, available } => {
+                write!(
+                    f,
+                    "resource `{class}` exhausted: requested {requested}, available {available}"
+                )
+            }
+            Error::UnknownTask { name } => write!(f, "unknown task `{name}`"),
+            Error::StaleReference { what } => write!(f, "stale reference: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::{ComponentId, InterfaceId};
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::InterfaceNotFound {
+            component: ComponentId::from_raw(7),
+            interface: InterfaceId::new("netkit.IPacketPush"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("netkit.IPacketPush"));
+        assert!(s.starts_with("component"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn constraint_veto_mentions_constraint_name() {
+        let e = Error::ConstraintVeto {
+            constraint: "no-cycles".into(),
+            reason: "would create a forwarding loop".into(),
+        };
+        assert!(e.to_string().contains("no-cycles"));
+    }
+}

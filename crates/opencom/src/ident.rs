@@ -1,0 +1,192 @@
+//! Identity and versioning primitives.
+//!
+//! OpenCOM entities (components, interfaces, bindings, capsules, tasks) are
+//! identified by small copyable ids so that the meta-models can describe
+//! the running system as plain data.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies an interface *type* (not an instance).
+///
+/// Interface ids are interned `&'static str` names by convention written in
+/// reverse-dotted form with the defining subsystem as prefix, e.g.
+/// `"netkit.IPacketPush"`. Equality is by name, which mirrors the
+/// language-independent flavour of COM IIDs without GUID noise.
+///
+/// # Examples
+///
+/// ```
+/// use opencom::ident::InterfaceId;
+/// const IPUSH: InterfaceId = InterfaceId::new("netkit.IPacketPush");
+/// assert_eq!(IPUSH.name(), "netkit.IPacketPush");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InterfaceId {
+    name: &'static str,
+}
+
+impl InterfaceId {
+    /// Creates an interface id from a static name.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name }
+    }
+
+    /// Returns the interface's fully qualified name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Debug for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InterfaceId({})", self.name)
+    }
+}
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+macro_rules! counter_id {
+    ($(#[$doc:meta])* $name:ident, $counter:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u64);
+
+        static $counter: AtomicU64 = AtomicU64::new(1);
+
+        impl $name {
+            /// Allocates the next process-unique id.
+            pub fn next() -> Self {
+                Self($counter.fetch_add(1, Ordering::Relaxed))
+            }
+
+            /// Builds an id from a raw value (used by tests and for
+            /// reconstructing ids received over IPC).
+            pub const fn from_raw(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn as_raw(&self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "#{}", self.0)
+            }
+        }
+    };
+}
+
+counter_id!(
+    /// Identifies a component *instance* within the process.
+    ComponentId,
+    COMPONENT_IDS
+);
+counter_id!(
+    /// Identifies a binding (a connection from a receptacle to an interface).
+    BindingId,
+    BINDING_IDS
+);
+counter_id!(
+    /// Identifies a capsule (an address-space analogue).
+    CapsuleId,
+    CAPSULE_IDS
+);
+counter_id!(
+    /// Identifies a task in the resources meta-model.
+    TaskId,
+    TASK_IDS
+);
+
+/// A semantic version for deployable component types.
+///
+/// Used by the [`crate::registry::ComponentRegistry`] to support
+/// side-by-side deployment of component versions, which is the paper's
+/// "managed software evolution" requirement.
+///
+/// # Examples
+///
+/// ```
+/// use opencom::ident::Version;
+/// let v = Version::new(1, 2, 0);
+/// assert!(v > Version::new(1, 1, 9));
+/// assert_eq!(v.to_string(), "1.2.0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Version {
+    /// Incompatible interface changes.
+    pub major: u16,
+    /// Backwards-compatible functionality additions.
+    pub minor: u16,
+    /// Backwards-compatible fixes.
+    pub patch: u16,
+}
+
+impl Version {
+    /// Creates a version from its three parts.
+    pub const fn new(major: u16, minor: u16, patch: u16) -> Self {
+        Self { major, minor, patch }
+    }
+
+    /// Returns true if `self` can transparently replace `other`
+    /// (same major version, not older).
+    pub fn compatible_upgrade_of(&self, other: &Version) -> bool {
+        self.major == other.major && self >= other
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.major, self.minor, self.patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_ids_are_unique_and_monotonic() {
+        let a = ComponentId::next();
+        let b = ComponentId::next();
+        assert_ne!(a, b);
+        assert!(b.as_raw() > a.as_raw());
+    }
+
+    #[test]
+    fn interface_id_equality_is_by_name() {
+        assert_eq!(InterfaceId::new("x.I"), InterfaceId::new("x.I"));
+        assert_ne!(InterfaceId::new("x.I"), InterfaceId::new("x.J"));
+    }
+
+    #[test]
+    fn version_ordering_and_compat() {
+        let v110 = Version::new(1, 1, 0);
+        let v120 = Version::new(1, 2, 0);
+        let v200 = Version::new(2, 0, 0);
+        assert!(v120.compatible_upgrade_of(&v110));
+        assert!(!v110.compatible_upgrade_of(&v120));
+        assert!(!v200.compatible_upgrade_of(&v120));
+        assert!(v110 < v120 && v120 < v200);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Version::new(0, 3, 7).to_string(), "0.3.7");
+        assert_eq!(InterfaceId::new("a.B").to_string(), "a.B");
+        assert_eq!(ComponentId::from_raw(42).to_string(), "#42");
+    }
+}

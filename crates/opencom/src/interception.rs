@@ -1,0 +1,442 @@
+//! Interception meta-model.
+//!
+//! The paper's OpenCOM implements interception "at the vtable level" via a
+//! universal delegator: a shim spliced in front of an interface pointer
+//! that runs pre/post hooks around every operation. The Rust analogue is a
+//! wrapper object implementing the same trait, substituted into the
+//! binding. Because Rust cannot synthesise such wrappers at run time, each
+//! interceptable interface registers a [`WrapFn`] (usually written with a
+//! dozen lines of forwarding code) in the capsule's [`InterceptorRegistry`];
+//! the meta-model then splices chains in and out of live bindings without
+//! the communicating components noticing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::ident::InterfaceId;
+use crate::interface::InterfaceRef;
+
+/// Per-call context passed to hooks.
+///
+/// Hooks can veto the call (constraints use this) or attach annotations
+/// for downstream hooks.
+#[derive(Debug)]
+pub struct CallContext {
+    /// The interface being invoked.
+    pub interface: InterfaceId,
+    /// The method name being invoked.
+    pub method: &'static str,
+    /// Free-form annotations shared along the hook chain.
+    pub annotations: Vec<(String, String)>,
+}
+
+impl CallContext {
+    /// Creates a context for one invocation.
+    pub fn new(interface: InterfaceId, method: &'static str) -> Self {
+        Self { interface, method, annotations: Vec::new() }
+    }
+
+    /// Attaches a string annotation.
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.annotations.push((key.into(), value.into()));
+    }
+
+    /// Reads the most recent annotation under `key`.
+    pub fn annotation(&self, key: &str) -> Option<&str> {
+        self.annotations.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A pre/post hook attached to a binding.
+///
+/// `pre` may veto the call by returning an error; `post` observes
+/// completion. Hooks must be cheap — they run on the packet fast path.
+pub trait Hook: Send + Sync {
+    /// Hook name, used in error messages and for removal.
+    fn name(&self) -> &str;
+
+    /// Runs before the intercepted operation.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error aborts the call; the error propagates to the
+    /// caller as a [`Error::ConstraintVeto`].
+    fn pre(&self, ctx: &mut CallContext) -> Result<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Runs after the intercepted operation completes.
+    fn post(&self, ctx: &mut CallContext) {
+        let _ = ctx;
+    }
+}
+
+/// A hook built from two closures; convenient for tests and simple
+/// constraints.
+pub struct FnHook<P, Q> {
+    name: String,
+    pre: P,
+    post: Q,
+}
+
+impl<P, Q> std::fmt::Debug for FnHook<P, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnHook(`{}`)", self.name)
+    }
+}
+
+impl FnHook<fn(&mut CallContext) -> Result<()>, fn(&mut CallContext)> {
+    /// A named hook that does nothing (useful for counting overhead).
+    pub fn noop(name: impl Into<String>) -> Arc<dyn Hook> {
+        fn pre(_: &mut CallContext) -> Result<()> {
+            Ok(())
+        }
+        fn post(_: &mut CallContext) {}
+        Arc::new(FnHook {
+            name: name.into(),
+            pre: pre as fn(&mut CallContext) -> Result<()>,
+            post: post as fn(&mut CallContext),
+        })
+    }
+}
+
+impl<P, Q> FnHook<P, Q>
+where
+    P: Fn(&mut CallContext) -> Result<()> + Send + Sync + 'static,
+    Q: Fn(&mut CallContext) + Send + Sync + 'static,
+{
+    /// Creates a hook from a pre and a post closure.
+    pub fn new(name: impl Into<String>, pre: P, post: Q) -> Arc<dyn Hook> {
+        Arc::new(Self { name: name.into(), pre, post })
+    }
+}
+
+impl<P, Q> Hook for FnHook<P, Q>
+where
+    P: Fn(&mut CallContext) -> Result<()> + Send + Sync + 'static,
+    Q: Fn(&mut CallContext) + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn pre(&self, ctx: &mut CallContext) -> Result<()> {
+        (self.pre)(ctx)
+    }
+    fn post(&self, ctx: &mut CallContext) {
+        (self.post)(ctx)
+    }
+}
+
+/// An ordered chain of hooks shared by one intercepted binding.
+///
+/// Wrappers call [`InterceptorChain::around`] for every operation.
+pub struct InterceptorChain {
+    interface: InterfaceId,
+    hooks: RwLock<Vec<Arc<dyn Hook>>>,
+}
+
+impl InterceptorChain {
+    /// Creates an empty chain for `interface`.
+    pub fn new(interface: InterfaceId) -> Arc<Self> {
+        Arc::new(Self { interface, hooks: RwLock::new(Vec::new()) })
+    }
+
+    /// Appends a hook to the chain.
+    pub fn add(&self, hook: Arc<dyn Hook>) {
+        self.hooks.write().push(hook);
+    }
+
+    /// Removes the first hook with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::StaleReference`] if no hook has that name.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        let mut hooks = self.hooks.write();
+        match hooks.iter().position(|h| h.name() == name) {
+            Some(idx) => {
+                hooks.remove(idx);
+                Ok(())
+            }
+            None => Err(Error::StaleReference { what: format!("hook `{name}`") }),
+        }
+    }
+
+    /// Number of hooks currently installed.
+    pub fn len(&self) -> usize {
+        self.hooks.read().len()
+    }
+
+    /// True if no hooks are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `op` bracketed by every hook's `pre` and `post`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `pre` veto without running `op`; `post` hooks
+    /// of already-passed `pre` hooks still run in reverse order, mirroring
+    /// unwind semantics of nested delegators.
+    #[inline]
+    pub fn around<R>(&self, method: &'static str, op: impl FnOnce() -> R) -> Result<R> {
+        let hooks = self.hooks.read();
+        let mut ctx = CallContext::new(self.interface, method);
+        let mut passed = 0usize;
+        let mut veto = None;
+        for hook in hooks.iter() {
+            if let Err(e) = hook.pre(&mut ctx) {
+                veto = Some(e);
+                break;
+            }
+            passed += 1;
+        }
+        let result = if veto.is_none() { Some(op()) } else { None };
+        for hook in hooks.iter().take(passed).rev() {
+            hook.post(&mut ctx);
+        }
+        match veto {
+            Some(e) => Err(e),
+            None => Ok(result.expect("op ran when no veto")),
+        }
+    }
+}
+
+impl fmt::Debug for InterceptorChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InterceptorChain({}, {} hooks)", self.interface, self.len())
+    }
+}
+
+/// Builds an intercepting wrapper for one interface type: given the target
+/// reference and a chain, returns a new reference exporting the same
+/// interface through the wrapper.
+pub type WrapFn = Box<dyn Fn(InterfaceRef, Arc<InterceptorChain>) -> InterfaceRef + Send + Sync>;
+
+/// Registry of per-interface wrapper factories.
+///
+/// Crates that define interceptable interfaces register a [`WrapFn`] here
+/// (the router crate does this for `IPacketPush`/`IPacketPull` etc.);
+/// the architecture meta-model consults the registry when the user asks to
+/// intercept a binding.
+#[derive(Default)]
+pub struct InterceptorRegistry {
+    wrappers: RwLock<HashMap<InterfaceId, WrapFn>>,
+}
+
+impl InterceptorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the wrapper factory for `id`.
+    pub fn register(&self, id: InterfaceId, wrap: WrapFn) {
+        self.wrappers.write().insert(id, wrap);
+    }
+
+    /// True if `id` supports interception.
+    pub fn supports(&self, id: InterfaceId) -> bool {
+        self.wrappers.read().contains_key(&id)
+    }
+
+    /// Wraps `target` with a fresh chain, returning the wrapped reference
+    /// and the chain handle for hook management.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::InterfaceNotFound`] if no wrapper is registered
+    /// for the interface.
+    pub fn wrap(&self, target: InterfaceRef) -> Result<(InterfaceRef, Arc<InterceptorChain>)> {
+        let chain = InterceptorChain::new(target.id());
+        let wrapped = self.wrap_with(target, Arc::clone(&chain))?;
+        Ok((wrapped, chain))
+    }
+
+    /// Wraps `target` with an existing chain (used when hot-replacing a
+    /// component while preserving its bindings' interceptors).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::InterfaceNotFound`] if no wrapper is registered
+    /// for the interface.
+    pub fn wrap_with(
+        &self,
+        target: InterfaceRef,
+        chain: Arc<InterceptorChain>,
+    ) -> Result<InterfaceRef> {
+        let wrappers = self.wrappers.read();
+        let wrap = wrappers.get(&target.id()).ok_or(Error::InterfaceNotFound {
+            component: target.provider(),
+            interface: target.id(),
+        })?;
+        Ok(wrap(target, chain))
+    }
+}
+
+impl fmt::Debug for InterceptorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InterceptorRegistry({} interfaces)", self.wrappers.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::ComponentId;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    const IADD: InterfaceId = InterfaceId::new("test.IAdd");
+
+    trait IAdd: Send + Sync {
+        fn add(&self, n: u32) -> u32;
+    }
+
+    struct Base(AtomicU32);
+    impl IAdd for Base {
+        fn add(&self, n: u32) -> u32 {
+            self.0.fetch_add(n, Ordering::Relaxed) + n
+        }
+    }
+
+    /// Hand-written wrapper of the kind interface-defining crates provide.
+    struct AddWrapper {
+        target: Arc<dyn IAdd>,
+        chain: Arc<InterceptorChain>,
+    }
+    impl IAdd for AddWrapper {
+        fn add(&self, n: u32) -> u32 {
+            self.chain.around("add", || self.target.add(n)).unwrap_or(0)
+        }
+    }
+
+    fn registry_with_add() -> InterceptorRegistry {
+        let reg = InterceptorRegistry::new();
+        reg.register(
+            IADD,
+            Box::new(|target, chain| {
+                let inner: Arc<dyn IAdd> = target.downcast().expect("IAdd");
+                let provider = target.provider();
+                let wrapped: Arc<dyn IAdd> = Arc::new(AddWrapper { target: inner, chain });
+                InterfaceRef::new(IADD, provider, wrapped)
+            }),
+        );
+        reg
+    }
+
+    fn base_ref() -> InterfaceRef {
+        let obj: Arc<dyn IAdd> = Arc::new(Base(AtomicU32::new(0)));
+        InterfaceRef::new(IADD, ComponentId::from_raw(1), obj)
+    }
+
+    #[test]
+    fn chain_runs_pre_and_post_in_order() {
+        let chain = InterceptorChain::new(IADD);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        for name in ["a", "b"] {
+            let l1 = Arc::clone(&log);
+            let l2 = Arc::clone(&log);
+            chain.add(FnHook::new(
+                name,
+                move |_| {
+                    l1.lock().push(format!("pre-{name}"));
+                    Ok(())
+                },
+                move |_| l2.lock().push(format!("post-{name}")),
+            ));
+        }
+        let out = chain.around("m", || 42).unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(
+            log.lock().as_slice(),
+            ["pre-a", "pre-b", "post-b", "post-a"]
+        );
+    }
+
+    #[test]
+    fn veto_aborts_call_and_unwinds_posts() {
+        let chain = InterceptorChain::new(IADD);
+        let ran = Arc::new(AtomicU32::new(0));
+        let posts = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&posts);
+        chain.add(FnHook::new("ok", |_| Ok(()), move |_| {
+            p.fetch_add(1, Ordering::Relaxed);
+        }));
+        chain.add(FnHook::new(
+            "veto",
+            |_| {
+                Err(Error::ConstraintVeto { constraint: "veto".into(), reason: "no".into() })
+            },
+            |_| {},
+        ));
+        let r = Arc::clone(&ran);
+        let res = chain.around("m", move || r.fetch_add(1, Ordering::Relaxed));
+        assert!(res.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "operation must not run");
+        assert_eq!(posts.load(Ordering::Relaxed), 1, "passed pre hooks unwind");
+    }
+
+    #[test]
+    fn wrap_and_call_through_registry() {
+        let reg = registry_with_add();
+        let (wrapped, chain) = reg.wrap(base_ref()).unwrap();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        chain.add(FnHook::new("count", move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }, |_| {}));
+        let iface: Arc<dyn IAdd> = wrapped.downcast().unwrap();
+        assert_eq!(iface.add(5), 5);
+        assert_eq!(iface.add(5), 10);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn wrap_unregistered_interface_fails() {
+        let reg = InterceptorRegistry::new();
+        assert!(reg.wrap(base_ref()).is_err());
+        assert!(!reg.supports(IADD));
+    }
+
+    #[test]
+    fn remove_hook_by_name() {
+        let chain = InterceptorChain::new(IADD);
+        chain.add(FnHook::noop("h1"));
+        chain.add(FnHook::noop("h2"));
+        chain.remove("h1").unwrap();
+        assert_eq!(chain.len(), 1);
+        assert!(chain.remove("h1").is_err());
+    }
+
+    #[test]
+    fn annotations_flow_between_hooks() {
+        let chain = InterceptorChain::new(IADD);
+        chain.add(FnHook::new(
+            "writer",
+            |ctx| {
+                ctx.annotate("dscp", "46");
+                Ok(())
+            },
+            |_| {},
+        ));
+        let seen = Arc::new(parking_lot::Mutex::new(String::new()));
+        let s = Arc::clone(&seen);
+        chain.add(FnHook::new(
+            "reader",
+            move |ctx| {
+                *s.lock() = ctx.annotation("dscp").unwrap_or("").to_owned();
+                Ok(())
+            },
+            |_| {},
+        ));
+        chain.around("m", || ()).unwrap();
+        assert_eq!(seen.lock().as_str(), "46");
+    }
+}

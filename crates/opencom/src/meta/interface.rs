@@ -1,0 +1,143 @@
+//! Interface meta-model — run-time introspection of interface types.
+//!
+//! Rust offers no runtime reflection, so NETKIT-RS substitutes explicit
+//! registration: every interface-defining crate registers an
+//! [`InterfaceDescriptor`] describing its methods. Management tools can
+//! then enumerate an unknown component's interfaces and their signatures
+//! at run time — the role Windows type libraries played for the paper's
+//! implementation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::error::{Error, Result};
+use crate::ident::{ComponentId, InterfaceId};
+use crate::interface::InterfaceDescriptor;
+
+/// A queryable repository of interface descriptors.
+///
+/// One repository is shared per [`Runtime`](crate::runtime::Runtime); all
+/// capsules consult the same descriptor set.
+///
+/// # Examples
+///
+/// ```
+/// use opencom::ident::{InterfaceId, Version};
+/// use opencom::interface::InterfaceDescriptor;
+/// use opencom::meta::interface::InterfaceRepository;
+///
+/// const IFOO: InterfaceId = InterfaceId::new("demo.IFoo");
+/// let repo = InterfaceRepository::new();
+/// repo.register(
+///     InterfaceDescriptor::new(IFOO, Version::new(1, 0, 0), "demo interface")
+///         .method("frob", &[("n", "u32")], "u32", "frobs n"),
+/// );
+/// let d = repo.describe(IFOO)?;
+/// assert_eq!(d.methods[0].name, "frob");
+/// # Ok::<(), opencom::error::Error>(())
+/// ```
+#[derive(Default)]
+pub struct InterfaceRepository {
+    descriptors: RwLock<HashMap<InterfaceId, InterfaceDescriptor>>,
+}
+
+impl InterfaceRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a descriptor.
+    pub fn register(&self, descriptor: InterfaceDescriptor) {
+        self.descriptors.write().insert(descriptor.id, descriptor);
+    }
+
+    /// Retrieves the descriptor for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::InterfaceNotFound`] if the interface type was
+    /// never registered.
+    pub fn describe(&self, id: InterfaceId) -> Result<InterfaceDescriptor> {
+        self.descriptors.read().get(&id).cloned().ok_or(Error::InterfaceNotFound {
+            component: ComponentId::from_raw(0),
+            interface: id,
+        })
+    }
+
+    /// True if a descriptor exists for `id`.
+    pub fn contains(&self, id: InterfaceId) -> bool {
+        self.descriptors.read().contains_key(&id)
+    }
+
+    /// All registered interface ids, sorted by name.
+    pub fn interface_ids(&self) -> Vec<InterfaceId> {
+        let mut ids: Vec<_> = self.descriptors.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.descriptors.read().len()
+    }
+
+    /// True if the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for InterfaceRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InterfaceRepository({} descriptors)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::Version;
+
+    const IA: InterfaceId = InterfaceId::new("t.IA");
+    const IB: InterfaceId = InterfaceId::new("t.IB");
+
+    #[test]
+    fn register_and_describe() {
+        let repo = InterfaceRepository::new();
+        repo.register(
+            InterfaceDescriptor::new(IA, Version::new(1, 0, 0), "a")
+                .method("go", &[], "()", "runs"),
+        );
+        let d = repo.describe(IA).unwrap();
+        assert_eq!(d.methods.len(), 1);
+        assert!(repo.contains(IA));
+        assert!(!repo.contains(IB));
+    }
+
+    #[test]
+    fn describe_unknown_fails() {
+        let repo = InterfaceRepository::new();
+        assert!(repo.describe(IA).is_err());
+    }
+
+    #[test]
+    fn listing_is_sorted() {
+        let repo = InterfaceRepository::new();
+        repo.register(InterfaceDescriptor::new(IB, Version::default(), "b"));
+        repo.register(InterfaceDescriptor::new(IA, Version::default(), "a"));
+        assert_eq!(repo.interface_ids(), vec![IA, IB]);
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let repo = InterfaceRepository::new();
+        repo.register(InterfaceDescriptor::new(IA, Version::new(1, 0, 0), "old"));
+        repo.register(InterfaceDescriptor::new(IA, Version::new(2, 0, 0), "new"));
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.describe(IA).unwrap().version, Version::new(2, 0, 0));
+    }
+}

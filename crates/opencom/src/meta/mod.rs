@@ -1,0 +1,6 @@
+//! The OpenCOM meta-models: architecture (structural reflection),
+//! interface (introspection), and resources (tasks + allocation).
+
+pub mod architecture;
+pub mod interface;
+pub mod resources;

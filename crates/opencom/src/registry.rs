@@ -1,0 +1,252 @@
+//! Component registry — deployment units and managed evolution.
+//!
+//! The paper's OpenCOM loads components from platform DLLs. Dynamically
+//! loading Rust trait objects across compilation units is unsound, so the
+//! registry substitutes a table of named, versioned *factories*:
+//! "deploying" a component type means registering its factory; "loading"
+//! means instantiating by name. Side-by-side version registration gives
+//! the managed-evolution story (old and new versions coexist; capsules
+//! hot-replace instances across compatible versions).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::component::Component;
+use crate::error::{Error, Result};
+use crate::ident::Version;
+
+/// A factory that constructs one component instance.
+pub type Factory = Box<dyn Fn() -> Arc<dyn Component> + Send + Sync>;
+
+struct FactoryEntry {
+    version: Version,
+    factory: Factory,
+}
+
+/// A named, versioned catalogue of component factories.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use opencom::component::{Component, ComponentCore, ComponentDescriptor, Registrar};
+/// use opencom::ident::Version;
+/// use opencom::registry::ComponentRegistry;
+///
+/// struct Null { core: ComponentCore }
+/// impl Component for Null {
+///     fn core(&self) -> &ComponentCore { &self.core }
+///     fn publish(self: Arc<Self>, _reg: &Registrar<'_>) {}
+/// }
+///
+/// let registry = ComponentRegistry::new();
+/// registry.register("demo.Null", Version::new(1, 0, 0), Box::new(|| {
+///     Arc::new(Null { core: ComponentCore::new(
+///         ComponentDescriptor::new("demo.Null", Version::new(1, 0, 0))) })
+/// }));
+/// let comp = registry.instantiate_latest("demo.Null")?;
+/// assert_eq!(comp.core().descriptor().type_name, "demo.Null");
+/// # Ok::<(), opencom::error::Error>(())
+/// ```
+#[derive(Default)]
+pub struct ComponentRegistry {
+    entries: RwLock<HashMap<String, Vec<FactoryEntry>>>,
+}
+
+impl ComponentRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory for `type_name` at `version`. Re-registering an
+    /// existing version replaces its factory (redeployment).
+    pub fn register(&self, type_name: impl Into<String>, version: Version, factory: Factory) {
+        let mut entries = self.entries.write();
+        let versions = entries.entry(type_name.into()).or_default();
+        match versions.iter_mut().find(|e| e.version == version) {
+            Some(existing) => existing.factory = factory,
+            None => {
+                versions.push(FactoryEntry { version, factory });
+                versions.sort_by_key(|e| e.version);
+            }
+        }
+    }
+
+    /// Removes a deployed version.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::UnknownComponentType`] if the pair is unknown.
+    pub fn unregister(&self, type_name: &str, version: Version) -> Result<()> {
+        let mut entries = self.entries.write();
+        let versions = entries.get_mut(type_name).ok_or_else(|| {
+            Error::UnknownComponentType { type_name: type_name.to_owned() }
+        })?;
+        let before = versions.len();
+        versions.retain(|e| e.version != version);
+        if versions.len() == before {
+            return Err(Error::UnknownComponentType {
+                type_name: format!("{type_name}@{version}"),
+            });
+        }
+        if versions.is_empty() {
+            entries.remove(type_name);
+        }
+        Ok(())
+    }
+
+    /// Instantiates a specific version.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::UnknownComponentType`] if the pair is unknown.
+    pub fn instantiate(&self, type_name: &str, version: Version) -> Result<Arc<dyn Component>> {
+        let entries = self.entries.read();
+        let versions = entries.get(type_name).ok_or_else(|| {
+            Error::UnknownComponentType { type_name: type_name.to_owned() }
+        })?;
+        let entry = versions.iter().find(|e| e.version == version).ok_or_else(|| {
+            Error::UnknownComponentType { type_name: format!("{type_name}@{version}") }
+        })?;
+        Ok((entry.factory)())
+    }
+
+    /// Instantiates the newest registered version.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::UnknownComponentType`] if the type is unknown.
+    pub fn instantiate_latest(&self, type_name: &str) -> Result<Arc<dyn Component>> {
+        let entries = self.entries.read();
+        let versions = entries.get(type_name).ok_or_else(|| {
+            Error::UnknownComponentType { type_name: type_name.to_owned() }
+        })?;
+        let entry = versions.last().expect("non-empty by construction");
+        Ok((entry.factory)())
+    }
+
+    /// Versions registered for `type_name`, oldest first.
+    pub fn versions(&self, type_name: &str) -> Vec<Version> {
+        self.entries
+            .read()
+            .get(type_name)
+            .map(|v| v.iter().map(|e| e.version).collect())
+            .unwrap_or_default()
+    }
+
+    /// All registered type names, sorted.
+    pub fn type_names(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.entries.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True if any version of `type_name` is deployed.
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.entries.read().contains_key(type_name)
+    }
+}
+
+impl fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ComponentRegistry({} types)", self.entries.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentCore, ComponentDescriptor, Registrar};
+
+    struct Null {
+        core: ComponentCore,
+    }
+    impl Component for Null {
+        fn core(&self) -> &ComponentCore {
+            &self.core
+        }
+        fn publish(self: Arc<Self>, _reg: &Registrar<'_>) {}
+    }
+
+    fn factory(version: Version) -> Factory {
+        Box::new(move || {
+            Arc::new(Null {
+                core: ComponentCore::new(
+                    ComponentDescriptor::new("t.Null", version),
+                ),
+            })
+        })
+    }
+
+    #[test]
+    fn instantiate_unknown_type_fails() {
+        let reg = ComponentRegistry::new();
+        assert!(matches!(
+            reg.instantiate_latest("t.Missing"),
+            Err(Error::UnknownComponentType { .. })
+        ));
+    }
+
+    #[test]
+    fn latest_prefers_highest_version() {
+        let reg = ComponentRegistry::new();
+        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
+        reg.register("t.Null", Version::new(1, 2, 0), factory(Version::new(1, 2, 0)));
+        reg.register("t.Null", Version::new(1, 1, 0), factory(Version::new(1, 1, 0)));
+        let c = reg.instantiate_latest("t.Null").unwrap();
+        assert_eq!(c.core().descriptor().version, Version::new(1, 2, 0));
+        assert_eq!(
+            reg.versions("t.Null"),
+            vec![Version::new(1, 0, 0), Version::new(1, 1, 0), Version::new(1, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn side_by_side_versions_instantiable() {
+        let reg = ComponentRegistry::new();
+        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
+        reg.register("t.Null", Version::new(2, 0, 0), factory(Version::new(2, 0, 0)));
+        let old = reg.instantiate("t.Null", Version::new(1, 0, 0)).unwrap();
+        let new = reg.instantiate("t.Null", Version::new(2, 0, 0)).unwrap();
+        assert_eq!(old.core().descriptor().version.major, 1);
+        assert_eq!(new.core().descriptor().version.major, 2);
+    }
+
+    #[test]
+    fn unregister_removes_only_named_version() {
+        let reg = ComponentRegistry::new();
+        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
+        reg.register("t.Null", Version::new(2, 0, 0), factory(Version::new(2, 0, 0)));
+        reg.unregister("t.Null", Version::new(1, 0, 0)).unwrap();
+        assert!(reg.instantiate("t.Null", Version::new(1, 0, 0)).is_err());
+        assert!(reg.instantiate("t.Null", Version::new(2, 0, 0)).is_ok());
+        reg.unregister("t.Null", Version::new(2, 0, 0)).unwrap();
+        assert!(!reg.contains("t.Null"));
+        assert!(reg.unregister("t.Null", Version::new(2, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn redeployment_replaces_factory() {
+        let reg = ComponentRegistry::new();
+        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
+        // Redeploy same version with a factory that reports as untrusted.
+        reg.register(
+            "t.Null",
+            Version::new(1, 0, 0),
+            Box::new(|| {
+                Arc::new(Null {
+                    core: ComponentCore::new(
+                        ComponentDescriptor::new("t.Null", Version::new(1, 0, 0)).untrusted(),
+                    ),
+                })
+            }),
+        );
+        let c = reg.instantiate_latest("t.Null").unwrap();
+        assert!(!c.core().descriptor().trusted);
+        assert_eq!(reg.versions("t.Null").len(), 1);
+    }
+}

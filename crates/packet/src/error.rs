@@ -1,0 +1,85 @@
+//! Parse errors for protocol headers.
+
+use std::fmt;
+
+/// Error produced when decoding a frame or header fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The buffer is shorter than the header requires.
+    Truncated {
+        /// Which header was being parsed.
+        header: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A version field did not match the expected protocol version.
+    BadVersion {
+        /// Which header was being parsed.
+        header: &'static str,
+        /// The version found.
+        found: u8,
+    },
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Which header was being parsed.
+        header: &'static str,
+        /// Explanation.
+        detail: &'static str,
+    },
+    /// The checksum did not verify.
+    BadChecksum {
+        /// Which header was being parsed.
+        header: &'static str,
+    },
+    /// The EtherType / next-protocol value is not supported.
+    UnsupportedProtocol {
+        /// The raw protocol value found.
+        value: u16,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { header, needed, available } => {
+                write!(f, "{header} truncated: need {needed} bytes, have {available}")
+            }
+            ParseError::BadVersion { header, found } => {
+                write!(f, "{header} has unexpected version {found}")
+            }
+            ParseError::BadLength { header, detail } => {
+                write!(f, "{header} has inconsistent length: {detail}")
+            }
+            ParseError::BadChecksum { header } => write!(f, "{header} checksum mismatch"),
+            ParseError::UnsupportedProtocol { value } => {
+                write!(f, "unsupported protocol value {value:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_header_and_sizes() {
+        let e = ParseError::Truncated { header: "ipv4", needed: 20, available: 7 };
+        let s = e.to_string();
+        assert!(s.contains("ipv4") && s.contains("20") && s.contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<ParseError>();
+    }
+}

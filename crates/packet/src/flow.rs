@@ -1,0 +1,285 @@
+//! Flow identification and per-flow state tables.
+//!
+//! Stratum 3 operates on "pre-selected packet flows in application-
+//! specific ways" (paper §3). [`FlowKey`] is the classic 5-tuple;
+//! [`FlowTable`] holds per-flow state with TTL-based soft expiry and
+//! bounded capacity.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::net::IpAddr;
+
+use parking_lot::Mutex;
+
+use crate::headers::{proto, EtherType};
+use crate::packet::Packet;
+
+/// The classic 5-tuple flow identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Source transport port (0 when the protocol has no ports).
+    pub src_port: u16,
+    /// Destination transport port (0 when the protocol has no ports).
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Extracts the 5-tuple from a frame, if it is IPv4/IPv6 carrying
+    /// UDP or TCP (other traffic yields ports of zero).
+    pub fn from_packet(pkt: &Packet) -> Option<FlowKey> {
+        let eth = pkt.ethernet().ok()?;
+        match eth.ethertype {
+            EtherType::Ipv4 => {
+                let ip = pkt.ipv4().ok()?;
+                let (src_port, dst_port) = match ip.protocol {
+                    proto::UDP => {
+                        let udp = pkt.udp_v4().ok()?;
+                        (udp.src_port, udp.dst_port)
+                    }
+                    proto::TCP => {
+                        let tcp = pkt.tcp_v4().ok()?;
+                        (tcp.src_port, tcp.dst_port)
+                    }
+                    _ => (0, 0),
+                };
+                Some(FlowKey {
+                    src: IpAddr::V4(ip.src),
+                    dst: IpAddr::V4(ip.dst),
+                    protocol: ip.protocol,
+                    src_port,
+                    dst_port,
+                })
+            }
+            EtherType::Ipv6 => {
+                let ip = pkt.ipv6().ok()?;
+                Some(FlowKey {
+                    src: IpAddr::V6(ip.src),
+                    dst: IpAddr::V6(ip.dst),
+                    protocol: ip.next_header,
+                    src_port: 0,
+                    dst_port: 0,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit hash of the tuple (for RSS-style spreading).
+    pub fn hash64(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src, self.src_port, self.dst, self.dst_port, self.protocol
+        )
+    }
+}
+
+struct FlowEntry<T> {
+    value: T,
+    last_seen_ns: u64,
+}
+
+/// A bounded, soft-state table of per-flow values.
+///
+/// Entries expire `ttl_ns` after their last touch; when full, the
+/// least-recently-seen entry is evicted.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::flow::{FlowKey, FlowTable};
+/// use std::net::IpAddr;
+///
+/// let table: FlowTable<u32> = FlowTable::new(2, 1_000);
+/// let key = FlowKey {
+///     src: "10.0.0.1".parse::<IpAddr>().unwrap(),
+///     dst: "10.0.0.2".parse::<IpAddr>().unwrap(),
+///     protocol: 17, src_port: 1, dst_port: 2,
+/// };
+/// table.insert(key, 7, 0);
+/// assert_eq!(table.get(&key, 500), Some(7));
+/// assert_eq!(table.get(&key, 5_000), None); // expired
+/// ```
+pub struct FlowTable<T> {
+    entries: Mutex<HashMap<FlowKey, FlowEntry<T>>>,
+    max_entries: usize,
+    ttl_ns: u64,
+}
+
+impl<T: Clone> FlowTable<T> {
+    /// Creates a table bounded to `max_entries` with soft TTL `ttl_ns`.
+    pub fn new(max_entries: usize, ttl_ns: u64) -> Self {
+        Self { entries: Mutex::new(HashMap::new()), max_entries, ttl_ns }
+    }
+
+    /// Inserts or refreshes an entry at time `now_ns`, evicting the
+    /// least-recently-seen entry if the table is full.
+    pub fn insert(&self, key: FlowKey, value: T, now_ns: u64) {
+        let mut entries = self.entries.lock();
+        if entries.len() >= self.max_entries && !entries.contains_key(&key) {
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_seen_ns)
+                .map(|(k, _)| *k)
+            {
+                entries.remove(&oldest);
+            }
+        }
+        entries.insert(key, FlowEntry { value, last_seen_ns: now_ns });
+    }
+
+    /// Fetches the entry and refreshes its timestamp, honouring the TTL.
+    pub fn get(&self, key: &FlowKey, now_ns: u64) -> Option<T> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(key)?;
+        if now_ns.saturating_sub(entry.last_seen_ns) > self.ttl_ns {
+            entries.remove(key);
+            return None;
+        }
+        entry.last_seen_ns = now_ns;
+        Some(entry.value.clone())
+    }
+
+    /// Fetches or creates the entry, returning the value.
+    pub fn get_or_insert_with(&self, key: FlowKey, now_ns: u64, make: impl FnOnce() -> T) -> T {
+        if let Some(v) = self.get(&key, now_ns) {
+            return v;
+        }
+        let v = make();
+        self.insert(key, v.clone(), now_ns);
+        v
+    }
+
+    /// Drops every entry older than the TTL; returns how many were
+    /// removed.
+    pub fn expire(&self, now_ns: u64) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, e| now_ns.saturating_sub(e.last_seen_ns) <= self.ttl_ns);
+        before - entries.len()
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for FlowTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FlowTable({} entries, max {}, ttl {}ns)",
+            self.entries.lock().len(),
+            self.max_entries,
+            self.ttl_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey {
+            src: format!("10.0.0.{n}").parse().unwrap(),
+            dst: "10.9.9.9".parse().unwrap(),
+            protocol: proto::UDP,
+            src_port: 1000 + n as u16,
+            dst_port: 53,
+        }
+    }
+
+    #[test]
+    fn extract_udp_v4_tuple() {
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
+        let k = FlowKey::from_packet(&pkt).unwrap();
+        assert_eq!(k.src.to_string(), "10.0.0.1");
+        assert_eq!(k.dst.to_string(), "10.0.0.2");
+        assert_eq!((k.src_port, k.dst_port, k.protocol), (1234, 80, proto::UDP));
+    }
+
+    #[test]
+    fn extract_v6_tuple_without_ports() {
+        let pkt = PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1, 2).build();
+        let k = FlowKey::from_packet(&pkt).unwrap();
+        assert_eq!(k.protocol, proto::UDP);
+        assert_eq!((k.src_port, k.dst_port), (0, 0));
+    }
+
+    #[test]
+    fn hash_is_stable_per_key() {
+        let a = key(1);
+        assert_eq!(a.hash64(), key(1).hash64());
+        assert_ne!(a.hash64(), key(2).hash64());
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let table: FlowTable<u32> = FlowTable::new(2, u64::MAX);
+        table.insert(key(1), 1, 100);
+        table.insert(key(2), 2, 200);
+        table.insert(key(3), 3, 300); // evicts key(1)
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(&key(1), 300), None);
+        assert_eq!(table.get(&key(2), 300), Some(2));
+        assert_eq!(table.get(&key(3), 300), Some(3));
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let table: FlowTable<u32> = FlowTable::new(2, u64::MAX);
+        table.insert(key(1), 1, 100);
+        table.insert(key(2), 2, 200);
+        table.get(&key(1), 500); // key(1) is now the most recent
+        table.insert(key(3), 3, 600); // evicts key(2)
+        assert!(table.get(&key(1), 600).is_some());
+        assert!(table.get(&key(2), 600).is_none());
+    }
+
+    #[test]
+    fn soft_ttl_expiry() {
+        let table: FlowTable<u32> = FlowTable::new(8, 1_000);
+        table.insert(key(1), 1, 0);
+        table.insert(key(2), 2, 900);
+        assert_eq!(table.expire(1_500), 1, "key(1) aged out");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_with_creates_once() {
+        let table: FlowTable<u32> = FlowTable::new(8, u64::MAX);
+        let mut made = 0;
+        let v1 = table.get_or_insert_with(key(1), 0, || {
+            made += 1;
+            42
+        });
+        let v2 = table.get_or_insert_with(key(1), 10, || {
+            made += 1;
+            7
+        });
+        assert_eq!((v1, v2, made), (42, 42, 1));
+    }
+}

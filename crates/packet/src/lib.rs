@@ -1,0 +1,26 @@
+//! # netkit-packet — packets, headers, buffers, flows
+//!
+//! The data-plane vocabulary shared by every NETKIT stratum:
+//!
+//! * [`packet`] — the [`Packet`] type (frame bytes +
+//!   out-of-band metadata) and a workload-oriented builder.
+//! * [`headers`] — Ethernet/IPv4/IPv6/UDP/TCP parse + emit, with in-place
+//!   fast-path mutators (TTL decrement, DSCP rewrite).
+//! * [`checksum`] — RFC 1071 Internet checksum and RFC 1624 incremental
+//!   update.
+//! * [`pool`] — the buffer-management CF engine (fixed-slab pools with
+//!   recycling and resources-meta-model accounting).
+//! * [`flow`] — 5-tuple flow keys and bounded soft-state flow tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checksum;
+pub mod error;
+pub mod flow;
+pub mod headers;
+pub mod packet;
+pub mod pool;
+
+pub use error::{ParseError, ParseResult};
+pub use packet::{Packet, PacketBuilder, PacketMeta};

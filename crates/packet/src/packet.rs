@@ -1,0 +1,430 @@
+//! The packet type flowing through every stratum.
+//!
+//! A [`Packet`] couples a mutable byte buffer (the frame, starting at the
+//! Ethernet header) with out-of-band [`PacketMeta`] annotations that
+//! in-band components use to communicate (classification results, meter
+//! colours, chosen egress). Annotations are how the paper's components
+//! perform "layer-violating" information sharing without rewriting wire
+//! bytes.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use bytes::BytesMut;
+
+use crate::error::ParseResult;
+use crate::headers::{proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr,
+                     TcpHeader, UdpHeader};
+
+/// Metering colour (srTCM-style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// Conforming traffic.
+    Green,
+    /// Excess within burst tolerance.
+    Yellow,
+    /// Out-of-profile traffic.
+    Red,
+}
+
+/// Out-of-band metadata carried alongside a frame.
+#[derive(Clone, Debug, Default)]
+pub struct PacketMeta {
+    /// Port the frame arrived on.
+    pub ingress: Option<u16>,
+    /// Arrival timestamp in simulated nanoseconds.
+    pub timestamp_ns: u64,
+    /// Cached DSCP (written by classifiers so queues need not re-parse).
+    pub dscp: Option<u8>,
+    /// Chosen egress port (written by route lookup).
+    pub egress: Option<u16>,
+    /// Chosen next hop (written by route lookup).
+    pub next_hop: Option<IpAddr>,
+    /// Meter colour (written by meters, read by droppers).
+    pub color: Option<Color>,
+    /// Free-form numeric annotations, keyed by static names.
+    pub annotations: Vec<(&'static str, u64)>,
+}
+
+impl PacketMeta {
+    /// Sets (or overwrites) an annotation.
+    pub fn annotate(&mut self, key: &'static str, value: u64) {
+        if let Some(slot) = self.annotations.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.annotations.push((key, value));
+        }
+    }
+
+    /// Reads an annotation.
+    pub fn annotation(&self, key: &str) -> Option<u64> {
+        self.annotations.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// A network packet: frame bytes plus metadata.
+///
+/// The buffer always begins at the Ethernet header. Parsing helpers give
+/// typed views without copying; `data_mut` allows in-place mutation
+/// (TTL decrement and similar fast-path edits).
+#[derive(Clone, Default)]
+pub struct Packet {
+    data: BytesMut,
+    /// Out-of-band metadata.
+    pub meta: PacketMeta,
+}
+
+impl Packet {
+    /// Wraps an existing frame buffer.
+    pub fn new(data: BytesMut) -> Self {
+        Self { data, meta: PacketMeta::default() }
+    }
+
+    /// Copies a byte slice into a new packet.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        Self::new(BytesMut::from(bytes))
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to the frame bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Write access to the frame bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the packet, returning the buffer.
+    pub fn into_data(self) -> BytesMut {
+        self.data
+    }
+
+    // ---- typed views ------------------------------------------------------
+
+    /// Parses the Ethernet header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation errors.
+    pub fn ethernet(&self) -> ParseResult<EthernetHeader> {
+        EthernetHeader::parse(&self.data)
+    }
+
+    /// Byte offset of the L3 header.
+    pub const fn l3_offset(&self) -> usize {
+        EthernetHeader::LEN
+    }
+
+    /// The L3 bytes (IP header onward).
+    pub fn l3(&self) -> &[u8] {
+        &self.data[EthernetHeader::LEN.min(self.data.len())..]
+    }
+
+    /// Mutable L3 bytes.
+    pub fn l3_mut(&mut self) -> &mut [u8] {
+        let off = EthernetHeader::LEN.min(self.data.len());
+        &mut self.data[off..]
+    }
+
+    /// Parses the IPv4 header (validating its checksum).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::ParseError`] from header validation.
+    pub fn ipv4(&self) -> ParseResult<Ipv4Header> {
+        Ipv4Header::parse(self.l3())
+    }
+
+    /// Parses the IPv6 fixed header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::error::ParseError`] from header validation.
+    pub fn ipv6(&self) -> ParseResult<Ipv6Header> {
+        Ipv6Header::parse(self.l3())
+    }
+
+    /// Parses the UDP header of an IPv4 datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse failures at either layer.
+    pub fn udp_v4(&self) -> ParseResult<UdpHeader> {
+        let ip = self.ipv4()?;
+        UdpHeader::parse(&self.l3()[ip.header_len..])
+    }
+
+    /// Parses the TCP header of an IPv4 datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse failures at either layer.
+    pub fn tcp_v4(&self) -> ParseResult<TcpHeader> {
+        let ip = self.ipv4()?;
+        TcpHeader::parse(&self.l3()[ip.header_len..])
+    }
+
+    /// The L4 payload bytes of an IPv4/UDP datagram.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header parse failures.
+    pub fn udp_payload_v4(&self) -> ParseResult<&[u8]> {
+        let ip = self.ipv4()?;
+        let l4 = &self.l3()[ip.header_len..];
+        UdpHeader::parse(l4)?;
+        Ok(&l4[UdpHeader::LEN..])
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet({} bytes", self.data.len())?;
+        if let Ok(eth) = self.ethernet() {
+            write!(f, ", {:?}", eth.ethertype)?;
+        }
+        if let Some(dscp) = self.meta.dscp {
+            write!(f, ", dscp={dscp}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds well-formed test/workload packets.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::packet::PacketBuilder;
+/// let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 5000, 53)
+///     .dscp(46)
+///     .ttl(64)
+///     .payload(&[1, 2, 3])
+///     .build();
+/// assert_eq!(pkt.ipv4().unwrap().dscp, 46);
+/// assert_eq!(pkt.udp_payload_v4().unwrap(), &[1, 2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PacketBuilder {
+    src: IpAddr,
+    dst: IpAddr,
+    src_port: u16,
+    dst_port: u16,
+    protocol: u8,
+    dscp: u8,
+    ttl: u8,
+    payload: Vec<u8>,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+}
+
+impl PacketBuilder {
+    /// Starts a UDP-over-IPv4 packet. Addresses must parse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address literals are malformed (builder is intended
+    /// for tests and workload generators).
+    pub fn udp_v4(src: &str, dst: &str, src_port: u16, dst_port: u16) -> Self {
+        Self {
+            src: src.parse().expect("valid IPv4 source"),
+            dst: dst.parse().expect("valid IPv4 destination"),
+            src_port,
+            dst_port,
+            protocol: proto::UDP,
+            dscp: 0,
+            ttl: 64,
+            payload: Vec::new(),
+            src_mac: MacAddr([2, 0, 0, 0, 0, 1]),
+            dst_mac: MacAddr([2, 0, 0, 0, 0, 2]),
+        }
+    }
+
+    /// Starts a UDP-over-IPv6 packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address literals are malformed.
+    pub fn udp_v6(src: &str, dst: &str, src_port: u16, dst_port: u16) -> Self {
+        let mut b = Self::udp_v4("0.0.0.0", "0.0.0.0", src_port, dst_port);
+        b.src = src.parse().expect("valid IPv6 source");
+        b.dst = dst.parse().expect("valid IPv6 destination");
+        b
+    }
+
+    /// Sets the DSCP (builder-style).
+    pub fn dscp(mut self, dscp: u8) -> Self {
+        self.dscp = dscp & 0x3f;
+        self
+    }
+
+    /// Sets the TTL / hop limit (builder-style).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the UDP payload (builder-style).
+    pub fn payload(mut self, payload: &[u8]) -> Self {
+        self.payload = payload.to_vec();
+        self
+    }
+
+    /// Sets the payload to `len` zero bytes (builder-style).
+    pub fn payload_len(mut self, len: usize) -> Self {
+        self.payload = vec![0; len];
+        self
+    }
+
+    /// Assembles the frame.
+    pub fn build(self) -> Packet {
+        let mut out = Vec::with_capacity(64 + self.payload.len());
+        match (self.src, self.dst) {
+            (IpAddr::V4(src), IpAddr::V4(dst)) => {
+                EthernetHeader {
+                    dst: self.dst_mac,
+                    src: self.src_mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .write(&mut out);
+                let udp_len = (UdpHeader::LEN + self.payload.len()) as u16;
+                Ipv4Header {
+                    dscp: self.dscp,
+                    ecn: 0,
+                    total_len: Ipv4Header::MIN_LEN as u16 + udp_len,
+                    identification: 0,
+                    dont_fragment: true,
+                    more_fragments: false,
+                    fragment_offset: 0,
+                    ttl: self.ttl,
+                    protocol: self.protocol,
+                    checksum: 0,
+                    src,
+                    dst,
+                    header_len: Ipv4Header::MIN_LEN,
+                }
+                .write(&mut out);
+                UdpHeader {
+                    src_port: self.src_port,
+                    dst_port: self.dst_port,
+                    length: udp_len,
+                    checksum: 0,
+                }
+                .write(&mut out);
+            }
+            (IpAddr::V6(src), IpAddr::V6(dst)) => {
+                EthernetHeader {
+                    dst: self.dst_mac,
+                    src: self.src_mac,
+                    ethertype: EtherType::Ipv6,
+                }
+                .write(&mut out);
+                let udp_len = (UdpHeader::LEN + self.payload.len()) as u16;
+                Ipv6Header {
+                    traffic_class: self.dscp << 2,
+                    flow_label: 0,
+                    payload_len: udp_len,
+                    next_header: self.protocol,
+                    hop_limit: self.ttl,
+                    src,
+                    dst,
+                }
+                .write(&mut out);
+                UdpHeader {
+                    src_port: self.src_port,
+                    dst_port: self.dst_port,
+                    length: udp_len,
+                    checksum: 0,
+                }
+                .write(&mut out);
+            }
+            _ => unreachable!("builder never mixes address families"),
+        }
+        out.extend_from_slice(&self.payload);
+        Packet::from_slice(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_parseable_ipv4_udp() {
+        let pkt = PacketBuilder::udp_v4("10.1.0.1", "10.2.0.2", 1000, 2000)
+            .dscp(34)
+            .ttl(10)
+            .payload(b"hello")
+            .build();
+        let eth = pkt.ethernet().unwrap();
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        let ip = pkt.ipv4().unwrap();
+        assert_eq!(ip.dscp, 34);
+        assert_eq!(ip.ttl, 10);
+        assert_eq!(ip.protocol, proto::UDP);
+        let udp = pkt.udp_v4().unwrap();
+        assert_eq!((udp.src_port, udp.dst_port), (1000, 2000));
+        assert_eq!(pkt.udp_payload_v4().unwrap(), b"hello");
+        assert_eq!(
+            pkt.len(),
+            EthernetHeader::LEN + Ipv4Header::MIN_LEN + UdpHeader::LEN + 5
+        );
+    }
+
+    #[test]
+    fn builder_produces_parseable_ipv6_udp() {
+        let pkt = PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 7, 8)
+            .dscp(46)
+            .payload_len(32)
+            .build();
+        let eth = pkt.ethernet().unwrap();
+        assert_eq!(eth.ethertype, EtherType::Ipv6);
+        let ip6 = pkt.ipv6().unwrap();
+        assert_eq!(ip6.traffic_class >> 2, 46);
+        assert_eq!(ip6.payload_len as usize, UdpHeader::LEN + 32);
+    }
+
+    #[test]
+    fn annotations_overwrite_and_read_back() {
+        let mut meta = PacketMeta::default();
+        meta.annotate("queue", 3);
+        meta.annotate("queue", 5);
+        meta.annotate("hops", 2);
+        assert_eq!(meta.annotation("queue"), Some(5));
+        assert_eq!(meta.annotation("hops"), Some(2));
+        assert_eq!(meta.annotation("missing"), None);
+        assert_eq!(meta.annotations.len(), 2);
+    }
+
+    #[test]
+    fn in_place_mutation_via_l3_mut() {
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(5).build();
+        Ipv4Header::decrement_ttl_in_place(pkt.l3_mut()).unwrap();
+        assert_eq!(pkt.ipv4().unwrap().ttl, 4);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
+        let b = a.clone();
+        a.data_mut()[0] = 0xff;
+        assert_ne!(a.data()[0], b.data()[0]);
+    }
+
+    #[test]
+    fn debug_output_mentions_size() {
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
+        assert!(format!("{pkt:?}").contains("bytes"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the wire codecs: write→parse round-trips,
+//! checksum validity under in-place mutation, and robustness of parsers
+//! against arbitrary byte soup.
+
+use proptest::prelude::*;
+
+use netkit_packet::headers::{EthernetHeader, EtherType, Ipv4Header, Ipv6Header, MacAddr,
+                             UdpHeader};
+use netkit_packet::packet::{Packet, PacketBuilder};
+
+fn ipv4_strategy() -> impl Strategy<Value = Ipv4Header> {
+    (
+        any::<u8>(),  // dscp (masked below)
+        any::<u8>(),  // ecn (masked below)
+        any::<u16>(), // identification
+        any::<bool>(),
+        any::<bool>(),
+        0u16..8192,  // fragment offset (13 bits)
+        1u8..=255,   // ttl
+        any::<u8>(), // protocol
+        any::<u32>(),
+        any::<u32>(),
+        0u16..=1400, // payload length
+    )
+        .prop_map(
+            |(dscp, ecn, identification, df, mf, frag, ttl, protocol, src, dst, payload)| {
+                Ipv4Header {
+                    dscp: dscp & 0x3f,
+                    ecn: ecn & 0x03,
+                    total_len: 20 + payload,
+                    identification,
+                    dont_fragment: df,
+                    more_fragments: mf,
+                    fragment_offset: frag,
+                    ttl,
+                    protocol,
+                    checksum: 0, // recomputed on write
+                    src: src.into(),
+                    dst: dst.into(),
+                    header_len: 20,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn ipv4_write_parse_roundtrip(h in ipv4_strategy()) {
+        let mut wire = Vec::new();
+        h.write(&mut wire);
+        // Pad the buffer out to total_len so length validation passes.
+        wire.resize(h.total_len as usize, 0);
+        let parsed = Ipv4Header::parse(&wire).expect("own output parses");
+        prop_assert_eq!(parsed.dscp, h.dscp);
+        prop_assert_eq!(parsed.ecn, h.ecn);
+        prop_assert_eq!(parsed.identification, h.identification);
+        prop_assert_eq!(parsed.dont_fragment, h.dont_fragment);
+        prop_assert_eq!(parsed.more_fragments, h.more_fragments);
+        prop_assert_eq!(parsed.fragment_offset, h.fragment_offset);
+        prop_assert_eq!(parsed.ttl, h.ttl);
+        prop_assert_eq!(parsed.protocol, h.protocol);
+        prop_assert_eq!(parsed.src, h.src);
+        prop_assert_eq!(parsed.dst, h.dst);
+    }
+
+    #[test]
+    fn ttl_decrement_preserves_checksum_validity(h in ipv4_strategy()) {
+        prop_assume!(h.ttl > 1);
+        let mut wire = Vec::new();
+        h.write(&mut wire);
+        wire.resize(h.total_len as usize, 0);
+        let new_ttl = Ipv4Header::decrement_ttl_in_place(&mut wire).expect("ttl > 0");
+        prop_assert_eq!(new_ttl, h.ttl - 1);
+        // parse() validates the checksum, so success proves the
+        // incremental update (RFC 1624) stayed correct.
+        let parsed = Ipv4Header::parse(&wire).expect("checksum still valid");
+        prop_assert_eq!(parsed.ttl, h.ttl - 1);
+    }
+
+    #[test]
+    fn dscp_rewrite_preserves_checksum_validity(h in ipv4_strategy(), dscp in 0u8..64) {
+        let mut wire = Vec::new();
+        h.write(&mut wire);
+        wire.resize(h.total_len as usize, 0);
+        Ipv4Header::set_dscp_in_place(&mut wire, dscp).expect("long enough");
+        let parsed = Ipv4Header::parse(&wire).expect("checksum still valid");
+        prop_assert_eq!(parsed.dscp, dscp);
+        prop_assert_eq!(parsed.ecn, h.ecn, "ECN bits untouched");
+    }
+
+    #[test]
+    fn repeated_mutations_keep_checksum_valid(
+        h in ipv4_strategy(),
+        ops in proptest::collection::vec(any::<Option<u8>>(), 1..16),
+    ) {
+        prop_assume!(h.ttl as usize > ops.len());
+        let mut wire = Vec::new();
+        h.write(&mut wire);
+        wire.resize(h.total_len as usize, 0);
+        for op in ops {
+            match op {
+                Some(dscp) => {
+                    Ipv4Header::set_dscp_in_place(&mut wire, dscp & 0x3f).expect("ok");
+                }
+                None => {
+                    Ipv4Header::decrement_ttl_in_place(&mut wire).expect("ttl headroom");
+                }
+            }
+            prop_assert!(Ipv4Header::parse(&wire).is_ok(), "checksum drifted");
+        }
+    }
+
+    #[test]
+    fn ipv4_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Header::parse(&bytes);
+        let _ = Ipv6Header::parse(&bytes);
+        let _ = UdpHeader::parse(&bytes);
+        let _ = EthernetHeader::parse(&bytes);
+    }
+
+    #[test]
+    fn packet_accessors_never_panic_on_junk(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let pkt = Packet::from_slice(&bytes);
+        let _ = pkt.ipv4();
+        let _ = pkt.ipv6();
+        let _ = pkt.udp_v4();
+        let _ = pkt.tcp_v4();
+        let _ = pkt.udp_payload_v4();
+        let _ = pkt.ethernet();
+    }
+
+    #[test]
+    fn udp_builder_produces_parseable_packets(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let pkt = PacketBuilder::udp_v4(
+            &std::net::Ipv4Addr::from(src).to_string(),
+            &std::net::Ipv4Addr::from(dst).to_string(),
+            sport,
+            dport,
+        )
+        .payload(&payload)
+        .build();
+        let ip = pkt.ipv4().expect("valid v4 header");
+        prop_assert_eq!(ip.src, std::net::Ipv4Addr::from(src));
+        prop_assert_eq!(ip.dst, std::net::Ipv4Addr::from(dst));
+        let udp = pkt.udp_v4().expect("valid udp header");
+        prop_assert_eq!(udp.src_port, sport);
+        prop_assert_eq!(udp.dst_port, dport);
+        prop_assert_eq!(pkt.udp_payload_v4().expect("payload"), &payload[..]);
+    }
+
+    #[test]
+    fn ethernet_roundtrip(
+        dst in any::<[u8; 6]>(),
+        src in any::<[u8; 6]>(),
+        ethertype in prop_oneof![Just(0x0800u16), Just(0x86DDu16), Just(0x0806u16)],
+    ) {
+        let h = EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_u16(ethertype),
+        };
+        let mut wire = Vec::new();
+        h.write(&mut wire);
+        let parsed = EthernetHeader::parse(&wire).expect("own output parses");
+        prop_assert_eq!(parsed.dst, h.dst);
+        prop_assert_eq!(parsed.src, h.src);
+        prop_assert_eq!(parsed.ethertype.to_u16(), ethertype);
+    }
+}

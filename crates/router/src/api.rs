@@ -1,0 +1,596 @@
+//! The Router CF's packet-passing interfaces (paper Figure 2).
+//!
+//! Components acceptable to the Router CF "must support appropriate
+//! numbers and combinations of specific packet-passing interfaces/
+//! receptacles (called `IPacketPush` and `IPacketPull` …)" and "may
+//! (optionally) support an `IClassifier` interface which exports an
+//! operation `register_filter()`" (paper §5). This module defines those
+//! three interfaces, their introspection descriptors, the interception
+//! wrappers that make them interceptable, and the IPC stub/skeleton pair
+//! that lets untrusted packet components run out-of-capsule.
+
+use std::fmt;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use opencom::error::{Error, Result};
+use opencom::ident::{ComponentId, InterfaceId, Version};
+use opencom::interception::InterceptorChain;
+use opencom::interface::{InterfaceDescriptor, InterfaceRef};
+use opencom::ipc::{wire, IpcClient, IpcDispatch};
+use opencom::runtime::Runtime;
+
+use netkit_packet::error::ParseError;
+use netkit_packet::flow::FlowKey;
+use netkit_packet::packet::Packet;
+
+/// Interface id for [`IPacketPush`].
+pub const IPACKET_PUSH: InterfaceId = InterfaceId::new("netkit.IPacketPush");
+/// Interface id for [`IPacketPull`].
+pub const IPACKET_PULL: InterfaceId = InterfaceId::new("netkit.IPacketPull");
+/// Interface id for [`IClassifier`].
+pub const ICLASSIFIER: InterfaceId = InterfaceId::new("netkit.IClassifier");
+
+/// Why a push was not completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PushError {
+    /// The component's downstream receptacle is unbound.
+    Unbound,
+    /// A queue refused the packet (tail drop / RED drop).
+    QueueFull,
+    /// The packet failed validation and was dropped.
+    Malformed(ParseError),
+    /// The TTL/hop-limit reached zero.
+    TtlExpired,
+    /// No route matched the destination.
+    NoRoute,
+    /// An interceptor or constraint vetoed the call.
+    Veto(String),
+    /// The (isolated) component crashed or its transport failed.
+    Crashed(String),
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Unbound => write!(f, "downstream receptacle unbound"),
+            PushError::QueueFull => write!(f, "queue full"),
+            PushError::Malformed(e) => write!(f, "malformed packet: {e}"),
+            PushError::TtlExpired => write!(f, "ttl expired"),
+            PushError::NoRoute => write!(f, "no route to destination"),
+            PushError::Veto(msg) => write!(f, "call vetoed: {msg}"),
+            PushError::Crashed(msg) => write!(f, "component crashed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+impl From<ParseError> for PushError {
+    fn from(e: ParseError) -> Self {
+        PushError::Malformed(e)
+    }
+}
+
+impl From<Error> for PushError {
+    fn from(e: Error) -> Self {
+        match e {
+            Error::ComponentCrashed { message, .. } => PushError::Crashed(message),
+            Error::IpcFailure { detail } => PushError::Crashed(detail),
+            other => PushError::Veto(other.to_string()),
+        }
+    }
+}
+
+/// Push result alias.
+pub type PushResult = std::result::Result<(), PushError>;
+
+/// Push-oriented inter-component packet transfer (Fig. 2).
+pub trait IPacketPush: Send + Sync {
+    /// Accepts a packet, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PushError`] if the packet was dropped rather than
+    /// forwarded; counters distinguish drop *policy* from failure.
+    fn push(&self, pkt: Packet) -> PushResult;
+}
+
+/// Pull-oriented inter-component packet transfer (Fig. 2).
+pub trait IPacketPull: Send + Sync {
+    /// Yields the next packet, if one is ready.
+    fn pull(&self) -> Option<Packet>;
+}
+
+/// Identifies an installed filter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FilterId(pub u64);
+
+static FILTER_IDS: AtomicU64 = AtomicU64::new(1);
+
+impl FilterId {
+    /// Allocates the next filter id.
+    pub fn next() -> Self {
+        Self(FILTER_IDS.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// The match half of a filter: every populated field must match.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterPattern {
+    /// Source prefix `(address, prefix_len)`.
+    pub src_prefix: Option<(IpAddr, u8)>,
+    /// Destination prefix `(address, prefix_len)`.
+    pub dst_prefix: Option<(IpAddr, u8)>,
+    /// IP protocol number.
+    pub protocol: Option<u8>,
+    /// Inclusive source-port range.
+    pub src_ports: Option<(u16, u16)>,
+    /// Inclusive destination-port range.
+    pub dst_ports: Option<(u16, u16)>,
+    /// Exact DSCP.
+    pub dscp: Option<u8>,
+}
+
+fn prefix_matches(addr: IpAddr, prefix: (IpAddr, u8)) -> bool {
+    let (net, len) = prefix;
+    match (addr, net) {
+        (IpAddr::V4(a), IpAddr::V4(n)) => {
+            let len = len.min(32);
+            if len == 0 {
+                return true;
+            }
+            let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+            (u32::from(a) & mask) == (u32::from(n) & mask)
+        }
+        (IpAddr::V6(a), IpAddr::V6(n)) => {
+            let len = len.min(128);
+            if len == 0 {
+                return true;
+            }
+            let mask = if len == 128 { u128::MAX } else { !(u128::MAX >> len) };
+            (u128::from(a) & mask) == (u128::from(n) & mask)
+        }
+        _ => false,
+    }
+}
+
+impl FilterPattern {
+    /// A pattern that matches everything.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Requires the source address to fall in `prefix` (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed address literal.
+    pub fn src(mut self, prefix: &str, len: u8) -> Self {
+        self.src_prefix = Some((prefix.parse().expect("valid address"), len));
+        self
+    }
+
+    /// Requires the destination address to fall in `prefix`
+    /// (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed address literal.
+    pub fn dst(mut self, prefix: &str, len: u8) -> Self {
+        self.dst_prefix = Some((prefix.parse().expect("valid address"), len));
+        self
+    }
+
+    /// Requires the IP protocol (builder-style).
+    pub fn protocol(mut self, proto: u8) -> Self {
+        self.protocol = Some(proto);
+        self
+    }
+
+    /// Requires the destination port to fall in `[lo, hi]` (builder-style).
+    pub fn dst_port_range(mut self, lo: u16, hi: u16) -> Self {
+        self.dst_ports = Some((lo, hi));
+        self
+    }
+
+    /// Requires the source port to fall in `[lo, hi]` (builder-style).
+    pub fn src_port_range(mut self, lo: u16, hi: u16) -> Self {
+        self.src_ports = Some((lo, hi));
+        self
+    }
+
+    /// Requires an exact DSCP (builder-style).
+    pub fn dscp(mut self, dscp: u8) -> Self {
+        self.dscp = Some(dscp);
+        self
+    }
+
+    /// Evaluates the pattern against a flow tuple and DSCP.
+    pub fn matches(&self, flow: &FlowKey, dscp: u8) -> bool {
+        if let Some(p) = self.src_prefix {
+            if !prefix_matches(flow.src, p) {
+                return false;
+            }
+        }
+        if let Some(p) = self.dst_prefix {
+            if !prefix_matches(flow.dst, p) {
+                return false;
+            }
+        }
+        if let Some(proto) = self.protocol {
+            if flow.protocol != proto {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.src_ports {
+            if !(lo..=hi).contains(&flow.src_port) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.dst_ports {
+            if !(lo..=hi).contains(&flow.dst_port) {
+                return false;
+            }
+        }
+        if let Some(d) = self.dscp {
+            if d != dscp {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A complete filter: pattern, the named output to emit matches on, and
+/// a priority (higher wins; ties broken by installation order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// What to match.
+    pub pattern: FilterPattern,
+    /// The labelled output (`IPacketPush` receptacle label) for matches.
+    pub output: String,
+    /// Priority; higher-priority filters are consulted first.
+    pub priority: i32,
+}
+
+impl FilterSpec {
+    /// Creates a filter emitting matches on `output`.
+    pub fn new(pattern: FilterPattern, output: impl Into<String>, priority: i32) -> Self {
+        Self { pattern, output: output.into(), priority }
+    }
+}
+
+/// The classifier control interface (Fig. 2): install/remove packet
+/// filters at run time. Components exporting this must "honour the
+/// semantics of installed filter specifications in terms of the
+/// particular named outgoing … interface(s) on which each incoming packet
+/// should be emitted" (paper §5) — behaviour the Router CF's tests
+/// verify.
+pub trait IClassifier: Send + Sync {
+    /// Installs a filter; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the named output does not exist on the component.
+    fn register_filter(&self, spec: FilterSpec) -> Result<FilterId>;
+
+    /// Removes a filter.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::StaleReference`] for unknown ids.
+    fn remove_filter(&self, id: FilterId) -> Result<()>;
+
+    /// Lists installed filters, highest priority first.
+    fn filters(&self) -> Vec<(FilterId, FilterSpec)>;
+}
+
+// ---- interception wrappers --------------------------------------------
+
+struct PushWrapper {
+    target: Arc<dyn IPacketPush>,
+    chain: Arc<InterceptorChain>,
+}
+
+impl IPacketPush for PushWrapper {
+    fn push(&self, pkt: Packet) -> PushResult {
+        match self.chain.around("push", || self.target.push(pkt)) {
+            Ok(inner) => inner,
+            Err(veto) => Err(PushError::Veto(veto.to_string())),
+        }
+    }
+}
+
+struct PullWrapper {
+    target: Arc<dyn IPacketPull>,
+    chain: Arc<InterceptorChain>,
+}
+
+impl IPacketPull for PullWrapper {
+    fn pull(&self) -> Option<Packet> {
+        self.chain.around("pull", || self.target.pull()).ok().flatten()
+    }
+}
+
+// ---- IPC stub/skeleton ---------------------------------------------------
+
+/// Marshals a packet (frame bytes + the meta fields that matter across a
+/// capsule boundary) into the IPC wire form.
+pub fn encode_packet(pkt: &Packet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pkt.len() + 32);
+    wire::put_bytes(&mut out, pkt.data());
+    wire::put_u64(&mut out, pkt.meta.ingress.map(|p| p as u64 + 1).unwrap_or(0));
+    wire::put_u64(&mut out, pkt.meta.timestamp_ns);
+    wire::put_u64(&mut out, pkt.meta.dscp.map(|d| d as u64 + 1).unwrap_or(0));
+    out
+}
+
+/// Reconstructs a packet from the IPC wire form.
+pub fn decode_packet(buf: &[u8]) -> Option<Packet> {
+    let mut pos = 0;
+    let data = wire::get_bytes(buf, &mut pos)?;
+    let ingress = wire::get_u64(buf, &mut pos)?;
+    let timestamp = wire::get_u64(buf, &mut pos)?;
+    let dscp = wire::get_u64(buf, &mut pos)?;
+    let mut pkt = Packet::from_slice(&data);
+    pkt.meta.ingress = ingress.checked_sub(1).map(|p| p as u16);
+    pkt.meta.timestamp_ns = timestamp;
+    pkt.meta.dscp = dscp.checked_sub(1).map(|d| d as u8);
+    Some(pkt)
+}
+
+/// Client-side proxy: an [`IPacketPush`] that marshals into an isolated
+/// capsule.
+pub struct PushProxy {
+    client: Arc<IpcClient>,
+}
+
+impl PushProxy {
+    /// Creates a proxy over an IPC client.
+    pub fn new(client: Arc<IpcClient>) -> Self {
+        Self { client }
+    }
+}
+
+impl IPacketPush for PushProxy {
+    fn push(&self, pkt: Packet) -> PushResult {
+        let reply = self
+            .client
+            .call(IPACKET_PUSH.name(), "push", encode_packet(&pkt))
+            .map_err(PushError::from)?;
+        let mut pos = 0;
+        match wire::get_u64(&reply, &mut pos) {
+            Some(0) => Ok(()),
+            Some(_) => {
+                let msg = wire::get_str(&reply, &mut pos).unwrap_or_default();
+                Err(PushError::Veto(msg))
+            }
+            None => Err(PushError::Crashed("short ipc reply".into())),
+        }
+    }
+}
+
+impl fmt::Debug for PushProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PushProxy({:?})", self.client)
+    }
+}
+
+/// Host-side skeleton: exposes any [`IPacketPush`] over IPC.
+pub struct PushSkeleton {
+    target: Arc<dyn IPacketPush>,
+}
+
+impl PushSkeleton {
+    /// Wraps a concrete push component for out-of-capsule hosting.
+    pub fn new(target: Arc<dyn IPacketPush>) -> Arc<Self> {
+        Arc::new(Self { target })
+    }
+}
+
+impl IpcDispatch for PushSkeleton {
+    fn dispatch(
+        &self,
+        _interface: &str,
+        method: &str,
+        payload: &[u8],
+    ) -> std::result::Result<Vec<u8>, String> {
+        match method {
+            "push" => {
+                let pkt = decode_packet(payload).ok_or("bad packet encoding")?;
+                let mut out = Vec::new();
+                match self.target.push(pkt) {
+                    Ok(()) => wire::put_u64(&mut out, 0),
+                    Err(e) => {
+                        wire::put_u64(&mut out, 1);
+                        wire::put_str(&mut out, &e.to_string());
+                    }
+                }
+                Ok(out)
+            }
+            other => Err(format!("no method `{other}`")),
+        }
+    }
+}
+
+impl fmt::Debug for PushSkeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PushSkeleton")
+    }
+}
+
+// ---- runtime registration ----------------------------------------------
+
+/// Registers everything the packet interfaces need with a runtime:
+/// interface descriptors (introspection), interceptor wrapper factories
+/// (interception meta-model), and the `IPacketPush` IPC proxy factory
+/// (isolation).
+pub fn register_packet_interfaces(rt: &Runtime) {
+    rt.interfaces().register(
+        InterfaceDescriptor::new(IPACKET_PUSH, Version::new(1, 0, 0),
+            "push-oriented packet transfer")
+            .method("push", &[("pkt", "Packet")], "PushResult", "accept a packet"),
+    );
+    rt.interfaces().register(
+        InterfaceDescriptor::new(IPACKET_PULL, Version::new(1, 0, 0),
+            "pull-oriented packet transfer")
+            .method("pull", &[], "Option<Packet>", "yield the next ready packet"),
+    );
+    rt.interfaces().register(
+        InterfaceDescriptor::new(ICLASSIFIER, Version::new(1, 0, 0),
+            "run-time packet filter management")
+            .method("register_filter", &[("spec", "FilterSpec")], "FilterId",
+                "install a filter")
+            .method("remove_filter", &[("id", "FilterId")], "()", "remove a filter")
+            .method("filters", &[], "Vec<(FilterId, FilterSpec)>", "list filters"),
+    );
+
+    rt.interceptors().register(
+        IPACKET_PUSH,
+        Box::new(|target, chain| {
+            let inner: Arc<dyn IPacketPush> = target.downcast().expect("IPacketPush");
+            let provider = target.provider();
+            let wrapped: Arc<dyn IPacketPush> = Arc::new(PushWrapper { target: inner, chain });
+            InterfaceRef::new(IPACKET_PUSH, provider, wrapped)
+        }),
+    );
+    rt.interceptors().register(
+        IPACKET_PULL,
+        Box::new(|target, chain| {
+            let inner: Arc<dyn IPacketPull> = target.downcast().expect("IPacketPull");
+            let provider = target.provider();
+            let wrapped: Arc<dyn IPacketPull> = Arc::new(PullWrapper { target: inner, chain });
+            InterfaceRef::new(IPACKET_PULL, provider, wrapped)
+        }),
+    );
+
+    rt.isolation().register_proxy(
+        IPACKET_PUSH,
+        Box::new(|client, provider: ComponentId| {
+            let proxy: Arc<dyn IPacketPush> = Arc::new(PushProxy::new(client));
+            InterfaceRef::new(IPACKET_PUSH, provider, proxy)
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::headers::proto;
+    use netkit_packet::packet::PacketBuilder;
+
+    fn flow(src: &str, dst: &str, sport: u16, dport: u16, protocol: u8) -> FlowKey {
+        FlowKey {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            protocol,
+            src_port: sport,
+            dst_port: dport,
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_anything() {
+        let p = FilterPattern::any();
+        assert!(p.matches(&flow("10.0.0.1", "8.8.8.8", 1, 2, proto::UDP), 0));
+        assert!(p.matches(&flow("2001:db8::1", "2001:db8::2", 0, 0, proto::TCP), 63));
+    }
+
+    #[test]
+    fn prefix_matching_v4() {
+        let p = FilterPattern::any().dst("10.1.0.0", 16);
+        assert!(p.matches(&flow("1.1.1.1", "10.1.200.3", 0, 0, 0), 0));
+        assert!(!p.matches(&flow("1.1.1.1", "10.2.0.1", 0, 0, 0), 0));
+        let exact = FilterPattern::any().dst("10.1.2.3", 32);
+        assert!(exact.matches(&flow("1.1.1.1", "10.1.2.3", 0, 0, 0), 0));
+        assert!(!exact.matches(&flow("1.1.1.1", "10.1.2.4", 0, 0, 0), 0));
+        let all = FilterPattern::any().dst("0.0.0.0", 0);
+        assert!(all.matches(&flow("1.1.1.1", "255.255.255.255", 0, 0, 0), 0));
+    }
+
+    #[test]
+    fn prefix_matching_v6_and_family_mismatch() {
+        let p = FilterPattern::any().dst("2001:db8::", 32);
+        assert!(p.matches(&flow("::1", "2001:db8::42", 0, 0, 0), 0));
+        assert!(!p.matches(&flow("::1", "2001:db9::42", 0, 0, 0), 0));
+        // v4 address never matches a v6 prefix.
+        assert!(!p.matches(&flow("10.0.0.1", "10.0.0.2", 0, 0, 0), 0));
+    }
+
+    #[test]
+    fn port_ranges_and_protocol() {
+        let p = FilterPattern::any()
+            .protocol(proto::UDP)
+            .dst_port_range(5000, 5010);
+        assert!(p.matches(&flow("1.1.1.1", "2.2.2.2", 9, 5005, proto::UDP), 0));
+        assert!(!p.matches(&flow("1.1.1.1", "2.2.2.2", 9, 5011, proto::UDP), 0));
+        assert!(!p.matches(&flow("1.1.1.1", "2.2.2.2", 9, 5005, proto::TCP), 0));
+    }
+
+    #[test]
+    fn dscp_match() {
+        let p = FilterPattern::any().dscp(46);
+        assert!(p.matches(&flow("1.1.1.1", "2.2.2.2", 0, 0, 0), 46));
+        assert!(!p.matches(&flow("1.1.1.1", "2.2.2.2", 0, 0, 0), 0));
+    }
+
+    #[test]
+    fn packet_codec_roundtrip() {
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.9", 5, 6)
+            .payload(b"abc")
+            .build();
+        pkt.meta.ingress = Some(2);
+        pkt.meta.timestamp_ns = 12345;
+        pkt.meta.dscp = Some(46);
+        let encoded = encode_packet(&pkt);
+        let back = decode_packet(&encoded).unwrap();
+        assert_eq!(back.data(), pkt.data());
+        assert_eq!(back.meta.ingress, Some(2));
+        assert_eq!(back.meta.timestamp_ns, 12345);
+        assert_eq!(back.meta.dscp, Some(46));
+        assert!(decode_packet(&encoded[..encoded.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn packet_codec_handles_absent_meta() {
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.9", 5, 6).build();
+        let back = decode_packet(&encode_packet(&pkt)).unwrap();
+        assert_eq!(back.meta.ingress, None);
+        assert_eq!(back.meta.dscp, None);
+    }
+
+    #[test]
+    fn push_error_conversions() {
+        let e: PushError = Error::ComponentCrashed {
+            component: ComponentId::from_raw(1),
+            message: "boom".into(),
+        }
+        .into();
+        assert!(matches!(e, PushError::Crashed(_)));
+        let e2: PushError = Error::ConstraintVeto {
+            constraint: "x".into(),
+            reason: "y".into(),
+        }
+        .into();
+        assert!(matches!(e2, PushError::Veto(_)));
+        let e3: PushError = ParseError::BadChecksum { header: "ipv4" }.into();
+        assert!(matches!(e3, PushError::Malformed(_)));
+    }
+
+    #[test]
+    fn registration_populates_runtime() {
+        let rt = Runtime::new();
+        register_packet_interfaces(&rt);
+        assert!(rt.interfaces().contains(IPACKET_PUSH));
+        assert!(rt.interfaces().contains(IPACKET_PULL));
+        assert!(rt.interfaces().contains(ICLASSIFIER));
+        assert!(rt.interceptors().supports(IPACKET_PUSH));
+        assert!(rt.interceptors().supports(IPACKET_PULL));
+        assert!(rt.isolation().supports_interface(IPACKET_PUSH));
+        let d = rt.interfaces().describe(ICLASSIFIER).unwrap();
+        assert!(d.find_method("register_filter").is_some());
+    }
+}

@@ -1,0 +1,314 @@
+//! The classifier engine — the paper's flagship Router-CF plug-in.
+//!
+//! Exports [`IClassifier`] (Fig. 2): `register_filter()` installs
+//! [`FilterSpec`]s at run time, and the component "must honour the
+//! semantics of installed filter specifications in terms of the
+//! particular named outgoing `IPacketPush` … interface(s) on which each
+//! incoming packet should be emitted" (paper §5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netkit_packet::flow::FlowKey;
+use netkit_packet::packet::Packet;
+use opencom::component::{Component, ComponentCore, Registrar};
+use opencom::error::{Error, Result};
+use opencom::receptacle::Receptacle;
+use parking_lot::RwLock;
+
+use crate::api::{FilterId, FilterSpec, IClassifier, IPacketPush, PushError, PushResult,
+                 ICLASSIFIER, IPACKET_PUSH};
+
+use super::element_core;
+
+/// Label of the fallthrough output used when no filter matches.
+pub const DEFAULT_OUTPUT: &str = "default";
+
+/// A run-time-programmable packet classifier.
+///
+/// Filters are consulted highest-priority first (ties broken by
+/// installation order); the first match wins and the packet is emitted on
+/// the filter's named output. Unmatched packets go to the
+/// [`DEFAULT_OUTPUT`] if bound, else are counted and dropped.
+pub struct ClassifierEngine {
+    core: ComponentCore,
+    outs: Receptacle<dyn IPacketPush>,
+    filters: RwLock<Vec<(FilterId, FilterSpec)>>,
+    matched: AtomicU64,
+    unmatched: AtomicU64,
+}
+
+impl ClassifierEngine {
+    /// Creates an empty classifier.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.Classifier"),
+            outs: Receptacle::multi("out", IPACKET_PUSH),
+            filters: RwLock::new(Vec::new()),
+            matched: AtomicU64::new(0),
+            unmatched: AtomicU64::new(0),
+        })
+    }
+
+    /// `(matched, unmatched)` packet counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.matched.load(Ordering::Relaxed), self.unmatched.load(Ordering::Relaxed))
+    }
+
+    fn output_bound(&self, label: &str) -> bool {
+        self.outs.snapshot_labelled(label).is_some()
+    }
+
+    fn dscp_of(pkt: &Packet) -> u8 {
+        if let Some(d) = pkt.meta.dscp {
+            return d;
+        }
+        if let Ok(ip) = pkt.ipv4() {
+            return ip.dscp;
+        }
+        if let Ok(ip6) = pkt.ipv6() {
+            return ip6.traffic_class >> 2;
+        }
+        0
+    }
+}
+
+impl IPacketPush for ClassifierEngine {
+    fn push(&self, mut pkt: Packet) -> PushResult {
+        let dscp = Self::dscp_of(&pkt);
+        pkt.meta.dscp = Some(dscp);
+        let flow = FlowKey::from_packet(&pkt);
+        let label: Option<String> = {
+            let filters = self.filters.read();
+            flow.as_ref()
+                .and_then(|f| {
+                    filters
+                        .iter()
+                        .find(|(_, spec)| spec.pattern.matches(f, dscp))
+                        .map(|(_, spec)| spec.output.clone())
+                })
+        };
+        match label {
+            Some(out) => {
+                self.matched.fetch_add(1, Ordering::Relaxed);
+                match self.outs.with_labelled(&out, |next| next.push(pkt)) {
+                    Some(result) => result,
+                    None => Err(PushError::Unbound),
+                }
+            }
+            None => {
+                match self.outs.with_labelled(DEFAULT_OUTPUT, |next| next.push(pkt)) {
+                    Some(result) => {
+                        self.matched.fetch_add(1, Ordering::Relaxed);
+                        result
+                    }
+                    None => {
+                        self.unmatched.fetch_add(1, Ordering::Relaxed);
+                        Ok(()) // drop policy for unmatched traffic
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl IClassifier for ClassifierEngine {
+    fn register_filter(&self, spec: FilterSpec) -> Result<FilterId> {
+        if !self.output_bound(&spec.output) {
+            return Err(Error::CfViolation {
+                framework: "router".into(),
+                rule: format!("classifier output `{}` is not bound", spec.output),
+            });
+        }
+        let id = FilterId::next();
+        let mut filters = self.filters.write();
+        // Insert keeping (priority desc, insertion order) stable.
+        let pos = filters
+            .iter()
+            .position(|(_, existing)| existing.priority < spec.priority)
+            .unwrap_or(filters.len());
+        filters.insert(pos, (id, spec));
+        Ok(id)
+    }
+
+    fn remove_filter(&self, id: FilterId) -> Result<()> {
+        let mut filters = self.filters.write();
+        match filters.iter().position(|(fid, _)| *fid == id) {
+            Some(pos) => {
+                filters.remove(pos);
+                Ok(())
+            }
+            None => Err(Error::StaleReference { what: format!("filter {id:?}") }),
+        }
+    }
+
+    fn filters(&self) -> Vec<(FilterId, FilterSpec)> {
+        self.filters.read().clone()
+    }
+}
+
+impl Component for ClassifierEngine {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+        let classify: Arc<dyn IClassifier> = self.clone();
+        reg.expose(ICLASSIFIER, &classify);
+        reg.receptacle(&self.outs);
+    }
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.filters.read().len() * std::mem::size_of::<(FilterId, FilterSpec)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::FilterPattern;
+    use crate::elements::misc::Discard;
+    use netkit_packet::headers::proto;
+    use netkit_packet::packet::PacketBuilder;
+    use opencom::capsule::Capsule;
+    use opencom::ident::ComponentId;
+    use opencom::runtime::Runtime;
+
+    struct Rig {
+        capsule: Arc<Capsule>,
+        classifier: Arc<ClassifierEngine>,
+        cid: ComponentId,
+        sinks: Vec<(String, Arc<Discard>)>,
+    }
+
+    fn rig(outputs: &[&str]) -> Rig {
+        let rt = Runtime::new();
+        crate::api::register_packet_interfaces(&rt);
+        let capsule = Capsule::new("t", &rt);
+        let classifier = ClassifierEngine::new();
+        let cid = capsule.adopt(classifier.clone()).unwrap();
+        let mut sinks = Vec::new();
+        for label in outputs {
+            let sink = Discard::new();
+            let sid = capsule.adopt(sink.clone()).unwrap();
+            capsule.bind(cid, "out", label, sid, IPACKET_PUSH).unwrap();
+            sinks.push((label.to_string(), sink));
+        }
+        Rig { capsule, classifier, cid, sinks }
+    }
+
+    fn sink<'a>(r: &'a Rig, label: &str) -> &'a Arc<Discard> {
+        &r.sinks.iter().find(|(l, _)| l == label).unwrap().1
+    }
+
+    #[test]
+    fn first_matching_filter_routes_packet() {
+        let r = rig(&["voice", "bulk", "default"]);
+        r.classifier
+            .register_filter(FilterSpec::new(
+                FilterPattern::any().protocol(proto::UDP).dst_port_range(5000, 5999),
+                "voice",
+                10,
+            ))
+            .unwrap();
+        r.classifier
+            .register_filter(FilterSpec::new(FilterPattern::any(), "bulk", 0))
+            .unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 4000, 5004).build())
+            .unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 4000, 80).build())
+            .unwrap();
+        assert_eq!(sink(&r, "voice").count(), 1);
+        assert_eq!(sink(&r, "bulk").count(), 1);
+        assert_eq!(sink(&r, "default").count(), 0);
+        assert_eq!(r.classifier.stats(), (2, 0));
+    }
+
+    #[test]
+    fn priority_order_beats_insertion_order() {
+        let r = rig(&["a", "b"]);
+        r.classifier
+            .register_filter(FilterSpec::new(FilterPattern::any(), "a", 1))
+            .unwrap();
+        r.classifier
+            .register_filter(FilterSpec::new(FilterPattern::any(), "b", 5))
+            .unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        assert_eq!(sink(&r, "b").count(), 1, "higher priority wins");
+        let listed = r.classifier.filters();
+        assert_eq!(listed[0].1.output, "b");
+    }
+
+    #[test]
+    fn unmatched_goes_to_default_or_drops() {
+        let r = rig(&["default"]);
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        assert_eq!(sink(&r, "default").count(), 1);
+        // Remove the default binding; now unmatched counts as dropped.
+        let binding = r.capsule.arch().binding_records()[0].id;
+        r.capsule.unbind(binding).unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        assert_eq!(r.classifier.stats().1, 1);
+    }
+
+    #[test]
+    fn register_filter_validates_output_exists() {
+        let r = rig(&["a"]);
+        let err = r
+            .classifier
+            .register_filter(FilterSpec::new(FilterPattern::any(), "missing", 0))
+            .unwrap_err();
+        assert!(matches!(err, Error::CfViolation { .. }));
+        let _ = r.cid;
+    }
+
+    #[test]
+    fn remove_filter_restores_fallthrough() {
+        let r = rig(&["a", "default"]);
+        let id = r
+            .classifier
+            .register_filter(FilterSpec::new(FilterPattern::any(), "a", 0))
+            .unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        r.classifier.remove_filter(id).unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        assert_eq!(sink(&r, "a").count(), 1);
+        assert_eq!(sink(&r, "default").count(), 1);
+        assert!(r.classifier.remove_filter(id).is_err());
+    }
+
+    #[test]
+    fn dscp_filters_use_header_dscp() {
+        let r = rig(&["ef", "default"]);
+        r.classifier
+            .register_filter(FilterSpec::new(FilterPattern::any().dscp(46), "ef", 0))
+            .unwrap();
+        r.classifier
+            .push(
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+                    .dscp(46)
+                    .build(),
+            )
+            .unwrap();
+        r.classifier
+            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build())
+            .unwrap();
+        assert_eq!(sink(&r, "ef").count(), 1);
+        assert_eq!(sink(&r, "default").count(), 1);
+        // The classifier caches the DSCP in metadata for downstream queues.
+        assert_eq!(sink(&r, "ef").last().unwrap().meta.dscp, Some(46));
+    }
+}

@@ -1,0 +1,215 @@
+//! Device adapter elements: the boundary between NICs and the component
+//! graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use netkit_kernel::nic::Nic;
+use netkit_kernel::time::VirtualClock;
+use netkit_packet::packet::Packet;
+use opencom::component::{Component, ComponentCore, Registrar};
+use opencom::receptacle::Receptacle;
+
+use crate::api::{IPacketPull, IPacketPush, PushError, PushResult, IPACKET_PULL, IPACKET_PUSH};
+
+use super::element_core;
+
+/// Pulls frames from a NIC's rx ring and pushes them downstream.
+///
+/// Exposes both styles: `pump()` actively pushes through the `out`
+/// receptacle (poll-mode driver), and the exported `IPacketPull` lets a
+/// downstream scheduler pull directly.
+pub struct FromDevice {
+    core: ComponentCore,
+    nic: Arc<Nic>,
+    clock: Arc<VirtualClock>,
+    out: Receptacle<dyn IPacketPush>,
+    pumped: AtomicU64,
+    push_drops: AtomicU64,
+}
+
+impl FromDevice {
+    /// Creates an adapter over `nic`, timestamping arrivals from `clock`.
+    pub fn new(nic: Arc<Nic>, clock: Arc<VirtualClock>) -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.FromDevice"),
+            nic,
+            clock,
+            out: Receptacle::single("out", IPACKET_PUSH),
+            pumped: AtomicU64::new(0),
+            push_drops: AtomicU64::new(0),
+        })
+    }
+
+    fn wrap(&self, frame: Bytes) -> Packet {
+        let mut pkt = Packet::from_slice(&frame);
+        pkt.meta.ingress = Some(self.nic.port().0);
+        pkt.meta.timestamp_ns = self.clock.now().as_nanos();
+        pkt
+    }
+
+    /// Polls up to `budget` frames off the NIC, pushing each through the
+    /// `out` receptacle. Returns the number of frames moved.
+    pub fn pump(&self, budget: usize) -> usize {
+        let mut moved = 0;
+        for _ in 0..budget {
+            let Some(frame) = self.nic.poll_rx() else { break };
+            let pkt = self.wrap(frame);
+            let pushed = self.out.with_bound(|next| next.push(pkt));
+            match pushed {
+                Some(Ok(())) => moved += 1,
+                Some(Err(_)) => {
+                    self.push_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.push_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.pumped.fetch_add(moved as u64, Ordering::Relaxed);
+        moved
+    }
+
+    /// `(frames pumped, frames dropped because downstream refused)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.pumped.load(Ordering::Relaxed), self.push_drops.load(Ordering::Relaxed))
+    }
+}
+
+impl IPacketPull for FromDevice {
+    fn pull(&self) -> Option<Packet> {
+        self.nic.poll_rx().map(|frame| self.wrap(frame))
+    }
+}
+
+impl Component for FromDevice {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let pull: Arc<dyn IPacketPull> = self.clone();
+        reg.expose(IPACKET_PULL, &pull);
+        reg.receptacle(&self.out);
+    }
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Pushes packets onto a NIC's tx ring.
+pub struct ToDevice {
+    core: ComponentCore,
+    nic: Arc<Nic>,
+    sent: AtomicU64,
+    drops: AtomicU64,
+}
+
+impl ToDevice {
+    /// Creates an adapter over `nic`.
+    pub fn new(nic: Arc<Nic>) -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.ToDevice"),
+            nic,
+            sent: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+        })
+    }
+
+    /// `(frames sent, frames dropped at the tx ring)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent.load(Ordering::Relaxed), self.drops.load(Ordering::Relaxed))
+    }
+}
+
+impl IPacketPush for ToDevice {
+    fn push(&self, pkt: Packet) -> PushResult {
+        if self.nic.send_tx(Bytes::copy_from_slice(pkt.data())) {
+            self.sent.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            Err(PushError::QueueFull)
+        }
+    }
+}
+
+impl Component for ToDevice {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+    }
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_kernel::nic::PortId;
+    use netkit_packet::packet::PacketBuilder;
+    use opencom::capsule::Capsule;
+    use opencom::runtime::Runtime;
+
+    fn nic() -> Arc<Nic> {
+        Arc::new(Nic::new(PortId(3), 16, 16, 1_000_000_000))
+    }
+
+    #[test]
+    fn from_device_stamps_ingress_and_time() {
+        let n = nic();
+        let clock = Arc::new(VirtualClock::new());
+        clock.advance(500);
+        let fd = FromDevice::new(Arc::clone(&n), clock);
+        n.inject_rx(Bytes::from_static(b"\x00\x01"));
+        let pkt = fd.pull().unwrap();
+        assert_eq!(pkt.meta.ingress, Some(3));
+        assert_eq!(pkt.meta.timestamp_ns, 500);
+    }
+
+    #[test]
+    fn pump_moves_frames_through_binding() {
+        let rt = Runtime::new();
+        crate::api::register_packet_interfaces(&rt);
+        let capsule = Capsule::new("t", &rt);
+        let n_in = nic();
+        let n_out = nic();
+        let clock = Arc::new(VirtualClock::new());
+        let fd = FromDevice::new(Arc::clone(&n_in), clock);
+        let td = ToDevice::new(Arc::clone(&n_out));
+        let fd_id = capsule.adopt(fd.clone()).unwrap();
+        let td_id = capsule.adopt(td).unwrap();
+        capsule.bind_simple(fd_id, "out", td_id, IPACKET_PUSH).unwrap();
+        let frame = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
+        for _ in 0..5 {
+            n_in.inject_rx(Bytes::copy_from_slice(frame.data()));
+        }
+        assert_eq!(fd.pump(10), 5);
+        assert_eq!(n_out.stats().tx_frames, 5);
+        assert_eq!(fd.stats(), (5, 0));
+    }
+
+    #[test]
+    fn pump_unbound_counts_drops() {
+        let n = nic();
+        let clock = Arc::new(VirtualClock::new());
+        let fd = FromDevice::new(Arc::clone(&n), clock);
+        n.inject_rx(Bytes::from_static(b"xx"));
+        assert_eq!(fd.pump(10), 0);
+        assert_eq!(fd.stats().1, 1);
+    }
+
+    #[test]
+    fn to_device_reports_tx_ring_overflow() {
+        let n = Arc::new(Nic::new(PortId(0), 2, 1, 1_000_000));
+        let td = ToDevice::new(Arc::clone(&n));
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
+        assert!(td.push(pkt.clone()).is_ok());
+        assert!(matches!(td.push(pkt), Err(PushError::QueueFull)));
+        assert_eq!(td.stats(), (1, 1));
+    }
+}

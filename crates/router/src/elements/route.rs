@@ -1,0 +1,292 @@
+//! The route-lookup element and its management interface.
+//!
+//! Performs longest-prefix-match against a [`RoutingTable`], annotates
+//! the packet with its egress port and next hop, and emits it on the
+//! per-port labelled output (falling back to the `out` label when no
+//! per-port output is bound). The [`IRouteControl`] interface is the
+//! control-plane hook used by the stratum-4 signaling systems.
+
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netkit_packet::headers::EtherType;
+use netkit_packet::packet::Packet;
+use opencom::component::{Component, ComponentCore, Registrar};
+use opencom::error::{Error, Result};
+use opencom::ident::InterfaceId;
+use opencom::receptacle::Receptacle;
+use parking_lot::RwLock;
+
+use crate::api::{IPacketPush, PushError, PushResult, IPACKET_PUSH};
+use crate::routing::{RouteEntry, RoutingTable};
+
+use super::element_core;
+
+/// Interface id for [`IRouteControl`].
+pub const IROUTE_CONTROL: InterfaceId = InterfaceId::new("netkit.IRouteControl");
+
+/// Control-plane management of a route-lookup element.
+pub trait IRouteControl: Send + Sync {
+    /// Installs a route for a textual prefix (`"10.0.0.0/8"`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::StaleReference`] on malformed prefixes.
+    fn add_route(&self, prefix: &str, entry: RouteEntry) -> Result<()>;
+
+    /// Removes a route.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::StaleReference`] if the prefix is absent or
+    /// malformed.
+    fn remove_route(&self, prefix: &str) -> Result<()>;
+
+    /// Looks up the route for an address.
+    fn lookup(&self, addr: IpAddr) -> Option<RouteEntry>;
+}
+
+fn parse_prefix(prefix: &str) -> Result<(IpAddr, u8)> {
+    let (addr, len) = prefix.split_once('/').ok_or_else(|| Error::StaleReference {
+        what: format!("prefix `{prefix}` (expected addr/len)"),
+    })?;
+    let addr: IpAddr = addr.parse().map_err(|_| Error::StaleReference {
+        what: format!("address `{addr}`"),
+    })?;
+    let len: u8 = len.parse().map_err(|_| Error::StaleReference {
+        what: format!("prefix length `{len}`"),
+    })?;
+    Ok((addr, len))
+}
+
+/// The route-lookup element.
+pub struct RouteLookup {
+    core: ComponentCore,
+    table: RwLock<RoutingTable>,
+    outs: Receptacle<dyn IPacketPush>,
+    routed: AtomicU64,
+    unrouted: AtomicU64,
+}
+
+impl RouteLookup {
+    /// Creates an element with an empty routing table.
+    pub fn new() -> Arc<Self> {
+        Self::with_table(RoutingTable::new())
+    }
+
+    /// Creates an element with a prepopulated table.
+    pub fn with_table(table: RoutingTable) -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.RouteLookup"),
+            table: RwLock::new(table),
+            outs: Receptacle::multi("out", IPACKET_PUSH),
+            routed: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+        })
+    }
+
+    /// `(routed, unrouted)` packet counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.routed.load(Ordering::Relaxed), self.unrouted.load(Ordering::Relaxed))
+    }
+
+    fn destination(pkt: &Packet) -> Option<IpAddr> {
+        match pkt.ethernet().ok()?.ethertype {
+            EtherType::Ipv4 => pkt.ipv4().ok().map(|h| IpAddr::V4(h.dst)),
+            EtherType::Ipv6 => pkt.ipv6().ok().map(|h| IpAddr::V6(h.dst)),
+            _ => None,
+        }
+    }
+}
+
+impl IPacketPush for RouteLookup {
+    fn push(&self, mut pkt: Packet) -> PushResult {
+        let Some(dst) = Self::destination(&pkt) else {
+            self.unrouted.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::NoRoute);
+        };
+        let Some(entry) = self.table.read().lookup(dst) else {
+            self.unrouted.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::NoRoute);
+        };
+        pkt.meta.egress = Some(entry.egress);
+        pkt.meta.next_hop = entry.next_hop.or(Some(dst));
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        let label = entry.egress.to_string();
+        match self.outs.with_labelled(&label, |next| next.push(pkt.clone())) {
+            Some(result) => result,
+            None => match self.outs.with_labelled("out", |next| next.push(pkt)) {
+                Some(result) => result,
+                None => Err(PushError::Unbound),
+            },
+        }
+    }
+}
+
+impl IRouteControl for RouteLookup {
+    fn add_route(&self, prefix: &str, entry: RouteEntry) -> Result<()> {
+        let (addr, len) = parse_prefix(prefix)?;
+        let mut table = self.table.write();
+        match addr {
+            IpAddr::V4(a) => {
+                table.add_v4(a, len, entry);
+            }
+            IpAddr::V6(a) => {
+                table.add_v6(a, len, entry);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_route(&self, prefix: &str) -> Result<()> {
+        let (addr, len) = parse_prefix(prefix)?;
+        let removed = {
+            let mut table = self.table.write();
+            match addr {
+                IpAddr::V4(a) => table.remove_v4(a, len),
+                IpAddr::V6(a) => table.remove_v6(a, len),
+            }
+        };
+        match removed {
+            Some(_) => Ok(()),
+            None => Err(Error::StaleReference { what: format!("route `{prefix}`") }),
+        }
+    }
+
+    fn lookup(&self, addr: IpAddr) -> Option<RouteEntry> {
+        self.table.read().lookup(addr)
+    }
+}
+
+impl Component for RouteLookup {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+        let control: Arc<dyn IRouteControl> = self.clone();
+        reg.expose(IROUTE_CONTROL, &control);
+        reg.receptacle(&self.outs);
+    }
+    fn footprint_bytes(&self) -> usize {
+        let (v4, v6) = self.table.read().len();
+        std::mem::size_of::<Self>() + (v4 + v6) * 64 // trie node estimate
+    }
+}
+
+impl std::fmt::Debug for RouteLookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (routed, unrouted) = self.stats();
+        write!(f, "RouteLookup(routed {routed}, unrouted {unrouted})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::misc::Discard;
+    use netkit_packet::packet::PacketBuilder;
+    use opencom::capsule::Capsule;
+    use opencom::runtime::Runtime;
+
+    fn rig() -> (Arc<Capsule>, Arc<RouteLookup>, Arc<Discard>, Arc<Discard>) {
+        let rt = Runtime::new();
+        crate::api::register_packet_interfaces(&rt);
+        let capsule = Capsule::new("t", &rt);
+        let route = RouteLookup::new();
+        let (p0, p1) = (Discard::new(), Discard::new());
+        let rid = capsule.adopt(route.clone()).unwrap();
+        let id0 = capsule.adopt(p0.clone()).unwrap();
+        let id1 = capsule.adopt(p1.clone()).unwrap();
+        capsule.bind(rid, "out", "0", id0, IPACKET_PUSH).unwrap();
+        capsule.bind(rid, "out", "1", id1, IPACKET_PUSH).unwrap();
+        (capsule, route, p0, p1)
+    }
+
+    #[test]
+    fn routes_to_per_port_outputs() {
+        let (_c, route, p0, p1) = rig();
+        route
+            .add_route("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None })
+            .unwrap();
+        route
+            .add_route(
+                "10.1.0.0/16",
+                RouteEntry { egress: 1, next_hop: Some("10.1.0.254".parse().unwrap()) },
+            )
+            .unwrap();
+        route
+            .push(PacketBuilder::udp_v4("9.9.9.9", "10.2.3.4", 1, 2).build())
+            .unwrap();
+        route
+            .push(PacketBuilder::udp_v4("9.9.9.9", "10.1.3.4", 1, 2).build())
+            .unwrap();
+        assert_eq!((p0.count(), p1.count()), (1, 1));
+        let routed = p1.last().unwrap();
+        assert_eq!(routed.meta.egress, Some(1));
+        assert_eq!(routed.meta.next_hop, Some("10.1.0.254".parse().unwrap()));
+        // Directly connected: next hop defaults to the destination.
+        assert_eq!(
+            p0.last().unwrap().meta.next_hop,
+            Some("10.2.3.4".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn no_route_is_an_error() {
+        let (_c, route, _p0, _p1) = rig();
+        let res = route.push(PacketBuilder::udp_v4("9.9.9.9", "8.8.8.8", 1, 2).build());
+        assert!(matches!(res, Err(PushError::NoRoute)));
+        assert_eq!(route.stats(), (0, 1));
+    }
+
+    #[test]
+    fn remove_route_takes_effect() {
+        let (_c, route, _p0, _p1) = rig();
+        route
+            .add_route("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None })
+            .unwrap();
+        assert!(route.lookup("10.5.5.5".parse().unwrap()).is_some());
+        route.remove_route("10.0.0.0/8").unwrap();
+        assert!(route.lookup("10.5.5.5".parse().unwrap()).is_none());
+        assert!(route.remove_route("10.0.0.0/8").is_err());
+    }
+
+    #[test]
+    fn malformed_prefixes_rejected() {
+        let (_c, route, _p0, _p1) = rig();
+        let e = RouteEntry { egress: 0, next_hop: None };
+        assert!(route.add_route("10.0.0.0", e).is_err());
+        assert!(route.add_route("10.0.0.0/x", e).is_err());
+        assert!(route.add_route("banana/8", e).is_err());
+    }
+
+    #[test]
+    fn v6_routing_works() {
+        let (_c, route, p0, _p1) = rig();
+        route
+            .add_route("2001:db8::/32", RouteEntry { egress: 0, next_hop: None })
+            .unwrap();
+        route
+            .push(PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1, 2).build())
+            .unwrap();
+        assert_eq!(p0.count(), 1);
+    }
+
+    #[test]
+    fn control_interface_is_exported() {
+        let rt = Runtime::new();
+        crate::api::register_packet_interfaces(&rt);
+        let capsule = Capsule::new("t", &rt);
+        let route = RouteLookup::new();
+        let rid = capsule.adopt(route).unwrap();
+        let iref = capsule.query_interface(rid, IROUTE_CONTROL).unwrap();
+        let control: Arc<dyn IRouteControl> = iref.downcast().unwrap();
+        control
+            .add_route("10.0.0.0/8", RouteEntry { egress: 3, next_hop: None })
+            .unwrap();
+        assert_eq!(control.lookup("10.1.1.1".parse().unwrap()).unwrap().egress, 3);
+    }
+}

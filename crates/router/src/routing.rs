@@ -1,0 +1,320 @@
+//! Longest-prefix-match routing tables.
+//!
+//! A binary trie keyed on address bits, generic over prefix width so the
+//! same engine serves IPv4 (32 bits) and IPv6 (128 bits). Route lookup is
+//! the per-packet hot operation of the forwarding experiments, so the
+//! trie keeps nodes small and the walk allocation-free.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// A route's action: where the packet leaves and via whom.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteEntry {
+    /// Egress port index.
+    pub egress: u16,
+    /// Next-hop address (`None` for directly connected destinations).
+    pub next_hop: Option<IpAddr>,
+}
+
+#[derive(Debug)]
+struct TrieNode<T> {
+    children: [Option<Box<TrieNode<T>>>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for TrieNode<T> {
+    fn default() -> Self {
+        Self { children: [None, None], value: None }
+    }
+}
+
+/// A binary longest-prefix-match trie over up to 128-bit keys.
+///
+/// Keys are stored MSB-first in a `u128`; IPv4 addresses occupy the top
+/// 32 bits.
+pub struct PrefixTrie<T> {
+    root: TrieNode<T>,
+    max_bits: u8,
+    len: usize,
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie for prefixes of at most `max_bits` bits.
+    pub fn new(max_bits: u8) -> Self {
+        assert!(max_bits <= 128, "prefix width beyond 128 bits");
+        Self { root: TrieNode::default(), max_bits, len: 0 }
+    }
+
+    fn bit(key: u128, index: u8) -> usize {
+        ((key >> (127 - index)) & 1) as usize
+    }
+
+    /// Inserts (or replaces) a prefix of `len` bits; returns the previous
+    /// value if the prefix was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the trie's width.
+    pub fn insert(&mut self, key: u128, len: u8, value: T) -> Option<T> {
+        assert!(len <= self.max_bits, "prefix longer than trie width");
+        let mut node = &mut self.root;
+        for i in 0..len {
+            let b = Self::bit(key, i);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a prefix; returns its value if present.
+    pub fn remove(&mut self, key: u128, len: u8) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..len {
+            let b = Self::bit(key, i);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let removed = node.value.take();
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Longest-prefix lookup for a full-width key.
+    pub fn lookup(&self, key: u128) -> Option<&T> {
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for i in 0..self.max_bits {
+            let b = Self::bit(key, i);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T> fmt::Debug for PrefixTrie<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrefixTrie({} prefixes, {} bits)", self.len, self.max_bits)
+    }
+}
+
+fn v4_key(addr: Ipv4Addr) -> u128 {
+    (u32::from(addr) as u128) << 96
+}
+
+fn v6_key(addr: Ipv6Addr) -> u128 {
+    u128::from(addr)
+}
+
+/// A dual-stack routing table with longest-prefix-match semantics.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_router::routing::{RouteEntry, RoutingTable};
+///
+/// let mut table = RoutingTable::new();
+/// table.add_v4("10.0.0.0".parse()?, 8, RouteEntry { egress: 1, next_hop: None });
+/// table.add_v4("10.1.0.0".parse()?, 16, RouteEntry { egress: 2, next_hop: None });
+/// let hit = table.lookup("10.1.2.3".parse()?).unwrap();
+/// assert_eq!(hit.egress, 2); // longest prefix wins
+/// # Ok::<(), std::net::AddrParseError>(())
+/// ```
+pub struct RoutingTable {
+    v4: PrefixTrie<RouteEntry>,
+    v6: PrefixTrie<RouteEntry>,
+}
+
+impl Default for RoutingTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutingTable {
+    /// Creates an empty dual-stack table.
+    pub fn new() -> Self {
+        Self { v4: PrefixTrie::new(32), v6: PrefixTrie::new(128) }
+    }
+
+    /// Adds an IPv4 route.
+    pub fn add_v4(&mut self, net: Ipv4Addr, len: u8, entry: RouteEntry) -> Option<RouteEntry> {
+        self.v4.insert(v4_key(net), len.min(32), entry)
+    }
+
+    /// Adds an IPv6 route.
+    pub fn add_v6(&mut self, net: Ipv6Addr, len: u8, entry: RouteEntry) -> Option<RouteEntry> {
+        self.v6.insert(v6_key(net), len.min(128), entry)
+    }
+
+    /// Adds a route from a textual prefix (`"10.0.0.0/8"` or
+    /// `"2001:db8::/32"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed prefixes (intended for static configuration).
+    pub fn add(&mut self, prefix: &str, entry: RouteEntry) {
+        let (addr, len) = prefix.split_once('/').expect("prefix like addr/len");
+        let len: u8 = len.parse().expect("numeric prefix length");
+        match addr.parse::<IpAddr>().expect("valid address") {
+            IpAddr::V4(a) => {
+                self.add_v4(a, len, entry);
+            }
+            IpAddr::V6(a) => {
+                self.add_v6(a, len, entry);
+            }
+        }
+    }
+
+    /// Removes an IPv4 route.
+    pub fn remove_v4(&mut self, net: Ipv4Addr, len: u8) -> Option<RouteEntry> {
+        self.v4.remove(v4_key(net), len.min(32))
+    }
+
+    /// Removes an IPv6 route.
+    pub fn remove_v6(&mut self, net: Ipv6Addr, len: u8) -> Option<RouteEntry> {
+        self.v6.remove(v6_key(net), len.min(128))
+    }
+
+    /// Longest-prefix lookup for either family.
+    pub fn lookup(&self, addr: IpAddr) -> Option<RouteEntry> {
+        match addr {
+            IpAddr::V4(a) => self.v4.lookup(v4_key(a)).copied(),
+            IpAddr::V6(a) => self.v6.lookup(v6_key(a)).copied(),
+        }
+    }
+
+    /// `(v4 routes, v6 routes)` counts.
+    pub fn len(&self) -> (usize, usize) {
+        (self.v4.len(), self.v6.len())
+    }
+
+    /// True if both families are empty.
+    pub fn is_empty(&self) -> bool {
+        self.v4.is_empty() && self.v6.is_empty()
+    }
+}
+
+impl fmt::Debug for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (v4, v6) = self.len();
+        write!(f, "RoutingTable({v4} v4, {v6} v6)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(egress: u16) -> RouteEntry {
+        RouteEntry { egress, next_hop: None }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RoutingTable::new();
+        t.add("0.0.0.0/0", e(0));
+        t.add("10.0.0.0/8", e(1));
+        t.add("10.1.0.0/16", e(2));
+        t.add("10.1.2.0/24", e(3));
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()).unwrap().egress, 3);
+        assert_eq!(t.lookup("10.1.9.9".parse().unwrap()).unwrap().egress, 2);
+        assert_eq!(t.lookup("10.200.0.1".parse().unwrap()).unwrap().egress, 1);
+        assert_eq!(t.lookup("8.8.8.8".parse().unwrap()).unwrap().egress, 0);
+    }
+
+    #[test]
+    fn no_default_means_no_route() {
+        let mut t = RoutingTable::new();
+        t.add("10.0.0.0/8", e(1));
+        assert!(t.lookup("8.8.8.8".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn host_routes_are_exact() {
+        let mut t = RoutingTable::new();
+        t.add("10.0.0.5/32", e(7));
+        assert_eq!(t.lookup("10.0.0.5".parse().unwrap()).unwrap().egress, 7);
+        assert!(t.lookup("10.0.0.6".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn replace_returns_old_entry() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.add_v4("10.0.0.0".parse().unwrap(), 8, e(1)), None);
+        assert_eq!(t.add_v4("10.0.0.0".parse().unwrap(), 8, e(2)), Some(e(1)));
+        assert_eq!(t.len(), (1, 0));
+    }
+
+    #[test]
+    fn remove_restores_shorter_match() {
+        let mut t = RoutingTable::new();
+        t.add("10.0.0.0/8", e(1));
+        t.add("10.1.0.0/16", e(2));
+        assert_eq!(t.lookup("10.1.0.1".parse().unwrap()).unwrap().egress, 2);
+        assert_eq!(t.remove_v4("10.1.0.0".parse().unwrap(), 16), Some(e(2)));
+        assert_eq!(t.lookup("10.1.0.1".parse().unwrap()).unwrap().egress, 1);
+        assert_eq!(t.remove_v4("10.1.0.0".parse().unwrap(), 16), None);
+    }
+
+    #[test]
+    fn v6_lookup() {
+        let mut t = RoutingTable::new();
+        t.add("2001:db8::/32", e(1));
+        t.add("2001:db8:1::/48", e(2));
+        assert_eq!(
+            t.lookup("2001:db8:1::9".parse().unwrap()).unwrap().egress,
+            2
+        );
+        assert_eq!(
+            t.lookup("2001:db8:2::9".parse().unwrap()).unwrap().egress,
+            1
+        );
+        assert!(t.lookup("2002::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let mut t = RoutingTable::new();
+        t.add("0.0.0.0/0", e(4));
+        assert!(t.lookup("2001:db8::1".parse().unwrap()).is_none());
+        t.add("::/0", e(6));
+        assert_eq!(t.lookup("2001:db8::1".parse().unwrap()).unwrap().egress, 6);
+        assert_eq!(t.lookup("9.9.9.9".parse().unwrap()).unwrap().egress, 4);
+    }
+
+    #[test]
+    fn dense_table_lookups() {
+        let mut t = RoutingTable::new();
+        for i in 0..=255u8 {
+            t.add_v4(Ipv4Addr::new(10, i, 0, 0), 16, e(i as u16));
+        }
+        assert_eq!(t.len().0, 256);
+        for i in (0..=255u8).step_by(17) {
+            let hit = t.lookup(IpAddr::V4(Ipv4Addr::new(10, i, 3, 4))).unwrap();
+            assert_eq!(hit.egress, i as u16);
+        }
+    }
+}

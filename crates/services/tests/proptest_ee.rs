@@ -1,0 +1,140 @@
+//! Property-based tests for the execution environment: capsule codec
+//! round-trips, guaranteed termination under budgets for *arbitrary*
+//! programs, and sandbox containment (no panic ever escapes the VM).
+
+use proptest::prelude::*;
+
+use netkit_services::ee::{Capsule, EeBudget, ExecutionEnv, NodeInfo, OpCode, Program};
+
+struct FakeNode;
+impl NodeInfo for FakeNode {
+    fn node_id(&self) -> u32 {
+        0x0a00_0001
+    }
+    fn now_ns(&self) -> u64 {
+        1_000_000
+    }
+    fn route_lookup(&self, dst: std::net::Ipv4Addr) -> Option<u16> {
+        (u32::from(dst) % 2 == 0).then_some(1)
+    }
+}
+
+fn opcode_strategy() -> impl Strategy<Value = OpCode> {
+    prop_oneof![
+        any::<i64>().prop_map(OpCode::Push),
+        Just(OpCode::Pop),
+        Just(OpCode::Dup),
+        Just(OpCode::Swap),
+        Just(OpCode::Add),
+        Just(OpCode::Sub),
+        Just(OpCode::Mul),
+        Just(OpCode::Div),
+        Just(OpCode::Eq),
+        Just(OpCode::Lt),
+        (0u32..64).prop_map(OpCode::Jmp),
+        (0u32..64).prop_map(OpCode::Jz),
+        (0u32..64).prop_map(OpCode::Jnz),
+        (0u8..16).prop_map(OpCode::Load),
+        (0u8..16).prop_map(OpCode::Store),
+        (0u8..8).prop_map(OpCode::PushArg),
+        (0u8..8).prop_map(OpCode::SetArg),
+        Just(OpCode::ArgCount),
+        Just(OpCode::AppendArg),
+        Just(OpCode::PushNodeId),
+        Just(OpCode::PushNow),
+        Just(OpCode::RouteLookup),
+        Just(OpCode::CachePut),
+        Just(OpCode::CacheGet),
+        Just(OpCode::Forward),
+        Just(OpCode::ForwardPort),
+        Just(OpCode::DeliverLocal),
+        Just(OpCode::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn capsule_codec_roundtrips(
+        code in proptest::collection::vec(opcode_strategy(), 1..64),
+        args in proptest::collection::vec(any::<i64>(), 0..16),
+        by_hash in any::<bool>(),
+        name in "[a-z]{1,12}",
+    ) {
+        let program = Program::new(name, code);
+        let capsule = if by_hash {
+            Capsule::by_hash(program.hash(), args.clone())
+        } else {
+            Capsule::with_code(&program, args.clone())
+        };
+        let decoded = Capsule::decode(&capsule.encode()).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &capsule);
+        prop_assert_eq!(decoded.args, args);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_junk(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Capsule::decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(
+        code in proptest::collection::vec(opcode_strategy(), 1..16),
+        args in proptest::collection::vec(any::<i64>(), 0..4),
+        cut in 1usize..32,
+    ) {
+        let program = Program::new("t", code);
+        let encoded = Capsule::with_code(&program, args).encode();
+        prop_assume!(cut < encoded.len());
+        let truncated = &encoded[..encoded.len() - cut];
+        prop_assert!(Capsule::decode(truncated).is_err(), "short input must not decode");
+    }
+
+    #[test]
+    fn arbitrary_programs_terminate_within_budget(
+        code in proptest::collection::vec(opcode_strategy(), 1..64),
+        args in proptest::collection::vec(any::<i64>(), 0..8),
+    ) {
+        let budget = EeBudget { max_instructions: 2_000, max_stack: 64, max_cache_entries: 64 };
+        let env = ExecutionEnv::new(budget);
+        let program = Program::new("fuzz", code);
+        let capsule = Capsule::with_code(&program, args);
+        // The outcome may be Ok or any EeError — but execute() must
+        // return (budget bounds every loop) and never panic.
+        match env.execute(&capsule.encode(), &FakeNode) {
+            Ok(outcome) => prop_assert!(outcome.instructions <= budget.max_instructions),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn program_hash_is_stable_and_content_sensitive(
+        code in proptest::collection::vec(opcode_strategy(), 1..32),
+    ) {
+        let a = Program::new("a", code.clone());
+        let b = Program::new("b", code.clone());
+        prop_assert_eq!(a.hash(), b.hash(), "name must not affect identity");
+        // Appending an instruction changes the hash.
+        let mut longer = code;
+        longer.push(OpCode::Halt);
+        let c = Program::new("c", longer);
+        prop_assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn executions_are_deterministic(
+        code in proptest::collection::vec(opcode_strategy(), 1..48),
+        args in proptest::collection::vec(any::<i64>(), 0..8),
+    ) {
+        let run = || {
+            let env = ExecutionEnv::new(EeBudget::default());
+            let program = Program::new("det", code.clone());
+            let capsule = Capsule::with_code(&program, args.clone());
+            match env.execute(&capsule.encode(), &FakeNode) {
+                Ok(o) => Ok((o.delivered, o.args, o.instructions,
+                             o.emitted.iter().map(|(t, b)| (*t, b.clone())).collect::<Vec<_>>())),
+                Err(e) => Err(e),
+            }
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for stratum 4: Genesis spawns on arbitrary
+//! connected substrates always yield internally-routable virtual
+//! networks with conserved shares, and RSVP admission never
+//! over-allocates a link regardless of the offered session mix.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use netkit_packet::packet::PacketBuilder;
+use netkit_signaling::genesis::{Genesis, GenesisError, VirtnetDescriptor};
+use netkit_signaling::rsvp::{FlowSpec, RsvpAgent, RsvpConfig, SessionId};
+use netkit_sim::link::LinkSpec;
+use netkit_sim::Simulator;
+
+/// A random connected adjacency: a random spanning tree plus extras.
+fn adjacency_strategy() -> impl Strategy<Value = Vec<Vec<(u16, usize)>>> {
+    (2usize..10, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut adj: Vec<Vec<(u16, usize)>> = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<(u16, usize)>>, a: usize, b: usize| {
+            let pa = adj[a].len() as u16;
+            let pb = adj[b].len() as u16;
+            adj[a].push((pa, b));
+            adj[b].push((pb, a));
+        };
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            connect(&mut adj, parent, i);
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen::<f64>() < 0.15 && !adj[a].iter().any(|(_, p)| *p == b) {
+                    connect(&mut adj, a, b);
+                }
+            }
+        }
+        adj
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spawn_over_full_substrate_routes_between_all_members(
+        adj in adjacency_strategy(),
+    ) {
+        let n = adj.len();
+        let mut g = Genesis::new(adj);
+        let members: Vec<usize> = (0..n).collect();
+        let (id, report) = g
+            .spawn(VirtnetDescriptor::new("p", Ipv4Addr::new(10, 99, 0, 0), 24), &members)
+            .expect("full substrate is connected");
+        prop_assert_eq!(report.nodes, n);
+
+        // Every member can take the first hop towards every other member:
+        // pushing a packet for dst's vaddr yields an emission on some
+        // substrate port.
+        for &src in &members {
+            for &dst in &members {
+                if src == dst {
+                    continue;
+                }
+                let vdst = g.vaddr(id, dst).expect("member has a vaddr");
+                let pkt = PacketBuilder::udp_v4(
+                    &g.vaddr(id, src).unwrap().to_string(),
+                    &vdst.to_string(),
+                    1,
+                    1,
+                )
+                .build();
+                prop_assert!(
+                    g.forward(id, src, pkt).is_some(),
+                    "node {src} cannot start towards {dst}"
+                );
+            }
+        }
+        g.teardown(id).expect("no children");
+    }
+
+    #[test]
+    fn sibling_shares_never_exceed_parent(
+        adj in adjacency_strategy(),
+        shares in proptest::collection::vec(0.05f64..0.9, 1..6),
+    ) {
+        let n = adj.len();
+        let mut g = Genesis::new(adj);
+        let members: Vec<usize> = (0..n).collect();
+        let (parent, _) = g
+            .spawn(VirtnetDescriptor::new("p", Ipv4Addr::new(10, 99, 0, 0), 24), &members)
+            .expect("connected");
+
+        let mut granted = 0.0f64;
+        for (i, share) in shares.iter().enumerate() {
+            let name = format!("c{i}");
+            let base = Ipv4Addr::new(10, 100 + i as u8, 0, 0);
+            let result = g.spawn_child(
+                parent,
+                VirtnetDescriptor::new(name, base, 24).share(*share),
+                &members,
+            );
+            if granted + share <= 1.0 + 1e-9 {
+                prop_assert!(result.is_ok(), "share {share} within remaining budget");
+                granted += share;
+            } else {
+                prop_assert!(
+                    matches!(result, Err(GenesisError::ShareExceeded { .. })),
+                    "over-committed share must be refused"
+                );
+            }
+        }
+        prop_assert!(granted <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rsvp_admission_never_overcommits_a_link(
+        demands in proptest::collection::vec(100_000u64..2_000_000, 1..12),
+        budget in 500_000u64..4_000_000,
+    ) {
+        // 3-node line; every session crosses the middle node's port 1.
+        let mut sim = Simulator::new(11);
+        let addr = |i: usize| Ipv4Addr::new(10, 0, 0, i as u8 + 1);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let agent = RsvpAgent::new(
+                addr(i),
+                RsvpConfig { refresh_ns: 1_000_000, lifetime_mult: 3, sweep_ns: 500_000 },
+            );
+            ids.push(sim.add_node(Box::new(agent)));
+        }
+        for w in ids.windows(2) {
+            sim.connect(w[0], w[1], LinkSpec::lan());
+        }
+        for i in 0..3 {
+            let left = if i == 0 { None } else { Some(0u16) };
+            let right = if i == 2 { None } else if i == 0 { Some(0u16) } else { Some(1u16) };
+            let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+            for j in 0..3 {
+                if j < i {
+                    if let Some(p) = left { agent.route(addr(j), p); }
+                } else if j > i {
+                    if let Some(p) = right { agent.route(addr(j), p); }
+                }
+            }
+            for p in [left, right].into_iter().flatten() {
+                agent.budget(p, budget);
+            }
+        }
+        for (k, bw) in demands.iter().enumerate() {
+            sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
+                SessionId(k as u64 + 1),
+                addr(2),
+                FlowSpec { bandwidth_bps: *bw },
+            );
+        }
+        // Kick the timers and let several refresh cycles run.
+        sim.inject_after(
+            ids[0],
+            0,
+            PacketBuilder::udp_v4("10.9.9.9", "10.9.9.8", 1, 1).build(),
+        );
+        sim.run_for(10_000_000);
+
+        let mid = sim.node_behaviour_mut::<RsvpAgent>(ids[1]).unwrap();
+        prop_assert!(
+            mid.allocated_on(1) <= budget,
+            "allocated {} > budget {budget}",
+            mid.allocated_on(1)
+        );
+        // Whatever was admitted is a prefix-sum-feasible subset.
+        let admitted = mid.reserved_sessions().len();
+        let feasible_all: u64 = demands.iter().sum();
+        if feasible_all <= budget {
+            prop_assert_eq!(admitted, demands.len(), "everything fits, everything admitted");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Topology builders and all-pairs next-hop computation.
+//!
+//! Each builder adds nodes (with caller-supplied behaviours) and wires
+//! them with a common [`LinkSpec`]; [`next_hops`] then computes, for every
+//! node, the egress port towards every other node over shortest paths —
+//! the piece router adapters need to fill their LPM tables.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::{LinkId, LinkSpec};
+use crate::node::{NodeBehaviour, NodeId};
+use crate::Simulator;
+
+/// The nodes and links created by a builder.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Created nodes, in builder order.
+    pub nodes: Vec<NodeId>,
+    /// Created links, in builder order.
+    pub links: Vec<LinkId>,
+}
+
+/// Supplies the behaviour for the `i`-th node of a topology.
+pub type BehaviourFactory<'a> = dyn FnMut(usize) -> Box<dyn NodeBehaviour> + 'a;
+
+/// A chain: `0 — 1 — … — n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(
+    sim: &mut Simulator,
+    n: usize,
+    spec: LinkSpec,
+    make: &mut BehaviourFactory<'_>,
+) -> Topology {
+    assert!(n > 0, "a line needs at least one node");
+    let mut topo = Topology::default();
+    for i in 0..n {
+        topo.nodes.push(sim.add_node(make(i)));
+    }
+    for w in topo.nodes.windows(2) {
+        topo.links.push(sim.connect(w[0], w[1], spec));
+    }
+    topo
+}
+
+/// A star: node 0 is the hub, nodes `1..=leaves` hang off it.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn star(
+    sim: &mut Simulator,
+    leaves: usize,
+    spec: LinkSpec,
+    make: &mut BehaviourFactory<'_>,
+) -> Topology {
+    assert!(leaves > 0, "a star needs at least one leaf");
+    let mut topo = Topology::default();
+    topo.nodes.push(sim.add_node(make(0)));
+    for i in 1..=leaves {
+        let leaf = sim.add_node(make(i));
+        topo.links.push(sim.connect(topo.nodes[0], leaf, spec));
+        topo.nodes.push(leaf);
+    }
+    topo
+}
+
+/// A dumbbell: `left` hosts on one router, `right` hosts on another, a
+/// single bottleneck link between the two routers.
+///
+/// Node order: router L (0), router R (1), left hosts, right hosts.
+///
+/// # Panics
+///
+/// Panics if either side is empty.
+pub fn dumbbell(
+    sim: &mut Simulator,
+    left: usize,
+    right: usize,
+    edge: LinkSpec,
+    bottleneck: LinkSpec,
+    make: &mut BehaviourFactory<'_>,
+) -> Topology {
+    assert!(left > 0 && right > 0, "both sides need hosts");
+    let mut topo = Topology::default();
+    let rl = sim.add_node(make(0));
+    let rr = sim.add_node(make(1));
+    topo.nodes.push(rl);
+    topo.nodes.push(rr);
+    topo.links.push(sim.connect(rl, rr, bottleneck));
+    for i in 0..left {
+        let h = sim.add_node(make(2 + i));
+        topo.links.push(sim.connect(h, rl, edge));
+        topo.nodes.push(h);
+    }
+    for i in 0..right {
+        let h = sim.add_node(make(2 + left + i));
+        topo.links.push(sim.connect(h, rr, edge));
+        topo.nodes.push(h);
+    }
+    topo
+}
+
+/// A random connected graph: a random spanning tree (guaranteeing
+/// connectivity) plus extra edges added with probability `extra_p` per
+/// node pair. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `extra_p` is outside `[0, 1]`.
+pub fn random_connected(
+    sim: &mut Simulator,
+    n: usize,
+    extra_p: f64,
+    seed: u64,
+    spec: LinkSpec,
+    make: &mut BehaviourFactory<'_>,
+) -> Topology {
+    assert!(n > 0, "need at least one node");
+    assert!((0.0..=1.0).contains(&extra_p), "probability out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut topo = Topology::default();
+    for i in 0..n {
+        topo.nodes.push(sim.add_node(make(i)));
+    }
+    // Random spanning tree: attach node i to a uniformly chosen earlier
+    // node.
+    let mut connected: Vec<(usize, usize)> = Vec::new();
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        connected.push((parent, i));
+        topo.links.push(sim.connect(topo.nodes[parent], topo.nodes[i], spec));
+    }
+    // Extra edges.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if connected.contains(&(a, b)) {
+                continue;
+            }
+            if rng.gen::<f64>() < extra_p {
+                topo.links.push(sim.connect(topo.nodes[a], topo.nodes[b], spec));
+            }
+        }
+    }
+    topo
+}
+
+/// For every node, the egress port towards every other node along a
+/// shortest path (BFS, hop metric; among equal-cost candidates the
+/// lowest-numbered port wins). `result[src][dst]` is `None` for
+/// unreachable pairs and for `src == dst`.
+pub fn next_hops(sim: &Simulator) -> Vec<Vec<Option<u16>>> {
+    let adj = sim.adjacency();
+    let n = adj.len();
+    let mut all = Vec::with_capacity(n);
+    for src in 0..n {
+        // BFS from src, remembering the first hop that discovered each
+        // node.
+        let mut first_port: Vec<Option<u16>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[src] = true;
+        let mut queue = VecDeque::new();
+        for &(port, peer) in &adj[src] {
+            if !seen[peer.0] {
+                seen[peer.0] = true;
+                first_port[peer.0] = Some(port);
+                queue.push_back(peer.0);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            for &(_, peer) in &adj[at] {
+                if !seen[peer.0] {
+                    seen[peer.0] = true;
+                    first_port[peer.0] = first_port[at];
+                    queue.push_back(peer.0);
+                }
+            }
+        }
+        all.push(first_port);
+    }
+    all
+}
+
+/// Hop distance between every pair of nodes (BFS), `None` when
+/// unreachable.
+pub fn hop_counts(sim: &Simulator) -> Vec<Vec<Option<u32>>> {
+    let adj = sim.adjacency();
+    let n = adj.len();
+    let mut all = Vec::with_capacity(n);
+    for src in 0..n {
+        let mut dist: Vec<Option<u32>> = vec![None; n];
+        dist[src] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(at) = queue.pop_front() {
+            let d = dist[at].expect("visited");
+            for &(_, peer) in &adj[at] {
+                if dist[peer.0].is_none() {
+                    dist[peer.0] = Some(d + 1);
+                    queue.push_back(peer.0);
+                }
+            }
+        }
+        all.push(dist);
+    }
+    all
+}
+
+/// The conventional address of the `i`-th simulator node in the
+/// experiments: `10.(i / 256).(i % 256).1`.
+pub fn node_addr(i: usize) -> std::net::Ipv4Addr {
+    assert!(i < 65_536, "node index too large for the addressing scheme");
+    std::net::Ipv4Addr::new(10, (i / 256) as u8, (i % 256) as u8, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeCtx, FnBehaviour};
+    use netkit_packet::packet::Packet;
+
+    fn noop() -> Box<dyn NodeBehaviour> {
+        Box::new(FnBehaviour::new("noop", |ctx: &mut NodeCtx<'_>, _, pkt: Packet| {
+            ctx.deliver_local(pkt)
+        }))
+    }
+
+    #[test]
+    fn line_has_n_minus_one_links() {
+        let mut sim = Simulator::new(1);
+        let topo = line(&mut sim, 5, LinkSpec::lan(), &mut |_| noop());
+        assert_eq!(topo.nodes.len(), 5);
+        assert_eq!(topo.links.len(), 4);
+        let dists = hop_counts(&sim);
+        assert_eq!(dists[0][4], Some(4));
+    }
+
+    #[test]
+    fn star_distances() {
+        let mut sim = Simulator::new(1);
+        let topo = star(&mut sim, 6, LinkSpec::lan(), &mut |_| noop());
+        assert_eq!(topo.nodes.len(), 7);
+        let dists = hop_counts(&sim);
+        for leaf in 1..7 {
+            assert_eq!(dists[0][leaf], Some(1));
+            assert_eq!(dists[leaf][(leaf % 6) + 1].unwrap_or(2), 2);
+        }
+    }
+
+    #[test]
+    fn dumbbell_bottleneck_is_between_routers() {
+        let mut sim = Simulator::new(1);
+        let bottleneck = LinkSpec { latency_ns: 1, bandwidth_bps: 42, queue_pkts: 1 };
+        let topo = dumbbell(&mut sim, 2, 3, LinkSpec::lan(), bottleneck, &mut |_| noop());
+        assert_eq!(topo.nodes.len(), 2 + 2 + 3);
+        // First link is the bottleneck.
+        assert_eq!(sim.link(topo.links[0]).spec().bandwidth_bps, 42);
+        let dists = hop_counts(&sim);
+        // Host on the left to host on the right: 3 hops.
+        assert_eq!(dists[2][5], Some(3));
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_deterministic() {
+        let build = |seed| {
+            let mut sim = Simulator::new(seed);
+            let topo = random_connected(&mut sim, 20, 0.1, seed, LinkSpec::lan(), &mut |_| noop());
+            let dists = hop_counts(&sim);
+            let reachable = dists[0].iter().filter(|d| d.is_some()).count();
+            (topo.links.len(), reachable)
+        };
+        let (links, reachable) = build(11);
+        assert_eq!(reachable, 20, "spanning tree guarantees connectivity");
+        assert!(links >= 19);
+        assert_eq!(build(11), build(11));
+    }
+
+    #[test]
+    fn next_hops_agree_with_distances() {
+        let mut sim = Simulator::new(1);
+        line(&mut sim, 4, LinkSpec::lan(), &mut |_| noop());
+        let hops = next_hops(&sim);
+        // Node 0's route to everything goes out its only port (0).
+        assert_eq!(hops[0][1], Some(0));
+        assert_eq!(hops[0][3], Some(0));
+        assert_eq!(hops[0][0], None);
+        // Middle node 1: port 0 leads back to 0, port 1 leads to 2 and 3.
+        assert_eq!(hops[1][0], Some(0));
+        assert_eq!(hops[1][2], Some(1));
+        assert_eq!(hops[1][3], Some(1));
+    }
+
+    #[test]
+    fn node_addresses_are_stable() {
+        assert_eq!(node_addr(0), std::net::Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(node_addr(300), std::net::Ipv4Addr::new(10, 1, 44, 1));
+    }
+}

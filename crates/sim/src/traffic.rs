@@ -1,0 +1,260 @@
+//! Synthetic traffic generators.
+//!
+//! Sources substitute for the production traces the paper's testbed would
+//! have offered (see DESIGN.md §2): what the experiments need is
+//! *controlled, reproducible load*, so every generator draws from the
+//! simulator's seeded RNG and is deterministic for a given seed.
+
+use netkit_packet::packet::{Packet, PacketBuilder};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Builds the `seq`-th packet of a flow.
+pub type PacketFactory = Box<dyn FnMut(u64) -> Packet + Send>;
+
+/// A convenience factory for a fixed-size UDP flow between two addresses.
+pub fn udp_flow(
+    src: &str,
+    dst: &str,
+    src_port: u16,
+    dst_port: u16,
+    payload: usize,
+) -> PacketFactory {
+    let src = src.to_string();
+    let dst = dst.to_string();
+    Box::new(move |_seq| {
+        PacketBuilder::udp_v4(&src, &dst, src_port, dst_port)
+            .payload_len(payload)
+            .build()
+    })
+}
+
+/// A source of timed packet injections.
+pub trait TrafficGen: Send {
+    /// Returns `(delay from the previous injection, packet)`, or `None`
+    /// when the flow is exhausted.
+    fn next(&mut self, rng: &mut SmallRng) -> Option<(u64, Packet)>;
+}
+
+/// Constant-bit-rate: one packet every `interval_ns`.
+pub struct CbrGen {
+    interval_ns: u64,
+    remaining: u64,
+    seq: u64,
+    factory: PacketFactory,
+}
+
+impl CbrGen {
+    /// `count` packets, one every `interval_ns`.
+    pub fn new(interval_ns: u64, count: u64, factory: PacketFactory) -> Self {
+        Self { interval_ns, remaining: count, seq: 0, factory }
+    }
+}
+
+impl TrafficGen for CbrGen {
+    fn next(&mut self, _rng: &mut SmallRng) -> Option<(u64, Packet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let pkt = (self.factory)(self.seq);
+        self.seq += 1;
+        Some((self.interval_ns, pkt))
+    }
+}
+
+impl std::fmt::Debug for CbrGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CbrGen(every {}ns, {} left)", self.interval_ns, self.remaining)
+    }
+}
+
+/// Poisson arrivals: exponentially distributed inter-arrival times with
+/// the given mean.
+pub struct PoissonGen {
+    mean_interval_ns: f64,
+    remaining: u64,
+    seq: u64,
+    factory: PacketFactory,
+}
+
+impl PoissonGen {
+    /// `count` packets with exponential gaps of mean `mean_interval_ns`.
+    pub fn new(mean_interval_ns: u64, count: u64, factory: PacketFactory) -> Self {
+        Self { mean_interval_ns: mean_interval_ns as f64, remaining: count, seq: 0, factory }
+    }
+}
+
+impl TrafficGen for PoissonGen {
+    fn next(&mut self, rng: &mut SmallRng) -> Option<(u64, Packet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = (-u.ln() * self.mean_interval_ns).round() as u64;
+        let pkt = (self.factory)(self.seq);
+        self.seq += 1;
+        Some((gap, pkt))
+    }
+}
+
+impl std::fmt::Debug for PoissonGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PoissonGen(mean {}ns, {} left)", self.mean_interval_ns, self.remaining)
+    }
+}
+
+/// On/off bursty traffic: geometric-length bursts at a fast interval,
+/// separated by long idle gaps.
+pub struct BurstyGen {
+    burst_interval_ns: u64,
+    idle_gap_ns: u64,
+    mean_burst_len: f64,
+    in_burst: u64,
+    remaining: u64,
+    seq: u64,
+    factory: PacketFactory,
+}
+
+impl BurstyGen {
+    /// `count` packets in bursts of geometric mean length
+    /// `mean_burst_len`, packets within a burst `burst_interval_ns`
+    /// apart, bursts separated by `idle_gap_ns`.
+    pub fn new(
+        burst_interval_ns: u64,
+        idle_gap_ns: u64,
+        mean_burst_len: f64,
+        count: u64,
+        factory: PacketFactory,
+    ) -> Self {
+        assert!(mean_burst_len >= 1.0, "bursts must average at least one packet");
+        Self {
+            burst_interval_ns,
+            idle_gap_ns,
+            mean_burst_len,
+            in_burst: 0,
+            remaining: count,
+            seq: 0,
+            factory,
+        }
+    }
+}
+
+impl TrafficGen for BurstyGen {
+    fn next(&mut self, rng: &mut SmallRng) -> Option<(u64, Packet)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = if self.in_burst > 0 {
+            self.in_burst -= 1;
+            self.burst_interval_ns
+        } else {
+            // Draw a new burst length (geometric with mean m: p = 1/m).
+            let p = 1.0 / self.mean_burst_len;
+            let mut len = 1u64;
+            while rng.gen::<f64>() > p && len < 10_000 {
+                len += 1;
+            }
+            self.in_burst = len - 1;
+            self.idle_gap_ns
+        };
+        let pkt = (self.factory)(self.seq);
+        self.seq += 1;
+        Some((gap, pkt))
+    }
+}
+
+impl std::fmt::Debug for BurstyGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BurstyGen({} left)", self.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn cbr_emits_fixed_gaps_and_count() {
+        let mut g = CbrGen::new(1000, 3, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 64));
+        let mut r = rng();
+        let mut gaps = Vec::new();
+        while let Some((gap, pkt)) = g.next(&mut r) {
+            gaps.push(gap);
+            assert_eq!(pkt.udp_payload_v4().unwrap().len(), 64);
+        }
+        assert_eq!(gaps, [1000, 1000, 1000]);
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close() {
+        let mut g = PoissonGen::new(1000, 4000, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 8));
+        let mut r = rng();
+        let mut total = 0u64;
+        let mut n = 0u64;
+        while let Some((gap, _)) = g.next(&mut r) {
+            total += gap;
+            n += 1;
+        }
+        assert_eq!(n, 4000);
+        let mean = total as f64 / n as f64;
+        assert!((800.0..1200.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let run = || {
+            let mut g = PoissonGen::new(500, 100, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 8));
+            let mut r = rng();
+            let mut gaps = Vec::new();
+            while let Some((gap, _)) = g.next(&mut r) {
+                gaps.push(gap);
+            }
+            gaps
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bursty_alternates_gaps() {
+        let mut g =
+            BurstyGen::new(10, 100_000, 5.0, 1000, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 8));
+        let mut r = rng();
+        let mut short = 0u64;
+        let mut long = 0u64;
+        while let Some((gap, _)) = g.next(&mut r) {
+            if gap == 10 {
+                short += 1;
+            } else {
+                long += 1;
+            }
+        }
+        assert_eq!(short + long, 1000);
+        assert!(long >= 100, "expected many bursts, got {long}");
+        assert!(short > long, "bursts should dominate packet count");
+    }
+
+    #[test]
+    fn factory_sequences() {
+        let mut seqs = Vec::new();
+        let mut g = CbrGen::new(
+            1,
+            3,
+            Box::new(move |seq| {
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, (seq + 1) as u16).build()
+            }),
+        );
+        let mut r = rng();
+        while let Some((_, pkt)) = g.next(&mut r) {
+            seqs.push(pkt.udp_v4().unwrap().dst_port);
+        }
+        assert_eq!(seqs, [1, 2, 3]);
+    }
+}

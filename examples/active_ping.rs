@@ -1,0 +1,226 @@
+//! Stratum 3 in action: **active networking** over the simulated
+//! network. Capsule programs (active ping, path collector) travel the
+//! topology, execute in each node's sandboxed execution environment, and
+//! carry their own state — the ANTS-style workload of paper §3.
+//!
+//! Run with: `cargo run --example active_ping`
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use netkit::services::ee::{Capsule, EeBudget, EeError, EmitTarget, ExecutionEnv, NodeInfo};
+use netkit::services::programs::{
+    active_ping, mcast_capsule_args, multicast_duplicator, path_collector, ping_capsule_args,
+};
+use netkit::sim::link::LinkSpec;
+use netkit::sim::node::{NodeBehaviour, NodeCtx};
+use netkit::sim::Simulator;
+use netkit_packet::packet::{Packet, PacketBuilder};
+
+/// A sim node hosting an execution environment. Active packets execute;
+/// everything else is dropped (this example network carries only
+/// capsules).
+struct EeNode {
+    addr: Ipv4Addr,
+    env: ExecutionEnv,
+    routes: std::collections::HashMap<Ipv4Addr, u16>,
+    delivered: Arc<std::sync::Mutex<Vec<Vec<i64>>>>,
+    now: Arc<std::sync::atomic::AtomicU64>,
+}
+
+struct EeNodeInfo<'a> {
+    addr: Ipv4Addr,
+    now: u64,
+    routes: &'a std::collections::HashMap<Ipv4Addr, u16>,
+}
+
+impl NodeInfo for EeNodeInfo<'_> {
+    fn node_id(&self) -> u32 {
+        u32::from(self.addr)
+    }
+    fn now_ns(&self) -> u64 {
+        self.now
+    }
+    fn route_lookup(&self, dst: Ipv4Addr) -> Option<u16> {
+        self.routes.get(&dst).copied()
+    }
+}
+
+impl EeNode {
+    fn new(addr: Ipv4Addr) -> (Self, Arc<std::sync::Mutex<Vec<Vec<i64>>>>) {
+        let delivered = Arc::new(std::sync::Mutex::new(Vec::new()));
+        (
+            Self {
+                addr,
+                env: ExecutionEnv::new(EeBudget::default()),
+                routes: std::collections::HashMap::new(),
+                delivered: Arc::clone(&delivered),
+                now: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            },
+            delivered,
+        )
+    }
+}
+
+impl NodeBehaviour for EeNode {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _ingress: u16, pkt: Packet) {
+        self.now.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        let Ok(payload) = pkt.udp_payload_v4().map(<[u8]>::to_vec) else {
+            ctx.drop_packet(pkt);
+            return;
+        };
+        let info = EeNodeInfo {
+            addr: self.addr,
+            now: ctx.now().as_nanos(),
+            routes: &self.routes,
+        };
+        match self.env.execute(&payload, &info) {
+            Ok(outcome) => {
+                if outcome.delivered {
+                    self.delivered.lock().unwrap().push(outcome.args.clone());
+                    ctx.deliver_local(pkt);
+                } else {
+                    drop(pkt);
+                }
+                for (target, bytes) in outcome.emitted {
+                    let out_pkt = |dst: Ipv4Addr| {
+                        PacketBuilder::udp_v4(&self.addr.to_string(), &dst.to_string(), 3322, 3322)
+                            .payload(&bytes)
+                            .build()
+                    };
+                    match target {
+                        EmitTarget::Dst(dst) => {
+                            if let Some(&port) = self.routes.get(&dst) {
+                                ctx.emit(port, out_pkt(dst));
+                            }
+                        }
+                        EmitTarget::Port(p) => ctx.emit(p, out_pkt(self.addr)),
+                    }
+                }
+            }
+            Err(EeError::CodeMiss { hash }) => {
+                eprintln!("node {}: code miss for {hash:#x} (capsule dropped)", self.addr);
+                ctx.drop_packet(pkt);
+            }
+            Err(e) => {
+                eprintln!("node {}: capsule fault contained: {e}", self.addr);
+                ctx.drop_packet(pkt);
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        "ee-node"
+    }
+}
+
+fn addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, i as u8 + 1)
+}
+
+fn main() {
+    // A 5-node line: 10.0.0.1 — … — 10.0.0.5.
+    let n = 5;
+    let mut sim = Simulator::new(42);
+    let mut handles = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let (node, delivered) = EeNode::new(addr(i));
+        ids.push(sim.add_node(Box::new(node)));
+        handles.push(delivered);
+    }
+    for w in ids.windows(2) {
+        sim.connect(w[0], w[1], LinkSpec::lan());
+    }
+    // Host routes along the line.
+    for i in 0..n {
+        let node_id = ids[i];
+        let left = (i > 0).then_some(0u16);
+        let right = (i + 1 < n).then(|| if i == 0 { 0u16 } else { 1u16 });
+        let behaviour = sim.node_behaviour_mut::<EeNode>(node_id).unwrap();
+        for j in 0..n {
+            if j < i {
+                if let Some(p) = left {
+                    behaviour.routes.insert(addr(j), p);
+                }
+            } else if j > i {
+                if let Some(p) = right {
+                    behaviour.routes.insert(addr(j), p);
+                }
+            }
+        }
+    }
+
+    // Pre-load the programs on every node (out-of-band code
+    // distribution; the first capsule could equally carry its own code).
+    let ping = active_ping();
+    let collector = path_collector();
+    let mcast = multicast_duplicator();
+    for &id in &ids {
+        let node = sim.node_behaviour_mut::<EeNode>(id).unwrap();
+        node.env.install(ping.clone());
+        node.env.install(collector.clone());
+        node.env.install(mcast.clone());
+    }
+
+    // 1. Active ping from node 0 to node 4.
+    let capsule = Capsule::by_hash(ping.hash(), ping_capsule_args(addr(4), addr(0), 0));
+    let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.1", 3322, 3322)
+        .payload(&capsule.encode())
+        .build();
+    sim.inject_after(ids[0], 0, pkt);
+
+    // 2. Path collector from node 0 to node 3.
+    let capsule = Capsule::by_hash(collector.hash(), vec![u32::from(addr(3)) as i64]);
+    let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.1", 3322, 3322)
+        .payload(&capsule.encode())
+        .build();
+    sim.inject_after(ids[0], 1_000, pkt);
+
+    // 3. Multicast duplicator from node 2 to nodes {0, 3, 4}.
+    let capsule = Capsule::by_hash(
+        mcast.hash(),
+        mcast_capsule_args(&[addr(0), addr(3), addr(4)]),
+    );
+    let pkt = PacketBuilder::udp_v4("10.0.0.3", "10.0.0.3", 3322, 3322)
+        .payload(&capsule.encode())
+        .build();
+    sim.inject_after(ids[2], 2_000, pkt);
+
+    let stats = sim.run_to_idle().clone();
+    println!("simulation: {stats}");
+
+    // Report deliveries.
+    let ping_result: Option<Vec<i64>> = {
+        let deliveries = handles[0].lock().unwrap();
+        // The ping delivery carries [dst, origin, phase, sent_at, rtt].
+        deliveries.iter().find(|args| args.len() == 5).cloned()
+    };
+    match &ping_result {
+        Some(args) => println!(
+            "\nactive ping returned to node 1: rtt = {} ns (virtual)",
+            args[4]
+        ),
+        None => println!("\nactive ping did not return"),
+    }
+
+    for (i, h) in handles.iter().enumerate() {
+        for args in h.lock().unwrap().iter() {
+            if args.len() > 2 && args[0] == u32::from(addr(3)) as i64 {
+                let path: Vec<String> = args[1..]
+                    .iter()
+                    .map(|a| Ipv4Addr::from(*a as u32).to_string())
+                    .collect();
+                println!("path collector delivered at node {}: {}", i + 1, path.join(" -> "));
+            }
+        }
+    }
+
+    let mcast_receivers: Vec<usize> = handles
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.lock().unwrap().iter().any(|args| args.first() == Some(&1)))
+        .map(|(i, _)| i + 1)
+        .collect();
+    println!("multicast copies delivered at nodes: {mcast_receivers:?}");
+}

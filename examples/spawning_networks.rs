@@ -1,0 +1,168 @@
+//! Stratum 4 in action: **spawning networks** (Genesis) and **RSVP-style
+//! reservations** — "out-of-band signaling protocols that perform
+//! distributed coordination and (re)configuration of the lower strata"
+//! (paper §3), with each virtual network realised as per-node virtual
+//! routers built from real Router-CF components (paper §7).
+//!
+//! Run with: `cargo run --example spawning_networks`
+
+use std::net::Ipv4Addr;
+
+use netkit::router::api::IPacketPull;
+use netkit::signaling::genesis::{Genesis, VirtnetDescriptor};
+use netkit::signaling::rsvp::{FlowSpec, RsvpAgent, RsvpConfig, RsvpEvent, SessionId};
+use netkit::sim::link::LinkSpec;
+use netkit::sim::Simulator;
+use netkit_packet::packet::PacketBuilder;
+
+fn addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, i as u8 + 1)
+}
+
+fn main() {
+    // ---- Part 1: Genesis spawning over a 6-node line substrate --------
+    let n = 6;
+    let adjacency: Vec<Vec<(u16, usize)>> = (0..n)
+        .map(|i| {
+            let mut links = Vec::new();
+            if i > 0 {
+                links.push((0u16, i - 1));
+            }
+            if i + 1 < n {
+                links.push((if i > 0 { 1u16 } else { 0u16 }, i + 1));
+            }
+            links
+        })
+        .collect();
+
+    let mut genesis = Genesis::new(adjacency);
+
+    // A "gold" virtnet over all six nodes with 70% of the links, and a
+    // "best-effort" one over the middle four with the rest.
+    let (gold, gold_report) = genesis
+        .spawn(
+            VirtnetDescriptor::new("gold", Ipv4Addr::new(10, 99, 0, 0), 24).share(0.7),
+            &[0, 1, 2, 3, 4, 5],
+        )
+        .expect("gold spawns");
+    let (be, be_report) = genesis
+        .spawn(
+            VirtnetDescriptor::new("best-effort", Ipv4Addr::new(10, 77, 0, 0), 24).share(0.3),
+            &[1, 2, 3, 4],
+        )
+        .expect("best-effort spawns");
+
+    println!("spawned `gold`:       {gold_report:?}");
+    println!("spawned `best-effort`: {be_report:?}");
+
+    // A child virtnet nested inside gold (Genesis nesting).
+    let (child, child_report) = genesis
+        .spawn_child(
+            gold,
+            VirtnetDescriptor::new("gold-video", Ipv4Addr::new(10, 88, 0, 0), 24).share(0.5),
+            &[2, 3, 4],
+        )
+        .expect("child spawns");
+    println!("spawned nested `gold-video`: {child_report:?}");
+    println!(
+        "effective shares: gold={:.2} best-effort={:.2} gold-video={:.2}",
+        genesis.effective_share(gold).unwrap(),
+        genesis.effective_share(be).unwrap(),
+        genesis.effective_share(child).unwrap(),
+    );
+
+    // Traffic inside each virtnet routes on *virtual* addresses; the
+    // shared substrate port is drained by one WFQ link scheduler.
+    let pkt_gold = PacketBuilder::udp_v4("10.99.0.2", "10.99.0.5", 5, 5).build();
+    let (port, _) = genesis.forward(gold, 1, pkt_gold).expect("gold forwards");
+    println!("gold packet at node 1 leaves on substrate port {port}");
+
+    let pkt_be = PacketBuilder::udp_v4("10.77.0.1", "10.77.0.4", 5, 5).build();
+    let (port, _) = genesis.forward(be, 1, pkt_be).expect("best-effort forwards");
+    println!("best-effort packet at node 1 leaves on substrate port {port}");
+
+    // Show the shared scheduler interleaving both virtnets by share.
+    let sched = genesis.link_scheduler(1, 1).expect("shared scheduler");
+    genesis
+        .router(gold, 1)
+        .unwrap()
+        .push(PacketBuilder::udp_v4("10.99.0.2", "10.99.0.5", 1, 1).build())
+        .unwrap();
+    genesis
+        .router(be, 1)
+        .unwrap()
+        .push(PacketBuilder::udp_v4("10.77.0.1", "10.77.0.4", 1, 1).build())
+        .unwrap();
+    let mut served = 0;
+    while sched.pull().is_some() {
+        served += 1;
+    }
+    println!("shared WFQ link scheduler drained {served} packets from 2 virtnets");
+
+    // Teardown: children first (the controller refuses otherwise).
+    assert!(genesis.teardown(gold).is_err(), "children must go first");
+    genesis.teardown(child).unwrap();
+    genesis.teardown(gold).unwrap();
+    genesis.teardown(be).unwrap();
+    println!("virtnets torn down cleanly\n");
+
+    // ---- Part 2: RSVP reservation over the simulated network ----------
+    let hops = 4;
+    let mut sim = Simulator::new(7);
+    let mut ids = Vec::new();
+    for i in 0..=hops {
+        let agent = RsvpAgent::new(addr(i), RsvpConfig::default());
+        ids.push(sim.add_node(Box::new(agent)));
+    }
+    for w in ids.windows(2) {
+        sim.connect(w[0], w[1], LinkSpec::lan());
+    }
+    for i in 0..=hops {
+        let left = (i > 0).then_some(0u16);
+        let right = (i < hops).then(|| if i == 0 { 0u16 } else { 1u16 });
+        let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+        for j in 0..=hops {
+            if j < i {
+                if let Some(p) = left {
+                    agent.route(addr(j), p);
+                }
+            } else if j > i {
+                if let Some(p) = right {
+                    agent.route(addr(j), p);
+                }
+            }
+        }
+        for p in [left, right].into_iter().flatten() {
+            agent.budget(p, 10_000_000); // 10 Mbit/s reservable per port
+        }
+    }
+
+    let session = SessionId(1);
+    sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
+        session,
+        addr(hops),
+        FlowSpec { bandwidth_bps: 2_000_000 },
+    );
+    // Kick the sender's timers with any packet.
+    sim.inject_after(
+        ids[0],
+        0,
+        PacketBuilder::udp_v4("10.9.9.9", "10.9.9.8", 1, 1).build(),
+    );
+    sim.run_for(200_000_000);
+
+    let sender = sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap();
+    let events = sender.take_events();
+    println!("sender events: {events:?}");
+    assert!(events.contains(&RsvpEvent::Established(session)));
+    for (i, &id) in ids.iter().enumerate().skip(1).take(hops - 1) {
+        let agent = sim.node_behaviour_mut::<RsvpAgent>(id).unwrap();
+        println!(
+            "node {}: reserved sessions {:?}, {} bps allocated towards the receiver",
+            i + 1,
+            agent.reserved_sessions(),
+            agent.allocated_on(1),
+        );
+    }
+    println!("reservation established over {hops} hops");
+}

@@ -1,0 +1,66 @@
+//! # NETKIT-RS — reflective middleware-based programmable networking
+//!
+//! A Rust reproduction of *"Reflective Middleware-based Programmable
+//! Networking"* (Coulson, Blair, Gomes, Joolia, Lee, Ueyama, Ye —
+//! Lancaster University; 2nd Intl. Workshop on Reflective and Adaptive
+//! Middleware, Middleware 2003).
+//!
+//! The paper proposes building **every stratum** of a programmable
+//! network node — OS support, in-band packet functions, active-network
+//! services, and out-of-band signaling — from one reflective,
+//! fine-grained component model (**OpenCOM**) structured by **component
+//! frameworks** (CFs). This workspace rebuilds that stack:
+//!
+//! | Stratum (paper Fig. 1) | Crate | What's inside |
+//! |---|---|---|
+//! | — component model | [`opencom`] | components, receptacles, `bind`, capsules, CFs, four meta-models (architecture, interface, interception, resources), registry, isolation |
+//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated NICs, IXP1200 placement model |
+//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), Fig-2 interfaces (`IPacketPush`/`IPacketPull`/`IClassifier`), Fig-3 composites with controllers, the element library, LPM routing |
+//! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters |
+//! | 4 coordination | [`signaling`] | RSVP-style reservations, Genesis-style spawning networks |
+//! | comparators | [`baselines`] | Click-like static router, monolithic forwarder |
+//! | substrate | [`sim`] | deterministic discrete-event network simulator |
+//!
+//! See `DESIGN.md` for the full system inventory and experiment index,
+//! and `EXPERIMENTS.md` for paper-claim vs. measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netkit::opencom::capsule::Capsule;
+//! use netkit::opencom::cf::Principal;
+//! use netkit::opencom::runtime::Runtime;
+//! use netkit::packet::packet::PacketBuilder;
+//! use netkit::router::api::{register_packet_interfaces, IPacketPush, IPACKET_PUSH};
+//! use netkit::router::cf::RouterCf;
+//! use netkit::router::elements::{ClassifierEngine, Discard};
+//!
+//! let rt = Runtime::new();
+//! register_packet_interfaces(&rt);
+//! let capsule = Capsule::new("node", &rt);
+//! let cf = RouterCf::new("router", Arc::clone(&capsule));
+//! let sys = Principal::system();
+//!
+//! let cls = capsule.adopt(ClassifierEngine::new())?;
+//! let sink = capsule.adopt(Discard::new())?;
+//! cf.plug(&sys, cls)?;
+//! cf.plug(&sys, sink)?;
+//! cf.bind(&sys, cls, "out", "default", sink, IPACKET_PUSH)?;
+//!
+//! let input: Arc<dyn IPacketPush> =
+//!     capsule.query_interface(cls, IPACKET_PUSH)?.downcast().unwrap();
+//! input.push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 5, 7).build()).unwrap();
+//! # Ok::<(), netkit::opencom::error::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use netkit_baselines as baselines;
+pub use netkit_kernel as kernel;
+pub use netkit_packet as packet;
+pub use netkit_router as router;
+pub use netkit_services as services;
+pub use netkit_signaling as signaling;
+pub use netkit_sim as sim;
+pub use opencom;

@@ -1,0 +1,195 @@
+//! **E4 correctness companion** — run-time reconfiguration must be
+//! *safe*, not just fast: no packet loss across hot swaps, CF rules
+//! re-checked after dynamic change, media filters adapting mid-flow, and
+//! version evolution through the registry.
+
+use std::sync::Arc;
+
+use netkit::opencom::capsule::{Capsule, Quiescence};
+use netkit::opencom::cf::Principal;
+use netkit::opencom::component::Component;
+use netkit::opencom::ident::Version;
+use netkit::opencom::runtime::Runtime;
+use netkit::packet::packet::PacketBuilder;
+use netkit::router::api::{register_packet_interfaces, IPacketPush, IPACKET_PUSH};
+use netkit::router::cf::RouterCf;
+use netkit::router::elements::{Counter, Discard};
+use netkit::services::media::{annotate_gop, DropLevel, FrameDropFilter};
+
+fn setup() -> (Arc<Runtime>, Arc<Capsule>, RouterCf) {
+    let rt = Runtime::new();
+    register_packet_interfaces(&rt);
+    let capsule = Capsule::new("reconf", &rt);
+    let cf = RouterCf::new("router", Arc::clone(&capsule));
+    (rt, capsule, cf)
+}
+
+#[test]
+fn no_loss_across_a_thousand_swaps() {
+    let (_rt, capsule, cf) = setup();
+    let sys = Principal::system();
+
+    // chain: c0 -> c1 -> c2 -> sink
+    let mut stages = Vec::new();
+    for _ in 0..3 {
+        let id = capsule.adopt(Counter::new()).unwrap();
+        cf.plug(&sys, id).unwrap();
+        stages.push(id);
+    }
+    let sink = Discard::new();
+    let sink_id = capsule.adopt(sink.clone()).unwrap();
+    cf.plug(&sys, sink_id).unwrap();
+    cf.bind(&sys, stages[0], "out", "", stages[1], IPACKET_PUSH).unwrap();
+    cf.bind(&sys, stages[1], "out", "", stages[2], IPACKET_PUSH).unwrap();
+    cf.bind(&sys, stages[2], "out", "", sink_id, IPACKET_PUSH).unwrap();
+
+    let entry: Arc<dyn IPacketPush> =
+        capsule.query_interface(stages[0], IPACKET_PUSH).unwrap().downcast().unwrap();
+
+    let mut victim = stages[1];
+    let mut sent = 0u64;
+    for round in 0..1000u64 {
+        // Swap the middle element every iteration, alternating modes.
+        let mode = if round % 2 == 0 { Quiescence::PerEdge } else { Quiescence::FullGraph };
+        let fresh = capsule.adopt(Counter::new()).unwrap();
+        cf.plug(&sys, fresh).unwrap();
+        capsule.replace(victim, fresh, mode).unwrap();
+        cf.unplug(&sys, victim).unwrap();
+        victim = fresh;
+
+        for i in 0..4u16 {
+            entry
+                .push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.9", i, 80).build())
+                .unwrap();
+            sent += 1;
+        }
+    }
+    assert_eq!(sink.count(), sent, "every packet survived 1000 hot swaps");
+    // Graph size is stable (old components really are destroyed).
+    assert_eq!(capsule.arch().component_count(), 4);
+}
+
+#[test]
+fn cf_rules_hold_across_dynamic_interface_changes() {
+    let (_rt, capsule, cf) = setup();
+    let sys = Principal::system();
+    let sink = Discard::new();
+    let id = capsule.adopt(sink.clone()).unwrap();
+    cf.plug(&sys, id).unwrap();
+    cf.recheck().unwrap();
+
+    // Dynamically retracting the packet interface breaks rule R1 (a
+    // Discard has no packet receptacles to fall back on); the CF's
+    // re-check must catch it ("as long as the CF's rules remain
+    // satisfied").
+    sink.core().retract_interface(IPACKET_PUSH).unwrap();
+    assert!(cf.recheck().is_err());
+}
+
+#[test]
+fn media_filter_adapts_mid_flow_without_rewiring() {
+    let (_rt, capsule, _cf) = setup();
+    let filter = FrameDropFilter::new();
+    let fid = capsule.adopt(filter.clone()).unwrap();
+    let sink = Discard::new();
+    let sid = capsule.adopt(sink.clone()).unwrap();
+    capsule.bind(fid, "out", "", sid, IPACKET_PUSH).unwrap();
+
+    let send = |range: std::ops::Range<u64>| {
+        for seq in range {
+            let mut pkt = PacketBuilder::udp_v4("192.0.2.1", "203.0.113.9", 5004, 5004)
+                .payload_len(100)
+                .build();
+            annotate_gop(&mut pkt, seq, 9);
+            filter.push(pkt).unwrap();
+        }
+    };
+
+    // Full quality: 9/9 frames pass.
+    send(0..9);
+    assert_eq!(sink.count(), 9);
+    // Congestion: adapt to B-drop (6 of 9 are B).
+    filter.set_level(DropLevel::DropB);
+    send(9..18);
+    assert_eq!(sink.count(), 12);
+    // Emergency: I-frames only.
+    filter.set_level(DropLevel::DropBP);
+    send(18..27);
+    assert_eq!(sink.count(), 13);
+    // Recovery.
+    filter.set_level(DropLevel::None);
+    send(27..36);
+    assert_eq!(sink.count(), 22);
+}
+
+#[test]
+fn registry_supports_side_by_side_versions_and_evolution() {
+    let (rt, capsule, cf) = setup();
+    let sys = Principal::system();
+
+    // A pass-through stage whose descriptor carries an explicit version.
+    use netkit::opencom::component::{ComponentCore, ComponentDescriptor, Registrar};
+    use netkit::opencom::receptacle::Receptacle;
+    struct Stage {
+        core: ComponentCore,
+        out: Receptacle<dyn IPacketPush>,
+    }
+    impl Stage {
+        fn make(version: Version) -> Arc<dyn Component> {
+            Arc::new(Self {
+                core: ComponentCore::new(ComponentDescriptor::new("app.Stage", version)),
+                out: Receptacle::single("out", IPACKET_PUSH),
+            })
+        }
+    }
+    impl IPacketPush for Stage {
+        fn push(&self, pkt: netkit::packet::packet::Packet) -> netkit::router::api::PushResult {
+            self.out
+                .with_bound(|next| next.push(pkt))
+                .unwrap_or(Err(netkit::router::api::PushError::Unbound))
+        }
+    }
+    impl Component for Stage {
+        fn core(&self) -> &ComponentCore {
+            &self.core
+        }
+        fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+            let p: Arc<dyn IPacketPush> = self.clone();
+            reg.expose(IPACKET_PUSH, &p);
+            reg.receptacle(&self.out);
+        }
+    }
+
+    // v1 and v2 of the same deployable type coexist in the registry
+    // ("managed software evolution", paper §1).
+    rt.registry().register(
+        "app.Stage",
+        Version::new(1, 0, 0),
+        Box::new(|| Stage::make(Version::new(1, 0, 0))),
+    );
+    rt.registry().register(
+        "app.Stage",
+        Version::new(2, 0, 0),
+        Box::new(|| Stage::make(Version::new(2, 0, 0))),
+    );
+
+    let v1 = capsule.instantiate_version("app.Stage", Version::new(1, 0, 0)).unwrap();
+    cf.plug(&sys, v1).unwrap();
+    let sink = capsule.adopt(Discard::new()).unwrap();
+    cf.plug(&sys, sink).unwrap();
+    cf.bind(&sys, v1, "out", "", sink, IPACKET_PUSH).unwrap();
+
+    // Default instantiation resolves to the newest version.
+    let v2 = capsule.instantiate("app.Stage").unwrap();
+    cf.plug(&sys, v2).unwrap();
+    assert_eq!(
+        capsule.component(v2).unwrap().core().descriptor().version,
+        Version::new(2, 0, 0)
+    );
+
+    // Evolve the live pipeline from v1 to v2.
+    capsule.replace(v1, v2, Quiescence::PerEdge).unwrap();
+    let entry: Arc<dyn IPacketPush> =
+        capsule.query_interface(v2, IPACKET_PUSH).unwrap().downcast().unwrap();
+    entry.push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.9", 1, 2).build()).unwrap();
+}
