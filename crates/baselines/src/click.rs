@@ -52,7 +52,10 @@ impl fmt::Display for ClickError {
 impl std::error::Error for ClickError {}
 
 fn err(line: usize, message: impl Into<String>) -> ClickError {
-    ClickError { line, message: message.into() }
+    ClickError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// One classifier rule: pattern → named output.
@@ -78,8 +81,14 @@ impl Rule {
             }
         }
         if let Some((net, len)) = self.dst {
-            let std::net::IpAddr::V4(v4) = flow.dst else { return false };
-            let mask = if len == 0 { 0 } else { !(u32::MAX >> len.min(32)) };
+            let std::net::IpAddr::V4(v4) = flow.dst else {
+                return false;
+            };
+            let mask = if len == 0 {
+                0
+            } else {
+                !(u32::MAX >> len.min(32))
+            };
             if (u32::from(v4) & mask) != (u32::from(net) & mask) {
                 return false;
             }
@@ -97,12 +106,26 @@ impl Rule {
 /// baseline).
 #[derive(Debug)]
 enum ElementKind {
-    Counter { count: Mutex<u64> },
-    Discard { count: Mutex<u64> },
-    Queue { cap: usize, buf: Mutex<VecDeque<Packet>>, drops: Mutex<u64> },
-    DecTtl { expired: Mutex<u64> },
-    Classifier { rules: Vec<Rule> },
-    Tee { n: usize },
+    Counter {
+        count: Mutex<u64>,
+    },
+    Discard {
+        count: Mutex<u64>,
+    },
+    Queue {
+        cap: usize,
+        buf: Mutex<VecDeque<Packet>>,
+        drops: Mutex<u64>,
+    },
+    DecTtl {
+        expired: Mutex<u64>,
+    },
+    Classifier {
+        rules: Vec<Rule>,
+    },
+    Tee {
+        n: usize,
+    },
 }
 
 /// A compiled element.
@@ -181,7 +204,11 @@ impl ClickRouter {
                     }
                     let kind = Self::parse_class(line_no, decl.trim())?;
                     by_name.insert(name.to_string(), elements.len());
-                    elements.push(Element { name: name.to_string(), kind, out: Vec::new() });
+                    elements.push(Element {
+                        name: name.to_string(),
+                        kind,
+                        out: Vec::new(),
+                    });
                 } else if stmt.contains("->") {
                     let parts: Vec<&str> = stmt.split("->").map(str::trim).collect();
                     if parts.len() < 2 {
@@ -207,12 +234,7 @@ impl ClickRouter {
                             Some((d, _)) => d.trim(),
                             None => w[1],
                         };
-                        connections.push((
-                            line_no,
-                            src.to_string(),
-                            label,
-                            dst.to_string(),
-                        ));
+                        connections.push((line_no, src.to_string(), label, dst.to_string()));
                     }
                 } else {
                     return Err(err(line_no, format!("unparseable statement `{stmt}`")));
@@ -272,14 +294,21 @@ impl ClickRouter {
             None => (decl.trim(), ""),
         };
         match class {
-            "Counter" => Ok(ElementKind::Counter { count: Mutex::new(0) }),
-            "Discard" => Ok(ElementKind::Discard { count: Mutex::new(0) }),
-            "DecTtl" => Ok(ElementKind::DecTtl { expired: Mutex::new(0) }),
+            "Counter" => Ok(ElementKind::Counter {
+                count: Mutex::new(0),
+            }),
+            "Discard" => Ok(ElementKind::Discard {
+                count: Mutex::new(0),
+            }),
+            "DecTtl" => Ok(ElementKind::DecTtl {
+                expired: Mutex::new(0),
+            }),
             "Queue" => {
                 let cap: usize = if args.is_empty() {
                     64
                 } else {
-                    args.parse().map_err(|_| err(line, format!("bad queue size `{args}`")))?
+                    args.parse()
+                        .map_err(|_| err(line, format!("bad queue size `{args}`")))?
                 };
                 if cap == 0 {
                     return Err(err(line, "queue capacity must be positive"));
@@ -294,7 +323,8 @@ impl ClickRouter {
                 let n: usize = if args.is_empty() {
                     2
                 } else {
-                    args.parse().map_err(|_| err(line, format!("bad tee count `{args}`")))?
+                    args.parse()
+                        .map_err(|_| err(line, format!("bad tee count `{args}`")))?
                 };
                 Ok(ElementKind::Tee { n })
             }
@@ -321,7 +351,13 @@ impl ClickRouter {
             return Err(err(line, "empty classifier rule"));
         }
         let output = (*tokens.last().expect("non-empty")).to_string();
-        let mut rule = Rule { protocol: None, dscp: None, dst: None, dport: None, output };
+        let mut rule = Rule {
+            protocol: None,
+            dscp: None,
+            dst: None,
+            dport: None,
+            output,
+        };
         let mut i = 0;
         while i + 1 < tokens.len() {
             match tokens[i] {
@@ -348,15 +384,19 @@ impl ClickRouter {
                         .split_once('/')
                         .ok_or_else(|| err(line, "dst prefix must be A.B.C.D/L"))?;
                     rule.dst = Some((
-                        addr.parse().map_err(|_| err(line, format!("bad address `{addr}`")))?,
-                        len.parse().map_err(|_| err(line, format!("bad prefix len `{len}`")))?,
+                        addr.parse()
+                            .map_err(|_| err(line, format!("bad address `{addr}`")))?,
+                        len.parse()
+                            .map_err(|_| err(line, format!("bad prefix len `{len}`")))?,
                     ));
                 }
                 tok if tok.contains('-') && tok != "-" => {
                     let (lo, hi) = tok.split_once('-').expect("checked");
                     rule.dport = Some((
-                        lo.parse().map_err(|_| err(line, format!("bad port `{lo}`")))?,
-                        hi.parse().map_err(|_| err(line, format!("bad port `{hi}`")))?,
+                        lo.parse()
+                            .map_err(|_| err(line, format!("bad port `{lo}`")))?,
+                        hi.parse()
+                            .map_err(|_| err(line, format!("bad port `{hi}`")))?,
                     ));
                 }
                 other => return Err(err(line, format!("unknown rule token `{other}`"))),
@@ -384,8 +424,29 @@ impl ClickRouter {
     /// Panics on an unknown entry element (a config/test bug, not a
     /// run-time input).
     pub fn push(&self, entry: &str, pkt: Packet) {
-        let idx = *self.by_name.get(entry).unwrap_or_else(|| panic!("no element `{entry}`"));
+        let idx = *self
+            .by_name
+            .get(entry)
+            .unwrap_or_else(|| panic!("no element `{entry}`"));
         self.run(idx, pkt);
+    }
+
+    /// Pushes a burst of packets into the named element: the entry is
+    /// resolved once and each packet then walks the static graph. This is
+    /// the baseline's analogue of the component router's `push_batch`,
+    /// keeping the E6 batch-size series apples-to-apples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown entry element.
+    pub fn push_batch(&self, entry: &str, pkts: impl IntoIterator<Item = Packet>) {
+        let idx = *self
+            .by_name
+            .get(entry)
+            .unwrap_or_else(|| panic!("no element `{entry}`"));
+        for pkt in pkts {
+            self.run(idx, pkt);
+        }
     }
 
     fn run(&self, mut idx: usize, mut pkt: Packet) {
@@ -428,7 +489,9 @@ impl ClickRouter {
                 }
                 ElementKind::Classifier { rules } => {
                     let dscp = pkt.ipv4().map(|ip| ip.dscp).unwrap_or(0);
-                    let Some(flow) = FlowKey::from_packet(&pkt) else { return };
+                    let Some(flow) = FlowKey::from_packet(&pkt) else {
+                        return;
+                    };
                     let Some(rule) = rules.iter().find(|r| r.matches(&flow, dscp)) else {
                         return; // unmatched: silently dropped (Click's default port absent)
                     };
@@ -539,17 +602,26 @@ mod tests {
     #[test]
     fn dec_ttl_drops_expired() {
         let router = ClickRouter::compile("t :: DecTtl; s :: Discard; t -> s;").unwrap();
-        router.push("t", PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(1).build());
-        router.push("t", PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(64).build());
+        router.push(
+            "t",
+            PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+                .ttl(1)
+                .build(),
+        );
+        router.push(
+            "t",
+            PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+                .ttl(64)
+                .build(),
+        );
         assert_eq!(router.count("s"), Some(1), "only the live packet survives");
     }
 
     #[test]
     fn tee_duplicates() {
-        let router = ClickRouter::compile(
-            "t :: Tee(2); a :: Counter; b :: Counter; t -> a; t -> b;",
-        )
-        .unwrap();
+        let router =
+            ClickRouter::compile("t :: Tee(2); a :: Counter; b :: Counter; t -> a; t -> b;")
+                .unwrap();
         router.push("t", udp(1));
         assert_eq!(router.count("a"), Some(1));
         assert_eq!(router.count("b"), Some(1));
@@ -563,9 +635,20 @@ mod tests {
              cls [ef] -> ef; cls [net] -> net; cls [rest] -> rest;",
         )
         .unwrap();
-        router.push("cls", PacketBuilder::udp_v4("10.0.0.1", "10.2.0.2", 1, 2).dscp(46).build());
-        router.push("cls", PacketBuilder::udp_v4("10.0.0.1", "10.1.9.9", 1, 2).build());
-        router.push("cls", PacketBuilder::udp_v4("10.0.0.1", "10.2.0.2", 1, 2).build());
+        router.push(
+            "cls",
+            PacketBuilder::udp_v4("10.0.0.1", "10.2.0.2", 1, 2)
+                .dscp(46)
+                .build(),
+        );
+        router.push(
+            "cls",
+            PacketBuilder::udp_v4("10.0.0.1", "10.1.9.9", 1, 2).build(),
+        );
+        router.push(
+            "cls",
+            PacketBuilder::udp_v4("10.0.0.1", "10.2.0.2", 1, 2).build(),
+        );
         assert_eq!(router.count("ef"), Some(1));
         assert_eq!(router.count("net"), Some(1));
         assert_eq!(router.count("rest"), Some(1));
@@ -603,25 +686,24 @@ mod tests {
         assert!(ClickRouter::compile("q :: Queue(zero);").is_err());
         assert!(ClickRouter::compile("q :: Queue(0);").is_err());
         assert!(ClickRouter::compile("c :: Classifier();").is_err());
-        assert!(ClickRouter::compile("c :: Classifier(dscp x out); o :: Discard; c [out] -> o;")
-            .is_err());
+        assert!(
+            ClickRouter::compile("c :: Classifier(dscp x out); o :: Discard; c [out] -> o;")
+                .is_err()
+        );
     }
 
     #[test]
     fn error_dangling_classifier_output() {
-        let e = ClickRouter::compile(
-            "cls :: Classifier(udp a, any b); qa :: Queue(1); cls [a] -> qa;",
-        )
-        .unwrap_err();
+        let e =
+            ClickRouter::compile("cls :: Classifier(udp a, any b); qa :: Queue(1); cls [a] -> qa;")
+                .unwrap_err();
         assert!(e.message.contains("output `b` is not connected"), "{e}");
     }
 
     #[test]
     fn error_unknown_classifier_output_in_connection() {
-        let e = ClickRouter::compile(
-            "cls :: Classifier(any a); q :: Queue(1); cls [nope] -> q;",
-        )
-        .unwrap_err();
+        let e = ClickRouter::compile("cls :: Classifier(any a); q :: Queue(1); cls [nope] -> q;")
+            .unwrap_err();
         assert!(e.message.contains("no output `nope`"), "{e}");
     }
 

@@ -120,6 +120,62 @@ impl MonolithicForwarder {
         Ok(egress)
     }
 
+    /// The data path over a burst: per-packet results identical to
+    /// repeated [`Self::forward`] calls, with the stats lock taken once
+    /// per burst instead of once per packet — the monolithic analogue of
+    /// the component router's `push_batch`, used by the E6 batch series.
+    pub fn forward_batch(
+        &self,
+        pkts: impl IntoIterator<Item = Packet>,
+    ) -> Vec<Result<u16, DropReason>> {
+        let mut results = Vec::new();
+        let mut delta = ForwarderStats::default();
+        for mut pkt in pkts {
+            let outcome = (|| {
+                let header = match pkt.ipv4() {
+                    Ok(h) => h,
+                    Err(_) => {
+                        delta.malformed += 1;
+                        return Err(DropReason::Malformed);
+                    }
+                };
+                let Some(entry) = self.routes.lookup(header.dst.into()) else {
+                    delta.no_route += 1;
+                    return Err(DropReason::NoRoute);
+                };
+                let egress = entry.egress;
+                if egress as usize >= self.queues.len() {
+                    delta.no_route += 1;
+                    return Err(DropReason::NoRoute);
+                }
+                let alive = matches!(
+                    Ipv4Header::decrement_ttl_in_place(pkt.l3_mut()),
+                    Ok(ttl) if ttl > 0
+                );
+                if !alive {
+                    delta.ttl_expired += 1;
+                    return Err(DropReason::TtlExpired);
+                }
+                let mut queue = self.queues[egress as usize].lock();
+                if queue.len() >= self.queue_cap {
+                    delta.queue_full += 1;
+                    return Err(DropReason::QueueFull);
+                }
+                queue.push_back(pkt);
+                delta.forwarded += 1;
+                Ok(egress)
+            })();
+            results.push(outcome);
+        }
+        let mut stats = self.stats.lock();
+        stats.forwarded += delta.forwarded;
+        stats.malformed += delta.malformed;
+        stats.ttl_expired += delta.ttl_expired;
+        stats.no_route += delta.no_route;
+        stats.queue_full += delta.queue_full;
+        results
+    }
+
     /// Drains one packet from an egress queue.
     pub fn drain(&self, port: u16) -> Option<Packet> {
         self.queues.get(port as usize)?.lock().pop_front()
@@ -144,9 +200,27 @@ mod tests {
 
     fn forwarder() -> MonolithicForwarder {
         let mut routes = RoutingTable::new();
-        routes.add("10.1.0.0/16", RouteEntry { egress: 0, next_hop: None });
-        routes.add("10.2.0.0/16", RouteEntry { egress: 1, next_hop: None });
-        routes.add("10.2.3.0/24", RouteEntry { egress: 2, next_hop: None });
+        routes.add(
+            "10.1.0.0/16",
+            RouteEntry {
+                egress: 0,
+                next_hop: None,
+            },
+        );
+        routes.add(
+            "10.2.0.0/16",
+            RouteEntry {
+                egress: 1,
+                next_hop: None,
+            },
+        );
+        routes.add(
+            "10.2.3.0/24",
+            RouteEntry {
+                egress: 2,
+                next_hop: None,
+            },
+        );
         MonolithicForwarder::new(routes, 3, 16)
     }
 
@@ -178,7 +252,11 @@ mod tests {
             Err(DropReason::NoRoute)
         );
         assert_eq!(
-            f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2).ttl(1).build()),
+            f.forward(
+                PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2)
+                    .ttl(1)
+                    .build()
+            ),
             Err(DropReason::TtlExpired)
         );
         let mut junk = Packet::from_slice(&[0u8; 10]);
@@ -191,7 +269,13 @@ mod tests {
     #[test]
     fn queue_full_backpressure() {
         let mut routes = RoutingTable::new();
-        routes.add("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None });
+        routes.add(
+            "10.0.0.0/8",
+            RouteEntry {
+                egress: 0,
+                next_hop: None,
+            },
+        );
         let f = MonolithicForwarder::new(routes, 1, 2);
         let pkt = || PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build();
         assert!(f.forward(pkt()).is_ok());
@@ -204,7 +288,12 @@ mod tests {
     #[test]
     fn ttl_decrement_is_visible_downstream() {
         let f = forwarder();
-        f.forward(PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2).ttl(9).build()).unwrap();
+        f.forward(
+            PacketBuilder::udp_v4("10.0.0.1", "10.1.0.1", 1, 2)
+                .ttl(9)
+                .build(),
+        )
+        .unwrap();
         let out = f.drain(0).unwrap();
         assert_eq!(out.ipv4().unwrap().ttl, 8);
     }

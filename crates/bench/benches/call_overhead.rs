@@ -42,14 +42,22 @@ fn bench(c: &mut Criterion) {
     // 2. one dynamic-dispatch call on a trait object (bare vtable).
     let sink: Arc<dyn IPacketPush> = Discard::new();
     group.bench_function("trait_object", |b| {
-        b.iter_batched(|| pkt.clone(), |p| sink.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| sink.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     // 3. the reconfigurable path: Counter element → receptacle → Discard
     // (receptacle read-lock + vtable per hop).
     let rig = netkit_chain(1).expect("rig");
     group.bench_function("receptacle", |b| {
-        b.iter_batched(|| pkt.clone(), |p| rig.entry.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| rig.entry.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     // 4. the fused path: resolve the binding's raw target once
@@ -64,7 +72,11 @@ fn bench(c: &mut Criterion) {
         .downcast()
         .unwrap();
     group.bench_function("fused", |b| {
-        b.iter_batched(|| pkt.clone(), |p| fused.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| fused.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     // 5. the same edge with one no-op interceptor spliced in.
@@ -79,7 +91,11 @@ fn bench(c: &mut Criterion) {
         .downcast()
         .unwrap();
     group.bench_function("intercepted_1", |b| {
-        b.iter_batched(|| pkt.clone(), |p| entry2.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| entry2.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     // 6. out-of-capsule: marshalling proxy into an isolated host.
@@ -90,11 +106,20 @@ fn bench(c: &mut Criterion) {
         Box::new(|| PushSkeleton::new(Discard::new())),
     );
     let capsule = Capsule::new("iso", &rt);
-    let iso = capsule.instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH]).unwrap();
-    let proxy: Arc<dyn IPacketPush> =
-        capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+    let iso = capsule
+        .instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH])
+        .unwrap();
+    let proxy: Arc<dyn IPacketPush> = capsule
+        .query_interface(iso, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
     group.bench_function("isolated_ipc", |b| {
-        b.iter_batched(|| pkt.clone(), |p| proxy.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| proxy.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     group.finish();

@@ -30,10 +30,14 @@ fn classifier_with_rules(rules: usize) -> (Arc<ClassifierEngine>, Arc<Capsule>) 
     let cid = capsule.adopt(classifier.clone()).unwrap();
     let sink = Discard::new();
     let sid = capsule.adopt(sink).unwrap();
-    capsule.bind(cid, "out", "match", sid, IPACKET_PUSH).unwrap();
+    capsule
+        .bind(cid, "out", "match", sid, IPACKET_PUSH)
+        .unwrap();
     let sink2 = Discard::new();
     let sid2 = capsule.adopt(sink2).unwrap();
-    capsule.bind(cid, "out", "default", sid2, IPACKET_PUSH).unwrap();
+    capsule
+        .bind(cid, "out", "default", sid2, IPACKET_PUSH)
+        .unwrap();
 
     // rules-1 non-matching filters (each on a distinct dst /32 that the
     // packet misses), then one catch-all.

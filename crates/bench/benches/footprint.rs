@@ -38,18 +38,42 @@ fn full_router() -> Arc<Capsule> {
     let classifier = capsule.adopt(ClassifierEngine::new()).unwrap();
     let q_voice = capsule.adopt(DropTailQueue::new(256)).unwrap();
     let q_bulk = capsule.adopt(DropTailQueue::new(1024)).unwrap();
-    let sched = capsule.adopt(WfqScheduler::new(&[("voice", 4.0), ("bulk", 1.0)])).unwrap();
+    let sched = capsule
+        .adopt(WfqScheduler::new(&[("voice", 4.0), ("bulk", 1.0)]))
+        .unwrap();
     let counter = capsule.adopt(Counter::new()).unwrap();
     let sink = capsule.adopt(Discard::new()).unwrap();
-    for id in [recogniser, classifier, q_voice, q_bulk, sched, counter, sink] {
+    for id in [
+        recogniser, classifier, q_voice, q_bulk, sched, counter, sink,
+    ] {
         cf.plug(&sys, id).unwrap();
     }
-    cf.bind(&sys, recogniser, "out", "ipv4", classifier, IPACKET_PUSH).unwrap();
-    cf.bind(&sys, classifier, "out", "voice", q_voice, IPACKET_PUSH).unwrap();
-    cf.bind(&sys, classifier, "out", "bulk", q_bulk, IPACKET_PUSH).unwrap();
-    cf.bind(&sys, sched, "in", "voice", q_voice, netkit_router::api::IPACKET_PULL).unwrap();
-    cf.bind(&sys, sched, "in", "bulk", q_bulk, netkit_router::api::IPACKET_PULL).unwrap();
-    cf.bind(&sys, counter, "out", "", sink, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, recogniser, "out", "ipv4", classifier, IPACKET_PUSH)
+        .unwrap();
+    cf.bind(&sys, classifier, "out", "voice", q_voice, IPACKET_PUSH)
+        .unwrap();
+    cf.bind(&sys, classifier, "out", "bulk", q_bulk, IPACKET_PUSH)
+        .unwrap();
+    cf.bind(
+        &sys,
+        sched,
+        "in",
+        "voice",
+        q_voice,
+        netkit_router::api::IPACKET_PULL,
+    )
+    .unwrap();
+    cf.bind(
+        &sys,
+        sched,
+        "in",
+        "bulk",
+        q_bulk,
+        netkit_router::api::IPACKET_PULL,
+    )
+    .unwrap();
+    cf.bind(&sys, counter, "out", "", sink, IPACKET_PUSH)
+        .unwrap();
     capsule
 }
 
@@ -58,20 +82,25 @@ fn report() {
 
     // Bespoke minimal configuration: one counter into a discard.
     let minimal = netkit_chain(1).expect("rig");
-    eprintln!("minimal_forwarder(1 stage + sink): {:>8}", minimal.capsule.footprint_bytes());
+    eprintln!(
+        "minimal_forwarder(1 stage + sink): {:>8}",
+        minimal.capsule.footprint_bytes()
+    );
 
     // Marginal cost per component/binding: difference between chains.
     let c8 = netkit_chain(8).expect("rig");
     let c16 = netkit_chain(16).expect("rig");
-    let marginal =
-        (c16.capsule.footprint_bytes() - c8.capsule.footprint_bytes()) as f64 / 8.0;
+    let marginal = (c16.capsule.footprint_bytes() - c8.capsule.footprint_bytes()) as f64 / 8.0;
     eprintln!("chain8:  {:>8}", c8.capsule.footprint_bytes());
     eprintln!("chain16: {:>8}", c16.capsule.footprint_bytes());
     eprintln!("marginal_per_stage: {marginal:>8.0}");
 
     // The full diffserv router.
     let full = full_router();
-    eprintln!("full_router(7 elements, 6 bindings): {:>8}", full.footprint_bytes());
+    eprintln!(
+        "full_router(7 elements, 6 bindings): {:>8}",
+        full.footprint_bytes()
+    );
 
     // A composite wraps the same content plus controller + CF.
     let rt = Runtime::new();
@@ -91,8 +120,10 @@ fn report() {
         "composite(classifier+queue+controller): {:>8}",
         opencom::component::Component::footprint_bytes(composite.as_ref())
     );
-    eprintln!("ratio full/minimal: {:.1}x", full.footprint_bytes() as f64
-        / minimal.capsule.footprint_bytes() as f64);
+    eprintln!(
+        "ratio full/minimal: {:.1}x",
+        full.footprint_bytes() as f64 / minimal.capsule.footprint_bytes() as f64
+    );
 }
 
 fn bench(c: &mut Criterion) {

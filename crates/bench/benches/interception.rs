@@ -34,7 +34,11 @@ fn bench(c: &mut Criterion) {
             .downcast()
             .unwrap();
         group.bench_with_input(BenchmarkId::new("hooks", hooks), &hooks, |b, _| {
-            b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || pkt.clone(),
+                |p| entry.push(p).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
 
@@ -60,7 +64,11 @@ fn bench(c: &mut Criterion) {
         .downcast()
         .unwrap();
     group.bench_function("counting_hook", |b| {
-        b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| entry.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     // Un-intercepting restores the raw path: measure after removal.
@@ -76,7 +84,11 @@ fn bench(c: &mut Criterion) {
         .downcast()
         .unwrap();
     group.bench_function("after_unintercept", |b| {
-        b.iter_batched(|| pkt.clone(), |p| entry.push(p).unwrap(), BatchSize::SmallInput)
+        b.iter_batched(
+            || pkt.clone(),
+            |p| entry.push(p).unwrap(),
+            BatchSize::SmallInput,
+        )
     });
 
     group.finish();

@@ -64,18 +64,28 @@ impl Component for Grenade {
 fn setup() -> (Arc<Capsule>, Arc<dyn IPacketPush>, Arc<dyn IPacketPush>) {
     let rt = Runtime::new();
     register_packet_interfaces(&rt);
-    rt.isolation()
-        .register_skeleton("bench.IsolatedSink", Box::new(|| PushSkeleton::new(Discard::new())));
+    rt.isolation().register_skeleton(
+        "bench.IsolatedSink",
+        Box::new(|| PushSkeleton::new(Discard::new())),
+    );
     let capsule = Capsule::new("e5", &rt);
 
     let in_proc = Discard::new();
     let in_id = capsule.adopt(in_proc).unwrap();
-    let in_push: Arc<dyn IPacketPush> =
-        capsule.query_interface(in_id, IPACKET_PUSH).unwrap().downcast().unwrap();
+    let in_push: Arc<dyn IPacketPush> = capsule
+        .query_interface(in_id, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
 
-    let iso = capsule.instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH]).unwrap();
-    let iso_push: Arc<dyn IPacketPush> =
-        capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+    let iso = capsule
+        .instantiate_isolated("bench.IsolatedSink", &[IPACKET_PUSH])
+        .unwrap();
+    let iso_push: Arc<dyn IPacketPush> = capsule
+        .query_interface(iso, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
     (capsule, in_push, iso_push)
 }
 
@@ -88,11 +98,19 @@ fn bench(c: &mut Criterion) {
     for payload in [64usize, 1400] {
         let pkt = test_packet_sized(payload);
         group.bench_function(format!("in_capsule_{payload}B"), |b| {
-            b.iter_batched(|| pkt.clone(), |p| in_push.push(p).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || pkt.clone(),
+                |p| in_push.push(p).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
         let pkt = test_packet_sized(payload);
         group.bench_function(format!("isolated_{payload}B"), |b| {
-            b.iter_batched(|| pkt.clone(), |p| iso_push.push(p).unwrap(), BatchSize::SmallInput)
+            b.iter_batched(
+                || pkt.clone(),
+                |p| iso_push.push(p).unwrap(),
+                BatchSize::SmallInput,
+            )
         });
     }
 
@@ -101,12 +119,19 @@ fn bench(c: &mut Criterion) {
     {
         let rt = Runtime::new();
         register_packet_interfaces(&rt);
-        rt.isolation()
-            .register_skeleton("bench.Grenade", Box::new(|| PushSkeleton::new(Grenade::new())));
+        rt.isolation().register_skeleton(
+            "bench.Grenade",
+            Box::new(|| PushSkeleton::new(Grenade::new())),
+        );
         let capsule = Capsule::new("e5-crash", &rt);
-        let iso = capsule.instantiate_isolated("bench.Grenade", &[IPACKET_PUSH]).unwrap();
-        let push: Arc<dyn IPacketPush> =
-            capsule.query_interface(iso, IPACKET_PUSH).unwrap().downcast().unwrap();
+        let iso = capsule
+            .instantiate_isolated("bench.Grenade", &[IPACKET_PUSH])
+            .unwrap();
+        let push: Arc<dyn IPacketPush> = capsule
+            .query_interface(iso, IPACKET_PUSH)
+            .unwrap()
+            .downcast()
+            .unwrap();
         let control = capsule.isolation_control(iso).expect("isolated");
 
         let mut boom = test_packet();

@@ -27,7 +27,10 @@ fn report() {
     let mut manual_best: Option<Placement> = None;
     for (name, policy) in [
         ("all_strongarm", PlacementPolicy::AllStrongArm),
-        ("round_robin_uengines", PlacementPolicy::RoundRobinMicroengines),
+        (
+            "round_robin_uengines",
+            PlacementPolicy::RoundRobinMicroengines,
+        ),
         ("load_balanced (CF auto)", PlacementPolicy::LoadBalanced),
     ] {
         let placement = model.place(&spec, &policy);

@@ -22,8 +22,10 @@ fn bench(c: &mut Criterion) {
     let sys = Principal::system();
 
     // (a) hot replacement latency, per quiescence mode.
-    for (label, mode) in [("replace_per_edge", Quiescence::PerEdge),
-                          ("replace_full_graph", Quiescence::FullGraph)] {
+    for (label, mode) in [
+        ("replace_per_edge", Quiescence::PerEdge),
+        ("replace_full_graph", Quiescence::FullGraph),
+    ] {
         let rig = netkit_chain(6).expect("rig");
         let mut victim = rig.stages[3];
         group.bench_function(label, |b| {
@@ -41,13 +43,19 @@ fn bench(c: &mut Criterion) {
     // multi-cardinality, so extra taps are legal).
     {
         let rig = netkit_chain(2).expect("rig");
-        let cls = rig.capsule.adopt(netkit_router::elements::ClassifierEngine::new()).unwrap();
+        let cls = rig
+            .capsule
+            .adopt(netkit_router::elements::ClassifierEngine::new())
+            .unwrap();
         rig.cf.plug(&sys, cls).unwrap();
         let tap = rig.capsule.adopt(Discard::new()).unwrap();
         rig.cf.plug(&sys, tap).unwrap();
         group.bench_function("bind_unbind", |b| {
             b.iter(|| {
-                let id = rig.cf.bind(&sys, cls, "out", "tap", tap, IPACKET_PUSH).unwrap();
+                let id = rig
+                    .cf
+                    .bind(&sys, cls, "out", "tap", tap, IPACKET_PUSH)
+                    .unwrap();
                 rig.cf.unbind(&sys, id).unwrap();
             })
         });
@@ -56,18 +64,22 @@ fn bench(c: &mut Criterion) {
     // (c) forwarding with a hot swap every 64 packets; throughput should
     // stay within a small factor of the undisturbed pipeline and the
     // sink must see every packet.
-    for (label, swap_every) in [("forward_undisturbed", usize::MAX), ("forward_swap_each_64", 64)]
-    {
+    for (label, swap_every) in [
+        ("forward_undisturbed", usize::MAX),
+        ("forward_swap_each_64", 64),
+    ] {
         let rig = netkit_chain(6).expect("rig");
         let mut victim = rig.stages[3];
         let mut sent: u64 = 0;
         let mut i = 0usize;
         group.bench_with_input(BenchmarkId::new(label, 64), &swap_every, |b, &every| {
             b.iter(|| {
-                if every != usize::MAX && i % every == 0 {
+                if every != usize::MAX && i.is_multiple_of(every) {
                     let fresh = rig.capsule.adopt(Counter::new()).unwrap();
                     rig.cf.plug(&sys, fresh).unwrap();
-                    rig.capsule.replace(victim, fresh, Quiescence::PerEdge).unwrap();
+                    rig.capsule
+                        .replace(victim, fresh, Quiescence::PerEdge)
+                        .unwrap();
                     rig.cf.unplug(&sys, victim).unwrap();
                     victim = fresh;
                 }

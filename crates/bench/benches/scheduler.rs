@@ -13,8 +13,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use netkit_packet::packet::PacketBuilder;
 use netkit_router::api::{register_packet_interfaces, IPacketPull, IPacketPush, IPACKET_PULL};
-use netkit_router::elements::{DropTailQueue, DrrScheduler, PriorityScheduler, Scheduler,
-                              WfqScheduler};
+use netkit_router::elements::{
+    DropTailQueue, DrrScheduler, PriorityScheduler, Scheduler, WfqScheduler,
+};
 use opencom::capsule::Capsule;
 use opencom::runtime::Runtime;
 
@@ -31,7 +32,9 @@ fn rig(
     for i in 0..inputs {
         let q = DropTailQueue::new(backlog + 1);
         let qid = capsule.adopt(q.clone()).unwrap();
-        capsule.bind(sid, "in", &format!("q{i}"), qid, IPACKET_PULL).unwrap();
+        capsule
+            .bind(sid, "in", &format!("q{i}"), qid, IPACKET_PULL)
+            .unwrap();
         for s in 0..backlog {
             q.push(
                 PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", s as u16, i as u16)
@@ -96,24 +99,23 @@ fn bench(c: &mut Criterion) {
     for inputs in [2usize, 8, 32] {
         for (name, make) in [
             ("priority", PriorityScheduler::new as fn() -> Arc<Scheduler>),
-            ("drr", (|| DrrScheduler::new(1500.0)) as fn() -> Arc<Scheduler>),
+            (
+                "drr",
+                (|| DrrScheduler::new(1500.0)) as fn() -> Arc<Scheduler>,
+            ),
             ("wfq", (|| WfqScheduler::new(&[])) as fn() -> Arc<Scheduler>),
         ] {
             let sched = make();
             let (queues, _capsule) = rig(sched.clone(), inputs, 64);
             let mut pulled = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(name, inputs),
-                &inputs,
-                |b, _| {
-                    b.iter(|| {
-                        if sched.pull().is_none() {
-                            refill(&queues);
-                        }
-                        pulled += 1;
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, inputs), &inputs, |b, _| {
+                b.iter(|| {
+                    if sched.pull().is_none() {
+                        refill(&queues);
+                    }
+                    pulled += 1;
+                })
+            });
         }
     }
     group.finish();

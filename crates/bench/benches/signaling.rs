@@ -29,14 +29,18 @@ fn rsvp_line(sim: &mut Simulator, n: usize) -> Vec<NodeId> {
     for i in 0..n {
         let agent = RsvpAgent::new(
             addr(i),
-            RsvpConfig { refresh_ns: 5_000_000, lifetime_mult: 3, sweep_ns: 1_000_000 },
+            RsvpConfig {
+                refresh_ns: 5_000_000,
+                lifetime_mult: 3,
+                sweep_ns: 1_000_000,
+            },
         );
         ids.push(sim.add_node(Box::new(agent)));
     }
     for w in ids.windows(2) {
         sim.connect(w[0], w[1], LinkSpec::lan());
     }
-    for i in 0..n {
+    for (i, &node) in ids.iter().enumerate() {
         let left = if i == 0 { None } else { Some(0u16) };
         let right = if i == n - 1 {
             None
@@ -45,7 +49,7 @@ fn rsvp_line(sim: &mut Simulator, n: usize) -> Vec<NodeId> {
         } else {
             Some(1u16)
         };
-        let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+        let agent = sim.node_behaviour_mut::<RsvpAgent>(node).unwrap();
         for j in 0..n {
             if j < i {
                 if let Some(p) = left {
@@ -69,11 +73,15 @@ fn rsvp_setup_ns(hops: usize) -> u64 {
     let mut sim = Simulator::new(17);
     let ids = rsvp_line(&mut sim, hops + 1);
     let session = SessionId(1);
-    sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-        session,
-        addr(hops),
-        FlowSpec { bandwidth_bps: 1_000_000 },
-    );
+    sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+        .unwrap()
+        .open_session(
+            session,
+            addr(hops),
+            FlowSpec {
+                bandwidth_bps: 1_000_000,
+            },
+        );
     // Kick the sender so its refresh timer arms at t=0.
     sim.inject_after(
         ids[0],
@@ -84,7 +92,10 @@ fn rsvp_setup_ns(hops: usize) -> u64 {
     while sim.now().as_nanos() < deadline {
         sim.run_for(100_000);
         let sender = sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap();
-        if sender.take_events().contains(&RsvpEvent::Established(session)) {
+        if sender
+            .take_events()
+            .contains(&RsvpEvent::Established(session))
+        {
             return sim.now().as_nanos();
         }
     }
@@ -111,7 +122,10 @@ fn report() {
     eprintln!("\n== E8 signaling report ==");
     for hops in [2usize, 4, 8, 16] {
         let ns = rsvp_setup_ns(hops);
-        eprintln!("rsvp_setup {hops:>2} hops: {:>9.3} ms (virtual)", ns as f64 / 1e6);
+        eprintln!(
+            "rsvp_setup {hops:>2} hops: {:>9.3} ms (virtual)",
+            ns as f64 / 1e6
+        );
     }
     for nodes in [4usize, 16, 64] {
         let mut g = Genesis::new(line_adjacency(nodes));

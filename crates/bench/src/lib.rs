@@ -77,7 +77,14 @@ pub fn netkit_chain(n: usize) -> Result<PipelineRig> {
         .query_interface(head, IPACKET_PUSH)?
         .downcast()
         .expect("counter exports IPacketPush");
-    Ok(PipelineRig { capsule, cf, entry, head, stages, sink })
+    Ok(PipelineRig {
+        capsule,
+        cf,
+        entry,
+        head,
+        stages,
+        sink,
+    })
 }
 
 /// The equivalent Click configuration: `n` Counter stages into a
@@ -107,7 +114,10 @@ pub fn routing_table(n: usize, ports: u16) -> RoutingTable {
         let c = (i & 0xff) as u8;
         table.add(
             &format!("10.{b}.{c}.0/24"),
-            RouteEntry { egress: (i as u16) % ports, next_hop: None },
+            RouteEntry {
+                egress: (i as u16) % ports,
+                next_hop: None,
+            },
         );
     }
     table

@@ -116,7 +116,9 @@ pub struct LotteryPolicy {
 impl LotteryPolicy {
     /// Creates a lottery scheduler with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -210,7 +212,13 @@ impl Executor {
 
     /// Registers a task; returns its id (shared with the resources
     /// meta-model's task namespace).
-    pub fn spawn(&self, name: impl Into<String>, priority: u8, weight: u32, work: WorkFn) -> TaskId {
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        priority: u8,
+        weight: u32,
+        work: WorkFn,
+    ) -> TaskId {
         let id = TaskId::next();
         let mut inner = self.inner.lock();
         inner.tasks.insert(
@@ -265,7 +273,12 @@ impl Executor {
             .map(|t| t.view)
             .collect();
         let pool: Vec<TaskView> = if runnable.is_empty() {
-            inner.order.iter().filter_map(|id| inner.tasks.get(id)).map(|t| t.view).collect()
+            inner
+                .order
+                .iter()
+                .filter_map(|id| inner.tasks.get(id))
+                .map(|t| t.view)
+                .collect()
         } else {
             runnable
         };
@@ -416,10 +429,15 @@ mod tests {
         let exec = Executor::new(Box::new(FifoPolicy));
         let ran = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let ran2 = std::sync::Arc::clone(&ran);
-        exec.spawn("once", 0, 1, Box::new(move || {
-            ran2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            (TaskStatus::Done, 5)
-        }));
+        exec.spawn(
+            "once",
+            0,
+            1,
+            Box::new(move || {
+                ran2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                (TaskStatus::Done, 5)
+            }),
+        );
         assert_eq!(exec.task_count(), 1);
         exec.run_slice();
         assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 1);

@@ -117,7 +117,12 @@ pub struct StageProfile {
 impl StageProfile {
     /// Creates a stage profile with no memory references or state.
     pub fn new(name: impl Into<String>, compute_cycles: u64) -> Self {
-        Self { name: name.into(), compute_cycles, mem_refs: Vec::new(), state: None }
+        Self {
+            name: name.into(),
+            compute_cycles,
+            mem_refs: Vec::new(),
+            state: None,
+        }
     }
 
     /// Adds `count` references to `region` per packet (builder-style).
@@ -424,7 +429,10 @@ mod tests {
         let lb = model.place(&spec, &PlacementPolicy::LoadBalanced);
         let rr_t = model.evaluate(&spec, &rr).unwrap().throughput_pps;
         let lb_t = model.evaluate(&spec, &lb).unwrap().throughput_pps;
-        assert!(lb_t >= rr_t * 0.95, "greedy ({lb_t}) must not lose badly to rr ({rr_t})");
+        assert!(
+            lb_t >= rr_t * 0.95,
+            "greedy ({lb_t}) must not lose badly to rr ({rr_t})"
+        );
     }
 
     #[test]
@@ -458,16 +466,17 @@ mod tests {
         let spec = PipelineSpec::new().stage(StageProfile::new("a", 10));
         let short = Placement { assignment: vec![] };
         assert!(model.validate(&spec, &short).is_err());
-        let bad_me = Placement { assignment: vec![Processor::Microengine(9)] };
+        let bad_me = Placement {
+            assignment: vec![Processor::Microengine(9)],
+        };
         assert!(model.validate(&spec, &bad_me).is_err());
     }
 
     #[test]
     fn validate_rejects_oversized_state() {
         let model = IxpModel::new();
-        let spec = PipelineSpec::new().stage(
-            StageProfile::new("fat", 1).state(MemoryRegion::Scratchpad, 64 * 1024),
-        );
+        let spec = PipelineSpec::new()
+            .stage(StageProfile::new("fat", 1).state(MemoryRegion::Scratchpad, 64 * 1024));
         let p = model.place(&spec, &PlacementPolicy::AllStrongArm);
         let err = model.evaluate(&spec, &p).unwrap_err();
         assert!(matches!(err, Error::ResourceExhausted { .. }));
@@ -487,6 +496,10 @@ mod tests {
         let report = model.evaluate(&spec, &split).unwrap();
         let expected = 200e6 / 240.0; // 200 MHz / (200 compute + 40 handoff)
         let ratio = report.throughput_pps / expected;
-        assert!((0.99..=1.01).contains(&ratio), "got {}", report.throughput_pps);
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "got {}",
+            report.throughput_pps
+        );
     }
 }

@@ -47,7 +47,11 @@ pub struct MemoryAccountant {
 impl MemoryAccountant {
     /// Creates an accountant with a global `capacity` in bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, total_used: Mutex::new(0), accounts: Mutex::new(HashMap::new()) }
+        Self {
+            capacity,
+            total_used: Mutex::new(0),
+            accounts: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Sets (or updates) the quota for `owner`. A quota of `u64::MAX`
@@ -144,7 +148,10 @@ mod tests {
         let b = TaskId::next();
         mem.allocate(a, 60).unwrap();
         let err = mem.allocate(b, 60).unwrap_err();
-        assert!(matches!(err, Error::ResourceExhausted { available: 40, .. }));
+        assert!(matches!(
+            err,
+            Error::ResourceExhausted { available: 40, .. }
+        ));
         assert_eq!(mem.total_used(), 60);
     }
 

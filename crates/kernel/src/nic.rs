@@ -121,6 +121,15 @@ impl Nic {
         self.rx.lock().pop_front()
     }
 
+    /// Takes up to `max` received frames under one ring lock — the
+    /// poll-mode-driver burst receive that the batch dataplane API rides
+    /// on. Frame order matches repeated [`Self::poll_rx`] calls.
+    pub fn rx_burst(&self, max: usize) -> Vec<Bytes> {
+        let mut rx = self.rx.lock();
+        let take = max.min(rx.len());
+        rx.drain(..take).collect()
+    }
+
     /// Frames currently waiting in the rx ring.
     pub fn rx_pending(&self) -> usize {
         self.rx.lock().len()
@@ -134,10 +143,36 @@ impl Nic {
             self.tx_dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        self.tx_bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.tx_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         tx.push_back(frame);
         self.tx_frames.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Queues a burst of frames for transmission under one ring lock.
+    /// Frames are accepted in order until the ring fills; the remainder
+    /// are dropped and counted, exactly as per-frame [`Self::send_tx`]
+    /// calls would. Returns the number of frames accepted.
+    pub fn tx_burst(&self, frames: impl IntoIterator<Item = Bytes>) -> usize {
+        let mut tx = self.tx.lock();
+        let mut accepted = 0usize;
+        let mut accepted_bytes = 0u64;
+        let mut dropped = 0u64;
+        for frame in frames {
+            if tx.len() >= self.tx_capacity {
+                dropped += 1;
+            } else {
+                accepted += 1;
+                accepted_bytes += frame.len() as u64;
+                tx.push_back(frame);
+            }
+        }
+        drop(tx);
+        self.tx_frames.fetch_add(accepted as u64, Ordering::Relaxed);
+        self.tx_bytes.fetch_add(accepted_bytes, Ordering::Relaxed);
+        self.tx_dropped.fetch_add(dropped, Ordering::Relaxed);
+        accepted
     }
 
     /// Takes the next frame to put on the wire (called by the wire side).
@@ -212,7 +247,7 @@ mod tests {
     #[test]
     fn serialisation_delay_matches_link_rate() {
         let nic = Nic::new(PortId(0), 1, 1, 1_000_000_000); // 1 Gbps
-        // 1500 bytes = 12000 bits = 12 us at 1 Gbps.
+                                                            // 1500 bytes = 12000 bits = 12 us at 1 Gbps.
         assert_eq!(nic.tx_nanos_for(1500), 12_000);
         let slow = Nic::new(PortId(1), 1, 1, 10_000_000); // 10 Mbps
         assert_eq!(slow.tx_nanos_for(1500), 1_200_000);

@@ -120,12 +120,10 @@ impl VirtualClock {
     pub fn advance_to(&self, to: SimTime) -> SimTime {
         let mut cur = self.nanos.load(Ordering::Acquire);
         while to.0 > cur {
-            match self.nanos.compare_exchange_weak(
-                cur,
-                to.0,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .nanos
+                .compare_exchange_weak(cur, to.0, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return to,
                 Err(actual) => cur = actual,
             }
@@ -182,7 +180,9 @@ impl TimerQueue {
     pub fn arm(&self, deadline: SimTime) -> TimerId {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let id = TimerId(seq);
-        self.heap.lock().push(Reverse(PendingTimer { deadline, seq, id }));
+        self.heap
+            .lock()
+            .push(Reverse(PendingTimer { deadline, seq, id }));
         id
     }
 

@@ -65,8 +65,12 @@ where
     F: Fn(&BindRequest) -> Result<()> + Send + Sync + 'static,
 {
     /// Creates a named constraint from a closure.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(name: impl Into<String>, check: F) -> Arc<dyn BindConstraint> {
-        Arc::new(Self { name: name.into(), check })
+        Arc::new(Self {
+            name: name.into(),
+            check,
+        })
     }
 }
 
@@ -171,7 +175,9 @@ impl ConstraintSet {
                 cs.remove(idx);
                 Ok(())
             }
-            None => Err(Error::StaleReference { what: format!("constraint `{name}`") }),
+            None => Err(Error::StaleReference {
+                what: format!("constraint `{name}`"),
+            }),
         }
     }
 
@@ -189,7 +195,11 @@ impl ConstraintSet {
 
     /// Names of the installed constraints, in evaluation order.
     pub fn names(&self) -> Vec<String> {
-        self.constraints.read().iter().map(|c| c.name().to_owned()).collect()
+        self.constraints
+            .read()
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect()
     }
 
     /// Number of installed constraints.
@@ -272,10 +282,16 @@ mod tests {
     fn constraints_evaluate_in_insertion_order() {
         let set = ConstraintSet::new();
         set.add(FnConstraint::new("first", |_| {
-            Err(Error::ConstraintVeto { constraint: "first".into(), reason: "x".into() })
+            Err(Error::ConstraintVeto {
+                constraint: "first".into(),
+                reason: "x".into(),
+            })
         }));
         set.add(FnConstraint::new("second", |_| {
-            Err(Error::ConstraintVeto { constraint: "second".into(), reason: "y".into() })
+            Err(Error::ConstraintVeto {
+                constraint: "second".into(),
+                reason: "y".into(),
+            })
         }));
         match set.check(&req("A", "B")) {
             Err(Error::ConstraintVeto { constraint, .. }) => assert_eq!(constraint, "first"),

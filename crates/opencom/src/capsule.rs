@@ -14,8 +14,9 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::binding::{BindRequest, ConstraintSet};
-use crate::component::{publish_component, Component, ComponentCore, ComponentDescriptor,
-                       LifecycleState, Registrar};
+use crate::component::{
+    publish_component, Component, ComponentCore, ComponentDescriptor, LifecycleState, Registrar,
+};
 use crate::error::{Error, Result};
 use crate::ident::{BindingId, CapsuleId, ComponentId, InterfaceId, Version};
 use crate::interception::InterceptorChain;
@@ -91,7 +92,8 @@ impl Component for IsolatedComponent {
         for id in &self.interfaces {
             // Presence of every proxy was verified before construction.
             if let Ok(iref) =
-                self.isolation.make_proxy(*id, Arc::clone(&self.client), self.core.id())
+                self.isolation
+                    .make_proxy(*id, Arc::clone(&self.client), self.core.id())
             {
                 reg.expose_ref(iref);
             }
@@ -228,7 +230,10 @@ impl Capsule {
         let id = core.id();
         for iface in interfaces {
             if !isolation.supports_interface(*iface) {
-                return Err(Error::InterfaceNotFound { component: id, interface: *iface });
+                return Err(Error::InterfaceNotFound {
+                    component: id,
+                    interface: *iface,
+                });
             }
         }
         let host = Arc::new(IsolatedHost::spawn(id, maker));
@@ -246,7 +251,9 @@ impl Capsule {
 
     /// Supervision handle for an isolated component.
     pub fn isolation_control(&self, id: ComponentId) -> Option<IsolationControl> {
-        self.hosts.read().get(&id).map(|host| IsolationControl { host: Arc::clone(host) })
+        self.hosts.read().get(&id).map(|host| IsolationControl {
+            host: Arc::clone(host),
+        })
     }
 
     /// Looks up a hosted component.
@@ -315,7 +322,9 @@ impl Capsule {
         let req = self.bind_request(src, receptacle, label, dst, interface)?;
         self.constraints.check(&req)?;
         let iref = self.component(dst)?.core().query_interface(interface)?;
-        self.component(src)?.core().bind_receptacle(receptacle, label, iref.clone())?;
+        self.component(src)?
+            .core()
+            .bind_receptacle(receptacle, label, iref.clone())?;
         let id = BindingId::next();
         self.arch.insert_binding(BindingRecord {
             id,
@@ -353,7 +362,8 @@ impl Capsule {
     pub fn unbind(&self, binding: BindingId) -> Result<()> {
         let rec = self.arch.take_binding(binding)?;
         let src = self.component(rec.src)?;
-        src.core().unbind_receptacle(&rec.receptacle, rec.dst, &rec.label)
+        src.core()
+            .unbind_receptacle(&rec.receptacle, rec.dst, &rec.label)
     }
 
     // ---- fusion -------------------------------------------------------
@@ -392,8 +402,10 @@ impl Capsule {
         }
         let (wrapped, chain) = self.runtime.interceptors().wrap(rec.raw.clone())?;
         let src = self.component(rec.src)?;
-        src.core().rebind_receptacle(&rec.receptacle, rec.dst, &rec.label, wrapped)?;
-        self.arch.update_binding(binding, |r| r.chain = Some(Arc::clone(&chain)))?;
+        src.core()
+            .rebind_receptacle(&rec.receptacle, rec.dst, &rec.label, wrapped)?;
+        self.arch
+            .update_binding(binding, |r| r.chain = Some(Arc::clone(&chain)))?;
         Ok(chain)
     }
 
@@ -409,7 +421,8 @@ impl Capsule {
             return Ok(());
         }
         let src = self.component(rec.src)?;
-        src.core().rebind_receptacle(&rec.receptacle, rec.dst, &rec.label, rec.raw.clone())?;
+        src.core()
+            .rebind_receptacle(&rec.receptacle, rec.dst, &rec.label, rec.raw.clone())?;
         self.arch.update_binding(binding, |r| r.chain = None)
     }
 
@@ -458,7 +471,8 @@ impl Capsule {
                 None => raw_new.clone(),
             };
             let src = self.component(rec.src)?;
-            src.core().rebind_receptacle(&rec.receptacle, old, &rec.label, effective)?;
+            src.core()
+                .rebind_receptacle(&rec.receptacle, old, &rec.label, effective)?;
             self.arch.update_binding(rec.id, |r| {
                 r.dst = new;
                 r.raw = raw_new;
@@ -474,8 +488,12 @@ impl Capsule {
                     .wrap_with(rec.raw.clone(), Arc::clone(chain))?,
                 None => rec.raw.clone(),
             };
-            new_comp.core().bind_receptacle(&rec.receptacle, &rec.label, effective)?;
-            old_comp.core().unbind_receptacle(&rec.receptacle, rec.dst, &rec.label)?;
+            new_comp
+                .core()
+                .bind_receptacle(&rec.receptacle, &rec.label, effective)?;
+            old_comp
+                .core()
+                .unbind_receptacle(&rec.receptacle, rec.dst, &rec.label)?;
             self.arch.update_binding(rec.id, |r| r.src = new)?;
         }
 
@@ -511,7 +529,10 @@ impl Capsule {
             }
             LifecycleState::Active => return Ok(()),
             LifecycleState::Destroyed => {
-                return Err(Error::IllegalTransition { from: "Destroyed", to: "Active" })
+                return Err(Error::IllegalTransition {
+                    from: "Destroyed",
+                    to: "Active",
+                })
             }
         }
         comp.on_activate()
@@ -650,8 +671,10 @@ mod tests {
             Box::new(|target, chain| {
                 let inner: Arc<dyn INumberSink> = target.downcast().expect("INumberSink");
                 let provider = target.provider();
-                let wrapped: Arc<dyn INumberSink> =
-                    Arc::new(SinkWrapper { target: inner, chain });
+                let wrapped: Arc<dyn INumberSink> = Arc::new(SinkWrapper {
+                    target: inner,
+                    chain,
+                });
                 InterfaceRef::new(ISINK, provider, wrapped)
             }),
         );
@@ -669,8 +692,11 @@ mod tests {
     }
 
     fn call(capsule: &Capsule, id: ComponentId, n: u64) -> Result<u64> {
-        let sink: Arc<dyn INumberSink> =
-            capsule.query_interface(id, ISINK).unwrap().downcast().unwrap();
+        let sink: Arc<dyn INumberSink> = capsule
+            .query_interface(id, ISINK)
+            .unwrap()
+            .downcast()
+            .unwrap();
         sink.accept(n)
     }
 
@@ -688,8 +714,7 @@ mod tests {
         let rt = runtime_with_wrappers();
         let capsule = Capsule::new("t", &rt);
         capsule.constraints().add(
-            TopologyRule::Forbid("captest.Adder".into(), "captest.Adder".into())
-                .into_constraint(),
+            TopologyRule::Forbid("captest.Adder".into(), "captest.Adder".into()).into_constraint(),
         );
         let a = capsule.adopt(Adder::make(1)).unwrap();
         let b = capsule.adopt(Adder::make(2)).unwrap();
@@ -862,8 +887,9 @@ mod tests {
             wire::put_u64(&mut payload, n);
             let reply = self.client.call(ISINK.name(), "accept", payload)?;
             let mut pos = 0;
-            wire::get_u64(&reply, &mut pos)
-                .ok_or(Error::IpcFailure { detail: "short reply".into() })
+            wire::get_u64(&reply, &mut pos).ok_or(Error::IpcFailure {
+                detail: "short reply".into(),
+            })
         }
     }
 
@@ -871,7 +897,12 @@ mod tests {
         let rt = runtime_with_wrappers();
         rt.isolation().register_skeleton(
             "captest.IsolatedAdder",
-            Box::new(|| Arc::new(IsolatedAdderSkeleton { bias: 7, crash_on: 13 })),
+            Box::new(|| {
+                Arc::new(IsolatedAdderSkeleton {
+                    bias: 7,
+                    crash_on: 13,
+                })
+            }),
         );
         rt.isolation().register_proxy(
             ISINK,
@@ -920,7 +951,12 @@ mod tests {
         let rt = Runtime::new();
         rt.isolation().register_skeleton(
             "captest.IsolatedAdder",
-            Box::new(|| Arc::new(IsolatedAdderSkeleton { bias: 7, crash_on: u64::MAX })),
+            Box::new(|| {
+                Arc::new(IsolatedAdderSkeleton {
+                    bias: 7,
+                    crash_on: u64::MAX,
+                })
+            }),
         );
         let capsule = Capsule::new("t", &rt);
         assert!(matches!(
@@ -962,7 +998,12 @@ mod tests {
         let chain = capsule.intercept(binding).unwrap();
         chain.add(crate::interception::FnHook::new(
             "veto",
-            |_| Err(Error::ConstraintVeto { constraint: "x".into(), reason: "no".into() }),
+            |_| {
+                Err(Error::ConstraintVeto {
+                    constraint: "x".into(),
+                    reason: "no".into(),
+                })
+            },
             |_| {},
         ));
         assert_eq!(fused.accept(0).unwrap(), 10, "fused path skips the veto");

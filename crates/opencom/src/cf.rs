@@ -259,7 +259,9 @@ impl Cf {
                 members.remove(idx);
                 Ok(())
             }
-            None => Err(Error::StaleReference { what: format!("member {id}") }),
+            None => Err(Error::StaleReference {
+                what: format!("member {id}"),
+            }),
         }
     }
 
@@ -285,7 +287,9 @@ impl Cf {
                 rule: "both endpoints must be plugged into the CF".into(),
             });
         }
-        let req = self.capsule.bind_request(src, receptacle, label, dst, interface)?;
+        let req = self
+            .capsule
+            .bind_request(src, receptacle, label, dst, interface)?;
         self.rules.check_bind(&req)?;
         self.constraints.check(&req)?;
         self.capsule.bind(src, receptacle, label, dst, interface)
@@ -428,7 +432,10 @@ mod tests {
         let (capsule, cf) = setup();
         let id = capsule.adopt(Plain::make("WidgetA")).unwrap();
         let alice = Principal::new("alice");
-        assert!(matches!(cf.plug(&alice, id), Err(Error::AccessDenied { .. })));
+        assert!(matches!(
+            cf.plug(&alice, id),
+            Err(Error::AccessDenied { .. })
+        ));
         cf.acl().grant(alice.clone(), CfOperation::AddComponent);
         cf.plug(&alice, id).unwrap();
         cf.acl().revoke(&alice, CfOperation::AddComponent);

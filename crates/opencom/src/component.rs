@@ -90,7 +90,12 @@ pub struct ComponentDescriptor {
 impl ComponentDescriptor {
     /// Creates a descriptor for a trusted, non-composite component.
     pub fn new(type_name: impl Into<String>, version: Version) -> Self {
-        Self { type_name: type_name.into(), version, composite: false, trusted: true }
+        Self {
+            type_name: type_name.into(),
+            version,
+            composite: false,
+            trusted: true,
+        }
     }
 
     /// Marks the component as composite.
@@ -155,7 +160,10 @@ impl ComponentCore {
     pub fn transition(&self, to: LifecycleState) -> Result<()> {
         let mut state = self.state.lock();
         if !state.can_transition_to(to) {
-            return Err(Error::IllegalTransition { from: state.name(), to: to.name() });
+            return Err(Error::IllegalTransition {
+                from: state.name(),
+                to: to.name(),
+            });
         }
         *state = to;
         Ok(())
@@ -174,7 +182,10 @@ impl ComponentCore {
             .read()
             .get(&id)
             .and_then(|e| e.materialize())
-            .ok_or(Error::InterfaceNotFound { component: self.id, interface: id })
+            .ok_or(Error::InterfaceNotFound {
+                component: self.id,
+                interface: id,
+            })
     }
 
     /// Lists receptacle metadata for the meta-model.
@@ -247,7 +258,10 @@ impl ComponentCore {
     /// hosting CF's rules remain satisfied — the CF re-checks).
     pub fn retract_interface(&self, id: InterfaceId) -> Result<()> {
         if self.exports.write().remove(&id).is_none() {
-            return Err(Error::InterfaceNotFound { component: self.id, interface: id });
+            return Err(Error::InterfaceNotFound {
+                component: self.id,
+                interface: id,
+            });
         }
         Ok(())
     }
@@ -289,7 +303,8 @@ impl<'a> Registrar<'a> {
     where
         I: ?Sized + Send + Sync + 'static,
     {
-        self.core.register_export(InterfaceExport::new(id, self.core.id(), iface));
+        self.core
+            .register_export(InterfaceExport::new(id, self.core.id(), iface));
     }
 
     /// Re-exports an interface obtained from elsewhere (used by composites
@@ -301,7 +316,8 @@ impl<'a> Registrar<'a> {
     /// Registers a typed receptacle with the component's table so the
     /// capsule `bind` primitive and the meta-model can reach it.
     pub fn receptacle<I: ?Sized + Send + Sync + 'static>(&self, rec: &Receptacle<I>) {
-        self.core.register_receptacle(ReceptacleEntry::from_typed(rec));
+        self.core
+            .register_receptacle(ReceptacleEntry::from_typed(rec));
     }
 }
 
@@ -403,7 +419,9 @@ mod tests {
     impl IEcho for Echo {
         fn echo(&self, s: &str) -> String {
             // Forward through the receptacle when bound, else identity.
-            self.out.with_bound(|next| next.echo(s)).unwrap_or_else(|| s.to_owned())
+            self.out
+                .with_bound(|next| next.echo(s))
+                .unwrap_or_else(|| s.to_owned())
         }
     }
 
@@ -436,7 +454,10 @@ mod tests {
     #[test]
     fn query_unknown_interface_fails() {
         let comp = make();
-        let err = comp.core().query_interface(InterfaceId::new("test.Nope")).unwrap_err();
+        let err = comp
+            .core()
+            .query_interface(InterfaceId::new("test.Nope"))
+            .unwrap_err();
         assert!(matches!(err, Error::InterfaceNotFound { .. }));
     }
 
@@ -457,8 +478,10 @@ mod tests {
     #[test]
     fn unbind_unknown_receptacle_fails() {
         let a = make();
-        let err =
-            a.core().unbind_receptacle("missing", ComponentId::from_raw(1), "").unwrap_err();
+        let err = a
+            .core()
+            .unbind_receptacle("missing", ComponentId::from_raw(1), "")
+            .unwrap_err();
         assert!(matches!(err, Error::ReceptacleNotFound { .. }));
     }
 

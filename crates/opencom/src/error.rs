@@ -122,8 +122,14 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::InterfaceNotFound { component, interface } => {
-                write!(f, "component {component} does not export interface {interface}")
+            Error::InterfaceNotFound {
+                component,
+                interface,
+            } => {
+                write!(
+                    f,
+                    "component {component} does not export interface {interface}"
+                )
             }
             Error::ReceptacleNotFound { component, name } => {
                 write!(f, "component {component} has no receptacle named `{name}`")
@@ -132,7 +138,10 @@ impl fmt::Display for Error {
                 write!(f, "receptacle expects {expected} but was offered {found}")
             }
             Error::CardinalityExceeded { receptacle, max } => {
-                write!(f, "receptacle `{receptacle}` already holds {max} binding(s)")
+                write!(
+                    f,
+                    "receptacle `{receptacle}` already holds {max} binding(s)"
+                )
             }
             Error::NotBound { receptacle } => {
                 write!(f, "receptacle `{receptacle}` holds no such binding")
@@ -143,7 +152,10 @@ impl fmt::Display for Error {
             Error::CfViolation { framework, rule } => {
                 write!(f, "component framework `{framework}` rule violated: {rule}")
             }
-            Error::AccessDenied { principal, operation } => {
+            Error::AccessDenied {
+                principal,
+                operation,
+            } => {
                 write!(f, "principal `{principal}` denied operation `{operation}`")
             }
             Error::IllegalTransition { from, to } => {
@@ -156,7 +168,11 @@ impl fmt::Display for Error {
                 write!(f, "component {component} crashed: {message}")
             }
             Error::IpcFailure { detail } => write!(f, "ipc failure: {detail}"),
-            Error::ResourceExhausted { class, requested, available } => {
+            Error::ResourceExhausted {
+                class,
+                requested,
+                available,
+            } => {
                 write!(
                     f,
                     "resource `{class}` exhausted: requested {requested}, available {available}"

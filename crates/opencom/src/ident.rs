@@ -138,7 +138,11 @@ pub struct Version {
 impl Version {
     /// Creates a version from its three parts.
     pub const fn new(major: u16, minor: u16, patch: u16) -> Self {
-        Self { major, minor, patch }
+        Self {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// Returns true if `self` can transparently replace `other`

@@ -37,7 +37,11 @@ pub struct CallContext {
 impl CallContext {
     /// Creates a context for one invocation.
     pub fn new(interface: InterfaceId, method: &'static str) -> Self {
-        Self { interface, method, annotations: Vec::new() }
+        Self {
+            interface,
+            method,
+            annotations: Vec::new(),
+        }
     }
 
     /// Attaches a string annotation.
@@ -47,7 +51,11 @@ impl CallContext {
 
     /// Reads the most recent annotation under `key`.
     pub fn annotation(&self, key: &str) -> Option<&str> {
-        self.annotations.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.annotations
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -111,8 +119,13 @@ where
     Q: Fn(&mut CallContext) + Send + Sync + 'static,
 {
     /// Creates a hook from a pre and a post closure.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(name: impl Into<String>, pre: P, post: Q) -> Arc<dyn Hook> {
-        Arc::new(Self { name: name.into(), pre, post })
+        Arc::new(Self {
+            name: name.into(),
+            pre,
+            post,
+        })
     }
 }
 
@@ -143,7 +156,10 @@ pub struct InterceptorChain {
 impl InterceptorChain {
     /// Creates an empty chain for `interface`.
     pub fn new(interface: InterfaceId) -> Arc<Self> {
-        Arc::new(Self { interface, hooks: RwLock::new(Vec::new()) })
+        Arc::new(Self {
+            interface,
+            hooks: RwLock::new(Vec::new()),
+        })
     }
 
     /// Appends a hook to the chain.
@@ -163,7 +179,9 @@ impl InterceptorChain {
                 hooks.remove(idx);
                 Ok(())
             }
-            None => Err(Error::StaleReference { what: format!("hook `{name}`") }),
+            None => Err(Error::StaleReference {
+                what: format!("hook `{name}`"),
+            }),
         }
     }
 
@@ -210,7 +228,12 @@ impl InterceptorChain {
 
 impl fmt::Debug for InterceptorChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InterceptorChain({}, {} hooks)", self.interface, self.len())
+        write!(
+            f,
+            "InterceptorChain({}, {} hooks)",
+            self.interface,
+            self.len()
+        )
     }
 }
 
@@ -282,7 +305,11 @@ impl InterceptorRegistry {
 
 impl fmt::Debug for InterceptorRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InterceptorRegistry({} interfaces)", self.wrappers.read().len())
+        write!(
+            f,
+            "InterceptorRegistry({} interfaces)",
+            self.wrappers.read().len()
+        )
     }
 }
 
@@ -323,7 +350,10 @@ mod tests {
             Box::new(|target, chain| {
                 let inner: Arc<dyn IAdd> = target.downcast().expect("IAdd");
                 let provider = target.provider();
-                let wrapped: Arc<dyn IAdd> = Arc::new(AddWrapper { target: inner, chain });
+                let wrapped: Arc<dyn IAdd> = Arc::new(AddWrapper {
+                    target: inner,
+                    chain,
+                });
                 InterfaceRef::new(IADD, provider, wrapped)
             }),
         );
@@ -365,13 +395,20 @@ mod tests {
         let ran = Arc::new(AtomicU32::new(0));
         let posts = Arc::new(AtomicU32::new(0));
         let p = Arc::clone(&posts);
-        chain.add(FnHook::new("ok", |_| Ok(()), move |_| {
-            p.fetch_add(1, Ordering::Relaxed);
-        }));
+        chain.add(FnHook::new(
+            "ok",
+            |_| Ok(()),
+            move |_| {
+                p.fetch_add(1, Ordering::Relaxed);
+            },
+        ));
         chain.add(FnHook::new(
             "veto",
             |_| {
-                Err(Error::ConstraintVeto { constraint: "veto".into(), reason: "no".into() })
+                Err(Error::ConstraintVeto {
+                    constraint: "veto".into(),
+                    reason: "no".into(),
+                })
             },
             |_| {},
         ));
@@ -388,10 +425,14 @@ mod tests {
         let (wrapped, chain) = reg.wrap(base_ref()).unwrap();
         let calls = Arc::new(AtomicU32::new(0));
         let c = Arc::clone(&calls);
-        chain.add(FnHook::new("count", move |_| {
-            c.fetch_add(1, Ordering::Relaxed);
-            Ok(())
-        }, |_| {}));
+        chain.add(FnHook::new(
+            "count",
+            move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+            |_| {},
+        ));
         let iface: Arc<dyn IAdd> = wrapped.downcast().unwrap();
         assert_eq!(iface.add(5), 5);
         assert_eq!(iface.add(5), 10);

@@ -56,7 +56,11 @@ impl InterfaceRef {
     where
         I: ?Sized + Send + Sync + 'static,
     {
-        Self { id, provider, any: Arc::new(iface) }
+        Self {
+            id,
+            provider,
+            any: Arc::new(iface),
+        }
     }
 
     /// Recovers the concrete `Arc<I>` if `I` matches the wrapped type.
@@ -114,7 +118,8 @@ impl InterfaceExport {
         Self {
             id,
             make: Box::new(move || {
-                weak.upgrade().map(|strong| InterfaceRef::new(id, provider, strong))
+                weak.upgrade()
+                    .map(|strong| InterfaceRef::new(id, provider, strong))
             }),
         }
     }
@@ -122,7 +127,10 @@ impl InterfaceExport {
     /// Builds an export from an already type-erased reference (used by
     /// composites re-exporting an inner component's interface).
     pub(crate) fn from_ref(iref: InterfaceRef) -> Self {
-        Self { id: iref.id(), make: Box::new(move || Some(iref.clone())) }
+        Self {
+            id: iref.id(),
+            make: Box::new(move || Some(iref.clone())),
+        }
     }
 
     pub(crate) fn materialize(&self) -> Option<InterfaceRef> {
@@ -181,7 +189,12 @@ impl InterfaceDescriptor {
     /// Creates a descriptor with no methods; add them with
     /// [`InterfaceDescriptor::method`].
     pub fn new(id: InterfaceId, version: Version, doc: &'static str) -> Self {
-        Self { id, version, methods: Vec::new(), doc }
+        Self {
+            id,
+            version,
+            methods: Vec::new(),
+            doc,
+        }
     }
 
     /// Adds a method signature (builder-style).
@@ -255,8 +268,12 @@ mod tests {
 
     #[test]
     fn descriptor_builder_and_lookup() {
-        let d = InterfaceDescriptor::new(ICOUNT, Version::new(1, 0, 0), "counting")
-            .method("add", &[("n", "u64")], "u64", "adds n");
+        let d = InterfaceDescriptor::new(ICOUNT, Version::new(1, 0, 0), "counting").method(
+            "add",
+            &[("n", "u64")],
+            "u64",
+            "adds n",
+        );
         assert_eq!(d.methods.len(), 1);
         let m = d.find_method("add").unwrap();
         assert_eq!(m.params[0].ty, "u64");

@@ -112,8 +112,12 @@ pub trait IpcDispatch: Send + Sync + 'static {
     ///
     /// Returns a string error to signal an application-level failure
     /// (marshalled back as [`IpcReply::AppError`]).
-    fn dispatch(&self, interface: &str, method: &str, payload: &[u8])
-        -> std::result::Result<Vec<u8>, String>;
+    fn dispatch(
+        &self,
+        interface: &str,
+        method: &str,
+        payload: &[u8],
+    ) -> std::result::Result<Vec<u8>, String>;
 }
 
 /// Client half of the boundary. Proxies hold an `Arc<IpcClient>`; the
@@ -169,15 +173,22 @@ impl IpcClient {
         self.sender
             .read()
             .send(env)
-            .map_err(|_| Error::IpcFailure { detail: "host channel closed".into() })?;
+            .map_err(|_| Error::IpcFailure {
+                detail: "host channel closed".into(),
+            })?;
         match reply_rx.recv() {
             Ok(IpcReply::Ok(bytes)) => Ok(bytes),
             Ok(IpcReply::AppError(msg)) => Err(Error::IpcFailure { detail: msg }),
             Ok(IpcReply::Crashed(msg)) => {
                 self.dead.store(true, Ordering::Release);
-                Err(Error::ComponentCrashed { component: self.provider, message: msg })
+                Err(Error::ComponentCrashed {
+                    component: self.provider,
+                    message: msg,
+                })
             }
-            Err(_) => Err(Error::IpcFailure { detail: "host dropped reply".into() }),
+            Err(_) => Err(Error::IpcFailure {
+                detail: "host dropped reply".into(),
+            }),
         }
     }
 }
@@ -202,10 +213,7 @@ pub struct IsolatedHost {
     restarts: AtomicU64,
 }
 
-fn spawn_host_thread(
-    target: Arc<dyn IpcDispatch>,
-    rx: Receiver<Envelope>,
-) -> JoinHandle<()> {
+fn spawn_host_thread(target: Arc<dyn IpcDispatch>, rx: Receiver<Envelope>) -> JoinHandle<()> {
     std::thread::spawn(move || {
         while let Ok(env) = rx.recv() {
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -359,7 +367,10 @@ mod tests {
     #[test]
     fn marshalled_call_roundtrip() {
         let h = host();
-        let out = h.client().call("t.IAdd", "add", add_payload(20, 22)).unwrap();
+        let out = h
+            .client()
+            .call("t.IAdd", "add", add_payload(20, 22))
+            .unwrap();
         let mut pos = 0;
         assert_eq!(wire::get_u64(&out, &mut pos), Some(42));
         assert_eq!(h.client().call_count(), 1);
@@ -382,7 +393,10 @@ mod tests {
         assert!(matches!(err, Error::ComponentCrashed { .. }));
         assert!(h.is_dead());
         // Subsequent calls fail fast without touching a thread.
-        let err2 = h.client().call("t.IAdd", "add", add_payload(1, 2)).unwrap_err();
+        let err2 = h
+            .client()
+            .call("t.IAdd", "add", add_payload(1, 2))
+            .unwrap_err();
         assert!(matches!(err2, Error::ComponentCrashed { .. }));
         // Supervisor restarts the component; the same client works again.
         h.respawn();

@@ -81,16 +81,19 @@ pub mod runtime;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::binding::{BindConstraint, BindRequest, ConstraintSet, FnConstraint,
-                             TopologyRule};
+    pub use crate::binding::{
+        BindConstraint, BindRequest, ConstraintSet, FnConstraint, TopologyRule,
+    };
     pub use crate::capsule::{Capsule, Quiescence};
     pub use crate::cf::{Acl, Cf, CfOperation, CfRules, PermissiveRules, Principal};
-    pub use crate::component::{Component, ComponentCore, ComponentDescriptor, LifecycleState,
-                               Registrar};
+    pub use crate::component::{
+        Component, ComponentCore, ComponentDescriptor, LifecycleState, Registrar,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::ident::{BindingId, CapsuleId, ComponentId, InterfaceId, TaskId, Version};
-    pub use crate::interception::{CallContext, FnHook, Hook, InterceptorChain,
-                                  InterceptorRegistry};
+    pub use crate::interception::{
+        CallContext, FnHook, Hook, InterceptorChain, InterceptorRegistry,
+    };
     pub use crate::interface::{InterfaceDescriptor, InterfaceRef, MethodDescriptor};
     pub use crate::meta::architecture::{ArchitectureMetaModel, BindingRecord};
     pub use crate::meta::interface::InterfaceRepository;

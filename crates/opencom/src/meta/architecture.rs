@@ -60,7 +60,11 @@ impl fmt::Debug for BindingRecord {
             self.label,
             self.dst,
             self.interface,
-            if self.chain.is_some() { " [intercepted]" } else { "" }
+            if self.chain.is_some() {
+                " [intercepted]"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -109,7 +113,9 @@ impl ArchitectureMetaModel {
             .read()
             .get(&id)
             .cloned()
-            .ok_or_else(|| Error::StaleReference { what: format!("component {id}") })
+            .ok_or_else(|| Error::StaleReference {
+                what: format!("component {id}"),
+            })
     }
 
     /// Finds components whose deployable type name equals `type_name`.
@@ -154,7 +160,9 @@ impl ArchitectureMetaModel {
             .read()
             .get(&id)
             .cloned()
-            .ok_or_else(|| Error::StaleReference { what: format!("binding {id}") })
+            .ok_or_else(|| Error::StaleReference {
+                what: format!("binding {id}"),
+            })
     }
 
     /// Renders the graph in Graphviz `dot` syntax — the "analyse software
@@ -179,14 +187,22 @@ impl ArchitectureMetaModel {
         let mut recs: Vec<_> = bindings.values().collect();
         recs.sort_by_key(|r| r.id);
         for r in recs {
-            let style = if r.chain.is_some() { ",style=dashed" } else { "" };
+            let style = if r.chain.is_some() {
+                ",style=dashed"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  n{} -> n{} [label=\"{}{}\"{}];",
                 r.src.as_raw(),
                 r.dst.as_raw(),
                 r.receptacle,
-                if r.label.is_empty() { String::new() } else { format!(":{}", r.label) },
+                if r.label.is_empty() {
+                    String::new()
+                } else {
+                    format!(":{}", r.label)
+                },
                 style
             );
         }
@@ -232,7 +248,9 @@ impl ArchitectureMetaModel {
         self.components
             .write()
             .remove(&id)
-            .ok_or_else(|| Error::StaleReference { what: format!("component {id}") })
+            .ok_or_else(|| Error::StaleReference {
+                what: format!("component {id}"),
+            })
     }
 
     /// Records a new edge.
@@ -249,7 +267,9 @@ impl ArchitectureMetaModel {
         self.bindings
             .write()
             .remove(&id)
-            .ok_or_else(|| Error::StaleReference { what: format!("binding {id}") })
+            .ok_or_else(|| Error::StaleReference {
+                what: format!("binding {id}"),
+            })
     }
 
     /// Updates an edge record in place.
@@ -257,15 +277,11 @@ impl ArchitectureMetaModel {
     /// # Errors
     ///
     /// Fails with [`Error::StaleReference`] for unknown ids.
-    pub fn update_binding(
-        &self,
-        id: BindingId,
-        f: impl FnOnce(&mut BindingRecord),
-    ) -> Result<()> {
+    pub fn update_binding(&self, id: BindingId, f: impl FnOnce(&mut BindingRecord)) -> Result<()> {
         let mut bindings = self.bindings.write();
-        let rec = bindings
-            .get_mut(&id)
-            .ok_or_else(|| Error::StaleReference { what: format!("binding {id}") })?;
+        let rec = bindings.get_mut(&id).ok_or_else(|| Error::StaleReference {
+            what: format!("binding {id}"),
+        })?;
         f(rec);
         Ok(())
     }
@@ -328,6 +344,7 @@ mod tests {
         core: ComponentCore,
     }
     impl Dummy {
+        #[allow(clippy::new_ret_no_self)]
         fn new(type_name: &str) -> Arc<dyn Component> {
             Arc::new(Self {
                 core: ComponentCore::new(ComponentDescriptor::new(

@@ -61,10 +61,14 @@ impl InterfaceRepository {
     /// Fails with [`Error::InterfaceNotFound`] if the interface type was
     /// never registered.
     pub fn describe(&self, id: InterfaceId) -> Result<InterfaceDescriptor> {
-        self.descriptors.read().get(&id).cloned().ok_or(Error::InterfaceNotFound {
-            component: ComponentId::from_raw(0),
-            interface: id,
-        })
+        self.descriptors
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(Error::InterfaceNotFound {
+                component: ComponentId::from_raw(0),
+                interface: id,
+            })
     }
 
     /// True if a descriptor exists for `id`.
@@ -108,8 +112,12 @@ mod tests {
     fn register_and_describe() {
         let repo = InterfaceRepository::new();
         repo.register(
-            InterfaceDescriptor::new(IA, Version::new(1, 0, 0), "a")
-                .method("go", &[], "()", "runs"),
+            InterfaceDescriptor::new(IA, Version::new(1, 0, 0), "a").method(
+                "go",
+                &[],
+                "()",
+                "runs",
+            ),
         );
         let d = repo.describe(IA).unwrap();
         assert_eq!(d.methods.len(), 1);

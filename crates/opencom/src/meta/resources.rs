@@ -132,7 +132,9 @@ impl ResourceManager {
         let name = name.into();
         let mut tasks = self.tasks.write();
         if tasks.values().any(|t| t.info.name == name) {
-            return Err(Error::UnknownTask { name: format!("duplicate task name `{name}`") });
+            return Err(Error::UnknownTask {
+                name: format!("duplicate task name `{name}`"),
+            });
         }
         let id = TaskId::next();
         tasks.insert(
@@ -158,11 +160,13 @@ impl ResourceManager {
     /// * [`Error::UnknownTask`] if the task does not exist.
     pub fn grant(&self, task: TaskId, class: &str, units: u64) -> Result<()> {
         let mut pools = self.pools.write();
-        let pool = pools.get_mut(class).ok_or_else(|| Error::ResourceExhausted {
-            class: class.to_owned(),
-            requested: units,
-            available: 0,
-        })?;
+        let pool = pools
+            .get_mut(class)
+            .ok_or_else(|| Error::ResourceExhausted {
+                class: class.to_owned(),
+                requested: units,
+                available: 0,
+            })?;
         let available = pool.capacity.saturating_sub(pool.granted);
         if units > available {
             return Err(Error::ResourceExhausted {
@@ -172,9 +176,9 @@ impl ResourceManager {
             });
         }
         let mut tasks = self.tasks.write();
-        let state = tasks
-            .get_mut(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
+        let state = tasks.get_mut(&task).ok_or_else(|| Error::UnknownTask {
+            name: task.to_string(),
+        })?;
         pool.granted += units;
         *state.info.grants.entry(class.to_owned()).or_insert(0) += units;
         Ok(())
@@ -187,14 +191,18 @@ impl ResourceManager {
     /// Fails if the task does not exist or holds less than `units`.
     pub fn revoke(&self, task: TaskId, class: &str, units: u64) -> Result<()> {
         let mut tasks = self.tasks.write();
-        let state = tasks
-            .get_mut(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
-        let held = state.info.grants.get_mut(class).ok_or_else(|| Error::ResourceExhausted {
-            class: class.to_owned(),
-            requested: units,
-            available: 0,
+        let state = tasks.get_mut(&task).ok_or_else(|| Error::UnknownTask {
+            name: task.to_string(),
         })?;
+        let held = state
+            .info
+            .grants
+            .get_mut(class)
+            .ok_or_else(|| Error::ResourceExhausted {
+                class: class.to_owned(),
+                requested: units,
+                available: 0,
+            })?;
         if *held < units {
             return Err(Error::ResourceExhausted {
                 class: class.to_owned(),
@@ -221,9 +229,9 @@ impl ResourceManager {
     /// Fails with [`Error::UnknownTask`] if the task does not exist.
     pub fn consume(&self, task: TaskId, class: &str, units: u64) -> Result<u64> {
         let mut tasks = self.tasks.write();
-        let state = tasks
-            .get_mut(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
+        let state = tasks.get_mut(&task).ok_or_else(|| Error::UnknownTask {
+            name: task.to_string(),
+        })?;
         let used = state.info.usage.entry(class.to_owned()).or_insert(0);
         *used += units;
         let granted = state.info.grants.get(class).copied().unwrap_or(0);
@@ -238,9 +246,9 @@ impl ResourceManager {
     /// Fails with [`Error::UnknownTask`] if the task does not exist.
     pub fn attach(&self, task: TaskId, component: ComponentId) -> Result<()> {
         let mut tasks = self.tasks.write();
-        let state = tasks
-            .get_mut(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
+        let state = tasks.get_mut(&task).ok_or_else(|| Error::UnknownTask {
+            name: task.to_string(),
+        })?;
         if !state.info.attached.contains(&component) {
             state.info.attached.push(component);
         }
@@ -254,9 +262,9 @@ impl ResourceManager {
     /// Fails with [`Error::UnknownTask`] if the task does not exist.
     pub fn detach(&self, task: TaskId, component: ComponentId) -> Result<()> {
         let mut tasks = self.tasks.write();
-        let state = tasks
-            .get_mut(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
+        let state = tasks.get_mut(&task).ok_or_else(|| Error::UnknownTask {
+            name: task.to_string(),
+        })?;
         state.info.attached.retain(|c| *c != component);
         Ok(())
     }
@@ -271,7 +279,9 @@ impl ResourceManager {
             .tasks
             .write()
             .remove(&task)
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })?;
+            .ok_or_else(|| Error::UnknownTask {
+                name: task.to_string(),
+            })?;
         let mut pools = self.pools.write();
         for (class, units) in state.info.grants {
             if let Some(pool) = pools.get_mut(&class) {
@@ -291,12 +301,18 @@ impl ResourceManager {
             .read()
             .get(&task)
             .map(|t| t.info.clone())
-            .ok_or_else(|| Error::UnknownTask { name: task.to_string() })
+            .ok_or_else(|| Error::UnknownTask {
+                name: task.to_string(),
+            })
     }
 
     /// Looks up a task id by name.
     pub fn find_task(&self, name: &str) -> Option<TaskId> {
-        self.tasks.read().values().find(|t| t.info.name == name).map(|t| t.info.id)
+        self.tasks
+            .read()
+            .values()
+            .find(|t| t.info.name == name)
+            .map(|t| t.info.id)
     }
 
     /// Snapshot of every task, sorted by id.
@@ -330,7 +346,11 @@ mod tests {
         rm.grant(t, classes::CPU, 60).unwrap();
         let err = rm.grant(t, classes::CPU, 60).unwrap_err();
         match err {
-            Error::ResourceExhausted { requested, available, .. } => {
+            Error::ResourceExhausted {
+                requested,
+                available,
+                ..
+            } => {
                 assert_eq!(requested, 60);
                 assert_eq!(available, 40);
             }

@@ -93,7 +93,9 @@ pub struct Receptacle<I: ?Sized> {
 
 impl<I: ?Sized> Clone for Receptacle<I> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -151,7 +153,10 @@ impl<I: ?Sized + 'static> Receptacle<I> {
     /// schedulers that select outputs by name).
     pub fn bind_labelled(&self, label: impl Into<String>, iref: InterfaceRef) -> Result<()> {
         if iref.id() != self.inner.iface_id {
-            return Err(Error::TypeMismatch { expected: self.inner.iface_id, found: iref.id() });
+            return Err(Error::TypeMismatch {
+                expected: self.inner.iface_id,
+                found: iref.id(),
+            });
         }
         let iface: Arc<I> = iref.downcast::<I>().ok_or(Error::TypeMismatch {
             expected: self.inner.iface_id,
@@ -165,7 +170,12 @@ impl<I: ?Sized + 'static> Receptacle<I> {
                 max: limit,
             });
         }
-        slots.push(Slot { peer: iref.provider(), label: label.into(), iface, iref });
+        slots.push(Slot {
+            peer: iref.provider(),
+            label: label.into(),
+            iface,
+            iref,
+        });
         Ok(())
     }
 
@@ -184,7 +194,9 @@ impl<I: ?Sized + 'static> Receptacle<I> {
                 slots.remove(idx);
                 Ok(())
             }
-            None => Err(Error::NotBound { receptacle: self.inner.name.clone() }),
+            None => Err(Error::NotBound {
+                receptacle: self.inner.name.clone(),
+            }),
         }
     }
 
@@ -195,12 +207,17 @@ impl<I: ?Sized + 'static> Receptacle<I> {
     /// Fails with [`Error::NotBound`] if no such binding exists.
     pub fn unbind_labelled(&self, peer: ComponentId, label: &str) -> Result<()> {
         let mut slots = self.inner.slots.write();
-        match slots.iter().position(|s| s.peer == peer && s.label == label) {
+        match slots
+            .iter()
+            .position(|s| s.peer == peer && s.label == label)
+        {
             Some(idx) => {
                 slots.remove(idx);
                 Ok(())
             }
-            None => Err(Error::NotBound { receptacle: self.inner.name.clone() }),
+            None => Err(Error::NotBound {
+                receptacle: self.inner.name.clone(),
+            }),
         }
     }
 
@@ -228,7 +245,10 @@ impl<I: ?Sized + 'static> Receptacle<I> {
         iref: InterfaceRef,
     ) -> Result<()> {
         if iref.id() != self.inner.iface_id {
-            return Err(Error::TypeMismatch { expected: self.inner.iface_id, found: iref.id() });
+            return Err(Error::TypeMismatch {
+                expected: self.inner.iface_id,
+                found: iref.id(),
+            });
         }
         let iface: Arc<I> = iref.downcast::<I>().ok_or(Error::TypeMismatch {
             expected: self.inner.iface_id,
@@ -238,7 +258,9 @@ impl<I: ?Sized + 'static> Receptacle<I> {
         let slot = slots
             .iter_mut()
             .find(|s| s.peer == old_peer && label.is_none_or(|l| s.label == l))
-            .ok_or(Error::NotBound { receptacle: self.inner.name.clone() })?;
+            .ok_or(Error::NotBound {
+                receptacle: self.inner.name.clone(),
+            })?;
         slot.peer = iref.provider();
         slot.iface = iface;
         slot.iref = iref;
@@ -275,7 +297,11 @@ impl<I: ?Sized + 'static> Receptacle<I> {
     /// reconfiguration may cache the returned `Arc` and call through it
     /// without touching the receptacle lock.
     pub fn snapshot(&self) -> Option<Arc<I>> {
-        self.inner.slots.read().first().map(|s| Arc::clone(&s.iface))
+        self.inner
+            .slots
+            .read()
+            .first()
+            .map(|s| Arc::clone(&s.iface))
     }
 
     /// Clones out the interface bound under `label`.
@@ -337,6 +363,7 @@ pub struct ReceptacleInfo {
 
 /// Type-erased handle stored in a component's receptacle table; forwards
 /// bind/unbind to the typed receptacle via captured closures.
+#[allow(clippy::type_complexity)]
 pub(crate) struct ReceptacleEntry {
     pub(crate) name: String,
     pub(crate) interface: InterfaceId,
@@ -378,7 +405,10 @@ impl ReceptacleEntry {
             name: self.name.clone(),
             interface: self.interface,
             cardinality: self.cardinality,
-            bound: (self.list)().into_iter().map(|(label, peer, _)| (label, peer)).collect(),
+            bound: (self.list)()
+                .into_iter()
+                .map(|(label, peer, _)| (label, peer))
+                .collect(),
         }
     }
 
@@ -413,7 +443,10 @@ mod tests {
     fn sink_ref(peer: u64) -> (Arc<Rec>, InterfaceRef) {
         let obj = Arc::new(Rec(AtomicU32::new(0)));
         let dyn_obj: Arc<dyn Sink> = obj.clone();
-        (obj, InterfaceRef::new(ISINK, ComponentId::from_raw(peer), dyn_obj))
+        (
+            obj,
+            InterfaceRef::new(ISINK, ComponentId::from_raw(peer), dyn_obj),
+        )
     }
 
     #[test]

@@ -83,9 +83,11 @@ impl ComponentRegistry {
     /// Fails with [`Error::UnknownComponentType`] if the pair is unknown.
     pub fn unregister(&self, type_name: &str, version: Version) -> Result<()> {
         let mut entries = self.entries.write();
-        let versions = entries.get_mut(type_name).ok_or_else(|| {
-            Error::UnknownComponentType { type_name: type_name.to_owned() }
-        })?;
+        let versions = entries
+            .get_mut(type_name)
+            .ok_or_else(|| Error::UnknownComponentType {
+                type_name: type_name.to_owned(),
+            })?;
         let before = versions.len();
         versions.retain(|e| e.version != version);
         if versions.len() == before {
@@ -106,12 +108,17 @@ impl ComponentRegistry {
     /// Fails with [`Error::UnknownComponentType`] if the pair is unknown.
     pub fn instantiate(&self, type_name: &str, version: Version) -> Result<Arc<dyn Component>> {
         let entries = self.entries.read();
-        let versions = entries.get(type_name).ok_or_else(|| {
-            Error::UnknownComponentType { type_name: type_name.to_owned() }
-        })?;
-        let entry = versions.iter().find(|e| e.version == version).ok_or_else(|| {
-            Error::UnknownComponentType { type_name: format!("{type_name}@{version}") }
-        })?;
+        let versions = entries
+            .get(type_name)
+            .ok_or_else(|| Error::UnknownComponentType {
+                type_name: type_name.to_owned(),
+            })?;
+        let entry = versions
+            .iter()
+            .find(|e| e.version == version)
+            .ok_or_else(|| Error::UnknownComponentType {
+                type_name: format!("{type_name}@{version}"),
+            })?;
         Ok((entry.factory)())
     }
 
@@ -122,9 +129,11 @@ impl ComponentRegistry {
     /// Fails with [`Error::UnknownComponentType`] if the type is unknown.
     pub fn instantiate_latest(&self, type_name: &str) -> Result<Arc<dyn Component>> {
         let entries = self.entries.read();
-        let versions = entries.get(type_name).ok_or_else(|| {
-            Error::UnknownComponentType { type_name: type_name.to_owned() }
-        })?;
+        let versions = entries
+            .get(type_name)
+            .ok_or_else(|| Error::UnknownComponentType {
+                type_name: type_name.to_owned(),
+            })?;
         let entry = versions.last().expect("non-empty by construction");
         Ok((entry.factory)())
     }
@@ -175,9 +184,7 @@ mod tests {
     fn factory(version: Version) -> Factory {
         Box::new(move || {
             Arc::new(Null {
-                core: ComponentCore::new(
-                    ComponentDescriptor::new("t.Null", version),
-                ),
+                core: ComponentCore::new(ComponentDescriptor::new("t.Null", version)),
             })
         })
     }
@@ -194,22 +201,46 @@ mod tests {
     #[test]
     fn latest_prefers_highest_version() {
         let reg = ComponentRegistry::new();
-        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
-        reg.register("t.Null", Version::new(1, 2, 0), factory(Version::new(1, 2, 0)));
-        reg.register("t.Null", Version::new(1, 1, 0), factory(Version::new(1, 1, 0)));
+        reg.register(
+            "t.Null",
+            Version::new(1, 0, 0),
+            factory(Version::new(1, 0, 0)),
+        );
+        reg.register(
+            "t.Null",
+            Version::new(1, 2, 0),
+            factory(Version::new(1, 2, 0)),
+        );
+        reg.register(
+            "t.Null",
+            Version::new(1, 1, 0),
+            factory(Version::new(1, 1, 0)),
+        );
         let c = reg.instantiate_latest("t.Null").unwrap();
         assert_eq!(c.core().descriptor().version, Version::new(1, 2, 0));
         assert_eq!(
             reg.versions("t.Null"),
-            vec![Version::new(1, 0, 0), Version::new(1, 1, 0), Version::new(1, 2, 0)]
+            vec![
+                Version::new(1, 0, 0),
+                Version::new(1, 1, 0),
+                Version::new(1, 2, 0)
+            ]
         );
     }
 
     #[test]
     fn side_by_side_versions_instantiable() {
         let reg = ComponentRegistry::new();
-        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
-        reg.register("t.Null", Version::new(2, 0, 0), factory(Version::new(2, 0, 0)));
+        reg.register(
+            "t.Null",
+            Version::new(1, 0, 0),
+            factory(Version::new(1, 0, 0)),
+        );
+        reg.register(
+            "t.Null",
+            Version::new(2, 0, 0),
+            factory(Version::new(2, 0, 0)),
+        );
         let old = reg.instantiate("t.Null", Version::new(1, 0, 0)).unwrap();
         let new = reg.instantiate("t.Null", Version::new(2, 0, 0)).unwrap();
         assert_eq!(old.core().descriptor().version.major, 1);
@@ -219,8 +250,16 @@ mod tests {
     #[test]
     fn unregister_removes_only_named_version() {
         let reg = ComponentRegistry::new();
-        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
-        reg.register("t.Null", Version::new(2, 0, 0), factory(Version::new(2, 0, 0)));
+        reg.register(
+            "t.Null",
+            Version::new(1, 0, 0),
+            factory(Version::new(1, 0, 0)),
+        );
+        reg.register(
+            "t.Null",
+            Version::new(2, 0, 0),
+            factory(Version::new(2, 0, 0)),
+        );
         reg.unregister("t.Null", Version::new(1, 0, 0)).unwrap();
         assert!(reg.instantiate("t.Null", Version::new(1, 0, 0)).is_err());
         assert!(reg.instantiate("t.Null", Version::new(2, 0, 0)).is_ok());
@@ -232,7 +271,11 @@ mod tests {
     #[test]
     fn redeployment_replaces_factory() {
         let reg = ComponentRegistry::new();
-        reg.register("t.Null", Version::new(1, 0, 0), factory(Version::new(1, 0, 0)));
+        reg.register(
+            "t.Null",
+            Version::new(1, 0, 0),
+            factory(Version::new(1, 0, 0)),
+        );
         // Redeploy same version with a factory that reports as untrusted.
         reg.register(
             "t.Null",

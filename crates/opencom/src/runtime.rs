@@ -62,9 +62,11 @@ impl IsolationRegistry {
     /// is registered.
     pub fn make_skeleton(&self, type_name: &str) -> Result<Arc<dyn IpcDispatch>> {
         let skeletons = self.skeletons.read();
-        let factory = skeletons.get(type_name).ok_or_else(|| Error::UnknownComponentType {
-            type_name: format!("{type_name} (no skeleton)"),
-        })?;
+        let factory = skeletons
+            .get(type_name)
+            .ok_or_else(|| Error::UnknownComponentType {
+                type_name: format!("{type_name} (no skeleton)"),
+            })?;
         Ok(factory())
     }
 

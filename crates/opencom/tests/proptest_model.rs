@@ -65,8 +65,11 @@ enum Op {
 
 fn op_strategy(nodes: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..nodes, 0..nodes, any::<u8>())
-            .prop_map(|(src, dst, label)| Op::Bind { src, dst, label }),
+        (0..nodes, 0..nodes, any::<u8>()).prop_map(|(src, dst, label)| Op::Bind {
+            src,
+            dst,
+            label
+        }),
         (0..64usize).prop_map(|idx| Op::UnbindNth { idx }),
         (0..nodes, any::<bool>()).prop_map(|(victim, full)| Op::Replace { victim, full }),
         (0..nodes).prop_map(|via| Op::Call { via }),

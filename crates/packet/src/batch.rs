@@ -1,0 +1,376 @@
+//! Packet batches — the unit of bulk transfer on the dataplane.
+//!
+//! Moving packets one at a time through component bindings puts a
+//! dynamic-dispatch + interception + (for isolated components) IPC
+//! round-trip cost on *every packet*. A [`PacketBatch`] amortizes all of
+//! that: one binding traversal, one interceptor-chain pass, and one
+//! marshalled IPC call move up to a whole burst of packets.
+//!
+//! A batch is an **ordered** sequence of packets plus an optional
+//! per-packet *output label*. Labels are how splitting components
+//! (classifiers, route lookups, protocol demultiplexers) tag each packet
+//! with its destination output in a single pass and then carve the batch
+//! into per-output sub-batches without re-inspecting — and without
+//! allocating a `String` per packet: labels are interned once per batch
+//! in a small side table and referenced by index.
+//!
+//! Ordering contract: [`PacketBatch::into_label_groups`] preserves the
+//! relative order of packets within each label group, and group order
+//! follows first occurrence — so a downstream observer on any single
+//! output sees exactly the sequence the scalar path would have produced.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::packet::Packet;
+
+/// Index of an interned output label within one batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelId(u16);
+
+/// A batch of packets with optional per-packet output labels.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::batch::PacketBatch;
+/// use netkit_packet::packet::PacketBuilder;
+///
+/// let mut batch = PacketBatch::with_capacity(2);
+/// batch.push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build());
+/// batch.push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.3", 3, 4).build());
+/// let voice = batch.intern("voice");
+/// batch.set_label(0, voice);
+/// let groups = batch.into_label_groups();
+/// assert_eq!(groups.len(), 2); // "voice" and unlabelled
+/// ```
+#[derive(Default)]
+pub struct PacketBatch {
+    packets: Vec<Packet>,
+    /// Parallel to `packets`; `u16::MAX` = unlabelled. Kept empty (and
+    /// allocation-free) until the first label is assigned.
+    labels: Vec<u16>,
+    table: Vec<Arc<str>>,
+}
+
+const UNLABELLED: u16 = u16::MAX;
+
+impl PacketBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `capacity` packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            packets: Vec::with_capacity(capacity),
+            labels: Vec::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing packet vector (all unlabelled).
+    pub fn from_packets(packets: Vec<Packet>) -> Self {
+        Self {
+            packets,
+            labels: Vec::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Appends a packet (unlabelled).
+    pub fn push(&mut self, pkt: Packet) {
+        self.packets.push(pkt);
+        if !self.labels.is_empty() {
+            self.labels.push(UNLABELLED);
+        }
+    }
+
+    /// Interns `label`, returning its id for [`Self::set_label`].
+    /// Interning the same string twice yields the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX - 1` distinct labels are interned
+    /// in one batch (far beyond any real output fan-out).
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        if let Some(idx) = self.table.iter().position(|l| &**l == label) {
+            return LabelId(idx as u16);
+        }
+        assert!(
+            self.table.len() < UNLABELLED as usize,
+            "label table overflow"
+        );
+        self.table.push(Arc::from(label));
+        LabelId((self.table.len() - 1) as u16)
+    }
+
+    /// Tags the packet at `idx` with an interned label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_label(&mut self, idx: usize, label: LabelId) {
+        assert!(idx < self.packets.len(), "label index out of range");
+        if self.labels.is_empty() {
+            self.labels.resize(self.packets.len(), UNLABELLED);
+        }
+        self.labels[idx] = label.0;
+    }
+
+    /// The label of the packet at `idx`, if one was assigned.
+    pub fn label_of(&self, idx: usize) -> Option<&str> {
+        let raw = *self.labels.get(idx)?;
+        self.table.get(raw as usize).map(|l| &**l)
+    }
+
+    /// Read access to the packets, in order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Mutable access to the packets, in order.
+    pub fn packets_mut(&mut self) -> &mut [Packet] {
+        &mut self.packets
+    }
+
+    /// Iterates over the packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// Consumes the batch, returning the packets (labels discarded).
+    pub fn into_packets(self) -> Vec<Packet> {
+        self.packets
+    }
+
+    /// Removes all packets and labels, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+        self.labels.clear();
+        self.table.clear();
+    }
+
+    /// Splits the batch into per-label groups.
+    ///
+    /// Each group carries its label (`None` for unlabelled packets), the
+    /// packets in their original relative order, and the packets'
+    /// original indices in the parent batch — so callers can map
+    /// per-group verdicts back to per-batch verdicts. Groups appear in
+    /// first-occurrence order. Packets are *moved*, not cloned.
+    pub fn into_label_groups(self) -> Vec<LabelGroup> {
+        let Self {
+            packets,
+            labels,
+            table,
+        } = self;
+        if labels.is_empty() {
+            // Fast path: nothing was ever labelled.
+            let indices = (0..packets.len()).collect();
+            return vec![LabelGroup {
+                label: None,
+                batch: PacketBatch::from_packets(packets),
+                indices,
+            }];
+        }
+        let mut groups: Vec<LabelGroup> = Vec::new();
+        // Map from raw label idx (or UNLABELLED) to position in `groups`.
+        let mut slot_of: Vec<Option<usize>> = vec![None; table.len() + 1];
+        for (idx, (pkt, raw)) in packets.into_iter().zip(labels).enumerate() {
+            let key = if raw == UNLABELLED {
+                table.len()
+            } else {
+                raw as usize
+            };
+            let slot = match slot_of[key] {
+                Some(s) => s,
+                None => {
+                    let label = if raw == UNLABELLED {
+                        None
+                    } else {
+                        Some(Arc::clone(&table[raw as usize]))
+                    };
+                    groups.push(LabelGroup {
+                        label,
+                        batch: PacketBatch::new(),
+                        indices: Vec::new(),
+                    });
+                    slot_of[key] = Some(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            groups[slot].batch.push(pkt);
+            groups[slot].indices.push(idx);
+        }
+        groups
+    }
+}
+
+impl From<Vec<Packet>> for PacketBatch {
+    fn from(packets: Vec<Packet>) -> Self {
+        Self::from_packets(packets)
+    }
+}
+
+impl FromIterator<Packet> for PacketBatch {
+    fn from_iter<T: IntoIterator<Item = Packet>>(iter: T) -> Self {
+        Self::from_packets(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for PacketBatch {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PacketBatch {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+impl fmt::Debug for PacketBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PacketBatch({} packets, {} labels)",
+            self.packets.len(),
+            self.table.len()
+        )
+    }
+}
+
+/// One per-label slice of a batch (see
+/// [`PacketBatch::into_label_groups`]).
+#[derive(Debug)]
+pub struct LabelGroup {
+    /// The shared output label, or `None` for unlabelled packets.
+    pub label: Option<Arc<str>>,
+    /// The group's packets, original relative order preserved.
+    pub batch: PacketBatch,
+    /// Original index in the parent batch of each packet in `batch`.
+    pub indices: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn pkt(sport: u16) -> Packet {
+        PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", sport, 9).build()
+    }
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let mut b = PacketBatch::with_capacity(4);
+        for p in [1u16, 2, 3] {
+            b.push(pkt(p));
+        }
+        assert_eq!(b.len(), 3);
+        let ports: Vec<u16> = b
+            .into_packets()
+            .iter()
+            .map(|p| p.udp_v4().unwrap().src_port)
+            .collect();
+        assert_eq!(ports, [1, 2, 3]);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        let a = b.intern("voice");
+        let c = b.intern("voice");
+        assert_eq!(a, c);
+        let d = b.intern("bulk");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn label_groups_split_without_reordering() {
+        let mut b = PacketBatch::new();
+        for p in 1u16..=6 {
+            b.push(pkt(p));
+        }
+        let voice = b.intern("voice");
+        let bulk = b.intern("bulk");
+        for (i, l) in [(0, voice), (2, voice), (3, bulk), (5, voice)] {
+            b.set_label(i, l);
+        }
+        let groups = b.into_label_groups();
+        assert_eq!(groups.len(), 3);
+        let by_label = |name: Option<&str>| {
+            groups
+                .iter()
+                .find(|g| g.label.as_deref() == name)
+                .expect("group present")
+        };
+        let ports = |g: &LabelGroup| -> Vec<u16> {
+            g.batch
+                .iter()
+                .map(|p| p.udp_v4().unwrap().src_port)
+                .collect()
+        };
+        assert_eq!(ports(by_label(Some("voice"))), [1, 3, 6]);
+        assert_eq!(by_label(Some("voice")).indices, [0, 2, 5]);
+        assert_eq!(ports(by_label(Some("bulk"))), [4]);
+        assert_eq!(ports(by_label(None)), [2, 5]);
+        assert_eq!(by_label(None).indices, [1, 4]);
+    }
+
+    #[test]
+    fn unlabelled_batch_takes_fast_path() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        b.push(pkt(2));
+        let groups = b.into_label_groups();
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].label.is_none());
+        assert_eq!(groups[0].indices, [0, 1]);
+    }
+
+    #[test]
+    fn empty_batch_groups_to_one_empty_group() {
+        let groups = PacketBatch::new().into_label_groups();
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].batch.is_empty());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = PacketBatch::with_capacity(8);
+        b.push(pkt(1));
+        let cap = b.packets.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.packets.capacity(), cap);
+    }
+
+    #[test]
+    fn labels_readable_back() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        b.push(pkt(2));
+        let l = b.intern("x");
+        b.set_label(1, l);
+        assert_eq!(b.label_of(0), None);
+        assert_eq!(b.label_of(1), Some("x"));
+    }
+}

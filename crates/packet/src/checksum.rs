@@ -108,8 +108,8 @@ mod tests {
         // For every TTL value, check RFC1624 equals full recomputation.
         for ttl in 1..=255u8 {
             let mut hdr = [
-                0x45u8, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, ttl, 0x06, 0x00, 0x00, 10, 1,
-                2, 3, 10, 4, 5, 6,
+                0x45u8, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, ttl, 0x06, 0x00, 0x00, 10, 1, 2,
+                3, 10, 4, 5, 6,
             ];
             let full = internet_checksum(&hdr);
             hdr[10..12].copy_from_slice(&full.to_be_bytes());

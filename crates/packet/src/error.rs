@@ -44,8 +44,15 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::Truncated { header, needed, available } => {
-                write!(f, "{header} truncated: need {needed} bytes, have {available}")
+            ParseError::Truncated {
+                header,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{header} truncated: need {needed} bytes, have {available}"
+                )
             }
             ParseError::BadVersion { header, found } => {
                 write!(f, "{header} has unexpected version {found}")
@@ -72,7 +79,11 @@ mod tests {
 
     #[test]
     fn display_mentions_header_and_sizes() {
-        let e = ParseError::Truncated { header: "ipv4", needed: 20, available: 7 };
+        let e = ParseError::Truncated {
+            header: "ipv4",
+            needed: 20,
+            available: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("ipv4") && s.contains("20") && s.contains('7'));
     }

@@ -124,7 +124,11 @@ pub struct FlowTable<T> {
 impl<T: Clone> FlowTable<T> {
     /// Creates a table bounded to `max_entries` with soft TTL `ttl_ns`.
     pub fn new(max_entries: usize, ttl_ns: u64) -> Self {
-        Self { entries: Mutex::new(HashMap::new()), max_entries, ttl_ns }
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            max_entries,
+            ttl_ns,
+        }
     }
 
     /// Inserts or refreshes an entry at time `now_ns`, evicting the
@@ -140,7 +144,13 @@ impl<T: Clone> FlowTable<T> {
                 entries.remove(&oldest);
             }
         }
-        entries.insert(key, FlowEntry { value, last_seen_ns: now_ns });
+        entries.insert(
+            key,
+            FlowEntry {
+                value,
+                last_seen_ns: now_ns,
+            },
+        );
     }
 
     /// Fetches the entry and refreshes its timestamp, honouring the TTL.

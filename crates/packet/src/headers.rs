@@ -174,11 +174,17 @@ impl Ipv4Header {
         }
         let version = buf[0] >> 4;
         if version != 4 {
-            return Err(ParseError::BadVersion { header: "ipv4", found: version });
+            return Err(ParseError::BadVersion {
+                header: "ipv4",
+                found: version,
+            });
         }
         let header_len = ((buf[0] & 0x0f) as usize) * 4;
         if header_len < Self::MIN_LEN {
-            return Err(ParseError::BadLength { header: "ipv4", detail: "ihl below 5" });
+            return Err(ParseError::BadLength {
+                header: "ipv4",
+                detail: "ihl below 5",
+            });
         }
         if buf.len() < header_len {
             return Err(ParseError::Truncated {
@@ -192,7 +198,10 @@ impl Ipv4Header {
         }
         let total_len = u16::from_be_bytes([buf[2], buf[3]]);
         if (total_len as usize) < header_len {
-            return Err(ParseError::BadLength { header: "ipv4", detail: "total_len below ihl" });
+            return Err(ParseError::BadLength {
+                header: "ipv4",
+                detail: "total_len below ihl",
+            });
         }
         let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
         Ok(Self {
@@ -253,7 +262,10 @@ impl Ipv4Header {
         }
         let ttl = buf[8];
         if ttl == 0 {
-            return Err(ParseError::BadLength { header: "ipv4", detail: "ttl already zero" });
+            return Err(ParseError::BadLength {
+                header: "ipv4",
+                detail: "ttl already zero",
+            });
         }
         let old_word = u16::from_be_bytes([buf[8], buf[9]]);
         let new_ttl = ttl - 1;
@@ -329,7 +341,10 @@ impl Ipv6Header {
         }
         let version = buf[0] >> 4;
         if version != 6 {
-            return Err(ParseError::BadVersion { header: "ipv6", found: version });
+            return Err(ParseError::BadVersion {
+                header: "ipv6",
+                found: version,
+            });
         }
         let mut src = [0u8; 16];
         let mut dst = [0u8; 16];
@@ -337,9 +352,7 @@ impl Ipv6Header {
         dst.copy_from_slice(&buf[24..40]);
         Ok(Self {
             traffic_class: (buf[0] << 4) | (buf[1] >> 4),
-            flow_label: (((buf[1] & 0x0f) as u32) << 16)
-                | ((buf[2] as u32) << 8)
-                | buf[3] as u32,
+            flow_label: (((buf[1] & 0x0f) as u32) << 16) | ((buf[2] as u32) << 8) | buf[3] as u32,
             payload_len: u16::from_be_bytes([buf[4], buf[5]]),
             next_header: buf[6],
             hop_limit: buf[7],
@@ -377,7 +390,10 @@ impl Ipv6Header {
             });
         }
         if buf[7] == 0 {
-            return Err(ParseError::BadLength { header: "ipv6", detail: "hop limit zero" });
+            return Err(ParseError::BadLength {
+                header: "ipv6",
+                detail: "hop limit zero",
+            });
         }
         buf[7] -= 1;
         Ok(buf[7])
@@ -492,7 +508,10 @@ impl TcpHeader {
         }
         let header_len = ((buf[12] >> 4) as usize) * 4;
         if header_len < Self::MIN_LEN {
-            return Err(ParseError::BadLength { header: "tcp", detail: "data offset below 5" });
+            return Err(ParseError::BadLength {
+                header: "tcp",
+                detail: "data offset below 5",
+            });
         }
         Ok(Self {
             src_port: u16::from_be_bytes([buf[0], buf[1]]),
@@ -623,13 +642,21 @@ mod tests {
         assert_eq!(out.len(), Ipv6Header::LEN);
         let parsed = Ipv6Header::parse(&out).unwrap();
         assert_eq!(parsed, hdr);
-        assert_eq!(Ipv6Header::decrement_hop_limit_in_place(&mut out).unwrap(), 2);
+        assert_eq!(
+            Ipv6Header::decrement_hop_limit_in_place(&mut out).unwrap(),
+            2
+        );
         assert_eq!(Ipv6Header::parse(&out).unwrap().hop_limit, 2);
     }
 
     #[test]
     fn udp_roundtrip() {
-        let hdr = UdpHeader { src_port: 5004, dst_port: 53, length: 24, checksum: 0 };
+        let hdr = UdpHeader {
+            src_port: 5004,
+            dst_port: 53,
+            length: 24,
+            checksum: 0,
+        };
         let mut out = Vec::new();
         hdr.write(&mut out);
         assert_eq!(UdpHeader::parse(&out).unwrap(), hdr);

@@ -4,6 +4,9 @@
 //!
 //! * [`packet`] — the [`Packet`] type (frame bytes +
 //!   out-of-band metadata) and a workload-oriented builder.
+//! * [`batch`] — [`PacketBatch`], the bulk-transfer unit of the
+//!   batch-first dataplane API (ordered packets + interned per-packet
+//!   output labels for split-without-reallocation).
 //! * [`headers`] — Ethernet/IPv4/IPv6/UDP/TCP parse + emit, with in-place
 //!   fast-path mutators (TTL decrement, DSCP rewrite).
 //! * [`checksum`] — RFC 1071 Internet checksum and RFC 1624 incremental
@@ -15,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod checksum;
 pub mod error;
 pub mod flow;
@@ -22,5 +26,6 @@ pub mod headers;
 pub mod packet;
 pub mod pool;
 
+pub use batch::{LabelGroup, PacketBatch};
 pub use error::{ParseError, ParseResult};
 pub use packet::{Packet, PacketBuilder, PacketMeta};

@@ -13,8 +13,9 @@ use std::net::IpAddr;
 use bytes::BytesMut;
 
 use crate::error::ParseResult;
-use crate::headers::{proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr,
-                     TcpHeader, UdpHeader};
+use crate::headers::{
+    proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr, TcpHeader, UdpHeader,
+};
 
 /// Metering colour (srTCM-style).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,7 +59,10 @@ impl PacketMeta {
 
     /// Reads an annotation.
     pub fn annotation(&self, key: &str) -> Option<u64> {
-        self.annotations.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+        self.annotations
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -77,7 +81,10 @@ pub struct Packet {
 impl Packet {
     /// Wraps an existing frame buffer.
     pub fn new(data: BytesMut) -> Self {
-        Self { data, meta: PacketMeta::default() }
+        Self {
+            data,
+            meta: PacketMeta::default(),
+        }
     }
 
     /// Copies a byte slice into a new packet.
@@ -409,7 +416,9 @@ mod tests {
 
     #[test]
     fn in_place_mutation_via_l3_mut() {
-        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(5).build();
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .ttl(5)
+            .build();
         Ipv4Header::decrement_ttl_in_place(pkt.l3_mut()).unwrap();
         assert_eq!(pkt.ipv4().unwrap().ttl, 4);
     }

@@ -62,7 +62,9 @@ impl BufferPool {
     /// Creates a pool of `slab_size`-byte buffers, preallocating
     /// `prealloc` and keeping at most `max_free` on the free list.
     pub fn new(slab_size: usize, prealloc: usize, max_free: usize) -> Self {
-        let free = (0..prealloc).map(|_| BytesMut::with_capacity(slab_size)).collect();
+        let free = (0..prealloc)
+            .map(|_| BytesMut::with_capacity(slab_size))
+            .collect();
         Self {
             inner: Arc::new(PoolInner {
                 slab_size,
@@ -95,7 +97,10 @@ impl BufferPool {
                 BytesMut::with_capacity(self.inner.slab_size)
             }
         };
-        PooledBuf { buf: Some(buf), pool: Arc::downgrade(&self.inner) }
+        PooledBuf {
+            buf: Some(buf),
+            pool: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Takes a buffer, charging `slab_size` bytes of the task's memory
@@ -175,7 +180,9 @@ impl DerefMut for PooledBuf {
 impl Drop for PooledBuf {
     fn drop(&mut self) {
         let Some(buf) = self.buf.take() else { return };
-        let Some(pool) = self.pool.upgrade() else { return };
+        let Some(pool) = self.pool.upgrade() else {
+            return;
+        };
         let mut free = pool.free.lock();
         // Only recycle buffers that kept their slab capacity; grown or
         // split buffers would poison the pool's size invariant.

@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 
-use netkit_packet::headers::{EthernetHeader, EtherType, Ipv4Header, Ipv6Header, MacAddr,
-                             UdpHeader};
+use netkit_packet::headers::{
+    EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr, UdpHeader,
+};
 use netkit_packet::packet::{Packet, PacketBuilder};
 
 fn ipv4_strategy() -> impl Strategy<Value = Ipv4Header> {

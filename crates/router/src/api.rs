@@ -1,4 +1,5 @@
-//! The Router CF's packet-passing interfaces (paper Figure 2).
+//! The Router CF's packet-passing interfaces (paper Figure 2),
+//! redesigned batch-first.
 //!
 //! Components acceptable to the Router CF "must support appropriate
 //! numbers and combinations of specific packet-passing interfaces/
@@ -8,9 +9,39 @@
 //! three interfaces, their introspection descriptors, the interception
 //! wrappers that make them interceptable, and the IPC stub/skeleton pair
 //! that lets untrusted packet components run out-of-capsule.
+//!
+//! # The batch contract
+//!
+//! Both packet interfaces are **batch-first**: the unit of transfer is a
+//! [`PacketBatch`], moved by [`IPacketPush::push_batch`] and
+//! [`IPacketPull::pull_batch`]. The scalar methods remain as the
+//! degenerate batch of one, and both batch methods have default
+//! implementations that loop over the scalar ones — third-party
+//! components written against the original Fig-2 contract keep working
+//! unchanged, they just don't amortize.
+//!
+//! The contract a batch implementation must honour:
+//!
+//! * **Ordering** — packets are processed in batch order. On any single
+//!   downstream output, the emitted sequence is exactly what the scalar
+//!   path would produce for the same input sequence. Splitting
+//!   components (classifier, route lookup) preserve relative order
+//!   within each output.
+//! * **Partial failure** — a batch push never fails wholesale. The
+//!   returned [`BatchResult`] carries one verdict *per packet, in batch
+//!   order*: `Ok(())` for accepted/forwarded packets and a
+//!   [`PushError`] for each packet dropped, exactly the value the
+//!   scalar `push` would have returned for that packet.
+//! * **Equivalence** — counters, drop reasons, and per-packet side
+//!   effects (TTL decrement, metadata annotation, meter colouring) must
+//!   match the scalar path bit-for-bit. What batching may change is
+//!   *amortization only*: one receptacle lock, one interceptor-chain
+//!   traversal (`around("push_batch", …)`), and one marshalled IPC call
+//!   per batch instead of per packet. A differential property test
+//!   (`tests/proptest_batch_equiv.rs`) enforces this.
 
 use std::fmt;
-use std::net::IpAddr;
+use std::net::{AddrParseError, IpAddr};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -21,6 +52,7 @@ use opencom::interface::{InterfaceDescriptor, InterfaceRef};
 use opencom::ipc::{wire, IpcClient, IpcDispatch};
 use opencom::runtime::Runtime;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::error::ParseError;
 use netkit_packet::flow::FlowKey;
 use netkit_packet::packet::Packet;
@@ -87,7 +119,92 @@ impl From<Error> for PushError {
 /// Push result alias.
 pub type PushResult = std::result::Result<(), PushError>;
 
-/// Push-oriented inter-component packet transfer (Fig. 2).
+/// Per-packet outcomes of a batch push, in batch order.
+///
+/// Batch pushes never fail wholesale: each packet gets the verdict the
+/// scalar [`IPacketPush::push`] would have returned for it.
+#[derive(Debug, Default)]
+pub struct BatchResult {
+    /// One verdict per pushed packet, in batch order.
+    pub verdicts: Vec<PushResult>,
+}
+
+impl BatchResult {
+    /// An empty result with room for `capacity` verdicts.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            verdicts: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// A result of `n` accepted packets.
+    pub fn ok(n: usize) -> Self {
+        Self {
+            verdicts: vec![Ok(()); n],
+        }
+    }
+
+    /// A result of `n` packets all dropped for the same reason.
+    pub fn err(n: usize, e: PushError) -> Self {
+        Self {
+            verdicts: vec![Err(e); n],
+        }
+    }
+
+    /// Appends one verdict.
+    pub fn record(&mut self, verdict: PushResult) {
+        self.verdicts.push(verdict);
+    }
+
+    /// Number of verdicts (equals the size of the pushed batch).
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True when no verdicts were recorded (empty batch).
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Packets accepted/forwarded.
+    pub fn accepted(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.is_ok()).count()
+    }
+
+    /// Packets dropped.
+    pub fn dropped(&self) -> usize {
+        self.verdicts.len() - self.accepted()
+    }
+
+    /// True when every packet was accepted.
+    pub fn all_ok(&self) -> bool {
+        self.verdicts.iter().all(|v| v.is_ok())
+    }
+
+    /// Scatters the verdicts of a sub-batch result back into `self` at
+    /// the given original positions (see
+    /// [`PacketBatch::into_label_groups`]). `self` must already hold a
+    /// verdict slot for every index in `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `sub` disagree in length or an index is
+    /// out of range.
+    pub fn scatter(&mut self, indices: &[usize], sub: BatchResult) {
+        assert_eq!(indices.len(), sub.verdicts.len(), "verdict count mismatch");
+        for (&idx, verdict) in indices.iter().zip(sub.verdicts) {
+            self.verdicts[idx] = verdict;
+        }
+    }
+}
+
+impl From<Vec<PushResult>> for BatchResult {
+    fn from(verdicts: Vec<PushResult>) -> Self {
+        Self { verdicts }
+    }
+}
+
+/// Push-oriented inter-component packet transfer (Fig. 2), batch-first.
 pub trait IPacketPush: Send + Sync {
     /// Accepts a packet, consuming it.
     ///
@@ -96,12 +213,46 @@ pub trait IPacketPush: Send + Sync {
     /// Returns a [`PushError`] if the packet was dropped rather than
     /// forwarded; counters distinguish drop *policy* from failure.
     fn push(&self, pkt: Packet) -> PushResult;
+
+    /// Accepts a batch, consuming it; returns one verdict per packet in
+    /// batch order (see the module docs for the full contract).
+    ///
+    /// The default implementation loops over [`Self::push`], so scalar
+    /// components interoperate with batch producers unchanged.
+    /// Implementations overriding this must preserve scalar
+    /// equivalence: identical per-packet verdicts, counters, and output
+    /// sequences — batching may only amortize dispatch, locking,
+    /// interception, and marshalling costs.
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        let mut result = BatchResult::with_capacity(batch.len());
+        for pkt in batch {
+            result.record(self.push(pkt));
+        }
+        result
+    }
 }
 
-/// Pull-oriented inter-component packet transfer (Fig. 2).
+/// Pull-oriented inter-component packet transfer (Fig. 2), batch-first.
 pub trait IPacketPull: Send + Sync {
     /// Yields the next packet, if one is ready.
     fn pull(&self) -> Option<Packet>;
+
+    /// Yields up to `max` ready packets, in the order [`Self::pull`]
+    /// would have produced them. May return fewer (including an empty
+    /// batch) when the source runs dry.
+    ///
+    /// The default implementation loops over [`Self::pull`];
+    /// implementations override it to amortize per-packet locking.
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        let mut batch = PacketBatch::with_capacity(max.min(64));
+        while batch.len() < max {
+            match self.pull() {
+                Some(pkt) => batch.push(pkt),
+                None => break,
+            }
+        }
+        batch
+    }
 }
 
 /// Identifies an installed filter.
@@ -142,7 +293,11 @@ fn prefix_matches(addr: IpAddr, prefix: (IpAddr, u8)) -> bool {
             if len == 0 {
                 return true;
             }
-            let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+            let mask = if len == 32 {
+                u32::MAX
+            } else {
+                !(u32::MAX >> len)
+            };
             (u32::from(a) & mask) == (u32::from(n) & mask)
         }
         (IpAddr::V6(a), IpAddr::V6(n)) => {
@@ -150,7 +305,11 @@ fn prefix_matches(addr: IpAddr, prefix: (IpAddr, u8)) -> bool {
             if len == 0 {
                 return true;
             }
-            let mask = if len == 128 { u128::MAX } else { !(u128::MAX >> len) };
+            let mask = if len == 128 {
+                u128::MAX
+            } else {
+                !(u128::MAX >> len)
+            };
             (u128::from(a) & mask) == (u128::from(n) & mask)
         }
         _ => false,
@@ -163,14 +322,36 @@ impl FilterPattern {
         Self::default()
     }
 
+    /// Requires the source address to fall in `prefix`, rejecting
+    /// malformed address literals (builder-style).
+    ///
+    /// # Errors
+    ///
+    /// Returns the address parse error for malformed literals.
+    pub fn try_src(mut self, prefix: &str, len: u8) -> std::result::Result<Self, AddrParseError> {
+        self.src_prefix = Some((prefix.parse()?, len));
+        Ok(self)
+    }
+
+    /// Requires the destination address to fall in `prefix`, rejecting
+    /// malformed address literals (builder-style).
+    ///
+    /// # Errors
+    ///
+    /// Returns the address parse error for malformed literals.
+    pub fn try_dst(mut self, prefix: &str, len: u8) -> std::result::Result<Self, AddrParseError> {
+        self.dst_prefix = Some((prefix.parse()?, len));
+        Ok(self)
+    }
+
     /// Requires the source address to fall in `prefix` (builder-style).
     ///
     /// # Panics
     ///
-    /// Panics on a malformed address literal.
-    pub fn src(mut self, prefix: &str, len: u8) -> Self {
-        self.src_prefix = Some((prefix.parse().expect("valid address"), len));
-        self
+    /// Panics on a malformed address literal; use [`Self::try_src`] for
+    /// untrusted input.
+    pub fn src(self, prefix: &str, len: u8) -> Self {
+        self.try_src(prefix, len).expect("valid address")
     }
 
     /// Requires the destination address to fall in `prefix`
@@ -178,10 +359,10 @@ impl FilterPattern {
     ///
     /// # Panics
     ///
-    /// Panics on a malformed address literal.
-    pub fn dst(mut self, prefix: &str, len: u8) -> Self {
-        self.dst_prefix = Some((prefix.parse().expect("valid address"), len));
-        self
+    /// Panics on a malformed address literal; use [`Self::try_dst`] for
+    /// untrusted input.
+    pub fn dst(self, prefix: &str, len: u8) -> Self {
+        self.try_dst(prefix, len).expect("valid address")
     }
 
     /// Requires the IP protocol (builder-style).
@@ -259,7 +440,11 @@ pub struct FilterSpec {
 impl FilterSpec {
     /// Creates a filter emitting matches on `output`.
     pub fn new(pattern: FilterPattern, output: impl Into<String>, priority: i32) -> Self {
-        Self { pattern, output: output.into(), priority }
+        Self {
+            pattern,
+            output: output.into(),
+            priority,
+        }
     }
 }
 
@@ -302,6 +487,21 @@ impl IPacketPush for PushWrapper {
             Err(veto) => Err(PushError::Veto(veto.to_string())),
         }
     }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // One interceptor-chain traversal for the whole batch — the
+        // per-packet hook cost the batch API exists to amortize. A veto
+        // applies to the batch as a unit: every packet gets the veto
+        // verdict, mirroring what per-packet interception would do.
+        let n = batch.len();
+        match self
+            .chain
+            .around("push_batch", || self.target.push_batch(batch))
+        {
+            Ok(inner) => inner,
+            Err(veto) => BatchResult::err(n, PushError::Veto(veto.to_string())),
+        }
+    }
 }
 
 struct PullWrapper {
@@ -311,7 +511,18 @@ struct PullWrapper {
 
 impl IPacketPull for PullWrapper {
     fn pull(&self) -> Option<Packet> {
-        self.chain.around("pull", || self.target.pull()).ok().flatten()
+        self.chain
+            .around("pull", || self.target.pull())
+            .ok()
+            .flatten()
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        // One chain traversal per batch; a veto yields an empty batch,
+        // the batch analogue of the vetoed scalar pull's `None`.
+        self.chain
+            .around("pull_batch", || self.target.pull_batch(max))
+            .unwrap_or_default()
     }
 }
 
@@ -322,7 +533,10 @@ impl IPacketPull for PullWrapper {
 pub fn encode_packet(pkt: &Packet) -> Vec<u8> {
     let mut out = Vec::with_capacity(pkt.len() + 32);
     wire::put_bytes(&mut out, pkt.data());
-    wire::put_u64(&mut out, pkt.meta.ingress.map(|p| p as u64 + 1).unwrap_or(0));
+    wire::put_u64(
+        &mut out,
+        pkt.meta.ingress.map(|p| p as u64 + 1).unwrap_or(0),
+    );
     wire::put_u64(&mut out, pkt.meta.timestamp_ns);
     wire::put_u64(&mut out, pkt.meta.dscp.map(|d| d as u64 + 1).unwrap_or(0));
     out
@@ -340,6 +554,63 @@ pub fn decode_packet(buf: &[u8]) -> Option<Packet> {
     pkt.meta.timestamp_ns = timestamp;
     pkt.meta.dscp = dscp.checked_sub(1).map(|d| d as u8);
     Some(pkt)
+}
+
+/// Marshals a whole batch into one IPC payload: a count followed by the
+/// length-prefixed per-packet encodings. Output labels are batch-local
+/// routing scratch and do not cross the capsule boundary.
+pub fn encode_batch(batch: &PacketBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + batch.iter().map(|p| p.len() + 40).sum::<usize>());
+    wire::put_u64(&mut out, batch.len() as u64);
+    for pkt in batch {
+        wire::put_bytes(&mut out, &encode_packet(pkt));
+    }
+    out
+}
+
+/// Reconstructs a batch from the IPC wire form.
+pub fn decode_batch(buf: &[u8]) -> Option<PacketBatch> {
+    let mut pos = 0;
+    let count = wire::get_u64(buf, &mut pos)? as usize;
+    // Cap the pre-allocation against adversarial counts; the loop below
+    // still decodes exactly `count` packets or fails.
+    let mut batch = PacketBatch::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let encoded = wire::get_bytes(buf, &mut pos)?;
+        batch.push(decode_packet(&encoded)?);
+    }
+    Some(batch)
+}
+
+fn encode_batch_result(result: &BatchResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + result.len() * 9);
+    wire::put_u64(&mut out, result.len() as u64);
+    for verdict in &result.verdicts {
+        match verdict {
+            Ok(()) => wire::put_u64(&mut out, 0),
+            Err(e) => {
+                wire::put_u64(&mut out, 1);
+                wire::put_str(&mut out, &e.to_string());
+            }
+        }
+    }
+    out
+}
+
+fn decode_batch_result(buf: &[u8]) -> Option<BatchResult> {
+    let mut pos = 0;
+    let count = wire::get_u64(buf, &mut pos)? as usize;
+    let mut result = BatchResult::with_capacity(count.min(4096));
+    for _ in 0..count {
+        match wire::get_u64(buf, &mut pos)? {
+            0 => result.record(Ok(())),
+            _ => {
+                let msg = wire::get_str(buf, &mut pos)?;
+                result.record(Err(PushError::Veto(msg)));
+            }
+        }
+    }
+    Some(result)
 }
 
 /// Client-side proxy: an [`IPacketPush`] that marshals into an isolated
@@ -369,6 +640,27 @@ impl IPacketPush for PushProxy {
                 Err(PushError::Veto(msg))
             }
             None => Err(PushError::Crashed("short ipc reply".into())),
+        }
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // One marshalled round-trip for the whole batch — the isolated
+        // component pays one capsule-boundary crossing per burst instead
+        // of per packet.
+        let n = batch.len();
+        if n == 0 {
+            return BatchResult::default();
+        }
+        let reply = match self
+            .client
+            .call(IPACKET_PUSH.name(), "push_batch", encode_batch(&batch))
+        {
+            Ok(reply) => reply,
+            Err(e) => return BatchResult::err(n, PushError::from(e)),
+        };
+        match decode_batch_result(&reply) {
+            Some(result) if result.len() == n => result,
+            _ => BatchResult::err(n, PushError::Crashed("bad batch ipc reply".into())),
         }
     }
 }
@@ -411,6 +703,10 @@ impl IpcDispatch for PushSkeleton {
                 }
                 Ok(out)
             }
+            "push_batch" => {
+                let batch = decode_batch(payload).ok_or("bad batch encoding")?;
+                Ok(encode_batch_result(&self.target.push_batch(batch)))
+            }
             other => Err(format!("no method `{other}`")),
         }
     }
@@ -430,22 +726,62 @@ impl fmt::Debug for PushSkeleton {
 /// (isolation).
 pub fn register_packet_interfaces(rt: &Runtime) {
     rt.interfaces().register(
-        InterfaceDescriptor::new(IPACKET_PUSH, Version::new(1, 0, 0),
-            "push-oriented packet transfer")
-            .method("push", &[("pkt", "Packet")], "PushResult", "accept a packet"),
+        InterfaceDescriptor::new(
+            IPACKET_PUSH,
+            Version::new(2, 0, 0),
+            "push-oriented packet transfer (batch-first)",
+        )
+        .method(
+            "push",
+            &[("pkt", "Packet")],
+            "PushResult",
+            "accept a packet",
+        )
+        .method(
+            "push_batch",
+            &[("batch", "PacketBatch")],
+            "BatchResult",
+            "accept a batch; one verdict per packet in batch order",
+        ),
     );
     rt.interfaces().register(
-        InterfaceDescriptor::new(IPACKET_PULL, Version::new(1, 0, 0),
-            "pull-oriented packet transfer")
-            .method("pull", &[], "Option<Packet>", "yield the next ready packet"),
+        InterfaceDescriptor::new(
+            IPACKET_PULL,
+            Version::new(2, 0, 0),
+            "pull-oriented packet transfer (batch-first)",
+        )
+        .method("pull", &[], "Option<Packet>", "yield the next ready packet")
+        .method(
+            "pull_batch",
+            &[("max", "usize")],
+            "PacketBatch",
+            "yield up to `max` ready packets in pull order",
+        ),
     );
     rt.interfaces().register(
-        InterfaceDescriptor::new(ICLASSIFIER, Version::new(1, 0, 0),
-            "run-time packet filter management")
-            .method("register_filter", &[("spec", "FilterSpec")], "FilterId",
-                "install a filter")
-            .method("remove_filter", &[("id", "FilterId")], "()", "remove a filter")
-            .method("filters", &[], "Vec<(FilterId, FilterSpec)>", "list filters"),
+        InterfaceDescriptor::new(
+            ICLASSIFIER,
+            Version::new(1, 0, 0),
+            "run-time packet filter management",
+        )
+        .method(
+            "register_filter",
+            &[("spec", "FilterSpec")],
+            "FilterId",
+            "install a filter",
+        )
+        .method(
+            "remove_filter",
+            &[("id", "FilterId")],
+            "()",
+            "remove a filter",
+        )
+        .method(
+            "filters",
+            &[],
+            "Vec<(FilterId, FilterSpec)>",
+            "list filters",
+        ),
     );
 
     rt.interceptors().register(
@@ -453,7 +789,10 @@ pub fn register_packet_interfaces(rt: &Runtime) {
         Box::new(|target, chain| {
             let inner: Arc<dyn IPacketPush> = target.downcast().expect("IPacketPush");
             let provider = target.provider();
-            let wrapped: Arc<dyn IPacketPush> = Arc::new(PushWrapper { target: inner, chain });
+            let wrapped: Arc<dyn IPacketPush> = Arc::new(PushWrapper {
+                target: inner,
+                chain,
+            });
             InterfaceRef::new(IPACKET_PUSH, provider, wrapped)
         }),
     );
@@ -462,7 +801,10 @@ pub fn register_packet_interfaces(rt: &Runtime) {
         Box::new(|target, chain| {
             let inner: Arc<dyn IPacketPull> = target.downcast().expect("IPacketPull");
             let provider = target.provider();
-            let wrapped: Arc<dyn IPacketPull> = Arc::new(PullWrapper { target: inner, chain });
+            let wrapped: Arc<dyn IPacketPull> = Arc::new(PullWrapper {
+                target: inner,
+                chain,
+            });
             InterfaceRef::new(IPACKET_PULL, provider, wrapped)
         }),
     );

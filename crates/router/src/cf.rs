@@ -61,7 +61,10 @@ impl RouterRules {
     }
 
     fn violation(rule: impl Into<String>) -> Error {
-        Error::CfViolation { framework: "router".into(), rule: rule.into() }
+        Error::CfViolation {
+            framework: "router".into(),
+            rule: rule.into(),
+        }
     }
 }
 
@@ -92,10 +95,9 @@ impl CfRules for RouterRules {
 
         // R3: composites must carry a controller and conforming constituents.
         if comp.core().descriptor().composite {
-            let iref = comp
-                .core()
-                .query_interface(ICOMPOSITE)
-                .map_err(|_| Self::violation("R3: composite exports no IComposite meta-interface"))?;
+            let iref = comp.core().query_interface(ICOMPOSITE).map_err(|_| {
+                Self::violation("R3: composite exports no IComposite meta-interface")
+            })?;
             let inner: Arc<dyn IComposite> = iref
                 .downcast()
                 .ok_or_else(|| Self::violation("R3: IComposite has the wrong shape"))?;
@@ -208,7 +210,9 @@ pub struct RouterCf {
 impl RouterCf {
     /// Creates a Router CF over `capsule`.
     pub fn new(name: impl Into<String>, capsule: Arc<Capsule>) -> Self {
-        Self { inner: Cf::new(name, capsule, Arc::new(RouterRules)) }
+        Self {
+            inner: Cf::new(name, capsule, Arc::new(RouterRules)),
+        }
     }
 
     /// The underlying generic CF (rules, members, constraints).
@@ -268,7 +272,8 @@ impl RouterCf {
         dst: ComponentId,
         interface: InterfaceId,
     ) -> Result<BindingId> {
-        self.inner.bind(principal, src, receptacle, label, dst, interface)
+        self.inner
+            .bind(principal, src, receptacle, label, dst, interface)
     }
 
     /// Removes a binding.
@@ -326,7 +331,10 @@ impl RouterCf {
     ) -> Result<Arc<dyn IClassifier>> {
         self.acl().check(principal, CfOperation::Intercept)?;
         let iref = self.capsule().query_interface(id, ICLASSIFIER)?;
-        iref.downcast().ok_or(Error::InterfaceNotFound { component: id, interface: ICLASSIFIER })
+        iref.downcast().ok_or(Error::InterfaceNotFound {
+            component: id,
+            interface: ICLASSIFIER,
+        })
     }
 
     /// Behavioural half of rule R2: instantiates a *fresh* instance of the
@@ -369,9 +377,14 @@ impl RouterCf {
         let classifier: Arc<dyn IClassifier> = scratch
             .query_interface(fresh, ICLASSIFIER)?
             .downcast()
-            .ok_or(Error::InterfaceNotFound { component: fresh, interface: ICLASSIFIER })?;
+            .ok_or(Error::InterfaceNotFound {
+                component: fresh,
+                interface: ICLASSIFIER,
+            })?;
         classifier.register_filter(FilterSpec::new(
-            FilterPattern::any().protocol(17).dst_port_range(50_000, 50_000),
+            FilterPattern::any()
+                .protocol(17)
+                .dst_port_range(50_000, 50_000),
             "__probe",
             i32::MAX,
         ))?;
@@ -379,16 +392,27 @@ impl RouterCf {
         let pusher: Arc<dyn IPacketPush> = scratch
             .query_interface(fresh, IPACKET_PUSH)?
             .downcast()
-            .ok_or(Error::InterfaceNotFound { component: fresh, interface: IPACKET_PUSH })?;
+            .ok_or(Error::InterfaceNotFound {
+                component: fresh,
+                interface: IPACKET_PUSH,
+            })?;
 
+        // Probe both transfer styles: half the packets go through the
+        // scalar path, half as one batch — R2 conformance now covers the
+        // batch contract (matching packets must surface on the named
+        // output regardless of how they were delivered).
         const N: u64 = 8;
-        for i in 0..N {
-            let pkt = PacketBuilder::udp_v4("192.0.2.1", "198.51.100.1", 1000 + i as u16, 50_000)
+        let probe_pkt = |i: u64| {
+            PacketBuilder::udp_v4("192.0.2.1", "198.51.100.1", 1000 + i as u16, 50_000)
                 .payload(b"probe")
-                .build();
+                .build()
+        };
+        for i in 0..N / 2 {
             // Drops are conformance failures, surfaced via the report below.
-            let _ = pusher.push(pkt);
+            let _ = pusher.push(probe_pkt(i));
         }
+        let batch: netkit_packet::batch::PacketBatch = (N / 2..N).map(probe_pkt).collect();
+        let _ = pusher.push_batch(batch);
 
         let report = ProbeReport {
             sent: N,
@@ -505,7 +529,10 @@ mod tests {
         let (_rt, capsule, cf) = setup();
         let id = capsule
             .adopt(Arc::new(BadClassifier {
-                core: ComponentCore::new(ComponentDescriptor::new("t.BadCls", Version::new(1, 0, 0))),
+                core: ComponentCore::new(ComponentDescriptor::new(
+                    "t.BadCls",
+                    Version::new(1, 0, 0),
+                )),
             }))
             .unwrap();
         let err = cf.plug(&Principal::system(), id).unwrap_err();
@@ -626,7 +653,9 @@ mod tests {
         let b = capsule.adopt(Discard::new()).unwrap();
         cf.plug(&sys, a).unwrap();
         // b not plugged.
-        let err = cf.bind(&sys, a, "out", "default", b, IPACKET_PUSH).unwrap_err();
+        let err = cf
+            .bind(&sys, a, "out", "default", b, IPACKET_PUSH)
+            .unwrap_err();
         assert!(matches!(err, Error::CfViolation { .. }));
         cf.plug(&sys, b).unwrap();
         cf.bind(&sys, a, "out", "default", b, IPACKET_PUSH).unwrap();

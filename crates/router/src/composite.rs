@@ -38,10 +38,13 @@ use opencom::component::{Component, ComponentCore, ComponentDescriptor, Registra
 use opencom::error::{Error, Result};
 use opencom::ident::{BindingId, ComponentId, InterfaceId, Version};
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
 
-use crate::api::{IClassifier, IPacketPull, IPacketPush, PushError, PushResult, ICLASSIFIER,
-                 IPACKET_PULL, IPACKET_PUSH};
+use crate::api::{
+    BatchResult, IClassifier, IPacketPull, IPacketPush, PushError, PushResult, ICLASSIFIER,
+    IPACKET_PULL, IPACKET_PUSH,
+};
 use crate::cf::RouterCf;
 
 /// Interface id for [`IComposite`].
@@ -161,7 +164,9 @@ impl CompositeState {
             .read()
             .get(label)
             .copied()
-            .ok_or_else(|| Error::StaleReference { what: format!("constituent `{label}`") })
+            .ok_or_else(|| Error::StaleReference {
+                what: format!("constituent `{label}`"),
+            })
     }
 }
 
@@ -230,7 +235,9 @@ impl IController for Controller {
     ) -> Result<BindingId> {
         let src = self.state.lookup(src_label)?;
         let dst = self.state.lookup(dst_label)?;
-        self.state.cf.bind(principal, src, receptacle, bind_label, dst, interface)
+        self.state
+            .cf
+            .bind(principal, src, receptacle, bind_label, dst, interface)
     }
 
     fn unwire(&self, principal: &Principal, binding: BindingId) -> Result<()> {
@@ -276,7 +283,11 @@ impl Component for Controller {
 
 impl fmt::Debug for Controller {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Controller({} constituents)", self.state.labels.read().len())
+        write!(
+            f,
+            "Controller({} constituents)",
+            self.state.labels.read().len()
+        )
     }
 }
 
@@ -344,11 +355,27 @@ impl IPacketPush for Composite {
             None => Err(PushError::Unbound),
         }
     }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // Whole batches cross the composite boundary in one delegation,
+        // so a Fig-3 gateway adds no per-packet indirection cost.
+        match &self.ingress {
+            Some(input) => input.push_batch(batch),
+            None => BatchResult::err(batch.len(), PushError::Unbound),
+        }
+    }
 }
 
 impl IPacketPull for Composite {
     fn pull(&self) -> Option<Packet> {
         self.egress.as_ref().and_then(|e| e.pull())
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        match &self.egress {
+            Some(egress) => egress.pull_batch(max),
+            None => PacketBatch::new(),
+        }
     }
 }
 
@@ -372,7 +399,10 @@ impl IClassifier for Composite {
         }
     }
     fn filters(&self) -> Vec<(crate::api::FilterId, crate::api::FilterSpec)> {
-        self.classifier.as_ref().map(|c| c.filters()).unwrap_or_default()
+        self.classifier
+            .as_ref()
+            .map(|c| c.filters())
+            .unwrap_or_default()
     }
 }
 
@@ -621,10 +651,14 @@ impl CompositeBuilder {
         for b in &self.binds {
             let src = state.lookup(&b.src)?;
             let dst = state.lookup(&b.dst)?;
-            state.cf.bind(&sys, src, &b.receptacle, &b.bind_label, dst, b.interface)?;
+            state
+                .cf
+                .bind(&sys, src, &b.receptacle, &b.bind_label, dst, b.interface)?;
         }
 
-        let resolve_iface = |label: &Option<String>, iface: InterfaceId| -> Result<Option<opencom::interface::InterfaceRef>> {
+        let resolve_iface = |label: &Option<String>,
+                             iface: InterfaceId|
+         -> Result<Option<opencom::interface::InterfaceRef>> {
             match label {
                 Some(l) => {
                     let id = state.lookup(l)?;
@@ -637,7 +671,9 @@ impl CompositeBuilder {
         let ingress: Option<Arc<dyn IPacketPush>> = resolve_iface(&self.ingress, IPACKET_PUSH)?
             .map(|r| {
                 r.downcast().ok_or(Error::InterfaceNotFound {
-                    component: state.lookup(self.ingress.as_ref().expect("present")).expect("checked"),
+                    component: state
+                        .lookup(self.ingress.as_ref().expect("present"))
+                        .expect("checked"),
                     interface: IPACKET_PUSH,
                 })
             })
@@ -645,21 +681,24 @@ impl CompositeBuilder {
         let egress: Option<Arc<dyn IPacketPull>> = resolve_iface(&self.egress, IPACKET_PULL)?
             .map(|r| {
                 r.downcast().ok_or(Error::InterfaceNotFound {
-                    component: state.lookup(self.egress.as_ref().expect("present")).expect("checked"),
+                    component: state
+                        .lookup(self.egress.as_ref().expect("present"))
+                        .expect("checked"),
                     interface: IPACKET_PULL,
                 })
             })
             .transpose()?;
-        let classifier: Option<Arc<dyn IClassifier>> = resolve_iface(&self.classifier, ICLASSIFIER)?
-            .map(|r| {
-                r.downcast().ok_or(Error::InterfaceNotFound {
-                    component: state
-                        .lookup(self.classifier.as_ref().expect("present"))
-                        .expect("checked"),
-                    interface: ICLASSIFIER,
+        let classifier: Option<Arc<dyn IClassifier>> =
+            resolve_iface(&self.classifier, ICLASSIFIER)?
+                .map(|r| {
+                    r.downcast().ok_or(Error::InterfaceNotFound {
+                        component: state
+                            .lookup(self.classifier.as_ref().expect("present"))
+                            .expect("checked"),
+                        interface: ICLASSIFIER,
+                    })
                 })
-            })
-            .transpose()?;
+                .transpose()?;
 
         let controller = Controller::new(Arc::clone(&state));
         let controller_id = self.capsule.adopt(controller.clone())?;
@@ -729,7 +768,11 @@ mod tests {
         let capsule = setup();
         let composite = demo_composite(&capsule);
         composite
-            .push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).payload(b"x").build())
+            .push(
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+                    .payload(b"x")
+                    .build(),
+            )
             .unwrap();
         let out = composite.pull().expect("queued packet");
         assert_eq!(out.meta.dscp, Some(0));
@@ -777,7 +820,8 @@ mod tests {
         assert!(matches!(err, Error::AccessDenied { .. }));
 
         ctl.grant(&admin, admin.clone(), CfOperation::Bind).unwrap();
-        ctl.rewire(&admin, "cls", "out", "bulk", "sink", IPACKET_PUSH).unwrap();
+        ctl.rewire(&admin, "cls", "out", "bulk", "sink", IPACKET_PUSH)
+            .unwrap();
     }
 
     #[test]
@@ -791,7 +835,8 @@ mod tests {
             Err(Error::AccessDenied { .. })
         ));
         // system can always grant.
-        ctl.grant(&Principal::system(), eve.clone(), CfOperation::Bind).unwrap();
+        ctl.grant(&Principal::system(), eve.clone(), CfOperation::Bind)
+            .unwrap();
     }
 
     #[test]
@@ -800,7 +845,8 @@ mod tests {
         let composite = demo_composite(&capsule);
         let ctl = composite.controller();
         let admin = Principal::new("admin");
-        ctl.grant(&admin, admin.clone(), CfOperation::AddConstraint).unwrap();
+        ctl.grant(&admin, admin.clone(), CfOperation::AddConstraint)
+            .unwrap();
         ctl.grant(&admin, admin.clone(), CfOperation::Bind).unwrap();
 
         // Forbid classifier → sink edges, then try to create one.
@@ -818,9 +864,11 @@ mod tests {
         // Removal requires its own grant; then the edge becomes legal.
         let name = ctl.constraint_names()[0].clone();
         assert!(ctl.remove_constraint(&admin, &name).is_err());
-        ctl.grant(&admin, admin.clone(), CfOperation::RemoveConstraint).unwrap();
+        ctl.grant(&admin, admin.clone(), CfOperation::RemoveConstraint)
+            .unwrap();
         ctl.remove_constraint(&admin, &name).unwrap();
-        ctl.rewire(&admin, "cls", "out", "bulk", "sink", IPACKET_PUSH).unwrap();
+        ctl.rewire(&admin, "cls", "out", "bulk", "sink", IPACKET_PUSH)
+            .unwrap();
     }
 
     #[test]
@@ -833,9 +881,11 @@ mod tests {
             ctl.classifier(&ops, "cls"),
             Err(Error::AccessDenied { .. })
         ));
-        ctl.grant(&Principal::system(), ops.clone(), CfOperation::Intercept).unwrap();
+        ctl.grant(&Principal::system(), ops.clone(), CfOperation::Intercept)
+            .unwrap();
         let cls = ctl.classifier(&ops, "cls").unwrap();
-        cls.register_filter(FilterSpec::new(FilterPattern::any(), "default", 7)).unwrap();
+        cls.register_filter(FilterSpec::new(FilterPattern::any(), "default", 7))
+            .unwrap();
         assert_eq!(composite.filters().len(), 1);
     }
 
@@ -892,7 +942,9 @@ mod tests {
                 core: ComponentCore::new(ComponentDescriptor::new("t.Bad", Version::new(1, 0, 0))),
             }))
             .unwrap();
-        let err = ctl.replace(&Principal::system(), "q", bad, Quiescence::PerEdge).unwrap_err();
+        let err = ctl
+            .replace(&Principal::system(), "q", bad, Quiescence::PerEdge)
+            .unwrap_err();
         assert!(err.to_string().contains("R1"), "{err}");
         // Label table unchanged.
         assert_ne!(composite.constituent("q").unwrap(), bad);

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::flow::FlowKey;
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
@@ -16,8 +17,10 @@ use opencom::error::{Error, Result};
 use opencom::receptacle::Receptacle;
 use parking_lot::RwLock;
 
-use crate::api::{FilterId, FilterSpec, IClassifier, IPacketPush, PushError, PushResult,
-                 ICLASSIFIER, IPACKET_PUSH};
+use crate::api::{
+    BatchResult, FilterId, FilterSpec, IClassifier, IPacketPush, PushError, PushResult,
+    ICLASSIFIER, IPACKET_PUSH,
+};
 
 use super::element_core;
 
@@ -52,7 +55,10 @@ impl ClassifierEngine {
 
     /// `(matched, unmatched)` packet counts.
     pub fn stats(&self) -> (u64, u64) {
-        (self.matched.load(Ordering::Relaxed), self.unmatched.load(Ordering::Relaxed))
+        (
+            self.matched.load(Ordering::Relaxed),
+            self.unmatched.load(Ordering::Relaxed),
+        )
     }
 
     fn output_bound(&self, label: &str) -> bool {
@@ -80,13 +86,12 @@ impl IPacketPush for ClassifierEngine {
         let flow = FlowKey::from_packet(&pkt);
         let label: Option<String> = {
             let filters = self.filters.read();
-            flow.as_ref()
-                .and_then(|f| {
-                    filters
-                        .iter()
-                        .find(|(_, spec)| spec.pattern.matches(f, dscp))
-                        .map(|(_, spec)| spec.output.clone())
-                })
+            flow.as_ref().and_then(|f| {
+                filters
+                    .iter()
+                    .find(|(_, spec)| spec.pattern.matches(f, dscp))
+                    .map(|(_, spec)| spec.output.clone())
+            })
         };
         match label {
             Some(out) => {
@@ -97,7 +102,10 @@ impl IPacketPush for ClassifierEngine {
                 }
             }
             None => {
-                match self.outs.with_labelled(DEFAULT_OUTPUT, |next| next.push(pkt)) {
+                match self
+                    .outs
+                    .with_labelled(DEFAULT_OUTPUT, |next| next.push(pkt))
+                {
                     Some(result) => {
                         self.matched.fetch_add(1, Ordering::Relaxed);
                         result
@@ -109,6 +117,69 @@ impl IPacketPush for ClassifierEngine {
                 }
             }
         }
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        // Batch fast path: one pass over the filter list under a single
+        // read lock labels every packet; the batch then splits into one
+        // sub-batch per output and each output's binding is traversed
+        // once. Unmatched packets stay unlabelled — the `None` group —
+        // and fall to the default output, same as scalar. (No in-band
+        // sentinel: a user filter output could spell any string.)
+        let n = batch.len();
+        {
+            let filters = self.filters.read();
+            for idx in 0..n {
+                let pkt = &mut batch.packets_mut()[idx];
+                let dscp = Self::dscp_of(pkt);
+                pkt.meta.dscp = Some(dscp);
+                let flow = FlowKey::from_packet(pkt);
+                let label = flow.as_ref().and_then(|f| {
+                    filters
+                        .iter()
+                        .find(|(_, spec)| spec.pattern.matches(f, dscp))
+                        .map(|(_, spec)| spec.output.clone())
+                });
+                if let Some(out) = label {
+                    let interned = batch.intern(&out);
+                    batch.set_label(idx, interned);
+                }
+            }
+        }
+        let mut result = BatchResult::from(vec![Ok(()); n]);
+        for group in batch.into_label_groups() {
+            let size = group.batch.len();
+            match group.label.as_deref() {
+                None => {
+                    let sub = match self
+                        .outs
+                        .with_labelled(DEFAULT_OUTPUT, |next| next.push_batch(group.batch))
+                    {
+                        Some(sub) => {
+                            self.matched.fetch_add(size as u64, Ordering::Relaxed);
+                            sub
+                        }
+                        None => {
+                            self.unmatched.fetch_add(size as u64, Ordering::Relaxed);
+                            BatchResult::ok(size) // drop policy for unmatched traffic
+                        }
+                    };
+                    result.scatter(&group.indices, sub);
+                }
+                Some(out) => {
+                    self.matched.fetch_add(size as u64, Ordering::Relaxed);
+                    let sub = match self
+                        .outs
+                        .with_labelled(out, |next| next.push_batch(group.batch))
+                    {
+                        Some(sub) => sub,
+                        None => BatchResult::err(size, PushError::Unbound),
+                    };
+                    result.scatter(&group.indices, sub);
+                }
+            }
+        }
+        result
     }
 }
 
@@ -138,7 +209,9 @@ impl IClassifier for ClassifierEngine {
                 filters.remove(pos);
                 Ok(())
             }
-            None => Err(Error::StaleReference { what: format!("filter {id:?}") }),
+            None => Err(Error::StaleReference {
+                what: format!("filter {id:?}"),
+            }),
         }
     }
 
@@ -195,7 +268,12 @@ mod tests {
             capsule.bind(cid, "out", label, sid, IPACKET_PUSH).unwrap();
             sinks.push((label.to_string(), sink));
         }
-        Rig { capsule, classifier, cid, sinks }
+        Rig {
+            capsule,
+            classifier,
+            cid,
+            sinks,
+        }
     }
 
     fn sink<'a>(r: &'a Rig, label: &str) -> &'a Arc<Discard> {
@@ -207,7 +285,9 @@ mod tests {
         let r = rig(&["voice", "bulk", "default"]);
         r.classifier
             .register_filter(FilterSpec::new(
-                FilterPattern::any().protocol(proto::UDP).dst_port_range(5000, 5999),
+                FilterPattern::any()
+                    .protocol(proto::UDP)
+                    .dst_port_range(5000, 5999),
                 "voice",
                 10,
             ))
@@ -288,6 +368,43 @@ mod tests {
         assert_eq!(sink(&r, "a").count(), 1);
         assert_eq!(sink(&r, "default").count(), 1);
         assert!(r.classifier.remove_filter(id).is_err());
+    }
+
+    #[test]
+    fn batch_keeps_weird_output_labels_distinct_from_unmatched() {
+        use netkit_packet::batch::PacketBatch;
+        // A user is free to name an output anything — including strings
+        // that look like internal markers. Matched packets must reach
+        // that output; unmatched ones must fall to `default`.
+        let weird = "\0unmatched";
+        let r = rig(&[weird, "default"]);
+        r.classifier
+            .register_filter(FilterSpec::new(
+                FilterPattern::any()
+                    .protocol(proto::UDP)
+                    .dst_port_range(5000, 5999),
+                weird,
+                10,
+            ))
+            .unwrap();
+        let batch: PacketBatch = (0..4u16)
+            .map(|i| {
+                let dport = if i < 2 { 5500 } else { 80 };
+                PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", i, dport).build()
+            })
+            .collect();
+        let result = r.classifier.push_batch(batch);
+        assert!(result.all_ok());
+        assert_eq!(
+            sink(&r, weird).count(),
+            2,
+            "matched traffic on its own output"
+        );
+        assert_eq!(
+            sink(&r, "default").count(),
+            2,
+            "unmatched traffic on default"
+        );
     }
 
     #[test]

@@ -6,12 +6,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::headers::{Ipv4Header, Ipv6Header};
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
 use opencom::receptacle::Receptacle;
 
-use crate::api::{IPacketPush, PushError, PushResult, IPACKET_PUSH};
+use crate::api::{BatchResult, IPacketPush, PushError, PushResult, IPACKET_PUSH};
 
 use super::element_core;
 
@@ -90,6 +91,68 @@ macro_rules! ip_processor {
                     None => Err(PushError::Unbound),
                 }
             }
+
+            fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+                // Batch fast path: validate + decrement per packet, then
+                // cross each receptacle once — survivors as one batch on
+                // `out`, failures as one batch on `err`.
+                let n = batch.len();
+                let mut result = BatchResult::from(vec![Ok(()); n]);
+                let mut ok_batch = PacketBatch::with_capacity(n);
+                let mut ok_idx = Vec::with_capacity(n);
+                let mut err_batch = PacketBatch::new();
+                let mut err_idx = Vec::new();
+                let mut err_reasons: Vec<PushError> = Vec::new();
+                for (idx, mut pkt) in batch.into_packets().into_iter().enumerate() {
+                    #[allow(clippy::redundant_closure_call)]
+                    if let Err(e) = ($validate)(&pkt) {
+                        self.malformed.fetch_add(1, Ordering::Relaxed);
+                        err_batch.push(pkt);
+                        err_idx.push(idx);
+                        err_reasons.push(PushError::Malformed(e));
+                        continue;
+                    }
+                    #[allow(clippy::redundant_closure_call)]
+                    if ($decrement)(&mut pkt).is_err() {
+                        self.ttl_expired.fetch_add(1, Ordering::Relaxed);
+                        err_batch.push(pkt);
+                        err_idx.push(idx);
+                        err_reasons.push(PushError::TtlExpired);
+                        continue;
+                    }
+                    ok_batch.push(pkt);
+                    ok_idx.push(idx);
+                }
+                if !err_batch.is_empty() {
+                    let mut pending = Some(err_batch);
+                    let diverted = self
+                        .err
+                        .with_bound(|e| e.push_batch(pending.take().expect("unconsumed")));
+                    let sub = match diverted {
+                        Some(sub) => sub,
+                        None => BatchResult::from(
+                            err_reasons.into_iter().map(Err).collect::<Vec<_>>(),
+                        ),
+                    };
+                    result.scatter(&err_idx, sub);
+                }
+                if !ok_batch.is_empty() {
+                    let size = ok_batch.len();
+                    let mut pending = Some(ok_batch);
+                    let forwarded = self
+                        .out
+                        .with_bound(|next| next.push_batch(pending.take().expect("unconsumed")));
+                    let sub = match forwarded {
+                        Some(sub) => {
+                            self.forwarded.fetch_add(sub.accepted() as u64, Ordering::Relaxed);
+                            sub
+                        }
+                        None => BatchResult::err(size, PushError::Unbound),
+                    };
+                    result.scatter(&ok_idx, sub);
+                }
+                result
+            }
         }
 
         impl Component for $name {
@@ -149,8 +212,12 @@ mod tests {
     use opencom::capsule::Capsule;
     use opencom::runtime::Runtime;
 
-    fn setup() -> (Arc<opencom::capsule::Capsule>, Arc<Ipv4Processor>, Arc<Discard>, Arc<Discard>)
-    {
+    fn setup() -> (
+        Arc<opencom::capsule::Capsule>,
+        Arc<Ipv4Processor>,
+        Arc<Discard>,
+        Arc<Discard>,
+    ) {
         let rt = Runtime::new();
         crate::api::register_packet_interfaces(&rt);
         let capsule = Capsule::new("t", &rt);
@@ -168,13 +235,19 @@ mod tests {
     #[test]
     fn valid_packet_is_ttl_decremented_and_forwarded() {
         let (_c, proc4, sink, err) = setup();
-        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(9).build();
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .ttl(9)
+            .build();
         proc4.push(pkt).unwrap();
         assert_eq!(sink.count(), 1);
         assert_eq!(err.count(), 0);
         assert_eq!(proc4.stats().forwarded, 1);
         let got = sink.last().unwrap();
-        assert_eq!(got.ipv4().unwrap().ttl, 8, "ttl decremented, checksum valid");
+        assert_eq!(
+            got.ipv4().unwrap().ttl,
+            8,
+            "ttl decremented, checksum valid"
+        );
     }
 
     #[test]
@@ -213,7 +286,9 @@ mod tests {
         let pid = capsule.adopt(proc4.clone()).unwrap();
         let sid = capsule.adopt(sink).unwrap();
         capsule.bind_simple(pid, "out", sid, IPACKET_PUSH).unwrap();
-        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).ttl(0).build();
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .ttl(0)
+            .build();
         assert!(matches!(proc4.push(pkt), Err(PushError::TtlExpired)));
     }
 

@@ -4,13 +4,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::headers::EtherType;
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
 use opencom::receptacle::Receptacle;
 use parking_lot::Mutex;
 
-use crate::api::{IPacketPush, PushError, PushResult, IPACKET_PUSH};
+use crate::api::{BatchResult, IPacketPush, PushError, PushResult, IPACKET_PUSH};
 
 use super::element_core;
 
@@ -63,6 +64,24 @@ impl IPacketPush for Counter {
             None => Ok(()), // sink mode
         }
     }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // Batch fast path: two counter adds and one lock for the whole
+        // burst, one receptacle traversal downstream.
+        let n = batch.len();
+        self.packets.fetch_add(n as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            batch.iter().map(|p| p.len() as u64).sum::<u64>(),
+            Ordering::Relaxed,
+        );
+        if let Some(last) = batch.packets().last() {
+            *self.last.lock() = Some(last.clone());
+        }
+        match self.out.with_bound(|next| next.push_batch(batch)) {
+            Some(result) => result,
+            None => BatchResult::ok(n), // sink mode
+        }
+    }
 }
 
 impl Component for Counter {
@@ -75,8 +94,7 @@ impl Component for Counter {
         reg.receptacle(&self.out);
     }
     fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.last.lock().as_ref().map_or(0, |p| p.len())
+        std::mem::size_of::<Self>() + self.last.lock().as_ref().map_or(0, |p| p.len())
     }
 }
 
@@ -114,6 +132,15 @@ impl IPacketPush for Discard {
         self.packets.fetch_add(1, Ordering::Relaxed);
         *self.last.lock() = Some(pkt);
         Ok(())
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        let n = batch.len();
+        self.packets.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(last) = batch.into_packets().pop() {
+            *self.last.lock() = Some(last);
+        }
+        BatchResult::ok(n)
     }
 }
 
@@ -168,6 +195,25 @@ impl IPacketPush for Tee {
             Err(PushError::Unbound)
         }
     }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // One cloned batch per output instead of one clone + one
+        // traversal per packet per output.
+        let n = batch.len();
+        let mut any = false;
+        self.outs.for_each(|_, next| {
+            let copy: PacketBatch = batch.packets().to_vec().into();
+            let sub = next.push_batch(copy);
+            self.forwarded
+                .fetch_add(sub.accepted() as u64, Ordering::Relaxed);
+            any = true;
+        });
+        if any {
+            BatchResult::ok(n)
+        } else {
+            BatchResult::err(n, PushError::Unbound)
+        }
+    }
 }
 
 impl Component for Tee {
@@ -208,9 +254,9 @@ impl ProtocolRecogniser {
     }
 }
 
-impl IPacketPush for ProtocolRecogniser {
-    fn push(&self, pkt: Packet) -> PushResult {
-        let label = match pkt.ethernet() {
+impl ProtocolRecogniser {
+    fn label_for(pkt: &Packet) -> &'static str {
+        match pkt.ethernet() {
             Ok(eth) => match eth.ethertype {
                 EtherType::Ipv4 => "ipv4",
                 EtherType::Ipv6 => "ipv6",
@@ -218,8 +264,17 @@ impl IPacketPush for ProtocolRecogniser {
                 EtherType::Other(_) => "other",
             },
             Err(_) => "other",
-        };
-        match self.outs.with_labelled(label, |next| next.push(pkt.clone())) {
+        }
+    }
+}
+
+impl IPacketPush for ProtocolRecogniser {
+    fn push(&self, pkt: Packet) -> PushResult {
+        let label = Self::label_for(&pkt);
+        match self
+            .outs
+            .with_labelled(label, |next| next.push(pkt.clone()))
+        {
             Some(result) => result,
             None => match self.outs.with_labelled("other", |next| next.push(pkt)) {
                 Some(result) => result,
@@ -229,6 +284,46 @@ impl IPacketPush for ProtocolRecogniser {
                 }
             },
         }
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        // Batch fast path: demux the burst into one sub-batch per
+        // EtherType and cross each binding once.
+        let n = batch.len();
+        for idx in 0..n {
+            let label = Self::label_for(&batch.packets()[idx]);
+            let interned = batch.intern(label);
+            batch.set_label(idx, interned);
+        }
+        let mut result = BatchResult::from(vec![Ok(()); n]);
+        for group in batch.into_label_groups() {
+            let size = group.batch.len();
+            let label: &str = group.label.as_deref().unwrap_or("other");
+            // Same fallback chain as scalar: the protocol's own output,
+            // then `other`, then drop-with-count. The Option dance keeps
+            // the batch alive across an unbound first attempt.
+            let mut pending = Some(group.batch);
+            let direct = self.outs.with_labelled(label, |next| {
+                next.push_batch(pending.take().expect("unconsumed"))
+            });
+            let sub = match direct {
+                Some(sub) => sub,
+                None => {
+                    let fallback = self.outs.with_labelled("other", |next| {
+                        next.push_batch(pending.take().expect("unconsumed"))
+                    });
+                    match fallback {
+                        Some(sub) => sub,
+                        None => {
+                            self.unroutable.fetch_add(size as u64, Ordering::Relaxed);
+                            BatchResult::ok(size)
+                        }
+                    }
+                }
+            };
+            result.scatter(&group.indices, sub);
+        }
+        result
     }
 }
 
@@ -260,7 +355,9 @@ mod tests {
     }
 
     fn v4_pkt() -> Packet {
-        PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).payload(b"xy").build()
+        PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .payload(b"xy")
+            .build()
     }
 
     #[test]

@@ -7,13 +7,16 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::api::{IPacketPull, IPacketPush, PushError, PushResult, IPACKET_PULL, IPACKET_PUSH};
+use crate::api::{
+    BatchResult, IPacketPull, IPacketPush, PushError, PushResult, IPACKET_PULL, IPACKET_PUSH,
+};
 
 use super::element_core;
 
@@ -80,6 +83,28 @@ impl IPacketPush for DropTailQueue {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // Batch fast path: one lock acquisition for the whole burst.
+        let mut result = BatchResult::with_capacity(batch.len());
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        let mut q = self.queue.lock();
+        for pkt in batch {
+            if q.len() >= self.capacity {
+                dropped += 1;
+                result.record(Err(PushError::QueueFull));
+            } else {
+                q.push_back(pkt);
+                accepted += 1;
+                result.record(Ok(()));
+            }
+        }
+        drop(q);
+        self.enqueued.fetch_add(accepted, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        result
+    }
 }
 
 impl IPacketPull for DropTailQueue {
@@ -89,6 +114,18 @@ impl IPacketPull for DropTailQueue {
             self.dequeued.fetch_add(1, Ordering::Relaxed);
         }
         pkt
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        let mut q = self.queue.lock();
+        let take = max.min(q.len());
+        let mut batch = PacketBatch::with_capacity(take);
+        for _ in 0..take {
+            batch.push(q.pop_front().expect("length checked"));
+        }
+        drop(q);
+        self.dequeued.fetch_add(take as u64, Ordering::Relaxed);
+        batch
     }
 }
 
@@ -103,8 +140,7 @@ impl Component for DropTailQueue {
         reg.expose(IPACKET_PULL, &pull);
     }
     fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.queue.lock().iter().map(|p| p.len()).sum::<usize>()
+        std::mem::size_of::<Self>() + self.queue.lock().iter().map(|p| p.len()).sum::<usize>()
     }
 }
 
@@ -194,9 +230,11 @@ impl RedQueue {
     }
 }
 
-impl IPacketPush for RedQueue {
-    fn push(&self, pkt: Packet) -> PushResult {
-        let mut s = self.state.lock();
+impl RedQueue {
+    /// The RED admit decision for one packet; **must** stay in lockstep
+    /// with itself across the scalar and batch paths (same EWMA update,
+    /// same RNG draw order) so both produce identical drop sequences.
+    fn admit(&self, s: &mut RedState, pkt: Packet) -> PushResult {
         s.avg = (1.0 - self.config.weight) * s.avg + self.config.weight * s.queue.len() as f64;
         if s.queue.len() >= self.config.capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -207,8 +245,7 @@ impl IPacketPush for RedQueue {
             return Err(PushError::QueueFull);
         }
         if s.avg > self.config.min_threshold {
-            let p = self.config.max_probability
-                * (s.avg - self.config.min_threshold)
+            let p = self.config.max_probability * (s.avg - self.config.min_threshold)
                 / (self.config.max_threshold - self.config.min_threshold);
             if s.rng.gen_bool(p.clamp(0.0, 1.0)) {
                 self.early_dropped.fetch_add(1, Ordering::Relaxed);
@@ -221,6 +258,24 @@ impl IPacketPush for RedQueue {
     }
 }
 
+impl IPacketPush for RedQueue {
+    fn push(&self, pkt: Packet) -> PushResult {
+        let mut s = self.state.lock();
+        self.admit(&mut s, pkt)
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // One lock for the burst; per-packet EWMA/RNG decisions are
+        // identical to the scalar path by construction (shared `admit`).
+        let mut result = BatchResult::with_capacity(batch.len());
+        let mut s = self.state.lock();
+        for pkt in batch {
+            result.record(self.admit(&mut s, pkt));
+        }
+        result
+    }
+}
+
 impl IPacketPull for RedQueue {
     fn pull(&self) -> Option<Packet> {
         let pkt = self.state.lock().queue.pop_front();
@@ -228,6 +283,18 @@ impl IPacketPull for RedQueue {
             self.dequeued.fetch_add(1, Ordering::Relaxed);
         }
         pkt
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        let mut s = self.state.lock();
+        let take = max.min(s.queue.len());
+        let mut batch = PacketBatch::with_capacity(take);
+        for _ in 0..take {
+            batch.push(s.queue.pop_front().expect("length checked"));
+        }
+        drop(s);
+        self.dequeued.fetch_add(take as u64, Ordering::Relaxed);
+        batch
     }
 }
 
@@ -243,7 +310,13 @@ impl Component for RedQueue {
     }
     fn footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.state.lock().queue.iter().map(|p| p.len()).sum::<usize>()
+            + self
+                .state
+                .lock()
+                .queue
+                .iter()
+                .map(|p| p.len())
+                .sum::<usize>()
     }
 }
 
@@ -323,7 +396,10 @@ mod tests {
     #[test]
     fn red_is_deterministic_per_seed() {
         let run = |seed| {
-            let q = RedQueue::new(RedConfig { seed, ..RedConfig::default() });
+            let q = RedQueue::new(RedConfig {
+                seed,
+                ..RedConfig::default()
+            });
             let mut drops = 0;
             for _ in 0..300 {
                 if q.push(pkt()).is_err() {

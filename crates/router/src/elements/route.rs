@@ -10,6 +10,7 @@ use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::headers::EtherType;
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
@@ -18,7 +19,7 @@ use opencom::ident::InterfaceId;
 use opencom::receptacle::Receptacle;
 use parking_lot::RwLock;
 
-use crate::api::{IPacketPush, PushError, PushResult, IPACKET_PUSH};
+use crate::api::{BatchResult, IPacketPush, PushError, PushResult, IPACKET_PUSH};
 use crate::routing::{RouteEntry, RoutingTable};
 
 use super::element_core;
@@ -48,9 +49,11 @@ pub trait IRouteControl: Send + Sync {
 }
 
 fn parse_prefix(prefix: &str) -> Result<(IpAddr, u8)> {
-    let (addr, len) = prefix.split_once('/').ok_or_else(|| Error::StaleReference {
-        what: format!("prefix `{prefix}` (expected addr/len)"),
-    })?;
+    let (addr, len) = prefix
+        .split_once('/')
+        .ok_or_else(|| Error::StaleReference {
+            what: format!("prefix `{prefix}` (expected addr/len)"),
+        })?;
     let addr: IpAddr = addr.parse().map_err(|_| Error::StaleReference {
         what: format!("address `{addr}`"),
     })?;
@@ -88,7 +91,10 @@ impl RouteLookup {
 
     /// `(routed, unrouted)` packet counts.
     pub fn stats(&self) -> (u64, u64) {
-        (self.routed.load(Ordering::Relaxed), self.unrouted.load(Ordering::Relaxed))
+        (
+            self.routed.load(Ordering::Relaxed),
+            self.unrouted.load(Ordering::Relaxed),
+        )
     }
 
     fn destination(pkt: &Packet) -> Option<IpAddr> {
@@ -114,13 +120,74 @@ impl IPacketPush for RouteLookup {
         pkt.meta.next_hop = entry.next_hop.or(Some(dst));
         self.routed.fetch_add(1, Ordering::Relaxed);
         let label = entry.egress.to_string();
-        match self.outs.with_labelled(&label, |next| next.push(pkt.clone())) {
+        match self
+            .outs
+            .with_labelled(&label, |next| next.push(pkt.clone()))
+        {
             Some(result) => result,
             None => match self.outs.with_labelled("out", |next| next.push(pkt)) {
                 Some(result) => result,
                 None => Err(PushError::Unbound),
             },
         }
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        // Batch fast path: all LPM lookups under one table read lock,
+        // one binding traversal per egress port group.
+        let n = batch.len();
+        let mut result = BatchResult::from(vec![Ok(()); n]);
+        let mut no_route = 0u64;
+        let mut routed = 0u64;
+        {
+            let table = self.table.read();
+            for idx in 0..n {
+                let pkt = &mut batch.packets_mut()[idx];
+                let Some(dst) = Self::destination(pkt) else {
+                    no_route += 1;
+                    result.verdicts[idx] = Err(PushError::NoRoute);
+                    continue;
+                };
+                let Some(entry) = table.lookup(dst) else {
+                    no_route += 1;
+                    result.verdicts[idx] = Err(PushError::NoRoute);
+                    continue;
+                };
+                pkt.meta.egress = Some(entry.egress);
+                pkt.meta.next_hop = entry.next_hop.or(Some(dst));
+                routed += 1;
+                let interned = batch.intern(&entry.egress.to_string());
+                batch.set_label(idx, interned);
+            }
+        }
+        self.unrouted.fetch_add(no_route, Ordering::Relaxed);
+        self.routed.fetch_add(routed, Ordering::Relaxed);
+        for group in batch.into_label_groups() {
+            let Some(label) = group.label else {
+                // Unlabelled packets already carry their NoRoute verdicts.
+                continue;
+            };
+            let size = group.batch.len();
+            // Same fallback chain as scalar: per-port label, then `out`.
+            let mut pending = Some(group.batch);
+            let direct = self.outs.with_labelled(&label, |next| {
+                next.push_batch(pending.take().expect("unconsumed"))
+            });
+            let sub = match direct {
+                Some(sub) => sub,
+                None => {
+                    let fallback = self.outs.with_labelled("out", |next| {
+                        next.push_batch(pending.take().expect("unconsumed"))
+                    });
+                    match fallback {
+                        Some(sub) => sub,
+                        None => BatchResult::err(size, PushError::Unbound),
+                    }
+                }
+            };
+            result.scatter(&group.indices, sub);
+        }
+        result
     }
 }
 
@@ -150,7 +217,9 @@ impl IRouteControl for RouteLookup {
         };
         match removed {
             Some(_) => Ok(()),
-            None => Err(Error::StaleReference { what: format!("route `{prefix}`") }),
+            None => Err(Error::StaleReference {
+                what: format!("route `{prefix}`"),
+            }),
         }
     }
 
@@ -209,12 +278,21 @@ mod tests {
     fn routes_to_per_port_outputs() {
         let (_c, route, p0, p1) = rig();
         route
-            .add_route("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None })
+            .add_route(
+                "10.0.0.0/8",
+                RouteEntry {
+                    egress: 0,
+                    next_hop: None,
+                },
+            )
             .unwrap();
         route
             .add_route(
                 "10.1.0.0/16",
-                RouteEntry { egress: 1, next_hop: Some("10.1.0.254".parse().unwrap()) },
+                RouteEntry {
+                    egress: 1,
+                    next_hop: Some("10.1.0.254".parse().unwrap()),
+                },
             )
             .unwrap();
         route
@@ -246,7 +324,13 @@ mod tests {
     fn remove_route_takes_effect() {
         let (_c, route, _p0, _p1) = rig();
         route
-            .add_route("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None })
+            .add_route(
+                "10.0.0.0/8",
+                RouteEntry {
+                    egress: 0,
+                    next_hop: None,
+                },
+            )
             .unwrap();
         assert!(route.lookup("10.5.5.5".parse().unwrap()).is_some());
         route.remove_route("10.0.0.0/8").unwrap();
@@ -257,7 +341,10 @@ mod tests {
     #[test]
     fn malformed_prefixes_rejected() {
         let (_c, route, _p0, _p1) = rig();
-        let e = RouteEntry { egress: 0, next_hop: None };
+        let e = RouteEntry {
+            egress: 0,
+            next_hop: None,
+        };
         assert!(route.add_route("10.0.0.0", e).is_err());
         assert!(route.add_route("10.0.0.0/x", e).is_err());
         assert!(route.add_route("banana/8", e).is_err());
@@ -267,7 +354,13 @@ mod tests {
     fn v6_routing_works() {
         let (_c, route, p0, _p1) = rig();
         route
-            .add_route("2001:db8::/32", RouteEntry { egress: 0, next_hop: None })
+            .add_route(
+                "2001:db8::/32",
+                RouteEntry {
+                    egress: 0,
+                    next_hop: None,
+                },
+            )
             .unwrap();
         route
             .push(PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1, 2).build())
@@ -285,8 +378,17 @@ mod tests {
         let iref = capsule.query_interface(rid, IROUTE_CONTROL).unwrap();
         let control: Arc<dyn IRouteControl> = iref.downcast().unwrap();
         control
-            .add_route("10.0.0.0/8", RouteEntry { egress: 3, next_hop: None })
+            .add_route(
+                "10.0.0.0/8",
+                RouteEntry {
+                    egress: 3,
+                    next_hop: None,
+                },
+            )
             .unwrap();
-        assert_eq!(control.lookup("10.1.1.1".parse().unwrap()).unwrap().egress, 3);
+        assert_eq!(
+            control.lookup("10.1.1.1".parse().unwrap()).unwrap().egress,
+            3
+        );
     }
 }

@@ -12,6 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
 use opencom::component::{Component, ComponentCore, Registrar};
 use opencom::receptacle::Receptacle;
@@ -60,11 +61,20 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    fn make(discipline: Discipline, type_name: &str, quantum: f64, weights: &[(&str, f64)]) -> Arc<Self> {
+    fn make(
+        discipline: Discipline,
+        type_name: &str,
+        quantum: f64,
+        weights: &[(&str, f64)],
+    ) -> Arc<Self> {
         Arc::new(Self {
             core: element_core(type_name),
             inputs: Receptacle::multi("in", IPACKET_PULL),
-            state: Mutex::new(SchedState { inputs: Vec::new(), cursor: 0, virtual_time: 0.0 }),
+            state: Mutex::new(SchedState {
+                inputs: Vec::new(),
+                cursor: 0,
+                virtual_time: 0.0,
+            }),
             discipline,
             quantum,
             weights: Mutex::new(weights.iter().map(|(l, w)| (l.to_string(), *w)).collect()),
@@ -244,15 +254,37 @@ impl Scheduler {
     }
 }
 
+impl Scheduler {
+    fn pull_one(&self, state: &mut SchedState) -> Option<Packet> {
+        match self.discipline {
+            Discipline::Strict => self.pull_strict(state),
+            Discipline::Drr => self.pull_drr(state),
+            Discipline::Wfq => self.pull_wfq(state),
+        }
+    }
+}
+
 impl IPacketPull for Scheduler {
     fn pull(&self) -> Option<Packet> {
         let mut state = self.state.lock();
         self.sync_inputs(&mut state);
-        match self.discipline {
-            Discipline::Strict => self.pull_strict(&mut state),
-            Discipline::Drr => self.pull_drr(&mut state),
-            Discipline::Wfq => self.pull_wfq(&mut state),
+        self.pull_one(&mut state)
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        // Batch fast path: one state lock and one binding sync for the
+        // whole burst; the discipline decision still runs per packet so
+        // the service order is identical to repeated scalar pulls.
+        let mut batch = PacketBatch::with_capacity(max.min(64));
+        let mut state = self.state.lock();
+        self.sync_inputs(&mut state);
+        while batch.len() < max {
+            match self.pull_one(&mut state) {
+                Some(pkt) => batch.push(pkt),
+                None => break,
+            }
         }
+        batch
     }
 }
 
@@ -278,6 +310,7 @@ pub struct PriorityScheduler;
 
 impl PriorityScheduler {
     /// Creates a strict-priority scheduler.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new() -> Arc<Scheduler> {
         Scheduler::make(Discipline::Strict, "netkit.PriorityScheduler", 0.0, &[])
     }
@@ -290,6 +323,7 @@ pub struct DrrScheduler;
 impl DrrScheduler {
     /// Creates a DRR scheduler granting `quantum` bytes per input per
     /// round.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(quantum: f64) -> Arc<Scheduler> {
         Scheduler::make(Discipline::Drr, "netkit.DrrScheduler", quantum, &[])
     }
@@ -302,6 +336,7 @@ pub struct WfqScheduler;
 
 impl WfqScheduler {
     /// Creates a WFQ scheduler with per-label weights.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(weights: &[(&str, f64)]) -> Arc<Scheduler> {
         Scheduler::make(Discipline::Wfq, "netkit.WfqScheduler", 0.0, weights)
     }
@@ -328,7 +363,10 @@ mod tests {
     use opencom::capsule::Capsule;
     use opencom::runtime::Runtime;
 
-    fn rig(sched: Arc<Scheduler>, queues: &[(&str, usize)]) -> (Arc<Capsule>, Vec<Arc<DropTailQueue>>) {
+    fn rig(
+        sched: Arc<Scheduler>,
+        queues: &[(&str, usize)],
+    ) -> (Arc<Capsule>, Vec<Arc<DropTailQueue>>) {
         let rt = Runtime::new();
         crate::api::register_packet_interfaces(&rt);
         let capsule = Capsule::new("t", &rt);
@@ -403,7 +441,10 @@ mod tests {
         let sched = DrrScheduler::new(10.0);
         let (_c, queues) = rig(sched.clone(), &[("a", 8)]);
         queues[0].push(pkt_sized(500, 1)).unwrap();
-        assert!(sched.pull().is_some(), "oversized head must still be served");
+        assert!(
+            sched.pull().is_some(),
+            "oversized head must still be served"
+        );
     }
 
     #[test]
@@ -454,7 +495,9 @@ mod tests {
         // Bind a second queue at run time.
         let q2 = DropTailQueue::new(16);
         let q2id = capsule.adopt(q2.clone()).unwrap();
-        let sid = capsule.arch().find_by_type("netkit.PriorityScheduler")[0].core().id();
+        let sid = capsule.arch().find_by_type("netkit.PriorityScheduler")[0]
+            .core()
+            .id();
         capsule.bind(sid, "in", "b", q2id, IPACKET_PULL).unwrap();
         q2.push(pkt_sized(10, 2)).unwrap();
         assert_eq!(sched.pull().unwrap().udp_v4().unwrap().src_port, 2);

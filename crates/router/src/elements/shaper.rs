@@ -6,12 +6,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use netkit_kernel::time::VirtualClock;
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::{Color, Packet};
 use opencom::component::{Component, ComponentCore, Registrar};
 use opencom::receptacle::Receptacle;
 use parking_lot::Mutex;
 
-use crate::api::{IPacketPull, IPacketPush, PushError, PushResult, IPACKET_PULL, IPACKET_PUSH};
+use crate::api::{
+    BatchResult, IPacketPull, IPacketPush, PushError, PushResult, IPACKET_PULL, IPACKET_PUSH,
+};
 
 use super::element_core;
 
@@ -26,7 +29,12 @@ struct Bucket {
 
 impl Bucket {
     fn new(rate_bytes_per_sec: f64, capacity: f64) -> Self {
-        Self { tokens: capacity, capacity, rate_bytes_per_sec, last_refill_ns: 0 }
+        Self {
+            tokens: capacity,
+            capacity,
+            rate_bytes_per_sec,
+            last_refill_ns: 0,
+        }
     }
 
     fn refill(&mut self, now_ns: u64) {
@@ -78,20 +86,43 @@ impl TokenBucketShaper {
     }
 }
 
-impl IPacketPull for TokenBucketShaper {
-    fn pull(&self) -> Option<Packet> {
-        let mut head = self.head.lock();
+impl TokenBucketShaper {
+    fn pull_conforming(&self, head: &mut Option<Packet>, bucket: &mut Bucket) -> Option<Packet> {
         if head.is_none() {
             *head = self.input.with_bound(|p| p.pull()).flatten();
         }
         let size = head.as_ref()?.len() as f64;
         let now = self.clock.now().as_nanos();
-        if self.bucket.lock().try_take(size, now) {
+        if bucket.try_take(size, now) {
             self.released.fetch_add(1, Ordering::Relaxed);
             head.take()
         } else {
             None
         }
+    }
+}
+
+impl IPacketPull for TokenBucketShaper {
+    fn pull(&self) -> Option<Packet> {
+        let mut head = self.head.lock();
+        let mut bucket = self.bucket.lock();
+        self.pull_conforming(&mut head, &mut bucket)
+    }
+
+    fn pull_batch(&self, max: usize) -> PacketBatch {
+        // Batch fast path: head/bucket locks taken once per burst; the
+        // conformance decision is unchanged per packet, so the release
+        // schedule matches repeated scalar pulls.
+        let mut batch = PacketBatch::with_capacity(max.min(64));
+        let mut head = self.head.lock();
+        let mut bucket = self.bucket.lock();
+        while batch.len() < max {
+            match self.pull_conforming(&mut head, &mut bucket) {
+                Some(pkt) => batch.push(pkt),
+                None => break,
+            }
+        }
+        batch
     }
 }
 
@@ -142,7 +173,10 @@ impl Policer {
 
     /// `(passed, dropped)` counts.
     pub fn stats(&self) -> (u64, u64) {
-        (self.passed.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+        (
+            self.passed.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -158,6 +192,47 @@ impl IPacketPush for Policer {
             Some(result) => result,
             None => Err(PushError::Unbound),
         }
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        // Batch fast path: one bucket lock for the burst; conformance is
+        // still judged packet-by-packet (the clock is re-read per packet
+        // exactly as the scalar path does).
+        let n = batch.len();
+        let mut result = BatchResult::from(vec![Ok(()); n]);
+        let mut conforming = PacketBatch::with_capacity(n);
+        let mut conforming_idx = Vec::with_capacity(n);
+        let mut passed = 0u64;
+        let mut dropped = 0u64;
+        {
+            let mut bucket = self.bucket.lock();
+            for (idx, pkt) in batch.into_packets().into_iter().enumerate() {
+                let now = self.clock.now().as_nanos();
+                if bucket.try_take(pkt.len() as f64, now) {
+                    passed += 1;
+                    conforming.push(pkt);
+                    conforming_idx.push(idx);
+                } else {
+                    dropped += 1;
+                    result.verdicts[idx] = Err(PushError::QueueFull);
+                }
+            }
+        }
+        self.passed.fetch_add(passed, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        if !conforming.is_empty() {
+            let size = conforming.len();
+            let mut pending = Some(conforming);
+            let sub = match self
+                .out
+                .with_bound(|next| next.push_batch(pending.take().expect("unconsumed")))
+            {
+                Some(sub) => sub,
+                None => BatchResult::err(size, PushError::Unbound),
+            };
+            result.scatter(&conforming_idx, sub);
+        }
+        result
     }
 }
 
@@ -241,6 +316,45 @@ impl IPacketPush for Meter {
             None => Err(PushError::Unbound),
         }
     }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        // Batch fast path: both bucket locks held once across the burst;
+        // colouring decisions per packet are unchanged, and the whole
+        // coloured burst crosses the downstream binding once.
+        let n = batch.len();
+        let mut tallies = [0u64; 3];
+        {
+            let mut committed = self.committed.lock();
+            let mut excess = self.excess.lock();
+            for pkt in batch.packets_mut() {
+                let now = self.clock.now().as_nanos();
+                let size = pkt.len() as f64;
+                let color = if committed.try_take(size, now) {
+                    Color::Green
+                } else if excess.try_take(size, now) {
+                    Color::Yellow
+                } else {
+                    Color::Red
+                };
+                let idx = match color {
+                    Color::Green => 0,
+                    Color::Yellow => 1,
+                    Color::Red => 2,
+                };
+                tallies[idx] += 1;
+                pkt.meta.color = Some(color);
+            }
+        }
+        for (idx, tally) in tallies.iter().enumerate() {
+            if *tally > 0 {
+                self.counts[idx].fetch_add(*tally, Ordering::Relaxed);
+            }
+        }
+        match self.out.with_bound(|next| next.push_batch(batch)) {
+            Some(result) => result,
+            None => BatchResult::err(n, PushError::Unbound),
+        }
+    }
 }
 
 impl Component for Meter {
@@ -281,7 +395,9 @@ mod tests {
 
     fn pkt100() -> Packet {
         // 100-byte frame: 42 bytes of headers + 58 payload.
-        PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).payload_len(58).build()
+        PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .payload_len(58)
+            .build()
     }
 
     #[test]

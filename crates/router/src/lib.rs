@@ -71,6 +71,7 @@ pub use api::{
     IPacketPush, PushError, PushResult, ICLASSIFIER, IPACKET_PULL, IPACKET_PUSH,
 };
 pub use cf::{ProbeReport, RouterCf, RouterRules};
-pub use composite::{Composite, CompositeBuilder, IComposite, IController, ICOMPOSITE,
-                    ICONTROLLER};
+pub use composite::{
+    Composite, CompositeBuilder, IComposite, IController, ICOMPOSITE, ICONTROLLER,
+};
 pub use routing::{RouteEntry, RoutingTable};

@@ -25,7 +25,10 @@ struct TrieNode<T> {
 
 impl<T> Default for TrieNode<T> {
     fn default() -> Self {
-        Self { children: [None, None], value: None }
+        Self {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ impl<T> PrefixTrie<T> {
     /// Creates an empty trie for prefixes of at most `max_bits` bits.
     pub fn new(max_bits: u8) -> Self {
         assert!(max_bits <= 128, "prefix width beyond 128 bits");
-        Self { root: TrieNode::default(), max_bits, len: 0 }
+        Self {
+            root: TrieNode::default(),
+            max_bits,
+            len: 0,
+        }
     }
 
     fn bit(key: u128, index: u8) -> usize {
@@ -116,7 +123,11 @@ impl<T> PrefixTrie<T> {
 
 impl<T> fmt::Debug for PrefixTrie<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PrefixTrie({} prefixes, {} bits)", self.len, self.max_bits)
+        write!(
+            f,
+            "PrefixTrie({} prefixes, {} bits)",
+            self.len, self.max_bits
+        )
     }
 }
 
@@ -156,7 +167,10 @@ impl Default for RoutingTable {
 impl RoutingTable {
     /// Creates an empty dual-stack table.
     pub fn new() -> Self {
-        Self { v4: PrefixTrie::new(32), v6: PrefixTrie::new(128) }
+        Self {
+            v4: PrefixTrie::new(32),
+            v6: PrefixTrie::new(128),
+        }
     }
 
     /// Adds an IPv4 route.
@@ -229,7 +243,10 @@ mod tests {
     use super::*;
 
     fn e(egress: u16) -> RouteEntry {
-        RouteEntry { egress, next_hop: None }
+        RouteEntry {
+            egress,
+            next_hop: None,
+        }
     }
 
     #[test]

@@ -200,8 +200,20 @@ mod tests {
 
     fn node(addr: &str) -> EeNode {
         let mut table = RoutingTable::new();
-        table.add("10.0.1.0/24", RouteEntry { egress: 0, next_hop: None });
-        table.add("10.0.2.0/24", RouteEntry { egress: 1, next_hop: None });
+        table.add(
+            "10.0.1.0/24",
+            RouteEntry {
+                egress: 0,
+                next_hop: None,
+            },
+        );
+        table.add(
+            "10.0.2.0/24",
+            RouteEntry {
+                egress: 1,
+                next_hop: None,
+            },
+        );
         EeNode {
             addr: addr.parse().unwrap(),
             now_ns: Arc::new(AtomicU64::new(77)),
@@ -250,8 +262,12 @@ mod tests {
     #[test]
     fn non_active_traffic_bypasses() {
         let r = rig();
-        r.ee.push(PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 2).payload(b"hi").build())
-            .unwrap();
+        r.ee.push(
+            PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 2)
+                .payload(b"hi")
+                .build(),
+        )
+        .unwrap();
         assert_eq!(r.bypass.count(), 1);
         assert_eq!(r.ee.stats().bypassed, 1);
     }
@@ -306,7 +322,8 @@ mod tests {
         r.ee.push(active_packet(&p, vec![])).unwrap();
         assert_eq!(r.ee.stats().faults, 1);
         // The router keeps running.
-        r.ee.push(PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 2).build()).unwrap();
+        r.ee.push(PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 2).build())
+            .unwrap();
         assert_eq!(r.bypass.count(), 1);
     }
 
@@ -320,8 +337,7 @@ mod tests {
         // path entry.
         assert_eq!(r.local.count(), 1);
         let delivered = r.local.last().unwrap();
-        let decoded =
-            Capsule::decode(capsule_payload(&delivered).unwrap()).unwrap();
+        let decoded = Capsule::decode(capsule_payload(&delivered).unwrap()).unwrap();
         // The delivered packet is the *incoming* capsule; its args were
         // stamped by the EE before delivery happens at the VM level, so we
         // only check it is still a well-formed capsule here.

@@ -189,7 +189,10 @@ impl Program {
     /// Panics on empty code (a capsule must do *something*).
     pub fn new(name: impl Into<String>, code: Vec<OpCode>) -> Self {
         assert!(!code.is_empty(), "empty program");
-        Self { name: name.into(), code }
+        Self {
+            name: name.into(),
+            code,
+        }
     }
 
     /// The program's display name.
@@ -309,7 +312,11 @@ pub struct EeBudget {
 
 impl Default for EeBudget {
     fn default() -> Self {
-        Self { max_instructions: 10_000, max_stack: 256, max_cache_entries: 4_096 }
+        Self {
+            max_instructions: 10_000,
+            max_stack: 256,
+            max_cache_entries: 4_096,
+        }
     }
 }
 
@@ -359,12 +366,20 @@ pub struct Capsule {
 impl Capsule {
     /// Creates a capsule carrying its code (first packet of a flow).
     pub fn with_code(program: &Program, args: Vec<i64>) -> Self {
-        Self { code_hash: program.hash(), args, code: Some(program.clone()) }
+        Self {
+            code_hash: program.hash(),
+            args,
+            code: Some(program.clone()),
+        }
     }
 
     /// Creates a code-less capsule naming an already-distributed program.
     pub fn by_hash(code_hash: u64, args: Vec<i64>) -> Self {
-        Self { code_hash, args, code: None }
+        Self {
+            code_hash,
+            args,
+            code: None,
+        }
     }
 
     /// Serialises to a UDP payload.
@@ -437,7 +452,11 @@ impl Capsule {
         } else {
             None
         };
-        Ok(Self { code_hash, args, code })
+        Ok(Self {
+            code_hash,
+            args,
+            code,
+        })
     }
 }
 
@@ -528,7 +547,9 @@ impl ExecutionEnv {
                     }
                     None => {
                         self.stats.lock().faulted += 1;
-                        return Err(EeError::CodeMiss { hash: capsule.code_hash });
+                        return Err(EeError::CodeMiss {
+                            hash: capsule.code_hash,
+                        });
                     }
                 },
             }
@@ -560,12 +581,16 @@ impl ExecutionEnv {
         let mut pc: usize = 0;
 
         let pop = |stack: &mut Vec<i64>| -> Result<i64, EeError> {
-            stack.pop().ok_or(EeError::StackFault { detail: "underflow" })
+            stack.pop().ok_or(EeError::StackFault {
+                detail: "underflow",
+            })
         };
 
         loop {
             if outcome.instructions >= self.budget.max_instructions {
-                return Err(EeError::BudgetExceeded { limit: self.budget.max_instructions });
+                return Err(EeError::BudgetExceeded {
+                    limit: self.budget.max_instructions,
+                });
             }
             let Some(op) = code.get(pc) else {
                 break; // running off the end halts
@@ -583,7 +608,9 @@ impl ExecutionEnv {
                     pop(&mut stack)?;
                 }
                 OpCode::Dup => {
-                    let v = *stack.last().ok_or(EeError::StackFault { detail: "underflow" })?;
+                    let v = *stack.last().ok_or(EeError::StackFault {
+                        detail: "underflow",
+                    })?;
                     if stack.len() >= self.budget.max_stack {
                         return Err(EeError::StackFault { detail: "overflow" });
                     }
@@ -592,7 +619,9 @@ impl ExecutionEnv {
                 OpCode::Swap => {
                     let n = stack.len();
                     if n < 2 {
-                        return Err(EeError::StackFault { detail: "underflow" });
+                        return Err(EeError::StackFault {
+                            detail: "underflow",
+                        });
                     }
                     stack.swap(n - 1, n - 2);
                 }
@@ -652,20 +681,22 @@ impl ExecutionEnv {
                     }
                 }
                 OpCode::Load(i) => {
-                    let slot = locals
-                        .get(i as usize)
-                        .ok_or(EeError::StackFault { detail: "bad local slot" })?;
+                    let slot = locals.get(i as usize).ok_or(EeError::StackFault {
+                        detail: "bad local slot",
+                    })?;
                     stack.push(*slot);
                 }
                 OpCode::Store(i) => {
                     let v = pop(&mut stack)?;
-                    let slot = locals
-                        .get_mut(i as usize)
-                        .ok_or(EeError::StackFault { detail: "bad local slot" })?;
+                    let slot = locals.get_mut(i as usize).ok_or(EeError::StackFault {
+                        detail: "bad local slot",
+                    })?;
                     *slot = v;
                 }
                 OpCode::PushArg(i) => {
-                    let v = args.get(i as usize).ok_or(EeError::BadArgument { index: i })?;
+                    let v = args
+                        .get(i as usize)
+                        .ok_or(EeError::BadArgument { index: i })?;
                     stack.push(*v);
                 }
                 OpCode::SetArg(i) => {
@@ -693,12 +724,13 @@ impl ExecutionEnv {
                     let value = pop(&mut stack)?;
                     let key = pop(&mut stack)?;
                     let mut cache = self.soft_state.lock();
-                    if cache.len() >= self.budget.max_cache_entries
-                        && !cache.contains_key(&key)
-                    {
+                    if cache.len() >= self.budget.max_cache_entries && !cache.contains_key(&key) {
                         return Err(EeError::CacheFull);
                     }
-                    cache.insert(key, (value, node.now_ns().saturating_add(ttl.max(0) as u64)));
+                    cache.insert(
+                        key,
+                        (value, node.now_ns().saturating_add(ttl.max(0) as u64)),
+                    );
                 }
                 OpCode::CacheGet => {
                     let key = pop(&mut stack)?;
@@ -717,17 +749,22 @@ impl ExecutionEnv {
                 OpCode::Forward => {
                     let addr = pop(&mut stack)?;
                     let capsule = Capsule::by_hash(program.hash(), args.clone());
-                    outcome
-                        .emitted
-                        .push((EmitTarget::Dst(Ipv4Addr::from(addr as u32)), capsule.encode()));
+                    outcome.emitted.push((
+                        EmitTarget::Dst(Ipv4Addr::from(addr as u32)),
+                        capsule.encode(),
+                    ));
                 }
                 OpCode::ForwardPort => {
                     let port = pop(&mut stack)?;
                     if !(0..=u16::MAX as i64).contains(&port) {
-                        return Err(EeError::StackFault { detail: "port out of range" });
+                        return Err(EeError::StackFault {
+                            detail: "port out of range",
+                        });
                     }
                     let capsule = Capsule::by_hash(program.hash(), args.clone());
-                    outcome.emitted.push((EmitTarget::Port(port as u16), capsule.encode()));
+                    outcome
+                        .emitted
+                        .push((EmitTarget::Port(port as u16), capsule.encode()));
                 }
                 OpCode::DeliverLocal => {
                     outcome.delivered = true;
@@ -799,7 +836,13 @@ mod tests {
     #[test]
     fn arithmetic_and_halt() {
         let out = run_ops(
-            vec![OpCode::Push(6), OpCode::Push(7), OpCode::Mul, OpCode::AppendArg, OpCode::Halt],
+            vec![
+                OpCode::Push(6),
+                OpCode::Push(7),
+                OpCode::Mul,
+                OpCode::AppendArg,
+                OpCode::Halt,
+            ],
             vec![],
         )
         .unwrap();
@@ -809,8 +852,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_faults() {
-        let err =
-            run_ops(vec![OpCode::Push(1), OpCode::Push(0), OpCode::Div], vec![]).unwrap_err();
+        let err = run_ops(vec![OpCode::Push(1), OpCode::Push(0), OpCode::Div], vec![]).unwrap_err();
         assert_eq!(err, EeError::DivideByZero);
     }
 
@@ -822,7 +864,10 @@ mod tests {
 
     #[test]
     fn stack_depth_is_bounded() {
-        let env = ExecutionEnv::new(EeBudget { max_stack: 4, ..EeBudget::default() });
+        let env = ExecutionEnv::new(EeBudget {
+            max_stack: 4,
+            ..EeBudget::default()
+        });
         let program = Program::new(
             "deep",
             vec![
@@ -845,8 +890,8 @@ mod tests {
             OpCode::Push(5),
             OpCode::Store(0),
             // loop:
-            OpCode::Load(0),     // 2
-            OpCode::Jz(12),      // exit when counter == 0
+            OpCode::Load(0), // 2
+            OpCode::Jz(12),  // exit when counter == 0
             OpCode::Load(1),
             OpCode::Load(0),
             OpCode::Add,
@@ -855,7 +900,7 @@ mod tests {
             OpCode::Push(1),
             OpCode::Sub,
             OpCode::Store(0),
-            OpCode::Jmp(2) , // 11 -> loop  (index 11 jumps to 2)
+            OpCode::Jmp(2), // 11 -> loop  (index 11 jumps to 2)
         ];
         // Fix: Jz target should skip past the Jmp; re-assemble carefully.
         let ops = {
@@ -903,18 +948,28 @@ mod tests {
             ],
         );
         let capsule = Capsule::with_code(&program, vec![]);
-        env.execute(&capsule.encode(), &FakeNode { id: 1, now: 1_000 }).unwrap();
+        env.execute(&capsule.encode(), &FakeNode { id: 1, now: 1_000 })
+            .unwrap();
 
         let get = Program::new(
             "get",
-            vec![OpCode::Push(99), OpCode::CacheGet, OpCode::AppendArg, OpCode::AppendArg],
+            vec![
+                OpCode::Push(99),
+                OpCode::CacheGet,
+                OpCode::AppendArg,
+                OpCode::AppendArg,
+            ],
         );
         // Within TTL (expiry 1500).
         let c2 = Capsule::with_code(&get, vec![]);
-        let out = env.execute(&c2.encode(), &FakeNode { id: 1, now: 1_400 }).unwrap();
+        let out = env
+            .execute(&c2.encode(), &FakeNode { id: 1, now: 1_400 })
+            .unwrap();
         assert_eq!(out.args, [1, 123], "found flag then value");
         // Beyond TTL.
-        let out = env.execute(&c2.encode(), &FakeNode { id: 1, now: 1_600 }).unwrap();
+        let out = env
+            .execute(&c2.encode(), &FakeNode { id: 1, now: 1_600 })
+            .unwrap();
         assert_eq!(out.args, [0, 0]);
         // Sweep removes it.
         assert_eq!(env.sweep_soft_state(2_000), 1);
@@ -923,8 +978,10 @@ mod tests {
     #[test]
     fn code_cache_serves_hash_only_capsules() {
         let env = ee();
-        let program =
-            Program::new("fwd", vec![OpCode::Push(1), OpCode::AppendArg, OpCode::Halt]);
+        let program = Program::new(
+            "fwd",
+            vec![OpCode::Push(1), OpCode::AppendArg, OpCode::Halt],
+        );
         // Unknown hash without code: miss.
         let bare = Capsule::by_hash(program.hash(), vec![]);
         assert!(matches!(
@@ -953,7 +1010,10 @@ mod tests {
         let (target, payload) = &out.emitted[0];
         assert_eq!(*target, EmitTarget::Dst(dst));
         let re = Capsule::decode(payload).unwrap();
-        assert!(re.code.is_none(), "re-emission relies on downstream code caches");
+        assert!(
+            re.code.is_none(),
+            "re-emission relies on downstream code caches"
+        );
         assert_eq!(re.args, [5, 6]);
     }
 
@@ -961,7 +1021,12 @@ mod tests {
     fn capsule_codec_roundtrip() {
         let program = Program::new(
             "roundtrip",
-            vec![OpCode::Push(-5), OpCode::Jnz(3), OpCode::Halt, OpCode::DeliverLocal],
+            vec![
+                OpCode::Push(-5),
+                OpCode::Jnz(3),
+                OpCode::Halt,
+                OpCode::DeliverLocal,
+            ],
         );
         let capsule = Capsule::with_code(&program, vec![1, -2, 3]);
         let decoded = Capsule::decode(&capsule.encode()).unwrap();
@@ -985,17 +1050,28 @@ mod tests {
 
     #[test]
     fn cache_full_is_reported() {
-        let env = ExecutionEnv::new(EeBudget { max_cache_entries: 1, ..EeBudget::default() });
+        let env = ExecutionEnv::new(EeBudget {
+            max_cache_entries: 1,
+            ..EeBudget::default()
+        });
         let put = |key: i64| {
             Program::new(
                 "p",
-                vec![OpCode::Push(key), OpCode::Push(0), OpCode::Push(10_000), OpCode::CachePut],
+                vec![
+                    OpCode::Push(key),
+                    OpCode::Push(0),
+                    OpCode::Push(10_000),
+                    OpCode::CachePut,
+                ],
             )
         };
         let c1 = Capsule::with_code(&put(1), vec![]);
         env.execute(&c1.encode(), &node()).unwrap();
         let c2 = Capsule::with_code(&put(2), vec![]);
-        assert!(matches!(env.execute(&c2.encode(), &node()), Err(EeError::CacheFull)));
+        assert!(matches!(
+            env.execute(&c2.encode(), &node()),
+            Err(EeError::CacheFull)
+        ));
         // Overwriting the same key is allowed even at capacity.
         let c3 = Capsule::with_code(&put(1), vec![]);
         env.execute(&c3.encode(), &node()).unwrap();

@@ -52,7 +52,12 @@ enum FixupKind {
 impl Assembler {
     /// Starts a program named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), code: Vec::new(), labels: HashMap::new(), fixups: Vec::new() }
+        Self {
+            name: name.into(),
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
     }
 
     /// Appends a literal instruction.
@@ -81,21 +86,24 @@ impl Assembler {
 
     /// Appends an unconditional jump to `label`.
     pub fn jmp(&mut self, label: impl Into<String>) -> &mut Self {
-        self.fixups.push((self.code.len(), label.into(), FixupKind::Jmp));
+        self.fixups
+            .push((self.code.len(), label.into(), FixupKind::Jmp));
         self.code.push(OpCode::Jmp(u32::MAX));
         self
     }
 
     /// Appends a jump-if-zero to `label`.
     pub fn jz(&mut self, label: impl Into<String>) -> &mut Self {
-        self.fixups.push((self.code.len(), label.into(), FixupKind::Jz));
+        self.fixups
+            .push((self.code.len(), label.into(), FixupKind::Jz));
         self.code.push(OpCode::Jz(u32::MAX));
         self
     }
 
     /// Appends a jump-if-non-zero to `label`.
     pub fn jnz(&mut self, label: impl Into<String>) -> &mut Self {
-        self.fixups.push((self.code.len(), label.into(), FixupKind::Jnz));
+        self.fixups
+            .push((self.code.len(), label.into(), FixupKind::Jnz));
         self.code.push(OpCode::Jnz(u32::MAX));
         self
     }
@@ -179,7 +187,12 @@ pub fn active_ping() -> Program {
 
 /// Builds the initial argument vector for [`active_ping`].
 pub fn ping_capsule_args(dst: Ipv4Addr, origin: Ipv4Addr, sent_at_ns: u64) -> Vec<i64> {
-    vec![u32::from(dst) as i64, u32::from(origin) as i64, 0, sent_at_ns as i64]
+    vec![
+        u32::from(dst) as i64,
+        u32::from(origin) as i64,
+        0,
+        sent_at_ns as i64,
+    ]
 }
 
 /// Argument layout of [`path_collector`] capsules.
@@ -334,7 +347,9 @@ mod tests {
         fn new(n: u8) -> Self {
             Self {
                 n,
-                envs: (0..n).map(|_| ExecutionEnv::new(EeBudget::default())).collect(),
+                envs: (0..n)
+                    .map(|_| ExecutionEnv::new(EeBudget::default()))
+                    .collect(),
             }
         }
 
@@ -355,7 +370,9 @@ mod tests {
             while let Some((here, payload)) = work.pop() {
                 steps += 1;
                 assert!(steps < 1000, "network walk did not converge");
-                let node = LineNode { addr: Self::addr(here) };
+                let node = LineNode {
+                    addr: Self::addr(here),
+                };
                 let out: Outcome = self.envs[here as usize]
                     .execute(&payload, &node)
                     .unwrap_or_else(|e| panic!("node {here}: {e}"));
@@ -439,15 +456,16 @@ mod tests {
         let program = path_collector();
         net.install_everywhere(&program);
         let dst = LineNet::addr(4);
-        let capsule =
-            Capsule::by_hash(program.hash(), vec![u32::from(dst) as i64]);
+        let capsule = Capsule::by_hash(program.hash(), vec![u32::from(dst) as i64]);
         let delivered = net.run(0, capsule.encode());
         assert_eq!(delivered.len(), 1);
         let (_, args) = &delivered[0];
         let hops: Vec<u32> = args[1..].iter().map(|a| *a as u32).collect();
-        let expected: Vec<u32> =
-            (0..5).map(|i| u32::from(LineNet::addr(i))).collect();
-        assert_eq!(hops, expected, "all five nodes stamped the capsule in order");
+        let expected: Vec<u32> = (0..5).map(|i| u32::from(LineNet::addr(i))).collect();
+        assert_eq!(
+            hops, expected,
+            "all five nodes stamped the capsule in order"
+        );
     }
 
     #[test]

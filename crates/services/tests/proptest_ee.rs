@@ -100,9 +100,8 @@ proptest! {
         let capsule = Capsule::with_code(&program, args);
         // The outcome may be Ok or any EeError — but execute() must
         // return (budget bounds every loop) and never panic.
-        match env.execute(&capsule.encode(), &FakeNode) {
-            Ok(outcome) => prop_assert!(outcome.instructions <= budget.max_instructions),
-            Err(_) => {}
+        if let Ok(outcome) = env.execute(&capsule.encode(), &FakeNode) {
+            prop_assert!(outcome.instructions <= budget.max_instructions);
         }
     }
 

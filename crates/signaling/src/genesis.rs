@@ -54,7 +54,12 @@ pub struct VirtnetDescriptor {
 impl VirtnetDescriptor {
     /// A descriptor with sensible defaults (share 1.0, queue depth 64).
     pub fn new(name: impl Into<String>, prefix: Ipv4Addr, prefix_len: u8) -> Self {
-        Self { name: name.into(), prefix: (prefix, prefix_len), qos_share: 1.0, queue_depth: 64 }
+        Self {
+            name: name.into(),
+            prefix: (prefix, prefix_len),
+            qos_share: 1.0,
+            queue_depth: 64,
+        }
     }
 
     /// Sets the QoS share (builder-style).
@@ -179,7 +184,12 @@ impl VirtualRouter {
 
 impl fmt::Debug for VirtualRouter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VirtualRouter(vaddr={}, {} queues)", self.vaddr, self.queues.len())
+        write!(
+            f,
+            "VirtualRouter(vaddr={}, {} queues)",
+            self.vaddr,
+            self.queues.len()
+        )
     }
 }
 
@@ -240,7 +250,12 @@ impl Genesis {
                 port_scheds: HashMap::new(),
             })
             .collect();
-        Self { runtime, nodes, virtnets: HashMap::new(), next_id: 1 }
+        Self {
+            runtime,
+            nodes,
+            virtnets: HashMap::new(),
+            next_id: 1,
+        }
     }
 
     /// The shared OpenCOM runtime (meta-models, registry).
@@ -267,7 +282,11 @@ impl Genesis {
 
     /// The virtual address of `node` within `virtnet`.
     pub fn vaddr(&self, virtnet: VirtnetId, node: usize) -> Option<Ipv4Addr> {
-        self.virtnets.get(&virtnet)?.routers.get(&node).map(|r| r.vaddr)
+        self.virtnets
+            .get(&virtnet)?
+            .routers
+            .get(&node)
+            .map(|r| r.vaddr)
     }
 
     /// The effective (absolute) link share of `virtnet`.
@@ -328,7 +347,10 @@ impl Genesis {
         }
         let parent_share = match parent {
             Some(pid) => {
-                let p = self.virtnets.get(&pid).ok_or(GenesisError::UnknownVirtnet)?;
+                let p = self
+                    .virtnets
+                    .get(&pid)
+                    .ok_or(GenesisError::UnknownVirtnet)?;
                 for &m in members {
                     if !p.members.contains(&m) {
                         return Err(GenesisError::NotInParent { node: m });
@@ -363,13 +385,15 @@ impl Genesis {
         let base = u32::from(descriptor.prefix.0);
         let vaddr_of = |k: usize| Ipv4Addr::from(base + k as u32 + 1);
 
-        let mut report = SpawnReport { nodes: members.len(), ..SpawnReport::default() };
+        let mut report = SpawnReport {
+            nodes: members.len(),
+            ..SpawnReport::default()
+        };
         let mut routers = HashMap::new();
         let sys = Principal::system();
 
         for (k, &n) in members.iter().enumerate() {
-            let capsule =
-                Capsule::new(format!("{}-node{n}", descriptor.name), &self.runtime);
+            let capsule = Capsule::new(format!("{}-node{n}", descriptor.name), &self.runtime);
             let cf = RouterCf::new(format!("{}::cf", descriptor.name), Arc::clone(&capsule));
 
             let classifier = ClassifierEngine::new();
@@ -390,7 +414,14 @@ impl Genesis {
                 let q_id = capsule.adopt(queue.clone())?;
                 cf.plug(&sys, q_id)?;
                 report.components += 1;
-                cf.bind(&sys, cls_id, "out", &format!("port{port}"), q_id, IPACKET_PUSH)?;
+                cf.bind(
+                    &sys,
+                    cls_id,
+                    "out",
+                    &format!("port{port}"),
+                    q_id,
+                    IPACKET_PUSH,
+                )?;
                 report.bindings += 1;
 
                 // Attach the queue to the node's shared per-port WFQ link
@@ -449,7 +480,11 @@ impl Genesis {
         }
 
         if let Some(pid) = parent {
-            self.virtnets.get_mut(&pid).expect("checked").children.push(id);
+            self.virtnets
+                .get_mut(&pid)
+                .expect("checked")
+                .children
+                .push(id);
         }
         self.virtnets.insert(
             id,
@@ -508,12 +543,7 @@ impl Genesis {
     ///
     /// This is the synchronous (non-simulated) data-path hook used by the
     /// benches; the examples drive the same routers from a `Simulator`.
-    pub fn forward(
-        &self,
-        virtnet: VirtnetId,
-        node: usize,
-        pkt: Packet,
-    ) -> Option<(u16, Packet)> {
+    pub fn forward(&self, virtnet: VirtnetId, node: usize, pkt: Packet) -> Option<(u16, Packet)> {
         let router = self.router(virtnet, node)?;
         router.push(pkt).ok()?;
         for (port, _) in &router.queues {
@@ -536,7 +566,9 @@ impl Genesis {
         }
         let sched = WfqScheduler::new(&[]);
         self.nodes[node].capsule.adopt(sched.clone())?;
-        self.nodes[node].port_scheds.insert(port, Arc::clone(&sched));
+        self.nodes[node]
+            .port_scheds
+            .insert(port, Arc::clone(&sched));
         Ok(sched)
     }
 
@@ -545,8 +577,10 @@ impl Genesis {
         node: usize,
         port: u16,
     ) -> Result<opencom::ident::ComponentId, GenesisError> {
-        let sched =
-            self.nodes[node].port_scheds.get(&port).ok_or(GenesisError::UnknownVirtnet)?;
+        let sched = self.nodes[node]
+            .port_scheds
+            .get(&port)
+            .ok_or(GenesisError::UnknownVirtnet)?;
         Ok(opencom::component::Component::core(sched.as_ref()).id())
     }
 
@@ -749,8 +783,14 @@ mod tests {
     #[test]
     fn bad_shares_are_refused() {
         let mut g = Genesis::new(line4());
-        assert_eq!(g.spawn(desc("zero").share(0.0), &[0, 1]).unwrap_err(), GenesisError::BadShare);
-        assert_eq!(g.spawn(desc("big").share(1.5), &[0, 1]).unwrap_err(), GenesisError::BadShare);
+        assert_eq!(
+            g.spawn(desc("zero").share(0.0), &[0, 1]).unwrap_err(),
+            GenesisError::BadShare
+        );
+        assert_eq!(
+            g.spawn(desc("big").share(1.5), &[0, 1]).unwrap_err(),
+            GenesisError::BadShare
+        );
     }
 
     #[test]

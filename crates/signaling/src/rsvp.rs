@@ -167,7 +167,11 @@ pub struct RsvpConfig {
 
 impl Default for RsvpConfig {
     fn default() -> Self {
-        Self { refresh_ns: 30_000_000, lifetime_mult: 3, sweep_ns: 10_000_000 }
+        Self {
+            refresh_ns: 30_000_000,
+            lifetime_mult: 3,
+            sweep_ns: 10_000_000,
+        }
     }
 }
 
@@ -258,7 +262,11 @@ impl RsvpAgent {
     pub fn open_session(&mut self, session: SessionId, receiver: Ipv4Addr, spec: FlowSpec) {
         self.sending.insert(
             session,
-            LocalSession { spec, peer: receiver, refreshing: true },
+            LocalSession {
+                spec,
+                peer: receiver,
+                refreshing: true,
+            },
         );
     }
 
@@ -321,7 +329,10 @@ impl RsvpAgent {
             MsgKind::Path => {
                 self.path_state.insert(
                     msg.session,
-                    PathState { prev_hop: ingress, expires: now + self.lifetime() },
+                    PathState {
+                        prev_hop: ingress,
+                        expires: now + self.lifetime(),
+                    },
                 );
                 if msg.receiver == self.addr {
                     // Receiver: answer (or re-answer) with RESV.
@@ -330,13 +341,18 @@ impl RsvpAgent {
                         self.receiving.insert(
                             msg.session,
                             LocalSession {
-                                spec: FlowSpec { bandwidth_bps: msg.bandwidth_bps },
+                                spec: FlowSpec {
+                                    bandwidth_bps: msg.bandwidth_bps,
+                                },
                                 peer: msg.sender,
                                 refreshing: true,
                             },
                         );
                     }
-                    let resv = Msg { kind: MsgKind::Resv, ..msg };
+                    let resv = Msg {
+                        kind: MsgKind::Resv,
+                        ..msg
+                    };
                     ctx.emit(ingress, resv.into_packet(self.addr, msg.sender));
                 } else {
                     self.emit_towards(ctx, msg.receiver, msg);
@@ -349,7 +365,10 @@ impl RsvpAgent {
                     if self.established.insert(msg.session) {
                         self.events.push(RsvpEvent::Established(msg.session));
                     }
-                    let conf = Msg { kind: MsgKind::ResvConf, ..msg };
+                    let conf = Msg {
+                        kind: MsgKind::ResvConf,
+                        ..msg
+                    };
                     self.emit_towards(ctx, msg.receiver, conf);
                     return;
                 }
@@ -363,7 +382,10 @@ impl RsvpAgent {
                         r.expires = now + self.config.refresh_ns * self.config.lifetime_mult;
                     }
                 } else if !self.admit(egress, msg.bandwidth_bps) {
-                    let err = Msg { kind: MsgKind::ResvErr, ..msg };
+                    let err = Msg {
+                        kind: MsgKind::ResvErr,
+                        ..msg
+                    };
                     ctx.emit(ingress, err.into_packet(self.addr, msg.receiver));
                     return;
                 } else {
@@ -533,7 +555,11 @@ mod tests {
         for i in 0..n {
             let agent = RsvpAgent::new(
                 addr(i),
-                RsvpConfig { refresh_ns: 1_000_000, lifetime_mult: 3, sweep_ns: 500_000 },
+                RsvpConfig {
+                    refresh_ns: 1_000_000,
+                    lifetime_mult: 3,
+                    sweep_ns: 500_000,
+                },
             );
             ids.push(sim.add_node(Box::new(agent)));
         }
@@ -543,7 +569,7 @@ mod tests {
         // Routes: node i reaches lower addresses via port 0 (except node
         // 0), higher via its last port. On a line, interior nodes have
         // port 0 = left, port 1 = right; node 0 has only port 0 = right.
-        for i in 0..n {
+        for (i, &node) in ids.iter().enumerate() {
             let left = if i == 0 { None } else { Some(0u16) };
             let right = if i == n - 1 {
                 None
@@ -552,7 +578,7 @@ mod tests {
             } else {
                 Some(1u16)
             };
-            let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+            let agent = sim.node_behaviour_mut::<RsvpAgent>(node).unwrap();
             for j in 0..n {
                 if j < i {
                     if let Some(p) = left {
@@ -582,15 +608,21 @@ mod tests {
         let mut sim = Simulator::new(1);
         let ids = rsvp_line(&mut sim, 4, 10_000_000);
         let session = SessionId(42);
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-            session,
-            Ipv4Addr::new(10, 0, 0, 4),
-            FlowSpec { bandwidth_bps: 1_000_000 },
-        );
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .open_session(
+                session,
+                Ipv4Addr::new(10, 0, 0, 4),
+                FlowSpec {
+                    bandwidth_bps: 1_000_000,
+                },
+            );
         kick(&mut sim, ids[0]);
         sim.run_for(5_000_000);
         let sender = sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap();
-        assert!(sender.take_events().contains(&RsvpEvent::Established(session)));
+        assert!(sender
+            .take_events()
+            .contains(&RsvpEvent::Established(session)));
         // Transit nodes hold reservation state on the receiver-facing port.
         for &mid in &ids[1..3] {
             let agent = sim.node_behaviour_mut::<RsvpAgent>(mid).unwrap();
@@ -599,7 +631,9 @@ mod tests {
         }
         // Receiver saw the PATH.
         let receiver = sim.node_behaviour_mut::<RsvpAgent>(ids[3]).unwrap();
-        assert!(receiver.take_events().contains(&RsvpEvent::PathArrived(session)));
+        assert!(receiver
+            .take_events()
+            .contains(&RsvpEvent::PathArrived(session)));
     }
 
     #[test]
@@ -607,24 +641,34 @@ mod tests {
         let mut sim = Simulator::new(1);
         let ids = rsvp_line(&mut sim, 3, 1_500_000);
         // First session takes 1 Mbit/s of the 1.5 Mbit/s budget.
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-            SessionId(1),
-            Ipv4Addr::new(10, 0, 0, 3),
-            FlowSpec { bandwidth_bps: 1_000_000 },
-        );
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .open_session(
+                SessionId(1),
+                Ipv4Addr::new(10, 0, 0, 3),
+                FlowSpec {
+                    bandwidth_bps: 1_000_000,
+                },
+            );
         // Second wants another 1 Mbit/s: must be refused.
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-            SessionId(2),
-            Ipv4Addr::new(10, 0, 0, 3),
-            FlowSpec { bandwidth_bps: 1_000_000 },
-        );
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .open_session(
+                SessionId(2),
+                Ipv4Addr::new(10, 0, 0, 3),
+                FlowSpec {
+                    bandwidth_bps: 1_000_000,
+                },
+            );
         kick(&mut sim, ids[0]);
         sim.run_for(5_000_000);
         let receiver = sim.node_behaviour_mut::<RsvpAgent>(ids[2]).unwrap();
         let events = receiver.take_events();
-        assert!(events.contains(&RsvpEvent::Refused(SessionId(2)))
-            || events.contains(&RsvpEvent::Refused(SessionId(1))),
-            "one of the two competing sessions is refused: {events:?}");
+        assert!(
+            events.contains(&RsvpEvent::Refused(SessionId(2)))
+                || events.contains(&RsvpEvent::Refused(SessionId(1))),
+            "one of the two competing sessions is refused: {events:?}"
+        );
         let mid = sim.node_behaviour_mut::<RsvpAgent>(ids[1]).unwrap();
         assert_eq!(mid.reserved_sessions().len(), 1, "only one fits the budget");
         assert_eq!(mid.allocated_on(1), 1_000_000);
@@ -635,20 +679,29 @@ mod tests {
         let mut sim = Simulator::new(1);
         let ids = rsvp_line(&mut sim, 3, 10_000_000);
         let session = SessionId(9);
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-            session,
-            Ipv4Addr::new(10, 0, 0, 3),
-            FlowSpec { bandwidth_bps: 500_000 },
-        );
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .open_session(
+                session,
+                Ipv4Addr::new(10, 0, 0, 3),
+                FlowSpec {
+                    bandwidth_bps: 500_000,
+                },
+            );
         kick(&mut sim, ids[0]);
         sim.run_for(2_000_000);
         assert_eq!(
-            sim.node_behaviour_mut::<RsvpAgent>(ids[1]).unwrap().reserved_sessions(),
+            sim.node_behaviour_mut::<RsvpAgent>(ids[1])
+                .unwrap()
+                .reserved_sessions(),
             [session]
         );
         // Stop refreshing (teardown also sends PATH_TEAR, so instead we
         // simulate sender death: drop its sending state outright).
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().sending.clear();
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .sending
+            .clear();
         // Lifetime is 3 × 1ms; run well past it.
         sim.run_for(10_000_000);
         let mid = sim.node_behaviour_mut::<RsvpAgent>(ids[1]).unwrap();
@@ -661,14 +714,20 @@ mod tests {
         let mut sim = Simulator::new(1);
         let ids = rsvp_line(&mut sim, 3, 10_000_000);
         let session = SessionId(5);
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-            session,
-            Ipv4Addr::new(10, 0, 0, 3),
-            FlowSpec { bandwidth_bps: 500_000 },
-        );
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .open_session(
+                session,
+                Ipv4Addr::new(10, 0, 0, 3),
+                FlowSpec {
+                    bandwidth_bps: 500_000,
+                },
+            );
         kick(&mut sim, ids[0]);
         sim.run_for(2_500_000);
-        sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().teardown(session);
+        sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+            .unwrap()
+            .teardown(session);
         sim.run_for(2_000_000);
         let mid = sim.node_behaviour_mut::<RsvpAgent>(ids[1]).unwrap();
         assert!(mid.reserved_sessions().is_empty());

@@ -134,10 +134,10 @@ proptest! {
         for w in ids.windows(2) {
             sim.connect(w[0], w[1], LinkSpec::lan());
         }
-        for i in 0..3 {
+        for (i, &node) in ids.iter().enumerate() {
             let left = if i == 0 { None } else { Some(0u16) };
             let right = if i == 2 { None } else if i == 0 { Some(0u16) } else { Some(1u16) };
-            let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+            let agent = sim.node_behaviour_mut::<RsvpAgent>(node).unwrap();
             for j in 0..3 {
                 if j < i {
                     if let Some(p) = left { agent.route(addr(j), p); }

@@ -157,7 +157,10 @@ impl Simulator {
 
     /// Adds a node; ports are allocated as links are connected.
     pub fn add_node(&mut self, behaviour: Box<dyn NodeBehaviour>) -> NodeId {
-        self.nodes.push(NodeSlot { behaviour, ports: Vec::new() });
+        self.nodes.push(NodeSlot {
+            behaviour,
+            ports: Vec::new(),
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -178,14 +181,18 @@ impl Simulator {
     ///
     /// Panics on out-of-range node ids or self-loops.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown node");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "unknown node"
+        );
         assert_ne!(a, b, "self-loops are not supported");
         let id = LinkId(self.links.len());
         let port_a = self.nodes[a.0].ports.len() as u16;
         let port_b = self.nodes[b.0].ports.len() as u16;
         self.nodes[a.0].ports.push(id);
         self.nodes[b.0].ports.push(id);
-        self.links.push(LinkState::new(spec, (a.0, port_a), (b.0, port_b)));
+        self.links
+            .push(LinkState::new(spec, (a.0, port_a), (b.0, port_b)));
         id
     }
 
@@ -196,7 +203,10 @@ impl Simulator {
     /// Panics on an unknown link id.
     pub fn link_ports(&self, link: LinkId) -> ((NodeId, u16), (NodeId, u16)) {
         let l = &self.links[link.0];
-        ((NodeId(l.ends[0].0), l.ends[0].1), (NodeId(l.ends[1].0), l.ends[1].1))
+        (
+            (NodeId(l.ends[0].0), l.ends[0].1),
+            (NodeId(l.ends[1].0), l.ends[1].1),
+        )
     }
 
     /// Link state (for drop counters and spec inspection).
@@ -248,7 +258,10 @@ impl Simulator {
     /// Panics on an out-of-range node id.
     pub fn inject_after(&mut self, node: NodeId, delay_ns: u64, pkt: Packet) {
         assert!(node.0 < self.nodes.len(), "unknown node");
-        self.sources.push(SourceSlot { node: node.0, gen: Box::new(Exhausted) });
+        self.sources.push(SourceSlot {
+            node: node.0,
+            gen: Box::new(Exhausted),
+        });
         let source = self.sources.len() - 1;
         let at = SimTime::from_nanos(self.now.as_nanos() + delay_ns);
         self.push_event(at, EventKind::Inject { source, pkt });
@@ -296,10 +309,47 @@ impl Simulator {
         self.run_until(SimTime::from_nanos(self.now.as_nanos() + duration_ns))
     }
 
+    /// Pops every queued arrival that shares `at`/`node`/`port` with the
+    /// arrival just popped, preserving order. This is the driver-loop
+    /// batching point: a burst that lands on one port in the same
+    /// instant is handed to the node as one `on_batch` call.
+    fn coalesce_arrivals(
+        &mut self,
+        at: SimTime,
+        node: usize,
+        port: u16,
+        first: Packet,
+    ) -> Vec<Packet> {
+        let mut batch = vec![first];
+        while let Some(next) = self.queue.peek() {
+            let same = next.at == at
+                && matches!(
+                    &next.kind,
+                    EventKind::Arrival { node: n, port: p, .. } if *n == node && *p == port
+                );
+            if !same {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.processed += 1;
+            match ev.kind {
+                EventKind::Arrival { pkt, .. } => batch.push(pkt),
+                _ => unreachable!("matched arrival above"),
+            }
+        }
+        batch
+    }
+
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrival { node, port, pkt } => {
-                self.dispatch(node, port, pkt);
+                let batch = self.coalesce_arrivals(self.now, node, port, pkt);
+                if batch.len() == 1 {
+                    let pkt = batch.into_iter().next().expect("one packet");
+                    self.dispatch(node, port, pkt);
+                } else {
+                    self.dispatch_batch(node, port, batch);
+                }
             }
             EventKind::Timer { node, token } => {
                 self.dispatch_timer(node, token);
@@ -330,6 +380,25 @@ impl Simulator {
                 drops: &mut drops,
             };
             self.nodes[node].behaviour.on_packet(&mut ctx, ingress, pkt);
+        }
+        self.absorb(node, emissions, timers, deliveries, drops);
+    }
+
+    fn dispatch_batch(&mut self, node: usize, ingress: u16, pkts: Vec<Packet>) {
+        let mut emissions = Vec::new();
+        let mut timers = Vec::new();
+        let mut deliveries = Vec::new();
+        let mut drops = 0u64;
+        {
+            let mut ctx = NodeCtx {
+                node: NodeId(node),
+                now: self.now,
+                emissions: &mut emissions,
+                timers: &mut timers,
+                deliveries: &mut deliveries,
+                drops: &mut drops,
+            };
+            self.nodes[node].behaviour.on_batch(&mut ctx, ingress, pkts);
         }
         self.absorb(node, emissions, timers, deliveries, drops);
     }
@@ -378,12 +447,21 @@ impl Simulator {
             let now = self.now;
             let bytes = pkt.len();
             let link = &mut self.links[link_id.0];
-            let dir = link.direction_from(node).expect("emitting node is an endpoint");
+            let dir = link
+                .direction_from(node)
+                .expect("emitting node is an endpoint");
             match link.offer(dir, now, bytes) {
                 TxOutcome::Arrives(at) => {
                     let (far_node, far_port) = link.far_end(dir);
                     self.stats.forwarded += 1;
-                    self.push_event(at, EventKind::Arrival { node: far_node, port: far_port, pkt });
+                    self.push_event(
+                        at,
+                        EventKind::Arrival {
+                            node: far_node,
+                            port: far_port,
+                            pkt,
+                        },
+                    );
                 }
                 TxOutcome::Dropped => {
                     self.stats.link_drops += 1;
@@ -435,7 +513,11 @@ mod tests {
         let link = sim.connect(
             a,
             b,
-            LinkSpec { latency_ns: 1000, bandwidth_bps: 8_000_000_000, queue_pkts: 8 },
+            LinkSpec {
+                latency_ns: 1000,
+                bandwidth_bps: 8_000_000_000,
+                queue_pkts: 8,
+            },
         );
         let (ea, _) = sim.link_ports(link);
         sim.node_behaviour_mut::<StaticForwarder>(a)
@@ -443,7 +525,11 @@ mod tests {
             .route("10.0.0.2".parse().unwrap(), ea.1);
         sim.attach_source(
             a,
-            Box::new(CbrGen::new(10_000, 10, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 100))),
+            Box::new(CbrGen::new(
+                10_000,
+                10,
+                udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 100),
+            )),
         );
         let stats = sim.run_to_idle();
         assert_eq!(stats.injected, 10);
@@ -471,7 +557,11 @@ mod tests {
             .route("10.0.0.2".parse().unwrap(), r_end.1);
         sim.attach_source(
             a,
-            Box::new(CbrGen::new(5_000, 50, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 64))),
+            Box::new(CbrGen::new(
+                5_000,
+                50,
+                udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 64),
+            )),
         );
         let stats = sim.run_to_idle();
         assert_eq!(stats.delivered, 50);
@@ -489,7 +579,11 @@ mod tests {
             let link = sim.connect(
                 a,
                 b,
-                LinkSpec { latency_ns: 100, bandwidth_bps: 1_000_000, queue_pkts: 2 },
+                LinkSpec {
+                    latency_ns: 100,
+                    bandwidth_bps: 1_000_000,
+                    queue_pkts: 2,
+                },
             );
             let (ea, _) = sim.link_ports(link);
             sim.node_behaviour_mut::<StaticForwarder>(a)
@@ -497,7 +591,11 @@ mod tests {
                 .route("10.0.0.2".parse().unwrap(), ea.1);
             sim.attach_source(
                 a,
-                Box::new(PoissonGen::new(2_000, 500, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 200))),
+                Box::new(PoissonGen::new(
+                    2_000,
+                    500,
+                    udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 200),
+                )),
             );
             let s = sim.run_to_idle();
             (s.delivered, s.link_drops, s.latency_percentile_ns(99.0))
@@ -515,7 +613,11 @@ mod tests {
         let link = sim.connect(
             a,
             b,
-            LinkSpec { latency_ns: 0, bandwidth_bps: 1_000_000, queue_pkts: 4 },
+            LinkSpec {
+                latency_ns: 0,
+                bandwidth_bps: 1_000_000,
+                queue_pkts: 4,
+            },
         );
         let (ea, _) = sim.link_ports(link);
         sim.node_behaviour_mut::<StaticForwarder>(a)
@@ -523,7 +625,11 @@ mod tests {
             .route("10.0.0.2".parse().unwrap(), ea.1);
         sim.attach_source(
             a,
-            Box::new(CbrGen::new(100_000, 200, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 1000))),
+            Box::new(CbrGen::new(
+                100_000,
+                200,
+                udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 1000),
+            )),
         );
         let stats = sim.run_to_idle().clone();
         assert!(stats.link_drops > 0, "offered load exceeds the wire");
@@ -545,18 +651,83 @@ mod tests {
             },
             move |_ctx: &mut NodeCtx<'_>, token| fired2.lock().push(token),
         )));
-        sim.inject_after(n, 0, PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build());
+        sim.inject_after(
+            n,
+            0,
+            PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build(),
+        );
         sim.run_to_idle();
         assert_eq!(*fired.lock(), [1, 2, 3]);
     }
 
     #[test]
+    fn same_instant_arrivals_coalesce_into_one_batch() {
+        use std::sync::Arc;
+
+        struct BatchSink {
+            sizes: Arc<parking_lot::Mutex<Vec<usize>>>,
+        }
+        impl NodeBehaviour for BatchSink {
+            fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _ingress: u16, pkt: Packet) {
+                self.sizes.lock().push(1);
+                ctx.deliver_local(pkt);
+            }
+            fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, _ingress: u16, pkts: Vec<Packet>) {
+                self.sizes.lock().push(pkts.len());
+                for pkt in pkts {
+                    ctx.deliver_local(pkt);
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        let burst = sim.add_node(Box::new(FnBehaviour::new(
+            "burst",
+            |ctx: &mut NodeCtx<'_>, _, pkt: Packet| {
+                for _ in 0..3 {
+                    ctx.emit(0, pkt.clone());
+                }
+            },
+        )));
+        let sizes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = sim.add_node(Box::new(BatchSink {
+            sizes: Arc::clone(&sizes),
+        }));
+        // Effectively infinite bandwidth: zero serialisation delay, so
+        // the three copies arrive in the same instant and coalesce.
+        sim.connect(
+            burst,
+            sink,
+            LinkSpec {
+                latency_ns: 50,
+                bandwidth_bps: u64::MAX,
+                queue_pkts: 16,
+            },
+        );
+        sim.inject_after(
+            burst,
+            0,
+            PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build(),
+        );
+        let stats = sim.run_to_idle();
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(*sizes.lock(), [3], "burst handed over as one batch");
+    }
+
+    #[test]
     fn emission_on_unconnected_port_counts_as_drop() {
         let mut sim = Simulator::new(1);
-        let n = sim.add_node(Box::new(FnBehaviour::new("blind", |ctx: &mut NodeCtx<'_>, _, pkt| {
-            ctx.emit(9, pkt);
-        })));
-        sim.inject_after(n, 0, PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build());
+        let n = sim.add_node(Box::new(FnBehaviour::new(
+            "blind",
+            |ctx: &mut NodeCtx<'_>, _, pkt| {
+                ctx.emit(9, pkt);
+            },
+        )));
+        sim.inject_after(
+            n,
+            0,
+            PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build(),
+        );
         let stats = sim.run_to_idle();
         assert_eq!(stats.node_drops, 1);
     }
@@ -574,7 +745,11 @@ mod tests {
             .route("10.0.0.2".parse().unwrap(), ea.1);
         sim.attach_source(
             a,
-            Box::new(CbrGen::new(1_000_000, 100, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 64))),
+            Box::new(CbrGen::new(
+                1_000_000,
+                100,
+                udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 64),
+            )),
         );
         sim.run_until(SimTime::from_nanos(10_000_000));
         let mid = sim.stats().injected;

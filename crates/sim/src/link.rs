@@ -29,12 +29,20 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A fast LAN-ish default: 1 Gbit/s, 50 µs, 64-frame queues.
     pub fn lan() -> Self {
-        Self { latency_ns: 50_000, bandwidth_bps: 1_000_000_000, queue_pkts: 64 }
+        Self {
+            latency_ns: 50_000,
+            bandwidth_bps: 1_000_000_000,
+            queue_pkts: 64,
+        }
     }
 
     /// A WAN-ish default: 100 Mbit/s, 5 ms, 256-frame queues.
     pub fn wan() -> Self {
-        Self { latency_ns: 5_000_000, bandwidth_bps: 100_000_000, queue_pkts: 256 }
+        Self {
+            latency_ns: 5_000_000,
+            bandwidth_bps: 100_000_000,
+            queue_pkts: 256,
+        }
     }
 
     /// Serialisation time of `bytes` on this link.
@@ -94,7 +102,11 @@ pub enum TxOutcome {
 
 impl LinkState {
     pub(crate) fn new(spec: LinkSpec, a: (usize, u16), b: (usize, u16)) -> Self {
-        Self { spec, ends: [a, b], dirs: [Direction::default(), Direction::default()] }
+        Self {
+            spec,
+            ends: [a, b],
+            dirs: [Direction::default(), Direction::default()],
+        }
     }
 
     /// The link's parameters.
@@ -142,7 +154,10 @@ impl LinkState {
 
     /// Counters for direction `dir` (0 = from the first endpoint).
     pub fn stats(&self, dir: usize) -> LinkStats {
-        LinkStats { sent: self.dirs[dir].sent, dropped: self.dirs[dir].dropped }
+        LinkStats {
+            sent: self.dirs[dir].sent,
+            dropped: self.dirs[dir].dropped,
+        }
     }
 }
 
@@ -156,15 +171,27 @@ mod tests {
 
     #[test]
     fn ser_nanos_scales_with_size_and_rate() {
-        let spec = LinkSpec { latency_ns: 0, bandwidth_bps: 8_000_000_000, queue_pkts: 4 };
+        let spec = LinkSpec {
+            latency_ns: 0,
+            bandwidth_bps: 8_000_000_000,
+            queue_pkts: 4,
+        };
         assert_eq!(spec.ser_nanos(1000), 1000); // 8 Gbit/s => 1ns per byte
-        let slow = LinkSpec { latency_ns: 0, bandwidth_bps: 8_000, queue_pkts: 4 };
+        let slow = LinkSpec {
+            latency_ns: 0,
+            bandwidth_bps: 8_000,
+            queue_pkts: 4,
+        };
         assert_eq!(slow.ser_nanos(1), 1_000_000);
     }
 
     #[test]
     fn arrival_includes_latency_and_serialisation() {
-        let spec = LinkSpec { latency_ns: 100, bandwidth_bps: 8_000_000_000, queue_pkts: 4 };
+        let spec = LinkSpec {
+            latency_ns: 100,
+            bandwidth_bps: 8_000_000_000,
+            queue_pkts: 4,
+        };
         let mut link = LinkState::new(spec, (0, 0), (1, 0));
         match link.offer(0, t(0), 1000) {
             TxOutcome::Arrives(at) => assert_eq!(at.as_nanos(), 1000 + 100),
@@ -174,17 +201,29 @@ mod tests {
 
     #[test]
     fn back_to_back_frames_queue_behind_each_other() {
-        let spec = LinkSpec { latency_ns: 0, bandwidth_bps: 8_000_000_000, queue_pkts: 16 };
+        let spec = LinkSpec {
+            latency_ns: 0,
+            bandwidth_bps: 8_000_000_000,
+            queue_pkts: 16,
+        };
         let mut link = LinkState::new(spec, (0, 0), (1, 0));
         let a1 = link.offer(0, t(0), 1000);
         let a2 = link.offer(0, t(0), 1000);
         assert_eq!(a1, TxOutcome::Arrives(t(1000)));
-        assert_eq!(a2, TxOutcome::Arrives(t(2000)), "second frame waits for the first");
+        assert_eq!(
+            a2,
+            TxOutcome::Arrives(t(2000)),
+            "second frame waits for the first"
+        );
     }
 
     #[test]
     fn queue_overflow_drops() {
-        let spec = LinkSpec { latency_ns: 0, bandwidth_bps: 8_000_000, queue_pkts: 2 };
+        let spec = LinkSpec {
+            latency_ns: 0,
+            bandwidth_bps: 8_000_000,
+            queue_pkts: 2,
+        };
         let mut link = LinkState::new(spec, (0, 0), (1, 0));
         // Frame 1 starts immediately (not queued); frames 2 and 3 wait.
         assert!(matches!(link.offer(0, t(0), 1000), TxOutcome::Arrives(_)));
@@ -198,7 +237,11 @@ mod tests {
 
     #[test]
     fn directions_are_independent() {
-        let spec = LinkSpec { latency_ns: 10, bandwidth_bps: 8_000_000_000, queue_pkts: 1 };
+        let spec = LinkSpec {
+            latency_ns: 10,
+            bandwidth_bps: 8_000_000_000,
+            queue_pkts: 1,
+        };
         let mut link = LinkState::new(spec, (7, 0), (9, 1));
         assert_eq!(link.direction_from(7), Some(0));
         assert_eq!(link.direction_from(9), Some(1));
@@ -212,13 +255,20 @@ mod tests {
 
     #[test]
     fn waiting_queue_drains_with_time() {
-        let spec = LinkSpec { latency_ns: 0, bandwidth_bps: 8_000_000, queue_pkts: 1 };
+        let spec = LinkSpec {
+            latency_ns: 0,
+            bandwidth_bps: 8_000_000,
+            queue_pkts: 1,
+        };
         let mut link = LinkState::new(spec, (0, 0), (1, 0));
         // 1000 bytes at 1 byte/µs => 1ms serialisation.
         assert!(matches!(link.offer(0, t(0), 1000), TxOutcome::Arrives(_)));
         assert!(matches!(link.offer(0, t(0), 1000), TxOutcome::Arrives(_)));
         assert_eq!(link.offer(0, t(0), 1000), TxOutcome::Dropped);
         // After the first two finished, capacity is back.
-        assert!(matches!(link.offer(0, t(3_000_000), 1000), TxOutcome::Arrives(_)));
+        assert!(matches!(
+            link.offer(0, t(3_000_000), 1000),
+            TxOutcome::Arrives(_)
+        ));
     }
 }

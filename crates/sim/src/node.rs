@@ -82,6 +82,17 @@ pub trait NodeBehaviour: Send + std::any::Any {
     /// injected traffic).
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet);
 
+    /// Called when a burst of packets arrives on `ingress` at the same
+    /// instant (the simulator coalesces same-time same-port arrivals).
+    /// The default loops over [`Self::on_packet`] in arrival order;
+    /// router-pipeline behaviours override it to feed their dataplane's
+    /// `push_batch` and pay component-boundary costs once per burst.
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
+        for pkt in pkts {
+            self.on_packet(ctx, ingress, pkt);
+        }
+    }
+
     /// Called when a timer set via [`NodeCtx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         let _ = (ctx, token);
@@ -106,7 +117,11 @@ where
 {
     /// A behaviour with only a packet handler.
     pub fn new(name: impl Into<String>, on_packet: P) -> Self {
-        Self { name: name.into(), on_packet, on_timer: |_, _| {} }
+        Self {
+            name: name.into(),
+            on_packet,
+            on_timer: |_, _| {},
+        }
     }
 }
 
@@ -117,7 +132,11 @@ where
 {
     /// A behaviour with packet and timer handlers.
     pub fn with_timer(name: impl Into<String>, on_packet: P, on_timer: T) -> Self {
-        Self { name: name.into(), on_packet, on_timer }
+        Self {
+            name: name.into(),
+            on_packet,
+            on_timer,
+        }
     }
 }
 
@@ -172,14 +191,21 @@ impl SinkBehaviour {
     /// Creates the sink and a counter handle the test/benchmark keeps.
     pub fn new() -> (Self, Arc<SinkCounters>) {
         let counters = Arc::new(SinkCounters::default());
-        (Self { counters: Arc::clone(&counters) }, counters)
+        (
+            Self {
+                counters: Arc::clone(&counters),
+            },
+            counters,
+        )
     }
 }
 
 impl NodeBehaviour for SinkBehaviour {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _ingress: u16, pkt: Packet) {
         self.counters.received.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes.fetch_add(pkt.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(pkt.len() as u64, Ordering::Relaxed);
         ctx.deliver_local(pkt);
     }
     fn name(&self) -> &str {
@@ -200,7 +226,11 @@ pub struct StaticForwarder {
 impl StaticForwarder {
     /// Creates a forwarder that owns address `local`.
     pub fn new(local: IpAddr) -> Self {
-        Self { local, routes: HashMap::new(), forwarded: Arc::new(AtomicU64::new(0)) }
+        Self {
+            local,
+            routes: HashMap::new(),
+            forwarded: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Adds (or replaces) the egress port for destination `dst`.
@@ -272,10 +302,12 @@ mod tests {
     use super::*;
     use netkit_packet::packet::PacketBuilder;
 
+    #[allow(clippy::type_complexity)]
     fn ctx_parts() -> (Vec<(u16, Packet)>, Vec<(u64, u64)>, Vec<Packet>, u64) {
         (Vec::new(), Vec::new(), Vec::new(), 0)
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_on_packet(
         b: &mut dyn NodeBehaviour,
         ingress: u16,
@@ -297,7 +329,9 @@ mod tests {
     #[test]
     fn sink_counts_and_delivers() {
         let (mut sink, counters) = SinkBehaviour::new();
-        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).payload(b"xyz").build();
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2)
+            .payload(b"xyz")
+            .build();
         let len = pkt.len() as u64;
         let (_, delivered, _) = run_on_packet(&mut sink, 0, pkt);
         assert_eq!(delivered.len(), 1);
@@ -336,7 +370,9 @@ mod tests {
     fn forwarder_drops_expired_ttl() {
         let mut fwd = StaticForwarder::new("10.0.0.1".parse().unwrap());
         fwd.route("10.0.0.9".parse().unwrap(), 0);
-        let pkt = PacketBuilder::udp_v4("10.0.0.5", "10.0.0.9", 1, 2).ttl(1).build();
+        let pkt = PacketBuilder::udp_v4("10.0.0.5", "10.0.0.9", 1, 2)
+            .ttl(1)
+            .build();
         let (emitted, _, drops) = run_on_packet(&mut fwd, 0, pkt);
         assert!(emitted.is_empty());
         assert_eq!(drops, 1);

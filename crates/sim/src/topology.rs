@@ -134,7 +134,8 @@ pub fn random_connected(
     for i in 1..n {
         let parent = rng.gen_range(0..i);
         connected.push((parent, i));
-        topo.links.push(sim.connect(topo.nodes[parent], topo.nodes[i], spec));
+        topo.links
+            .push(sim.connect(topo.nodes[parent], topo.nodes[i], spec));
     }
     // Extra edges.
     for a in 0..n {
@@ -143,7 +144,8 @@ pub fn random_connected(
                 continue;
             }
             if rng.gen::<f64>() < extra_p {
-                topo.links.push(sim.connect(topo.nodes[a], topo.nodes[b], spec));
+                topo.links
+                    .push(sim.connect(topo.nodes[a], topo.nodes[b], spec));
             }
         }
     }
@@ -221,13 +223,14 @@ pub fn node_addr(i: usize) -> std::net::Ipv4Addr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::{NodeCtx, FnBehaviour};
+    use crate::node::{FnBehaviour, NodeCtx};
     use netkit_packet::packet::Packet;
 
     fn noop() -> Box<dyn NodeBehaviour> {
-        Box::new(FnBehaviour::new("noop", |ctx: &mut NodeCtx<'_>, _, pkt: Packet| {
-            ctx.deliver_local(pkt)
-        }))
+        Box::new(FnBehaviour::new(
+            "noop",
+            |ctx: &mut NodeCtx<'_>, _, pkt: Packet| ctx.deliver_local(pkt),
+        ))
     }
 
     #[test]
@@ -255,7 +258,11 @@ mod tests {
     #[test]
     fn dumbbell_bottleneck_is_between_routers() {
         let mut sim = Simulator::new(1);
-        let bottleneck = LinkSpec { latency_ns: 1, bandwidth_bps: 42, queue_pkts: 1 };
+        let bottleneck = LinkSpec {
+            latency_ns: 1,
+            bandwidth_bps: 42,
+            queue_pkts: 1,
+        };
         let topo = dumbbell(&mut sim, 2, 3, LinkSpec::lan(), bottleneck, &mut |_| noop());
         assert_eq!(topo.nodes.len(), 2 + 2 + 3);
         // First link is the bottleneck.

@@ -47,7 +47,12 @@ pub struct CbrGen {
 impl CbrGen {
     /// `count` packets, one every `interval_ns`.
     pub fn new(interval_ns: u64, count: u64, factory: PacketFactory) -> Self {
-        Self { interval_ns, remaining: count, seq: 0, factory }
+        Self {
+            interval_ns,
+            remaining: count,
+            seq: 0,
+            factory,
+        }
     }
 }
 
@@ -65,7 +70,11 @@ impl TrafficGen for CbrGen {
 
 impl std::fmt::Debug for CbrGen {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CbrGen(every {}ns, {} left)", self.interval_ns, self.remaining)
+        write!(
+            f,
+            "CbrGen(every {}ns, {} left)",
+            self.interval_ns, self.remaining
+        )
     }
 }
 
@@ -81,7 +90,12 @@ pub struct PoissonGen {
 impl PoissonGen {
     /// `count` packets with exponential gaps of mean `mean_interval_ns`.
     pub fn new(mean_interval_ns: u64, count: u64, factory: PacketFactory) -> Self {
-        Self { mean_interval_ns: mean_interval_ns as f64, remaining: count, seq: 0, factory }
+        Self {
+            mean_interval_ns: mean_interval_ns as f64,
+            remaining: count,
+            seq: 0,
+            factory,
+        }
     }
 }
 
@@ -101,7 +115,11 @@ impl TrafficGen for PoissonGen {
 
 impl std::fmt::Debug for PoissonGen {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PoissonGen(mean {}ns, {} left)", self.mean_interval_ns, self.remaining)
+        write!(
+            f,
+            "PoissonGen(mean {}ns, {} left)",
+            self.mean_interval_ns, self.remaining
+        )
     }
 }
 
@@ -128,7 +146,10 @@ impl BurstyGen {
         count: u64,
         factory: PacketFactory,
     ) -> Self {
-        assert!(mean_burst_len >= 1.0, "bursts must average at least one packet");
+        assert!(
+            mean_burst_len >= 1.0,
+            "bursts must average at least one packet"
+        );
         Self {
             burst_interval_ns,
             idle_gap_ns,
@@ -224,8 +245,13 @@ mod tests {
 
     #[test]
     fn bursty_alternates_gaps() {
-        let mut g =
-            BurstyGen::new(10, 100_000, 5.0, 1000, udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 8));
+        let mut g = BurstyGen::new(
+            10,
+            100_000,
+            5.0,
+            1000,
+            udp_flow("10.0.0.1", "10.0.0.2", 1, 2, 8),
+        );
         let mut r = rng();
         let mut short = 0u64;
         let mut long = 0u64;

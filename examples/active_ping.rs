@@ -100,7 +100,10 @@ impl NodeBehaviour for EeNode {
                 }
             }
             Err(EeError::CodeMiss { hash }) => {
-                eprintln!("node {}: code miss for {hash:#x} (capsule dropped)", self.addr);
+                eprintln!(
+                    "node {}: code miss for {hash:#x} (capsule dropped)",
+                    self.addr
+                );
                 ctx.drop_packet(pkt);
             }
             Err(e) => {
@@ -133,10 +136,9 @@ fn main() {
         sim.connect(w[0], w[1], LinkSpec::lan());
     }
     // Host routes along the line.
-    for i in 0..n {
-        let node_id = ids[i];
+    for (i, &node_id) in ids.iter().enumerate() {
         let left = (i > 0).then_some(0u16);
-        let right = (i + 1 < n).then(|| if i == 0 { 0u16 } else { 1u16 });
+        let right = (i + 1 < n).then_some(if i == 0 { 0u16 } else { 1u16 });
         let behaviour = sim.node_behaviour_mut::<EeNode>(node_id).unwrap();
         for j in 0..n {
             if j < i {
@@ -211,7 +213,11 @@ fn main() {
                     .iter()
                     .map(|a| Ipv4Addr::from(*a as u32).to_string())
                     .collect();
-                println!("path collector delivered at node {}: {}", i + 1, path.join(" -> "));
+                println!(
+                    "path collector delivered at node {}: {}",
+                    i + 1,
+                    path.join(" -> ")
+                );
             }
         }
     }
@@ -219,7 +225,12 @@ fn main() {
     let mcast_receivers: Vec<usize> = handles
         .iter()
         .enumerate()
-        .filter(|(_, h)| h.lock().unwrap().iter().any(|args| args.first() == Some(&1)))
+        .filter(|(_, h)| {
+            h.lock()
+                .unwrap()
+                .iter()
+                .any(|args| args.first() == Some(&1))
+        })
         .map(|(i, _)| i + 1)
         .collect();
     println!("multicast copies delivered at nodes: {mcast_receivers:?}");

@@ -11,9 +11,9 @@
 use std::sync::Arc;
 
 use netkit::opencom::binding::TopologyRule;
-use netkit::opencom::component::Component;
 use netkit::opencom::capsule::{Capsule, Quiescence};
 use netkit::opencom::cf::{CfOperation, Principal};
+use netkit::opencom::component::Component;
 use netkit::opencom::runtime::Runtime;
 use netkit::packet::packet::PacketBuilder;
 use netkit::router::api::{
@@ -76,10 +76,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // through a header processor).
     controller.add_constraint(
         &admin,
-        TopologyRule::Forbid("netkit.ProtocolRecogniser".into(), "netkit.DropTailQueue".into())
-            .into_constraint(),
+        TopologyRule::Forbid(
+            "netkit.ProtocolRecogniser".into(),
+            "netkit.DropTailQueue".into(),
+        )
+        .into_constraint(),
     )?;
-    let veto = controller.rewire(&admin, "recogniser", "out", "shortcut", "queueing", IPACKET_PUSH);
+    let veto = controller.rewire(
+        &admin,
+        "recogniser",
+        "out",
+        "shortcut",
+        "queueing",
+        IPACKET_PUSH,
+    );
     println!("constraint vetoed the shortcut: {}", veto.unwrap_err());
 
     // ---- classifier access through the controller (Fig. 3 arrow) -----
@@ -89,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "default", // EF traffic would get its own queue in a real config
         100,
     ))?;
-    println!("installed {} filters via ACL-gated IClassifier", classifier.filters().len());
+    println!(
+        "installed {} filters via ACL-gated IClassifier",
+        classifier.filters().len()
+    );
 
     // ---- run traffic through the composite ----------------------------
     for i in 0..6u16 {
@@ -98,9 +111,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .dscp(if i % 2 == 0 { 46 } else { 0 })
                 .build(),
         )?;
-        composite.push(
-            PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1_000 + i, 7_000).build(),
-        )?;
+        composite
+            .push(PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1_000 + i, 7_000).build())?;
     }
     let mut drained = 0;
     while composite.pull().is_some() {

@@ -54,8 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     classifier.register_filter(FilterSpec::new(FilterPattern::any(), "bulk", 0))?;
 
     // 4. Push traffic.
-    let input: Arc<dyn IPacketPush> =
-        capsule.query_interface(cls, IPACKET_PUSH)?.downcast().unwrap();
+    let input: Arc<dyn IPacketPush> = capsule
+        .query_interface(cls, IPACKET_PUSH)?
+        .downcast()
+        .unwrap();
     for i in 0..10 {
         let dport = if i % 2 == 0 { 5_500 } else { 80 };
         input.push(
@@ -66,8 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. Drain: strict priority serves the voice queue first.
-    let out: Arc<dyn IPacketPull> =
-        capsule.query_interface(sc, IPACKET_PULL)?.downcast().unwrap();
+    let out: Arc<dyn IPacketPull> = capsule
+        .query_interface(sc, IPACKET_PULL)?
+        .downcast()
+        .unwrap();
     let mut order = Vec::new();
     while let Some(pkt) = out.pull() {
         order.push(pkt.udp_v4()?.dst_port);
@@ -101,15 +105,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..3 {
         input.push(PacketBuilder::udp_v4("192.0.2.1", "198.51.100.7", i, 5_100).build())?;
     }
-    println!("\ninterceptor saw {} voice packets", seen.load(std::sync::atomic::Ordering::Relaxed));
+    println!(
+        "\ninterceptor saw {} voice packets",
+        seen.load(std::sync::atomic::Ordering::Relaxed)
+    );
 
     // 8. Reconfigure live: hot-swap the voice queue for a bigger one.
     let bigger = capsule.adopt(DropTailQueue::new(1024))?;
     cf.plug(&sys, bigger)?;
     capsule.replace(vq, bigger, Quiescence::PerEdge)?;
     cf.unplug(&sys, vq)?;
-    println!("hot-swapped the voice queue; graph now has {} components",
-        capsule.arch().component_count());
+    println!(
+        "hot-swapped the voice queue; graph now has {} components",
+        capsule.arch().component_count()
+    );
 
     // The data path still works end to end.
     input.push(PacketBuilder::udp_v4("192.0.2.1", "198.51.100.7", 1, 5_200).build())?;

@@ -78,7 +78,9 @@ fn main() {
     println!("gold packet at node 1 leaves on substrate port {port}");
 
     let pkt_be = PacketBuilder::udp_v4("10.77.0.1", "10.77.0.4", 5, 5).build();
-    let (port, _) = genesis.forward(be, 1, pkt_be).expect("best-effort forwards");
+    let (port, _) = genesis
+        .forward(be, 1, pkt_be)
+        .expect("best-effort forwards");
     println!("best-effort packet at node 1 leaves on substrate port {port}");
 
     // Show the shared scheduler interleaving both virtnets by share.
@@ -117,10 +119,10 @@ fn main() {
     for w in ids.windows(2) {
         sim.connect(w[0], w[1], LinkSpec::lan());
     }
-    for i in 0..=hops {
+    for (i, &node) in ids.iter().enumerate() {
         let left = (i > 0).then_some(0u16);
-        let right = (i < hops).then(|| if i == 0 { 0u16 } else { 1u16 });
-        let agent = sim.node_behaviour_mut::<RsvpAgent>(ids[i]).unwrap();
+        let right = (i < hops).then_some(if i == 0 { 0u16 } else { 1u16 });
+        let agent = sim.node_behaviour_mut::<RsvpAgent>(node).unwrap();
         for j in 0..=hops {
             if j < i {
                 if let Some(p) = left {
@@ -138,11 +140,15 @@ fn main() {
     }
 
     let session = SessionId(1);
-    sim.node_behaviour_mut::<RsvpAgent>(ids[0]).unwrap().open_session(
-        session,
-        addr(hops),
-        FlowSpec { bandwidth_bps: 2_000_000 },
-    );
+    sim.node_behaviour_mut::<RsvpAgent>(ids[0])
+        .unwrap()
+        .open_session(
+            session,
+            addr(hops),
+            FlowSpec {
+                bandwidth_bps: 2_000_000,
+            },
+        );
     // Kick the sender's timers with any packet.
     sim.inject_after(
         ids[0],

@@ -14,15 +14,28 @@
 //! | Stratum (paper Fig. 1) | Crate | What's inside |
 //! |---|---|---|
 //! | — component model | [`opencom`] | components, receptacles, `bind`, capsules, CFs, four meta-models (architecture, interface, interception, resources), registry, isolation |
-//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated NICs, IXP1200 placement model |
-//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), Fig-2 interfaces (`IPacketPush`/`IPacketPull`/`IClassifier`), Fig-3 composites with controllers, the element library, LPM routing |
-//! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters |
+//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated NICs with `rx_burst`/`tx_burst` rings, IXP1200 placement model |
+//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing |
+//! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters (batch-aware) |
 //! | 4 coordination | [`signaling`] | RSVP-style reservations, Genesis-style spawning networks |
-//! | comparators | [`baselines`] | Click-like static router, monolithic forwarder |
-//! | substrate | [`sim`] | deterministic discrete-event network simulator |
+//! | comparators | [`baselines`] | Click-like static router and monolithic forwarder, each with a burst entry point for apples-to-apples batch benches |
+//! | substrate | [`sim`] | deterministic discrete-event network simulator; same-instant arrivals coalesce into `on_batch` deliveries |
 //!
 //! See `DESIGN.md` for the full system inventory and experiment index,
 //! and `EXPERIMENTS.md` for paper-claim vs. measured results.
+//!
+//! ## The batch-first dataplane
+//!
+//! The packet interfaces move [`PacketBatch`](packet::batch::PacketBatch)es:
+//! one receptacle traversal, one interceptor-chain pass, and one IPC
+//! round-trip (for isolated components) carry a whole burst. Per-packet
+//! semantics are unchanged — `push_batch` returns a
+//! [`BatchResult`](router::api::BatchResult) with one verdict per packet
+//! in batch order, and every element's batch path is differentially
+//! tested against its scalar path. Scalar `push`/`pull` remain as the
+//! batch of one, and default implementations keep scalar-only
+//! third-party components working unchanged. See
+//! [`router::api`] for the full ordering and partial-failure contract.
 //!
 //! ## Quick start
 //!
@@ -31,6 +44,7 @@
 //! use netkit::opencom::capsule::Capsule;
 //! use netkit::opencom::cf::Principal;
 //! use netkit::opencom::runtime::Runtime;
+//! use netkit::packet::batch::PacketBatch;
 //! use netkit::packet::packet::PacketBuilder;
 //! use netkit::router::api::{register_packet_interfaces, IPacketPush, IPACKET_PUSH};
 //! use netkit::router::cf::RouterCf;
@@ -50,7 +64,18 @@
 //!
 //! let input: Arc<dyn IPacketPush> =
 //!     capsule.query_interface(cls, IPACKET_PUSH)?.downcast().unwrap();
+//!
+//! // Scalar: the batch of one.
 //! input.push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 5, 7).build()).unwrap();
+//!
+//! // Batched: one binding traversal moves the whole burst; the result
+//! // carries one verdict per packet in batch order.
+//! let burst: PacketBatch = (0..32)
+//!     .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 5, 7000 + i).build())
+//!     .collect();
+//! let result = input.push_batch(burst);
+//! assert_eq!(result.len(), 32);
+//! assert!(result.all_ok());
 //! # Ok::<(), netkit::opencom::error::Error>(())
 //! ```
 

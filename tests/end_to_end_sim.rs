@@ -52,7 +52,8 @@ impl CfRouterNode {
         for id in [cls, vq, bq, sc] {
             cf.plug(&sys, id).unwrap();
         }
-        cf.bind(&sys, cls, "out", "voice", vq, IPACKET_PUSH).unwrap();
+        cf.bind(&sys, cls, "out", "voice", vq, IPACKET_PUSH)
+            .unwrap();
         cf.bind(&sys, cls, "out", "bulk", bq, IPACKET_PUSH).unwrap();
         cf.bind(&sys, sc, "in", "voice", vq, IPACKET_PULL).unwrap();
         cf.bind(&sys, sc, "in", "bulk", bq, IPACKET_PULL).unwrap();
@@ -67,11 +68,23 @@ impl CfRouterNode {
             .register_filter(FilterSpec::new(FilterPattern::any(), "bulk", 0))
             .unwrap();
 
-        let ingress: Arc<dyn IPacketPush> =
-            capsule.query_interface(cls, IPACKET_PUSH).unwrap().downcast().unwrap();
-        let egress: Arc<dyn IPacketPull> =
-            capsule.query_interface(sc, IPACKET_PULL).unwrap().downcast().unwrap();
-        Self { _capsule: capsule, classifier, ingress, egress, routes: RoutingTable::new() }
+        let ingress: Arc<dyn IPacketPush> = capsule
+            .query_interface(cls, IPACKET_PUSH)
+            .unwrap()
+            .downcast()
+            .unwrap();
+        let egress: Arc<dyn IPacketPull> = capsule
+            .query_interface(sc, IPACKET_PULL)
+            .unwrap()
+            .downcast()
+            .unwrap();
+        Self {
+            _capsule: capsule,
+            classifier,
+            ingress,
+            egress,
+            routes: RoutingTable::new(),
+        }
     }
 }
 
@@ -105,8 +118,20 @@ fn cf_router_forwards_across_three_hop_topology() {
 
     let mut r1 = CfRouterNode::new();
     let mut r2 = CfRouterNode::new();
-    r1.routes.add("10.0.2.0/24", RouteEntry { egress: 0, next_hop: None });
-    r2.routes.add("10.0.2.0/24", RouteEntry { egress: 1, next_hop: None });
+    r1.routes.add(
+        "10.0.2.0/24",
+        RouteEntry {
+            egress: 0,
+            next_hop: None,
+        },
+    );
+    r2.routes.add(
+        "10.0.2.0/24",
+        RouteEntry {
+            egress: 1,
+            next_hop: None,
+        },
+    );
 
     let n1 = sim.add_node(Box::new(r1));
     let n2 = sim.add_node(Box::new(r2));
@@ -116,11 +141,19 @@ fn cf_router_forwards_across_three_hop_topology() {
 
     sim.attach_source(
         n1,
-        Box::new(CbrGen::new(50_000, 200, udp_flow("10.0.1.1", "10.0.2.9", 4_000, 5_500, 120))),
+        Box::new(CbrGen::new(
+            50_000,
+            200,
+            udp_flow("10.0.1.1", "10.0.2.9", 4_000, 5_500, 120),
+        )),
     );
     sim.attach_source(
         n1,
-        Box::new(CbrGen::new(50_000, 200, udp_flow("10.0.1.1", "10.0.2.9", 4_001, 80, 120))),
+        Box::new(CbrGen::new(
+            50_000,
+            200,
+            udp_flow("10.0.1.1", "10.0.2.9", 4_001, 80, 120),
+        )),
     );
 
     let stats = sim.run_to_idle().clone();
@@ -137,14 +170,24 @@ fn classifier_reprogramming_resteers_traffic_mid_run() {
     let router = CfRouterNode::new();
     let classifier = Arc::clone(&router.classifier);
     let mut router = router;
-    router.routes.add("10.0.2.0/24", RouteEntry { egress: 0, next_hop: None });
+    router.routes.add(
+        "10.0.2.0/24",
+        RouteEntry {
+            egress: 0,
+            next_hop: None,
+        },
+    );
     let n1 = sim.add_node(Box::new(router));
     let dst = sim.add_node(Box::new(sink));
     sim.connect(n1, dst, LinkSpec::lan());
 
     sim.attach_source(
         n1,
-        Box::new(CbrGen::new(100_000, 100, udp_flow("10.0.1.1", "10.0.2.9", 4_000, 7_000, 64))),
+        Box::new(CbrGen::new(
+            100_000,
+            100,
+            udp_flow("10.0.1.1", "10.0.2.9", 4_000, 7_000, 64),
+        )),
     );
 
     // First half: dport 7000 is bulk.
@@ -163,7 +206,10 @@ fn classifier_reprogramming_resteers_traffic_mid_run() {
         .unwrap();
 
     let stats = sim.run_to_idle().clone();
-    assert_eq!(stats.delivered, 100, "no traffic lost across the re-programming");
+    assert_eq!(
+        stats.delivered, 100,
+        "no traffic lost across the re-programming"
+    );
     assert!(classifier.filters().len() >= 3);
 }
 
@@ -179,7 +225,10 @@ fn three_architectures_agree_on_forwarding_semantics() {
                 .build()
         })
         .collect();
-    let expected_voice = packets.iter().filter(|p| p.udp_v4().unwrap().dst_port == 5_500).count();
+    let expected_voice = packets
+        .iter()
+        .filter(|p| p.udp_v4().unwrap().dst_port == 5_500)
+        .count();
 
     // NETKIT.
     let node = CfRouterNode::new();
@@ -208,7 +257,13 @@ fn three_architectures_agree_on_forwarding_semantics() {
 
     // Monolithic (no classification, but the same forwarding decision).
     let mut table = RoutingTable::new();
-    table.add("10.0.2.0/24", RouteEntry { egress: 0, next_hop: None });
+    table.add(
+        "10.0.2.0/24",
+        RouteEntry {
+            egress: 0,
+            next_hop: None,
+        },
+    );
     let mono = MonolithicForwarder::new(table, 1, 4096);
     for pkt in &packets {
         mono.forward(pkt.clone()).unwrap();

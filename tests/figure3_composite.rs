@@ -14,8 +14,7 @@ use netkit::opencom::error::Error;
 use netkit::opencom::runtime::Runtime;
 use netkit::packet::packet::PacketBuilder;
 use netkit::router::api::{
-    register_packet_interfaces, IPacketPull, IPacketPush, PushSkeleton, IPACKET_PULL,
-    IPACKET_PUSH,
+    register_packet_interfaces, IPacketPull, IPacketPush, PushSkeleton, IPACKET_PULL, IPACKET_PUSH,
 };
 use netkit::router::cf::RouterCf;
 use netkit::router::composite::{Composite, CompositeBuilder};
@@ -78,9 +77,20 @@ fn figure3_structure_is_reproduced() {
         .collect();
     assert_eq!(
         labels,
-        ["classifier", "forwarding", "ipv4", "ipv6", "link-sched", "queueing", "recogniser"]
+        [
+            "classifier",
+            "forwarding",
+            "ipv4",
+            "ipv6",
+            "link-sched",
+            "queueing",
+            "recogniser"
+        ]
     );
-    assert!(composite.controller_id().is_some(), "R3: controller present");
+    assert!(
+        composite.controller_id().is_some(),
+        "R3: controller present"
+    );
     assert!(composite.core().descriptor().composite);
 }
 
@@ -91,7 +101,9 @@ fn mixed_v4_v6_traffic_flows_and_r3_admission_holds() {
 
     // Recursive admission into an outer Router CF (rule R3).
     let outer = RouterCf::new("outer", Arc::clone(&capsule));
-    outer.plug(&Principal::system(), composite.core().id()).unwrap();
+    outer
+        .plug(&Principal::system(), composite.core().id())
+        .unwrap();
 
     for i in 0..4u16 {
         composite
@@ -110,7 +122,11 @@ fn mixed_v4_v6_traffic_flows_and_r3_admission_holds() {
             v6 += 1;
         }
     }
-    assert_eq!((v4, v6), (4, 4), "both protocol paths of Fig. 3 carry traffic");
+    assert_eq!(
+        (v4, v6),
+        (4, 4),
+        "both protocol paths of Fig. 3 carry traffic"
+    );
 }
 
 #[test]
@@ -122,14 +138,18 @@ fn controller_acl_polices_constraints_and_rewiring() {
     // Nobody can touch the topology without grants.
     let eve = Principal::new("eve");
     assert!(matches!(
-        ctl.add_constraint(&eve, TopologyRule::Forbid("a".into(), "b".into()).into_constraint()),
+        ctl.add_constraint(
+            &eve,
+            TopologyRule::Forbid("a".into(), "b".into()).into_constraint()
+        ),
         Err(Error::AccessDenied { .. })
     ));
 
     // The owner delegates; the delegate installs a constraint that then
     // vetoes an illegal rewire.
     let ops = Principal::new("ops");
-    ctl.grant(&admin, ops.clone(), CfOperation::AddConstraint).unwrap();
+    ctl.grant(&admin, ops.clone(), CfOperation::AddConstraint)
+        .unwrap();
     ctl.grant(&admin, ops.clone(), CfOperation::Bind).unwrap();
     ctl.add_constraint(
         &ops,
@@ -141,7 +161,14 @@ fn controller_acl_polices_constraints_and_rewiring() {
     )
     .unwrap();
     let err = ctl
-        .rewire(&ops, "recogniser", "out", "shortcut", "queueing", IPACKET_PUSH)
+        .rewire(
+            &ops,
+            "recogniser",
+            "out",
+            "shortcut",
+            "queueing",
+            IPACKET_PUSH,
+        )
         .unwrap_err();
     assert!(matches!(err, Error::ConstraintVeto { .. }));
 
@@ -157,14 +184,16 @@ fn controller_hot_swaps_the_queue_under_traffic() {
     let admin = Principal::new("admin");
     let (capsule, composite) = build_gateway(&admin);
     let ctl = composite.controller();
-    ctl.grant(&admin, admin.clone(), CfOperation::Replace).unwrap();
+    ctl.grant(&admin, admin.clone(), CfOperation::Replace)
+        .unwrap();
 
     // Traffic before, swap, traffic after; nothing wedges.
     composite
         .push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.5", 1, 2).build())
         .unwrap();
     let bigger = capsule.adopt(DropTailQueue::new(4096)).unwrap();
-    ctl.replace(&admin, "queueing", bigger, Quiescence::PerEdge).unwrap();
+    ctl.replace(&admin, "queueing", bigger, Quiescence::PerEdge)
+        .unwrap();
     composite
         .push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.5", 3, 4).build())
         .unwrap();
@@ -181,7 +210,10 @@ fn untrusted_constituent_runs_isolated_with_crash_containment() {
         Box::new(|| {
             struct Bomb;
             impl IPacketPush for Bomb {
-                fn push(&self, pkt: netkit::packet::packet::Packet) -> netkit::router::api::PushResult {
+                fn push(
+                    &self,
+                    pkt: netkit::packet::packet::Packet,
+                ) -> netkit::router::api::PushResult {
                     if pkt.udp_v4().is_ok_and(|u| u.dst_port == 6666) {
                         panic!("malicious constituent");
                     }

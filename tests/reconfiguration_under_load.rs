@@ -39,18 +39,28 @@ fn no_loss_across_a_thousand_swaps() {
     let sink = Discard::new();
     let sink_id = capsule.adopt(sink.clone()).unwrap();
     cf.plug(&sys, sink_id).unwrap();
-    cf.bind(&sys, stages[0], "out", "", stages[1], IPACKET_PUSH).unwrap();
-    cf.bind(&sys, stages[1], "out", "", stages[2], IPACKET_PUSH).unwrap();
-    cf.bind(&sys, stages[2], "out", "", sink_id, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, stages[0], "out", "", stages[1], IPACKET_PUSH)
+        .unwrap();
+    cf.bind(&sys, stages[1], "out", "", stages[2], IPACKET_PUSH)
+        .unwrap();
+    cf.bind(&sys, stages[2], "out", "", sink_id, IPACKET_PUSH)
+        .unwrap();
 
-    let entry: Arc<dyn IPacketPush> =
-        capsule.query_interface(stages[0], IPACKET_PUSH).unwrap().downcast().unwrap();
+    let entry: Arc<dyn IPacketPush> = capsule
+        .query_interface(stages[0], IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
 
     let mut victim = stages[1];
     let mut sent = 0u64;
     for round in 0..1000u64 {
         // Swap the middle element every iteration, alternating modes.
-        let mode = if round % 2 == 0 { Quiescence::PerEdge } else { Quiescence::FullGraph };
+        let mode = if round % 2 == 0 {
+            Quiescence::PerEdge
+        } else {
+            Quiescence::FullGraph
+        };
         let fresh = capsule.adopt(Counter::new()).unwrap();
         cf.plug(&sys, fresh).unwrap();
         capsule.replace(victim, fresh, mode).unwrap();
@@ -173,7 +183,9 @@ fn registry_supports_side_by_side_versions_and_evolution() {
         Box::new(|| Stage::make(Version::new(2, 0, 0))),
     );
 
-    let v1 = capsule.instantiate_version("app.Stage", Version::new(1, 0, 0)).unwrap();
+    let v1 = capsule
+        .instantiate_version("app.Stage", Version::new(1, 0, 0))
+        .unwrap();
     cf.plug(&sys, v1).unwrap();
     let sink = capsule.adopt(Discard::new()).unwrap();
     cf.plug(&sys, sink).unwrap();
@@ -189,7 +201,12 @@ fn registry_supports_side_by_side_versions_and_evolution() {
 
     // Evolve the live pipeline from v1 to v2.
     capsule.replace(v1, v2, Quiescence::PerEdge).unwrap();
-    let entry: Arc<dyn IPacketPush> =
-        capsule.query_interface(v2, IPACKET_PUSH).unwrap().downcast().unwrap();
-    entry.push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.9", 1, 2).build()).unwrap();
+    let entry: Arc<dyn IPacketPush> = capsule
+        .query_interface(v2, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
+    entry
+        .push(PacketBuilder::udp_v4("192.0.2.1", "203.0.113.9", 1, 2).build())
+        .unwrap();
 }

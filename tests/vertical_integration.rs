@@ -50,10 +50,15 @@ fn all_four_strata_compose_on_one_node() {
     // CF): swap FIFO for round-robin at run time.
     let done = Arc::new(AtomicU64::new(0));
     let d2 = Arc::clone(&done);
-    executor.spawn("housekeeping", 0, 1, Box::new(move || {
-        d2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        (netkit::kernel::exec::TaskStatus::Done, 10)
-    }));
+    executor.spawn(
+        "housekeeping",
+        0,
+        1,
+        Box::new(move || {
+            d2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (netkit::kernel::exec::TaskStatus::Done, 10)
+        }),
+    );
     let previous = executor.set_policy(Box::new(RoundRobinPolicy::default()));
     assert_eq!(previous, "fifo");
     assert_eq!(executor.policy_name(), "round-robin");
@@ -77,7 +82,13 @@ fn all_four_strata_compose_on_one_node() {
     // ---- stratum 3: the EE plugged into the *same* CF ----------------
     let routes = Arc::new(RwLock::new({
         let mut t = RoutingTable::new();
-        t.add("10.0.0.0/8", RouteEntry { egress: 0, next_hop: None });
+        t.add(
+            "10.0.0.0/8",
+            RouteEntry {
+                egress: 0,
+                next_hop: None,
+            },
+        );
         t
     }));
     let ee = EeComponent::new(
@@ -91,15 +102,19 @@ fn all_four_strata_compose_on_one_node() {
     let ee_id = capsule.adopt(ee.clone()).unwrap();
 
     for id in [cls, q, sc, ee_id] {
-        cf.plug(&sys, id).expect("uniform admission for strata 2 and 3");
+        cf.plug(&sys, id)
+            .expect("uniform admission for strata 2 and 3");
     }
 
     // classifier: active traffic to the EE, the rest to the queue.
-    cf.bind(&sys, cls, "out", "active", ee_id, IPACKET_PUSH).unwrap();
-    cf.bind(&sys, cls, "out", "default", q, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, cls, "out", "active", ee_id, IPACKET_PUSH)
+        .unwrap();
+    cf.bind(&sys, cls, "out", "default", q, IPACKET_PUSH)
+        .unwrap();
     cf.bind(&sys, sc, "in", "main", q, IPACKET_PULL).unwrap();
     // EE deliveries come back into the data-path queue.
-    cf.bind(&sys, ee_id, "out", LOCAL_OUTPUT, q, IPACKET_PUSH).unwrap();
+    cf.bind(&sys, ee_id, "out", LOCAL_OUTPUT, q, IPACKET_PUSH)
+        .unwrap();
     classifier
         .register_filter(FilterSpec::new(
             FilterPattern::any().protocol(17).dst_port_range(3322, 3322),
@@ -109,12 +124,19 @@ fn all_four_strata_compose_on_one_node() {
         .unwrap();
 
     // ---- run mixed traffic -------------------------------------------
-    let input: Arc<dyn IPacketPush> =
-        capsule.query_interface(cls, IPACKET_PUSH).unwrap().downcast().unwrap();
+    let input: Arc<dyn IPacketPush> = capsule
+        .query_interface(cls, IPACKET_PUSH)
+        .unwrap()
+        .downcast()
+        .unwrap();
 
     // Plain packet → default queue.
     input
-        .push(PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 80).payload(b"web").build())
+        .push(
+            PacketBuilder::udp_v4("10.0.0.9", "10.0.0.1", 1, 80)
+                .payload(b"web")
+                .build(),
+        )
         .unwrap();
 
     // Active packet → EE → local delivery → queue.
@@ -128,8 +150,11 @@ fn all_four_strata_compose_on_one_node() {
         )
         .unwrap();
 
-    let out: Arc<dyn IPacketPull> =
-        capsule.query_interface(sc, IPACKET_PULL).unwrap().downcast().unwrap();
+    let out: Arc<dyn IPacketPull> = capsule
+        .query_interface(sc, IPACKET_PULL)
+        .unwrap()
+        .downcast()
+        .unwrap();
     let mut drained = 0;
     while out.pull().is_some() {
         drained += 1;
@@ -139,7 +164,11 @@ fn all_four_strata_compose_on_one_node() {
 
     // ---- the node is analysable as a single composite ----------------
     let graph = capsule.to_dot();
-    for ty in ["netkit.Classifier", "netkit.DropTailQueue", "netkit.ExecutionEnv"] {
+    for ty in [
+        "netkit.Classifier",
+        "netkit.DropTailQueue",
+        "netkit.ExecutionEnv",
+    ] {
         assert!(graph.contains(ty), "architecture meta-model sees `{ty}`");
     }
     assert!(capsule.arch().component_count() >= 4);
@@ -149,12 +178,17 @@ fn all_four_strata_compose_on_one_node() {
     // (paper §4: "application or transport layer components can (subject
     // to access control) straightforwardly obtain 'layer-violating'
     // information from the link layer").
-    nic.inject_rx(netkit::packet::packet::PacketBuilder::udp_v4("10.0.0.2", "10.0.0.1", 5, 5)
-        .build()
-        .into_data()
-        .freeze());
+    nic.inject_rx(
+        netkit::packet::packet::PacketBuilder::udp_v4("10.0.0.2", "10.0.0.1", 5, 5)
+            .build()
+            .into_data()
+            .freeze(),
+    );
     let stats = nic.stats();
-    assert_eq!(stats.rx_frames, 1, "upper-layer code reads link-layer counters directly");
+    assert_eq!(
+        stats.rx_frames, 1,
+        "upper-layer code reads link-layer counters directly"
+    );
 
     // ---- stratum 4: a Genesis controller re-programming stratum 2 ----
     let mut genesis = Genesis::new(vec![vec![(0, 1)], vec![(0, 0)]]);
