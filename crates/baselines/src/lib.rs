@@ -15,10 +15,18 @@
 //! interception, and hot reconfiguration; the benches measure what that
 //! costs relative to these baselines.
 
+//!
+//! [`sharded`] replicates either baseline across the workers of a
+//! `netkit_kernel::shard::ShardSpec` with the same RSS flow steering the
+//! NETKIT sharded pipeline uses, so multi-core comparisons stay
+//! apples-to-apples.
+
 #![warn(missing_docs)]
 
 pub mod click;
 pub mod monolithic;
+pub mod sharded;
 
 pub use click::{ClickError, ClickRouter};
 pub use monolithic::{DropReason, ForwarderStats, MonolithicForwarder};
+pub use sharded::{ShardedClick, ShardedMonolithic};

@@ -1,0 +1,227 @@
+//! Sharded variants of the comparator dataplanes.
+//!
+//! The multi-core benches must compare like-for-like: the same
+//! [`ShardSpec`] that drives the NETKIT `ShardedPipeline` also drives
+//! these wrappers, which replicate a baseline per worker and steer
+//! flows with the identical RSS partition
+//! ([`PacketBatch::partition_by_shard`]). Whatever scaling the worker
+//! pool buys (or costs) is therefore an architecture-independent
+//! constant across the three dataplanes, and the measured deltas stay
+//! attributable to the component model alone.
+
+use std::fmt;
+use std::sync::Arc;
+
+use netkit_kernel::shard::{ShardSpec, WorkerPool};
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::packet::Packet;
+use netkit_router::routing::RoutingTable;
+
+use crate::click::{ClickError, ClickRouter};
+use crate::monolithic::{ForwarderStats, MonolithicForwarder};
+
+fn partition(pkts: Vec<Packet>, shards: usize) -> Vec<Vec<Packet>> {
+    PacketBatch::from_packets(pkts)
+        .partition_by_shard(shards)
+        .into_iter()
+        .map(PacketBatch::into_packets)
+        .collect()
+}
+
+/// `spec.workers` independent [`ClickRouter`] replicas compiled from one
+/// config, fed flow-affinely by a worker pool.
+pub struct ShardedClick {
+    pool: WorkerPool<Vec<Packet>>,
+    replicas: Vec<Arc<ClickRouter>>,
+}
+
+impl ShardedClick {
+    /// Compiles `config` once per worker and starts the pool; `entry` is
+    /// the element every burst enters through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors (the first replica to fail).
+    pub fn compile(config: &str, entry: &str, spec: ShardSpec) -> Result<Self, ClickError> {
+        let replicas: Vec<Arc<ClickRouter>> = (0..spec.workers)
+            .map(|_| ClickRouter::compile(config).map(Arc::new))
+            .collect::<Result<_, _>>()?;
+        let worker_replicas = replicas.clone();
+        let entry = entry.to_string();
+        let pool = WorkerPool::start(spec, move |shard| {
+            let replica = Arc::clone(&worker_replicas[shard]);
+            let entry = entry.clone();
+            Box::new(move |pkts: Vec<Packet>| {
+                replica.push_batch(&entry, pkts);
+            })
+        });
+        Ok(Self { pool, replicas })
+    }
+
+    /// RSS-partitions a burst and enqueues each non-empty slice on its
+    /// worker.
+    pub fn push_batch(&self, pkts: Vec<Packet>) {
+        for (shard, slice) in partition(pkts, self.pool.workers()).into_iter().enumerate() {
+            if !slice.is_empty() {
+                let _ = self.pool.submit(shard, slice);
+            }
+        }
+    }
+
+    /// Waits until every enqueued burst has run to completion.
+    pub fn flush(&self) {
+        self.pool.flush();
+    }
+
+    /// Counter value of element `name`, summed over all replicas.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        self.replicas.iter().map(|r| r.count(name)).sum()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Stops the workers.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+impl fmt::Debug for ShardedClick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedClick({} replicas)", self.replicas.len())
+    }
+}
+
+/// `spec.workers` independent [`MonolithicForwarder`] replicas fed
+/// flow-affinely by a worker pool; each worker drains the egress queue
+/// it just filled, run-to-completion style.
+pub struct ShardedMonolithic {
+    pool: WorkerPool<Vec<Packet>>,
+    replicas: Vec<Arc<MonolithicForwarder>>,
+}
+
+impl ShardedMonolithic {
+    /// Builds one forwarder per worker (`make_routes` supplies each
+    /// replica's routing table) and starts the pool.
+    pub fn new(
+        make_routes: impl Fn() -> RoutingTable,
+        ports: u16,
+        queue_cap: usize,
+        spec: ShardSpec,
+    ) -> Self {
+        let replicas: Vec<Arc<MonolithicForwarder>> = (0..spec.workers)
+            .map(|_| Arc::new(MonolithicForwarder::new(make_routes(), ports, queue_cap)))
+            .collect();
+        let worker_replicas = replicas.clone();
+        let pool = WorkerPool::start(spec, move |shard| {
+            let replica = Arc::clone(&worker_replicas[shard]);
+            Box::new(move |pkts: Vec<Packet>| {
+                for port in replica.forward_batch(pkts).into_iter().flatten() {
+                    let _ = replica.drain(port);
+                }
+            })
+        });
+        Self { pool, replicas }
+    }
+
+    /// RSS-partitions a burst and enqueues each non-empty slice on its
+    /// worker.
+    pub fn forward_batch(&self, pkts: Vec<Packet>) {
+        for (shard, slice) in partition(pkts, self.pool.workers()).into_iter().enumerate() {
+            if !slice.is_empty() {
+                let _ = self.pool.submit(shard, slice);
+            }
+        }
+    }
+
+    /// Waits until every enqueued burst has run to completion.
+    pub fn flush(&self) {
+        self.pool.flush();
+    }
+
+    /// Counters summed over all replicas.
+    pub fn stats(&self) -> ForwarderStats {
+        let mut total = ForwarderStats::default();
+        for r in &self.replicas {
+            let s = r.stats();
+            total.forwarded += s.forwarded;
+            total.malformed += s.malformed;
+            total.ttl_expired += s.ttl_expired;
+            total.no_route += s.no_route;
+            total.queue_full += s.queue_full;
+        }
+        total
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Stops the workers.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+impl fmt::Debug for ShardedMonolithic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardedMonolithic({} replicas)", self.replicas.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::packet::PacketBuilder;
+    use netkit_router::routing::RouteEntry;
+
+    fn burst(n: u16) -> Vec<Packet> {
+        (0..n)
+            .map(|i| PacketBuilder::udp_v4("192.0.2.1", "10.0.0.9", 3000 + i, 80).build())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_click_counts_all_packets_once() {
+        let cfg = "c0 :: Counter;\nsink :: Discard;\nc0 -> sink;\n";
+        let click = ShardedClick::compile(cfg, "c0", ShardSpec::new(4)).unwrap();
+        assert_eq!(click.workers(), 4);
+        click.push_batch(burst(64));
+        click.flush();
+        assert_eq!(click.count("c0"), Some(64));
+        assert_eq!(click.count("sink"), Some(64));
+        assert_eq!(click.count("nope"), None);
+        click.shutdown();
+    }
+
+    #[test]
+    fn sharded_click_rejects_bad_config() {
+        assert!(ShardedClick::compile("garbage", "c0", ShardSpec::single()).is_err());
+    }
+
+    #[test]
+    fn sharded_monolithic_forwards_everything() {
+        let make = || {
+            let mut t = RoutingTable::new();
+            t.add(
+                "10.0.0.0/8",
+                RouteEntry {
+                    egress: 1,
+                    next_hop: None,
+                },
+            );
+            t
+        };
+        let mono = ShardedMonolithic::new(make, 4, 1024, ShardSpec::new(2));
+        mono.forward_batch(burst(48));
+        mono.flush();
+        let stats = mono.stats();
+        assert_eq!(stats.forwarded, 48);
+        assert_eq!(stats.no_route, 0);
+        mono.shutdown();
+    }
+}

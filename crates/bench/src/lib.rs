@@ -5,19 +5,23 @@
 //! pipelines of parametric length, equivalent Click configs, routing
 //! tables of parametric size, and canned packets.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use opencom::capsule::Capsule;
 use opencom::cf::Principal;
 use opencom::error::Result;
 use opencom::ident::ComponentId;
+use opencom::meta::resources::ResourceManager;
 use opencom::runtime::Runtime;
 
+use netkit_kernel::shard::ShardSpec;
 use netkit_packet::packet::{Packet, PacketBuilder};
 use netkit_router::api::{register_packet_interfaces, IPacketPush, IPACKET_PUSH};
 use netkit_router::cf::RouterCf;
 use netkit_router::elements::{Counter, Discard};
 use netkit_router::routing::{RouteEntry, RoutingTable};
+use netkit_router::shard::{ShardGraph, ShardedPipeline};
 
 /// A ready-to-push component pipeline and the handles the benches need.
 pub struct PipelineRig {
@@ -85,6 +89,39 @@ pub fn netkit_chain(n: usize) -> Result<PipelineRig> {
         stages,
         sink,
     })
+}
+
+static SHARD_RIG_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Builds a [`ShardedPipeline`] whose every shard replicates the
+/// [`netkit_chain`] graph (`n` Counter stages into a Discard), plus the
+/// per-shard sinks for verification. Task names are auto-uniqued so many
+/// rigs can share a process.
+///
+/// # Errors
+///
+/// Propagates capsule/CF failures (none expected in a bench rig).
+pub fn netkit_sharded_chain(
+    n: usize,
+    spec: ShardSpec,
+) -> Result<(ShardedPipeline, Vec<Arc<Discard>>)> {
+    let rm = Arc::new(ResourceManager::new());
+    let name = format!(
+        "bench-sharded-{}",
+        SHARD_RIG_IDS.fetch_add(1, Ordering::Relaxed)
+    );
+    let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let sinks_slot = Arc::clone(&sinks);
+    let pipe = ShardedPipeline::build(&name, spec, rm, move |_shard| {
+        let rig = netkit_chain(n)?;
+        sinks_slot.lock().push(Arc::clone(&rig.sink));
+        let entry = Arc::clone(&rig.entry);
+        let components = rig.stages.clone();
+        // The shard graph owns the capsule; the rig's other handles drop.
+        Ok(ShardGraph::new(Arc::clone(&rig.capsule), entry).with_components(components))
+    })?;
+    let sinks = std::mem::take(&mut *sinks.lock());
+    Ok((pipe, sinks))
 }
 
 /// The equivalent Click configuration: `n` Counter stages into a

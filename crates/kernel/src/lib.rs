@@ -13,7 +13,13 @@
 //!   schedulers** (the paper's thread-management CF).
 //! * [`mem`] — quota-policed memory accounting for the resources
 //!   meta-model and the footprint experiments.
-//! * [`nic`] — simulated NICs with bounded rx/tx rings.
+//! * [`nic`] — simulated NICs with bounded multi-queue rx/tx rings
+//!   (RSS steering via `inject_rx_rss`, per-worker
+//!   `rx_burst_queue`/`tx_burst_queue`).
+//! * [`shard`] — the sharded run-to-completion worker-pool runtime
+//!   ([`shard::ShardSpec`], [`shard::WorkerPool`]) with the epoch-based
+//!   quiesce protocol that keeps reflective reconfiguration atomic
+//!   across workers.
 //! * [`ixp`] — an analytic cycle model of the Intel IXP1200
 //!   (StrongARM + 6 micro-engines + scratchpad/SRAM/SDRAM hierarchy)
 //!   for the component-placement experiments.
@@ -25,4 +31,5 @@ pub mod exec;
 pub mod ixp;
 pub mod mem;
 pub mod nic;
+pub mod shard;
 pub mod time;

@@ -1,18 +1,35 @@
 //! Simulated network interface cards.
 //!
 //! Stratum 1 wraps "access to network hardware" (paper §3). A [`Nic`] is
-//! a pair of bounded rx/tx rings over raw frames plus drop counters —
+//! a set of bounded rx/tx ring pairs over raw frames plus drop counters —
 //! the substrate the Router CF's device-adapter components sit on. The
-//! simulator (or a test) injects frames into the rx ring and drains the
-//! tx ring; the router polls rx and pushes tx, exactly like a
+//! simulator (or a test) injects frames into the rx rings and drains the
+//! tx rings; the router polls rx and pushes tx, exactly like a
 //! poll-mode driver.
+//!
+//! ## Multi-queue (RSS)
+//!
+//! A NIC built with [`Nic::with_queues`] exposes one rx ring and one tx
+//! ring *per worker* — the simulated equivalent of hardware
+//! receive-side scaling. The wire side steers each frame with
+//! [`Nic::inject_rx_rss`] (hash → queue, the hash being what hardware
+//! would compute from the flow tuple, see
+//! `netkit_packet::flow::FlowKey::rss_hash`); each worker then drains
+//! *its own* queue with [`Nic::rx_burst_queue`] and transmits on its own
+//! ring with [`Nic::tx_burst_queue`], so the fast path shares nothing
+//! between workers. Rings are SPSC channels (crossbeam shim); the
+//! single-queue constructor [`Nic::new`] and the queue-less API
+//! (`inject_rx`/`poll_rx`/`rx_burst`/`send_tx`/`tx_burst`/`drain_tx`)
+//! keep their original single-ring semantics on queue 0 — except the
+//! *consuming* sides (`poll_rx`, `rx_burst`, `drain_tx`), which scan
+//! queues in index order so no frame is ever stranded for a
+//! queue-oblivious caller.
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, Receiver, Sender};
 
 /// Identifies a port/NIC on a node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -24,22 +41,37 @@ impl fmt::Display for PortId {
     }
 }
 
-/// Counters exposed by a NIC.
+/// Counters exposed by a NIC (aggregated over all queues, so reflection
+/// keeps seeing one logical device).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NicStats {
-    /// Frames accepted into the rx ring.
+    /// Frames accepted into the rx rings.
     pub rx_frames: u64,
-    /// Frames dropped because the rx ring was full.
+    /// Frames dropped because an rx ring was full.
     pub rx_dropped: u64,
-    /// Frames accepted into the tx ring.
+    /// Frames accepted into the tx rings.
     pub tx_frames: u64,
-    /// Frames dropped because the tx ring was full.
+    /// Frames dropped because a tx ring was full.
     pub tx_dropped: u64,
     /// Bytes accepted for transmit.
     pub tx_bytes: u64,
 }
 
-/// A simulated NIC with bounded rx/tx rings.
+/// One bounded SPSC ring: the NIC keeps both endpoints so the channel
+/// never disconnects.
+struct Ring {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity.max(1));
+        Self { tx, rx }
+    }
+}
+
+/// A simulated NIC with bounded, optionally multi-queue rx/tx rings.
 ///
 /// # Examples
 ///
@@ -51,11 +83,16 @@ pub struct NicStats {
 /// nic.inject_rx(Bytes::from_static(b"frame"));
 /// assert_eq!(nic.poll_rx().as_deref(), Some(b"frame".as_ref()));
 /// assert_eq!(nic.poll_rx(), None);
+///
+/// // Multi-queue: RSS steering on inject, per-worker burst drain.
+/// let mq = Nic::with_queues(PortId(1), 4, 16, 16, 1_000_000_000);
+/// mq.inject_rx_rss(7, Bytes::from_static(b"flow"));
+/// assert_eq!(mq.rx_burst_queue(7 % 4, 32).len(), 1);
 /// ```
 pub struct Nic {
     port: PortId,
-    rx: Mutex<VecDeque<Bytes>>,
-    tx: Mutex<VecDeque<Bytes>>,
+    rx: Vec<Ring>,
+    tx: Vec<Ring>,
     rx_capacity: usize,
     tx_capacity: usize,
     link_bps: u64,
@@ -67,15 +104,28 @@ pub struct Nic {
 }
 
 impl Nic {
-    /// Creates a NIC with the given ring capacities and link rate
-    /// (bits per second).
+    /// Creates a single-queue NIC with the given ring capacities and
+    /// link rate (bits per second).
     pub fn new(port: PortId, rx_capacity: usize, tx_capacity: usize, link_bps: u64) -> Self {
+        Self::with_queues(port, 1, rx_capacity, tx_capacity, link_bps)
+    }
+
+    /// Creates a NIC with `queues` rx/tx ring pairs (one per dataplane
+    /// worker); capacities are per ring.
+    pub fn with_queues(
+        port: PortId,
+        queues: usize,
+        rx_capacity: usize,
+        tx_capacity: usize,
+        link_bps: u64,
+    ) -> Self {
+        let queues = queues.max(1);
         Self {
             port,
-            rx: Mutex::new(VecDeque::with_capacity(rx_capacity)),
-            tx: Mutex::new(VecDeque::with_capacity(tx_capacity)),
-            rx_capacity,
-            tx_capacity,
+            rx: (0..queues).map(|_| Ring::new(rx_capacity)).collect(),
+            tx: (0..queues).map(|_| Ring::new(tx_capacity)).collect(),
+            rx_capacity: rx_capacity.max(1),
+            tx_capacity: tx_capacity.max(1),
             link_bps,
             rx_frames: AtomicU64::new(0),
             rx_dropped: AtomicU64::new(0),
@@ -88,6 +138,11 @@ impl Nic {
     /// The NIC's port id.
     pub fn port(&self) -> PortId {
         self.port
+    }
+
+    /// Number of rx/tx queue pairs.
+    pub fn queues(&self) -> usize {
+        self.rx.len()
     }
 
     /// The link rate in bits per second.
@@ -103,89 +158,161 @@ impl Nic {
         (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.link_bps
     }
 
-    /// Delivers a frame into the rx ring (called by the wire side).
+    fn inject_into(&self, queue: usize, frame: Bytes) -> bool {
+        match self.rx[queue % self.rx.len()].tx.try_send(frame) {
+            Ok(()) => {
+                self.rx_frames.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.rx_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Delivers a frame into rx queue 0 (called by the wire side).
     /// Returns `false` and counts a drop if the ring is full.
     pub fn inject_rx(&self, frame: Bytes) -> bool {
-        let mut rx = self.rx.lock();
-        if rx.len() >= self.rx_capacity {
-            self.rx_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        rx.push_back(frame);
-        self.rx_frames.fetch_add(1, Ordering::Relaxed);
-        true
+        self.inject_into(0, frame)
     }
 
-    /// Takes the next received frame, if any (called by the router side).
+    /// Delivers a frame into the rx queue selected by the RSS `hash`
+    /// (`hash % queues`) — the hardware steering step that keeps every
+    /// flow on one worker. Returns `false` and counts a drop if that
+    /// ring is full.
+    pub fn inject_rx_rss(&self, hash: u64, frame: Bytes) -> bool {
+        self.inject_into((hash % self.rx.len() as u64) as usize, frame)
+    }
+
+    /// Takes the next received frame, scanning queues in index order
+    /// (queue-oblivious consumers never strand frames).
     pub fn poll_rx(&self) -> Option<Bytes> {
-        self.rx.lock().pop_front()
+        self.rx.iter().find_map(|ring| ring.rx.try_recv().ok())
     }
 
-    /// Takes up to `max` received frames under one ring lock — the
-    /// poll-mode-driver burst receive that the batch dataplane API rides
-    /// on. Frame order matches repeated [`Self::poll_rx`] calls.
+    /// Takes the next frame from rx queue `queue` only (the per-worker
+    /// poll path).
+    pub fn poll_rx_queue(&self, queue: usize) -> Option<Bytes> {
+        self.rx.get(queue)?.rx.try_recv().ok()
+    }
+
+    /// Takes up to `max` received frames across all queues in index
+    /// order — the poll-mode-driver burst receive for single-worker
+    /// callers. Per-queue frame order matches repeated
+    /// [`Self::poll_rx`] calls.
     pub fn rx_burst(&self, max: usize) -> Vec<Bytes> {
-        let mut rx = self.rx.lock();
-        let take = max.min(rx.len());
-        rx.drain(..take).collect()
-    }
-
-    /// Frames currently waiting in the rx ring.
-    pub fn rx_pending(&self) -> usize {
-        self.rx.lock().len()
-    }
-
-    /// Queues a frame for transmission (called by the router side).
-    /// Returns `false` and counts a drop if the ring is full.
-    pub fn send_tx(&self, frame: Bytes) -> bool {
-        let mut tx = self.tx.lock();
-        if tx.len() >= self.tx_capacity {
-            self.tx_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+        let mut out = Vec::with_capacity(max.min(64));
+        for ring in &self.rx {
+            while out.len() < max {
+                match ring.rx.try_recv() {
+                    Ok(frame) => out.push(frame),
+                    Err(_) => break,
+                }
+            }
+            if out.len() >= max {
+                break;
+            }
         }
-        self.tx_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        tx.push_back(frame);
-        self.tx_frames.fetch_add(1, Ordering::Relaxed);
-        true
+        out
     }
 
-    /// Queues a burst of frames for transmission under one ring lock.
-    /// Frames are accepted in order until the ring fills; the remainder
-    /// are dropped and counted, exactly as per-frame [`Self::send_tx`]
-    /// calls would. Returns the number of frames accepted.
+    /// Takes up to `max` frames from rx queue `queue` only — each
+    /// dataplane worker bursts from its own ring, sharing nothing.
+    /// Returns an empty burst for unknown queues.
+    pub fn rx_burst_queue(&self, queue: usize, max: usize) -> Vec<Bytes> {
+        let Some(ring) = self.rx.get(queue) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(max.min(64));
+        while out.len() < max {
+            match ring.rx.try_recv() {
+                Ok(frame) => out.push(frame),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Frames currently waiting across all rx queues.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.iter().map(|ring| ring.rx.len()).sum()
+    }
+
+    fn send_into(&self, queue: usize, frame: Bytes) -> bool {
+        let len = frame.len() as u64;
+        match self.tx[queue % self.tx.len()].tx.try_send(frame) {
+            Ok(()) => {
+                self.tx_frames.fetch_add(1, Ordering::Relaxed);
+                self.tx_bytes.fetch_add(len, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.tx_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Queues a frame for transmission on tx queue 0 (called by the
+    /// router side). Returns `false` and counts a drop if the ring is
+    /// full.
+    pub fn send_tx(&self, frame: Bytes) -> bool {
+        self.send_into(0, frame)
+    }
+
+    /// Queues a burst of frames on tx queue 0 under the single-queue
+    /// semantics: frames are accepted in order until the ring fills, the
+    /// remainder are dropped and counted. Returns the number accepted.
     pub fn tx_burst(&self, frames: impl IntoIterator<Item = Bytes>) -> usize {
-        let mut tx = self.tx.lock();
+        self.tx_burst_queue(0, frames)
+    }
+
+    /// Queues a burst of frames on tx queue `queue` — the per-worker
+    /// transmit path. Unknown queues drop (and count) every frame.
+    /// Returns the number of frames accepted.
+    pub fn tx_burst_queue(&self, queue: usize, frames: impl IntoIterator<Item = Bytes>) -> usize {
+        let Some(ring) = self.tx.get(queue) else {
+            let dropped = frames.into_iter().count() as u64;
+            self.tx_dropped.fetch_add(dropped, Ordering::Relaxed);
+            return 0;
+        };
         let mut accepted = 0usize;
         let mut accepted_bytes = 0u64;
         let mut dropped = 0u64;
         for frame in frames {
-            if tx.len() >= self.tx_capacity {
-                dropped += 1;
-            } else {
-                accepted += 1;
-                accepted_bytes += frame.len() as u64;
-                tx.push_back(frame);
+            let len = frame.len() as u64;
+            match ring.tx.try_send(frame) {
+                Ok(()) => {
+                    accepted += 1;
+                    accepted_bytes += len;
+                }
+                Err(_) => dropped += 1,
             }
         }
-        drop(tx);
         self.tx_frames.fetch_add(accepted as u64, Ordering::Relaxed);
         self.tx_bytes.fetch_add(accepted_bytes, Ordering::Relaxed);
         self.tx_dropped.fetch_add(dropped, Ordering::Relaxed);
         accepted
     }
 
-    /// Takes the next frame to put on the wire (called by the wire side).
+    /// Takes the next frame to put on the wire, scanning tx queues in
+    /// index order (called by the wire side).
     pub fn drain_tx(&self) -> Option<Bytes> {
-        self.tx.lock().pop_front()
+        self.tx.iter().find_map(|ring| ring.rx.try_recv().ok())
     }
 
-    /// Frames currently waiting in the tx ring.
+    /// Takes the next frame from tx queue `queue` only.
+    pub fn drain_tx_queue(&self, queue: usize) -> Option<Bytes> {
+        self.tx.get(queue)?.rx.try_recv().ok()
+    }
+
+    /// Frames currently waiting across all tx queues.
     pub fn tx_pending(&self) -> usize {
-        self.tx.lock().len()
+        self.tx.iter().map(|ring| ring.rx.len()).sum()
     }
 
-    /// Snapshot of the NIC counters.
+    /// Snapshot of the NIC counters (aggregated over queues).
     pub fn stats(&self) -> NicStats {
         NicStats {
             rx_frames: self.rx_frames.load(Ordering::Relaxed),
@@ -201,12 +328,13 @@ impl fmt::Debug for Nic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Nic({}, rx {}/{}, tx {}/{})",
+            "Nic({}, {} queues, rx {}/{}, tx {}/{})",
             self.port,
+            self.queues(),
             self.rx_pending(),
-            self.rx_capacity,
+            self.rx_capacity * self.rx.len(),
             self.tx_pending(),
-            self.tx_capacity
+            self.tx_capacity * self.tx.len()
         )
     }
 }
@@ -256,5 +384,59 @@ mod tests {
     #[test]
     fn port_display() {
         assert_eq!(PortId(3).to_string(), "eth3");
+    }
+
+    #[test]
+    fn rss_steering_keeps_hash_on_its_queue() {
+        let nic = Nic::with_queues(PortId(0), 4, 8, 8, 1_000_000);
+        assert_eq!(nic.queues(), 4);
+        for hash in 0..16u64 {
+            assert!(nic.inject_rx_rss(hash, frame(hash as u8)));
+        }
+        // Each queue holds exactly the frames whose hash maps to it.
+        for queue in 0..4usize {
+            let burst = nic.rx_burst_queue(queue, 32);
+            assert_eq!(burst.len(), 4);
+            for f in burst {
+                assert_eq!(f[0] as usize % 4, queue);
+            }
+        }
+        assert_eq!(nic.rx_pending(), 0);
+        assert_eq!(nic.rx_burst_queue(9, 4), Vec::<Bytes>::new());
+    }
+
+    #[test]
+    fn per_queue_rings_are_independently_bounded() {
+        let nic = Nic::with_queues(PortId(0), 2, 2, 2, 1_000_000);
+        // Fill queue 0; queue 1 still accepts.
+        assert!(nic.inject_rx_rss(0, frame(1)));
+        assert!(nic.inject_rx_rss(2, frame(2)));
+        assert!(!nic.inject_rx_rss(4, frame(3)), "queue 0 full");
+        assert!(nic.inject_rx_rss(1, frame(4)), "queue 1 unaffected");
+        let s = nic.stats();
+        assert_eq!((s.rx_frames, s.rx_dropped), (3, 1));
+    }
+
+    #[test]
+    fn queue_oblivious_consumers_see_all_queues() {
+        let nic = Nic::with_queues(PortId(0), 2, 4, 4, 1_000_000);
+        nic.inject_rx_rss(1, frame(11)); // queue 1
+        assert_eq!(nic.poll_rx().unwrap()[0], 11, "poll_rx scans queues");
+        nic.tx_burst_queue(1, [frame(9)]);
+        assert_eq!(nic.drain_tx().unwrap()[0], 9, "drain_tx scans queues");
+    }
+
+    #[test]
+    fn per_worker_tx_queues_count_into_one_stats_block() {
+        let nic = Nic::with_queues(PortId(0), 2, 2, 1, 1_000_000);
+        assert_eq!(nic.tx_burst_queue(0, [frame(1), frame(2)]), 1);
+        assert_eq!(nic.tx_burst_queue(1, [frame(3)]), 1);
+        assert_eq!(nic.tx_burst_queue(7, [frame(4)]), 0, "unknown queue");
+        let s = nic.stats();
+        assert_eq!((s.tx_frames, s.tx_dropped, s.tx_bytes), (2, 2, 128));
+        assert_eq!(nic.drain_tx_queue(0).unwrap()[0], 1);
+        assert_eq!(nic.drain_tx_queue(1).unwrap()[0], 3);
+        assert_eq!(nic.drain_tx_queue(9), None);
+        assert_eq!(nic.poll_rx_queue(0), None);
     }
 }

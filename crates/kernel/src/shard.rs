@@ -1,0 +1,651 @@
+//! Sharded run-to-completion worker-pool runtime.
+//!
+//! The paper's stratum 1 exists to put packet handling "as close to the
+//! hardware as possible" — on the IXP1200 that means six parallel
+//! microengines, each running its packet pipeline to completion. This
+//! module is the host-side analogue: a [`WorkerPool`] of N OS threads,
+//! each owning one SPSC work ring (built on the crossbeam channel shim)
+//! and one replica of the processing logic, fed by an RSS-style
+//! dispatcher that keeps every flow on a single worker (see
+//! `netkit_packet::flow::FlowKey::rss_hash`). Run-to-completion means a
+//! worker finishes an entire work item (typically a packet batch,
+//! through the whole element graph) before looking at its ring again —
+//! no cross-thread hand-offs on the fast path, no locks shared between
+//! shards.
+//!
+//! ## The epoch quiesce protocol
+//!
+//! Reflective reconfiguration (the architecture meta-model's
+//! insert/remove/replace) must apply **atomically across all shards**:
+//! a packet must never traverse shard 0's new graph while shard 1 still
+//! runs the old one. [`WorkerPool::quiesce`] implements an epoch
+//! barrier:
+//!
+//! 1. the reconfigurer bumps the requested epoch and enqueues a sync
+//!    marker on every worker ring — *behind* all previously submitted
+//!    work, so in-flight items run to completion first;
+//! 2. each worker, on reaching its marker, parks at the gate and
+//!    reports arrival;
+//! 3. once every worker is parked the reconfigurer runs its closure —
+//!    it has exclusive access to all shard state, with zero items
+//!    mid-pipeline anywhere;
+//! 4. releasing the epoch wakes all workers, which resume draining
+//!    their rings.
+//!
+//! Traffic submitted during the quiesce is *not* dropped: it queues in
+//! the rings (backpressure via bounded capacity) and flows as soon as
+//! the epoch is released. The window where forwarding pauses is exactly
+//! the closure's run time plus one barrier round — the multi-core
+//! generalisation of the paper's "brief interruption" during hot swap.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+
+/// Configuration of a sharded dataplane: how many run-to-completion
+/// workers and how deep each worker's ring is (in work items).
+///
+/// The same spec configures the NETKIT sharded pipeline, the sim
+/// driver's RSS demux, and the click/monolithic baselines, so
+/// multi-core benchmarks compare like-for-like.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of worker threads (and SPSC rings). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Per-worker ring capacity, in work items; submission backpressures
+    /// (blocking [`WorkerPool::submit`]) or fails
+    /// ([`WorkerPool::try_submit`]) when a ring is full.
+    pub ring_capacity: usize,
+}
+
+impl ShardSpec {
+    /// A spec with `workers` workers and default ring sizing.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ring_capacity: 1024,
+        }
+    }
+
+    /// The degenerate single-worker spec (scalar-equivalent execution).
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// Sets the per-worker ring depth (builder-style).
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity.max(1);
+        self
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// One shard's work handler: consumes items to completion. Created per
+/// worker by the factory passed to [`WorkerPool::start`], so each shard
+/// owns its state outright (shared-nothing by construction).
+pub type ShardHandler<T> = Box<dyn FnMut(T) + Send>;
+
+enum Job<T> {
+    Work(T),
+    Sync(u64),
+}
+
+struct GateState {
+    /// Last epoch whose quiesce has been released.
+    released: u64,
+    /// Highest epoch a quiescer has requested.
+    requested: u64,
+    /// Workers currently parked at the barrier.
+    parked: usize,
+    /// Per-shard liveness: a dead worker (handler panic) can never park
+    /// and will never run its queued items.
+    dead: Vec<bool>,
+    /// Per-shard work items submitted but not yet run to completion.
+    /// Tracked per shard so a dead worker's stranded items cannot wedge
+    /// `flush` — only *live* shards' counts gate it.
+    in_flight: Vec<usize>,
+}
+
+struct Gate {
+    state: Mutex<GateState>,
+    /// Workers wait here for the epoch release.
+    resume: Condvar,
+    /// The quiescer waits here for workers to park.
+    arrived: Condvar,
+    /// `flush` waits here for live shards to drain.
+    drained: Condvar,
+}
+
+impl Gate {
+    fn new(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                released: 0,
+                requested: 0,
+                parked: 0,
+                dead: vec![false; workers],
+                in_flight: vec![0; workers],
+            }),
+            resume: Condvar::new(),
+            arrived: Condvar::new(),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn submit_one(&self, shard: usize) {
+        self.lock().in_flight[shard] += 1;
+    }
+
+    fn retire_one(&self, shard: usize) {
+        let mut st = self.lock();
+        st.in_flight[shard] -= 1;
+        if st.in_flight[shard] == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn park(&self, target: u64) {
+        let mut st = self.lock();
+        st.parked += 1;
+        self.arrived.notify_all();
+        while st.released < target {
+            st = self.resume.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn mark_dead(&self, shard: usize) {
+        let mut st = self.lock();
+        st.dead[shard] = true;
+        self.arrived.notify_all();
+        self.drained.notify_all();
+    }
+}
+
+impl GateState {
+    fn dead_count(&self) -> usize {
+        self.dead.iter().filter(|d| **d).count()
+    }
+
+    /// Items still owed by workers that can actually deliver them.
+    fn live_in_flight(&self) -> usize {
+        self.in_flight
+            .iter()
+            .zip(&self.dead)
+            .filter(|(_, dead)| !**dead)
+            .map(|(n, _)| *n)
+            .sum()
+    }
+}
+
+/// Decrements the shard's `in_flight` even if the handler panics, so
+/// `flush` cannot wedge on a poisoned item.
+struct Retire<'a>(&'a Gate, usize);
+
+impl Drop for Retire<'_> {
+    fn drop(&mut self) {
+        self.0.retire_one(self.1);
+    }
+}
+
+/// Marks the worker dead on thread exit (normal shutdown or panic) so a
+/// pending quiesce is not left waiting for it and its stranded queue
+/// items stop gating `flush`.
+struct WorkerExit<'a>(&'a Gate, usize);
+
+impl Drop for WorkerExit<'_> {
+    fn drop(&mut self) {
+        self.0.mark_dead(self.1);
+    }
+}
+
+/// A pool of run-to-completion worker threads, one SPSC ring each.
+///
+/// Generic over the work item `T` — the dataplane uses
+/// `netkit_packet::batch::PacketBatch`, but the runtime itself is
+/// payload-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use netkit_kernel::shard::{ShardSpec, WorkerPool};
+///
+/// let seen = Arc::new(AtomicU64::new(0));
+/// let pool = WorkerPool::start(ShardSpec::new(2), |_shard| {
+///     let seen = Arc::clone(&seen);
+///     Box::new(move |n: u64| {
+///         seen.fetch_add(n, Ordering::Relaxed);
+///     })
+/// });
+/// pool.submit(0, 3).unwrap();
+/// pool.submit(1, 4).unwrap();
+/// pool.flush();
+/// assert_eq!(seen.load(Ordering::Relaxed), 7);
+/// pool.shutdown();
+/// ```
+pub struct WorkerPool<T: Send + 'static> {
+    queues: Vec<Sender<Job<T>>>,
+    handles: Vec<JoinHandle<()>>,
+    gate: Arc<Gate>,
+    /// Serialises concurrent quiescers.
+    quiesce_serial: Mutex<()>,
+    spec: ShardSpec,
+    completed: Arc<Vec<AtomicU64>>,
+    rejected: AtomicU64,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `spec.workers` worker threads. `factory(shard)` is called
+    /// once per shard, in shard order, on the calling thread; the
+    /// handler it returns moves onto that shard's thread and owns the
+    /// shard's state for the pool's lifetime.
+    pub fn start<F>(spec: ShardSpec, mut factory: F) -> Self
+    where
+        F: FnMut(usize) -> ShardHandler<T>,
+    {
+        let gate = Arc::new(Gate::new(spec.workers));
+        let completed = Arc::new(
+            (0..spec.workers)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let mut queues = Vec::with_capacity(spec.workers);
+        let mut handles = Vec::with_capacity(spec.workers);
+        for shard in 0..spec.workers {
+            let (tx, rx) = bounded::<Job<T>>(spec.ring_capacity);
+            let mut handler = factory(shard);
+            let gate = Arc::clone(&gate);
+            let completed = Arc::clone(&completed);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("netkit-shard-{shard}"))
+                    .spawn(move || {
+                        let _exit = WorkerExit(&gate, shard);
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Work(item) => {
+                                    let _retire = Retire(&gate, shard);
+                                    handler(item);
+                                    completed[shard].fetch_add(1, Ordering::Relaxed);
+                                }
+                                Job::Sync(target) => gate.park(target),
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+            queues.push(tx);
+        }
+        Self {
+            queues,
+            handles,
+            gate,
+            quiesce_serial: Mutex::new(()),
+            spec,
+            completed,
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The configuring spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Enqueues `item` on `shard`'s ring, blocking while the ring is
+    /// full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item if `shard` is out of range or the worker died.
+    pub fn submit(&self, shard: usize, item: T) -> Result<(), T> {
+        let Some(queue) = self.queues.get(shard) else {
+            return Err(item);
+        };
+        self.gate.submit_one(shard);
+        match queue.send(Job::Work(item)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.gate.retire_one(shard);
+                match e.0 {
+                    Job::Work(item) => Err(item),
+                    Job::Sync(_) => unreachable!("submit only sends work"),
+                }
+            }
+        }
+    }
+
+    /// Enqueues `item` on `shard`'s ring without blocking; a full ring
+    /// counts as a rejection (the multi-queue analogue of an rx-ring
+    /// tail drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item when the ring is full, the shard is out of
+    /// range, or the worker died.
+    pub fn try_submit(&self, shard: usize, item: T) -> Result<(), T> {
+        let Some(queue) = self.queues.get(shard) else {
+            return Err(item);
+        };
+        self.gate.submit_one(shard);
+        match queue.try_send(Job::Work(item)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.gate.retire_one(shard);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                match e.into_inner() {
+                    Job::Work(item) => Err(item),
+                    Job::Sync(_) => unreachable!("try_submit only sends work"),
+                }
+            }
+        }
+    }
+
+    /// Blocks until every item submitted to a *live* worker has run to
+    /// completion. Items stranded on a dead worker's ring (its handler
+    /// panicked) will never run and do not gate the flush. (A barrier
+    /// over *work*, not an epoch: reconfiguration wants
+    /// [`Self::quiesce`].)
+    pub fn flush(&self) {
+        let mut st = self.gate.lock();
+        while st.live_in_flight() > 0 {
+            st = self
+                .gate
+                .drained
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Runs `f` with every worker parked at a batch boundary — the
+    /// epoch quiesce protocol (see the module docs). Returns `f`'s
+    /// result. Items already in the rings are processed before the
+    /// barrier; items submitted during `f` wait in the rings and flow
+    /// afterwards, so reconfiguration never drops traffic.
+    pub fn quiesce<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _serial = self
+            .quiesce_serial
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let target = {
+            let mut st = self.gate.lock();
+            st.requested += 1;
+            st.requested
+        };
+        for queue in &self.queues {
+            // A dead worker cannot park; `dead` accounting covers it.
+            let _ = queue.send(Job::Sync(target));
+        }
+        {
+            let mut st = self.gate.lock();
+            while st.parked + st.dead_count() < self.queues.len() {
+                st = self
+                    .gate
+                    .arrived
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let out = f();
+        {
+            let mut st = self.gate.lock();
+            st.parked = 0;
+            st.released = target;
+            self.gate.resume.notify_all();
+        }
+        out
+    }
+
+    /// Completed quiesce epochs since the pool started.
+    pub fn epoch(&self) -> u64 {
+        self.gate.lock().released
+    }
+
+    /// Work items run to completion on `shard`, if it exists.
+    pub fn completed(&self, shard: usize) -> Option<u64> {
+        self.completed.get(shard).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Total work items run to completion across all shards.
+    pub fn total_completed(&self) -> u64 {
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Items bounced by [`Self::try_submit`] because a ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Work items submitted to live workers but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.gate.lock().live_in_flight()
+    }
+
+    /// Drains outstanding work, stops every worker, and joins the
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        // Dropping the senders disconnects the rings; workers finish
+        // queued work, then exit.
+        self.queues.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl<T: Send + 'static> fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WorkerPool({} workers, {} completed, epoch {})",
+            self.queues.len(),
+            self.total_completed(),
+            self.epoch()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn work_lands_on_the_submitted_shard() {
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let pool = WorkerPool::start(ShardSpec::new(3), |shard| {
+            let hits = Arc::clone(&hits);
+            Box::new(move |n: u64| {
+                hits[shard].fetch_add(n, Ordering::Relaxed);
+            })
+        });
+        for i in 0..30u64 {
+            pool.submit((i % 3) as usize, 1).unwrap();
+        }
+        pool.flush();
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::Relaxed), 10);
+        }
+        assert_eq!(pool.total_completed(), 30);
+        assert_eq!(pool.completed(0), Some(10));
+        assert_eq!(pool.completed(9), None);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn per_shard_order_is_fifo() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pool = WorkerPool::start(ShardSpec::new(1), |_| {
+            let log = Arc::clone(&log);
+            Box::new(move |n: u32| log.lock().push(n))
+        });
+        for n in 0..100u32 {
+            pool.submit(0, n).unwrap();
+        }
+        pool.flush();
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_range_shard_returns_item() {
+        let pool = WorkerPool::start(ShardSpec::new(2), |_| Box::new(|_: u8| {}));
+        assert_eq!(pool.submit(2, 7), Err(7));
+        assert_eq!(pool.try_submit(9, 8), Err(8));
+    }
+
+    #[test]
+    fn try_submit_bounces_on_full_ring() {
+        // A handler that blocks until released, wedging the ring.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let spec = ShardSpec::new(1).with_ring_capacity(1);
+        let pool = WorkerPool::start(spec, |_| {
+            let gate = Arc::clone(&gate);
+            Box::new(move |_: u8| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+        });
+        pool.submit(0, 1).unwrap(); // picked up by the worker, blocks
+                                    // This send only completes once the worker has dequeued item 1
+                                    // (ring capacity is 1), so afterwards the ring holds exactly
+                                    // item 2 while the worker is wedged inside item 1.
+        pool.submit(0, 2).unwrap();
+        let bounced = pool.try_submit(0, 3);
+        assert_eq!(bounced, Err(3));
+        assert_eq!(pool.rejected(), 1);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.flush();
+        assert_eq!(pool.total_completed(), 2);
+    }
+
+    #[test]
+    fn quiesce_runs_with_all_workers_parked() {
+        // Each worker copies the shared config into its local view at
+        // item time; quiesce swaps the config and must never be
+        // observed torn.
+        let config = Arc::new(AtomicU64::new(1));
+        let torn = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::start(ShardSpec::new(4), |_| {
+            let config = Arc::clone(&config);
+            let torn = Arc::clone(&torn);
+            Box::new(move |_: u8| {
+                let a = config.load(Ordering::SeqCst);
+                std::thread::yield_now();
+                let b = config.load(Ordering::SeqCst);
+                if a != b {
+                    torn.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        });
+        for round in 0..20u64 {
+            for shard in 0..4 {
+                pool.submit(shard, 0).unwrap();
+            }
+            if round % 5 == 4 {
+                pool.quiesce(|| {
+                    // With every worker parked, a multi-step update is
+                    // atomic from the dataplane's perspective.
+                    config.store(round * 2, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    config.store(round * 2 + 1, Ordering::SeqCst);
+                });
+            }
+        }
+        pool.flush();
+        assert_eq!(torn.load(Ordering::SeqCst), 0, "no torn reconfiguration");
+        assert_eq!(pool.epoch(), 4);
+        assert_eq!(pool.total_completed(), 80);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn quiesce_preserves_queued_traffic() {
+        let done = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::start(ShardSpec::new(2), |_| {
+            let done = Arc::clone(&done);
+            Box::new(move |_: u8| {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        for shard in 0..2 {
+            for _ in 0..10 {
+                pool.submit(shard, 0).unwrap();
+            }
+        }
+        pool.quiesce(|| {
+            // Items submitted mid-quiesce queue behind the barrier.
+            pool.submit(0, 0).unwrap();
+            pool.submit(1, 0).unwrap();
+        });
+        pool.flush();
+        assert_eq!(done.load(Ordering::Relaxed), 22, "nothing dropped");
+    }
+
+    #[test]
+    fn panicking_handler_does_not_wedge_the_pool() {
+        let pool = WorkerPool::start(ShardSpec::new(2), |shard| {
+            Box::new(move |n: u8| {
+                if shard == 0 && n == 1 {
+                    panic!("injected fault");
+                }
+            })
+        });
+        pool.submit(0, 1).unwrap(); // kills worker 0
+                                    // An item queued *behind* the fault is stranded on the dead
+                                    // worker's ring; it must not gate flush (regression: this
+                                    // previously deadlocked flush forever).
+        let _ = pool.submit(0, 2);
+        pool.submit(1, 0).unwrap();
+        pool.flush();
+        // Quiesce still completes: the dead worker is accounted for.
+        pool.quiesce(|| {});
+        assert_eq!(pool.completed(1), Some(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn spec_clamps_and_builds() {
+        let spec = ShardSpec::new(0).with_ring_capacity(0);
+        assert_eq!(spec.workers, 1);
+        assert_eq!(spec.ring_capacity, 1);
+        assert_eq!(ShardSpec::default(), ShardSpec::single());
+    }
+}

@@ -30,6 +30,10 @@ pub mod classes {
     pub const MEMORY: &str = "memory";
     /// Network bandwidth, in bytes per second.
     pub const BANDWIDTH: &str = "bandwidth";
+    /// Packets processed — the class sharded dataplanes roll their
+    /// per-worker counters up into, so a pipeline replicated across N
+    /// shards still reads as **one** logical task to reflection.
+    pub const PACKETS: &str = "packets";
 }
 
 /// A pool for one resource class.

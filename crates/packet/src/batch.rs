@@ -162,6 +162,43 @@ impl PacketBatch {
         self.table.clear();
     }
 
+    /// Splits the batch into `shards` sub-batches by RSS flow affinity
+    /// — the software analogue of a multi-queue NIC spreading flows
+    /// over receive queues.
+    ///
+    /// Steering follows [`crate::flow::shard_of`]: the driver-stamped
+    /// RSS annotation when present, else the parsed flow's
+    /// [`crate::flow::FlowKey::rss_hash`], with non-flow packets
+    /// (ARP, malformed frames) parked on shard 0. The result always
+    /// holds exactly `max(shards, 1)` batches (some possibly empty), no
+    /// packet is lost or duplicated, relative order *within each shard*
+    /// — and therefore within each flow, since a flow maps to exactly
+    /// one shard — matches the input batch, and per-packet labels
+    /// survive (re-interned into their sub-batch).
+    pub fn partition_by_shard(self, shards: usize) -> Vec<PacketBatch> {
+        let shards = shards.max(1);
+        if shards == 1 {
+            return vec![self];
+        }
+        let Self {
+            packets,
+            labels,
+            table,
+        } = self;
+        let mut out: Vec<PacketBatch> = (0..shards).map(|_| PacketBatch::new()).collect();
+        for (idx, pkt) in packets.into_iter().enumerate() {
+            let shard = crate::flow::shard_of(&pkt, shards);
+            let raw = labels.get(idx).copied().unwrap_or(UNLABELLED);
+            let target = &mut out[shard];
+            target.push(pkt);
+            if raw != UNLABELLED {
+                let id = target.intern(&table[raw as usize]);
+                target.set_label(target.len() - 1, id);
+            }
+        }
+        out
+    }
+
     /// Splits the batch into per-label groups.
     ///
     /// Each group carries its label (`None` for unlabelled packets), the
@@ -361,6 +398,60 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.packets.capacity(), cap);
+    }
+
+    #[test]
+    fn partition_by_shard_preserves_order_and_labels() {
+        use crate::flow::FlowKey;
+        let mut b = PacketBatch::new();
+        for p in 1u16..=8 {
+            b.push(pkt(p));
+        }
+        let marked = b.intern("marked");
+        b.set_label(2, marked);
+        b.set_label(5, marked);
+        let keys: Vec<FlowKey> = b.iter().map(|p| FlowKey::from_packet(p).unwrap()).collect();
+        let parts = b.partition_by_shard(3);
+        assert_eq!(parts.len(), 3);
+        let mut seen = 0usize;
+        for (shard, part) in parts.iter().enumerate() {
+            let mut last_pos = 0usize;
+            for p in part.iter() {
+                let key = FlowKey::from_packet(p).unwrap();
+                assert_eq!(key.shard_for(3), shard, "flow on its RSS shard");
+                // Order within the shard matches the input batch order.
+                let pos = keys.iter().position(|k| *k == key).unwrap();
+                assert!(pos >= last_pos);
+                last_pos = pos;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 8, "no packet lost or duplicated");
+        // Labels survived partitioning: exactly two "marked" packets.
+        let marked_count: usize = parts
+            .iter()
+            .map(|p| {
+                (0..p.len())
+                    .filter(|i| p.label_of(*i) == Some("marked"))
+                    .count()
+            })
+            .sum();
+        assert_eq!(marked_count, 2);
+    }
+
+    #[test]
+    fn partition_single_shard_is_identity() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        b.push(pkt(2));
+        let l = b.intern("x");
+        b.set_label(0, l);
+        let mut parts = b.partition_by_shard(1);
+        assert_eq!(parts.len(), 1);
+        let only = parts.pop().unwrap();
+        assert_eq!(only.len(), 2);
+        assert_eq!(only.label_of(0), Some("x"));
+        assert_eq!(PacketBatch::new().partition_by_shard(0).len(), 1);
     }
 
     #[test]

@@ -15,6 +15,31 @@ use parking_lot::Mutex;
 use crate::headers::{proto, EtherType};
 use crate::packet::Packet;
 
+/// Annotation key under which RSS-capable drivers cache a packet's flow
+/// hash (the value of [`FlowKey::rss_hash`]) so downstream partitioning
+/// ([`crate::batch::PacketBatch::partition_by_shard`]) need not re-parse
+/// headers. Real multi-queue NICs compute this hash in hardware; the
+/// annotation is the simulated equivalent.
+pub const RSS_ANNOTATION: &str = "rss";
+
+/// The shard a packet steers to under `shards` receive queues: the
+/// driver-stamped [`RSS_ANNOTATION`] when present, else the parsed
+/// flow's [`FlowKey::rss_hash`]. Packets with no flow identity (ARP,
+/// malformed frames) deterministically land on shard 0.
+pub fn shard_of(pkt: &Packet, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let hash = pkt
+        .meta
+        .annotation(RSS_ANNOTATION)
+        .or_else(|| FlowKey::from_packet(pkt).map(|k| k.rss_hash()));
+    match hash {
+        Some(h) => (h % shards as u64) as usize,
+        None => 0,
+    }
+}
+
 /// The classic 5-tuple flow identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowKey {
@@ -76,6 +101,59 @@ impl FlowKey {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         self.hash(&mut hasher);
         hasher.finish()
+    }
+
+    /// The RSS steering hash: FNV-1a over the canonical tuple encoding,
+    /// finished with a murmur3-style avalanche so the *low* bits — the
+    /// ones `% shards` keeps — disperse even when tuples differ only in
+    /// their trailing bytes (plain FNV-1a leaves the low bits badly
+    /// clustered for e.g. dst-port-only variation).
+    ///
+    /// Unlike [`Self::hash64`] (tied to the std hasher implementation)
+    /// this is stable across runs, processes, and platforms, so
+    /// flow→queue placement decisions are reproducible — the property
+    /// the sharded dataplane's differential tests rely on.
+    pub fn rss_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        h = match self.src {
+            IpAddr::V4(a) => eat(h, &a.octets()),
+            IpAddr::V6(a) => eat(h, &a.octets()),
+        };
+        h = match self.dst {
+            IpAddr::V4(a) => eat(h, &a.octets()),
+            IpAddr::V6(a) => eat(h, &a.octets()),
+        };
+        h = eat(h, &[self.protocol]);
+        h = eat(h, &self.src_port.to_be_bytes());
+        h = eat(h, &self.dst_port.to_be_bytes());
+        // fmix64 finaliser (murmur3): full avalanche into the low bits.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    /// The shard (worker receive queue) this flow maps to under
+    /// `shards` shards: `rss_hash() % shards`. Stable for a fixed shard
+    /// count — every packet of a flow lands on the same worker, which
+    /// is what preserves intra-flow ordering across the parallel
+    /// dataplane.
+    pub fn shard_for(&self, shards: usize) -> usize {
+        if shards <= 1 {
+            0
+        } else {
+            (self.rss_hash() % shards as u64) as usize
+        }
     }
 }
 
@@ -244,6 +322,59 @@ mod tests {
         let a = key(1);
         assert_eq!(a.hash64(), key(1).hash64());
         assert_ne!(a.hash64(), key(2).hash64());
+    }
+
+    #[test]
+    fn rss_hash_is_reproducible_and_spreads() {
+        let k = key(1);
+        assert_eq!(k.rss_hash(), key(1).rss_hash());
+        let shards: std::collections::HashSet<usize> =
+            (0..32u8).map(|n| key(n).shard_for(4)).collect();
+        assert!(shards.len() > 1, "32 flows must spread over 4 shards");
+        for n in 0..8u8 {
+            assert!(key(n).shard_for(4) < 4);
+            assert_eq!(key(n).shard_for(1), 0);
+            assert_eq!(key(n).shard_for(0), 0);
+        }
+    }
+
+    #[test]
+    fn rss_low_bits_disperse_for_trailing_byte_variation() {
+        // Regression guard for the un-finalised FNV-1a weakness: flows
+        // differing only in dst_port (the LAST bytes hashed) must still
+        // spread near-evenly — `% shards` keeps only the low bits.
+        let flow = |dport: u16| FlowKey {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.9.9".parse().unwrap(),
+            protocol: proto::UDP,
+            src_port: 6000,
+            dst_port: dport,
+        };
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for dport in 5000..5128u16 {
+                counts[flow(dport).shard_for(shards)] += 1;
+            }
+            let expect = 128 / shards;
+            for (shard, &n) in counts.iter().enumerate() {
+                assert!(
+                    n >= expect / 2 && n <= expect * 2,
+                    "shard {shard}/{shards} got {n} of 128 (expect ~{expect}): {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_prefers_driver_annotation() {
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
+        let key = FlowKey::from_packet(&pkt).unwrap();
+        assert_eq!(shard_of(&pkt, 4), key.shard_for(4));
+        pkt.meta.annotate(RSS_ANNOTATION, key.rss_hash() + 1);
+        assert_eq!(shard_of(&pkt, 4), ((key.rss_hash() + 1) % 4) as usize);
+        // Non-flow traffic parks on shard 0.
+        let arp = Packet::from_slice(&[0u8; 14]);
+        assert_eq!(shard_of(&arp, 4), 0);
     }
 
     #[test]

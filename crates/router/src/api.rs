@@ -39,6 +39,30 @@
 //!   traversal (`around("push_batch", …)`), and one marshalled IPC call
 //!   per batch instead of per packet. A differential property test
 //!   (`tests/proptest_batch_equiv.rs`) enforces this.
+//!
+//! # Sharded execution
+//!
+//! Under the sharded runtime ([`crate::shard::ShardedPipeline`]) these
+//! interfaces are driven concurrently by N run-to-completion workers,
+//! each against its own replica of the element graph. The contract
+//! refines as follows:
+//!
+//! * **Ordering becomes per-flow.** RSS dispatch
+//!   (`PacketBatch::partition_by_shard`) pins every flow to one worker,
+//!   so on any single output the sequence *within each flow* is exactly
+//!   the scalar sequence; ordering **between** flows that landed on
+//!   different workers is unspecified. Aggregate counters and
+//!   per-output multisets remain identical to the single-threaded
+//!   pipeline (enforced by `tests/sharded_equiv.rs` for N = 1..4).
+//! * **Implementations need no extra locking.** A replica is only ever
+//!   driven by its own worker; `Send + Sync` plus the existing interior
+//!   mutability suffices. Do not share an element instance between
+//!   replicas — replicate it and let the counters roll up.
+//! * **Reconfiguration is epoch-quiesced.** Architecture-meta-model
+//!   changes apply inside [`crate::shard::ShardedPipeline::quiesce`],
+//!   which parks every worker at a batch boundary: no `push_batch` is
+//!   ever mid-flight anywhere while the graphs change, and traffic
+//!   submitted meanwhile queues rather than drops.
 
 use std::fmt;
 use std::net::{AddrParseError, IpAddr};

@@ -23,6 +23,10 @@
 //!   token-bucket shaper/policer/meter, counters and taps.
 //! * [`routing`] — longest-prefix-match tables (binary tries) for IPv4
 //!   and IPv6.
+//! * [`shard`] — the sharded dataplane: per-worker element-graph
+//!   replicas ([`shard::ShardedPipeline`]) fed by RSS flow-affine
+//!   dispatch, with per-shard counters rolled up into one resources
+//!   task and epoch-quiesced atomic reconfiguration.
 //!
 //! ## Quick start
 //!
@@ -65,6 +69,7 @@ pub mod cf;
 pub mod composite;
 pub mod elements;
 pub mod routing;
+pub mod shard;
 
 pub use api::{
     register_packet_interfaces, FilterId, FilterPattern, FilterSpec, IClassifier, IPacketPull,
@@ -74,4 +79,5 @@ pub use cf::{ProbeReport, RouterCf, RouterRules};
 pub use composite::{
     Composite, CompositeBuilder, IComposite, IController, ICOMPOSITE, ICONTROLLER,
 };
-pub use routing::{RouteEntry, RoutingTable};
+pub use routing::{PrefixParseError, RouteEntry, RoutingTable};
+pub use shard::{PipelineStats, ShardGraph, ShardedPipeline};

@@ -131,6 +131,23 @@ impl<T> fmt::Debug for PrefixTrie<T> {
     }
 }
 
+/// Why a textual prefix was rejected by [`RoutingTable::try_add`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError {
+    /// The offending prefix text.
+    pub prefix: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad prefix `{}`: {}", self.prefix, self.reason)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
 fn v4_key(addr: Ipv4Addr) -> u128 {
     (u32::from(addr) as u128) << 96
 }
@@ -184,22 +201,58 @@ impl RoutingTable {
     }
 
     /// Adds a route from a textual prefix (`"10.0.0.0/8"` or
-    /// `"2001:db8::/32"`).
+    /// `"2001:db8::/32"`), rejecting malformed input — the fallible
+    /// twin of [`Self::add`] for untrusted/route-protocol input (same
+    /// shape as `FilterPattern::try_src`/`try_dst`). Returns the
+    /// replaced entry, if the prefix was already present.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing `/`, an unparsable address or length, or a
+    /// length exceeding the family width (32 for IPv4, 128 for IPv6).
+    pub fn try_add(
+        &mut self,
+        prefix: &str,
+        entry: RouteEntry,
+    ) -> Result<Option<RouteEntry>, PrefixParseError> {
+        let bad = |reason: &str| PrefixParseError {
+            prefix: prefix.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let (addr, len) = prefix
+            .split_once('/')
+            .ok_or_else(|| bad("expected `address/length`"))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| bad("prefix length is not a number in 0..=255"))?;
+        match addr
+            .parse::<IpAddr>()
+            .map_err(|_| bad("unparsable address"))?
+        {
+            IpAddr::V4(a) => {
+                if len > 32 {
+                    return Err(bad("IPv4 prefix length exceeds 32"));
+                }
+                Ok(self.add_v4(a, len, entry))
+            }
+            IpAddr::V6(a) => {
+                if len > 128 {
+                    return Err(bad("IPv6 prefix length exceeds 128"));
+                }
+                Ok(self.add_v6(a, len, entry))
+            }
+        }
+    }
+
+    /// Adds a route from a textual prefix (`"10.0.0.0/8"` or
+    /// `"2001:db8::/32"`); routes through [`Self::try_add`].
     ///
     /// # Panics
     ///
-    /// Panics on malformed prefixes (intended for static configuration).
+    /// Panics on malformed prefixes (intended for static
+    /// configuration); use [`Self::try_add`] for untrusted input.
     pub fn add(&mut self, prefix: &str, entry: RouteEntry) {
-        let (addr, len) = prefix.split_once('/').expect("prefix like addr/len");
-        let len: u8 = len.parse().expect("numeric prefix length");
-        match addr.parse::<IpAddr>().expect("valid address") {
-            IpAddr::V4(a) => {
-                self.add_v4(a, len, entry);
-            }
-            IpAddr::V6(a) => {
-                self.add_v6(a, len, entry);
-            }
-        }
+        self.try_add(prefix, entry).expect("valid prefix");
     }
 
     /// Removes an IPv4 route.
@@ -320,6 +373,45 @@ mod tests {
         t.add("::/0", e(6));
         assert_eq!(t.lookup("2001:db8::1".parse().unwrap()).unwrap().egress, 6);
         assert_eq!(t.lookup("9.9.9.9".parse().unwrap()).unwrap().egress, 4);
+    }
+
+    #[test]
+    fn try_add_rejects_malformed_prefixes() {
+        let mut t = RoutingTable::new();
+        for (prefix, reason_bit) in [
+            ("10.0.0.0", "address/length"),
+            ("10.0.0.0/x", "not a number"),
+            ("10.0.0.0/256", "not a number"),
+            ("nonsense/8", "unparsable address"),
+            ("10.0.0.0/33", "exceeds 32"),
+            ("2001:db8::/129", "exceeds 128"),
+        ] {
+            let err = t.try_add(prefix, e(1)).unwrap_err();
+            assert!(
+                err.reason.contains(reason_bit),
+                "{prefix}: unexpected reason `{}`",
+                err.reason
+            );
+            assert_eq!(err.prefix, prefix);
+            assert!(err.to_string().contains(prefix));
+        }
+        assert!(t.is_empty(), "rejected prefixes must not be installed");
+    }
+
+    #[test]
+    fn try_add_accepts_and_reports_replacement() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.try_add("10.0.0.0/8", e(1)), Ok(None));
+        assert_eq!(t.try_add("10.0.0.0/8", e(2)), Ok(Some(e(1))));
+        assert_eq!(t.try_add("2001:db8::/32", e(3)), Ok(None));
+        assert_eq!(t.lookup("10.1.2.3".parse().unwrap()).unwrap().egress, 2);
+        assert_eq!(t.lookup("2001:db8::9".parse().unwrap()).unwrap().egress, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid prefix")]
+    fn add_panics_via_try_add() {
+        RoutingTable::new().add("not-a-prefix", e(1));
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Sharded pipeline execution: per-worker element-graph replicas behind
+//! one logical reflective surface.
+//!
+//! The Router CF's element graphs are built from `Arc`'d components with
+//! interior mutability, so a graph *could* be driven from many threads —
+//! but then every counter, queue, and receptacle lock becomes a
+//! cross-core contention point, which is exactly what run-to-completion
+//! dataplanes avoid. [`ShardedPipeline`] instead **replicates** the
+//! graph: a factory builds one independent replica (own capsule, own
+//! elements) per worker of a [`ShardSpec`], and an RSS dispatcher
+//! ([`PacketBatch::partition_by_shard`]) keeps each flow on one replica,
+//! preserving intra-flow order with zero sharing on the fast path.
+//!
+//! Two things keep the replicas *one component* in the reflective
+//! model's eyes:
+//!
+//! * **Resource rollup** — the pipeline owns a single task in
+//!   [`ResourceManager`]; every worker's packet count rolls up into that
+//!   task's `packets` usage (lazily, at [`ShardedPipeline::flush`] /
+//!   [`ShardedPipeline::stats`] time, so the hot path never touches the
+//!   manager's locks). Introspection sees one task, one usage figure.
+//! * **Atomic reconfiguration** — [`ShardedPipeline::quiesce`] runs a
+//!   closure under the worker pool's epoch barrier
+//!   ([`WorkerPool::quiesce`]): every worker is parked at a batch
+//!   boundary, so an architecture-meta-model change (insert/remove
+//!   element, `Capsule::replace` hot swap, classifier filter update)
+//!   applied to each replica inside the closure is indivisible — no
+//!   packet ever sees a half-reconfigured dataplane, and traffic
+//!   submitted meanwhile queues rather than drops.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netkit_kernel::shard::{ShardSpec, WorkerPool};
+use netkit_packet::batch::PacketBatch;
+use opencom::capsule::Capsule;
+use opencom::error::Result;
+use opencom::ident::{ComponentId, TaskId};
+use opencom::meta::resources::{classes, ResourceManager};
+use parking_lot::RwLock;
+
+use crate::api::IPacketPush;
+
+/// A swappable shard entry point: workers re-read it each batch, so a
+/// quiesce closure can retarget a shard's ingress (e.g. after replacing
+/// the head element) with [`ShardedPipeline::set_entry`].
+pub type SharedEntry = Arc<RwLock<Arc<dyn IPacketPush>>>;
+
+/// One shard's replica of the element graph, as produced by the factory
+/// passed to [`ShardedPipeline::build`].
+pub struct ShardGraph {
+    /// The capsule hosting this replica (kept alive by the pipeline).
+    pub capsule: Arc<Capsule>,
+    /// The replica's ingress push interface.
+    pub entry: Arc<dyn IPacketPush>,
+    /// Components to attach to the pipeline's rolled-up resources task.
+    pub components: Vec<ComponentId>,
+    /// Optional hook run on the worker after each batch — the place to
+    /// drain pull-side stages (schedulers, shapers) into their sinks so
+    /// the shard really runs to completion.
+    pub drain: Option<Box<dyn FnMut() + Send>>,
+}
+
+impl ShardGraph {
+    /// A replica with no attached components and no drain hook.
+    pub fn new(capsule: Arc<Capsule>, entry: Arc<dyn IPacketPush>) -> Self {
+        Self {
+            capsule,
+            entry,
+            components: Vec::new(),
+            drain: None,
+        }
+    }
+
+    /// Attaches component ids to the rolled-up task (builder-style).
+    pub fn with_components(mut self, components: Vec<ComponentId>) -> Self {
+        self.components = components;
+        self
+    }
+
+    /// Sets the per-batch drain hook (builder-style).
+    pub fn with_drain(mut self, drain: Box<dyn FnMut() + Send>) -> Self {
+        self.drain = Some(drain);
+        self
+    }
+}
+
+impl fmt::Debug for ShardGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardGraph({} components)", self.components.len())
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    batches: AtomicU64,
+    packets: AtomicU64,
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    /// Packets already rolled up into the resources task.
+    reported: AtomicU64,
+}
+
+/// Aggregate dataplane counters — the single-logical-component view
+/// over all shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Batches run to completion.
+    pub batches: u64,
+    /// Packets pushed through the replicas.
+    pub packets: u64,
+    /// Packets whose verdict was `Ok` (forwarded/accepted).
+    pub accepted: u64,
+    /// Packets whose verdict was an error (dropped).
+    pub dropped: u64,
+}
+
+/// N per-worker replicas of an element graph behind one dispatch entry,
+/// one stats surface, and one resources task. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use netkit_kernel::shard::ShardSpec;
+/// use netkit_packet::batch::PacketBatch;
+/// use netkit_packet::packet::PacketBuilder;
+/// use netkit_router::api::register_packet_interfaces;
+/// use netkit_router::elements::{Counter, Discard};
+/// use netkit_router::shard::{ShardGraph, ShardedPipeline};
+/// use opencom::capsule::Capsule;
+/// use opencom::meta::resources::ResourceManager;
+/// use opencom::runtime::Runtime;
+///
+/// let rm = Arc::new(ResourceManager::new());
+/// let pipe = ShardedPipeline::build("doc-pipe", ShardSpec::new(2), Arc::clone(&rm), |_shard| {
+///     let rt = Runtime::new();
+///     register_packet_interfaces(&rt);
+///     let capsule = Capsule::new("shard", &rt);
+///     let counter = Counter::new();
+///     let sink = Discard::new();
+///     let cid = capsule.adopt(counter.clone())?;
+///     let sid = capsule.adopt(sink)?;
+///     capsule.bind_simple(cid, "out", sid, netkit_router::api::IPACKET_PUSH)?;
+///     Ok(ShardGraph::new(Arc::clone(&capsule), counter).with_components(vec![cid]))
+/// })?;
+///
+/// let batch: PacketBatch = (0..64u16)
+///     .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1000 + i, 80).build())
+///     .collect();
+/// pipe.dispatch(batch);
+/// pipe.flush();
+/// assert_eq!(pipe.stats().packets, 64);
+/// // Reflection sees ONE task with the rolled-up usage.
+/// assert_eq!(rm.task_info(pipe.task())?.usage["packets"], 64);
+/// pipe.shutdown();
+/// # Ok::<(), opencom::error::Error>(())
+/// ```
+pub struct ShardedPipeline {
+    pool: WorkerPool<PacketBatch>,
+    entries: Vec<SharedEntry>,
+    capsules: Vec<Arc<Capsule>>,
+    counters: Arc<Vec<ShardCounters>>,
+    rm: Arc<ResourceManager>,
+    task: TaskId,
+    spec: ShardSpec,
+}
+
+impl ShardedPipeline {
+    /// Builds `spec.workers` replicas via `factory(shard)` (called in
+    /// shard order), registers the pipeline as one task named `name` in
+    /// `rm`, and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factory failures and a duplicate task `name`.
+    pub fn build<F>(
+        name: &str,
+        spec: ShardSpec,
+        rm: Arc<ResourceManager>,
+        mut factory: F,
+    ) -> Result<Self>
+    where
+        F: FnMut(usize) -> Result<ShardGraph>,
+    {
+        let task = rm.create_task(name)?;
+        let mut entries: Vec<SharedEntry> = Vec::with_capacity(spec.workers);
+        let mut capsules = Vec::with_capacity(spec.workers);
+        let mut drains = Vec::with_capacity(spec.workers);
+        for shard in 0..spec.workers {
+            let graph = factory(shard)?;
+            for component in &graph.components {
+                rm.attach(task, *component)?;
+            }
+            entries.push(Arc::new(RwLock::new(graph.entry)));
+            capsules.push(graph.capsule);
+            drains.push(graph.drain);
+        }
+        let counters: Arc<Vec<ShardCounters>> = Arc::new(
+            (0..spec.workers)
+                .map(|_| ShardCounters::default())
+                .collect(),
+        );
+        let worker_entries = entries.clone();
+        let worker_counters = Arc::clone(&counters);
+        let mut drains = drains;
+        let pool = WorkerPool::start(spec, move |shard| {
+            let entry = Arc::clone(&worker_entries[shard]);
+            let counters = Arc::clone(&worker_counters);
+            let mut drain = drains[shard].take();
+            Box::new(move |batch: PacketBatch| {
+                let n = batch.len() as u64;
+                // Snapshot the entry once per batch: cheap, and the
+                // quiesce closure can retarget it between batches.
+                let target = Arc::clone(&entry.read());
+                let result = target.push_batch(batch);
+                let c = &counters[shard];
+                c.batches.fetch_add(1, Ordering::Relaxed);
+                c.packets.fetch_add(n, Ordering::Relaxed);
+                c.accepted
+                    .fetch_add(result.accepted() as u64, Ordering::Relaxed);
+                c.dropped
+                    .fetch_add(result.dropped() as u64, Ordering::Relaxed);
+                if let Some(drain) = drain.as_mut() {
+                    drain();
+                }
+            })
+        });
+        Ok(Self {
+            pool,
+            entries,
+            capsules,
+            counters,
+            rm,
+            task,
+            spec,
+        })
+    }
+
+    /// Number of shards (worker threads / replicas).
+    pub fn workers(&self) -> usize {
+        self.spec.workers
+    }
+
+    /// The configuring spec.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The pipeline's task in the resources meta-model — the single
+    /// logical handle reflection sees for all replicas.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// RSS-dispatches a batch: partitions it by flow affinity
+    /// ([`PacketBatch::partition_by_shard`]) and enqueues each non-empty
+    /// sub-batch on its shard's ring (blocking on backpressure). Returns
+    /// the number of sub-batches enqueued.
+    pub fn dispatch(&self, batch: PacketBatch) -> usize {
+        let mut sent = 0;
+        for (shard, part) in batch
+            .partition_by_shard(self.spec.workers)
+            .into_iter()
+            .enumerate()
+        {
+            if !part.is_empty() && self.pool.submit(shard, part).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Enqueues a pre-steered batch directly on `shard` (the multi-queue
+    /// NIC path, where hardware already partitioned by RSS hash).
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch if `shard` is out of range or its worker died.
+    pub fn submit(&self, shard: usize, batch: PacketBatch) -> std::result::Result<(), PacketBatch> {
+        self.pool.submit(shard, batch)
+    }
+
+    /// Blocks until every dispatched batch has run to completion, then
+    /// rolls per-shard counters up into the resources task.
+    pub fn flush(&self) {
+        self.pool.flush();
+        self.sync_resources();
+    }
+
+    /// Runs `f` with every worker parked at a batch boundary (the epoch
+    /// quiesce protocol — see the module docs). Reconfigure the replicas
+    /// inside `f` via [`Self::capsule`] / [`Self::set_entry`]; the
+    /// change is atomic across all shards and drops no traffic.
+    pub fn quiesce<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool.quiesce(f)
+    }
+
+    /// Completed quiesce epochs.
+    pub fn epoch(&self) -> u64 {
+        self.pool.epoch()
+    }
+
+    /// The capsule hosting `shard`'s replica.
+    pub fn capsule(&self, shard: usize) -> &Arc<Capsule> {
+        &self.capsules[shard]
+    }
+
+    /// `shard`'s current ingress interface.
+    pub fn entry(&self, shard: usize) -> Arc<dyn IPacketPush> {
+        Arc::clone(&self.entries[shard].read())
+    }
+
+    /// Retargets `shard`'s ingress (call from within a
+    /// [`Self::quiesce`] closure after replacing the head element).
+    pub fn set_entry(&self, shard: usize, entry: Arc<dyn IPacketPush>) {
+        *self.entries[shard].write() = entry;
+    }
+
+    /// Aggregate counters over all shards — the one-logical-component
+    /// view. Also rolls usage up into the resources task.
+    pub fn stats(&self) -> PipelineStats {
+        self.sync_resources();
+        let mut total = PipelineStats::default();
+        for c in self.counters.iter() {
+            total.batches += c.batches.load(Ordering::Relaxed);
+            total.packets += c.packets.load(Ordering::Relaxed);
+            total.accepted += c.accepted.load(Ordering::Relaxed);
+            total.dropped += c.dropped.load(Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// One shard's counters.
+    pub fn shard_stats(&self, shard: usize) -> PipelineStats {
+        let c = &self.counters[shard];
+        PipelineStats {
+            batches: c.batches.load(Ordering::Relaxed),
+            packets: c.packets.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pushes the per-shard deltas into the resources task. Called from
+    /// `flush`/`stats` so the per-batch hot path never takes the
+    /// manager's locks. `fetch_max` keeps `reported` monotone, so
+    /// concurrent callers that loaded different `packets` snapshots
+    /// claim disjoint deltas (the stale one claims zero) and nothing is
+    /// ever double-counted.
+    fn sync_resources(&self) {
+        for c in self.counters.iter() {
+            let seen = c.packets.load(Ordering::Relaxed);
+            let reported = c.reported.fetch_max(seen, Ordering::Relaxed);
+            let delta = seen.saturating_sub(reported);
+            if delta > 0 {
+                let _ = self.rm.consume(self.task, classes::PACKETS, delta);
+            }
+        }
+    }
+
+    /// Flushes outstanding work, rolls counters up, releases the
+    /// resources task, stops the workers, and returns the final
+    /// aggregate stats.
+    pub fn shutdown(self) -> PipelineStats {
+        self.pool.flush();
+        let stats = self.stats();
+        let _ = self.rm.release_task(self.task);
+        self.pool.shutdown();
+        stats
+    }
+}
+
+impl fmt::Debug for ShardedPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedPipeline({} shards, {:?})",
+            self.spec.workers, self.pool
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{register_packet_interfaces, IPACKET_PUSH};
+    use crate::elements::{Counter, Discard};
+    use netkit_packet::packet::PacketBuilder;
+    use opencom::runtime::Runtime;
+
+    struct Rig {
+        pipe: ShardedPipeline,
+        sinks: Vec<Arc<Discard>>,
+        rm: Arc<ResourceManager>,
+    }
+
+    fn rig(name: &str, workers: usize) -> Rig {
+        let rm = Arc::new(ResourceManager::new());
+        let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sinks2 = Arc::clone(&sinks);
+        let pipe = ShardedPipeline::build(name, ShardSpec::new(workers), Arc::clone(&rm), {
+            move |_shard| {
+                let rt = Runtime::new();
+                register_packet_interfaces(&rt);
+                let capsule = Capsule::new("shard", &rt);
+                let counter = Counter::new();
+                let sink = Discard::new();
+                let cid = capsule.adopt(counter.clone())?;
+                let sid = capsule.adopt(sink.clone())?;
+                capsule.bind_simple(cid, "out", sid, IPACKET_PUSH)?;
+                sinks2.lock().push(sink);
+                Ok(ShardGraph::new(Arc::clone(&capsule), counter).with_components(vec![cid, sid]))
+            }
+        })
+        .unwrap();
+        let sinks = std::mem::take(&mut *sinks.lock());
+        Rig { pipe, sinks, rm }
+    }
+
+    fn burst(flows: u16, per_flow: u16) -> PacketBatch {
+        let mut batch = PacketBatch::new();
+        for seq in 0..per_flow {
+            for flow in 0..flows {
+                batch.push(
+                    PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000 + flow, 5000 + seq).build(),
+                );
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn dispatch_spreads_and_loses_nothing() {
+        let r = rig("spread", 4);
+        r.pipe.dispatch(burst(16, 8));
+        r.pipe.flush();
+        let stats = r.pipe.stats();
+        assert_eq!(stats.packets, 128);
+        assert_eq!(stats.accepted, 128);
+        assert_eq!(stats.dropped, 0);
+        let delivered: u64 = r.sinks.iter().map(|s| s.count()).sum();
+        assert_eq!(delivered, 128);
+        let busy = r.sinks.iter().filter(|s| s.count() > 0).count();
+        assert!(busy > 1, "16 flows must spread over several shards");
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn resources_roll_up_into_one_task() {
+        let r = rig("rollup", 3);
+        r.pipe.dispatch(burst(9, 4));
+        r.pipe.flush();
+        let info = r.rm.task_info(r.pipe.task()).unwrap();
+        assert_eq!(info.usage[classes::PACKETS], 36);
+        assert_eq!(info.attached.len(), 6, "all replica components attach");
+        // Shutdown releases the logical task.
+        let task = r.pipe.task();
+        r.pipe.shutdown();
+        assert!(r.rm.task_info(task).is_err());
+    }
+
+    #[test]
+    fn duplicate_pipeline_names_are_rejected() {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_task("taken").unwrap();
+        let err = ShardedPipeline::build("taken", ShardSpec::single(), rm, |_| {
+            unreachable!("factory must not run")
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn quiesce_swaps_entries_atomically() {
+        let r = rig("swap", 2);
+        r.pipe.dispatch(burst(8, 2));
+        // Retarget every shard's ingress to a fresh counter-sink pair.
+        let replacements: Vec<Arc<Counter>> = (0..2).map(|_| Counter::new()).collect();
+        r.pipe.quiesce(|| {
+            for (shard, c) in replacements.iter().enumerate() {
+                r.pipe.set_entry(shard, c.clone());
+            }
+        });
+        assert_eq!(r.pipe.epoch(), 1);
+        r.pipe.dispatch(burst(8, 2));
+        r.pipe.flush();
+        let replaced: u64 = replacements.iter().map(|c| c.count()).sum();
+        assert_eq!(replaced, 16, "post-quiesce traffic hits the new graph");
+        let original: u64 = r.sinks.iter().map(|s| s.count()).sum();
+        assert_eq!(original, 16, "pre-quiesce traffic ran to completion");
+        assert_eq!(r.pipe.stats().packets, 32);
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn submit_targets_one_shard() {
+        let r = rig("direct", 2);
+        r.pipe.submit(0, burst(4, 1)).unwrap();
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(0).packets, 4);
+        assert_eq!(r.pipe.shard_stats(1).packets, 0);
+        assert!(r.pipe.submit(5, PacketBatch::new()).is_err());
+        r.pipe.shutdown();
+    }
+}

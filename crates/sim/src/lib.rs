@@ -9,6 +9,9 @@
 //!
 //! * [`node`] — nodes and [`NodeBehaviour`]s (router
 //!   pipelines adapt behind this trait).
+//! * [`shard`] — deterministic RSS demux: one inner behaviour per
+//!   worker of a `ShardSpec`, fed flow-affinely, modelling the
+//!   multi-queue dataplane without sacrificing reproducibility.
 //! * [`link`] — full-duplex links with latency, serialisation, and
 //!   bounded drop-tail transmit queues.
 //! * [`traffic`] — CBR / Poisson / bursty generators, all seeded.
@@ -46,6 +49,7 @@
 
 pub mod link;
 pub mod node;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod traffic;

@@ -1,0 +1,173 @@
+//! RSS demultiplexing inside the deterministic simulator.
+//!
+//! The simulator is single-threaded by design (reproducibility beats
+//! realism for architecture experiments), so multi-queue parallelism is
+//! *modelled*, not executed: a [`ShardedBehaviour`] wraps one inner
+//! [`NodeBehaviour`] per worker of a `ShardSpec` and steers every
+//! arriving packet with the same RSS flow hash the real dataplane uses
+//! (`netkit_packet::flow::shard_of`). Shards are visited in index
+//! order, so a run is bit-for-bit deterministic while still exercising
+//! the per-queue state separation — per-shard pipelines, counters, and
+//! drops — that the threaded runtime has.
+
+use std::fmt;
+
+use netkit_kernel::shard::ShardSpec;
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::flow::shard_of;
+use netkit_packet::packet::Packet;
+
+use crate::node::{NodeBehaviour, NodeCtx};
+
+/// One inner behaviour per shard, fed flow-affinely. See the module
+/// docs.
+pub struct ShardedBehaviour {
+    name: String,
+    shards: Vec<Box<dyn NodeBehaviour>>,
+}
+
+impl ShardedBehaviour {
+    /// Builds `spec.workers` inner behaviours via `factory(shard)`
+    /// (called in shard order).
+    pub fn new(
+        name: impl Into<String>,
+        spec: ShardSpec,
+        mut factory: impl FnMut(usize) -> Box<dyn NodeBehaviour>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            shards: (0..spec.workers).map(&mut factory).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The inner behaviours, for post-run inspection.
+    pub fn shards(&self) -> &[Box<dyn NodeBehaviour>] {
+        &self.shards
+    }
+
+    /// Mutable access to the inner behaviours (e.g. to reconfigure a
+    /// per-shard pipeline between runs).
+    pub fn shards_mut(&mut self) -> &mut [Box<dyn NodeBehaviour>] {
+        &mut self.shards
+    }
+}
+
+impl NodeBehaviour for ShardedBehaviour {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet) {
+        let shard = shard_of(&pkt, self.shards.len());
+        self.shards[shard].on_packet(ctx, ingress, pkt);
+    }
+
+    /// Coalesced bursts are partitioned once and handed to each shard
+    /// as its own burst, in shard index order — the deterministic
+    /// serialisation of what the worker pool does in parallel.
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
+        let parts = PacketBatch::from_packets(pkts).partition_by_shard(self.shards.len());
+        for (shard, part) in parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                self.shards[shard].on_batch(ctx, ingress, part.into_packets());
+            }
+        }
+    }
+
+    /// Timers route to shard `token % workers` — encode the owning
+    /// shard in the token when setting per-shard timers.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let shard = (token % self.shards.len() as u64) as usize;
+        self.shards[shard].on_timer(ctx, token);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for ShardedBehaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedBehaviour(`{}`, {} shards)",
+            self.name,
+            self.shards.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeId, SinkBehaviour};
+    use netkit_kernel::time::SimTime;
+    use netkit_packet::flow::FlowKey;
+    use netkit_packet::packet::PacketBuilder;
+
+    fn run_batch(b: &mut dyn NodeBehaviour, pkts: Vec<Packet>) {
+        let (mut em, mut ti, mut de, mut dr) = (Vec::new(), Vec::new(), Vec::new(), 0u64);
+        let mut ctx = NodeCtx {
+            node: NodeId(0),
+            now: SimTime::from_nanos(0),
+            emissions: &mut em,
+            timers: &mut ti,
+            deliveries: &mut de,
+            drops: &mut dr,
+        };
+        b.on_batch(&mut ctx, 0, pkts);
+    }
+
+    #[test]
+    fn batches_split_by_flow_and_nothing_is_lost() {
+        let counters = std::cell::RefCell::new(Vec::new());
+        let mut sharded = ShardedBehaviour::new("rss", ShardSpec::new(4), |_| {
+            let (sink, c) = SinkBehaviour::new();
+            counters.borrow_mut().push(c);
+            Box::new(sink)
+        });
+        assert_eq!(sharded.workers(), 4);
+
+        let pkts: Vec<Packet> = (0..32u16)
+            .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80).build())
+            .collect();
+        let expect: Vec<u64> = (0..4u64)
+            .map(|s| {
+                pkts.iter()
+                    .filter(|p| FlowKey::from_packet(p).unwrap().shard_for(4) == s as usize)
+                    .count() as u64
+            })
+            .collect();
+        run_batch(&mut sharded, pkts);
+
+        let counters = counters.borrow();
+        let got: Vec<u64> = counters.iter().map(|c| c.received()).collect();
+        assert_eq!(got, expect, "each shard saw exactly its flows");
+        assert_eq!(got.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn scalar_path_agrees_with_batch_path() {
+        let counters = std::cell::RefCell::new(Vec::new());
+        let mut sharded = ShardedBehaviour::new("rss", ShardSpec::new(2), |_| {
+            let (sink, c) = SinkBehaviour::new();
+            counters.borrow_mut().push(c);
+            Box::new(sink)
+        });
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 4242, 80).build();
+        let shard = FlowKey::from_packet(&pkt).unwrap().shard_for(2);
+        let (mut em, mut ti, mut de, mut dr) = (Vec::new(), Vec::new(), Vec::new(), 0u64);
+        let mut ctx = NodeCtx {
+            node: NodeId(0),
+            now: SimTime::from_nanos(0),
+            emissions: &mut em,
+            timers: &mut ti,
+            deliveries: &mut de,
+            drops: &mut dr,
+        };
+        sharded.on_packet(&mut ctx, 0, pkt);
+        assert_eq!(counters.borrow()[shard].received(), 1);
+        assert_eq!(counters.borrow()[1 - shard].received(), 0);
+    }
+}

@@ -51,6 +51,51 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// True when the failure was a full channel (backpressure, not
+        /// disconnection).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and all senders are gone.
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -172,6 +217,38 @@ pub mod channel {
             drop(q);
             self.chan.not_empty.notify_one();
             Ok(())
+        }
+
+        /// Sends `msg` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.chan.lock();
+            if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.chan.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.lock().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.chan.lock().is_empty()
         }
     }
 
@@ -339,6 +416,21 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn try_send_backpressure_and_disconnect() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert!(tx.try_send(2).unwrap_err().is_full());
+            assert_eq!(tx.len(), 1);
+            assert!(!tx.is_empty());
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+            assert_eq!(tx.try_send(5).unwrap_err().into_inner(), 5);
         }
 
         #[test]

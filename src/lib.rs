@@ -14,12 +14,12 @@
 //! | Stratum (paper Fig. 1) | Crate | What's inside |
 //! |---|---|---|
 //! | — component model | [`opencom`] | components, receptacles, `bind`, capsules, CFs, four meta-models (architecture, interface, interception, resources), registry, isolation |
-//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated NICs with `rx_burst`/`tx_burst` rings, IXP1200 placement model |
-//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing |
+//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated multi-queue NICs (RSS `inject_rx_rss`, per-worker `rx_burst_queue`/`tx_burst_queue`), the sharded run-to-completion worker pool (`shard::WorkerPool` + epoch quiesce), IXP1200 placement model |
+//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing, the sharded dataplane (`shard::ShardedPipeline`: per-worker graph replicas, flow-affine RSS dispatch, one logical reflection surface) |
 //! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters (batch-aware) |
 //! | 4 coordination | [`signaling`] | RSVP-style reservations, Genesis-style spawning networks |
-//! | comparators | [`baselines`] | Click-like static router and monolithic forwarder, each with a burst entry point for apples-to-apples batch benches |
-//! | substrate | [`sim`] | deterministic discrete-event network simulator; same-instant arrivals coalesce into `on_batch` deliveries |
+//! | comparators | [`baselines`] | Click-like static router and monolithic forwarder, each with burst entry points and `ShardSpec`-driven sharded variants for apples-to-apples multi-core benches |
+//! | substrate | [`sim`] | deterministic discrete-event network simulator; same-instant arrivals coalesce into `on_batch` deliveries; `shard::ShardedBehaviour` models RSS demux deterministically |
 //!
 //! See `DESIGN.md` for the full system inventory and experiment index,
 //! and `EXPERIMENTS.md` for paper-claim vs. measured results.
@@ -36,6 +36,60 @@
 //! batch of one, and default implementations keep scalar-only
 //! third-party components working unchanged. See
 //! [`router::api`] for the full ordering and partial-failure contract.
+//!
+//! ## The sharded runtime
+//!
+//! Above the batch API sits the multi-core execution model
+//! ([`kernel::shard`] + [`router::shard`]): N run-to-completion worker
+//! threads, each owning one SPSC ring and one *replica* of the element
+//! graph, fed by RSS flow-affine dispatch
+//! ([`packet::batch::PacketBatch::partition_by_shard`]) so every flow
+//! stays on one worker and intra-flow order is preserved with nothing
+//! shared on the fast path. Reflection is undisturbed: per-shard
+//! counters roll up into a single resources-meta-model task, and
+//! reconfiguration applies atomically across all shards through an
+//! epoch quiesce (`ShardedPipeline::quiesce`) that parks every worker
+//! at a batch boundary without dropping queued traffic. A sharded
+//! pipeline with one worker is differentially tested to be
+//! observationally identical to the single-threaded dataplane; with N
+//! workers, aggregate counters and per-output multisets are identical
+//! and per-flow sequences are preserved (`tests/sharded_equiv.rs`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netkit::kernel::shard::ShardSpec;
+//! use netkit::opencom::capsule::Capsule;
+//! use netkit::opencom::meta::resources::{classes, ResourceManager};
+//! use netkit::opencom::runtime::Runtime;
+//! use netkit::packet::batch::PacketBatch;
+//! use netkit::packet::packet::PacketBuilder;
+//! use netkit::router::api::register_packet_interfaces;
+//! use netkit::router::elements::{Counter, Discard};
+//! use netkit::router::shard::{ShardGraph, ShardedPipeline};
+//!
+//! let rm = Arc::new(ResourceManager::new());
+//! let pipe = ShardedPipeline::build("dataplane", ShardSpec::new(2), Arc::clone(&rm), |_| {
+//!     let rt = Runtime::new();
+//!     register_packet_interfaces(&rt);
+//!     let capsule = Capsule::new("worker", &rt);
+//!     let head = Counter::new();
+//!     let sink = Discard::new();
+//!     let hid = capsule.adopt(head.clone())?;
+//!     let sid = capsule.adopt(sink)?;
+//!     capsule.bind_simple(hid, "out", sid, netkit::router::IPACKET_PUSH)?;
+//!     Ok(ShardGraph::new(Arc::clone(&capsule), head).with_components(vec![hid]))
+//! })?;
+//!
+//! let burst: PacketBatch = (0..64u16)
+//!     .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1000 + i, 80).build())
+//!     .collect();
+//! pipe.dispatch(burst);   // RSS partition + per-worker rings
+//! pipe.flush();           // run-to-completion barrier
+//! assert_eq!(pipe.stats().packets, 64);
+//! assert_eq!(rm.task_info(pipe.task())?.usage[classes::PACKETS], 64);
+//! pipe.shutdown();
+//! # Ok::<(), netkit::opencom::error::Error>(())
+//! ```
 //!
 //! ## Quick start
 //!
