@@ -3,11 +3,12 @@
 //! The multi-core benches must compare like-for-like: the same
 //! [`ShardSpec`] that drives the NETKIT `ShardedPipeline` also drives
 //! these wrappers, which replicate a baseline per worker and steer
-//! flows with the identical RSS partition
-//! ([`PacketBatch::partition_by_shard`]). Whatever scaling the worker
-//! pool buys (or costs) is therefore an architecture-independent
-//! constant across the three dataplanes, and the measured deltas stay
-//! attributable to the component model alone.
+//! flows with the identical index-based RSS split
+//! ([`PacketBatch::shard_split`], the same pass `ShardedPipeline`'s
+//! dispatcher runs). Whatever scaling the worker pool buys (or costs)
+//! is therefore an architecture-independent constant across the three
+//! dataplanes, and the measured deltas stay attributable to the
+//! component model alone.
 
 use std::fmt;
 use std::sync::Arc;
@@ -22,7 +23,8 @@ use crate::monolithic::{ForwarderStats, MonolithicForwarder};
 
 fn partition(pkts: Vec<Packet>, shards: usize) -> Vec<Vec<Packet>> {
     PacketBatch::from_packets(pkts)
-        .partition_by_shard(shards)
+        .shard_split(shards)
+        .into_shard_batches()
         .into_iter()
         .map(PacketBatch::into_packets)
         .collect()

@@ -25,10 +25,11 @@ use netkit_baselines::sharded::{ShardedClick, ShardedMonolithic};
 use netkit_bench::{
     click_chain_config, netkit_chain, netkit_sharded_chain, routing_table, test_packet,
 };
+use netkit_kernel::nic::{Nic, PortId};
 use netkit_kernel::shard::ShardSpec;
-use netkit_packet::batch::PacketBatch;
-use netkit_packet::flow::RSS_ANNOTATION;
-use netkit_packet::packet::Packet;
+use netkit_packet::batch::{BatchPool, PacketBatch};
+use netkit_packet::packet::{Packet, PacketBuilder};
+use netkit_packet::pool::BufferPool;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_forwarding");
@@ -212,8 +213,7 @@ fn bench_shards(c: &mut Criterion) {
         (0..BATCH)
             .map(|i| {
                 let mut p = test_packet();
-                p.meta
-                    .annotate(RSS_ANNOTATION, stamp * BATCH as u64 + i as u64);
+                p.meta.rss_hash = Some(stamp * BATCH as u64 + i as u64);
                 p
             })
             .collect()
@@ -262,7 +262,7 @@ fn bench_shards(c: &mut Criterion) {
                 let pkts = (0..BATCH)
                     .map(|_| {
                         let mut p = test_packet();
-                        p.meta.annotate(RSS_ANNOTATION, shard as u64);
+                        p.meta.rss_hash = Some(shard as u64);
                         p
                     })
                     .collect();
@@ -292,9 +292,12 @@ fn bench_shards(c: &mut Criterion) {
         );
         pipe.shutdown();
 
-        // Steering-only floor: the RSS partition with no pool at all —
-        // what the dispatch thread itself pays per batch before any
-        // ring/wakeup cost.
+        // Steering-only floor, owned variant: the RSS partition into
+        // owned sub-batches with no pool at all — what the dispatch
+        // thread itself pays per batch before any ring/wakeup cost.
+        // (Since PR 3 this routes through the index-based split and
+        // only then re-materialises; `partition_only_zero_copy` below
+        // stops at the split.)
         group.bench_with_input(
             BenchmarkId::new("partition_only", workers),
             &workers,
@@ -313,6 +316,88 @@ fn bench_shards(c: &mut Criterion) {
                     },
                     BatchSize::SmallInput,
                 )
+            },
+        );
+
+        // Zero-copy steering floor: the index-based split
+        // (`shard_split` — counting sort over stamped hashes, borrowing
+        // views, no sub-batch re-materialisation). Compare against
+        // `partition_only` above (which still pays the owned
+        // re-materialisation through `into_shard_batches`) and the PR 2
+        // numbers in NOTES.md; the acceptance bar is ≥2x at 4 shards.
+        group.bench_with_input(
+            BenchmarkId::new("partition_only_zero_copy", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        bursts
+                            .iter()
+                            .map(|pkts| PacketBatch::from_packets(pkts.clone()))
+                            .collect::<Vec<_>>()
+                    },
+                    |batches| {
+                        for batch in batches {
+                            let split = batch.shard_split(workers);
+                            // Touch every view so the steering result is
+                            // actually consumed, as a dispatcher would.
+                            criterion::black_box(split.views().map(|v| v.len()).sum::<usize>());
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+
+        // NIC rx materialisation, pool-on vs pool-off: the per-frame
+        // cost of inject (RSS parse + steer + buffer write) plus
+        // per-queue burst materialisation into rss-stamped packets.
+        // `pooled` leases frame slabs from a BufferPool and batch
+        // containers from a BatchPool (steady state allocates nothing);
+        // `unpooled` allocates both per frame/batch — the delta is what
+        // the buffer-management CF buys on the rx path.
+        let frames: Vec<Vec<u8>> = (0..(BATCHES_PER_ITER * BATCH) as u16)
+            .map(|i| {
+                PacketBuilder::udp_v4("192.0.2.1", "10.0.7.9", 5000 + (i % 512), 5001)
+                    .payload_len(64)
+                    .build()
+                    .data()
+                    .to_vec()
+            })
+            .collect();
+        let rx_cycle = |nic: &Nic, take_batch: &mut dyn FnMut() -> PacketBatch| {
+            for f in &frames {
+                nic.inject_rx_frame(f);
+            }
+            for queue in 0..workers {
+                loop {
+                    let mut batch = take_batch();
+                    if nic.rx_burst_batch(queue, BATCH, &mut batch) == 0 {
+                        break;
+                    }
+                    criterion::black_box(&batch);
+                }
+            }
+        };
+
+        let buffers = BufferPool::new(2048, 0, 1 << 14);
+        let pooled_nic = Nic::with_queues(PortId(0), workers, 1 << 12, 16, 1_000_000_000)
+            .with_buffer_pool(buffers);
+        let batch_pool = BatchPool::new(BATCH, 8, 64);
+        group.bench_with_input(
+            BenchmarkId::new("nic_rx_pooled", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| rx_cycle(&pooled_nic, &mut || batch_pool.take()));
+            },
+        );
+
+        let plain_nic = Nic::with_queues(PortId(1), workers, 1 << 12, 16, 1_000_000_000);
+        group.bench_with_input(
+            BenchmarkId::new("nic_rx_unpooled", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| rx_cycle(&plain_nic, &mut || PacketBatch::with_capacity(BATCH)));
             },
         );
 

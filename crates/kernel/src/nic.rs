@@ -24,12 +24,31 @@
 //! *consuming* sides (`poll_rx`, `rx_burst`, `drain_tx`), which scan
 //! queues in index order so no frame is ever stranded for a
 //! queue-oblivious caller.
+//!
+//! ## The zero-copy rx fast path
+//!
+//! A NIC built [`Nic::with_buffer_pool`] leases every rx frame buffer
+//! from a [`BufferPool`] — the paper's buffer-management CF — instead
+//! of allocating it: [`Nic::inject_rx_frame`] copies the wire bytes
+//! into a pooled slab (the simulated DMA write), computes the flow's
+//! RSS hash *once* (what the hardware RSS engine does), steers the
+//! frame to its queue, and remembers the hash. The worker side drains
+//! with [`Nic::rx_burst_batch`], which materialises each frame as a
+//! [`Packet`] **around the same pooled slab** (no copy) with
+//! `meta.rss_hash` pre-stamped (no re-parse, ever, downstream). When
+//! the packet is eventually dropped at the end of its
+//! run-to-completion pass, the slab returns to the pool — so in steady
+//! state the rx path allocates nothing per frame.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::flow::FlowKey;
+use netkit_packet::packet::Packet;
+use netkit_packet::pool::{BufferPool, PooledBuf};
 
 /// Identifies a port/NIC on a node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -59,15 +78,54 @@ pub struct NicStats {
 
 /// One bounded SPSC ring: the NIC keeps both endpoints so the channel
 /// never disconnects.
-struct Ring {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+struct Ring<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
 }
 
-impl Ring {
+impl<T> Ring<T> {
     fn new(capacity: usize) -> Self {
         let (tx, rx) = bounded(capacity.max(1));
         Self { tx, rx }
+    }
+}
+
+/// An rx frame in flight between the wire side and a worker: the bytes
+/// (pool-leased on the fast path) plus the RSS hash the "hardware"
+/// computed at injection, carried along so materialisation never
+/// re-parses.
+struct RxFrame {
+    buf: RxBuf,
+    rss: Option<u64>,
+}
+
+enum RxBuf {
+    Shared(Bytes),
+    Pooled(PooledBuf),
+}
+
+impl RxFrame {
+    fn into_bytes(self) -> Bytes {
+        match self.buf {
+            RxBuf::Shared(b) => b,
+            // Detached from the pool: the queue-oblivious legacy API
+            // trades recycling for `Bytes` compatibility.
+            RxBuf::Pooled(b) => b.into_bytes().freeze(),
+        }
+    }
+
+    /// Materialises the frame as an rss-stamped packet. Pooled buffers
+    /// move in without copying; a missing hash (legacy injection paths)
+    /// is computed here — once, at materialisation.
+    fn into_packet(self) -> Packet {
+        let mut pkt = match self.buf {
+            RxBuf::Shared(b) => Packet::new(BytesMut::from(&b[..])),
+            RxBuf::Pooled(b) => Packet::from_pooled(b),
+        };
+        pkt.meta.rss_hash = self
+            .rss
+            .or_else(|| FlowKey::from_packet(&pkt).map(|k| k.rss_hash()));
+        pkt
     }
 }
 
@@ -91,8 +149,10 @@ impl Ring {
 /// ```
 pub struct Nic {
     port: PortId,
-    rx: Vec<Ring>,
-    tx: Vec<Ring>,
+    rx: Vec<Ring<RxFrame>>,
+    tx: Vec<Ring<Bytes>>,
+    /// Pool rx frame buffers lease from ([`Self::inject_rx_frame`]).
+    pool: Option<BufferPool>,
     rx_capacity: usize,
     tx_capacity: usize,
     link_bps: u64,
@@ -124,6 +184,7 @@ impl Nic {
             port,
             rx: (0..queues).map(|_| Ring::new(rx_capacity)).collect(),
             tx: (0..queues).map(|_| Ring::new(tx_capacity)).collect(),
+            pool: None,
             rx_capacity: rx_capacity.max(1),
             tx_capacity: tx_capacity.max(1),
             link_bps,
@@ -133,6 +194,19 @@ impl Nic {
             tx_dropped: AtomicU64::new(0),
             tx_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a [`BufferPool`] that [`Self::inject_rx_frame`] leases
+    /// rx frame buffers from (builder-style). Without one, that path
+    /// falls back to plain heap buffers.
+    pub fn with_buffer_pool(mut self, pool: BufferPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached rx buffer pool, if any.
+    pub fn buffer_pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
     }
 
     /// The NIC's port id.
@@ -158,7 +232,7 @@ impl Nic {
         (bytes as u64 * 8).saturating_mul(1_000_000_000) / self.link_bps
     }
 
-    fn inject_into(&self, queue: usize, frame: Bytes) -> bool {
+    fn inject_into(&self, queue: usize, frame: RxFrame) -> bool {
         match self.rx[queue % self.rx.len()].tx.try_send(frame) {
             Ok(()) => {
                 self.rx_frames.fetch_add(1, Ordering::Relaxed);
@@ -174,27 +248,71 @@ impl Nic {
     /// Delivers a frame into rx queue 0 (called by the wire side).
     /// Returns `false` and counts a drop if the ring is full.
     pub fn inject_rx(&self, frame: Bytes) -> bool {
-        self.inject_into(0, frame)
+        self.inject_into(
+            0,
+            RxFrame {
+                buf: RxBuf::Shared(frame),
+                rss: None,
+            },
+        )
     }
 
     /// Delivers a frame into the rx queue selected by the RSS `hash`
     /// (`hash % queues`) — the hardware steering step that keeps every
-    /// flow on one worker. Returns `false` and counts a drop if that
-    /// ring is full.
+    /// flow on one worker. The hash travels with the frame and is
+    /// stamped into `meta.rss_hash` at materialisation. Returns `false`
+    /// and counts a drop if that ring is full.
     pub fn inject_rx_rss(&self, hash: u64, frame: Bytes) -> bool {
-        self.inject_into((hash % self.rx.len() as u64) as usize, frame)
+        self.inject_into(
+            (hash % self.rx.len() as u64) as usize,
+            RxFrame {
+                buf: RxBuf::Shared(frame),
+                rss: Some(hash),
+            },
+        )
+    }
+
+    /// The full hardware rx path in one call: computes the flow's RSS
+    /// hash from the wire bytes (once — the hash then travels with the
+    /// frame), copies them into a buffer leased from the attached
+    /// [`BufferPool`] (the simulated DMA write; plain heap without a
+    /// pool), and steers the frame to queue `hash % queues` (non-flow
+    /// frames park on queue 0, the same rule as
+    /// `netkit_packet::flow::shard_of` — and a single-queue NIC behaves
+    /// identically however many shards the host software runs).
+    /// Returns `false` and counts a drop if the ring is full.
+    pub fn inject_rx_frame(&self, frame: &[u8]) -> bool {
+        let rss = FlowKey::from_frame(frame).map(|k| k.rss_hash());
+        let queue = match rss {
+            Some(h) => (h % self.rx.len() as u64) as usize,
+            None => 0,
+        };
+        let buf = match &self.pool {
+            Some(pool) => {
+                let mut slab = pool.take();
+                slab.extend_from_slice(frame);
+                RxBuf::Pooled(slab)
+            }
+            None => RxBuf::Shared(Bytes::copy_from_slice(frame)),
+        };
+        self.inject_into(queue, RxFrame { buf, rss })
     }
 
     /// Takes the next received frame, scanning queues in index order
-    /// (queue-oblivious consumers never strand frames).
+    /// (queue-oblivious consumers never strand frames). Pool-leased
+    /// frames are detached (not recycled) — use
+    /// [`Self::rx_burst_batch`] on the fast path.
     pub fn poll_rx(&self) -> Option<Bytes> {
-        self.rx.iter().find_map(|ring| ring.rx.try_recv().ok())
+        self.rx
+            .iter()
+            .find_map(|ring| ring.rx.try_recv().ok())
+            .map(RxFrame::into_bytes)
     }
 
     /// Takes the next frame from rx queue `queue` only (the per-worker
     /// poll path).
     pub fn poll_rx_queue(&self, queue: usize) -> Option<Bytes> {
-        self.rx.get(queue)?.rx.try_recv().ok()
+        Some(self.rx.get(queue)?.rx.try_recv().ok()?.into_bytes())
     }
 
     /// Takes up to `max` received frames across all queues in index
@@ -206,7 +324,7 @@ impl Nic {
         for ring in &self.rx {
             while out.len() < max {
                 match ring.rx.try_recv() {
-                    Ok(frame) => out.push(frame),
+                    Ok(frame) => out.push(frame.into_bytes()),
                     Err(_) => break,
                 }
             }
@@ -227,11 +345,37 @@ impl Nic {
         let mut out = Vec::with_capacity(max.min(64));
         while out.len() < max {
             match ring.rx.try_recv() {
-                Ok(frame) => out.push(frame),
+                Ok(frame) => out.push(frame.into_bytes()),
                 Err(_) => break,
             }
         }
         out
+    }
+
+    /// The zero-copy worker receive: takes up to `max` frames from rx
+    /// queue `queue` and appends them to `batch` as rss-stamped
+    /// [`Packet`]s. Pool-leased frame buffers move into the packets
+    /// without copying (and return to the pool when the packets drop);
+    /// frames from the legacy `Bytes` injection paths are copied once.
+    /// Every materialised packet carries `meta.rss_hash` — the hash
+    /// computed at injection when available, else parsed here, exactly
+    /// once — so no downstream steering decision re-parses headers.
+    /// Returns the number of packets appended (0 for unknown queues).
+    pub fn rx_burst_batch(&self, queue: usize, max: usize, batch: &mut PacketBatch) -> usize {
+        let Some(ring) = self.rx.get(queue) else {
+            return 0;
+        };
+        let mut taken = 0;
+        while taken < max {
+            match ring.rx.try_recv() {
+                Ok(frame) => {
+                    batch.push(frame.into_packet());
+                    taken += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        taken
     }
 
     /// Frames currently waiting across all rx queues.
@@ -424,6 +568,78 @@ mod tests {
         assert_eq!(nic.poll_rx().unwrap()[0], 11, "poll_rx scans queues");
         nic.tx_burst_queue(1, [frame(9)]);
         assert_eq!(nic.drain_tx().unwrap()[0], 9, "drain_tx scans queues");
+    }
+
+    #[test]
+    fn pooled_rx_frames_recycle_through_packets() {
+        use netkit_packet::packet::PacketBuilder;
+        let pool = BufferPool::new(2048, 0, 8);
+        let nic = Nic::with_queues(PortId(0), 2, 8, 8, 1_000_000).with_buffer_pool(pool.clone());
+        assert!(nic.buffer_pool().is_some());
+        let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
+        let key = FlowKey::from_packet(&wire).unwrap();
+        let queue = (key.rss_hash() % 2) as usize;
+
+        assert!(nic.inject_rx_frame(wire.data()));
+        assert_eq!(pool.stats().allocated, 1);
+        let mut batch = PacketBatch::new();
+        assert_eq!(nic.rx_burst_batch(queue, 32, &mut batch), 1);
+        assert_eq!(nic.rx_burst_batch(1 - queue, 32, &mut batch), 0);
+        assert_eq!(nic.rx_burst_batch(9, 32, &mut batch), 0, "unknown queue");
+        // Materialised zero-copy, stamped, bit-identical.
+        let pkt = &batch.packets()[0];
+        assert_eq!(pkt.data(), wire.data());
+        assert_eq!(pkt.meta.rss_hash, Some(key.rss_hash()));
+        // Dropping the packet returns the slab to the pool.
+        drop(batch);
+        assert_eq!(pool.stats().recycled, 1);
+        assert!(nic.inject_rx_frame(wire.data()));
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.stats().allocated, 1, "steady state: no new slab");
+    }
+
+    #[test]
+    fn inject_rx_frame_without_pool_still_steers_and_stamps() {
+        use netkit_packet::packet::PacketBuilder;
+        let nic = Nic::with_queues(PortId(0), 4, 8, 8, 1_000_000);
+        let wire = PacketBuilder::udp_v4("10.0.0.9", "10.0.0.2", 7, 8).build();
+        let key = FlowKey::from_packet(&wire).unwrap();
+        assert!(nic.inject_rx_frame(wire.data()));
+        let mut batch = PacketBatch::new();
+        assert_eq!(
+            nic.rx_burst_batch((key.rss_hash() % 4) as usize, 32, &mut batch),
+            1
+        );
+        assert_eq!(batch.packets()[0].meta.rss_hash, Some(key.rss_hash()));
+        // Non-flow frames park on queue 0.
+        assert!(nic.inject_rx_frame(&[0u8; 14]));
+        let mut batch0 = PacketBatch::new();
+        assert_eq!(nic.rx_burst_batch(0, 32, &mut batch0), 1);
+        assert_eq!(batch0.packets()[0].meta.rss_hash, None);
+    }
+
+    #[test]
+    fn legacy_rss_injection_hash_is_stamped_at_materialisation() {
+        let nic = Nic::with_queues(PortId(0), 4, 8, 8, 1_000_000);
+        nic.inject_rx_rss(9, frame(1));
+        let mut batch = PacketBatch::new();
+        assert_eq!(nic.rx_burst_batch(9 % 4, 32, &mut batch), 1);
+        assert_eq!(batch.packets()[0].meta.rss_hash, Some(9));
+        // And legacy Bytes consumers still see pooled frames.
+        let pool = BufferPool::new(256, 0, 4);
+        let pooled = Nic::new(PortId(1), 4, 4, 1_000_000).with_buffer_pool(pool.clone());
+        assert!(pooled.inject_rx_frame(&[0u8; 14]));
+        assert_eq!(pooled.poll_rx().unwrap().len(), 14);
+        // Detached, not recycled — documented legacy behaviour.
+        assert_eq!(pool.stats().recycled, 0);
+    }
+
+    #[test]
+    fn zero_queue_nic_equals_single_queue() {
+        let nic = Nic::with_queues(PortId(0), 0, 4, 4, 1_000_000);
+        assert_eq!(nic.queues(), 1);
+        assert!(nic.inject_rx_rss(12345, frame(1)), "all hashes map to q0");
+        assert_eq!(nic.rx_burst_queue(0, 4).len(), 1);
     }
 
     #[test]

@@ -252,10 +252,20 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// once per shard, in shard order, on the calling thread; the
     /// handler it returns moves onto that shard's thread and owns the
     /// shard's state for the pool's lifetime.
+    ///
+    /// A hand-rolled spec with `workers == 0` (bypassing
+    /// [`ShardSpec::new`]'s clamp) is normalised to one worker here, so
+    /// "no sharding" and "one shard" are the same pool everywhere —
+    /// mirroring `shard_of(_, 0)`, `partition_by_shard(0)`, and the
+    /// NIC's queue-count clamp.
     pub fn start<F>(spec: ShardSpec, mut factory: F) -> Self
     where
         F: FnMut(usize) -> ShardHandler<T>,
     {
+        let spec = ShardSpec {
+            workers: spec.workers.max(1),
+            ring_capacity: spec.ring_capacity.max(1),
+        };
         let gate = Arc::new(Gate::new(spec.workers));
         let completed = Arc::new(
             (0..spec.workers)
@@ -647,5 +657,28 @@ mod tests {
         assert_eq!(spec.workers, 1);
         assert_eq!(spec.ring_capacity, 1);
         assert_eq!(ShardSpec::default(), ShardSpec::single());
+    }
+
+    #[test]
+    fn zero_worker_spec_runs_as_one_worker() {
+        // A literal spec bypasses ShardSpec::new's clamp; the pool must
+        // normalise it so 0 shards ≡ 1 shard.
+        let raw = ShardSpec {
+            workers: 0,
+            ring_capacity: 0,
+        };
+        let seen = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::start(raw, |_| {
+            let seen = Arc::clone(&seen);
+            Box::new(move |n: u64| {
+                seen.fetch_add(n, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.spec().workers, 1);
+        pool.submit(0, 5).unwrap();
+        pool.flush();
+        assert_eq!(seen.load(Ordering::Relaxed), 5);
+        pool.shutdown();
     }
 }

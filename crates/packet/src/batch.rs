@@ -20,7 +20,10 @@
 //! output sees exactly the sequence the scalar path would have produced.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
 
 use crate::packet::Packet;
 
@@ -51,6 +54,22 @@ pub struct PacketBatch {
     /// allocation-free) until the first label is assigned.
     labels: Vec<u16>,
     table: Vec<Arc<str>>,
+    /// The [`BatchPool`] this container leases from, if any; on drop the
+    /// (cleared) backing vectors return there instead of being freed.
+    home: Option<Weak<BatchPoolInner>>,
+}
+
+impl Drop for PacketBatch {
+    fn drop(&mut self) {
+        let Some(pool) = self.home.take().and_then(|w| w.upgrade()) else {
+            return;
+        };
+        pool.recycle(
+            std::mem::take(&mut self.packets),
+            std::mem::take(&mut self.labels),
+            std::mem::take(&mut self.table),
+        );
+    }
 }
 
 const UNLABELLED: u16 = u16::MAX;
@@ -67,6 +86,7 @@ impl PacketBatch {
             packets: Vec::with_capacity(capacity),
             labels: Vec::new(),
             table: Vec::new(),
+            home: None,
         }
     }
 
@@ -76,6 +96,7 @@ impl PacketBatch {
             packets,
             labels: Vec::new(),
             table: Vec::new(),
+            home: None,
         }
     }
 
@@ -150,9 +171,18 @@ impl PacketBatch {
         self.packets.iter()
     }
 
+    /// Removes and returns the last packet (its label, if any, is
+    /// discarded). Keeps the batch's allocations intact, so a pooled
+    /// container still recycles whole.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let pkt = self.packets.pop()?;
+        self.labels.truncate(self.packets.len());
+        Some(pkt)
+    }
+
     /// Consumes the batch, returning the packets (labels discarded).
-    pub fn into_packets(self) -> Vec<Packet> {
-        self.packets
+    pub fn into_packets(mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.packets)
     }
 
     /// Removes all packets and labels, keeping allocations for reuse.
@@ -162,41 +192,95 @@ impl PacketBatch {
         self.table.clear();
     }
 
+    /// Stamps every packet's
+    /// [`rss_hash`](crate::packet::PacketMeta::rss_hash) from its parsed
+    /// flow tuple (see [`crate::flow::stamp_rss`]); already-stamped
+    /// packets are untouched. Do this once at batch construction when
+    /// frames did not come through an RSS-stamping NIC path — every
+    /// steering decision afterwards is a modulo, never a header parse.
+    pub fn stamp_rss(&mut self) {
+        for pkt in &mut self.packets {
+            crate::flow::stamp_rss(pkt);
+        }
+    }
+
     /// Splits the batch into `shards` sub-batches by RSS flow affinity
     /// — the software analogue of a multi-queue NIC spreading flows
     /// over receive queues.
     ///
-    /// Steering follows [`crate::flow::shard_of`]: the driver-stamped
-    /// RSS annotation when present, else the parsed flow's
-    /// [`crate::flow::FlowKey::rss_hash`], with non-flow packets
-    /// (ARP, malformed frames) parked on shard 0. The result always
-    /// holds exactly `max(shards, 1)` batches (some possibly empty), no
-    /// packet is lost or duplicated, relative order *within each shard*
-    /// — and therefore within each flow, since a flow maps to exactly
-    /// one shard — matches the input batch, and per-packet labels
-    /// survive (re-interned into their sub-batch).
+    /// This is the *owned* convenience over [`Self::shard_split`]: it
+    /// re-materialises one `PacketBatch` per shard. Prefer the
+    /// [`ShardSplit`] views when sub-batches only need to be *read*,
+    /// and [`ShardSplit::into_shard_batches_pooled`] when the owned
+    /// sub-batches should come from a recycled-container pool.
+    ///
+    /// Steering follows [`crate::flow::shard_of`] (stamped RSS hash,
+    /// else one parse — which this call stamps back, so repeated splits
+    /// never re-parse), with non-flow packets (ARP, malformed frames)
+    /// parked on shard 0. The result always holds exactly
+    /// `max(shards, 1)` batches (some possibly empty) — `0` and `1`
+    /// shards are equivalent —, no packet is lost or duplicated,
+    /// relative order *within each shard* — and therefore within each
+    /// flow, since a flow maps to exactly one shard — matches the input
+    /// batch, and per-packet labels survive (the sub-batches share the
+    /// parent's label table).
     pub fn partition_by_shard(self, shards: usize) -> Vec<PacketBatch> {
-        let shards = shards.max(1);
-        if shards == 1 {
+        if shards <= 1 {
             return vec![self];
         }
-        let Self {
-            packets,
-            labels,
-            table,
-        } = self;
-        let mut out: Vec<PacketBatch> = (0..shards).map(|_| PacketBatch::new()).collect();
-        for (idx, pkt) in packets.into_iter().enumerate() {
-            let shard = crate::flow::shard_of(&pkt, shards);
-            let raw = labels.get(idx).copied().unwrap_or(UNLABELLED);
-            let target = &mut out[shard];
-            target.push(pkt);
-            if raw != UNLABELLED {
-                let id = target.intern(&table[raw as usize]);
-                target.set_label(target.len() - 1, id);
-            }
+        self.shard_split(shards).into_shard_batches()
+    }
+
+    /// Steers the batch over `shards` shards **in place**: one
+    /// counting-sort pass computes a permutation and per-shard offset
+    /// table; no packet moves, no label re-interns, no per-shard `Vec`
+    /// materialises. The returned [`ShardSplit`] owns the batch and
+    /// hands out borrowing [`ShardView`]s per shard (plus owned escape
+    /// hatches when a caller truly needs `PacketBatch`es to move
+    /// across threads).
+    ///
+    /// Un-stamped packets are RSS-stamped as a side effect (one header
+    /// parse, once per packet lifetime). `shards == 0` is treated as
+    /// `1`.
+    pub fn shard_split(mut self, shards: usize) -> ShardSplit {
+        let shards = shards.max(1);
+        let n = self.packets.len();
+        if shards == 1 {
+            // Degenerate split: identity permutation, one shard.
+            return ShardSplit {
+                perm: (0..n as u32).collect(),
+                offsets: vec![0, n as u32],
+                batch: self,
+            };
         }
-        out
+        self.stamp_rss();
+        let mut shard_of_pkt: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0u32; shards];
+        for pkt in &self.packets {
+            let s = crate::flow::shard_of(pkt, shards) as u32;
+            shard_of_pkt.push(s);
+            counts[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(shards + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            running += c;
+            offsets.push(running);
+        }
+        // Reuse `counts` as per-shard write cursors.
+        let mut cursor = counts;
+        cursor[..shards].copy_from_slice(&offsets[..shards]);
+        let mut perm = vec![0u32; n];
+        for (idx, &s) in shard_of_pkt.iter().enumerate() {
+            perm[cursor[s as usize] as usize] = idx as u32;
+            cursor[s as usize] += 1;
+        }
+        ShardSplit {
+            batch: self,
+            perm,
+            offsets,
+        }
     }
 
     /// Splits the batch into per-label groups.
@@ -206,12 +290,11 @@ impl PacketBatch {
     /// original indices in the parent batch — so callers can map
     /// per-group verdicts back to per-batch verdicts. Groups appear in
     /// first-occurrence order. Packets are *moved*, not cloned.
-    pub fn into_label_groups(self) -> Vec<LabelGroup> {
-        let Self {
-            packets,
-            labels,
-            table,
-        } = self;
+    pub fn into_label_groups(mut self) -> Vec<LabelGroup> {
+        let packets = std::mem::take(&mut self.packets);
+        let labels = std::mem::take(&mut self.labels);
+        let table = std::mem::take(&mut self.table);
+        drop(self);
         if labels.is_empty() {
             // Fast path: nothing was ever labelled.
             let indices = (0..packets.len()).collect();
@@ -269,8 +352,8 @@ impl FromIterator<Packet> for PacketBatch {
 impl IntoIterator for PacketBatch {
     type Item = Packet;
     type IntoIter = std::vec::IntoIter<Packet>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.packets.into_iter()
+    fn into_iter(mut self) -> Self::IntoIter {
+        std::mem::take(&mut self.packets).into_iter()
     }
 }
 
@@ -289,6 +372,368 @@ impl fmt::Debug for PacketBatch {
             "PacketBatch({} packets, {} labels)",
             self.packets.len(),
             self.table.len()
+        )
+    }
+}
+
+/// An index-based shard steering of one batch (see
+/// [`PacketBatch::shard_split`]).
+///
+/// Holds the steered batch **unmoved** plus a permutation (`perm`) and a
+/// per-shard offset table: shard `s` owns the original packet indices
+/// `perm[offsets[s]..offsets[s + 1]]`, in input order. Reading a shard
+/// ([`Self::shard`]) borrows the original packets and label table —
+/// zero copies, zero re-interning, zero per-shard `Vec`s. When owned
+/// sub-batches must cross a thread boundary, [`Self::into_shard_batches`]
+/// (or the pooled variant) moves the packets out in a single pass.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::batch::PacketBatch;
+/// use netkit_packet::packet::PacketBuilder;
+///
+/// let batch: PacketBatch = (0..8u16)
+///     .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1000 + i, 80).build())
+///     .collect();
+/// let split = batch.shard_split(4);
+/// assert_eq!(split.shards(), 4);
+/// assert_eq!(split.views().map(|v| v.len()).sum::<usize>(), 8);
+/// ```
+pub struct ShardSplit {
+    batch: PacketBatch,
+    /// Original packet indices grouped by shard (stable within each
+    /// shard).
+    perm: Vec<u32>,
+    /// `offsets[s]..offsets[s + 1]` slices `perm` for shard `s`;
+    /// `offsets.len() == shards + 1`.
+    offsets: Vec<u32>,
+}
+
+impl ShardSplit {
+    /// Number of shards (always ≥ 1).
+    pub fn shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of packets across all shards.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when the underlying batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The underlying batch (packets in their original order).
+    pub fn batch(&self) -> &PacketBatch {
+        &self.batch
+    }
+
+    /// Gives the steered batch back, unchanged (aside from RSS stamps).
+    pub fn into_batch(self) -> PacketBatch {
+        self.batch
+    }
+
+    /// A borrowing view of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn shard(&self, s: usize) -> ShardView<'_> {
+        assert!(s < self.shards(), "shard index out of range");
+        ShardView { split: self, s }
+    }
+
+    /// Iterates the per-shard views in shard order.
+    pub fn views(&self) -> impl Iterator<Item = ShardView<'_>> {
+        (0..self.shards()).map(|s| self.shard(s))
+    }
+
+    /// Moves the packets out into `max(shards, 1)` owned sub-batches —
+    /// the escape hatch for callers (worker rings, cross-thread
+    /// hand-off) that truly need owned `PacketBatch`es. One pass, each
+    /// sub-batch pre-sized exactly; labels survive by sharing the
+    /// parent's interned table (no re-interning).
+    pub fn into_shard_batches(self) -> Vec<PacketBatch> {
+        self.into_batches_with(|_| PacketBatch::new())
+    }
+
+    /// Like [`Self::into_shard_batches`], but the sub-batch containers
+    /// lease from `pool`, so in steady state the per-shard `Vec`s are
+    /// recycled rather than allocated.
+    pub fn into_shard_batches_pooled(self, pool: &BatchPool) -> Vec<PacketBatch> {
+        self.into_batches_with(|_| pool.take())
+    }
+
+    fn into_batches_with(self, mut make: impl FnMut(usize) -> PacketBatch) -> Vec<PacketBatch> {
+        let shards = self.shards();
+        let Self {
+            mut batch,
+            perm,
+            offsets,
+        } = self;
+        // Invert perm/offsets into a per-index shard id.
+        let mut shard_of_idx = vec![0u32; batch.packets.len()];
+        for s in 0..shards {
+            for &idx in &perm[offsets[s] as usize..offsets[s + 1] as usize] {
+                shard_of_idx[idx as usize] = s as u32;
+            }
+        }
+        let has_labels = !batch.labels.is_empty();
+        let mut out: Vec<PacketBatch> = (0..shards)
+            .map(|s| {
+                let mut b = make(s);
+                let len = (offsets[s + 1] - offsets[s]) as usize;
+                b.packets.reserve(len);
+                if has_labels {
+                    b.labels.reserve(len);
+                    b.table = batch.table.clone();
+                }
+                b
+            })
+            .collect();
+        // Drain in place (not mem::take) so the parent's backing
+        // vectors keep their capacity and the container — if it is
+        // pool-homed — recycles whole at the drop below.
+        for (idx, pkt) in batch.packets.drain(..).enumerate() {
+            let target = &mut out[shard_of_idx[idx] as usize];
+            target.packets.push(pkt);
+            if has_labels {
+                target.labels.push(batch.labels[idx]);
+            }
+        }
+        drop(batch);
+        out
+    }
+}
+
+impl fmt::Debug for ShardSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardSplit({} packets over {} shards)",
+            self.len(),
+            self.shards()
+        )
+    }
+}
+
+/// One shard's borrowed slice of a [`ShardSplit`]: the packets steered
+/// to this shard, in their original relative order, without moving or
+/// copying anything.
+#[derive(Clone, Copy)]
+pub struct ShardView<'a> {
+    split: &'a ShardSplit,
+    s: usize,
+}
+
+impl<'a> ShardView<'a> {
+    /// The shard index this view covers.
+    pub fn shard(&self) -> usize {
+        self.s
+    }
+
+    /// Original batch indices of this shard's packets, in order.
+    pub fn indices(&self) -> &'a [u32] {
+        let lo = self.split.offsets[self.s] as usize;
+        let hi = self.split.offsets[self.s + 1] as usize;
+        &self.split.perm[lo..hi]
+    }
+
+    /// Number of packets on this shard.
+    pub fn len(&self) -> usize {
+        self.indices().len()
+    }
+
+    /// True when no packet steered here.
+    pub fn is_empty(&self) -> bool {
+        self.indices().is_empty()
+    }
+
+    /// The `i`-th packet of this shard (borrowed from the parent batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &'a Packet {
+        &self.split.batch.packets[self.indices()[i] as usize]
+    }
+
+    /// Iterates this shard's packets in input order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a Packet> + '_ {
+        self.indices()
+            .iter()
+            .map(|&idx| &self.split.batch.packets[idx as usize])
+    }
+
+    /// The label of the `i`-th packet of this shard, if one was
+    /// assigned (read from the parent's interned table — no copy).
+    pub fn label_of(&self, i: usize) -> Option<&'a str> {
+        self.split.batch.label_of(self.indices()[i] as usize)
+    }
+}
+
+impl fmt::Debug for ShardView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardView(shard {}, {} packets)", self.s, self.len())
+    }
+}
+
+/// Pool counters for [`BatchPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchPoolStats {
+    /// Containers served from the free list.
+    pub reused: u64,
+    /// Containers freshly allocated because the free list was empty.
+    pub allocated: u64,
+    /// Containers returned to the free list on drop.
+    pub recycled: u64,
+    /// Containers discarded on drop (free list full, or the backing
+    /// storage had been moved out).
+    pub discarded: u64,
+}
+
+struct BatchPoolInner {
+    /// Packets to pre-reserve in a fresh container.
+    capacity: usize,
+    max_free: usize,
+    #[allow(clippy::type_complexity)]
+    free: Mutex<Vec<(Vec<Packet>, Vec<u16>, Vec<Arc<str>>)>>,
+    reused: AtomicU64,
+    allocated: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl BatchPoolInner {
+    fn recycle(&self, mut packets: Vec<Packet>, mut labels: Vec<u16>, mut table: Vec<Arc<str>>) {
+        // Dropping the packets here releases their (possibly pooled)
+        // frame buffers before the container returns to the free list.
+        packets.clear();
+        labels.clear();
+        table.clear();
+        let mut free = self.free.lock();
+        // A container whose packet storage was moved out (e.g. by
+        // `into_packets`) has nothing worth keeping.
+        if free.len() < self.max_free && packets.capacity() > 0 {
+            free.push((packets, labels, table));
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A free list of [`PacketBatch`] *containers* — the batch-granularity
+/// companion to [`crate::pool::BufferPool`]'s frame slabs.
+///
+/// Batches taken from the pool return their backing vectors here when
+/// dropped (wherever that happens — typically at the far end of a
+/// worker's run-to-completion pass), so a steady-state forwarding loop
+/// performs no per-batch heap allocation: the same `Vec<Packet>`
+/// shuttles rx → ring → graph → sink → rx again.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::batch::BatchPool;
+/// use netkit_packet::packet::PacketBuilder;
+///
+/// let pool = BatchPool::new(32, 0, 8);
+/// let mut batch = pool.take();
+/// batch.push(PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1, 2).build());
+/// drop(batch); // container recycled
+/// let again = pool.take();
+/// assert!(again.is_empty());
+/// assert_eq!(pool.stats().reused, 1);
+/// ```
+#[derive(Clone)]
+pub struct BatchPool {
+    inner: Arc<BatchPoolInner>,
+}
+
+impl BatchPool {
+    /// Creates a pool of batch containers pre-sized for `capacity`
+    /// packets, preallocating `prealloc` containers (provision for the
+    /// peak number simultaneously in flight, so the steady state never
+    /// allocates) and keeping at most `max_free` on the free list.
+    pub fn new(capacity: usize, prealloc: usize, max_free: usize) -> Self {
+        let free = (0..prealloc)
+            .map(|_| (Vec::with_capacity(capacity.max(1)), Vec::new(), Vec::new()))
+            .collect();
+        Self {
+            inner: Arc::new(BatchPoolInner {
+                capacity,
+                max_free,
+                free: Mutex::new(free),
+                reused: AtomicU64::new(0),
+                allocated: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Takes an empty batch container (recycled when available), homed
+    /// to this pool.
+    pub fn take(&self) -> PacketBatch {
+        let parts = self.inner.free.lock().pop();
+        let (mut packets, labels, table) = match parts {
+            Some(parts) => {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                parts
+            }
+            None => {
+                self.inner.allocated.fetch_add(1, Ordering::Relaxed);
+                (
+                    Vec::with_capacity(self.inner.capacity),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            }
+        };
+        if packets.capacity() < self.inner.capacity {
+            packets.reserve(self.inner.capacity);
+        }
+        PacketBatch {
+            packets,
+            labels,
+            table,
+            home: Some(Arc::downgrade(&self.inner)),
+        }
+    }
+
+    /// Containers currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// The packet capacity fresh containers are pre-sized for.
+    pub fn batch_capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Snapshot of pool counters.
+    pub fn stats(&self) -> BatchPoolStats {
+        BatchPoolStats {
+            reused: self.inner.reused.load(Ordering::Relaxed),
+            allocated: self.inner.allocated.load(Ordering::Relaxed),
+            recycled: self.inner.recycled.load(Ordering::Relaxed),
+            discarded: self.inner.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for BatchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BatchPool(capacity {}, {} free, stats {:?})",
+            self.inner.capacity,
+            self.free_count(),
+            self.stats()
         )
     }
 }
@@ -452,6 +897,187 @@ mod tests {
         assert_eq!(only.len(), 2);
         assert_eq!(only.label_of(0), Some("x"));
         assert_eq!(PacketBatch::new().partition_by_shard(0).len(), 1);
+    }
+
+    #[test]
+    fn shard_split_views_agree_with_owned_partition() {
+        let mut b = PacketBatch::new();
+        for p in 1u16..=16 {
+            b.push(pkt(p));
+        }
+        let marked = b.intern("marked");
+        b.set_label(3, marked);
+        b.set_label(9, marked);
+        let mut reference = PacketBatch::new();
+        for p in 1u16..=16 {
+            reference.push(pkt(p));
+        }
+        let m2 = reference.intern("marked");
+        reference.set_label(3, m2);
+        reference.set_label(9, m2);
+
+        let split = b.shard_split(4);
+        assert_eq!(split.shards(), 4);
+        assert_eq!(split.len(), 16);
+        let owned = reference.partition_by_shard(4);
+        for (view, own) in split.views().zip(&owned) {
+            assert_eq!(view.len(), own.len());
+            for i in 0..view.len() {
+                assert_eq!(view.get(i).data(), own.packets()[i].data());
+                assert_eq!(view.label_of(i), own.label_of(i));
+            }
+        }
+        // The views borrow: the split still owns all 16 packets.
+        assert_eq!(split.batch().len(), 16);
+        // And the escape hatch matches the owned partition too.
+        let moved = split.into_shard_batches();
+        assert_eq!(moved.len(), 4);
+        for (a, b) in moved.iter().zip(&owned) {
+            assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                assert_eq!(a.packets()[i].data(), b.packets()[i].data());
+                assert_eq!(a.label_of(i), b.label_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_split_stamps_rss_once() {
+        use crate::flow::FlowKey;
+        let mut b = PacketBatch::new();
+        for p in 1u16..=4 {
+            b.push(pkt(p));
+        }
+        assert!(b.packets()[0].meta.rss_hash.is_none());
+        let split = b.shard_split(2);
+        for view in split.views() {
+            for p in view.iter() {
+                assert_eq!(
+                    p.meta.rss_hash,
+                    Some(FlowKey::from_packet(p).unwrap().rss_hash())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_one_shard_splits_are_equivalent() {
+        for shards in [0usize, 1] {
+            let mut b = PacketBatch::new();
+            for p in 1u16..=3 {
+                b.push(pkt(p));
+            }
+            let l = b.intern("x");
+            b.set_label(1, l);
+            let split = b.shard_split(shards);
+            assert_eq!(split.shards(), 1, "shards={shards}");
+            let view = split.shard(0);
+            assert_eq!(view.len(), 3);
+            assert_eq!(view.indices(), &[0, 1, 2]);
+            assert_eq!(view.label_of(1), Some("x"));
+            // Degenerate splits skip stamping: no parse on the 1-shard path.
+            assert!(view.get(0).meta.rss_hash.is_none());
+            let batches = split.into_shard_batches();
+            assert_eq!(batches.len(), 1);
+            assert_eq!(batches[0].len(), 3);
+            assert_eq!(batches[0].label_of(1), Some("x"));
+        }
+    }
+
+    #[test]
+    fn batch_pool_recycles_containers_wherever_dropped() {
+        let pool = BatchPool::new(8, 0, 4);
+        let mut batch = pool.take();
+        assert_eq!(pool.stats().allocated, 1);
+        batch.push(pkt(1));
+        // Simulate the cross-thread hand-off: container dropped elsewhere.
+        let handle = std::thread::spawn(move || drop(batch));
+        handle.join().unwrap();
+        assert_eq!(pool.free_count(), 1);
+        let again = pool.take();
+        assert!(again.is_empty());
+        let s = pool.stats();
+        assert_eq!((s.reused, s.allocated, s.recycled), (1, 1, 1));
+    }
+
+    #[test]
+    fn pooled_split_reuses_shard_containers() {
+        let pool = BatchPool::new(8, 0, 8);
+        for round in 0..3 {
+            let mut b = PacketBatch::new();
+            for p in 1u16..=8 {
+                b.push(pkt(p));
+            }
+            let parts = b.shard_split(2).into_shard_batches_pooled(&pool);
+            assert_eq!(parts.iter().map(PacketBatch::len).sum::<usize>(), 8);
+            drop(parts);
+            if round > 0 {
+                assert!(pool.stats().reused > 0, "containers recycle across rounds");
+            }
+        }
+        // Steady state: only the first round allocated.
+        assert_eq!(pool.stats().allocated, 2);
+    }
+
+    #[test]
+    fn split_recycles_the_parent_container_too() {
+        // Regression: a pool-homed batch that goes through
+        // shard_split → into_shard_batches must return its own backing
+        // vectors to the pool (with capacity), not discard them —
+        // otherwise a fill-split-dispatch loop leaks one container per
+        // round.
+        let pool = BatchPool::new(16, 0, 8);
+        for round in 0..3u64 {
+            let mut parent = pool.take();
+            for p in 1u16..=8 {
+                parent.push(pkt(p));
+            }
+            let parts = parent.shard_split(2).into_shard_batches_pooled(&pool);
+            drop(parts);
+            let s = pool.stats();
+            assert_eq!(
+                s.discarded, 0,
+                "round {round}: parent must not be discarded"
+            );
+            // Parent + 2 sub-containers recycle every round.
+            assert_eq!(s.recycled, (round + 1) * 3);
+        }
+        assert_eq!(pool.stats().allocated, 3, "steady state after round 1");
+    }
+
+    #[test]
+    fn pool_gone_means_plain_drop() {
+        let pool = BatchPool::new(4, 0, 4);
+        let batch = pool.take();
+        drop(pool);
+        drop(batch); // pool inner already gone; drop must not panic
+    }
+
+    #[test]
+    fn moved_out_containers_are_discarded_not_recycled() {
+        let pool = BatchPool::new(4, 0, 4);
+        let mut batch = pool.take();
+        batch.push(pkt(1));
+        let _pkts = batch.into_packets(); // storage moved out, container drops
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.discarded), (0, 1));
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn pop_returns_last_and_truncates_labels() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        b.push(pkt(2));
+        let l = b.intern("x");
+        b.set_label(1, l);
+        let last = b.pop().unwrap();
+        assert_eq!(last.udp_v4().unwrap().src_port, 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.label_of(0), None);
+        b.push(pkt(3));
+        assert_eq!(b.label_of(1), None, "stale label must not resurface");
+        assert!(PacketBatch::new().pop().is_none());
     }
 
     #[test]

@@ -15,29 +15,54 @@ use parking_lot::Mutex;
 use crate::headers::{proto, EtherType};
 use crate::packet::Packet;
 
-/// Annotation key under which RSS-capable drivers cache a packet's flow
-/// hash (the value of [`FlowKey::rss_hash`]) so downstream partitioning
-/// ([`crate::batch::PacketBatch::partition_by_shard`]) need not re-parse
-/// headers. Real multi-queue NICs compute this hash in hardware; the
-/// annotation is the simulated equivalent.
+/// Legacy annotation key for the RSS flow hash.
+///
+/// Superseded by the dedicated
+/// [`PacketMeta::rss_hash`](crate::packet::PacketMeta::rss_hash) field:
+/// `annotate(RSS_ANNOTATION, h)` and `annotation(RSS_ANNOTATION)` are
+/// shimmed onto that field, so old callers keep working, but new code
+/// should read and write the field directly (no string compare, no
+/// table walk).
+#[deprecated(note = "use PacketMeta::rss_hash directly")]
 pub const RSS_ANNOTATION: &str = "rss";
 
 /// The shard a packet steers to under `shards` receive queues: the
-/// driver-stamped [`RSS_ANNOTATION`] when present, else the parsed
-/// flow's [`FlowKey::rss_hash`]. Packets with no flow identity (ARP,
-/// malformed frames) deterministically land on shard 0.
+/// driver-stamped [`PacketMeta::rss_hash`](crate::packet::PacketMeta::rss_hash)
+/// when present, else the parsed flow's [`FlowKey::rss_hash`] (computed
+/// and **stamped back is the caller's job** — use [`stamp_rss`] at
+/// materialisation time so this function never re-parses). Packets with
+/// no flow identity (ARP, malformed frames) deterministically land on
+/// shard 0.
+///
+/// Shard-count edge case: `shards == 0` and `shards == 1` are
+/// equivalent — both mean "no spreading", every packet lands on shard 0
+/// (mirroring [`FlowKey::shard_for`], `ShardSpec`'s ≥ 1 clamp, and the
+/// NIC's single-queue fallback).
 pub fn shard_of(pkt: &Packet, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
     let hash = pkt
         .meta
-        .annotation(RSS_ANNOTATION)
+        .rss_hash
         .or_else(|| FlowKey::from_packet(pkt).map(|k| k.rss_hash()));
     match hash {
         Some(h) => (h % shards as u64) as usize,
         None => 0,
     }
+}
+
+/// Stamps [`PacketMeta::rss_hash`](crate::packet::PacketMeta::rss_hash)
+/// from the packet's parsed flow tuple, if not already stamped — the
+/// software analogue of the hash a multi-queue NIC computes in hardware
+/// on rx. Returns the stamp. Call once at materialisation (NIC rx /
+/// batch construction); every later [`shard_of`] is then a modulo, not
+/// a parse.
+pub fn stamp_rss(pkt: &mut Packet) -> Option<u64> {
+    if pkt.meta.rss_hash.is_none() {
+        pkt.meta.rss_hash = FlowKey::from_packet(pkt).map(|k| k.rss_hash());
+    }
+    pkt.meta.rss_hash
 }
 
 /// The classic 5-tuple flow identifier.
@@ -59,17 +84,27 @@ impl FlowKey {
     /// Extracts the 5-tuple from a frame, if it is IPv4/IPv6 carrying
     /// UDP or TCP (other traffic yields ports of zero).
     pub fn from_packet(pkt: &Packet) -> Option<FlowKey> {
-        let eth = pkt.ethernet().ok()?;
+        Self::from_frame(pkt.data())
+    }
+
+    /// Extracts the 5-tuple from raw frame bytes (Ethernet header
+    /// first) — the parse a NIC's RSS engine performs on the wire side,
+    /// before any [`Packet`] exists.
+    pub fn from_frame(frame: &[u8]) -> Option<FlowKey> {
+        use crate::headers::{EthernetHeader, Ipv4Header, Ipv6Header, TcpHeader, UdpHeader};
+        let eth = EthernetHeader::parse(frame).ok()?;
+        let l3 = frame.get(EthernetHeader::LEN..)?;
         match eth.ethertype {
             EtherType::Ipv4 => {
-                let ip = pkt.ipv4().ok()?;
+                let ip = Ipv4Header::parse(l3).ok()?;
+                let l4 = l3.get(ip.header_len..)?;
                 let (src_port, dst_port) = match ip.protocol {
                     proto::UDP => {
-                        let udp = pkt.udp_v4().ok()?;
+                        let udp = UdpHeader::parse(l4).ok()?;
                         (udp.src_port, udp.dst_port)
                     }
                     proto::TCP => {
-                        let tcp = pkt.tcp_v4().ok()?;
+                        let tcp = TcpHeader::parse(l4).ok()?;
                         (tcp.src_port, tcp.dst_port)
                     }
                     _ => (0, 0),
@@ -83,7 +118,7 @@ impl FlowKey {
                 })
             }
             EtherType::Ipv6 => {
-                let ip = pkt.ipv6().ok()?;
+                let ip = Ipv6Header::parse(l3).ok()?;
                 Some(FlowKey {
                     src: IpAddr::V6(ip.src),
                     dst: IpAddr::V6(ip.dst),
@@ -366,15 +401,57 @@ mod tests {
     }
 
     #[test]
-    fn shard_of_prefers_driver_annotation() {
+    fn shard_of_prefers_driver_stamp() {
         let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
         let key = FlowKey::from_packet(&pkt).unwrap();
         assert_eq!(shard_of(&pkt, 4), key.shard_for(4));
-        pkt.meta.annotate(RSS_ANNOTATION, key.rss_hash() + 1);
+        pkt.meta.rss_hash = Some(key.rss_hash() + 1);
         assert_eq!(shard_of(&pkt, 4), ((key.rss_hash() + 1) % 4) as usize);
         // Non-flow traffic parks on shard 0.
         let arp = Packet::from_slice(&[0u8; 14]);
         assert_eq!(shard_of(&arp, 4), 0);
+        // shards == 0 behaves exactly like shards == 1.
+        assert_eq!(shard_of(&pkt, 0), shard_of(&pkt, 1));
+        assert_eq!(shard_of(&pkt, 0), 0);
+    }
+
+    #[test]
+    fn stamp_rss_writes_once_and_matches_flow_hash() {
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
+        let key = FlowKey::from_packet(&pkt).unwrap();
+        assert_eq!(stamp_rss(&mut pkt), Some(key.rss_hash()));
+        // A pre-existing stamp (e.g. written by the NIC) is preserved.
+        pkt.meta.rss_hash = Some(7);
+        assert_eq!(stamp_rss(&mut pkt), Some(7));
+        // Non-flow frames stay unstamped.
+        let mut arp = Packet::from_slice(&[0u8; 14]);
+        assert_eq!(stamp_rss(&mut arp), None);
+        assert_eq!(arp.meta.rss_hash, None);
+    }
+
+    #[test]
+    fn legacy_rss_annotation_shims_onto_the_field() {
+        #[allow(deprecated)]
+        const KEY: &str = RSS_ANNOTATION;
+        let mut pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1234, 80).build();
+        // Old-style writers land on the new field…
+        pkt.meta.annotate("rss", 42);
+        assert_eq!(pkt.meta.rss_hash, Some(42));
+        // …and old-style readers see field writes.
+        pkt.meta.rss_hash = Some(43);
+        assert_eq!(pkt.meta.annotation(KEY), Some(43));
+        // The shimmed key never occupies a table slot.
+        assert!(pkt.meta.annotations().is_empty());
+    }
+
+    #[test]
+    fn from_frame_agrees_with_from_packet() {
+        let pkt = PacketBuilder::udp_v4("10.1.2.3", "10.4.5.6", 1111, 2222).build();
+        assert_eq!(FlowKey::from_frame(pkt.data()), FlowKey::from_packet(&pkt));
+        let v6 = PacketBuilder::udp_v6("2001:db8::1", "2001:db8::2", 1, 2).build();
+        assert_eq!(FlowKey::from_frame(v6.data()), FlowKey::from_packet(&v6));
+        assert_eq!(FlowKey::from_frame(&[0u8; 14]), None);
+        assert_eq!(FlowKey::from_frame(&[]), None);
     }
 
     #[test]

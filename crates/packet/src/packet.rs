@@ -16,6 +16,7 @@ use crate::error::ParseResult;
 use crate::headers::{
     proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr, TcpHeader, UdpHeader,
 };
+use crate::pool::PooledBuf;
 
 /// Metering colour (srTCM-style).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,26 +44,76 @@ pub struct PacketMeta {
     pub next_hop: Option<IpAddr>,
     /// Meter colour (written by meters, read by droppers).
     pub color: Option<Color>,
-    /// Free-form numeric annotations, keyed by static names.
-    pub annotations: Vec<(&'static str, u64)>,
+    /// The RSS steering hash, stamped once when the frame is
+    /// materialised (NIC rx or batch construction) so
+    /// [`crate::flow::shard_of`] never re-parses headers. `None` means
+    /// "not stamped yet", not "no flow".
+    pub rss_hash: Option<u64>,
+    /// Free-form numeric annotations, keyed by static names and kept
+    /// sorted by key. Private so [`Self::annotate`]'s sorted invariant
+    /// (binary-search lookups depend on it) cannot be bypassed; read
+    /// through [`Self::annotation`] / [`Self::annotations`].
+    annotations: Vec<(&'static str, u64)>,
 }
 
 impl PacketMeta {
-    /// Sets (or overwrites) an annotation.
+    /// Sets (or overwrites) an annotation. The table stays sorted by
+    /// key, so repeated writes cost one binary search each instead of a
+    /// linear scan per call.
+    ///
+    /// The legacy `"rss"` key (see [`crate::flow::RSS_ANNOTATION`]) is
+    /// forwarded to the dedicated [`Self::rss_hash`] field.
     pub fn annotate(&mut self, key: &'static str, value: u64) {
-        if let Some(slot) = self.annotations.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = value;
-        } else {
-            self.annotations.push((key, value));
+        if key == "rss" {
+            self.rss_hash = Some(value);
+            return;
+        }
+        match self.annotations.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(pos) => self.annotations[pos].1 = value,
+            Err(pos) => self.annotations.insert(pos, (key, value)),
         }
     }
 
-    /// Reads an annotation.
+    /// Reads an annotation (the legacy `"rss"` key reads
+    /// [`Self::rss_hash`]).
     pub fn annotation(&self, key: &str) -> Option<u64> {
+        if key == "rss" {
+            return self.rss_hash;
+        }
         self.annotations
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| *v)
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|pos| self.annotations[pos].1)
+    }
+
+    /// All annotations, sorted by key. (The shimmed `"rss"` key lives
+    /// in [`Self::rss_hash`], not here.)
+    pub fn annotations(&self) -> &[(&'static str, u64)] {
+        &self.annotations
+    }
+}
+
+/// The frame storage behind a [`Packet`]: either a plain heap buffer or
+/// a slab leased from a [`crate::pool::BufferPool`] (returned to the
+/// pool when the packet drops — the zero-copy rx path).
+enum PacketBuf {
+    Heap(BytesMut),
+    Pooled(PooledBuf),
+}
+
+impl PacketBuf {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            PacketBuf::Heap(b) => b,
+            PacketBuf::Pooled(b) => b,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        match self {
+            PacketBuf::Heap(b) => b,
+            PacketBuf::Pooled(b) => b,
+        }
     }
 }
 
@@ -70,19 +121,51 @@ impl PacketMeta {
 ///
 /// The buffer always begins at the Ethernet header. Parsing helpers give
 /// typed views without copying; `data_mut` allows in-place mutation
-/// (TTL decrement and similar fast-path edits).
-#[derive(Clone, Default)]
+/// (TTL decrement and similar fast-path edits). The frame storage may be
+/// a pool-leased slab ([`Packet::from_pooled`]): dropping the packet
+/// then recycles the buffer instead of freeing it, which is what makes
+/// the NIC→worker fast path allocation-free in steady state.
 pub struct Packet {
-    data: BytesMut,
+    data: PacketBuf,
     /// Out-of-band metadata.
     pub meta: PacketMeta,
+}
+
+impl Default for Packet {
+    fn default() -> Self {
+        Self::new(BytesMut::new())
+    }
+}
+
+impl Clone for Packet {
+    /// Deep copy. A pooled buffer clones into a plain heap buffer: the
+    /// pool lease is not shareable, and clones are off the fast path by
+    /// definition.
+    fn clone(&self) -> Self {
+        Self {
+            data: match &self.data {
+                PacketBuf::Heap(b) => PacketBuf::Heap(b.clone()),
+                PacketBuf::Pooled(b) => PacketBuf::Heap(BytesMut::from(&b[..])),
+            },
+            meta: self.meta.clone(),
+        }
+    }
 }
 
 impl Packet {
     /// Wraps an existing frame buffer.
     pub fn new(data: BytesMut) -> Self {
         Self {
-            data,
+            data: PacketBuf::Heap(data),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Wraps a pool-leased frame buffer without copying; the slab
+    /// returns to its pool when the packet is dropped.
+    pub fn from_pooled(buf: PooledBuf) -> Self {
+        Self {
+            data: PacketBuf::Pooled(buf),
             meta: PacketMeta::default(),
         }
     }
@@ -94,27 +177,31 @@ impl Packet {
 
     /// Frame length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.as_slice().len()
     }
 
     /// True if the frame is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.as_slice().is_empty()
     }
 
     /// Read access to the frame bytes.
     pub fn data(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Write access to the frame bytes.
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the packet, returning the buffer.
+    /// Consumes the packet, returning the buffer. A pooled buffer is
+    /// detached from its pool (it will not be recycled).
     pub fn into_data(self) -> BytesMut {
-        self.data
+        match self.data {
+            PacketBuf::Heap(b) => b,
+            PacketBuf::Pooled(b) => b.into_bytes(),
+        }
     }
 
     // ---- typed views ------------------------------------------------------
@@ -125,7 +212,7 @@ impl Packet {
     ///
     /// Propagates truncation errors.
     pub fn ethernet(&self) -> ParseResult<EthernetHeader> {
-        EthernetHeader::parse(&self.data)
+        EthernetHeader::parse(self.data())
     }
 
     /// Byte offset of the L3 header.
@@ -135,13 +222,14 @@ impl Packet {
 
     /// The L3 bytes (IP header onward).
     pub fn l3(&self) -> &[u8] {
-        &self.data[EthernetHeader::LEN.min(self.data.len())..]
+        let data = self.data();
+        &data[EthernetHeader::LEN.min(data.len())..]
     }
 
     /// Mutable L3 bytes.
     pub fn l3_mut(&mut self) -> &mut [u8] {
-        let off = EthernetHeader::LEN.min(self.data.len());
-        &mut self.data[off..]
+        let off = EthernetHeader::LEN.min(self.len());
+        &mut self.data_mut()[off..]
     }
 
     /// Parses the IPv4 header (validating its checksum).
@@ -197,7 +285,7 @@ impl Packet {
 
 impl fmt::Debug for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Packet({} bytes", self.data.len())?;
+        write!(f, "Packet({} bytes", self.len())?;
         if let Ok(eth) = self.ethernet() {
             write!(f, ", {:?}", eth.ethertype)?;
         }
@@ -411,7 +499,7 @@ mod tests {
         assert_eq!(meta.annotation("queue"), Some(5));
         assert_eq!(meta.annotation("hops"), Some(2));
         assert_eq!(meta.annotation("missing"), None);
-        assert_eq!(meta.annotations.len(), 2);
+        assert_eq!(meta.annotations().len(), 2);
     }
 
     #[test]

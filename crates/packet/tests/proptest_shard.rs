@@ -1,16 +1,20 @@
 //! Property tests for RSS flow→shard mapping and batch partitioning.
 //!
-//! The sharded dataplane's correctness rests on two properties proved
+//! The sharded dataplane's correctness rests on three properties proved
 //! here: (1) the flow→shard map is a pure function of the 5-tuple and
 //! the shard count — same flow, same shard, always; (2)
 //! `partition_by_shard` is a permutation-free split: nothing lost,
 //! nothing duplicated, per-flow order intact, every packet on its
-//! flow's shard.
+//! flow's shard; (3) the zero-copy steering path (`shard_split` views
+//! and its owned `into_shard_batches` escape hatch, pooled or not) is
+//! observationally identical — packets, order, labels — to the legacy
+//! re-materialising partition, reimplemented verbatim below as the
+//! reference.
 
 use proptest::prelude::*;
 
-use netkit_packet::batch::PacketBatch;
-use netkit_packet::flow::FlowKey;
+use netkit_packet::batch::{BatchPool, PacketBatch};
+use netkit_packet::flow::{shard_of, FlowKey};
 use netkit_packet::packet::{Packet, PacketBuilder};
 
 #[derive(Clone, Debug)]
@@ -43,7 +47,116 @@ fn build(spec: &FlowSpec, seq: u16) -> Packet {
     .build()
 }
 
+/// The PR 2 re-materialising partition, preserved verbatim as the
+/// behavioural reference: per-packet `shard_of`, per-shard `push`, and
+/// per-packet label re-interning.
+fn reference_partition(batch: PacketBatch, shards: usize) -> Vec<PacketBatch> {
+    let shards = shards.max(1);
+    if shards == 1 {
+        return vec![batch];
+    }
+    let labelled: Vec<Option<String>> = (0..batch.len())
+        .map(|i| batch.label_of(i).map(str::to_owned))
+        .collect();
+    let mut out: Vec<PacketBatch> = (0..shards).map(|_| PacketBatch::new()).collect();
+    for (idx, pkt) in batch.into_packets().into_iter().enumerate() {
+        let shard = shard_of(&pkt, shards);
+        let target = &mut out[shard];
+        target.push(pkt);
+        if let Some(label) = &labelled[idx] {
+            let id = target.intern(label);
+            target.set_label(target.len() - 1, id);
+        }
+    }
+    out
+}
+
+/// `(frame bytes, label)` fingerprints per shard — the observable
+/// content every split variant must agree on.
+fn fingerprint(parts: &[PacketBatch]) -> Vec<Vec<(Vec<u8>, Option<String>)>> {
+    parts
+        .iter()
+        .map(|p| {
+            (0..p.len())
+                .map(|i| {
+                    (
+                        p.packets()[i].data().to_vec(),
+                        p.label_of(i).map(str::to_owned),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
 proptest! {
+    #[test]
+    fn zero_copy_split_equals_owned_equals_reference(
+        flows in proptest::collection::vec(flow_strategy(), 1..10),
+        picks in proptest::collection::vec((0usize..10, 0usize..4), 0..96),
+        shards in 0usize..=6,
+    ) {
+        // Build four identical batches: reference, views, owned, pooled.
+        // `picks` interleaves flows and assigns each packet one of three
+        // labels (or none).
+        let labels = ["voice", "bulk", "scavenger"];
+        let mut batches: Vec<PacketBatch> = (0..4).map(|_| PacketBatch::new()).collect();
+        for (i, (flow_idx, label_idx)) in picks.iter().enumerate() {
+            let spec = &flows[flow_idx % flows.len()];
+            for b in &mut batches {
+                let pkt = build(spec, i as u16);
+                b.push(pkt);
+                if *label_idx < labels.len() {
+                    let id = b.intern(labels[*label_idx]);
+                    b.set_label(b.len() - 1, id);
+                }
+            }
+        }
+        let [for_reference, for_views, for_owned, for_pooled]: [PacketBatch; 4] =
+            batches.try_into().ok().unwrap();
+
+        let reference = fingerprint(&reference_partition(for_reference, shards));
+
+        // 1. Borrowing views: same shards, same order, same labels —
+        //    without moving a single packet.
+        let split = for_views.shard_split(shards);
+        prop_assert_eq!(split.shards(), shards.max(1));
+        prop_assert_eq!(split.len(), picks.len());
+        let viewed: Vec<Vec<(Vec<u8>, Option<String>)>> = split
+            .views()
+            .map(|v| {
+                (0..v.len())
+                    .map(|i| (v.get(i).data().to_vec(), v.label_of(i).map(str::to_owned)))
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(&viewed, &reference, "views ≡ reference");
+        // View indices are a permutation of the input positions.
+        let mut all_indices: Vec<u32> =
+            split.views().flat_map(|v| v.indices().to_vec()).collect();
+        all_indices.sort_unstable();
+        prop_assert_eq!(all_indices, (0..picks.len() as u32).collect::<Vec<_>>());
+
+        // 2. Owned escape hatch.
+        let owned = for_owned.shard_split(shards).into_shard_batches();
+        prop_assert_eq!(&fingerprint(&owned), &reference, "owned ≡ reference");
+
+        // 3. Pool-leased containers behave identically and recycle.
+        let pool = BatchPool::new(32, 0, 16);
+        let pooled = for_pooled.shard_split(shards).into_shard_batches_pooled(&pool);
+        prop_assert_eq!(&fingerprint(&pooled), &reference, "pooled ≡ reference");
+        drop(pooled);
+        prop_assert_eq!(
+            pool.stats().recycled + pool.stats().discarded,
+            shards.max(1) as u64
+        );
+
+        // 4. Per-flow order within each shard survives every variant
+        //    (reference already proves itself against the input in
+        //    `partition_loses_and_duplicates_nothing_and_keeps_flow_order`;
+        //    equality above extends it to the zero-copy paths).
+    }
+
     #[test]
     fn flow_to_shard_mapping_is_stable(
         spec in flow_strategy(),

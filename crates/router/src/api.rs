@@ -47,13 +47,28 @@
 //! each against its own replica of the element graph. The contract
 //! refines as follows:
 //!
-//! * **Ordering becomes per-flow.** RSS dispatch
-//!   (`PacketBatch::partition_by_shard`) pins every flow to one worker,
-//!   so on any single output the sequence *within each flow* is exactly
-//!   the scalar sequence; ordering **between** flows that landed on
-//!   different workers is unspecified. Aggregate counters and
-//!   per-output multisets remain identical to the single-threaded
-//!   pipeline (enforced by `tests/sharded_equiv.rs` for N = 1..4).
+//! * **Ordering becomes per-flow.** RSS steering pins every flow to
+//!   one worker, so on any single output the sequence *within each
+//!   flow* is exactly the scalar sequence; ordering **between** flows
+//!   that landed on different workers is unspecified. Aggregate
+//!   counters and per-output multisets remain identical to the
+//!   single-threaded pipeline (enforced by `tests/sharded_equiv.rs`
+//!   for N = 1..4, with 0 shards ≡ 1 shard at every layer).
+//! * **Steering is index-based and parse-free.** The dispatcher runs
+//!   `PacketBatch::shard_split` — one counting-sort pass over
+//!   driver-stamped `PacketMeta::rss_hash` values (written once at NIC
+//!   rx or batch construction, never re-parsed) producing borrowing
+//!   per-shard *views*; packets move only at the ring hand-off, into
+//!   pool-recycled containers whose labels are shared from the
+//!   parent's interned table. Elements therefore must not assume a
+//!   batch's label table holds only labels its own packets use.
+//! * **Batches arrive pool-homed.** A batch a worker receives may
+//!   lease its container (and its packets' frame buffers) from the
+//!   pipeline's `BatchPool`/`BufferPool`; terminal elements should
+//!   drop batches whole (or `pop` what they keep, as `Discard` does)
+//!   so the storage recycles. The consuming methods (`into_packets`,
+//!   `into_label_groups`) detach moved storage from its pool —
+//!   correct, but off the zero-allocation path.
 //! * **Implementations need no extra locking.** A replica is only ever
 //!   driven by its own worker; `Send + Sync` plus the existing interior
 //!   mutability suffices. Do not share an element instance between

@@ -134,12 +134,14 @@ impl IPacketPush for Discard {
         Ok(())
     }
 
-    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
         let n = batch.len();
         self.packets.fetch_add(n as u64, Ordering::Relaxed);
-        if let Some(last) = batch.into_packets().pop() {
+        if let Some(last) = batch.pop() {
             *self.last.lock() = Some(last);
         }
+        // `batch` drops whole here: a pool-leased container (and its
+        // packets' pooled frame buffers) recycles instead of freeing.
         BatchResult::ok(n)
     }
 }

@@ -28,7 +28,8 @@ pub struct ShardedBehaviour {
 
 impl ShardedBehaviour {
     /// Builds `spec.workers` inner behaviours via `factory(shard)`
-    /// (called in shard order).
+    /// (called in shard order). A zero-worker spec is normalised to one
+    /// shard, matching the worker pool and the NIC queue clamp.
     pub fn new(
         name: impl Into<String>,
         spec: ShardSpec,
@@ -36,7 +37,7 @@ impl ShardedBehaviour {
     ) -> Self {
         Self {
             name: name.into(),
-            shards: (0..spec.workers).map(&mut factory).collect(),
+            shards: (0..spec.workers.max(1)).map(&mut factory).collect(),
         }
     }
 
@@ -63,12 +64,19 @@ impl NodeBehaviour for ShardedBehaviour {
         self.shards[shard].on_packet(ctx, ingress, pkt);
     }
 
-    /// Coalesced bursts are partitioned once and handed to each shard
-    /// as its own burst, in shard index order — the deterministic
-    /// serialisation of what the worker pool does in parallel.
+    /// Coalesced bursts are steered once with the index-based split
+    /// ([`PacketBatch::shard_split`], the identical pass the threaded
+    /// dispatcher runs) and handed to each shard as its own burst, in
+    /// shard index order — the deterministic serialisation of what the
+    /// worker pool does in parallel.
     fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
-        let parts = PacketBatch::from_packets(pkts).partition_by_shard(self.shards.len());
-        for (shard, part) in parts.into_iter().enumerate() {
+        if self.shards.len() == 1 {
+            // 0/1-shard equivalence: no steering work at all.
+            self.shards[0].on_batch(ctx, ingress, pkts);
+            return;
+        }
+        let split = PacketBatch::from_packets(pkts).shard_split(self.shards.len());
+        for (shard, part) in split.into_shard_batches().into_iter().enumerate() {
             if !part.is_empty() {
                 self.shards[shard].on_batch(ctx, ingress, part.into_packets());
             }
@@ -145,6 +153,26 @@ mod tests {
         let got: Vec<u64> = counters.iter().map(|c| c.received()).collect();
         assert_eq!(got, expect, "each shard saw exactly its flows");
         assert_eq!(got.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn zero_worker_spec_behaves_as_one_shard() {
+        let counters = std::cell::RefCell::new(Vec::new());
+        let raw = ShardSpec {
+            workers: 0,
+            ring_capacity: 0,
+        };
+        let mut sharded = ShardedBehaviour::new("rss", raw, |_| {
+            let (sink, c) = SinkBehaviour::new();
+            counters.borrow_mut().push(c);
+            Box::new(sink)
+        });
+        assert_eq!(sharded.workers(), 1);
+        let pkts: Vec<Packet> = (0..4u16)
+            .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80).build())
+            .collect();
+        run_batch(&mut sharded, pkts);
+        assert_eq!(counters.borrow()[0].received(), 4);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! iteration count against a per-bench time budget and prints
 //! `<group>/<name>  time: <mean> ns/iter` lines instead of criterion's
 //! statistical report — enough to track the perf trajectory offline.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench -- --test`) switches to smoke mode: every
+//! measured routine runs exactly once, so CI can execute bench *bodies*
+//! (not just compile them) in seconds.
 
 #![warn(missing_docs)]
 
@@ -80,18 +85,27 @@ pub struct Bencher {
     /// Mean nanoseconds per iteration, recorded by `iter*`.
     ns_per_iter: f64,
     budget: Duration,
+    /// Smoke mode (`--test`): run the routine once, skip calibration.
+    test_mode: bool,
 }
 
 impl Bencher {
-    fn new(budget: Duration) -> Self {
+    fn new(budget: Duration, test_mode: bool) -> Self {
         Self {
             ns_per_iter: f64::NAN,
             budget,
+            test_mode,
         }
     }
 
     /// Times `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.ns_per_iter = start.elapsed().as_nanos() as f64;
+            return;
+        }
         // Calibrate: double iterations until the batch is measurable.
         let mut iters: u64 = 1;
         let per_iter = loop {
@@ -128,6 +142,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if self.test_mode {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.ns_per_iter = start.elapsed().as_nanos() as f64;
+            return;
+        }
         let mut iters: u64 = 1;
         let per_iter = loop {
             let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
@@ -206,7 +227,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher::new(self.criterion.budget);
+        let mut b = Bencher::new(self.criterion.budget, self.criterion.test_mode);
         f(&mut b);
         self.report(&id, &b);
         self
@@ -223,7 +244,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher::new(self.criterion.budget);
+        let mut b = Bencher::new(self.criterion.budget, self.criterion.test_mode);
         f(&mut b, input);
         self.report(&id, &b);
         self
@@ -254,12 +275,16 @@ impl BenchmarkGroup<'_> {
 /// The benchmark harness entry point.
 pub struct Criterion {
     budget: Duration,
+    /// Smoke mode: run every measured routine exactly once (set by a
+    /// `--test` argument, as with real criterion's `cargo bench -- --test`).
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Self {
             budget: Duration::from_millis(200),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -316,9 +341,32 @@ mod tests {
     use super::*;
 
     #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        use std::cell::Cell;
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            test_mode: true,
+        };
+        let iters = Cell::new(0u32);
+        let batched = Cell::new(0u32);
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("iter", |b| b.iter(|| iters.set(iters.get() + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || (),
+                |()| batched.set(batched.get() + 1),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!((iters.get(), batched.get()), (1, 1));
+    }
+
+    #[test]
     fn bench_runs_and_reports() {
         let mut c = Criterion {
             budget: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut group = c.benchmark_group("smoke");
         group.throughput(Throughput::Elements(1));

@@ -14,7 +14,7 @@
 //! | Stratum (paper Fig. 1) | Crate | What's inside |
 //! |---|---|---|
 //! | — component model | [`opencom`] | components, receptacles, `bind`, capsules, CFs, four meta-models (architecture, interface, interception, resources), registry, isolation |
-//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated multi-queue NICs (RSS `inject_rx_rss`, per-worker `rx_burst_queue`/`tx_burst_queue`), the sharded run-to-completion worker pool (`shard::WorkerPool` + epoch quiesce), IXP1200 placement model |
+//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated multi-queue NICs (RSS `inject_rx_frame` with pooled frame buffers, per-worker zero-copy `rx_burst_batch`, legacy `inject_rx_rss`/`rx_burst_queue`/`tx_burst_queue`), the sharded run-to-completion worker pool (`shard::WorkerPool` + epoch quiesce), IXP1200 placement model |
 //! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing, the sharded dataplane (`shard::ShardedPipeline`: per-worker graph replicas, flow-affine RSS dispatch, one logical reflection surface) |
 //! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters (batch-aware) |
 //! | 4 coordination | [`signaling`] | RSVP-style reservations, Genesis-style spawning networks |
@@ -37,23 +37,40 @@
 //! third-party components working unchanged. See
 //! [`router::api`] for the full ordering and partial-failure contract.
 //!
-//! ## The sharded runtime
+//! ## The sharded runtime and the zero-copy hot path
 //!
 //! Above the batch API sits the multi-core execution model
 //! ([`kernel::shard`] + [`router::shard`]): N run-to-completion worker
 //! threads, each owning one SPSC ring and one *replica* of the element
-//! graph, fed by RSS flow-affine dispatch
-//! ([`packet::batch::PacketBatch::partition_by_shard`]) so every flow
-//! stays on one worker and intra-flow order is preserved with nothing
-//! shared on the fast path. Reflection is undisturbed: per-shard
+//! graph, fed by RSS flow-affine dispatch so every flow stays on one
+//! worker and intra-flow order is preserved with nothing shared on the
+//! fast path. Steering is **zero-copy**: every packet's RSS hash is
+//! stamped once at materialisation
+//! ([`packet::packet::PacketMeta::rss_hash`], written by the NIC rx
+//! path or [`packet::batch::PacketBatch::stamp_rss`]), and
+//! [`packet::batch::PacketBatch::shard_split`] steers a whole batch
+//! with one counting-sort pass into a
+//! [`ShardSplit`](packet::batch::ShardSplit) whose per-shard views
+//! *borrow* the original packets — no re-parse, no re-intern, no
+//! per-shard re-materialisation (owned escape hatches exist for the
+//! ring hand-off). Buffers recycle instead of churning the allocator:
+//! [`kernel::nic::Nic::with_buffer_pool`] leases rx frame slabs from
+//! the buffer-management CF ([`packet::pool::BufferPool`]) and
+//! [`kernel::nic::Nic::rx_burst_batch`] moves them into packets without
+//! copying, while batch containers cycle through a
+//! [`packet::batch::BatchPool`] freelist
+//! ([`router::shard::ShardedPipeline::pump_nic`] drives one shard's rx
+//! loop) — `tests/zero_copy_steady_state.rs` asserts the warm loop
+//! allocates nothing per batch. Reflection is undisturbed: per-shard
 //! counters roll up into a single resources-meta-model task, and
 //! reconfiguration applies atomically across all shards through an
 //! epoch quiesce (`ShardedPipeline::quiesce`) that parks every worker
 //! at a batch boundary without dropping queued traffic. A sharded
 //! pipeline with one worker is differentially tested to be
-//! observationally identical to the single-threaded dataplane; with N
-//! workers, aggregate counters and per-output multisets are identical
-//! and per-flow sequences are preserved (`tests/sharded_equiv.rs`).
+//! observationally identical to the single-threaded dataplane (and
+//! zero shards ≡ one shard at every layer); with N workers, aggregate
+//! counters and per-output multisets are identical and per-flow
+//! sequences are preserved (`tests/sharded_equiv.rs`).
 //!
 //! ```
 //! use std::sync::Arc;
