@@ -3,12 +3,14 @@
 //! The multi-core benches must compare like-for-like: the same
 //! [`ShardSpec`] that drives the NETKIT `ShardedPipeline` also drives
 //! these wrappers, which replicate a baseline per worker and steer
-//! flows with the identical index-based RSS split
-//! ([`PacketBatch::shard_split`], the same pass `ShardedPipeline`'s
-//! dispatcher runs). Whatever scaling the worker pool buys (or costs)
-//! is therefore an architecture-independent constant across the three
-//! dataplanes, and the measured deltas stay attributable to the
-//! component model alone.
+//! flows with the identical table-driven index split
+//! ([`PacketBatch::shard_split_with`], the same pass `ShardedPipeline`'s
+//! dispatcher runs — identity [`BucketMap`] by default, and
+//! `set_bucket_map` installs a rebalanced table so skew experiments
+//! compare like-for-like too). Whatever scaling the worker pool buys
+//! (or costs) is therefore an architecture-independent constant across
+//! the three dataplanes, and the measured deltas stay attributable to
+//! the component model alone.
 
 use std::fmt;
 use std::sync::Arc;
@@ -16,14 +18,16 @@ use std::sync::Arc;
 use netkit_kernel::shard::{ShardSpec, WorkerPool};
 use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
+use netkit_packet::steer::BucketMap;
 use netkit_router::routing::RoutingTable;
+use parking_lot::RwLock;
 
 use crate::click::{ClickError, ClickRouter};
 use crate::monolithic::{ForwarderStats, MonolithicForwarder};
 
-fn partition(pkts: Vec<Packet>, shards: usize) -> Vec<Vec<Packet>> {
+fn partition(pkts: Vec<Packet>, map: &BucketMap) -> Vec<Vec<Packet>> {
     PacketBatch::from_packets(pkts)
-        .shard_split(shards)
+        .shard_split_with(map)
         .into_shard_batches()
         .into_iter()
         .map(PacketBatch::into_packets)
@@ -35,6 +39,7 @@ fn partition(pkts: Vec<Packet>, shards: usize) -> Vec<Vec<Packet>> {
 pub struct ShardedClick {
     pool: WorkerPool<Vec<Packet>>,
     replicas: Vec<Arc<ClickRouter>>,
+    steering: RwLock<Arc<BucketMap>>,
 }
 
 impl ShardedClick {
@@ -57,13 +62,31 @@ impl ShardedClick {
                 replica.push_batch(&entry, pkts);
             })
         });
-        Ok(Self { pool, replicas })
+        let workers = pool.workers();
+        Ok(Self {
+            pool,
+            replicas,
+            steering: RwLock::new(Arc::new(BucketMap::identity(workers))),
+        })
     }
 
-    /// RSS-partitions a burst and enqueues each non-empty slice on its
-    /// worker.
+    /// Installs a bucket → shard steering table (identity by default) —
+    /// the same table a rebalanced `ShardedPipeline` would run, so skew
+    /// benches compare like-for-like.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` targets a different worker count.
+    pub fn set_bucket_map(&self, map: BucketMap) {
+        assert_eq!(map.shards(), self.pool.workers(), "shard count mismatch");
+        *self.steering.write() = Arc::new(map);
+    }
+
+    /// RSS-partitions a burst through the installed table and enqueues
+    /// each non-empty slice on its worker.
     pub fn push_batch(&self, pkts: Vec<Packet>) {
-        for (shard, slice) in partition(pkts, self.pool.workers()).into_iter().enumerate() {
+        let map = Arc::clone(&self.steering.read());
+        for (shard, slice) in partition(pkts, &map).into_iter().enumerate() {
             if !slice.is_empty() {
                 let _ = self.pool.submit(shard, slice);
             }
@@ -103,6 +126,7 @@ impl fmt::Debug for ShardedClick {
 pub struct ShardedMonolithic {
     pool: WorkerPool<Vec<Packet>>,
     replicas: Vec<Arc<MonolithicForwarder>>,
+    steering: RwLock<Arc<BucketMap>>,
 }
 
 impl ShardedMonolithic {
@@ -126,13 +150,30 @@ impl ShardedMonolithic {
                 }
             })
         });
-        Self { pool, replicas }
+        let workers = pool.workers();
+        Self {
+            pool,
+            replicas,
+            steering: RwLock::new(Arc::new(BucketMap::identity(workers))),
+        }
     }
 
-    /// RSS-partitions a burst and enqueues each non-empty slice on its
-    /// worker.
+    /// Installs a bucket → shard steering table (identity by default);
+    /// see [`ShardedClick::set_bucket_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` targets a different worker count.
+    pub fn set_bucket_map(&self, map: BucketMap) {
+        assert_eq!(map.shards(), self.pool.workers(), "shard count mismatch");
+        *self.steering.write() = Arc::new(map);
+    }
+
+    /// RSS-partitions a burst through the installed table and enqueues
+    /// each non-empty slice on its worker.
     pub fn forward_batch(&self, pkts: Vec<Packet>) {
-        for (shard, slice) in partition(pkts, self.pool.workers()).into_iter().enumerate() {
+        let map = Arc::clone(&self.steering.read());
+        for (shard, slice) in partition(pkts, &map).into_iter().enumerate() {
             if !slice.is_empty() {
                 let _ = self.pool.submit(shard, slice);
             }
@@ -197,6 +238,23 @@ mod tests {
         assert_eq!(click.count("c0"), Some(64));
         assert_eq!(click.count("sink"), Some(64));
         assert_eq!(click.count("nope"), None);
+        click.shutdown();
+    }
+
+    #[test]
+    fn sharded_click_follows_an_installed_table() {
+        use netkit_packet::flow::FlowKey;
+        let cfg = "c0 :: Counter;\nsink :: Discard;\nc0 -> sink;\n";
+        let click = ShardedClick::compile(cfg, "c0", ShardSpec::new(4)).unwrap();
+        let pkts = burst(32);
+        let mut map = BucketMap::identity(4);
+        for p in &pkts {
+            map.set(FlowKey::from_packet(p).unwrap().bucket(), 1);
+        }
+        click.set_bucket_map(map);
+        click.push_batch(pkts);
+        click.flush();
+        assert_eq!(click.count("sink"), Some(32));
         click.shutdown();
     }
 

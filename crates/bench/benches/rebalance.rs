@@ -1,0 +1,212 @@
+//! **E10 — elephant-flow skew and reflective rebalancing** (ROADMAP
+//! "work stealing / rebalancing for skewed flow distributions").
+//!
+//! Workload per iteration: 64 batches × 32 packets (2048 packets),
+//! RSS-stamped so that **one elephant flow carries 50% of the
+//! packets** and the remaining 50% (six mouse flows) hash to buckets
+//! congruent to the elephant's shard — under the static identity
+//! table, every packet lands on shard 0 while its siblings idle, the
+//! exact pathology the `rebalance` subsystem exists to correct.
+//!
+//! Series (each at 2/4/8 workers):
+//!
+//! * `elephant_static` — the skewed load through the identity table;
+//! * `elephant_rebalanced` — the same load after one profiling window
+//!   and a `RebalancePolicy` migration (mice spread, elephant pinned);
+//! * `elephant_uniform` — the same offered load with uniform stamps:
+//!   the no-skew floor rebalancing aims back towards;
+//! * `rebalance_install` — the control-plane cost of one
+//!   `install_bucket_map` epoch (quiesce + table swap), i.e. what a
+//!   migration pauses the pipeline for.
+//!
+//! **Host caveat (single-CPU container): the static/rebalanced gap in
+//! wall-clock only appears on a multi-core host**, where throughput is
+//! bottleneck-shard service time. On one CPU the worker threads
+//! serialise and every placement costs the same total work; see
+//! `crates/bench/NOTES.md` for the measured decomposition and the
+//! makespan model (also asserted structurally by
+//! `tests/rebalance_elephant.rs`: rebalancing drops the
+//! most-loaded-shard share from 100% to ≤ 62.5% of packets).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use netkit_bench::{netkit_sharded_chain, test_packet};
+use netkit_kernel::shard::ShardSpec;
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::packet::Packet;
+use netkit_router::shard::{RebalancePolicy, ShardedPipeline};
+
+const BATCH: usize = 32;
+const CHAIN: usize = 12;
+const BATCHES_PER_ITER: usize = 64;
+
+/// The skewed offered load: per 32-packet batch, 16 packets of the
+/// elephant (bucket 0) and 16 spread over six mouse buckets, all
+/// congruent to shard 0 under the identity table at `workers` shards.
+fn skewed_bursts(workers: usize) -> Vec<Vec<Packet>> {
+    let mice: Vec<u64> = (1..=6).map(|k| (k * workers) as u64).collect();
+    (0..BATCHES_PER_ITER)
+        .map(|_| {
+            (0..BATCH)
+                .map(|i| {
+                    let mut p = test_packet();
+                    p.meta.rss_hash = Some(if i % 2 == 0 {
+                        0 // the elephant's bucket: 50% of all packets
+                    } else {
+                        mice[(i / 2) % mice.len()]
+                    });
+                    p
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The same offered load with uniform stamps — the no-skew floor.
+fn uniform_bursts() -> Vec<Vec<Packet>> {
+    (0..BATCHES_PER_ITER as u64)
+        .map(|b| {
+            (0..BATCH)
+                .map(|i| {
+                    let mut p = test_packet();
+                    p.meta.rss_hash = Some(b * BATCH as u64 + i as u64);
+                    p
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn drive(pipe: &ShardedPipeline, bursts: &[Vec<Packet>]) {
+    for pkts in bursts {
+        pipe.dispatch(PacketBatch::from_packets(pkts.clone()));
+    }
+    pipe.flush();
+}
+
+fn bench_elephant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_elephant_rebalance");
+    group.throughput(Throughput::Elements((BATCH * BATCHES_PER_ITER) as u64));
+
+    for workers in [2usize, 4, 8] {
+        let spec = ShardSpec::new(workers);
+        let skewed = skewed_bursts(workers);
+        let uniform = uniform_bursts();
+        let clone_bursts = |bursts: &[Vec<Packet>]| -> Vec<PacketBatch> {
+            bursts
+                .iter()
+                .map(|pkts| PacketBatch::from_packets(pkts.clone()))
+                .collect()
+        };
+
+        // Static identity steering: everything funnels to shard 0.
+        let (pipe, _sinks) = netkit_sharded_chain(CHAIN, spec).expect("rig");
+        group.bench_with_input(
+            BenchmarkId::new("elephant_static", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || clone_bursts(&skewed),
+                    |batches| {
+                        for batch in batches {
+                            pipe.dispatch(batch);
+                        }
+                        pipe.flush();
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        assert_eq!(
+            pipe.shard_loads().iter().filter(|l| l.packets > 0).count(),
+            1,
+            "static skew must pin one shard"
+        );
+        pipe.shutdown();
+
+        // Rebalanced: one profiling window, one migration, then the
+        // measured steady state runs the planned table.
+        let (pipe, _sinks) = netkit_sharded_chain(CHAIN, spec).expect("rig");
+        drive(&pipe, &skewed); // profiling window
+        let outcome = pipe.rebalance(&RebalancePolicy::default(), &[]);
+        if workers > 1 {
+            let (plan, _) = outcome.expect("full colocation must trigger");
+            assert!(plan.imbalance_after < plan.imbalance_before);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("elephant_rebalanced", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || clone_bursts(&skewed),
+                    |batches| {
+                        for batch in batches {
+                            pipe.dispatch(batch);
+                        }
+                        pipe.flush();
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        assert!(
+            pipe.shard_loads().iter().filter(|l| l.packets > 0).count() > 1,
+            "rebalanced load must spread"
+        );
+        pipe.shutdown();
+
+        // Uniform floor: what no-skew costs on this host.
+        let (pipe, _sinks) = netkit_sharded_chain(CHAIN, spec).expect("rig");
+        group.bench_with_input(
+            BenchmarkId::new("elephant_uniform", workers),
+            &workers,
+            |b, _| {
+                b.iter_batched(
+                    || clone_bursts(&uniform),
+                    |batches| {
+                        for batch in batches {
+                            pipe.dispatch(batch);
+                        }
+                        pipe.flush();
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        pipe.shutdown();
+
+        // Control-plane cost of one migration epoch: quiesce all
+        // workers, swap the table, release. Alternates between two
+        // tables so every install really moves buckets.
+        let (pipe, _sinks) = netkit_sharded_chain(CHAIN, spec).expect("rig");
+        let identity = pipe.bucket_map();
+        let mut shifted = identity.clone();
+        if workers > 1 {
+            for bucket in 0..netkit_packet::steer::RSS_BUCKETS {
+                shifted.set(bucket, (identity.shard_of_bucket(bucket) + 1) % workers);
+            }
+        }
+        let mut flip = false;
+        group.bench_with_input(
+            BenchmarkId::new("rebalance_install", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    flip = !flip;
+                    let map = if flip {
+                        shifted.clone()
+                    } else {
+                        identity.clone()
+                    };
+                    criterion::black_box(pipe.install_bucket_map(map, &[]));
+                })
+            },
+        );
+        pipe.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_elephant);
+criterion_main!(benches);

@@ -37,6 +37,70 @@
 //! the epoch is released. The window where forwarding pauses is exactly
 //! the closure's run time plus one barrier round — the multi-core
 //! generalisation of the paper's "brief interruption" during hot swap.
+//!
+//! ## Quiesce semantics, precisely
+//!
+//! What [`WorkerPool::quiesce`] guarantees (and what it does not):
+//!
+//! 1. **Happens-before, per ring.** Every item submitted to a ring
+//!    *before* the quiescer enqueued that ring's sync marker runs to
+//!    completion before the closure starts. Items submitted *after*
+//!    the marker (including from inside the closure) run only after
+//!    the epoch is released, in submission order.
+//! 2. **Exclusivity.** While the closure runs, every live worker is
+//!    parked at a batch boundary; no handler code executes anywhere
+//!    in the pool. Multi-step shared-state updates inside the closure
+//!    are indivisible from the dataplane's point of view.
+//! 3. **No loss.** Nothing in the rings is discarded; the barrier
+//!    reorders nothing within any ring (rings are FIFO throughout).
+//! 4. **Liveness under faults.** Dead workers (handler panics) are
+//!    accounted at the gate; a quiesce never wedges waiting for one,
+//!    and `flush` is gated only by *live* shards' in-flight items.
+//! 5. **What is NOT guaranteed:** ordering *between* rings. If a
+//!    caller moves a traffic class from ring A to ring B (a steering
+//!    migration), the caller must ensure A's items drained before B's
+//!    start — which is exactly what running the re-steer inside the
+//!    closure provides. The sharded router's
+//!    `ShardedPipeline::install_bucket_map` composes this with a
+//!    steering-table write lock to make bucket migrations loss-free
+//!    and per-flow order-preserving; the bucket table itself is owned
+//!    by the pipeline (this pool is payload-agnostic and holds no
+//!    steering state — only per-shard load meters:
+//!    [`WorkerPool::completed`], [`WorkerPool::in_flight_on`],
+//!    [`WorkerPool::ring_high_water`]).
+//!
+//! The barrier-and-meters contract, runnable:
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//! use netkit_kernel::shard::{ShardSpec, WorkerPool};
+//!
+//! let sum = Arc::new(AtomicU64::new(0));
+//! let pool = WorkerPool::start(ShardSpec::new(2), |_shard| {
+//!     let sum = Arc::clone(&sum);
+//!     Box::new(move |n: u64| {
+//!         sum.fetch_add(n, Ordering::Relaxed);
+//!     })
+//! });
+//! pool.submit(0, 1).unwrap();
+//! pool.submit(1, 2).unwrap();
+//! // Guarantee 1: pre-marker work is complete when the closure runs;
+//! // work submitted inside it flows only after release.
+//! let seen_at_quiesce = pool.quiesce(|| {
+//!     pool.submit(0, 10).unwrap();
+//!     sum.load(Ordering::Relaxed)
+//! });
+//! assert_eq!(seen_at_quiesce, 3);
+//! pool.flush();
+//! assert_eq!(sum.load(Ordering::Relaxed), 13); // guarantee 3: no loss
+//! assert_eq!(pool.epoch(), 1);
+//! // Load meters: per-shard completions and ring pressure.
+//! assert_eq!(pool.completed(0), Some(2));
+//! assert_eq!(pool.in_flight_on(0), Some(0));
+//! assert!(pool.ring_high_water(0).unwrap() >= 1);
+//! pool.shutdown();
+//! ```
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,6 +176,11 @@ struct GateState {
     /// Tracked per shard so a dead worker's stranded items cannot wedge
     /// `flush` — only *live* shards' counts gate it.
     in_flight: Vec<usize>,
+    /// Per-shard high-water mark of `in_flight` — the ring-occupancy
+    /// meter the rebalancer reads to spot a backed-up shard. Reset via
+    /// [`WorkerPool::reset_ring_high_water`] to start a new observation
+    /// window.
+    ring_hwm: Vec<usize>,
 }
 
 struct Gate {
@@ -133,6 +202,7 @@ impl Gate {
                 parked: 0,
                 dead: vec![false; workers],
                 in_flight: vec![0; workers],
+                ring_hwm: vec![0; workers],
             }),
             resume: Condvar::new(),
             arrived: Condvar::new(),
@@ -145,7 +215,11 @@ impl Gate {
     }
 
     fn submit_one(&self, shard: usize) {
-        self.lock().in_flight[shard] += 1;
+        let mut st = self.lock();
+        st.in_flight[shard] += 1;
+        if st.in_flight[shard] > st.ring_hwm[shard] {
+            st.ring_hwm[shard] = st.in_flight[shard];
+        }
     }
 
     fn retire_one(&self, shard: usize) {
@@ -452,6 +526,30 @@ impl<T: Send + 'static> WorkerPool<T> {
         self.gate.lock().live_in_flight()
     }
 
+    /// Work items submitted to `shard` but not yet completed, if it
+    /// exists.
+    pub fn in_flight_on(&self, shard: usize) -> Option<usize> {
+        self.gate.lock().in_flight.get(shard).copied()
+    }
+
+    /// High-water mark of `shard`'s ring occupancy since the pool
+    /// started (or since the last [`Self::reset_ring_high_water`]) —
+    /// the load meter that distinguishes a backed-up shard from a busy
+    /// one: a shard whose high-water mark rides its ring capacity is
+    /// receiving work faster than it retires it.
+    pub fn ring_high_water(&self, shard: usize) -> Option<usize> {
+        self.gate.lock().ring_hwm.get(shard).copied()
+    }
+
+    /// Resets every shard's ring-occupancy high-water mark to its
+    /// current occupancy, starting a fresh observation window.
+    pub fn reset_ring_high_water(&self) {
+        let mut st = self.gate.lock();
+        for shard in 0..st.ring_hwm.len() {
+            st.ring_hwm[shard] = st.in_flight[shard];
+        }
+    }
+
     /// Drains outstanding work, stops every worker, and joins the
     /// threads.
     pub fn shutdown(mut self) {
@@ -648,6 +746,43 @@ mod tests {
         // Quiesce still completes: the dead worker is accounted for.
         pool.quiesce(|| {});
         assert_eq!(pool.completed(1), Some(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ring_high_water_tracks_occupancy_windows() {
+        // A handler that blocks until released, so submissions pile up.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let spec = ShardSpec::new(2).with_ring_capacity(8);
+        let pool = WorkerPool::start(spec, |_| {
+            let gate = Arc::clone(&gate);
+            Box::new(move |_: u8| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+        });
+        for _ in 0..4 {
+            pool.submit(0, 0).unwrap();
+        }
+        assert_eq!(pool.ring_high_water(0), Some(4));
+        assert_eq!(pool.ring_high_water(1), Some(0), "idle shard stays flat");
+        assert_eq!(pool.ring_high_water(9), None);
+        assert_eq!(pool.in_flight_on(0), Some(4));
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.flush();
+        // New window: the mark restarts from current occupancy (0).
+        pool.reset_ring_high_water();
+        assert_eq!(pool.ring_high_water(0), Some(0));
+        pool.submit(1, 0).unwrap();
+        pool.flush();
+        assert_eq!(pool.ring_high_water(1), Some(1));
         pool.shutdown();
     }
 

@@ -34,6 +34,10 @@ pub mod classes {
     /// per-worker counters up into, so a pipeline replicated across N
     /// shards still reads as **one** logical task to reflection.
     pub const PACKETS: &str = "packets";
+    /// Shard-rebalance epochs applied — each bucket-table migration a
+    /// reflective load balancer installs counts one, so introspection
+    /// can see how often a dataplane's placement is being rewritten.
+    pub const REBALANCES: &str = "rebalances";
 }
 
 /// A pool for one resource class.

@@ -185,6 +185,18 @@ impl PacketBatch {
         std::mem::take(&mut self.packets)
     }
 
+    /// Removes and yields every packet in batch order (labels
+    /// discarded), **keeping the backing storage** — unlike
+    /// `into_iter`/[`Self::into_packets`], a pool-homed container
+    /// drained this way still recycles whole with its capacity. This
+    /// is what terminal consumers that unpack packets (e.g. the
+    /// device adapter's tx burst) use on the zero-allocation path.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = Packet> + '_ {
+        self.labels.clear();
+        self.table.clear();
+        self.packets.drain(..)
+    }
+
     /// Removes all packets and labels, keeping allocations for reuse.
     pub fn clear(&mut self) {
         self.packets.clear();
@@ -239,11 +251,31 @@ impl PacketBatch {
     /// hatches when a caller truly needs `PacketBatch`es to move
     /// across threads).
     ///
-    /// Un-stamped packets are RSS-stamped as a side effect (one header
-    /// parse, once per packet lifetime). `shards == 0` is treated as
-    /// `1`.
-    pub fn shard_split(mut self, shards: usize) -> ShardSplit {
+    /// Steering uses the **identity** bucket table
+    /// (`bucket % shards`, see [`crate::flow::shard_of`]); a rebalanced
+    /// dispatcher passes its installed table to
+    /// [`Self::shard_split_with`] instead. Un-stamped packets are
+    /// RSS-stamped as a side effect (one header parse, once per packet
+    /// lifetime). `shards == 0` is treated as `1`.
+    pub fn shard_split(self, shards: usize) -> ShardSplit {
         let shards = shards.max(1);
+        self.shard_split_by(shards, |pkt| crate::flow::shard_of(pkt, shards))
+    }
+
+    /// Like [`Self::shard_split`], but steers by an explicit
+    /// bucket → shard indirection table — the table-driven path the
+    /// reflective rebalancer installs
+    /// (`netkit_router::shard::ShardedPipeline` dispatches through
+    /// this). With `BucketMap::identity(n)` the result is identical to
+    /// `shard_split(n)`.
+    pub fn shard_split_with(self, map: &crate::steer::BucketMap) -> ShardSplit {
+        self.shard_split_by(map.shards(), |pkt| map.shard_of_packet(pkt))
+    }
+
+    /// The shared counting-sort core behind both split flavours.
+    /// `shard_fn` must return values `< shards` (both callers do by
+    /// construction).
+    fn shard_split_by(mut self, shards: usize, shard_fn: impl Fn(&Packet) -> usize) -> ShardSplit {
         let n = self.packets.len();
         if shards == 1 {
             // Degenerate split: identity permutation, one shard.
@@ -257,7 +289,7 @@ impl PacketBatch {
         let mut shard_of_pkt: Vec<u32> = Vec::with_capacity(n);
         let mut counts = vec![0u32; shards];
         for pkt in &self.packets {
-            let s = crate::flow::shard_of(pkt, shards) as u32;
+            let s = shard_fn(pkt) as u32;
             shard_of_pkt.push(s);
             counts[s as usize] += 1;
         }
@@ -942,6 +974,48 @@ mod tests {
     }
 
     #[test]
+    fn shard_split_with_identity_matches_plain_split() {
+        use crate::steer::BucketMap;
+        let build = || -> PacketBatch {
+            let mut b = PacketBatch::new();
+            for p in 1u16..=16 {
+                b.push(pkt(p));
+            }
+            let l = b.intern("x");
+            b.set_label(5, l);
+            b
+        };
+        let via_map = build().shard_split_with(&BucketMap::identity(4));
+        let plain = build().shard_split(4);
+        for (a, b) in via_map.views().zip(plain.views()) {
+            assert_eq!(a.indices(), b.indices());
+        }
+    }
+
+    #[test]
+    fn shard_split_with_honours_moved_buckets() {
+        use crate::flow::FlowKey;
+        use crate::steer::BucketMap;
+        let mut b = PacketBatch::new();
+        for p in 1u16..=16 {
+            b.push(pkt(p));
+        }
+        // Migrate every bucket the batch's flows occupy onto shard 3.
+        let mut map = BucketMap::identity(4);
+        for p in b.iter() {
+            map.set(FlowKey::from_packet(p).unwrap().bucket(), 3);
+        }
+        let split = b.shard_split_with(&map);
+        assert_eq!(split.shard(3).len(), 16, "all flows follow their bucket");
+        for s in 0..3 {
+            assert!(split.shard(s).is_empty());
+        }
+        // Order within the shard matches input order.
+        let idx: Vec<u32> = split.shard(3).indices().to_vec();
+        assert_eq!(idx, (0..16u32).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn shard_split_stamps_rss_once() {
         use crate::flow::FlowKey;
         let mut b = PacketBatch::new();
@@ -1051,6 +1125,26 @@ mod tests {
         let batch = pool.take();
         drop(pool);
         drop(batch); // pool inner already gone; drop must not panic
+    }
+
+    #[test]
+    fn drain_all_preserves_order_and_the_container() {
+        let pool = BatchPool::new(8, 0, 4);
+        let mut batch = pool.take();
+        for p in [1u16, 2, 3] {
+            batch.push(pkt(p));
+        }
+        let l = batch.intern("x");
+        batch.set_label(0, l);
+        let ports: Vec<u16> = batch
+            .drain_all()
+            .map(|p| p.udp_v4().unwrap().src_port)
+            .collect();
+        assert_eq!(ports, [1, 2, 3]);
+        assert!(batch.is_empty());
+        drop(batch);
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.discarded), (1, 0), "container kept whole");
     }
 
     #[test]

@@ -26,13 +26,22 @@ use crate::packet::Packet;
 #[deprecated(note = "use PacketMeta::rss_hash directly")]
 pub const RSS_ANNOTATION: &str = "rss";
 
-/// The shard a packet steers to under `shards` receive queues: the
-/// driver-stamped [`PacketMeta::rss_hash`](crate::packet::PacketMeta::rss_hash)
-/// when present, else the parsed flow's [`FlowKey::rss_hash`] (computed
-/// and **stamped back is the caller's job** — use [`stamp_rss`] at
-/// materialisation time so this function never re-parses). Packets with
-/// no flow identity (ARP, malformed frames) deterministically land on
-/// shard 0.
+/// The shard a packet steers to under `shards` receive queues with the
+/// **identity** bucket table: the driver-stamped
+/// [`PacketMeta::rss_hash`](crate::packet::PacketMeta::rss_hash) when
+/// present, else the parsed flow's [`FlowKey::rss_hash`] (computed and
+/// **stamped back is the caller's job** — use [`stamp_rss`] at
+/// materialisation time so this function never re-parses), reduced to a
+/// bucket ([`crate::steer::bucket_of`]) and then to `bucket % shards`.
+/// Packets with no flow identity (ARP, malformed frames)
+/// deterministically land on bucket 0, hence shard 0 here.
+///
+/// Table-driven steering (the rebalancer's non-identity maps) goes
+/// through [`crate::steer::BucketMap::shard_of_packet`]; this function
+/// is exactly that lookup for `BucketMap::identity(shards)`, and
+/// because every power-of-two shard count divides
+/// [`crate::steer::RSS_BUCKETS`], it agrees bit-for-bit with the
+/// historical `hash % shards` rule for those counts.
 ///
 /// Shard-count edge case: `shards == 0` and `shards == 1` are
 /// equivalent — both mean "no spreading", every packet lands on shard 0
@@ -47,7 +56,7 @@ pub fn shard_of(pkt: &Packet, shards: usize) -> usize {
         .rss_hash
         .or_else(|| FlowKey::from_packet(pkt).map(|k| k.rss_hash()));
     match hash {
-        Some(h) => (h % shards as u64) as usize,
+        Some(h) => crate::steer::bucket_of(h) % shards,
         None => 0,
     }
 }
@@ -178,16 +187,27 @@ impl FlowKey {
         h ^ (h >> 33)
     }
 
+    /// The RSS bucket this flow hashes to (see
+    /// [`crate::steer::bucket_of`]) — the granularity at which the
+    /// rebalancer migrates load: moving a bucket moves every flow in
+    /// it, and never splits a flow.
+    pub fn bucket(&self) -> usize {
+        crate::steer::bucket_of(self.rss_hash())
+    }
+
     /// The shard (worker receive queue) this flow maps to under
-    /// `shards` shards: `rss_hash() % shards`. Stable for a fixed shard
-    /// count — every packet of a flow lands on the same worker, which
-    /// is what preserves intra-flow ordering across the parallel
-    /// dataplane.
+    /// `shards` shards and the identity bucket table:
+    /// `bucket() % shards`. Stable for a fixed shard count — every
+    /// packet of a flow lands on the same worker, which is what
+    /// preserves intra-flow ordering across the parallel dataplane.
+    /// (A rebalanced dataplane steers by
+    /// [`crate::steer::BucketMap`] instead; the flow → bucket half of
+    /// the mapping is shared.)
     pub fn shard_for(&self, shards: usize) -> usize {
         if shards <= 1 {
             0
         } else {
-            (self.rss_hash() % shards as u64) as usize
+            self.bucket() % shards
         }
     }
 }

@@ -14,6 +14,10 @@
 //! * [`pool`] — the buffer-management CF engine (fixed-slab pools with
 //!   recycling and resources-meta-model accounting).
 //! * [`flow`] — 5-tuple flow keys and bounded soft-state flow tables.
+//! * [`steer`] — the bucketized RSS steering layer: the 256-entry
+//!   bucket → shard indirection table ([`steer::BucketMap`]) every
+//!   steering surface shares, and the per-bucket load meters
+//!   ([`steer::BucketLoad`]) that feed the reflective rebalancer.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +29,7 @@ pub mod flow;
 pub mod headers;
 pub mod packet;
 pub mod pool;
+pub mod steer;
 
 pub use batch::{LabelGroup, PacketBatch};
 pub use error::{ParseError, ParseResult};

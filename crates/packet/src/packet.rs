@@ -204,6 +204,26 @@ impl Packet {
         }
     }
 
+    /// Consumes the packet, returning its pool-leased slab **with the
+    /// lease intact** when the storage came from a
+    /// [`crate::pool::BufferPool`] (the zero-copy tx hand-off: the slab
+    /// keeps recycling when the consumer drops it). Heap-backed packets
+    /// are given back unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet itself when its storage is a plain heap
+    /// buffer.
+    pub fn try_into_pooled(self) -> Result<PooledBuf, Packet> {
+        match self.data {
+            PacketBuf::Pooled(b) => Ok(b),
+            data @ PacketBuf::Heap(_) => Err(Packet {
+                data,
+                meta: self.meta,
+            }),
+        }
+    }
+
     // ---- typed views ------------------------------------------------------
 
     /// Parses the Ethernet header.

@@ -240,4 +240,83 @@ proptest! {
             prop_assert_eq!(got_seq, expect_seq, "flow order preserved");
         }
     }
+
+    /// Table-driven steering: for ANY bucket → shard table, the split
+    /// follows the table exactly, loses/duplicates nothing, and keeps
+    /// per-flow order — and the identity table reproduces the static
+    /// split bit-for-bit.
+    #[test]
+    fn table_split_follows_any_map_without_loss(
+        flows in proptest::collection::vec(flow_strategy(), 1..12),
+        picks in proptest::collection::vec(0usize..12, 0..96),
+        shards in 2usize..=6,
+        assignments in proptest::collection::vec(0usize..6, 12),
+    ) {
+        use netkit_packet::steer::BucketMap;
+
+        // A random table: each flow's bucket re-homed by the seed
+        // (other buckets keep identity).
+        let mut map = BucketMap::identity(shards);
+        for (i, spec) in flows.iter().enumerate() {
+            let key = FlowKey::from_packet(&build(spec, 0)).unwrap();
+            map.set(key.bucket(), assignments[i] % shards);
+        }
+
+        let mut batch = PacketBatch::new();
+        let mut ident = PacketBatch::new();
+        let mut input: Vec<(FlowKey, Vec<u8>)> = Vec::new();
+        for (i, flow_idx) in picks.iter().enumerate() {
+            let spec = &flows[flow_idx % flows.len()];
+            let pkt = build(spec, i as u16);
+            input.push((FlowKey::from_packet(&pkt).unwrap(), pkt.data().to_vec()));
+            ident.push(build(spec, i as u16));
+            batch.push(pkt);
+        }
+
+        let parts = batch.shard_split_with(&map).into_shard_batches();
+        prop_assert_eq!(parts.len(), shards);
+
+        // Multiset equality.
+        let mut got: Vec<Vec<u8>> = parts
+            .iter()
+            .flat_map(|p| p.iter().map(|pkt| pkt.data().to_vec()))
+            .collect();
+        let mut expect: Vec<Vec<u8>> = input.iter().map(|(_, d)| d.clone()).collect();
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect, "no packet lost or duplicated");
+
+        // Placement follows the table; per-flow order survives.
+        for (shard, part) in parts.iter().enumerate() {
+            for pkt in part.iter() {
+                let key = FlowKey::from_packet(pkt).unwrap();
+                prop_assert_eq!(map.shard_of_bucket(key.bucket()), shard);
+            }
+        }
+        for spec in &flows {
+            let key = FlowKey::from_packet(&build(spec, 0)).unwrap();
+            let expect_seq: Vec<Vec<u8>> = input
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .map(|(_, d)| d.clone())
+                .collect();
+            let got_seq: Vec<Vec<u8>> = parts[map.shard_of_bucket(key.bucket())]
+                .iter()
+                .filter(|p| FlowKey::from_packet(p).unwrap() == key)
+                .map(|p| p.data().to_vec())
+                .collect();
+            prop_assert_eq!(got_seq, expect_seq, "flow order preserved under the table");
+        }
+
+        // Identity table ≡ static split.
+        let via_identity = ident.shard_split_with(&BucketMap::identity(shards));
+        let mut statics = PacketBatch::new();
+        for (i, flow_idx) in picks.iter().enumerate() {
+            statics.push(build(&flows[flow_idx % flows.len()], i as u16));
+        }
+        let plain = statics.shard_split(shards);
+        for (a, b) in via_identity.views().zip(plain.views()) {
+            prop_assert_eq!(a.indices(), b.indices(), "identity table ≡ hash % n");
+        }
+    }
 }

@@ -47,15 +47,15 @@
 //! each against its own replica of the element graph. The contract
 //! refines as follows:
 //!
-//! * **Ordering becomes per-flow.** RSS steering pins every flow to
-//!   one worker, so on any single output the sequence *within each
-//!   flow* is exactly the scalar sequence; ordering **between** flows
-//!   that landed on different workers is unspecified. Aggregate
-//!   counters and per-output multisets remain identical to the
-//!   single-threaded pipeline (enforced by `tests/sharded_equiv.rs`
-//!   for N = 1..4, with 0 shards ≡ 1 shard at every layer).
+//! * **Ordering becomes per-flow.** Steering pins every flow to one
+//!   worker, so on any single output the sequence *within each flow*
+//!   is exactly the scalar sequence; ordering **between** flows that
+//!   landed on different workers is unspecified. Aggregate counters
+//!   and per-output multisets remain identical to the single-threaded
+//!   pipeline (enforced by `tests/sharded_equiv.rs` for N = 1..4,
+//!   with 0 shards ≡ 1 shard at every layer).
 //! * **Steering is index-based and parse-free.** The dispatcher runs
-//!   `PacketBatch::shard_split` — one counting-sort pass over
+//!   `PacketBatch::shard_split_with` — one counting-sort pass over
 //!   driver-stamped `PacketMeta::rss_hash` values (written once at NIC
 //!   rx or batch construction, never re-parsed) producing borrowing
 //!   per-shard *views*; packets move only at the ring hand-off, into
@@ -65,10 +65,11 @@
 //! * **Batches arrive pool-homed.** A batch a worker receives may
 //!   lease its container (and its packets' frame buffers) from the
 //!   pipeline's `BatchPool`/`BufferPool`; terminal elements should
-//!   drop batches whole (or `pop` what they keep, as `Discard` does)
-//!   so the storage recycles. The consuming methods (`into_packets`,
-//!   `into_label_groups`) detach moved storage from its pool —
-//!   correct, but off the zero-allocation path.
+//!   drop batches whole, `pop` what they keep (as `Discard` does), or
+//!   drain in place (`PacketBatch::drain_all`, as the tx device
+//!   adapter does) so the storage recycles. The consuming methods
+//!   (`into_packets`, `into_label_groups`) detach moved storage from
+//!   its pool — correct, but off the zero-allocation path.
 //! * **Implementations need no extra locking.** A replica is only ever
 //!   driven by its own worker; `Send + Sync` plus the existing interior
 //!   mutability suffices. Do not share an element instance between
@@ -78,6 +79,97 @@
 //!   which parks every worker at a batch boundary: no `push_batch` is
 //!   ever mid-flight anywhere while the graphs change, and traffic
 //!   submitted meanwhile queues rather than drops.
+//!
+//! ## The steering contract, precisely
+//!
+//! Steering is governed by a 256-entry bucket → shard indirection
+//! table (`netkit_packet::steer::BucketMap`): a packet's stamped RSS
+//! hash reduces to a bucket, the table names the shard. The rules:
+//!
+//! * **Ownership.** The [`crate::shard::ShardedPipeline`] owns the
+//!   authoritative table. NIC indirection tables and sim demux tables
+//!   are *mirrors*, installed by
+//!   [`crate::shard::ShardedPipeline::install_bucket_map`] inside the
+//!   same quiesce epoch as the pipeline's own swap; elements never
+//!   consult or mutate the table directly. The identity table
+//!   reproduces classic `hash % shards` RSS steering.
+//! * **Quiesce semantics of a migration.** `install_bucket_map` runs
+//!   under the write half of the steering lock (every `dispatch` /
+//!   `submit` / `pump_nic` holds the read half across its ring
+//!   hand-off, so no steering decision interleaves with a swap) and
+//!   inside one `WorkerPool::quiesce` epoch: all previously enqueued
+//!   batches run to completion first; frames still parked in NIC rx
+//!   queues are drained FIFO and re-steered by the *new* table onto
+//!   their rings; then the table swaps. Wire-side injection must be
+//!   quiescent across the swap (a simulated NIC cannot apply it
+//!   atomically against racing injectors the way silicon does).
+//! * **Per-flow ordering across a migration.** A flow maps to exactly
+//!   one bucket, and a bucket to exactly one shard per epoch, so a
+//!   migrated flow's packets partition into "before" (old shard,
+//!   fully processed before the barrier) and "after" (new shard,
+//!   processed after release) — the delivered per-flow sequence is
+//!   identical to the unmigrated one. Nothing is lost or duplicated;
+//!   *cross*-flow interleaving may change, exactly as between any two
+//!   epochs. Enforced by `tests/rebalance_elephant.rs` (differential)
+//!   and `crates/router/tests/proptest_rebalance.rs` (any remap,
+//!   mid-stream).
+//!
+//! Runnable — a mid-stream remap is invisible to per-flow delivery:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netkit_kernel::shard::ShardSpec;
+//! use netkit_packet::batch::PacketBatch;
+//! use netkit_packet::flow::FlowKey;
+//! use netkit_packet::packet::PacketBuilder;
+//! use netkit_router::api::register_packet_interfaces;
+//! use netkit_router::elements::Counter;
+//! use netkit_router::shard::{ShardGraph, ShardedPipeline};
+//! use opencom::capsule::Capsule;
+//! use opencom::meta::resources::ResourceManager;
+//! use opencom::runtime::Runtime;
+//!
+//! let rm = Arc::new(ResourceManager::new());
+//! let pipe = ShardedPipeline::build("doc-steer", ShardSpec::new(2), rm, |_| {
+//!     let rt = Runtime::new();
+//!     register_packet_interfaces(&rt);
+//!     let capsule = Capsule::new("shard", &rt);
+//!     let counter = Counter::new(); // sink mode: counts and accepts
+//!     Ok(ShardGraph::new(capsule, counter))
+//! })?;
+//!
+//! // One flow (fixed 5-tuple); the sequence rides in the payload.
+//! let mk = |seq: u16| {
+//!     PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7777, 443)
+//!         .payload(&seq.to_be_bytes())
+//!         .build()
+//! };
+//! let burst: PacketBatch = (0..8).map(mk).collect();
+//! pipe.dispatch(burst);
+//!
+//! // Migrate the flow's bucket to the OTHER shard, mid-stream: the
+//! // quiesce inside install_bucket_map drains the in-flight batch
+//! // first, so "before" packets finish before "after" packets start.
+//! let bucket = FlowKey::from_packet(&mk(0)).unwrap().bucket();
+//! let mut map = pipe.bucket_map();
+//! let (old, new) = (map.shard_of_bucket(bucket), 1 - map.shard_of_bucket(bucket));
+//! map.set(bucket, new);
+//! pipe.install_bucket_map(map, &[]);
+//!
+//! let burst: PacketBatch = (8..16).map(mk).collect();
+//! pipe.dispatch(burst);
+//! pipe.flush();
+//!
+//! // No loss, no duplication — and every post-migration packet of the
+//! // flow ran on the new shard, after every pre-migration one.
+//! let stats = pipe.stats();
+//! assert_eq!((stats.packets, stats.dropped), (16, 0));
+//! assert_eq!(pipe.shard_stats(old).packets, 8);
+//! assert_eq!(pipe.shard_stats(new).packets, 8);
+//! assert_eq!(pipe.migrations(), 1);
+//! pipe.shutdown();
+//! # Ok::<(), opencom::error::Error>(())
+//! ```
 
 use std::fmt;
 use std::net::{AddrParseError, IpAddr};

@@ -32,6 +32,23 @@
 //!   applied to each replica inside the closure is indivisible — no
 //!   packet ever sees a half-reconfigured dataplane, and traffic
 //!   submitted meanwhile queues rather than drops.
+//!
+//! ## The steering table and its ownership
+//!
+//! All steering — software dispatch here, hardware-modelled RSS in the
+//! NIC, the sim's demux — goes through one
+//! [`BucketMap`]: 256 hash buckets,
+//! each assigned to a shard. **The pipeline owns the authoritative
+//! copy**; NICs hold mirrors installed by
+//! [`ShardedPipeline::install_bucket_map`] inside the same quiesce
+//! epoch, so no packet can observe the dispatch table and the NIC
+//! table disagreeing. Per-bucket load meters
+//! ([`BucketLoad`], fed on the
+//! worker side) and per-shard ring occupancy high-water marks feed the
+//! [`rebalance`] policy, which plans a better table when one shard
+//! runs hot and installs it atomically — the reflective
+//! inspect → decide → adapt loop over the running dataplane. See the
+//! [`rebalance`] module docs for the migration ordering contract.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +57,7 @@ use std::sync::Arc;
 use netkit_kernel::nic::Nic;
 use netkit_kernel::shard::{ShardSpec, WorkerPool};
 use netkit_packet::batch::{BatchPool, PacketBatch};
+use netkit_packet::steer::{BucketLoad, BucketMap};
 use opencom::capsule::Capsule;
 use opencom::error::Result;
 use opencom::ident::{ComponentId, TaskId};
@@ -47,6 +65,10 @@ use opencom::meta::resources::{classes, ResourceManager};
 use parking_lot::RwLock;
 
 use crate::api::IPacketPush;
+
+pub mod rebalance;
+
+pub use rebalance::{MigrationReport, RebalancePlan, RebalancePolicy};
 
 /// A swappable shard entry point: workers re-read it each batch, so a
 /// quiesce closure can retarget a shard's ingress (e.g. after replacing
@@ -126,6 +148,25 @@ pub struct PipelineStats {
     pub dropped: u64,
 }
 
+/// One shard's load meters (see [`ShardedPipeline::shard_loads`]):
+/// cumulative work done plus instantaneous and high-water ring
+/// pressure. `ring_high_water` near the ring capacity while sibling
+/// shards idle is the signature of RSS skew the rebalancer corrects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Packets run to completion on this shard.
+    pub packets: u64,
+    /// Batches run to completion on this shard.
+    pub batches: u64,
+    /// Batches currently waiting on (or executing from) the ring.
+    pub in_flight: usize,
+    /// High-water mark of `in_flight` in the current observation
+    /// window (reset when a rebalance is applied).
+    pub ring_high_water: usize,
+}
+
 /// N per-worker replicas of an element graph behind one dispatch entry,
 /// one stats surface, and one resources task. See the module docs.
 ///
@@ -173,6 +214,17 @@ pub struct ShardedPipeline {
     /// sub-batches and NIC rx batches lease here and return on drop at
     /// the end of each worker's run-to-completion pass.
     batch_pool: BatchPool,
+    /// The authoritative bucket → shard table. Readers
+    /// ([`Self::dispatch`], [`Self::pump_nic`], [`Self::submit`]) hold
+    /// the read lock across their ring hand-off; a migration holds the
+    /// write lock across its whole quiesce, which is what serialises
+    /// steering against table swaps (see [`rebalance`]).
+    steering: RwLock<Arc<BucketMap>>,
+    /// Per-bucket packet meters, fed on the worker side (one relaxed
+    /// increment per packet), drained per rebalance window.
+    bucket_load: Arc<BucketLoad>,
+    /// Migration epochs applied via [`Self::install_bucket_map`].
+    migrations: AtomicU64,
     entries: Vec<SharedEntry>,
     capsules: Vec<Arc<Capsule>>,
     counters: Arc<Vec<ShardCounters>>,
@@ -218,13 +270,28 @@ impl ShardedPipeline {
         );
         let worker_entries = entries.clone();
         let worker_counters = Arc::clone(&counters);
+        let bucket_load = Arc::new(BucketLoad::new());
+        let worker_bucket_load = Arc::clone(&bucket_load);
         let mut drains = drains;
         let pool = WorkerPool::start(spec, move |shard| {
             let entry = Arc::clone(&worker_entries[shard]);
             let counters = Arc::clone(&worker_counters);
+            // A single-worker pipeline never rebalances (there is
+            // nowhere to move a bucket), and its dispatch fast path
+            // skips the split that stamps RSS hashes — metering there
+            // would re-parse headers per packet for evidence nobody
+            // can act on. Meter only when sharded.
+            let bucket_load = (spec.workers > 1).then(|| Arc::clone(&worker_bucket_load));
             let mut drain = drains[shard].take();
             Box::new(move |batch: PacketBatch| {
                 let n = batch.len() as u64;
+                // Meter per-bucket load on the worker (packets are
+                // rss-stamped by the split / NIC by now, so this is a
+                // modulo + relaxed increment each), keeping the
+                // dispatch thread lean.
+                if let Some(meter) = &bucket_load {
+                    meter.record_batch(&batch);
+                }
                 // Snapshot the entry once per batch: cheap, and the
                 // quiesce closure can retarget it between batches.
                 let target = Arc::clone(&entry.read());
@@ -248,6 +315,9 @@ impl ShardedPipeline {
                 spec.workers.saturating_mul(4),
                 spec.workers.saturating_mul(8).max(16),
             ),
+            steering: RwLock::new(Arc::new(BucketMap::identity(spec.workers))),
+            bucket_load,
+            migrations: AtomicU64::new(0),
             entries,
             capsules,
             counters,
@@ -273,21 +343,28 @@ impl ShardedPipeline {
         self.task
     }
 
-    /// RSS-dispatches a batch: steers it by flow affinity with the
-    /// index-based split ([`PacketBatch::shard_split`] — one
-    /// counting-sort pass, RSS stamps reused or written once, no label
-    /// re-interning) and enqueues each non-empty sub-batch on its
-    /// shard's ring (blocking on backpressure). Sub-batch containers
-    /// lease from the pipeline's [`BatchPool`] and recycle when the
-    /// workers finish with them. A single-worker pipeline skips the
-    /// split entirely (0 ≡ 1 shard: the batch goes to shard 0 as-is).
-    /// Returns the number of sub-batches enqueued.
+    /// RSS-dispatches a batch: steers it by flow affinity through the
+    /// installed bucket table with the index-based split
+    /// ([`PacketBatch::shard_split_with`] — one counting-sort pass,
+    /// RSS stamps reused or written once, no label re-interning) and
+    /// enqueues each non-empty sub-batch on its shard's ring (blocking
+    /// on backpressure). Sub-batch containers lease from the
+    /// pipeline's [`BatchPool`] and recycle when the workers finish
+    /// with them. A single-worker pipeline skips the split entirely
+    /// (0 ≡ 1 shard: the batch goes to shard 0 as-is). Returns the
+    /// number of sub-batches enqueued.
+    ///
+    /// The steering-table read lock is held across the ring hand-off,
+    /// so a dispatch never interleaves with a table migration — the
+    /// serialisation per-flow ordering across a rebalance relies on
+    /// (see [`rebalance`]).
     pub fn dispatch(&self, batch: PacketBatch) -> usize {
+        let map = self.steering.read();
         if self.spec.workers <= 1 {
             return usize::from(!batch.is_empty() && self.pool.submit(0, batch).is_ok());
         }
         let mut sent = 0;
-        let split = batch.shard_split(self.spec.workers);
+        let split = batch.shard_split_with(&map);
         for (shard, part) in split
             .into_shard_batches_pooled(&self.batch_pool)
             .into_iter()
@@ -323,6 +400,9 @@ impl ShardedPipeline {
     /// the shard's `dropped` statistic so the stack's zero-loss
     /// accounting stays truthful.
     pub fn pump_nic(&self, nic: &Nic, shard: usize, max: usize) -> usize {
+        // Hold the steering read lock so a pump never interleaves with
+        // a table migration (the migration itself drains these queues).
+        let _map = self.steering.read();
         let mut batch = self.batch_pool.take();
         let taken = nic.rx_burst_batch(shard, max, &mut batch);
         if taken == 0 {
@@ -340,12 +420,16 @@ impl ShardedPipeline {
     }
 
     /// Enqueues a pre-steered batch directly on `shard` (the multi-queue
-    /// NIC path, where hardware already partitioned by RSS hash).
+    /// NIC path, where hardware already partitioned by RSS hash). The
+    /// caller's steering decision must come from the same bucket table
+    /// the pipeline holds ([`Self::bucket_map`]); the read lock held
+    /// here keeps the hand-off from interleaving with a migration.
     ///
     /// # Errors
     ///
     /// Returns the batch if `shard` is out of range or its worker died.
     pub fn submit(&self, shard: usize, batch: PacketBatch) -> std::result::Result<(), PacketBatch> {
+        let _map = self.steering.read();
         self.pool.submit(shard, batch)
     }
 
@@ -367,6 +451,161 @@ impl ShardedPipeline {
     /// Completed quiesce epochs.
     pub fn epoch(&self) -> u64 {
         self.pool.epoch()
+    }
+
+    /// Snapshot of the authoritative bucket → shard steering table.
+    pub fn bucket_map(&self) -> BucketMap {
+        BucketMap::clone(&self.steering.read())
+    }
+
+    /// Migration epochs applied via [`Self::install_bucket_map`].
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket packet meters (cumulative since the
+    /// last [`Self::drain_bucket_loads`]).
+    pub fn bucket_loads(&self) -> Vec<u64> {
+        self.bucket_load.snapshot()
+    }
+
+    /// Takes the per-bucket observation window: returns the counts and
+    /// resets them, so the next rebalance decision sees only traffic
+    /// from its own window.
+    pub fn drain_bucket_loads(&self) -> Vec<u64> {
+        self.bucket_load.drain()
+    }
+
+    /// Per-shard load meters: work done plus ring pressure — the
+    /// evidence a [`RebalancePolicy`] (or a human at the reflective
+    /// console) reads to spot a hot shard.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        (0..self.spec.workers)
+            .map(|shard| ShardLoad {
+                shard,
+                packets: self.counters[shard].packets.load(Ordering::Relaxed),
+                batches: self.counters[shard].batches.load(Ordering::Relaxed),
+                in_flight: self.pool.in_flight_on(shard).unwrap_or(0),
+                ring_high_water: self.pool.ring_high_water(shard).unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Installs a new bucket → shard table atomically — the adapt arm
+    /// of the reflective rebalancing loop.
+    ///
+    /// Under the write half of the steering lock (so no `dispatch` /
+    /// `submit` / `pump_nic` overlaps) and inside one epoch quiesce
+    /// (so every previously enqueued batch has run to completion and
+    /// every worker is parked), this:
+    ///
+    /// 1. installs `map` as each `nic`'s RSS indirection table, then
+    /// 2. drains every frame still waiting in the NICs' rx queues and
+    ///    re-steers it by the new table onto its worker ring (FIFO per
+    ///    queue, so per-flow order survives — a flow sat in exactly
+    ///    one old queue and lands on exactly one new ring), then
+    /// 3. swaps the pipeline's own table.
+    ///
+    /// Traffic dispatched after this returns steers by the new table
+    /// and lands *behind* the re-steered frames; nothing is lost,
+    /// duplicated, or reordered within any flow. Wire-side injection
+    /// must be quiescent across the call (see the NIC module docs —
+    /// simulated hardware cannot apply the swap atomically against
+    /// racing injectors). Frames that cannot be re-steered because a
+    /// ring is full or a worker died are counted as dropped (the same
+    /// accounting as [`Self::pump_nic`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` targets a different shard count than the
+    /// pipeline runs — a table must never steer to a worker that does
+    /// not exist.
+    pub fn install_bucket_map(&self, map: BucketMap, nics: &[&Nic]) -> MigrationReport {
+        assert_eq!(
+            map.shards(),
+            self.spec.workers,
+            "bucket map targets {} shards, pipeline runs {}",
+            map.shards(),
+            self.spec.workers
+        );
+        let mut steering = self.steering.write();
+        let moved_buckets = map.moved_buckets(&steering).len();
+        let mut report = MigrationReport {
+            moved_buckets,
+            ..MigrationReport::default()
+        };
+        self.pool.quiesce(|| {
+            for nic in nics {
+                nic.set_indirection(map.clone());
+                for queue in 0..nic.queues() {
+                    loop {
+                        let mut batch = self.batch_pool.take();
+                        if nic.rx_burst_batch(queue, DISPATCH_BATCH_CAPACITY, &mut batch) == 0 {
+                            break; // empty container recycles on drop
+                        }
+                        let split = batch.shard_split_with(&map);
+                        for (shard, part) in split
+                            .into_shard_batches_pooled(&self.batch_pool)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            if part.is_empty() {
+                                continue;
+                            }
+                            let n = part.len();
+                            // try_submit: a blocking submit inside the
+                            // quiesce would deadlock against the parked
+                            // workers if a ring were full.
+                            match self.pool.try_submit(shard, part) {
+                                Ok(()) => report.resubmitted += n,
+                                Err(_) => {
+                                    report.dropped += n;
+                                    if let Some(c) = self.counters.get(shard) {
+                                        c.dropped.fetch_add(n as u64, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            *steering = Arc::new(map);
+        });
+        report.epoch = self.pool.epoch();
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        let _ = self.rm.consume(self.task, classes::REBALANCES, 1);
+        report
+    }
+
+    /// One turn of the reflective rebalancing loop: drain the
+    /// per-bucket observation window, ask `policy` for a plan, and —
+    /// when the skew warrants it — install the planned table via
+    /// [`Self::install_bucket_map`]. Returns the plan and migration
+    /// report when a migration was applied, `None` when the placement
+    /// was left alone (balanced, window too small, or single shard).
+    ///
+    /// Run this from the control plane (the ResourceManager side), not
+    /// from a worker: it quiesces the pipeline it is called on.
+    ///
+    /// A window still below the policy's `min_samples` is left
+    /// accumulating (not drained), so a low-rate but persistently
+    /// skewed workload eventually gathers enough evidence across
+    /// polls; once the window is large enough to support a decision —
+    /// migrate or confirmed-balanced — it is consumed.
+    pub fn rebalance(
+        &self,
+        policy: &RebalancePolicy,
+        nics: &[&Nic],
+    ) -> Option<(RebalancePlan, MigrationReport)> {
+        if self.bucket_load.total() < policy.min_samples.max(1) {
+            return None; // too little evidence: keep accumulating
+        }
+        let window = self.bucket_load.drain();
+        let current = self.bucket_map();
+        let plan = policy.plan(&window, &current)?;
+        let report = self.install_bucket_map(plan.map.clone(), nics);
+        self.pool.reset_ring_high_water();
+        Some((plan, report))
     }
 
     /// The capsule hosting `shard`'s replica.
@@ -622,6 +861,182 @@ mod tests {
         assert_eq!(r.pipe.stats().packets, 8);
         assert_eq!(r.pipe.shard_stats(0).packets, 8);
         r.pipe.shutdown();
+    }
+
+    #[test]
+    fn dispatch_steers_by_the_installed_table() {
+        use netkit_packet::flow::FlowKey;
+        let r = rig("table", 4);
+        assert!(r.pipe.bucket_map().is_identity());
+        // Move every bucket the burst occupies onto shard 2 (each
+        // (flow, seq) column of `burst` is a distinct 5-tuple, so
+        // sample the same shape the dispatch below will see).
+        let mut map = r.pipe.bucket_map();
+        for p in burst(8, 4).iter() {
+            map.set(FlowKey::from_packet(p).unwrap().bucket(), 2);
+        }
+        let report = r.pipe.install_bucket_map(map.clone(), &[]);
+        assert!(report.moved_buckets > 0);
+        assert_eq!(report.resubmitted, 0, "no NIC queues to drain");
+        assert_eq!(r.pipe.migrations(), 1);
+        assert_eq!(r.pipe.bucket_map(), map);
+
+        r.pipe.dispatch(burst(8, 4));
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(2).packets, 32, "all flows follow");
+        for shard in [0usize, 1, 3] {
+            assert_eq!(r.pipe.shard_stats(shard).packets, 0);
+        }
+        // The meters saw every packet, bucketwise.
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 32);
+        assert_eq!(r.pipe.drain_bucket_loads().iter().sum::<u64>(), 32);
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 0);
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn install_drains_and_resteers_nic_queues() {
+        use netkit_kernel::nic::{Nic, PortId};
+        use netkit_packet::flow::FlowKey;
+        use netkit_packet::packet::PacketBuilder;
+
+        let workers = 2usize;
+        let r = rig("drain", workers);
+        let nic = Nic::with_queues(PortId(0), workers, 64, 64, 1_000_000);
+        // Park 16 frames in the NIC queues under the identity table.
+        let mut keys = Vec::new();
+        for i in 0..16u16 {
+            let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000 + i, 80).build();
+            keys.push(FlowKey::from_packet(&wire).unwrap());
+            assert!(nic.inject_rx_frame(wire.data()));
+        }
+        // Migrate every occupied bucket to shard 1.
+        let mut map = r.pipe.bucket_map();
+        for k in &keys {
+            map.set(k.bucket(), 1);
+        }
+        let report = r.pipe.install_bucket_map(map.clone(), &[&nic]);
+        assert_eq!(report.resubmitted, 16, "queued frames migrated");
+        assert_eq!(report.dropped, 0);
+        assert_eq!(nic.indirection(), map, "NIC mirrors the table");
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(1).packets, 16);
+        assert_eq!(r.pipe.shard_stats(0).packets, 0);
+        // Frames injected after the swap steer straight to the new
+        // queue; pump_nic keeps its queue == shard contract.
+        let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000, 80).build();
+        assert!(nic.inject_rx_frame(wire.data()));
+        assert_eq!(r.pipe.pump_nic(&nic, 1, 64), 1);
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(1).packets, 17);
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn rebalance_spreads_a_skewed_window() {
+        use netkit_packet::steer::bucket_of;
+        let workers = 4usize;
+        let r = rig("skew", workers);
+        // An elephant column plus colocated mice: stamps chosen so all
+        // buckets land on shard 0 under the identity table.
+        let mut batch = PacketBatch::new();
+        for i in 0..64u64 {
+            let mut p =
+                netkit_packet::packet::PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 9, 9).build();
+            // Half the load on bucket 0 (the elephant), the rest on
+            // buckets 4, 8, 12 — all ≡ 0 (mod 4).
+            let bucket = match i % 8 {
+                0..=3 => 0u64,
+                4 | 5 => 4,
+                6 => 8,
+                _ => 12,
+            };
+            p.meta.rss_hash = Some(bucket);
+            batch.push(p);
+        }
+        r.pipe.dispatch(batch);
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(0).packets, 64, "skew: one hot shard");
+        let loads = r.pipe.shard_loads();
+        assert_eq!(loads[0].packets, 64);
+        assert!(loads[0].ring_high_water >= 1);
+
+        let policy = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_samples: 32,
+        };
+        let (plan, report) = r.pipe.rebalance(&policy, &[]).expect("skew triggers");
+        assert!(plan.imbalance_before > 3.0);
+        assert!(plan.imbalance_after <= 2.0, "{}", plan.imbalance_after);
+        assert_eq!(report.moved_buckets, plan.moved.len());
+        // The elephant's bucket stays put; the mice moved off shard 0.
+        assert_eq!(r.pipe.bucket_map().shard_of_bucket(bucket_of(0)), 0);
+        assert!(plan.moved.iter().all(|b| [4usize, 8, 12].contains(b)));
+
+        // Second window with the same mix is now spread over shards.
+        let mut batch = PacketBatch::new();
+        for i in 0..64u64 {
+            let mut p =
+                netkit_packet::packet::PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 9, 9).build();
+            let bucket = match i % 8 {
+                0..=3 => 0u64,
+                4 | 5 => 4,
+                6 => 8,
+                _ => 12,
+            };
+            p.meta.rss_hash = Some(bucket);
+            batch.push(p);
+        }
+        r.pipe.dispatch(batch);
+        r.pipe.flush();
+        let hot = r.pipe.shard_stats(0).packets - 64;
+        assert_eq!(hot, 32, "shard 0 now carries only the elephant");
+        let elsewhere: u64 = (1..workers).map(|s| r.pipe.shard_stats(s).packets).sum();
+        assert_eq!(elsewhere, 32, "mice ran elsewhere");
+        // A balanced window does not trigger again.
+        assert!(r.pipe.rebalance(&policy, &[]).is_none());
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn small_windows_accumulate_across_rebalance_polls() {
+        // Regression: polling rebalance() faster than min_samples
+        // worth of traffic arrives must not throw the evidence away —
+        // a low-rate but fully-skewed workload still triggers once
+        // enough has accumulated.
+        let r = rig("slow-skew", 4);
+        let policy = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_samples: 64,
+        };
+        for _ in 0..4 {
+            // 24 packets per poll, all on shard 0's buckets.
+            let mut batch = PacketBatch::new();
+            for i in 0..24u64 {
+                let mut p =
+                    netkit_packet::packet::PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 9, 9)
+                        .build();
+                p.meta.rss_hash = Some(if i % 2 == 0 { 0 } else { 4 + 4 * (i % 3) });
+                batch.push(p);
+            }
+            r.pipe.dispatch(batch);
+            r.pipe.flush();
+            if r.pipe.rebalance(&policy, &[]).is_some() {
+                break;
+            }
+        }
+        // 24 < 64 on the first two polls; by the third, 72 packets of
+        // evidence have accumulated and the skew must have triggered.
+        assert_eq!(r.pipe.migrations(), 1, "accumulated window triggered");
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket map targets")]
+    fn install_rejects_mismatched_shard_count() {
+        let r = rig("mismatch", 2);
+        r.pipe
+            .install_bucket_map(netkit_packet::steer::BucketMap::identity(4), &[]);
     }
 
     #[test]

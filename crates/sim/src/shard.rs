@@ -4,18 +4,22 @@
 //! realism for architecture experiments), so multi-queue parallelism is
 //! *modelled*, not executed: a [`ShardedBehaviour`] wraps one inner
 //! [`NodeBehaviour`] per worker of a `ShardSpec` and steers every
-//! arriving packet with the same RSS flow hash the real dataplane uses
-//! (`netkit_packet::flow::shard_of`). Shards are visited in index
-//! order, so a run is bit-for-bit deterministic while still exercising
-//! the per-queue state separation — per-shard pipelines, counters, and
-//! drops — that the threaded runtime has.
+//! arriving packet through the same bucket → shard table the real
+//! dataplane uses (`netkit_packet::steer::BucketMap`; the default is
+//! the identity table, i.e. classic RSS `shard_of` steering). Shards
+//! are visited in index order, so a run is bit-for-bit deterministic
+//! while still exercising the per-queue state separation — per-shard
+//! pipelines, counters, and drops — that the threaded runtime has.
+//! Installing a rebalanced table with [`ShardedBehaviour::set_map`]
+//! between deliveries models the threaded runtime's quiesce-boundary
+//! migration (the sim *is* always at a batch boundary between events).
 
 use std::fmt;
 
 use netkit_kernel::shard::ShardSpec;
 use netkit_packet::batch::PacketBatch;
-use netkit_packet::flow::shard_of;
 use netkit_packet::packet::Packet;
+use netkit_packet::steer::BucketMap;
 
 use crate::node::{NodeBehaviour, NodeCtx};
 
@@ -24,6 +28,7 @@ use crate::node::{NodeBehaviour, NodeCtx};
 pub struct ShardedBehaviour {
     name: String,
     shards: Vec<Box<dyn NodeBehaviour>>,
+    map: BucketMap,
 }
 
 impl ShardedBehaviour {
@@ -35,15 +40,41 @@ impl ShardedBehaviour {
         spec: ShardSpec,
         mut factory: impl FnMut(usize) -> Box<dyn NodeBehaviour>,
     ) -> Self {
+        let workers = spec.workers.max(1);
         Self {
             name: name.into(),
-            shards: (0..spec.workers.max(1)).map(&mut factory).collect(),
+            shards: (0..workers).map(&mut factory).collect(),
+            map: BucketMap::identity(workers),
         }
     }
 
     /// Number of shards.
     pub fn workers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The installed bucket → shard steering table.
+    pub fn map(&self) -> &BucketMap {
+        &self.map
+    }
+
+    /// Installs a new steering table — the sim-side analogue of the
+    /// threaded pipeline's `install_bucket_map` (no quiesce needed: the
+    /// single-threaded driver is always between batches here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` targets a different shard count than this
+    /// behaviour wraps.
+    pub fn set_map(&mut self, map: BucketMap) {
+        assert_eq!(
+            map.shards(),
+            self.shards.len(),
+            "bucket map targets {} shards, behaviour has {}",
+            map.shards(),
+            self.shards.len()
+        );
+        self.map = map;
     }
 
     /// The inner behaviours, for post-run inspection.
@@ -60,22 +91,22 @@ impl ShardedBehaviour {
 
 impl NodeBehaviour for ShardedBehaviour {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet) {
-        let shard = shard_of(&pkt, self.shards.len());
+        let shard = self.map.shard_of_packet(&pkt);
         self.shards[shard].on_packet(ctx, ingress, pkt);
     }
 
     /// Coalesced bursts are steered once with the index-based split
-    /// ([`PacketBatch::shard_split`], the identical pass the threaded
-    /// dispatcher runs) and handed to each shard as its own burst, in
-    /// shard index order — the deterministic serialisation of what the
-    /// worker pool does in parallel.
+    /// ([`PacketBatch::shard_split_with`], the identical table-driven
+    /// pass the threaded dispatcher runs) and handed to each shard as
+    /// its own burst, in shard index order — the deterministic
+    /// serialisation of what the worker pool does in parallel.
     fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
         if self.shards.len() == 1 {
             // 0/1-shard equivalence: no steering work at all.
             self.shards[0].on_batch(ctx, ingress, pkts);
             return;
         }
-        let split = PacketBatch::from_packets(pkts).shard_split(self.shards.len());
+        let split = PacketBatch::from_packets(pkts).shard_split_with(&self.map);
         for (shard, part) in split.into_shard_batches().into_iter().enumerate() {
             if !part.is_empty() {
                 self.shards[shard].on_batch(ctx, ingress, part.into_packets());
@@ -173,6 +204,40 @@ mod tests {
             .collect();
         run_batch(&mut sharded, pkts);
         assert_eq!(counters.borrow()[0].received(), 4);
+    }
+
+    #[test]
+    fn installed_table_redirects_the_demux() {
+        let counters = std::cell::RefCell::new(Vec::new());
+        let mut sharded = ShardedBehaviour::new("rss", ShardSpec::new(4), |_| {
+            let (sink, c) = SinkBehaviour::new();
+            counters.borrow_mut().push(c);
+            Box::new(sink)
+        });
+        assert!(sharded.map().is_identity());
+        let pkts: Vec<Packet> = (0..16u16)
+            .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80).build())
+            .collect();
+        // Migrate every occupied bucket to shard 3 — the same table the
+        // threaded pipeline would install under its quiesce.
+        let mut map = sharded.map().clone();
+        for p in &pkts {
+            map.set(FlowKey::from_packet(p).unwrap().bucket(), 3);
+        }
+        sharded.set_map(map);
+        run_batch(&mut sharded, pkts);
+        let counters = counters.borrow();
+        let got: Vec<u64> = counters.iter().map(|c| c.received()).collect();
+        assert_eq!(got, vec![0, 0, 0, 16], "demux follows the table");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket map targets")]
+    fn set_map_rejects_mismatched_shard_count() {
+        let mut sharded = ShardedBehaviour::new("rss", ShardSpec::new(2), |_| {
+            Box::new(SinkBehaviour::new().0)
+        });
+        sharded.set_map(BucketMap::identity(4));
     }
 
     #[test]

@@ -14,15 +14,21 @@
 //! | Stratum (paper Fig. 1) | Crate | What's inside |
 //! |---|---|---|
 //! | — component model | [`opencom`] | components, receptacles, `bind`, capsules, CFs, four meta-models (architecture, interface, interception, resources), registry, isolation |
-//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated multi-queue NICs (RSS `inject_rx_frame` with pooled frame buffers, per-worker zero-copy `rx_burst_batch`, legacy `inject_rx_rss`/`rx_burst_queue`/`tx_burst_queue`), the sharded run-to-completion worker pool (`shard::WorkerPool` + epoch quiesce), IXP1200 placement model |
-//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing, the sharded dataplane (`shard::ShardedPipeline`: per-worker graph replicas, flow-affine RSS dispatch, one logical reflection surface) |
+//! | 1 hardware abstraction | [`kernel`] | virtual time, pluggable-scheduler executor, memory accounting, simulated multi-queue NICs (RSS indirection table, pooled zero-copy rx `rx_burst_batch` **and** tx `send_tx_packet`/`tx_burst_packets`/`drain_tx_frame`, legacy `Bytes` APIs), the sharded run-to-completion worker pool (`shard::WorkerPool` + epoch quiesce + ring load meters), IXP1200 placement model |
+//! | 2 in-band functions | [`router`] | the **Router CF** (rules R1–R3), batch-first Fig-2 interfaces (`IPacketPush`/`IPacketPull` with `push_batch`/`pull_batch`, `IClassifier`), Fig-3 composites with controllers, the element library, LPM routing, the sharded dataplane (`shard::ShardedPipeline`: per-worker graph replicas, table-driven flow-affine dispatch, one logical reflection surface) and its reflective load balancer (`shard::rebalance`) |
 //! | 3 application services | [`services`] | ANTS-like execution environment (capsules, code cache, budgets), demo programs, per-flow media filters (batch-aware) |
 //! | 4 coordination | [`signaling`] | RSVP-style reservations, Genesis-style spawning networks |
-//! | comparators | [`baselines`] | Click-like static router and monolithic forwarder, each with burst entry points and `ShardSpec`-driven sharded variants for apples-to-apples multi-core benches |
-//! | substrate | [`sim`] | deterministic discrete-event network simulator; same-instant arrivals coalesce into `on_batch` deliveries; `shard::ShardedBehaviour` models RSS demux deterministically |
+//! | comparators | [`baselines`] | Click-like static router and monolithic forwarder, each with burst entry points and `ShardSpec`/`BucketMap`-driven sharded variants for apples-to-apples multi-core benches |
+//! | substrate | [`sim`] | deterministic discrete-event network simulator; same-instant arrivals coalesce into `on_batch` deliveries; `shard::ShardedBehaviour` models RSS demux deterministically through the same bucket table |
 //!
-//! See `DESIGN.md` for the full system inventory and experiment index,
-//! and `EXPERIMENTS.md` for paper-claim vs. measured results.
+//! **Start with [`ARCHITECTURE.md`](../../../ARCHITECTURE.md) in the
+//! repository root** — the top-level map of the 9 crates, the
+//! batch-first API, the sharded execution model (rings, quiesce
+//! epochs, RSS buckets), the zero-copy/pooling invariants, and where
+//! the reflective meta-objects (interception, ResourceManager, the
+//! rebalancer) hook in. See `DESIGN.md` for the full system inventory
+//! and experiment index, and `EXPERIMENTS.md` for paper-claim vs.
+//! measured results.
 //!
 //! ## The batch-first dataplane
 //!
@@ -71,6 +77,24 @@
 //! zero shards ≡ one shard at every layer); with N workers, aggregate
 //! counters and per-output multisets are identical and per-flow
 //! sequences are preserved (`tests/sharded_equiv.rs`).
+//!
+//! Steering itself is **adaptive**: every layer consults one 256-entry
+//! bucket → shard indirection table
+//! ([`packet::steer::BucketMap`], the software form of a hardware RSS
+//! indirection table), and the reflective rebalancer
+//! ([`router::shard::rebalance`]) watches per-bucket load meters for
+//! skew — the elephant-flow case where static hashing pins one worker
+//! while siblings idle — and installs a better table through the same
+//! epoch quiesce as any other reconfiguration, migrating whole
+//! buckets without losing, duplicating, or reordering any flow
+//! (`tests/rebalance_elephant.rs`,
+//! `crates/router/tests/proptest_rebalance.rs`). The zero-copy story
+//! extends through egress: `ToDevice` moves each packet's frame
+//! storage onto the NIC tx ring with its pool lease intact
+//! ([`kernel::nic::Nic::tx_burst_packets`]), and the wire side's
+//! [`kernel::nic::Nic::drain_tx_frame`] recycles the slab after
+//! serialising — the same buffer travels wire → rx → graph → tx →
+//! wire untouched.
 //!
 //! ```
 //! use std::sync::Arc;

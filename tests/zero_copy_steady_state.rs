@@ -1,16 +1,23 @@
-//! **Zero-copy hot-path acceptance** — the pooled NIC→worker forwarding
-//! loop must stop allocating once warm.
+//! **Zero-copy hot-path acceptance** — the pooled NIC→worker→NIC
+//! forwarding loop must stop allocating once warm.
 //!
-//! The rig is the architecture's real fast path end to end: wire frames
-//! enter through [`Nic::inject_rx_frame`] (RSS hash computed once,
-//! bytes DMA'd into a [`BufferPool`] slab), each shard drains its own
-//! queue through [`ShardedPipeline::pump_nic`] (pooled batch container,
-//! pooled frame buffers moved — not copied — into rss-stamped packets),
-//! and the replica graphs run each batch to completion into a `Discard`
-//! sink, which drops the batch whole so both the container and the
-//! frame slabs recycle. After a warm-up phase, neither pool's
-//! `allocated` counter may grow — steady-state forwarding performs zero
-//! buffer-pool and zero batch-container allocations per batch.
+//! The rig is the architecture's real fast path end to end, now
+//! including egress: wire frames enter through
+//! [`Nic::inject_rx_frame`] (RSS hash computed once, bytes DMA'd into
+//! a [`BufferPool`] slab), each shard drains its own queue through
+//! [`ShardedPipeline::pump_nic`] (pooled batch container, pooled frame
+//! buffers moved — not copied — into rss-stamped packets), the replica
+//! graphs run each batch to completion into a per-shard `ToDevice`,
+//! which **moves** each packet's slab onto its own tx queue
+//! (`Nic::tx_burst_packets` — the PR 4 tx-leasing fix; previously this
+//! path cloned every frame into `Bytes`), and the wire side drains
+//! with [`Nic::drain_tx_frame`], returning each slab to the pool. The
+//! batch containers recycle too: the tx burst drains packets in place
+//! (`PacketBatch::drain_all`), so pool-homed containers go back whole.
+//!
+//! After a warm-up phase, neither pool's `allocated` counter may grow —
+//! steady-state forwarding performs zero buffer-pool and zero
+//! batch-container allocations per batch, **rx through tx**.
 
 use std::sync::Arc;
 
@@ -23,7 +30,7 @@ use netkit::packet::flow::FlowKey;
 use netkit::packet::packet::PacketBuilder;
 use netkit::packet::pool::BufferPool;
 use netkit::router::api::{register_packet_interfaces, IPACKET_PUSH};
-use netkit::router::elements::{Counter, Discard};
+use netkit::router::elements::{Counter, ToDevice};
 use netkit::router::shard::{ShardGraph, ShardedPipeline};
 
 const WORKERS: usize = 4;
@@ -31,29 +38,29 @@ const BURST: usize = 32;
 const WARMUP_ROUNDS: usize = 8;
 const MEASURED_ROUNDS: usize = 64;
 
-fn build_pipeline(rm: Arc<ResourceManager>) -> (ShardedPipeline, Vec<Arc<Discard>>) {
-    let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let sinks_slot = Arc::clone(&sinks);
-    let pipe = ShardedPipeline::build("zero-copy", ShardSpec::new(WORKERS), rm, move |_shard| {
+fn build_pipeline(rm: Arc<ResourceManager>, nic: &Arc<Nic>) -> ShardedPipeline {
+    let nic = Arc::clone(nic);
+    ShardedPipeline::build("zero-copy", ShardSpec::new(WORKERS), rm, move |shard| {
         let rt = Runtime::new();
         register_packet_interfaces(&rt);
         let capsule = Capsule::new("shard", &rt);
         let counter = Counter::new();
-        let sink = Discard::new();
+        // Each shard transmits on its own tx queue: shared-nothing
+        // egress, and the rx slab rides through to the wire.
+        let egress = ToDevice::with_queue(Arc::clone(&nic), shard);
         let cid = capsule.adopt(counter.clone())?;
-        let sid = capsule.adopt(sink.clone())?;
-        capsule.bind_simple(cid, "out", sid, IPACKET_PUSH)?;
-        sinks_slot.lock().push(sink);
-        Ok(ShardGraph::new(Arc::clone(&capsule), counter).with_components(vec![cid, sid]))
+        let eid = capsule.adopt(egress)?;
+        capsule.bind_simple(cid, "out", eid, IPACKET_PUSH)?;
+        Ok(ShardGraph::new(Arc::clone(&capsule), counter).with_components(vec![cid, eid]))
     })
-    .expect("pipeline builds");
-    let sinks = std::mem::take(&mut *sinks.lock());
-    (pipe, sinks)
+    .expect("pipeline builds")
 }
 
 /// One full offered-load round: inject a burst per flow column, pump
-/// every shard's queue, and run to completion.
-fn round(nic: &Nic, pipe: &ShardedPipeline, frames: &[Vec<u8>]) -> usize {
+/// every shard's queue, run to completion, then serialise everything
+/// off the tx queues (dropping each [`netkit::kernel::nic::TxFrame`]
+/// returns its slab to the pool).
+fn round(nic: &Nic, pipe: &ShardedPipeline, frames: &[Vec<u8>]) -> (usize, usize) {
     for frame in frames {
         assert!(nic.inject_rx_frame(frame), "rx ring must absorb the burst");
     }
@@ -70,19 +77,28 @@ fn round(nic: &Nic, pipe: &ShardedPipeline, frames: &[Vec<u8>]) -> usize {
         }
     }
     pipe.flush();
-    pumped
+    let mut transmitted = 0;
+    for queue in 0..WORKERS {
+        while let Some(frame) = nic.drain_tx_frame(queue) {
+            assert!(!frame.is_empty());
+            transmitted += 1; // frame drops here; slab recycles
+        }
+    }
+    (pumped, transmitted)
 }
 
 #[test]
 fn pooled_worker_loop_stops_allocating_after_warmup() {
     let rm = Arc::new(ResourceManager::new());
-    let (pipe, sinks) = build_pipeline(rm);
 
     // Slab pool sized to the in-flight window (rings + last-packet
     // holds); the free list must absorb every outstanding buffer.
     let buffers = BufferPool::new(2048, 0, 4096);
-    let nic = Nic::with_queues(PortId(0), WORKERS, 1024, 1024, 1_000_000_000)
-        .with_buffer_pool(buffers.clone());
+    let nic = Arc::new(
+        Nic::with_queues(PortId(0), WORKERS, 1024, 1024, 1_000_000_000)
+            .with_buffer_pool(buffers.clone()),
+    );
+    let pipe = build_pipeline(rm, &nic);
 
     // 32 distinct flows so every shard sees traffic.
     let frames: Vec<Vec<u8>> = (0..BURST as u16)
@@ -97,26 +113,33 @@ fn pooled_worker_loop_stops_allocating_after_warmup() {
     // Sanity: the flows really spread over several queues.
     let queues: std::collections::HashSet<usize> = frames
         .iter()
-        .map(|f| (FlowKey::from_frame(f).unwrap().rss_hash() % WORKERS as u64) as usize)
+        .map(|f| FlowKey::from_frame(f).unwrap().shard_for(WORKERS))
         .collect();
     assert!(queues.len() > 1, "flows must spread over the rx queues");
 
     let mut delivered = 0;
+    let mut transmitted = 0;
     for _ in 0..WARMUP_ROUNDS {
-        delivered += round(&nic, &pipe, &frames);
+        let (p, t) = round(&nic, &pipe, &frames);
+        delivered += p;
+        transmitted += t;
     }
     let warm_buffers = buffers.stats();
     let warm_batches = pipe.batch_pool().stats();
     assert!(warm_buffers.allocated > 0, "warm-up fills the pools");
 
     for _ in 0..MEASURED_ROUNDS {
-        delivered += round(&nic, &pipe, &frames);
+        let (p, t) = round(&nic, &pipe, &frames);
+        delivered += p;
+        transmitted += t;
     }
     let steady_buffers = buffers.stats();
     let steady_batches = pipe.batch_pool().stats();
 
     // The acceptance bar: zero steady-state allocation growth in the
-    // frame-slab pool AND the batch-container pool.
+    // frame-slab pool AND the batch-container pool — and since PR 4
+    // the loop measured includes the tx leg (packet → tx ring → wire),
+    // so the old clone-into-`Bytes` egress would fail this.
     assert_eq!(
         steady_buffers.allocated, warm_buffers.allocated,
         "frame slabs must recycle, not allocate: {steady_buffers:?}"
@@ -129,15 +152,14 @@ fn pooled_worker_loop_stops_allocating_after_warmup() {
     assert!(steady_buffers.reused > warm_buffers.reused);
     assert!(steady_batches.reused > warm_batches.reused);
 
-    // Nothing was lost along the zero-copy path.
+    // Nothing was lost along the zero-copy path, rx through tx.
     let total = (WARMUP_ROUNDS + MEASURED_ROUNDS) * BURST;
     assert_eq!(delivered, total);
+    assert_eq!(transmitted, total, "every frame reached the wire");
     assert_eq!(pipe.stats().packets, total as u64);
-    assert_eq!(
-        sinks.iter().map(|s| s.count()).sum::<u64>(),
-        total as u64,
-        "every frame reached a sink"
-    );
-    assert_eq!(nic.stats().rx_dropped, 0);
+    let nic_stats = nic.stats();
+    assert_eq!(nic_stats.rx_dropped, 0);
+    assert_eq!(nic_stats.tx_frames, total as u64);
+    assert_eq!(nic_stats.tx_dropped, 0);
     pipe.shutdown();
 }
