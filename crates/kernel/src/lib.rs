@@ -20,6 +20,9 @@
 //!   ([`shard::ShardSpec`], [`shard::WorkerPool`]) with the epoch-based
 //!   quiesce protocol that keeps reflective reconfiguration atomic
 //!   across workers.
+//! * [`task`] — supervised periodic background tasks with idle backoff
+//!   ([`task::PeriodicTask`]), the cadence primitive autonomous
+//!   control loops run on.
 //! * [`ixp`] — an analytic cycle model of the Intel IXP1200
 //!   (StrongARM + 6 micro-engines + scratchpad/SRAM/SDRAM hierarchy)
 //!   for the component-placement experiments.
@@ -32,4 +35,5 @@ pub mod ixp;
 pub mod mem;
 pub mod nic;
 pub mod shard;
+pub mod task;
 pub mod time;

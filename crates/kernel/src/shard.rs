@@ -543,11 +543,37 @@ impl<T: Send + 'static> WorkerPool<T> {
 
     /// Resets every shard's ring-occupancy high-water mark to its
     /// current occupancy, starting a fresh observation window.
+    ///
+    /// Bare reset discards the closing window's marks; a sampler that
+    /// wants them must use [`Self::take_ring_high_water`] — reading
+    /// `ring_high_water` first and resetting afterwards is a
+    /// read-then-reset race: a peak recorded between the two calls is
+    /// folded into the *old* window's (already sampled) mark and then
+    /// erased, so the new window under-reports a ring that was
+    /// provably nonempty. Callers closing windows at migration epochs
+    /// should reset from inside the quiesce (as
+    /// `ShardedPipeline::install_bucket_map` does), where no
+    /// submission can interleave with the boundary.
     pub fn reset_ring_high_water(&self) {
+        let _ = self.take_ring_high_water();
+    }
+
+    /// Atomically closes the ring-occupancy observation window: in one
+    /// lock acquisition, returns every shard's high-water mark and
+    /// resets it to the shard's *current* occupancy. Because the
+    /// sample and the reset are indivisible, a peak recorded
+    /// concurrently lands in exactly one window — either it is part of
+    /// the returned marks, or (arriving after) it raises the new
+    /// window's mark from the live occupancy floor; it can never be
+    /// sampled into the old window and then zeroed out of the new one.
+    pub fn take_ring_high_water(&self) -> Vec<usize> {
         let mut st = self.gate.lock();
+        let mut window = Vec::with_capacity(st.ring_hwm.len());
         for shard in 0..st.ring_hwm.len() {
+            window.push(st.ring_hwm[shard]);
             st.ring_hwm[shard] = st.in_flight[shard];
         }
+        window
     }
 
     /// Drains outstanding work, stops every worker, and joins the
@@ -783,6 +809,65 @@ mod tests {
         pool.submit(1, 0).unwrap();
         pool.flush();
         assert_eq!(pool.ring_high_water(1), Some(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn window_close_is_atomic_with_the_sample() {
+        // Regression for the reset-vs-enqueue race: closing an
+        // observation window by *reading* ring_high_water and then
+        // *separately* resetting it erases any peak recorded between
+        // the two calls — the next window reports high-water 0 for a
+        // ring that was demonstrably nonempty. take_ring_high_water
+        // closes the window in one indivisible step.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::start(ShardSpec::new(1).with_ring_capacity(16), move |_| {
+                let gate = Arc::clone(&gate);
+                Box::new(move |_: u8| {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                })
+            })
+        };
+        // Runs a burst that peaks at `n` in-flight items, then drains.
+        let burst = |n: usize| {
+            *gate.0.lock().unwrap() = false;
+            for _ in 0..n {
+                pool.submit(0, 0).unwrap();
+            }
+            assert_eq!(pool.in_flight_on(0), Some(n));
+            {
+                let (lock, cv) = &*gate;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            pool.flush();
+        };
+
+        // --- the racy two-step close loses evidence -----------------
+        burst(3);
+        let sampled = pool.ring_high_water(0).unwrap();
+        assert_eq!(sampled, 3);
+        // A burst lands and fully retires between the sample and the
+        // reset (its peak of 2 cannot raise the mark past 3)...
+        burst(2);
+        pool.reset_ring_high_water();
+        // ...so the new window starts blind: occupancy 2 is gone.
+        assert_eq!(pool.ring_high_water(0), Some(0), "peak of 2 was erased");
+
+        // --- the atomic close cannot ---------------------------------
+        burst(3);
+        let window = pool.take_ring_high_water();
+        assert_eq!(window, vec![3], "closed window keeps its marks");
+        // The same schedule now lands wholly inside the new window.
+        burst(2);
+        assert_eq!(pool.ring_high_water(0), Some(2), "peak survives");
+        assert_eq!(pool.take_ring_high_water(), vec![2]);
         pool.shutdown();
     }
 

@@ -38,6 +38,11 @@ pub mod classes {
     /// reflective load balancer installs counts one, so introspection
     /// can see how often a dataplane's placement is being rewritten.
     pub const REBALANCES: &str = "rebalances";
+    /// Autonomous control-loop turns — the reflective loop consumes
+    /// one per inspect→decide tick on its own task, so introspection
+    /// can see how often a dataplane is *looking* (ticks) versus
+    /// *acting* (rebalances), including the backoff going idle.
+    pub const TICKS: &str = "control-ticks";
 }
 
 /// A pool for one resource class.

@@ -195,8 +195,21 @@ impl fmt::Debug for BucketMap {
 /// Per-bucket packet counters — the load meter a rebalance policy reads.
 ///
 /// One relaxed atomic per bucket; recording is wait-free and safe from
-/// any worker thread. [`Self::drain`] snapshots *and resets* the
-/// counters, so each rebalance decision sees one observation window.
+/// any worker thread. Two windowing disciplines are offered:
+///
+/// * **Drain-based** ([`Self::drain`]) snapshots *and zeroes* the
+///   counters — one destructive observation window per call. Use it
+///   only when every window is unconditionally consumed.
+/// * **Decay-based** ([`Self::snapshot`] to peek, [`Self::decay`] to
+///   age, [`Self::retire`] to subtract a judged snapshot) — the
+///   discipline the autonomous control loop uses. Evidence a policy
+///   *declines* to act on is never discarded, only exponentially
+///   faded, so a persistent skew keeps accumulating across polls.
+///
+/// The window-closing operations (`drain`, `decay`, `retire`) are
+/// **single-consumer**: exactly one control-plane thread may call them
+/// (concurrent [`Self::record_hash`]-side traffic is always safe —
+/// increments landing mid-operation are preserved in full).
 ///
 /// # Examples
 ///
@@ -211,6 +224,15 @@ impl fmt::Debug for BucketMap {
 /// let window = load.drain();
 /// assert_eq!(window[bucket_of(7)], 2);
 /// assert_eq!(load.total(), 0, "drain resets the window");
+///
+/// // Decay-based sampling: peek, judge, age — nothing is discarded.
+/// load.record_hash(7);
+/// load.record_hash(7);
+/// let peeked = load.snapshot();
+/// load.decay(0.5); // a declined decision fades the evidence...
+/// assert_eq!(load.total(), 1);
+/// load.retire(&peeked); // ...an applied one subtracts what it judged
+/// assert_eq!(load.total(), 0);
 /// ```
 pub struct BucketLoad {
     counts: Vec<AtomicU64>,
@@ -257,6 +279,53 @@ impl BucketLoad {
             .iter()
             .map(|c| c.swap(0, Ordering::Relaxed))
             .collect()
+    }
+
+    /// Applies one exponential decay step: every bucket keeps an
+    /// `alpha` fraction (clamped to `[0, 1]`) of its current count,
+    /// rounding down — so with `alpha < 1` untouched evidence fades to
+    /// zero over successive steps instead of being destroyed at once.
+    ///
+    /// Only the *observed* amount is shed: packets recorded by workers
+    /// while the decay pass runs survive in full. Single-consumer (see
+    /// the type docs); call it from the control plane after each
+    /// judged-but-declined decision.
+    pub fn decay(&self, alpha: f64) {
+        let alpha = alpha.clamp(0.0, 1.0);
+        for c in &self.counts {
+            let cur = c.load(Ordering::Relaxed);
+            let shed = cur - (cur as f64 * alpha) as u64;
+            if shed > 0 {
+                // Subtract-what-was-seen keeps concurrent increments.
+                c.fetch_sub(shed, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Subtracts a previously [`Self::snapshot`]-ed window from the
+    /// meter (saturating per bucket) — the commit half of
+    /// peek-then-commit: an applied migration retires exactly the
+    /// evidence it was planned on, while packets recorded after the
+    /// snapshot stay for the next decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` does not hold [`RSS_BUCKETS`] entries.
+    pub fn retire(&self, window: &[u64]) {
+        assert_eq!(window.len(), RSS_BUCKETS, "one load per bucket");
+        for (c, &judged) in self.counts.iter().zip(window) {
+            if judged == 0 {
+                continue;
+            }
+            let mut cur = c.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(judged);
+                match c.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
     }
 
     /// Sum over all buckets.
@@ -347,6 +416,57 @@ mod tests {
         let arp = Packet::from_slice(&[0u8; 14]);
         assert_eq!(bucket_of_packet(&arp), 0);
         assert_eq!(BucketMap::identity(4).shard_of_packet(&arp), 0);
+    }
+
+    #[test]
+    fn decay_fades_evidence_without_destroying_it() {
+        let load = BucketLoad::new();
+        for _ in 0..8 {
+            load.record_hash(3);
+        }
+        load.record_hash(9);
+        load.decay(0.5);
+        assert_eq!(load.snapshot()[bucket_of(3)], 4, "half kept");
+        assert_eq!(load.snapshot()[bucket_of(9)], 0, "floor: 1 -> 0");
+        // Repeated decay converges to zero rather than lingering.
+        load.decay(0.5);
+        load.decay(0.5);
+        load.decay(0.5);
+        assert_eq!(load.total(), 0);
+        // Degenerate alphas clamp.
+        load.record_hash(3);
+        load.decay(2.0); // keep everything
+        assert_eq!(load.total(), 1);
+        load.decay(-1.0); // shed everything
+        assert_eq!(load.total(), 0);
+    }
+
+    #[test]
+    fn retire_subtracts_the_judged_snapshot_only() {
+        let load = BucketLoad::new();
+        for _ in 0..6 {
+            load.record_hash(5);
+        }
+        let judged = load.snapshot();
+        // Traffic that lands after the snapshot...
+        for _ in 0..4 {
+            load.record_hash(5);
+        }
+        load.record_hash(11);
+        // ...survives the retire of the judged window.
+        load.retire(&judged);
+        assert_eq!(load.snapshot()[bucket_of(5)], 4);
+        assert_eq!(load.snapshot()[bucket_of(11)], 1);
+        // Retiring more than is present saturates at zero.
+        load.retire(&load.snapshot());
+        load.retire(&judged);
+        assert_eq!(load.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per bucket")]
+    fn retire_rejects_short_windows() {
+        BucketLoad::new().retire(&[0u64; 4]);
     }
 
     #[test]

@@ -170,6 +170,90 @@
 //! pipe.shutdown();
 //! # Ok::<(), opencom::error::Error>(())
 //! ```
+//!
+//! ## The control-loop contract, precisely
+//!
+//! Rebalancing runs **autonomously**: spawning a
+//! [`crate::shard::control::ControlLoop`] on a pipeline closes the
+//! reflective inspect → decide → adapt loop with no external caller.
+//! The rules a steering surface and its controller agree on:
+//!
+//! * **Windows are evidence, and evidence is only consumed by a
+//!   decision.** The per-bucket observation window is *peeked*, never
+//!   pre-drained. A window below the policy's `min_samples`
+//!   accumulates untouched across turns (a low-rate skew eventually
+//!   gathers a verdict's worth of evidence); a judged-but-declined
+//!   window is *decayed* (each bucket keeps the policy's `decay`
+//!   fraction) — retained, not discarded; an applied migration
+//!   *retires* exactly the snapshot it was planned on, so packets
+//!   recorded mid-decision carry over to the next turn in full. The
+//!   gate, the plan, and the retire all judge the **same snapshot**.
+//! * **Decisions weigh pressure, not just throughput.** The
+//!   [`crate::shard::WeightedRebalancePolicy`] inflates each bucket's
+//!   count by its shard's ring occupancy (high-water / capacity,
+//!   scaled by `pressure_weight`), so a packet skew sitting just
+//!   under the imbalance threshold still converges once the hot
+//!   shard's queue backs up. `min_samples` always gates on raw
+//!   counts: pressure can amplify evidence, never conjure it.
+//! * **Adaptation is rate-capped and backs off.** At most one
+//!   migration per `cooldown_ticks + 1` turns (each migration costs a
+//!   quiesce epoch), and the threaded loop multiplies its tick
+//!   interval after every no-op turn (up to `max_tick`, snapping back
+//!   to `tick` on a migration) — an idle control loop asymptotically
+//!   costs nothing.
+//! * **The loop is single-consumer and reflective.** One controller
+//!   owns a pipeline's window (don't mix autonomous and manual
+//!   `rebalance()` polling); it is an ordinary meta-object — its
+//!   turns are accounted as `classes::TICKS` on its own
+//!   `ResourceManager` task, each applied migration as
+//!   `classes::REBALANCES` on the pipeline's, and the migrations it
+//!   installs go through the identical write-locked quiesce epoch as
+//!   any manual reconfiguration (every guarantee of the steering
+//!   contract above holds across autonomous epochs too).
+//! * **Determinism lives in the core.** The decision state machine
+//!   ([`crate::shard::control::RebalanceController`]) is clockless
+//!   and thread-free; the cadence (`PeriodicTask` wall-clock ticks)
+//!   is the only nondeterministic layer. The simulator drives the
+//!   same controller from its event loop, bit-for-bit reproducibly.
+//!
+//! Runnable — the decision core, one turn per outcome:
+//!
+//! ```
+//! use netkit_packet::steer::{BucketMap, RSS_BUCKETS};
+//! use netkit_router::shard::control::{ControlDecision, RebalanceController};
+//! use netkit_router::shard::{RebalancePolicy, WeightedRebalancePolicy};
+//!
+//! let mut ctl = RebalanceController::new(
+//!     WeightedRebalancePolicy {
+//!         base: RebalancePolicy { max_imbalance: 1.25, min_samples: 64 },
+//!         pressure_weight: 1.0,
+//!         decay: 0.5,
+//!     },
+//!     0,
+//! );
+//! let map = BucketMap::identity(2);
+//! let mut window = vec![0u64; RSS_BUCKETS];
+//!
+//! // Sub-min window: gathering — leave the meter untouched.
+//! window[0] = 32;
+//! assert!(matches!(ctl.decide(&window, &[], 1024, &map), ControlDecision::Gathering));
+//!
+//! // Balanced window: judged, declined — the caller decays by 0.5.
+//! window[1] = 32;
+//! assert!(matches!(ctl.decide(&window, &[], 1024, &map), ControlDecision::Hold));
+//!
+//! // Colocated skew: the adapt arm fires with an improving plan.
+//! window[0] = 96;
+//! window[2] = 64; // bucket 2 -> shard 0 under identity(2)
+//! match ctl.decide(&window, &[], 1024, &map) {
+//!     ControlDecision::Migrate(plan) => {
+//!         assert_eq!(plan.moved, vec![2]);
+//!         assert!(plan.imbalance_after < plan.imbalance_before);
+//!     }
+//!     other => panic!("skew must migrate, got {other:?}"),
+//! }
+//! assert_eq!((ctl.ticks(), ctl.migrations(), ctl.holds()), (3, 1, 1));
+//! ```
 
 use std::fmt;
 use std::net::{AddrParseError, IpAddr};

@@ -26,7 +26,9 @@
 //! * [`shard`] — the sharded dataplane: per-worker element-graph
 //!   replicas ([`shard::ShardedPipeline`]) fed by RSS flow-affine
 //!   dispatch, with per-shard counters rolled up into one resources
-//!   task and epoch-quiesced atomic reconfiguration.
+//!   task, epoch-quiesced atomic reconfiguration, and the autonomous
+//!   reflective control loop ([`shard::control::ControlLoop`]) that
+//!   rebalances a skewed placement with no external caller.
 //!
 //! ## Quick start
 //!
@@ -80,4 +82,4 @@ pub use composite::{
     Composite, CompositeBuilder, IComposite, IController, ICOMPOSITE, ICONTROLLER,
 };
 pub use routing::{PrefixParseError, RouteEntry, RoutingTable};
-pub use shard::{PipelineStats, ShardGraph, ShardedPipeline};
+pub use shard::{ControlLoop, PipelineStats, ShardGraph, ShardedPipeline};

@@ -1,0 +1,464 @@
+//! The autonomous reflective control loop: inspect → decide → adapt
+//! with **no external caller**.
+//!
+//! PR 4's rebalancing subsystem shipped the three arms of the paper's
+//! reflective loop — meters to *inspect*, a policy to *decide*, a
+//! quiesced migration to *adapt* — but left the loop open: something
+//! outside the system had to call `ShardedPipeline::rebalance`. This
+//! module closes it. Two layers, deliberately separated:
+//!
+//! * [`RebalanceController`] — the **deterministic decision core**: a
+//!   pure state machine over (observation window, shard pressure,
+//!   current table) that owns the control-loop *policy* concerns the
+//!   rebalance policy itself does not: evidence retention across
+//!   declined decisions (windows are peeked and decayed, never
+//!   drained — see `BucketLoad`), and a hard cap on migration rate
+//!   (`cooldown_ticks` between applied plans, so a pathological
+//!   workload cannot thrash the dataplane through quiesce epochs). It
+//!   has no threads and no clock — the deterministic simulator drives
+//!   the *same* controller from its event loop (see
+//!   `netkit_sim::shard::ShardedBehaviour`), which is what makes
+//!   autonomous-rebalancing experiments reproducible.
+//! * [`ControlLoop`] — the **threaded supervisor**: a
+//!   `netkit_kernel::task::PeriodicTask` ticking
+//!   [`ShardedPipeline::control_turn`] against a live pipeline, with
+//!   tick-interval backoff after no-op turns (an idle control loop
+//!   goes quiet) and instant re-arming on a migration. The loop is a
+//!   first-class citizen of the resources meta-model: it runs as its
+//!   own task on the pipeline's `ResourceManager`, consuming
+//!   `classes::TICKS` per turn, while each applied migration counts
+//!   into the pipeline task's `classes::REBALANCES` as before —
+//!   introspection sees both how often the system looks and how often
+//!   it acts.
+//!
+//! The decision core, runnable (this is the whole contract —
+//! `Gathering` accumulates, `Hold` decays, `Migrate` commits):
+//!
+//! ```
+//! use netkit_packet::steer::{BucketMap, RSS_BUCKETS};
+//! use netkit_router::shard::control::{ControlDecision, RebalanceController};
+//! use netkit_router::shard::{RebalancePolicy, WeightedRebalancePolicy};
+//!
+//! let policy = WeightedRebalancePolicy {
+//!     base: RebalancePolicy { max_imbalance: 1.25, min_samples: 64 },
+//!     pressure_weight: 0.0,
+//!     decay: 0.5,
+//! };
+//! let mut ctl = RebalanceController::new(policy, 0);
+//! let map = BucketMap::identity(2);
+//!
+//! // Not enough evidence yet: the window keeps accumulating.
+//! let mut window = vec![0u64; RSS_BUCKETS];
+//! window[0] = 10;
+//! assert!(matches!(ctl.decide(&window, &[], 1024, &map), ControlDecision::Gathering));
+//!
+//! // A judged window with everything colocated on shard 0 migrates.
+//! window[0] = 90;
+//! window[2] = 60; // bucket 2 -> shard 0 under identity(2)
+//! match ctl.decide(&window, &[], 1024, &map) {
+//!     ControlDecision::Migrate(plan) => {
+//!         assert_eq!(plan.moved, vec![2]);
+//!         assert_eq!(plan.map.shard_of_bucket(2), 1);
+//!     }
+//!     other => panic!("colocation must migrate, got {other:?}"),
+//! }
+//! assert_eq!(ctl.migrations(), 1);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use netkit_kernel::nic::Nic;
+use netkit_kernel::task::{PeriodicSpec, PeriodicTask, TickOutcome};
+use netkit_packet::steer::BucketMap;
+use opencom::error::Result;
+use opencom::ident::TaskId;
+use opencom::meta::resources::{classes, ResourceManager};
+use parking_lot::Mutex;
+
+use super::rebalance::{RebalancePlan, WeightedRebalancePolicy};
+use super::{ShardLoad, ShardedPipeline};
+
+/// What one control turn concluded about the observation window.
+#[derive(Clone, Debug)]
+pub enum ControlDecision {
+    /// Below `min_samples`: no judgment was made. The caller must
+    /// leave the window untouched so evidence keeps accumulating.
+    Gathering,
+    /// The window was judged and declined (balanced, no improving
+    /// plan, or the migration-rate cap is in force). The caller should
+    /// age the window with the policy's `decay` — retained, not
+    /// discarded.
+    Hold,
+    /// Apply this plan, then retire the judged window.
+    Migrate(RebalancePlan),
+}
+
+/// The deterministic decision core of the autonomous control loop. See
+/// the module docs for where it sits and a runnable example.
+pub struct RebalanceController {
+    policy: WeightedRebalancePolicy,
+    /// Minimum number of ticks between two applied migrations — the
+    /// hard cap on migration rate (each migration costs a quiesce
+    /// epoch; 0 = no cap).
+    cooldown_ticks: u64,
+    ticks: u64,
+    migrations: u64,
+    holds: u64,
+    last_migration_tick: Option<u64>,
+    noop_streak: u64,
+}
+
+impl RebalanceController {
+    /// A controller judging with `policy`, applying at most one
+    /// migration per `cooldown_ticks + 1` ticks.
+    pub fn new(policy: WeightedRebalancePolicy, cooldown_ticks: u64) -> Self {
+        Self {
+            policy,
+            cooldown_ticks,
+            ticks: 0,
+            migrations: 0,
+            holds: 0,
+            last_migration_tick: None,
+            noop_streak: 0,
+        }
+    }
+
+    /// The judging policy (the caller needs its `decay` to apply
+    /// [`ControlDecision::Hold`]).
+    pub fn policy(&self) -> &WeightedRebalancePolicy {
+        &self.policy
+    }
+
+    /// One inspect → decide turn. `window` is a **peeked** (not
+    /// drained) per-bucket snapshot; `loads` the per-shard pressure
+    /// meters (empty ⇒ no pressure weighting, as the deterministic sim
+    /// passes); `current` the live table. The caller owns the adapt
+    /// arm: apply the returned decision to its steering surface (see
+    /// [`ControlDecision`] for the window obligation each variant
+    /// carries — `ShardedPipeline::control_turn` is the reference
+    /// implementation).
+    pub fn decide(
+        &mut self,
+        window: &[u64],
+        loads: &[ShardLoad],
+        ring_capacity: usize,
+        current: &BucketMap,
+    ) -> ControlDecision {
+        self.ticks += 1;
+        let raw_total: u64 = window.iter().sum();
+        if raw_total < self.policy.base.min_samples.max(1) {
+            self.noop_streak += 1;
+            return ControlDecision::Gathering;
+        }
+        if let Some(last) = self.last_migration_tick {
+            if self.ticks.saturating_sub(last) <= self.cooldown_ticks {
+                // Rate cap: judged but deliberately not acted on. The
+                // window still decays — the cap exists to *shed*
+                // pressure to re-migrate, not to queue it up.
+                self.holds += 1;
+                self.noop_streak += 1;
+                return ControlDecision::Hold;
+            }
+        }
+        match self.policy.plan(window, loads, ring_capacity, current) {
+            Some(plan) => {
+                self.migrations += 1;
+                self.last_migration_tick = Some(self.ticks);
+                self.noop_streak = 0;
+                ControlDecision::Migrate(plan)
+            }
+            None => {
+                self.holds += 1;
+                self.noop_streak += 1;
+                ControlDecision::Hold
+            }
+        }
+    }
+
+    /// Turns taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Migrations decided (== plans returned via
+    /// [`ControlDecision::Migrate`]).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Judged-but-declined turns (balanced windows, no-improvement
+    /// plans, and rate-capped turns).
+    pub fn holds(&self) -> u64 {
+        self.holds
+    }
+
+    /// Consecutive turns since the last migration decision. Pure
+    /// introspection: the threaded [`ControlLoop`] derives its backoff
+    /// from per-tick outcomes (`PeriodicTask`), not from this counter;
+    /// an embedder driving the controller on its own cadence (the sim,
+    /// a custom executor task) can read it to implement the same
+    /// go-quiet-while-idle behaviour.
+    pub fn noop_streak(&self) -> u64 {
+        self.noop_streak
+    }
+}
+
+impl fmt::Debug for RebalanceController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RebalanceController({} ticks, {} migrations, {} holds)",
+            self.ticks, self.migrations, self.holds
+        )
+    }
+}
+
+/// Configuration of the threaded [`ControlLoop`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlConfig {
+    /// The weighted decision policy (thresholds, pressure weighting,
+    /// window decay).
+    pub policy: WeightedRebalancePolicy,
+    /// Base tick interval while the loop is making progress.
+    pub tick: Duration,
+    /// Cap the backed-off interval saturates at after no-op turns.
+    pub max_tick: Duration,
+    /// Interval multiplier per no-op turn (≥ 1.0; see
+    /// `netkit_kernel::task::PeriodicSpec`).
+    pub backoff: f64,
+    /// Hard cap on migration rate: minimum ticks between two applied
+    /// migrations.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        Self {
+            policy: WeightedRebalancePolicy::default(),
+            tick: Duration::from_millis(10),
+            max_tick: Duration::from_millis(200),
+            backoff: 2.0,
+            cooldown_ticks: 4,
+        }
+    }
+}
+
+/// Counters of a (running or stopped) [`ControlLoop`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Loop ticks fired.
+    pub ticks: u64,
+    /// Migrations applied by the loop.
+    pub migrations: u64,
+    /// Judged-but-declined turns.
+    pub holds: u64,
+    /// Tick panics survived (supervision).
+    pub panics: u64,
+    /// The interval the next tick will wait (backoff state).
+    pub current_interval: Duration,
+}
+
+/// The supervised background task that runs the reflective loop
+/// against a live [`ShardedPipeline`] — spawn it and the dataplane
+/// adapts to traffic shifts on its own. See the module docs.
+///
+/// The loop assumes it is the pipeline's **only** window consumer: do
+/// not mix it with manual `rebalance()` polling on the same pipeline.
+pub struct ControlLoop {
+    task: PeriodicTask,
+    controller: Arc<Mutex<RebalanceController>>,
+    rm: Arc<ResourceManager>,
+    rm_task: TaskId,
+}
+
+impl ControlLoop {
+    /// Spawns the loop as resources task `name` on `rm` (one
+    /// `classes::TICKS` unit is consumed per turn; migrations count
+    /// into the pipeline task's `classes::REBALANCES` as always).
+    /// `nics` are the NIC mirrors every applied migration must cover —
+    /// the same slice a manual `rebalance()` caller would pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a duplicate task `name`.
+    pub fn spawn(
+        name: &str,
+        pipe: Arc<ShardedPipeline>,
+        nics: Vec<Arc<Nic>>,
+        cfg: ControlConfig,
+        rm: Arc<ResourceManager>,
+    ) -> Result<Self> {
+        let rm_task = rm.create_task(name)?;
+        let controller = Arc::new(Mutex::new(RebalanceController::new(
+            cfg.policy,
+            cfg.cooldown_ticks,
+        )));
+        let tick_ctl = Arc::clone(&controller);
+        let tick_rm = Arc::clone(&rm);
+        let spec = PeriodicSpec::every(cfg.tick).with_backoff(cfg.backoff, cfg.max_tick);
+        let task = PeriodicTask::spawn(name, spec, move || {
+            let _ = tick_rm.consume(rm_task, classes::TICKS, 1);
+            let nic_refs: Vec<&Nic> = nics.iter().map(Arc::as_ref).collect();
+            let mut ctl = tick_ctl.lock();
+            match pipe.control_turn(&mut ctl, &nic_refs) {
+                Some(_) => TickOutcome::Progress,
+                None => TickOutcome::Idle,
+            }
+        });
+        Ok(Self {
+            task,
+            controller,
+            rm,
+            rm_task,
+        })
+    }
+
+    /// The loop's task in the resources meta-model.
+    pub fn task(&self) -> TaskId {
+        self.rm_task
+    }
+
+    /// Live counters (loop-tick side from the periodic task,
+    /// decision side from the controller).
+    pub fn stats(&self) -> ControlStats {
+        let ctl = self.controller.lock();
+        ControlStats {
+            ticks: self.task.ticks(),
+            migrations: ctl.migrations(),
+            holds: ctl.holds(),
+            panics: self.task.panics(),
+            current_interval: self.task.current_interval(),
+        }
+    }
+
+    /// True until the loop has been stopped.
+    pub fn is_running(&self) -> bool {
+        self.task.is_running()
+    }
+
+    /// Stops the loop and returns the final counters: the ticking
+    /// thread is joined **first** (no turn can land afterwards, so
+    /// the returned stats are exact and every applied migration is
+    /// included), then the counters are snapshot; the loop's
+    /// resources task is released by `Drop`, after the join — a late
+    /// tick can never consume against a released task.
+    pub fn stop(mut self) -> ControlStats {
+        self.task.halt();
+        self.stats()
+        // Drop runs here: the already-halted task joins as a no-op
+        // and the rm task is released.
+    }
+}
+
+impl Drop for ControlLoop {
+    /// A dropped loop stops and unregisters cleanly even when
+    /// [`Self::stop`] was never called (unwinds, error paths): join
+    /// the ticking thread, then release the resources task — in that
+    /// order, so no tick can fire against a released task and the
+    /// loop's name becomes reusable.
+    fn drop(&mut self) {
+        self.task.halt();
+        let _ = self.rm.release_task(self.rm_task);
+    }
+}
+
+impl fmt::Debug for ControlLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "ControlLoop({} ticks, {} migrations, next in {:?})",
+            stats.ticks, stats.migrations, stats.current_interval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::rebalance::RebalancePolicy;
+    use netkit_packet::steer::RSS_BUCKETS;
+
+    fn window(entries: &[(usize, u64)]) -> Vec<u64> {
+        let mut w = vec![0u64; RSS_BUCKETS];
+        for &(bucket, load) in entries {
+            w[bucket] = load;
+        }
+        w
+    }
+
+    fn eager_policy() -> WeightedRebalancePolicy {
+        WeightedRebalancePolicy {
+            base: RebalancePolicy {
+                max_imbalance: 1.25,
+                min_samples: 64,
+            },
+            pressure_weight: 0.0,
+            decay: 0.5,
+        }
+    }
+
+    #[test]
+    fn controller_gathers_until_min_samples() {
+        let mut ctl = RebalanceController::new(eager_policy(), 0);
+        let map = BucketMap::identity(2);
+        let small = window(&[(0, 10), (2, 10)]);
+        for _ in 0..3 {
+            assert!(matches!(
+                ctl.decide(&small, &[], 1024, &map),
+                ControlDecision::Gathering
+            ));
+        }
+        assert_eq!(ctl.ticks(), 3);
+        assert_eq!(ctl.holds(), 0, "gathering is not a judgment");
+        assert_eq!(ctl.noop_streak(), 3);
+    }
+
+    #[test]
+    fn controller_holds_on_balanced_and_migrates_on_skew() {
+        let mut ctl = RebalanceController::new(eager_policy(), 0);
+        let map = BucketMap::identity(2);
+        let balanced = window(&[(0, 50), (1, 50)]);
+        assert!(matches!(
+            ctl.decide(&balanced, &[], 1024, &map),
+            ControlDecision::Hold
+        ));
+        assert_eq!(ctl.holds(), 1);
+        let skewed = window(&[(0, 90), (2, 60), (1, 30)]);
+        match ctl.decide(&skewed, &[], 1024, &map) {
+            ControlDecision::Migrate(plan) => {
+                assert!(plan.imbalance_after < plan.imbalance_before)
+            }
+            other => panic!("skew must migrate, got {other:?}"),
+        }
+        assert_eq!(ctl.migrations(), 1);
+        assert_eq!(ctl.noop_streak(), 0, "a migration resets the streak");
+    }
+
+    #[test]
+    fn cooldown_caps_the_migration_rate() {
+        let mut ctl = RebalanceController::new(eager_policy(), 2);
+        let map = BucketMap::identity(2);
+        let skewed = window(&[(0, 90), (2, 60), (1, 30)]);
+        assert!(matches!(
+            ctl.decide(&skewed, &[], 1024, &map),
+            ControlDecision::Migrate(_)
+        ));
+        // The same skew re-presented is rate-capped for 2 ticks...
+        for _ in 0..2 {
+            assert!(matches!(
+                ctl.decide(&skewed, &[], 1024, &map),
+                ControlDecision::Hold
+            ));
+        }
+        // ...and judged again afterwards.
+        assert!(matches!(
+            ctl.decide(&skewed, &[], 1024, &map),
+            ControlDecision::Migrate(_)
+        ));
+        assert_eq!(ctl.migrations(), 2);
+        assert_eq!(ctl.holds(), 2);
+    }
+}

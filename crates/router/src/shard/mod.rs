@@ -66,9 +66,11 @@ use parking_lot::RwLock;
 
 use crate::api::IPacketPush;
 
+pub mod control;
 pub mod rebalance;
 
-pub use rebalance::{MigrationReport, RebalancePlan, RebalancePolicy};
+pub use control::{ControlConfig, ControlDecision, ControlLoop, ControlStats, RebalanceController};
+pub use rebalance::{MigrationReport, RebalancePlan, RebalancePolicy, WeightedRebalancePolicy};
 
 /// A swappable shard entry point: workers re-read it each batch, so a
 /// quiesce closure can retarget a shard's ingress (e.g. after replacing
@@ -463,15 +465,20 @@ impl ShardedPipeline {
         self.migrations.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the per-bucket packet meters (cumulative since the
-    /// last [`Self::drain_bucket_loads`]).
+    /// Snapshot (peek, non-destructive) of the per-bucket packet
+    /// meters — what has accumulated since the evidence was last
+    /// consumed (retired by an applied migration, decayed by
+    /// [`Self::decay_bucket_loads`], or drained).
     pub fn bucket_loads(&self) -> Vec<u64> {
         self.bucket_load.snapshot()
     }
 
-    /// Takes the per-bucket observation window: returns the counts and
-    /// resets them, so the next rebalance decision sees only traffic
-    /// from its own window.
+    /// Takes the per-bucket observation window destructively: returns
+    /// the counts and zeroes them. This is the legacy drain-based
+    /// discipline for callers that unconditionally consume every
+    /// window; the rebalancing paths ([`Self::rebalance`],
+    /// [`Self::control_turn`]) use peek-then-commit instead so
+    /// declined windows retain their evidence.
     pub fn drain_bucket_loads(&self) -> Vec<u64> {
         self.bucket_load.drain()
     }
@@ -570,6 +577,14 @@ impl ShardedPipeline {
                 }
             }
             *steering = Arc::new(map);
+            // The migration epoch is the boundary between ring-pressure
+            // observation windows. Reset the high-water marks *inside*
+            // the quiesce (workers parked, steering writers excluded),
+            // where no enqueue can interleave with the boundary — a
+            // reset outside the epoch races concurrent submissions and
+            // can erase occupancy evidence that belongs to the new
+            // window (see `WorkerPool::take_ring_high_water`).
+            self.pool.reset_ring_high_water();
         });
         report.epoch = self.pool.epoch();
         self.migrations.fetch_add(1, Ordering::Relaxed);
@@ -577,35 +592,107 @@ impl ShardedPipeline {
         report
     }
 
-    /// One turn of the reflective rebalancing loop: drain the
+    /// One turn of the reflective rebalancing loop: **peek** at the
     /// per-bucket observation window, ask `policy` for a plan, and —
     /// when the skew warrants it — install the planned table via
-    /// [`Self::install_bucket_map`]. Returns the plan and migration
-    /// report when a migration was applied, `None` when the placement
-    /// was left alone (balanced, window too small, or single shard).
+    /// [`Self::install_bucket_map`] and **then** retire exactly the
+    /// judged window. Returns the plan and migration report when a
+    /// migration was applied, `None` when the placement was left alone
+    /// (balanced, window too small, or single shard).
     ///
     /// Run this from the control plane (the ResourceManager side), not
-    /// from a worker: it quiesces the pipeline it is called on.
+    /// from a worker: it quiesces the pipeline it is called on. Window
+    /// operations are single-consumer — one control-plane caller at a
+    /// time (the autonomous [`ControlLoop`] *is* that caller when
+    /// spawned; don't mix it with manual polling).
     ///
-    /// A window still below the policy's `min_samples` is left
-    /// accumulating (not drained), so a low-rate but persistently
-    /// skewed workload eventually gathers enough evidence across
-    /// polls; once the window is large enough to support a decision —
-    /// migrate or confirmed-balanced — it is consumed.
+    /// The window discipline is peek-then-commit:
+    ///
+    /// * the `min_samples` gate, the plan, and the retire all judge
+    ///   the **same snapshot** — samples recorded mid-call stay in the
+    ///   meter for the next poll rather than being judged by one step
+    ///   and invisible to another;
+    /// * a window below `min_samples` keeps accumulating, so a
+    ///   low-rate but persistently skewed workload eventually gathers
+    ///   enough evidence across polls;
+    /// * a window the policy *declines* (balanced, or no improving
+    ///   plan) is **retained, not discarded** — under a weighted
+    ///   policy the same packet evidence can tip the decision on a
+    ///   later poll once queueing pressure shifts. Periodic callers
+    ///   should age retained windows with
+    ///   [`Self::decay_bucket_loads`] (the [`ControlLoop`] does).
     pub fn rebalance(
         &self,
         policy: &RebalancePolicy,
         nics: &[&Nic],
     ) -> Option<(RebalancePlan, MigrationReport)> {
-        if self.bucket_load.total() < policy.min_samples.max(1) {
+        let window = self.bucket_load.snapshot();
+        if window.iter().sum::<u64>() < policy.min_samples.max(1) {
             return None; // too little evidence: keep accumulating
         }
-        let window = self.bucket_load.drain();
         let current = self.bucket_map();
-        let plan = policy.plan(&window, &current)?;
+        let Some(plan) = policy.plan(&window, &current) else {
+            return None; // declined: the window is evidence, not waste
+        };
         let report = self.install_bucket_map(plan.map.clone(), nics);
-        self.pool.reset_ring_high_water();
+        // Consume exactly what was judged; concurrent arrivals stay.
+        self.bucket_load.retire(&window);
         Some((plan, report))
+    }
+
+    /// The weighted analogue of [`Self::rebalance`]: the same
+    /// peek-then-commit window discipline, with the decision made by a
+    /// [`WeightedRebalancePolicy`] over the raw window *plus* the live
+    /// per-shard queueing pressure ([`Self::shard_loads`]).
+    pub fn rebalance_weighted(
+        &self,
+        policy: &WeightedRebalancePolicy,
+        nics: &[&Nic],
+    ) -> Option<(RebalancePlan, MigrationReport)> {
+        let window = self.bucket_load.snapshot();
+        let loads = self.shard_loads();
+        let current = self.bucket_map();
+        let plan = policy.plan(&window, &loads, self.spec.ring_capacity, &current)?;
+        let report = self.install_bucket_map(plan.map.clone(), nics);
+        self.bucket_load.retire(&window);
+        Some((plan, report))
+    }
+
+    /// Applies one exponential decay step to the bucket observation
+    /// window: every bucket keeps an `alpha` fraction of its count
+    /// (see `BucketLoad::decay`). This is how periodic pollers age
+    /// evidence the policy declined to act on, instead of draining it.
+    pub fn decay_bucket_loads(&self, alpha: f64) {
+        self.bucket_load.decay(alpha);
+    }
+
+    /// One full turn of the **autonomous** control loop against this
+    /// pipeline: snapshot the window and the shard pressure meters,
+    /// let `ctl` decide, and apply the outcome — install + retire on a
+    /// migration, decay on a judged-but-held window, nothing while
+    /// evidence is still gathering. The threaded [`ControlLoop`] calls
+    /// this on every tick; tests and embedders can drive it directly
+    /// for deterministic single-step control.
+    pub fn control_turn(
+        &self,
+        ctl: &mut RebalanceController,
+        nics: &[&Nic],
+    ) -> Option<(RebalancePlan, MigrationReport)> {
+        let window = self.bucket_load.snapshot();
+        let loads = self.shard_loads();
+        let current = self.bucket_map();
+        match ctl.decide(&window, &loads, self.spec.ring_capacity, &current) {
+            ControlDecision::Gathering => None,
+            ControlDecision::Hold => {
+                self.bucket_load.decay(ctl.policy().decay);
+                None
+            }
+            ControlDecision::Migrate(plan) => {
+                let report = self.install_bucket_map(plan.map.clone(), nics);
+                self.bucket_load.retire(&window);
+                Some((plan, report))
+            }
+        }
     }
 
     /// The capsule hosting `shard`'s replica.
@@ -703,10 +790,14 @@ mod tests {
     }
 
     fn rig(name: &str, workers: usize) -> Rig {
+        rig_with(name, ShardSpec::new(workers))
+    }
+
+    fn rig_with(name: &str, spec: ShardSpec) -> Rig {
         let rm = Arc::new(ResourceManager::new());
         let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let sinks2 = Arc::clone(&sinks);
-        let pipe = ShardedPipeline::build(name, ShardSpec::new(workers), Arc::clone(&rm), {
+        let pipe = ShardedPipeline::build(name, spec, Arc::clone(&rm), {
             move |_shard| {
                 let rt = Runtime::new();
                 register_packet_interfaces(&rt);
@@ -1028,6 +1119,144 @@ mod tests {
         // 24 < 64 on the first two polls; by the third, 72 packets of
         // evidence have accumulated and the skew must have triggered.
         assert_eq!(r.pipe.migrations(), 1, "accumulated window triggered");
+        r.pipe.shutdown();
+    }
+
+    /// Stamps `n` packets onto the given buckets, round-robin.
+    fn stamped(buckets: &[u64], n: usize) -> PacketBatch {
+        let mut batch = PacketBatch::new();
+        for i in 0..n {
+            let mut p =
+                netkit_packet::packet::PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 9, 9).build();
+            p.meta.rss_hash = Some(buckets[i % buckets.len()]);
+            batch.push(p);
+        }
+        batch
+    }
+
+    #[test]
+    fn declined_plan_windows_retain_their_evidence() {
+        // Regression (drain-before-plan): rebalance() used to drain
+        // the window *before* asking the policy, so a judged-but-
+        // declined window was discarded. The evidence must survive a
+        // declined poll: the same packet skew that cannot trigger the
+        // unweighted policy still converges later, once queueing
+        // pressure tips the weighted decision — which only works if
+        // declined windows are retained.
+        let r = rig_with("retain", ShardSpec::new(2).with_ring_capacity(8));
+        let policy = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_samples: 64,
+        };
+        // A sustained 1.2x skew: shard 0 carries 60 of every 100
+        // packets (buckets 0 and 2), shard 1 carries 40 (bucket 1).
+        let skew: Vec<u64> = std::iter::repeat_n([0u64, 2, 1, 0, 1, 2, 0, 1, 0, 1], 10)
+            .flatten()
+            .collect();
+        r.pipe.dispatch(stamped(&skew, 100));
+        r.pipe.flush();
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 100);
+
+        // Judged and declined (1.2 < 1.25) — but NOT discarded.
+        assert!(r.pipe.rebalance(&policy, &[]).is_none());
+        assert_eq!(
+            r.pipe.bucket_loads().iter().sum::<u64>(),
+            100,
+            "a declined window is evidence, not waste"
+        );
+
+        // The retained window converges under the weighted policy as
+        // soon as the hot shard's ring shows pressure: barely any new
+        // packet evidence is needed.
+        let weighted = WeightedRebalancePolicy {
+            base: policy,
+            pressure_weight: 1.0,
+            decay: 0.5,
+        };
+        // Pile work onto shard 0's ring inside a quiesce (workers
+        // parked, nothing retires) so its high-water mark rides 6/8 of
+        // the ring capacity — deterministic queueing pressure.
+        r.pipe.quiesce(|| {
+            for _ in 0..6 {
+                r.pipe.submit(0, stamped(&[0], 1)).unwrap();
+            }
+        });
+        r.pipe.flush();
+        let loads = r.pipe.shard_loads();
+        assert!(loads[0].ring_high_water >= 6, "{loads:?}");
+        let (plan, _) = r
+            .pipe
+            .rebalance_weighted(&weighted, &[])
+            .expect("retained evidence + pressure must converge");
+        assert_eq!(plan.moved, vec![2], "colocated bucket leaves shard 0");
+        assert_eq!(r.pipe.migrations(), 1);
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn rebalance_gates_plans_and_retires_one_snapshot() {
+        // Regression (TOCTOU): the min_samples gate used to read
+        // total() and then separately drain() — the judged window
+        // could differ from the gated one. Now one snapshot serves
+        // gate, plan, and retire: after a triggered rebalance the
+        // meter holds exactly what arrived after the snapshot (here:
+        // nothing), and a declined poll leaves it bit-identical.
+        let r = rig("snapshot", 4);
+        let policy = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_samples: 32,
+        };
+        r.pipe.dispatch(stamped(&[0, 4, 8, 12], 64)); // all -> shard 0
+        r.pipe.flush();
+        let before = r.pipe.bucket_loads();
+        let (plan, _) = r.pipe.rebalance(&policy, &[]).expect("skew triggers");
+        assert!(!plan.moved.is_empty());
+        assert_eq!(
+            r.pipe.bucket_loads().iter().sum::<u64>(),
+            0,
+            "the judged snapshot {before:?} is retired exactly"
+        );
+        r.pipe.shutdown();
+    }
+
+    #[test]
+    fn control_turn_closes_the_loop_on_the_pipeline() {
+        let r = rig("turn", 4);
+        let mut ctl = RebalanceController::new(
+            WeightedRebalancePolicy {
+                base: RebalancePolicy {
+                    max_imbalance: 1.25,
+                    min_samples: 64,
+                },
+                pressure_weight: 1.0,
+                decay: 0.5,
+            },
+            0,
+        );
+        // Turn 1: gathering (window below min_samples) — untouched.
+        r.pipe.dispatch(stamped(&[0, 4, 8, 12], 24));
+        r.pipe.flush();
+        assert!(r.pipe.control_turn(&mut ctl, &[]).is_none());
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 24);
+        // Turn 2: enough evidence accumulated across turns — migrate,
+        // and the judged window retires.
+        r.pipe.dispatch(stamped(&[0, 4, 8, 12], 48));
+        r.pipe.flush();
+        let (plan, report) = r
+            .pipe
+            .control_turn(&mut ctl, &[])
+            .expect("colocation must migrate");
+        assert_eq!(report.moved_buckets, plan.moved.len());
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 0);
+        assert_eq!(r.pipe.migrations(), 1);
+        // Turn 3: balanced traffic under the new table — Hold decays
+        // the judged window instead of draining it.
+        r.pipe.dispatch(stamped(&[0, 4, 8, 12], 128));
+        r.pipe.flush();
+        assert!(r.pipe.control_turn(&mut ctl, &[]).is_none());
+        let retained = r.pipe.bucket_loads().iter().sum::<u64>();
+        assert_eq!(retained, 64, "hold keeps alpha=0.5 of the window");
+        assert_eq!(ctl.ticks(), 3);
         r.pipe.shutdown();
     }
 

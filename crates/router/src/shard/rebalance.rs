@@ -38,6 +38,8 @@
 
 use netkit_packet::steer::{BucketMap, RSS_BUCKETS};
 
+use super::ShardLoad;
+
 /// When and how aggressively to rewrite the bucket table.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RebalancePolicy {
@@ -165,6 +167,125 @@ impl RebalancePolicy {
     }
 }
 
+/// A [`RebalancePolicy`] that weighs *queueing pressure* into the
+/// evidence, not just packet counts.
+///
+/// Packet counts alone are a throughput meter: they say which buckets
+/// are busy, not which shard is *drowning*. A shard whose ring
+/// high-water mark rides its capacity is receiving work faster than it
+/// retires it — its buckets hurt more per packet than the same count
+/// on an idle shard. This policy folds that in: each bucket's count is
+/// inflated by its current shard's pressure,
+///
+/// ```text
+/// effective[b] = count[b] × (1 + pressure_weight × hwm[shard(b)] / ring_capacity)
+/// ```
+///
+/// (pressure clamped to `[0, 1]`; `max(ring_high_water, in_flight)`
+/// is used so a freshly reset mark still sees live occupancy), and the
+/// base policy's threshold + LPT plan run over the effective loads. A
+/// persistent packet skew sitting *just under* the imbalance threshold
+/// therefore still converges once the hot shard's queue starts
+/// backing up — evidence the unweighted policy is blind to.
+/// `pressure_weight = 0` reproduces the base policy exactly.
+///
+/// The `min_samples` gate applies to the **raw** window (pressure must
+/// never conjure evidence out of an idle dataplane), and `decay` is
+/// the per-judged-decision exponential retention the control loop
+/// applies instead of destructively draining windows (see
+/// [`crate::shard::control`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedRebalancePolicy {
+    /// Threshold + window core. The imbalance test runs on *effective*
+    /// (pressure-weighted) loads; `min_samples` gates on raw counts.
+    pub base: RebalancePolicy,
+    /// How strongly ring pressure inflates a shard's buckets: a shard
+    /// riding its full ring weighs `1 + pressure_weight` per packet.
+    /// `0.0` ≡ the unweighted base policy.
+    pub pressure_weight: f64,
+    /// Fraction of a judged-but-declined window retained per decision
+    /// (`1.0` = never fades). Applied by the control loop via
+    /// `BucketLoad::decay`, not by [`Self::plan`] itself.
+    pub decay: f64,
+}
+
+impl Default for WeightedRebalancePolicy {
+    fn default() -> Self {
+        Self {
+            base: RebalancePolicy::default(),
+            pressure_weight: 1.0,
+            decay: 0.5,
+        }
+    }
+}
+
+impl WeightedRebalancePolicy {
+    /// Inflates a raw per-bucket window by per-shard queueing pressure
+    /// under `current` (see the type docs for the formula). `loads`
+    /// entries are matched to shards by their `shard` field; missing
+    /// shards (or an empty slice, as the deterministic sim passes)
+    /// contribute zero pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_bucket` does not hold [`RSS_BUCKETS`] entries.
+    pub fn effective_window(
+        &self,
+        per_bucket: &[u64],
+        loads: &[ShardLoad],
+        ring_capacity: usize,
+        current: &BucketMap,
+    ) -> Vec<u64> {
+        assert_eq!(per_bucket.len(), RSS_BUCKETS, "one load per bucket");
+        let cap = ring_capacity.max(1) as f64;
+        let mut factor = vec![1.0f64; current.shards()];
+        if self.pressure_weight > 0.0 {
+            for load in loads {
+                if let Some(f) = factor.get_mut(load.shard) {
+                    let occupancy = load.ring_high_water.max(load.in_flight) as f64;
+                    *f = 1.0 + self.pressure_weight * (occupancy / cap).min(1.0);
+                }
+            }
+        }
+        per_bucket
+            .iter()
+            .enumerate()
+            .map(|(bucket, &count)| {
+                (count as f64 * factor[current.shard_of_bucket(bucket)]).round() as u64
+            })
+            .collect()
+    }
+
+    /// Plans a migration from one raw observation window plus the
+    /// per-shard pressure meters, or `None` when rebalancing is not
+    /// warranted. Semantics are [`RebalancePolicy::plan`] run over the
+    /// [`Self::effective_window`] — the plan's `imbalance_before`/
+    /// `imbalance_after` are therefore in effective (weighted) units —
+    /// except that the `min_samples` gate judges the raw counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_bucket` does not hold [`RSS_BUCKETS`] entries.
+    pub fn plan(
+        &self,
+        per_bucket: &[u64],
+        loads: &[ShardLoad],
+        ring_capacity: usize,
+        current: &BucketMap,
+    ) -> Option<RebalancePlan> {
+        let raw_total: u64 = per_bucket.iter().sum();
+        if raw_total < self.base.min_samples.max(1) {
+            return None;
+        }
+        let effective = self.effective_window(per_bucket, loads, ring_capacity, current);
+        let judge = RebalancePolicy {
+            max_imbalance: self.base.max_imbalance,
+            min_samples: 1, // raw gate already passed
+        };
+        judge.plan(&effective, current)
+    }
+}
+
 /// What a completed migration did — returned by
 /// `ShardedPipeline::install_bucket_map` and `rebalance`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -282,6 +403,82 @@ mod tests {
             policy.plan(&w, &current).is_none(),
             "a makespan tie must not cost a migration epoch"
         );
+    }
+
+    fn shard_pressure(shard: usize, hwm: usize) -> ShardLoad {
+        ShardLoad {
+            shard,
+            ring_high_water: hwm,
+            ..ShardLoad::default()
+        }
+    }
+
+    #[test]
+    fn zero_pressure_weight_matches_the_base_policy() {
+        let policy = WeightedRebalancePolicy {
+            base: RebalancePolicy {
+                max_imbalance: 1.1,
+                min_samples: 1,
+            },
+            pressure_weight: 0.0,
+            decay: 1.0,
+        };
+        let current = BucketMap::identity(2);
+        let w = loads(&[(0, 70), (2, 40), (4, 30), (1, 10)]);
+        // Even under heavy reported pressure the effective window is
+        // the raw window, and the plan matches the base policy's.
+        let pressure = [shard_pressure(0, 1024), shard_pressure(1, 0)];
+        assert_eq!(policy.effective_window(&w, &pressure, 1024, &current), w);
+        let weighted = policy.plan(&w, &pressure, 1024, &current).expect("skew");
+        let base = policy.base.plan(&w, &current).expect("skew");
+        assert_eq!(weighted.map, base.map);
+        assert_eq!(weighted.moved, base.moved);
+    }
+
+    #[test]
+    fn queue_pressure_lifts_an_under_threshold_skew_over_the_line() {
+        // Raw packet counts: shard 0 carries 60 (buckets 0 and 2),
+        // shard 1 carries 40 — imbalance 1.2, under the 1.25
+        // threshold, so the unweighted policy holds forever.
+        let current = BucketMap::identity(2);
+        let w = loads(&[(0, 40), (2, 20), (1, 40)]);
+        let base = RebalancePolicy {
+            max_imbalance: 1.25,
+            min_samples: 32,
+        };
+        assert!(base.plan(&w, &current).is_none(), "1.2 < 1.25: no plan");
+
+        // But shard 0's ring rides its capacity while shard 1 idles:
+        // per-packet, shard 0's buckets hurt twice as much. Effective
+        // window [80, 40, 40] → imbalance 1.5 → the mice (bucket 2)
+        // move off the drowning shard.
+        let policy = WeightedRebalancePolicy {
+            base,
+            pressure_weight: 1.0,
+            decay: 0.5,
+        };
+        let pressure = [shard_pressure(0, 1024), shard_pressure(1, 2)];
+        let plan = policy
+            .plan(&w, &pressure, 1024, &current)
+            .expect("pressure must tip the decision");
+        assert!(plan.imbalance_before > 1.25, "{}", plan.imbalance_before);
+        assert!(plan.imbalance_after < plan.imbalance_before);
+        assert_eq!(plan.moved, vec![2], "the colocated bucket migrates");
+        assert_eq!(plan.map.shard_of_bucket(2), 1);
+    }
+
+    #[test]
+    fn pressure_never_conjures_evidence_from_an_idle_window() {
+        // min_samples gates on RAW counts: a tiny window stays a tiny
+        // window no matter how hard the rings are reported to back up.
+        let policy = WeightedRebalancePolicy::default(); // min_samples 64
+        let current = BucketMap::identity(2);
+        let w = loads(&[(0, 10), (2, 10)]);
+        let pressure = [shard_pressure(0, 4096), shard_pressure(1, 0)];
+        assert!(policy.plan(&w, &pressure, 64, &current).is_none());
+        // Missing / short pressure slices degrade to factor 1.0.
+        let big = loads(&[(0, 500), (2, 300), (1, 100)]);
+        assert_eq!(policy.effective_window(&big, &[], 64, &current), big);
     }
 
     #[test]

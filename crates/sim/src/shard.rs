@@ -13,13 +13,26 @@
 //! Installing a rebalanced table with [`ShardedBehaviour::set_map`]
 //! between deliveries models the threaded runtime's quiesce-boundary
 //! migration (the sim *is* always at a batch boundary between events).
+//!
+//! The behaviour also carries the same per-bucket
+//! [`BucketLoad`] meter the threaded
+//! pipeline feeds worker-side (recorded at demux time, only when
+//! sharded), with the same peek / decay / retire window discipline —
+//! so the **autonomous control loop's decision core**
+//! (`netkit_router::shard::control::RebalanceController`) can be
+//! driven from the sim's event loop, deterministically: peek
+//! [`ShardedBehaviour::bucket_loads`], decide, then
+//! [`ShardedBehaviour::set_map`] +
+//! [`ShardedBehaviour::retire_bucket_loads`] on a migration or
+//! [`ShardedBehaviour::decay_bucket_loads`] on a hold. Same loop, same
+//! evidence semantics, no threads.
 
 use std::fmt;
 
 use netkit_kernel::shard::ShardSpec;
 use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
-use netkit_packet::steer::BucketMap;
+use netkit_packet::steer::{BucketLoad, BucketMap};
 
 use crate::node::{NodeBehaviour, NodeCtx};
 
@@ -29,6 +42,10 @@ pub struct ShardedBehaviour {
     name: String,
     shards: Vec<Box<dyn NodeBehaviour>>,
     map: BucketMap,
+    /// Per-bucket observation meter (fed at demux time when sharded;
+    /// a single-shard behaviour has nothing to rebalance, mirroring
+    /// the threaded pipeline's metering gate).
+    load: BucketLoad,
 }
 
 impl ShardedBehaviour {
@@ -45,6 +62,7 @@ impl ShardedBehaviour {
             name: name.into(),
             shards: (0..workers).map(&mut factory).collect(),
             map: BucketMap::identity(workers),
+            load: BucketLoad::new(),
         }
     }
 
@@ -77,6 +95,30 @@ impl ShardedBehaviour {
         self.map = map;
     }
 
+    /// Snapshot (peek, non-destructive) of the per-bucket packet
+    /// meters — the inspect arm of a sim-driven control loop.
+    pub fn bucket_loads(&self) -> Vec<u64> {
+        self.load.snapshot()
+    }
+
+    /// Subtracts a previously peeked window from the meter — the
+    /// commit half of peek-then-commit, called right after the
+    /// [`Self::set_map`] a migration decision produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not `RSS_BUCKETS` long.
+    pub fn retire_bucket_loads(&self, window: &[u64]) {
+        self.load.retire(window);
+    }
+
+    /// Ages the observation window by one exponential decay step —
+    /// what a sim-driven control loop does with a judged-but-declined
+    /// window instead of draining it.
+    pub fn decay_bucket_loads(&self, alpha: f64) {
+        self.load.decay(alpha);
+    }
+
     /// The inner behaviours, for post-run inspection.
     pub fn shards(&self) -> &[Box<dyn NodeBehaviour>] {
         &self.shards
@@ -91,6 +133,9 @@ impl ShardedBehaviour {
 
 impl NodeBehaviour for ShardedBehaviour {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet) {
+        if self.shards.len() > 1 {
+            self.load.record_packet(&pkt);
+        }
         let shard = self.map.shard_of_packet(&pkt);
         self.shards[shard].on_packet(ctx, ingress, pkt);
     }
@@ -106,7 +151,9 @@ impl NodeBehaviour for ShardedBehaviour {
             self.shards[0].on_batch(ctx, ingress, pkts);
             return;
         }
-        let split = PacketBatch::from_packets(pkts).shard_split_with(&self.map);
+        let batch = PacketBatch::from_packets(pkts);
+        self.load.record_batch(&batch);
+        let split = batch.shard_split_with(&self.map);
         for (shard, part) in split.into_shard_batches().into_iter().enumerate() {
             if !part.is_empty() {
                 self.shards[shard].on_batch(ctx, ingress, part.into_packets());
@@ -229,6 +276,48 @@ mod tests {
         let counters = counters.borrow();
         let got: Vec<u64> = counters.iter().map(|c| c.received()).collect();
         assert_eq!(got, vec![0, 0, 0, 16], "demux follows the table");
+    }
+
+    #[test]
+    fn demux_meters_share_the_window_discipline() {
+        let mut sharded = ShardedBehaviour::new("metered", ShardSpec::new(4), |_| {
+            Box::new(SinkBehaviour::new().0)
+        });
+        let pkts: Vec<Packet> = (0..16u16)
+            .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80).build())
+            .collect();
+        run_batch(&mut sharded, pkts.clone());
+        assert_eq!(sharded.bucket_loads().iter().sum::<u64>(), 16);
+        // Peek-then-commit: retire exactly the judged window...
+        let judged = sharded.bucket_loads();
+        run_batch(&mut sharded, pkts[..4].to_vec());
+        sharded.retire_bucket_loads(&judged);
+        assert_eq!(
+            sharded.bucket_loads().iter().sum::<u64>(),
+            4,
+            "post-snapshot arrivals survive the retire"
+        );
+        // ...and decay ages what a declined decision leaves behind.
+        sharded.decay_bucket_loads(0.0);
+        assert_eq!(sharded.bucket_loads().iter().sum::<u64>(), 0);
+
+        // A single-shard behaviour has nothing to rebalance: no meter.
+        let mut single = ShardedBehaviour::new("solo", ShardSpec::new(1), |_| {
+            Box::new(SinkBehaviour::new().0)
+        });
+        run_batch(&mut single, pkts[..4].to_vec());
+        let pkt = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 4242, 80).build();
+        let (mut em, mut ti, mut de, mut dr) = (Vec::new(), Vec::new(), Vec::new(), 0u64);
+        let mut ctx = NodeCtx {
+            node: NodeId(0),
+            now: SimTime::from_nanos(0),
+            emissions: &mut em,
+            timers: &mut ti,
+            deliveries: &mut de,
+            drops: &mut dr,
+        };
+        single.on_packet(&mut ctx, 0, pkt);
+        assert_eq!(single.bucket_loads().iter().sum::<u64>(), 0);
     }
 
     #[test]

@@ -78,8 +78,8 @@
 //! counters and per-output multisets are identical and per-flow
 //! sequences are preserved (`tests/sharded_equiv.rs`).
 //!
-//! Steering itself is **adaptive**: every layer consults one 256-entry
-//! bucket → shard indirection table
+//! Steering itself is **adaptive and autonomous**: every layer
+//! consults one 256-entry bucket → shard indirection table
 //! ([`packet::steer::BucketMap`], the software form of a hardware RSS
 //! indirection table), and the reflective rebalancer
 //! ([`router::shard::rebalance`]) watches per-bucket load meters for
@@ -88,7 +88,15 @@
 //! epoch quiesce as any other reconfiguration, migrating whole
 //! buckets without losing, duplicating, or reordering any flow
 //! (`tests/rebalance_elephant.rs`,
-//! `crates/router/tests/proptest_rebalance.rs`). The zero-copy story
+//! `crates/router/tests/proptest_rebalance.rs`). Spawning a
+//! [`router::shard::control::ControlLoop`] closes that loop with no
+//! external caller: a supervised periodic task
+//! ([`kernel::task::PeriodicTask`]) peeks the decay-based observation
+//! windows, weighs ring pressure into the decision
+//! ([`router::shard::WeightedRebalancePolicy`]), backs off while the
+//! dataplane is balanced, and migrates — rate-capped — when it is not
+//! (`tests/autonomous_control_soak.rs`,
+//! `examples/autonomous_rebalance.rs`). The zero-copy story
 //! extends through egress: `ToDevice` moves each packet's frame
 //! storage onto the NIC tx ring with its pool lease intact
 //! ([`kernel::nic::Nic::tx_burst_packets`]), and the wire side's
