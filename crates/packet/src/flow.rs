@@ -74,6 +74,37 @@ pub fn stamp_rss(pkt: &mut Packet) -> Option<u64> {
     pkt.meta.rss_hash
 }
 
+/// Which direction of a bidirectional connection a packet belongs to,
+/// relative to the flow's [canonical](FlowKey::canonical) orientation.
+///
+/// Returned by [`FlowKey::canonical_with_direction`] so stateful
+/// elements (conntrack, NAT) can keep one table entry per connection
+/// and still attribute packets and bytes per direction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlowDirection {
+    /// The packet's tuple already was in canonical orientation — by
+    /// convention the connection's *initiator→responder* direction when
+    /// the initiator's endpoint sorts first.
+    Forward,
+    /// The packet's tuple is the canonical key with endpoints swapped.
+    Reverse,
+}
+
+impl FlowDirection {
+    /// True for [`FlowDirection::Forward`].
+    pub fn is_forward(self) -> bool {
+        matches!(self, FlowDirection::Forward)
+    }
+
+    /// The opposite direction.
+    pub fn flipped(self) -> FlowDirection {
+        match self {
+            FlowDirection::Forward => FlowDirection::Reverse,
+            FlowDirection::Reverse => FlowDirection::Forward,
+        }
+    }
+}
+
 /// The classic 5-tuple flow identifier.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowKey {
@@ -147,11 +178,62 @@ impl FlowKey {
         hasher.finish()
     }
 
-    /// The RSS steering hash: FNV-1a over the canonical tuple encoding,
-    /// finished with a murmur3-style avalanche so the *low* bits — the
-    /// ones `% shards` keeps — disperse even when tuples differ only in
+    /// The direction-normalized key: the endpoint pair is sorted so
+    /// both directions of a connection produce the *same* key —
+    /// `canonical(a→b) == canonical(b→a)`. Address and port swap
+    /// together (they name one endpoint); the protocol is unchanged.
+    ///
+    /// Stateful elements key their per-flow tables by this, so a
+    /// connection occupies one entry no matter which side sent the
+    /// packet in hand. [`Self::rss_hash`] hashes the canonical
+    /// orientation for the same reason: both directions must steer to
+    /// the same shard or single-writer per-shard flow tables would see
+    /// half a connection each.
+    pub fn canonical(&self) -> FlowKey {
+        if (self.dst, self.dst_port) < (self.src, self.src_port) {
+            FlowKey {
+                src: self.dst,
+                dst: self.src,
+                protocol: self.protocol,
+                src_port: self.dst_port,
+                dst_port: self.src_port,
+            }
+        } else {
+            *self
+        }
+    }
+
+    /// [`Self::canonical`] plus which direction this tuple was:
+    /// [`FlowDirection::Forward`] if it already was canonical,
+    /// [`FlowDirection::Reverse`] if the endpoints were swapped.
+    pub fn canonical_with_direction(&self) -> (FlowKey, FlowDirection) {
+        if (self.dst, self.dst_port) < (self.src, self.src_port) {
+            (
+                FlowKey {
+                    src: self.dst,
+                    dst: self.src,
+                    protocol: self.protocol,
+                    src_port: self.dst_port,
+                    dst_port: self.src_port,
+                },
+                FlowDirection::Reverse,
+            )
+        } else {
+            (*self, FlowDirection::Forward)
+        }
+    }
+
+    /// The RSS steering hash: FNV-1a over the **canonical** tuple
+    /// encoding (sorted endpoints, see [`Self::canonical`]), finished
+    /// with a murmur3-style avalanche so the *low* bits — the ones
+    /// `% shards` keeps — disperse even when tuples differ only in
     /// their trailing bytes (plain FNV-1a leaves the low bits badly
     /// clustered for e.g. dst-port-only variation).
+    ///
+    /// Hashing the canonical orientation makes the hash — and therefore
+    /// bucket and shard placement — *direction-symmetric*: request and
+    /// reply of one connection always steer to the same worker, the
+    /// invariant the per-shard single-writer flow tables rely on.
     ///
     /// Unlike [`Self::hash64`] (tied to the std hasher implementation)
     /// this is stable across runs, processes, and platforms, so
@@ -167,18 +249,19 @@ impl FlowKey {
             }
             h
         }
+        let c = self.canonical();
         let mut h = OFFSET;
-        h = match self.src {
+        h = match c.src {
             IpAddr::V4(a) => eat(h, &a.octets()),
             IpAddr::V6(a) => eat(h, &a.octets()),
         };
-        h = match self.dst {
+        h = match c.dst {
             IpAddr::V4(a) => eat(h, &a.octets()),
             IpAddr::V6(a) => eat(h, &a.octets()),
         };
-        h = eat(h, &[self.protocol]);
-        h = eat(h, &self.src_port.to_be_bytes());
-        h = eat(h, &self.dst_port.to_be_bytes());
+        h = eat(h, &[c.protocol]);
+        h = eat(h, &c.src_port.to_be_bytes());
+        h = eat(h, &c.dst_port.to_be_bytes());
         // fmix64 finaliser (murmur3): full avalanche into the low bits.
         h ^= h >> 33;
         h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
@@ -418,6 +501,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn canonical_is_direction_invariant() {
+        let ab = FlowKey {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.9.9.9".parse().unwrap(),
+            protocol: proto::TCP,
+            src_port: 49152,
+            dst_port: 443,
+        };
+        let ba = FlowKey {
+            src: ab.dst,
+            dst: ab.src,
+            protocol: ab.protocol,
+            src_port: ab.dst_port,
+            dst_port: ab.src_port,
+        };
+        assert_eq!(ab.canonical(), ba.canonical());
+        // Canonicalising twice is a no-op.
+        assert_eq!(ab.canonical().canonical(), ab.canonical());
+        // The two orientations report opposite directions…
+        let (ck_ab, dir_ab) = ab.canonical_with_direction();
+        let (ck_ba, dir_ba) = ba.canonical_with_direction();
+        assert_eq!(ck_ab, ck_ba);
+        assert_eq!(dir_ab, dir_ba.flipped());
+        assert_ne!(dir_ab.is_forward(), dir_ba.is_forward());
+        // …and address/port swap together: the canonical key is one of
+        // the two original tuples, never a cross-pairing.
+        assert!(ck_ab == ab || ck_ab == ba);
+    }
+
+    #[test]
+    fn canonical_breaks_address_ties_by_port() {
+        // Same address both sides (hairpin): the port pair decides.
+        let lo = FlowKey {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.0.1".parse().unwrap(),
+            protocol: proto::UDP,
+            src_port: 9000,
+            dst_port: 80,
+        };
+        let hi = FlowKey {
+            src: lo.dst,
+            dst: lo.src,
+            protocol: lo.protocol,
+            src_port: lo.dst_port,
+            dst_port: lo.src_port,
+        };
+        assert_eq!(lo.canonical(), hi.canonical());
+        assert_eq!(lo.canonical().src_port, 80);
+    }
+
+    #[test]
+    fn rss_affinity_holds_for_both_directions() {
+        // The load-bearing invariant for per-shard stateful services:
+        // request and reply steer to the same bucket, hence the same
+        // shard, under every shard count.
+        for n in 0..64u8 {
+            let fwd = key(n);
+            let rev = FlowKey {
+                src: fwd.dst,
+                dst: fwd.src,
+                protocol: fwd.protocol,
+                src_port: fwd.dst_port,
+                dst_port: fwd.src_port,
+            };
+            assert_eq!(fwd.rss_hash(), rev.rss_hash(), "flow {n}");
+            assert_eq!(fwd.bucket(), rev.bucket(), "flow {n}");
+            for shards in [1usize, 2, 3, 4, 8] {
+                assert_eq!(fwd.shard_for(shards), rev.shard_for(shards), "flow {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reply_frames_steer_to_the_request_shard() {
+        // End to end through the frame parser: a reply built by
+        // swapping endpoints lands on the same shard as the request.
+        let req = PacketBuilder::udp_v4("10.0.0.7", "10.9.9.9", 5353, 53).build();
+        let rsp = PacketBuilder::udp_v4("10.9.9.9", "10.0.0.7", 53, 5353).build();
+        assert_eq!(shard_of(&req, 4), shard_of(&rsp, 4));
+        let kq = FlowKey::from_packet(&req).unwrap();
+        let kr = FlowKey::from_packet(&rsp).unwrap();
+        assert_eq!(kq.canonical(), kr.canonical());
+        assert_eq!(kq.rss_hash(), kr.rss_hash());
     }
 
     #[test]

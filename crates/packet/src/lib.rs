@@ -18,6 +18,10 @@
 //!   bucket → shard indirection table ([`steer::BucketMap`]) every
 //!   steering surface shares, and the per-bucket load meters
 //!   ([`steer::BucketLoad`]) that feed the reflective rebalancer.
+//! * [`sketch`] — bounded-memory traffic summaries (count-min,
+//!   Space-Saving top-k) recording per-flow *byte* weight; the
+//!   heavy-hitter evidence that lets the rebalancer see an elephant
+//!   inside an otherwise uniform bucket.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,6 +33,7 @@ pub mod flow;
 pub mod headers;
 pub mod packet;
 pub mod pool;
+pub mod sketch;
 pub mod steer;
 
 pub use batch::{LabelGroup, PacketBatch};

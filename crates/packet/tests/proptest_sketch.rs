@@ -1,0 +1,166 @@
+//! Property tests for the flow sketches: the count-min `(ε, δ)`
+//! estimate bound and Space-Saving's deterministic top-k guarantees,
+//! checked against exact per-flow truth over arbitrary workloads.
+//!
+//! Count-min (Cormode & Muthukrishnan): estimates never under-count,
+//! and with `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉` each query over-counts
+//! by more than `ε·N` with probability at most `δ`. The second half is
+//! probabilistic, so it is asserted as a *violation budget* over the
+//! distinct keys (`max(1, ⌈2·δ·distinct⌉)` — twice the expectation)
+//! rather than per query.
+//!
+//! Space-Saving (Metwally et al.) is deterministic, so its guarantees
+//! are asserted exactly: for total weight `N` and capacity `k`, every
+//! flow with true weight `> N/k` is monitored; every reported counter
+//! satisfies `true ≤ weight ≤ true + error` with `error ≤ N/k`; and
+//! the cross-shard merge is order-independent.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use netkit_packet::sketch::{CountMinSketch, HeavyHitter, SpaceSaving};
+
+/// `(key index, weight)` — indices into a small universe so flows
+/// repeat, weights spread over three orders of magnitude.
+fn ops_strategy(universe: usize, len: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..universe, 1u64..=1000), 1..len)
+}
+
+/// Spread indices over the hash space — adjacent integers would share
+/// high bits and understate collision behaviour.
+fn key(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn truth(ops: &[(usize, u64)]) -> HashMap<u64, u64> {
+    let mut t = HashMap::new();
+    for &(i, w) in ops {
+        *t.entry(key(i)).or_insert(0) += w;
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn count_min_estimates_hold_the_epsilon_delta_bound(
+        ops in ops_strategy(300, 400),
+    ) {
+        let sketch = CountMinSketch::with_error(0.01, 0.01);
+        for &(i, w) in &ops {
+            sketch.record(key(i), w);
+        }
+        let truth = truth(&ops);
+        let n: u64 = truth.values().sum();
+        prop_assert_eq!(sketch.total(), n, "total is exact, not estimated");
+
+        // Hard half: never an under-count, for every key.
+        for (&k, &t) in &truth {
+            prop_assert!(
+                sketch.estimate(k) >= t,
+                "under-count: key {k} true {t} estimated {}",
+                sketch.estimate(k)
+            );
+        }
+
+        // Probabilistic half: over-counts past ε·N are δ-rare. Budget
+        // twice the expected violation count, floor 1.
+        let slack = (sketch.epsilon() * n as f64).ceil() as u64;
+        let violations = truth
+            .iter()
+            .filter(|(&k, &t)| sketch.estimate(k) > t + slack)
+            .count();
+        let budget = ((2.0 * sketch.delta() * truth.len() as f64).ceil() as usize).max(1);
+        prop_assert!(
+            violations <= budget,
+            "{violations} of {} keys exceed true + ε·N (budget {budget})",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn space_saving_monitors_every_hitter_within_its_error_bound(
+        ops in ops_strategy(64, 300),
+        capacity in 4usize..=32,
+    ) {
+        let ss = SpaceSaving::new(capacity);
+        for &(i, w) in &ops {
+            ss.record(key(i), w);
+        }
+        let truth = truth(&ops);
+        let n: u64 = truth.values().sum();
+        prop_assert_eq!(ss.total(), n);
+
+        let top = ss.top();
+        prop_assert!(top.len() <= capacity);
+        let reported: HashMap<u64, HeavyHitter> =
+            top.iter().map(|h| (h.hash, *h)).collect();
+
+        // Containment: every flow heavier than N/k is monitored.
+        for (&k, &t) in &truth {
+            if t > ss.threshold() {
+                prop_assert!(
+                    reported.contains_key(&k),
+                    "flow {k} (true {t} > threshold {}) not monitored",
+                    ss.threshold()
+                );
+            }
+        }
+
+        // Every reported counter brackets its truth:
+        // true ≤ weight ≤ true + error, with error ≤ N/k.
+        for h in &top {
+            let t = truth.get(&h.hash).copied().unwrap_or(0);
+            prop_assert!(h.weight >= t, "under-count on {}", h.hash);
+            prop_assert!(
+                h.weight <= t + h.error,
+                "flow {}: weight {} exceeds true {t} + error {}",
+                h.hash, h.weight, h.error
+            );
+            prop_assert!(h.error <= n / capacity as u64);
+        }
+
+        // Heaviest-first with deterministic tie-break.
+        for pair in top.windows(2) {
+            prop_assert!(
+                (pair[0].weight, pair[1].hash) > (pair[1].weight, pair[0].hash)
+                    || pair[0].weight > pair[1].weight
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent(
+        shards in proptest::collection::vec(ops_strategy(48, 120), 2..5),
+        capacity in 4usize..=32,
+    ) {
+        let tops: Vec<Vec<HeavyHitter>> = shards
+            .iter()
+            .map(|ops| {
+                let ss = SpaceSaving::new(capacity);
+                for &(i, w) in ops {
+                    ss.record(key(i), w);
+                }
+                ss.top()
+            })
+            .collect();
+        let forward = SpaceSaving::merge(capacity, &tops);
+        let reversed: Vec<Vec<HeavyHitter>> = tops.iter().rev().cloned().collect();
+        prop_assert_eq!(
+            &forward,
+            &SpaceSaving::merge(capacity, &reversed),
+            "merge must not depend on shard order"
+        );
+        prop_assert!(forward.len() <= capacity);
+        // Per-hash weights add across shards.
+        for h in &forward {
+            let summed: u64 = tops
+                .iter()
+                .flatten()
+                .filter(|e| e.hash == h.hash)
+                .map(|e| e.weight)
+                .sum();
+            prop_assert_eq!(h.weight, summed);
+        }
+    }
+}

@@ -254,6 +254,68 @@
 //! }
 //! assert_eq!((ctl.ticks(), ctl.migrations(), ctl.holds()), (3, 1, 1));
 //! ```
+//!
+//! ## The flow-element contract, precisely
+//!
+//! Stateful elements ([`crate::flow`]: `ConnTracker`, `Nat44`,
+//! `L4LoadBalancer`) are ordinary `IPacketPush` components — the batch
+//! contract above applies unchanged — plus four rules of their own:
+//!
+//! * **Identity is canonical.** Per-flow state is keyed by
+//!   [`FlowKey::canonical`](netkit_packet::flow::FlowKey::canonical),
+//!   so both directions of a connection share one entry; and because
+//!   the RSS hash is computed over the symmetric tuple, both
+//!   directions land on the same shard. Under the sharded runtime
+//!   each replica's table therefore has exactly one writer — elements
+//!   need no cross-shard coherence, ever.
+//! * **Pass-through with a sink mode.** An element tracks (or
+//!   rewrites) and forwards on its `out` receptacle; with `out`
+//!   unbound it accepts and drops — the tap deployment the doctest
+//!   below uses. Frames without a flow identity (non-IP, fragments)
+//!   pass through untracked and are counted, never dropped for
+//!   statefulness' sake.
+//! * **State is bounded, and eviction is observable.** Tables
+//!   allocate at construction and never grow
+//!   (`FlowTable::footprint_bytes` is a constant; `tests/flow_soak.rs`
+//!   holds it byte-identical across a million flows). Admission into a
+//!   full table evicts the LRU entry and returns it
+//!   (`Admission::evicted`) so elements owning linked state — NAT's
+//!   paired reverse bindings — unlink deterministically.
+//! * **Migration re-establishes, it does not copy.** When a bucket
+//!   moves shards, the flow's first packet on the new shard re-admits
+//!   it and the state machines promote deterministically (a mid-stream
+//!   ACK establishes immediately; an LB sticky entry re-selects by
+//!   rendezvous hash, stable across shards). The old entry idles out.
+//!   Normative text in [`crate::flow`]; enforced end-to-end by
+//!   `tests/flow_state_rebalance.rs`.
+//!
+//! Runnable — canonical identity gives one bidirectional entry:
+//!
+//! ```
+//! use netkit_packet::flow::FlowKey;
+//! use netkit_packet::packet::PacketBuilder;
+//! use netkit_router::api::IPacketPush;
+//! use netkit_router::flow::{ConnState, ConnTracker};
+//!
+//! let tracker = ConnTracker::new(); // `out` unbound: tap / sink mode
+//! let fwd = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7777, 443).build();
+//! let rev = PacketBuilder::udp_v4("10.0.0.2", "10.0.0.1", 443, 7777).build();
+//!
+//! // The two directions canonicalise to the same key — and to the
+//! // same RSS bucket, which is what makes the table single-writer.
+//! let (kf, kr) = (
+//!     FlowKey::from_packet(&fwd).unwrap(),
+//!     FlowKey::from_packet(&rev).unwrap(),
+//! );
+//! assert_eq!(kf.canonical(), kr.canonical());
+//! assert_eq!(kf.bucket(), kr.bucket());
+//!
+//! tracker.push(fwd).unwrap();
+//! assert_eq!(tracker.info(&kf).unwrap().state, ConnState::New);
+//! tracker.push(rev).unwrap(); // reverse traffic seen: established
+//! assert_eq!(tracker.len(), 1, "one entry for both directions");
+//! assert_eq!(tracker.info(&kr).unwrap().state, ConnState::Established);
+//! ```
 
 use std::fmt;
 use std::net::{AddrParseError, IpAddr};

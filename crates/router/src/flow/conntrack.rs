@@ -1,0 +1,349 @@
+//! Connection tracking: per-flow state machine + direction counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::flow::{FlowDirection, FlowKey};
+use netkit_packet::headers::{proto, EthernetHeader, Ipv4Header, TcpFlags, TcpHeader};
+use netkit_packet::packet::Packet;
+use opencom::component::{Component, ComponentCore, Registrar};
+use opencom::receptacle::Receptacle;
+use parking_lot::Mutex;
+
+use crate::api::{BatchResult, IPacketPush, PushResult, IPACKET_PUSH};
+use crate::elements::element_core;
+
+use super::table::{FlowClock, FlowTable, FlowTableStats};
+
+/// Where a tracked connection stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// Seen in one direction only (UDP) or mid-handshake (TCP SYN).
+    New,
+    /// Confirmed bidirectional (UDP) or past the handshake (TCP ACK).
+    Established,
+    /// A FIN or RST has been observed; the entry ages out.
+    Closing,
+}
+
+/// Per-connection tracking state: the state machine plus per-direction
+/// packet and byte counters. Directions are relative to the flow's
+/// [canonical](netkit_packet::flow::FlowKey::canonical) orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnInfo {
+    /// Connection state.
+    pub state: ConnState,
+    /// Packets seen in the canonical (forward) direction.
+    pub fwd_packets: u64,
+    /// Bytes seen in the canonical (forward) direction.
+    pub fwd_bytes: u64,
+    /// Packets seen in the reverse direction.
+    pub rev_packets: u64,
+    /// Bytes seen in the reverse direction.
+    pub rev_bytes: u64,
+}
+
+impl Default for ConnInfo {
+    fn default() -> Self {
+        Self {
+            state: ConnState::New,
+            fwd_packets: 0,
+            fwd_bytes: 0,
+            rev_packets: 0,
+            rev_bytes: 0,
+        }
+    }
+}
+
+impl ConnInfo {
+    /// Total packets, both directions.
+    pub fn packets(&self) -> u64 {
+        self.fwd_packets + self.rev_packets
+    }
+
+    /// Total bytes, both directions.
+    pub fn bytes(&self) -> u64 {
+        self.fwd_bytes + self.rev_bytes
+    }
+
+    /// Folds one observed packet into the state machine. The same
+    /// transition function runs for a freshly created entry and for an
+    /// established one, which is what makes state **re-establish
+    /// deterministically** after a shard migration: a mid-connection
+    /// TCP segment carries ACK without SYN, so the very first packet
+    /// the new shard sees promotes the fresh entry straight to
+    /// [`ConnState::Established`] — tracked state never regresses to
+    /// `New` for a live connection.
+    fn observe(&mut self, dir: FlowDirection, bytes: u64, tcp: Option<TcpFlags>) {
+        match dir {
+            FlowDirection::Forward => {
+                self.fwd_packets += 1;
+                self.fwd_bytes += bytes;
+            }
+            FlowDirection::Reverse => {
+                self.rev_packets += 1;
+                self.rev_bytes += bytes;
+            }
+        }
+        match tcp {
+            Some(f) if f.fin() || f.rst() => self.state = ConnState::Closing,
+            Some(f) if f.ack() && !f.syn() => {
+                if self.state == ConnState::New {
+                    self.state = ConnState::Established;
+                }
+            }
+            Some(_) => {} // SYN / SYN+ACK: still handshaking.
+            None => {
+                // UDP (and other port-less flows): confirmed once
+                // traffic flows both ways.
+                if self.state == ConnState::New && dir == FlowDirection::Reverse {
+                    self.state = ConnState::Established;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the TCP flags out of an Ethernet+IPv4+TCP frame, if that is
+/// what the frame is.
+fn tcp_flags(pkt: &Packet) -> Option<TcpFlags> {
+    let frame = pkt.data();
+    let eth = EthernetHeader::parse(frame).ok()?;
+    if eth.ethertype != netkit_packet::headers::EtherType::Ipv4 {
+        return None;
+    }
+    let l3 = frame.get(EthernetHeader::LEN..)?;
+    let ip = Ipv4Header::parse(l3).ok()?;
+    if ip.protocol != proto::TCP {
+        return None;
+    }
+    let tcp = TcpHeader::parse(l3.get(ip.header_len..)?).ok()?;
+    Some(tcp.flags)
+}
+
+/// Pass-through connection-tracking element.
+///
+/// Tracks every UDP/TCP flow through a bounded per-shard
+/// [`FlowTable`], keyed canonically so both directions share one
+/// entry. Frames with no flow identity (ARP, malformed) pass through
+/// untracked. With no downstream binding it acts as a sink, like
+/// [`Counter`](crate::elements::Counter).
+///
+/// The table sits behind a mutex only because component entry points
+/// take `&self`; in the sharded dataplane the canonical RSS hash pins
+/// a flow's packets to one worker, so the lock is uncontended by
+/// construction (see the [module docs](super)).
+pub struct ConnTracker {
+    core: ComponentCore,
+    out: Receptacle<dyn IPacketPush>,
+    table: Mutex<FlowTable<ConnInfo>>,
+    clock: FlowClock,
+    untracked: AtomicU64,
+}
+
+impl ConnTracker {
+    /// Default table bound: 64 Ki connections per shard.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a tracker with the default capacity and no idle expiry.
+    pub fn new() -> Arc<Self> {
+        Self::with_table(Self::DEFAULT_CAPACITY, u64::MAX)
+    }
+
+    /// Creates a tracker with an explicit table bound and idle timeout
+    /// (in [`FlowClock`] ticks — nanoseconds when frames carry
+    /// timestamps).
+    pub fn with_table(capacity: usize, idle_timeout: u64) -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.ConnTracker"),
+            out: Receptacle::single("out", IPACKET_PUSH),
+            table: Mutex::new(FlowTable::new(capacity, idle_timeout)),
+            clock: FlowClock::new(),
+            untracked: AtomicU64::new(0),
+        })
+    }
+
+    fn track(&self, table: &mut FlowTable<ConnInfo>, pkt: &Packet) {
+        let Some(key) = FlowKey::from_packet(pkt) else {
+            self.untracked.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let (ckey, dir) = key.canonical_with_direction();
+        let now = self.clock.advance(pkt.meta.timestamp_ns);
+        let flags = tcp_flags(pkt);
+        let bytes = pkt.len() as u64;
+        let admission = table.get_or_insert_with(ckey, now, ConnInfo::default);
+        admission.value.observe(dir, bytes, flags);
+    }
+
+    /// Tracked connection count.
+    pub fn len(&self) -> usize {
+        self.table.lock().len()
+    }
+
+    /// True if no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A tracked connection's state, looked up by either direction's
+    /// tuple.
+    pub fn info(&self, key: &FlowKey) -> Option<ConnInfo> {
+        self.table.lock().peek(&key.canonical()).copied()
+    }
+
+    /// Lifetime table counters (insertions, evictions, hits, misses).
+    pub fn table_stats(&self) -> FlowTableStats {
+        self.table.lock().stats()
+    }
+
+    /// Resident bytes of the backing flow table. Fixed once the slab
+    /// and index reach capacity — the bound the soak test pins.
+    pub fn footprint_bytes(&self) -> usize {
+        self.table.lock().footprint_bytes()
+    }
+
+    /// Frames that carried no flow identity and passed through
+    /// untracked.
+    pub fn untracked(&self) -> u64 {
+        self.untracked.load(Ordering::Relaxed)
+    }
+
+    /// Reclaims idle-expired entries now; returns how many died.
+    pub fn expire_idle(&self) -> usize {
+        let mut table = self.table.lock();
+        let now = self.clock.now();
+        table.expire_idle(now).len()
+    }
+}
+
+impl IPacketPush for ConnTracker {
+    fn push(&self, pkt: Packet) -> PushResult {
+        self.track(&mut self.table.lock(), &pkt);
+        match self.out.with_bound(|next| next.push(pkt)) {
+            Some(result) => result,
+            None => Ok(()), // sink mode
+        }
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        let n = batch.len();
+        {
+            // One lock for the whole burst.
+            let mut table = self.table.lock();
+            for pkt in &batch {
+                self.track(&mut table, pkt);
+            }
+        }
+        match self.out.with_bound(|next| next.push_batch(batch)) {
+            Some(result) => result,
+            None => BatchResult::ok(n), // sink mode
+        }
+    }
+}
+
+impl Component for ConnTracker {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+        reg.receptacle(&self.out);
+    }
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.table.lock().footprint_bytes()
+    }
+}
+
+impl fmt::Debug for ConnTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConnTracker({} tracked, {} untracked)",
+            self.len(),
+            self.untracked()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::packet::PacketBuilder;
+
+    fn udp(src: &str, dst: &str, sport: u16, dport: u16) -> Packet {
+        PacketBuilder::udp_v4(src, dst, sport, dport).build()
+    }
+
+    #[test]
+    fn udp_establishes_on_reverse_traffic() {
+        let ct = ConnTracker::new();
+        let req = udp("10.0.0.1", "10.9.9.9", 5000, 53);
+        let key = FlowKey::from_packet(&req).unwrap();
+        ct.push(req).unwrap();
+        assert_eq!(ct.info(&key).unwrap().state, ConnState::New);
+        // The reply — looked up by the reversed tuple — lands in the
+        // same entry and confirms the connection.
+        ct.push(udp("10.9.9.9", "10.0.0.1", 53, 5000)).unwrap();
+        let info = ct.info(&key).unwrap();
+        assert_eq!(info.state, ConnState::Established);
+        assert_eq!(info.packets(), 2);
+        assert_eq!(ct.len(), 1, "one entry for both directions");
+    }
+
+    #[test]
+    fn per_direction_counters_are_canonical_relative() {
+        let ct = ConnTracker::new();
+        let a = udp("10.0.0.1", "10.9.9.9", 5000, 53);
+        let b = udp("10.9.9.9", "10.0.0.1", 53, 5000);
+        let (_, dir_a) = FlowKey::from_packet(&a).unwrap().canonical_with_direction();
+        let la = a.len() as u64;
+        let lb = b.len() as u64;
+        ct.push(a).unwrap();
+        ct.push(b).unwrap();
+        let info = ct
+            .info(&FlowKey::from_packet(&udp("10.0.0.1", "10.9.9.9", 5000, 53)).unwrap())
+            .unwrap();
+        // Whichever way the canonical orientation fell, one packet is
+        // attributed to each direction.
+        assert_eq!((info.fwd_packets, info.rev_packets), (1, 1));
+        if dir_a.is_forward() {
+            assert_eq!((info.fwd_bytes, info.rev_bytes), (la, lb));
+        } else {
+            assert_eq!((info.fwd_bytes, info.rev_bytes), (lb, la));
+        }
+    }
+
+    #[test]
+    fn non_flow_frames_pass_untracked() {
+        let ct = ConnTracker::new();
+        ct.push(Packet::from_slice(&[0u8; 14])).unwrap();
+        assert_eq!((ct.len(), ct.untracked()), (0, 1));
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_lru() {
+        let ct = ConnTracker::with_table(4, u64::MAX);
+        for n in 0..10u16 {
+            ct.push(udp("10.0.0.1", "10.9.9.9", 6000 + n, 53)).unwrap();
+        }
+        assert_eq!(ct.len(), 4);
+        let stats = ct.table_stats();
+        assert_eq!(stats.insertions, 10);
+        assert_eq!(stats.lru_evictions, 6);
+    }
+
+    #[test]
+    fn batch_path_matches_scalar() {
+        let ct = ConnTracker::new();
+        let batch: PacketBatch = (0..8u16)
+            .map(|n| udp("10.0.0.1", "10.9.9.9", 5000 + n % 4, 53))
+            .collect();
+        let result = ct.push_batch(batch);
+        assert!(result.all_ok());
+        assert_eq!(ct.len(), 4);
+    }
+}

@@ -1,0 +1,476 @@
+//! L4 load balancing: rendezvous-hash backend pick, flow stickiness,
+//! backend draining.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::flow::FlowKey;
+use netkit_packet::headers::proto;
+use netkit_packet::packet::Packet;
+use opencom::component::{Component, ComponentCore, Registrar};
+use opencom::receptacle::Receptacle;
+use parking_lot::Mutex;
+
+use crate::api::{BatchResult, IPacketPush, PushError, PushResult, IPACKET_PUSH};
+use crate::elements::element_core;
+
+use super::rewrite::{rewrite_ipv4_endpoint, RewriteSide};
+use super::table::{FlowClock, FlowTable};
+
+/// murmur3's 64-bit finaliser (the same mix the RSS hash ends with).
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// A backend's public description and counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendStats {
+    /// The backend's id (stable across drain; freed on removal).
+    pub id: u32,
+    /// Backend address.
+    pub ip: Ipv4Addr,
+    /// Backend port.
+    pub port: u16,
+    /// True once draining: existing flows continue, new flows skip it.
+    pub draining: bool,
+    /// Packets forwarded to this backend.
+    pub packets: u64,
+    /// Flows currently stuck to this backend.
+    pub flows: u64,
+}
+
+struct BackendSlot {
+    id: u32,
+    ip: Ipv4Addr,
+    port: u16,
+    draining: bool,
+    packets: u64,
+    flows: u64,
+}
+
+struct LbInner {
+    backends: Vec<BackendSlot>,
+    /// Canonical client↔VIP (and client↔backend) flows → backend id.
+    table: FlowTable<u32>,
+    next_id: u32,
+}
+
+impl LbInner {
+    fn backend_pos(&self, id: u32) -> Option<usize> {
+        self.backends.iter().position(|b| b.id == id)
+    }
+
+    /// Rendezvous (highest-random-weight) pick over non-draining
+    /// backends: deterministic for a given (flow, backend-set), and
+    /// removing one backend only re-homes the flows that were on it.
+    fn pick(&self, flow_hash: u64) -> Option<u32> {
+        self.backends
+            .iter()
+            .filter(|b| !b.draining)
+            .max_by_key(|b| {
+                (
+                    fmix64(flow_hash ^ fmix64(0x5851_f42d_4c95_7f2d ^ b.id as u64)),
+                    b.id,
+                )
+            })
+            .map(|b| b.id)
+    }
+}
+
+/// A virtual-IP L4 load balancer element.
+///
+/// Traffic addressed to the VIP is DNAT-rewritten to a backend chosen
+/// by rendezvous hashing over the flow's canonical RSS hash; the
+/// choice is made **sticky** through a bounded [`FlowTable`], so a
+/// flow keeps its backend even while backends are added. Reply
+/// traffic from a backend is matched by the same table and rewritten
+/// back to the VIP. Draining a backend keeps existing flows flowing
+/// and steers new flows elsewhere; removing it re-homes its flows on
+/// their next packet (deterministically, via the rendezvous re-pick).
+///
+/// Because the rendezvous pick is a pure function of
+/// (flow hash, live backend set), a migrated flow whose table entry
+/// was left on another shard re-establishes onto the *same* backend,
+/// provided the backend set matches — see the [module docs](super)
+/// on state across rebalances.
+pub struct L4LoadBalancer {
+    core: ComponentCore,
+    out: Receptacle<dyn IPacketPush>,
+    vip: Ipv4Addr,
+    vport: u16,
+    inner: Mutex<LbInner>,
+    clock: FlowClock,
+    balanced: AtomicU64,
+    returned: AtomicU64,
+    passthrough: AtomicU64,
+}
+
+impl L4LoadBalancer {
+    /// Creates a balancer for `vip:vport` with a flow table bounded to
+    /// `capacity` entries and the given idle timeout (in
+    /// [`FlowClock`] ticks).
+    pub fn new(vip: Ipv4Addr, vport: u16, capacity: usize, idle_timeout: u64) -> Arc<Self> {
+        Arc::new(Self {
+            core: element_core("netkit.L4LoadBalancer"),
+            out: Receptacle::single("out", IPACKET_PUSH),
+            vip,
+            vport,
+            inner: Mutex::new(LbInner {
+                backends: Vec::new(),
+                table: FlowTable::new(capacity, idle_timeout),
+                next_id: 0,
+            }),
+            clock: FlowClock::new(),
+            balanced: AtomicU64::new(0),
+            returned: AtomicU64::new(0),
+            passthrough: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a backend; returns its id.
+    pub fn add_backend(&self, ip: Ipv4Addr, port: u16) -> u32 {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.backends.push(BackendSlot {
+            id,
+            ip,
+            port,
+            draining: false,
+            packets: 0,
+            flows: 0,
+        });
+        id
+    }
+
+    /// Starts draining a backend: existing flows continue, new flows
+    /// skip it. Returns false for an unknown id.
+    pub fn drain_backend(&self, id: u32) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.backend_pos(id) {
+            Some(pos) => {
+                inner.backends[pos].draining = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a backend outright; its flows re-home on their next
+    /// packet. Returns false for an unknown id.
+    pub fn remove_backend(&self, id: u32) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.backend_pos(id) {
+            Some(pos) => {
+                inner.backends.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-backend description and counters.
+    pub fn backends(&self) -> Vec<BackendStats> {
+        self.inner
+            .lock()
+            .backends
+            .iter()
+            .map(|b| BackendStats {
+                id: b.id,
+                ip: b.ip,
+                port: b.port,
+                draining: b.draining,
+                packets: b.packets,
+                flows: b.flows,
+            })
+            .collect()
+    }
+
+    /// (balanced-to-backend, returned-to-client, passthrough) packet
+    /// counts.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.balanced.load(Ordering::Relaxed),
+            self.returned.load(Ordering::Relaxed),
+            self.passthrough.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Balances one packet in place. `Ok(true)` = rewritten.
+    fn balance(&self, inner: &mut LbInner, pkt: &mut Packet) -> Result<bool, PushError> {
+        let Some(key) = FlowKey::from_packet(pkt) else {
+            return Ok(false);
+        };
+        let (IpAddr::V4(src4), IpAddr::V4(dst4)) = (key.src, key.dst) else {
+            return Ok(false);
+        };
+        if key.protocol != proto::UDP && key.protocol != proto::TCP {
+            return Ok(false);
+        }
+        let now = self.clock.advance(pkt.meta.timestamp_ns);
+        if dst4 == self.vip && key.dst_port == self.vport {
+            // Client → VIP: pick (or recall) a backend, DNAT to it.
+            let ckey = key.canonical();
+            let sticky = inner.table.get_mut(&ckey, now).copied();
+            let valid = sticky.filter(|id| inner.backend_pos(*id).is_some());
+            let id = match valid {
+                Some(id) => id,
+                None => {
+                    let Some(id) = inner.pick(key.rss_hash()) else {
+                        return Err(PushError::Veto("lb: no live backends".into()));
+                    };
+                    // Stick the client↔VIP flow…
+                    let adm = inner.table.get_or_insert_with(ckey, now, || id);
+                    let was_new = adm.created;
+                    *adm.value = id;
+                    let evicted = adm.evicted;
+                    if let Some((_, old)) = evicted {
+                        if let Some(pos) = inner.backend_pos(old) {
+                            inner.backends[pos].flows = inner.backends[pos].flows.saturating_sub(1);
+                        }
+                    }
+                    let pos = inner.backend_pos(id).expect("picked live backend");
+                    if was_new {
+                        inner.backends[pos].flows += 1;
+                    }
+                    // …and the client↔backend flow, so replies match.
+                    let (bip, bport) = (inner.backends[pos].ip, inner.backends[pos].port);
+                    let reply_key = FlowKey {
+                        src: key.src,
+                        dst: IpAddr::V4(bip),
+                        protocol: key.protocol,
+                        src_port: key.src_port,
+                        dst_port: bport,
+                    }
+                    .canonical();
+                    let adm = inner.table.get_or_insert_with(reply_key, now, || id);
+                    *adm.value = id;
+                    id
+                }
+            };
+            let pos = inner.backend_pos(id).expect("validated");
+            inner.backends[pos].packets += 1;
+            let (bip, bport) = (inner.backends[pos].ip, inner.backends[pos].port);
+            rewrite_ipv4_endpoint(pkt, RewriteSide::Dst, bip, bport);
+            self.balanced.fetch_add(1, Ordering::Relaxed);
+            return Ok(true);
+        }
+        // Backend → client reply: restore the VIP as the source.
+        let ckey = key.canonical();
+        if let Some(id) = inner.table.get_mut(&ckey, now).copied() {
+            if let Some(pos) = inner.backend_pos(id) {
+                if inner.backends[pos].ip == src4 && inner.backends[pos].port == key.src_port {
+                    rewrite_ipv4_endpoint(pkt, RewriteSide::Src, self.vip, self.vport);
+                    self.returned.fetch_add(1, Ordering::Relaxed);
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn forward_one(&self, pkt: Packet) -> PushResult {
+        match self.out.with_bound(|next| next.push(pkt)) {
+            Some(result) => result,
+            None => Ok(()), // sink mode
+        }
+    }
+}
+
+impl IPacketPush for L4LoadBalancer {
+    fn push(&self, mut pkt: Packet) -> PushResult {
+        let verdict = {
+            let mut inner = self.inner.lock();
+            self.balance(&mut inner, &mut pkt)
+        };
+        match verdict {
+            Ok(rewritten) => {
+                if !rewritten {
+                    self.passthrough.fetch_add(1, Ordering::Relaxed);
+                }
+                self.forward_one(pkt)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn push_batch(&self, batch: PacketBatch) -> BatchResult {
+        let n = batch.len();
+        let mut batch = batch;
+        let mut failures: Vec<(usize, PushError)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for (i, pkt) in batch.packets_mut().iter_mut().enumerate() {
+                match self.balance(&mut inner, pkt) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.passthrough.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => failures.push((i, e)),
+                }
+            }
+        }
+        if failures.is_empty() {
+            return match self.out.with_bound(|next| next.push_batch(batch)) {
+                Some(result) => result,
+                None => BatchResult::ok(n), // sink mode
+            };
+        }
+        let mut result = BatchResult::with_capacity(n);
+        let mut fail = failures.into_iter().peekable();
+        for (i, pkt) in batch.into_packets().into_iter().enumerate() {
+            if let Some((fi, _)) = fail.peek() {
+                if *fi == i {
+                    let (_, e) = fail.next().expect("peeked");
+                    result.record(Err(e));
+                    continue;
+                }
+            }
+            result.record(self.forward_one(pkt));
+        }
+        result
+    }
+}
+
+impl Component for L4LoadBalancer {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+        reg.receptacle(&self.out);
+    }
+    fn footprint_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        std::mem::size_of::<Self>()
+            + inner.table.footprint_bytes()
+            + inner.backends.capacity() * std::mem::size_of::<BackendSlot>()
+    }
+}
+
+impl fmt::Debug for L4LoadBalancer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (balanced, returned, passthrough) = self.counters();
+        write!(
+            f,
+            "L4LoadBalancer(vip {}:{}, {} backends, {balanced} balanced, {returned} returned, {passthrough} passthrough)",
+            self.vip,
+            self.vport,
+            self.inner.lock().backends.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::packet::PacketBuilder;
+
+    const VIP: &str = "10.99.0.1";
+
+    fn lb() -> Arc<L4LoadBalancer> {
+        let lb = L4LoadBalancer::new(VIP.parse().unwrap(), 80, 256, u64::MAX);
+        lb.add_backend("10.1.0.1".parse().unwrap(), 8080);
+        lb.add_backend("10.1.0.2".parse().unwrap(), 8080);
+        lb.add_backend("10.1.0.3".parse().unwrap(), 8080);
+        lb
+    }
+
+    fn to_vip(client: u16) -> Packet {
+        PacketBuilder::udp_v4("10.0.0.9", VIP, client, 80).build()
+    }
+
+    fn backend_of(lb: &L4LoadBalancer, client: u16) -> Ipv4Addr {
+        let mut pkt = to_vip(client);
+        let mut inner = lb.inner.lock();
+        assert!(lb.balance(&mut inner, &mut pkt).unwrap());
+        drop(inner);
+        match FlowKey::from_packet(&pkt).unwrap().dst {
+            IpAddr::V4(ip) => ip,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn flows_spread_and_stick() {
+        let lb = lb();
+        let first: Vec<Ipv4Addr> = (0..32).map(|c| backend_of(&lb, 7000 + c)).collect();
+        let unique: std::collections::HashSet<_> = first.iter().collect();
+        assert!(unique.len() > 1, "32 flows spread over 3 backends");
+        // Same flows again: identical (sticky) assignment.
+        let second: Vec<Ipv4Addr> = (0..32).map(|c| backend_of(&lb, 7000 + c)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn reply_traffic_is_rewritten_back_to_the_vip() {
+        let lb = lb();
+        let backend = backend_of(&lb, 7001);
+        let mut reply = PacketBuilder::udp_v4(&backend.to_string(), "10.0.0.9", 8080, 7001).build();
+        let mut inner = lb.inner.lock();
+        assert!(lb.balance(&mut inner, &mut reply).unwrap());
+        drop(inner);
+        let key = FlowKey::from_packet(&reply).unwrap();
+        assert_eq!(key.src.to_string(), VIP);
+        assert_eq!(key.src_port, 80);
+    }
+
+    #[test]
+    fn drain_keeps_existing_flows_and_skips_new_ones() {
+        let lb = lb();
+        let victim_backend = backend_of(&lb, 7010);
+        let victim_id = lb
+            .backends()
+            .iter()
+            .find(|b| b.ip == victim_backend)
+            .unwrap()
+            .id;
+        assert!(lb.drain_backend(victim_id));
+        // The existing flow still lands on the draining backend…
+        assert_eq!(backend_of(&lb, 7010), victim_backend);
+        // …while new flows all avoid it.
+        for c in 0..64u16 {
+            assert_ne!(backend_of(&lb, 8000 + c), victim_backend, "client {c}");
+        }
+    }
+
+    #[test]
+    fn removal_rehomes_flows_deterministically() {
+        let lb = lb();
+        let before: Vec<Ipv4Addr> = (0..24).map(|c| backend_of(&lb, 7100 + c)).collect();
+        let victim_id = lb.backends()[0].id;
+        let victim_ip = lb.backends()[0].ip;
+        assert!(lb.remove_backend(victim_id));
+        let after: Vec<Ipv4Addr> = (0..24).map(|c| backend_of(&lb, 7100 + c)).collect();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert_ne!(*a, victim_ip, "client {i} re-homed off the dead backend");
+            if *b != victim_ip {
+                // Rendezvous property: unaffected flows keep their pick.
+                assert_eq!(a, b, "client {i} must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn no_backends_is_a_verdict_not_a_panic() {
+        let lb = L4LoadBalancer::new(VIP.parse().unwrap(), 80, 16, u64::MAX);
+        let err = lb.push(to_vip(7000));
+        assert!(matches!(err, Err(PushError::Veto(_))));
+    }
+
+    #[test]
+    fn non_vip_traffic_passes_through() {
+        let lb = lb();
+        lb.push(PacketBuilder::udp_v4("10.0.0.9", "10.222.0.1", 1, 2).build())
+            .unwrap();
+        assert_eq!(lb.counters(), (0, 0, 1));
+    }
+}

@@ -1,0 +1,495 @@
+//! The per-shard flow table: bounded capacity, O(1) LRU, slab-backed.
+//!
+//! Unlike the legacy shared
+//! [`netkit_packet::flow::FlowTable`] (mutex + O(n) eviction scan),
+//! this table is built for the single-writer per-shard deployment: all
+//! methods take `&mut self`, eviction is O(1) via an intrusive LRU
+//! list, and **no allocation happens after construction** — the slab,
+//! free list, and index are all sized for `capacity` up front, which
+//! is what lets a million distinct flows stream through a bounded
+//! table with zero steady-state allocation growth.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netkit_packet::flow::FlowKey;
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// A monotone logical clock for flow-table ticks.
+///
+/// [`advance`](Self::advance) folds a packet's stamped
+/// `timestamp_ns` into the clock: the result is
+/// `max(previous + 1, stamp)`, so time follows simulated timestamps
+/// when present and still strictly advances (one tick per packet)
+/// when every frame says zero. Elements share one clock per instance;
+/// it is atomic only so `&self` element entry points can use it — the
+/// per-shard deployment is single-writer like the table itself.
+#[derive(Debug, Default)]
+pub struct FlowClock(AtomicU64);
+
+impl FlowClock {
+    /// Creates a clock at tick zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Advances past `stamp_ns` (or by one tick, whichever is later)
+    /// and returns the new now.
+    pub fn advance(&self, stamp_ns: u64) -> u64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = stamp_ns.max(cur.saturating_add(1));
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return next,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct Slot<T> {
+    key: FlowKey,
+    value: T,
+    last_seen: u64,
+    generation: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Counters describing a table's lifetime behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Entries created.
+    pub insertions: u64,
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or only an idle-expired entry).
+    pub misses: u64,
+    /// Entries evicted because the table was full.
+    pub lru_evictions: u64,
+    /// Entries dropped because they exceeded the idle timeout.
+    pub idle_evictions: u64,
+}
+
+/// The outcome of [`FlowTable::get_or_insert_with`].
+#[derive(Debug)]
+pub struct Admission<'a, T> {
+    /// The (possibly just-created) entry value.
+    pub value: &'a mut T,
+    /// True if the entry was created by this call.
+    pub created: bool,
+    /// The table generation stamped on the entry at creation.
+    pub generation: u64,
+    /// The entry evicted to make room (LRU victim, or the idle-expired
+    /// previous incarnation of the same key). Callers owning linked
+    /// state — e.g. NAT's paired reverse entries — unlink it here.
+    pub evicted: Option<(FlowKey, T)>,
+}
+
+/// A bounded per-flow state table with O(1) insert, lookup, and LRU
+/// eviction.
+///
+/// Keys are expected to be
+/// [canonical](netkit_packet::flow::FlowKey::canonical) so both
+/// directions of a connection share one entry; the table itself does
+/// not canonicalise (elements do, because they also need the
+/// direction).
+///
+/// # Single-writer contract
+///
+/// Every method takes `&mut self`. The canonical-tuple RSS hash pins
+/// both directions of a flow to one shard, so in the sharded
+/// dataplane exactly one worker ever touches a given table; elements
+/// wrap the table in a mutex only to satisfy `&self` component entry
+/// points, and that mutex is uncontended by construction.
+///
+/// # Memory
+///
+/// All storage — slot slab, free list, hash index — is allocated at
+/// construction for `capacity` entries and never grows or shrinks:
+/// [`footprint_bytes`](Self::footprint_bytes) is a constant. When the
+/// table is full, inserting evicts the least-recently-used entry.
+pub struct FlowTable<T> {
+    index: HashMap<FlowKey, u32>,
+    slots: Vec<Option<Slot<T>>>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim).
+    tail: u32,
+    idle_timeout: u64,
+    generation: u64,
+    stats: FlowTableStats,
+    /// The index's construction-time capacity. `HashMap::capacity()`
+    /// reports `items + growth_left`, which dips as delete tombstones
+    /// eat headroom and recovers on in-place rehash — the allocation
+    /// itself never moves. Footprint accounting uses this stable
+    /// figure instead.
+    index_reserve: usize,
+}
+
+impl<T> FlowTable<T> {
+    /// Creates a table bounded to `capacity` entries (clamped to ≥ 1)
+    /// whose entries expire `idle_timeout` ticks after their last
+    /// touch. `idle_timeout == u64::MAX` disables idle expiry.
+    pub fn new(capacity: usize, idle_timeout: u64) -> Self {
+        let capacity = capacity.clamp(1, (u32::MAX - 1) as usize);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        // 2× headroom keeps the live count at or below half the
+        // map's growth limit, so delete churn is absorbed by
+        // in-place rehashing (tombstone cleanup) instead of a
+        // capacity doubling — the index never reallocates.
+        let index: HashMap<FlowKey, u32> = HashMap::with_capacity(capacity * 2);
+        let index_reserve = index.capacity();
+        Self {
+            index,
+            slots,
+            free: (0..capacity as u32).rev().collect(),
+            head: NIL,
+            tail: NIL,
+            idle_timeout,
+            generation: 0,
+            stats: FlowTableStats::default(),
+            index_reserve,
+        }
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current table generation (see
+    /// [`bump_generation`](Self::bump_generation)).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the generation stamp. New entries are stamped with the
+    /// current generation, so after a reconfiguration (e.g. a bucket
+    /// migration landed flows on this shard) callers can distinguish
+    /// entries created before and after the event.
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FlowTableStats {
+        self.stats
+    }
+
+    /// The constant memory footprint in bytes.
+    ///
+    /// The index term is the construction-time reserve (see
+    /// `index_reserve`), taken `max` against the live capacity so a
+    /// reallocation — which the 2× headroom is designed to rule out —
+    /// would still show up as growth.
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Option<Slot<T>>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.index_reserve.max(self.index.capacity())
+                * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<u32>())
+    }
+
+    fn slot(&self, idx: u32) -> &Slot<T> {
+        self.slots[idx as usize].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, idx: u32) -> &mut Slot<T> {
+        self.slots[idx as usize].as_mut().expect("live slot")
+    }
+
+    /// Detaches `idx` from the LRU list.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = self.slot(idx);
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slot_mut(prev).next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slot_mut(next).prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Prepends `idx` as the most-recently-used slot.
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = self.slot_mut(idx);
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn touch(&mut self, idx: u32, now: u64) {
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slot_mut(idx).last_seen = now;
+    }
+
+    fn is_idle(&self, idx: u32, now: u64) -> bool {
+        let last = self.slot(idx).last_seen;
+        self.idle_timeout != u64::MAX && now.saturating_sub(last) > self.idle_timeout
+    }
+
+    /// Removes slot `idx`, returning its key and value.
+    fn evict_slot(&mut self, idx: u32) -> (FlowKey, T) {
+        self.unlink(idx);
+        let slot = self.slots[idx as usize].take().expect("live slot");
+        self.index.remove(&slot.key);
+        self.free.push(idx);
+        (slot.key, slot.value)
+    }
+
+    /// Looks up a live entry, refreshing its recency. An idle-expired
+    /// entry is treated as absent (it stays in place until reclaimed
+    /// by [`expire_idle`](Self::expire_idle) or LRU pressure).
+    pub fn get_mut(&mut self, key: &FlowKey, now: u64) -> Option<&mut T> {
+        let idx = *self.index.get(key)?;
+        if self.is_idle(idx, now) {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.touch(idx, now);
+        self.stats.hits += 1;
+        Some(&mut self.slot_mut(idx).value)
+    }
+
+    /// Looks up without touching recency or honouring the idle
+    /// timeout — pure inspection.
+    pub fn peek(&self, key: &FlowKey) -> Option<&T> {
+        self.index.get(key).map(|&idx| &self.slot(idx).value)
+    }
+
+    /// The generation stamped on an entry at its creation.
+    pub fn entry_generation(&self, key: &FlowKey) -> Option<u64> {
+        self.index.get(key).map(|&idx| self.slot(idx).generation)
+    }
+
+    /// Fetches the entry for `key`, creating it with `init` on a miss
+    /// (or when the previous incarnation sat idle past the timeout).
+    /// Eviction — LRU victim or the expired previous incarnation — is
+    /// surfaced on the returned [`Admission`] so callers can unlink
+    /// dependent state.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: FlowKey,
+        now: u64,
+        init: impl FnOnce() -> T,
+    ) -> Admission<'_, T> {
+        let generation = self.generation;
+        let mut evicted = None;
+        if let Some(&idx) = self.index.get(&key) {
+            if self.is_idle(idx, now) {
+                // Same key, stale state: replace, surfacing the corpse.
+                self.stats.idle_evictions += 1;
+                evicted = Some(self.evict_slot(idx));
+            } else {
+                self.touch(idx, now);
+                self.stats.hits += 1;
+                let generation = self.slot(idx).generation;
+                return Admission {
+                    value: &mut self.slot_mut(idx).value,
+                    created: false,
+                    generation,
+                    evicted: None,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        if self.free.is_empty() {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full table has an LRU tail");
+            self.stats.lru_evictions += 1;
+            evicted = Some(self.evict_slot(victim));
+        }
+        let idx = self.free.pop().expect("capacity >= 1");
+        self.slots[idx as usize] = Some(Slot {
+            key,
+            value: init(),
+            last_seen: now,
+            generation,
+            prev: NIL,
+            next: NIL,
+        });
+        self.index.insert(key, idx);
+        self.push_front(idx);
+        self.stats.insertions += 1;
+        Admission {
+            value: &mut self.slot_mut(idx).value,
+            created: true,
+            generation,
+            evicted,
+        }
+    }
+
+    /// Removes an entry, returning its value.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<T> {
+        let idx = *self.index.get(key)?;
+        Some(self.evict_slot(idx).1)
+    }
+
+    /// Reclaims every idle-expired entry (walking from the LRU end, so
+    /// the scan stops at the first live entry) and returns the
+    /// corpses, oldest first.
+    pub fn expire_idle(&mut self, now: u64) -> Vec<(FlowKey, T)> {
+        let mut out = Vec::new();
+        if self.idle_timeout == u64::MAX {
+            return out;
+        }
+        while self.tail != NIL && self.is_idle(self.tail, now) {
+            self.stats.idle_evictions += 1;
+            out.push(self.evict_slot(self.tail));
+        }
+        out
+    }
+}
+
+impl<T> fmt::Debug for FlowTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FlowTable({} of {} entries, gen {}, {:?})",
+            self.len(),
+            self.capacity(),
+            self.generation,
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netkit_packet::headers::proto;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.9.9.9".parse().unwrap(),
+            protocol: proto::UDP,
+            src_port: n,
+            dst_port: 53,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t: FlowTable<u32> = FlowTable::new(4, u64::MAX);
+        let a = t.get_or_insert_with(key(1), 10, || 7);
+        assert!(a.created);
+        assert_eq!(*a.value, 7);
+        assert_eq!(t.get_mut(&key(1), 11).copied(), Some(7));
+        *t.get_mut(&key(1), 12).unwrap() = 8;
+        assert_eq!(t.peek(&key(1)).copied(), Some(8));
+        assert_eq!(t.remove(&key(1)), Some(8));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&key(1)), None);
+    }
+
+    #[test]
+    fn lru_eviction_is_oldest_first_and_surfaced() {
+        let mut t: FlowTable<u32> = FlowTable::new(2, u64::MAX);
+        t.get_or_insert_with(key(1), 10, || 1);
+        t.get_or_insert_with(key(2), 20, || 2);
+        // Touch key(1): key(2) becomes the LRU victim.
+        t.get_mut(&key(1), 30);
+        let a = t.get_or_insert_with(key(3), 40, || 3);
+        assert_eq!(a.evicted, Some((key(2), 2)));
+        assert_eq!(t.len(), 2);
+        assert!(t.peek(&key(1)).is_some());
+        assert!(t.peek(&key(3)).is_some());
+        assert_eq!(t.stats().lru_evictions, 1);
+    }
+
+    #[test]
+    fn idle_expiry_hides_then_reclaims() {
+        let mut t: FlowTable<u32> = FlowTable::new(4, 100);
+        t.get_or_insert_with(key(1), 0, || 1);
+        t.get_or_insert_with(key(2), 90, || 2);
+        // key(1) is idle at t=150; lookups treat it as gone…
+        assert_eq!(t.get_mut(&key(1), 150), None);
+        assert_eq!(t.get_mut(&key(2), 150).copied(), Some(2));
+        // …an insert over it surfaces the corpse…
+        let a = t.get_or_insert_with(key(1), 150, || 10);
+        assert!(a.created);
+        assert_eq!(a.evicted, Some((key(1), 1)));
+        // …and expire_idle sweeps the rest once they age out.
+        let dead = t.expire_idle(400);
+        assert_eq!(dead.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn generation_stamps_entries_at_creation() {
+        let mut t: FlowTable<u32> = FlowTable::new(4, u64::MAX);
+        t.get_or_insert_with(key(1), 0, || 1);
+        assert_eq!(t.entry_generation(&key(1)), Some(0));
+        t.bump_generation();
+        t.get_or_insert_with(key(2), 1, || 2);
+        assert_eq!(t.entry_generation(&key(2)), Some(1));
+        // An existing entry keeps its birth generation.
+        let a = t.get_or_insert_with(key(1), 2, || 99);
+        assert!(!a.created);
+        assert_eq!(a.generation, 0);
+    }
+
+    #[test]
+    fn footprint_is_constant_under_churn() {
+        let mut t: FlowTable<u64> = FlowTable::new(64, u64::MAX);
+        let before = t.footprint_bytes();
+        for n in 0..10_000u16 {
+            t.get_or_insert_with(key(n), n as u64, || n as u64);
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.footprint_bytes(), before);
+        assert_eq!(t.stats().insertions, 10_000);
+        assert_eq!(t.stats().lru_evictions, 10_000 - 64);
+    }
+
+    #[test]
+    fn flow_clock_is_monotone_and_follows_stamps() {
+        let clock = FlowClock::new();
+        assert_eq!(clock.advance(0), 1);
+        assert_eq!(clock.advance(0), 2);
+        assert_eq!(clock.advance(1_000), 1_000);
+        assert_eq!(clock.advance(500), 1_001);
+        assert_eq!(clock.now(), 1_001);
+    }
+}

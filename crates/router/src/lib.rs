@@ -21,6 +21,10 @@
 //!   adapters, protocol recogniser, IPv4/IPv6 processors, classifier
 //!   engine, queues (drop-tail, RED), schedulers (priority, DRR, WFQ),
 //!   token-bucket shaper/policer/meter, counters and taps.
+//! * [`flow`] — the stateful services layer: per-shard single-writer
+//!   flow tables keyed by the canonical bidirectional flow key, and
+//!   the stateful elements on top ([`flow::ConnTracker`],
+//!   [`flow::Nat44`], [`flow::L4LoadBalancer`]).
 //! * [`routing`] — longest-prefix-match tables (binary tries) for IPv4
 //!   and IPv6.
 //! * [`shard`] — the sharded dataplane: per-worker element-graph
@@ -70,6 +74,7 @@ pub mod api;
 pub mod cf;
 pub mod composite;
 pub mod elements;
+pub mod flow;
 pub mod routing;
 pub mod shard;
 
@@ -81,5 +86,6 @@ pub use cf::{ProbeReport, RouterCf, RouterRules};
 pub use composite::{
     Composite, CompositeBuilder, IComposite, IController, ICOMPOSITE, ICONTROLLER,
 };
+pub use flow::{ConnTracker, L4LoadBalancer, Nat44};
 pub use routing::{PrefixParseError, RouteEntry, RoutingTable};
 pub use shard::{ControlLoop, PipelineStats, ShardGraph, ShardedPipeline};

@@ -77,6 +77,8 @@ use opencom::ident::TaskId;
 use opencom::meta::resources::{classes, ResourceManager};
 use parking_lot::Mutex;
 
+use netkit_packet::sketch::HeavyHitter;
+
 use super::rebalance::{RebalancePlan, WeightedRebalancePolicy};
 use super::{ShardLoad, ShardedPipeline};
 
@@ -103,6 +105,7 @@ pub struct RebalanceController {
     /// hard cap on migration rate (each migration costs a quiesce
     /// epoch; 0 = no cap).
     cooldown_ticks: u64,
+    heavy_blend: f64,
     ticks: u64,
     migrations: u64,
     holds: u64,
@@ -117,6 +120,7 @@ impl RebalanceController {
         Self {
             policy,
             cooldown_ticks,
+            heavy_blend: 0.0,
             ticks: 0,
             migrations: 0,
             holds: 0,
@@ -125,10 +129,25 @@ impl RebalanceController {
         }
     }
 
+    /// Folds sketch-based heavy-hitter byte evidence into every
+    /// judgment that receives it (see
+    /// [`decide_with_evidence`](Self::decide_with_evidence) and
+    /// `HeavyHitterPolicy`). `blend` is clamped to
+    /// `[0, 1]`; `0.0` (the default) ignores the evidence entirely.
+    pub fn with_heavy_hitters(mut self, blend: f64) -> Self {
+        self.heavy_blend = blend.clamp(0.0, 1.0);
+        self
+    }
+
     /// The judging policy (the caller needs its `decay` to apply
     /// [`ControlDecision::Hold`]).
     pub fn policy(&self) -> &WeightedRebalancePolicy {
         &self.policy
+    }
+
+    /// The heavy-hitter byte-evidence blend factor in `[0, 1]`.
+    pub fn heavy_blend(&self) -> f64 {
+        self.heavy_blend
     }
 
     /// One inspect → decide turn. `window` is a **peeked** (not
@@ -143,6 +162,26 @@ impl RebalanceController {
         &mut self,
         window: &[u64],
         loads: &[ShardLoad],
+        ring_capacity: usize,
+        current: &BucketMap,
+    ) -> ControlDecision {
+        self.decide_with_evidence(window, loads, &[], ring_capacity, current)
+    }
+
+    /// [`decide`](Self::decide), additionally weighing `heavy` —
+    /// merged per-flow byte evidence from the dataplane's flow
+    /// sketches (see `netkit_packet::sketch::SpaceSaving::merge`).
+    /// With a zero [`heavy_blend`](Self::heavy_blend) or no evidence
+    /// this is exactly `decide`; otherwise the judged window is the
+    /// mass-normalised packet/byte blend of
+    /// `HeavyHitterPolicy`, which catches **byte**
+    /// elephants that uniform packet counts provably hide. The
+    /// gathering gate and cooldown cap always judge raw packets.
+    pub fn decide_with_evidence(
+        &mut self,
+        window: &[u64],
+        loads: &[ShardLoad],
+        heavy: &[HeavyHitter],
         ring_capacity: usize,
         current: &BucketMap,
     ) -> ControlDecision {
@@ -162,7 +201,18 @@ impl RebalanceController {
                 return ControlDecision::Hold;
             }
         }
-        match self.policy.plan(window, loads, ring_capacity, current) {
+        let plan = if self.heavy_blend > 0.0 && !heavy.is_empty() {
+            self.policy.with_heavy_hitters(self.heavy_blend).plan(
+                window,
+                loads,
+                ring_capacity,
+                heavy,
+                current,
+            )
+        } else {
+            self.policy.plan(window, loads, ring_capacity, current)
+        };
+        match plan {
             Some(plan) => {
                 self.migrations += 1;
                 self.last_migration_tick = Some(self.ticks);
@@ -231,6 +281,11 @@ pub struct ControlConfig {
     /// Hard cap on migration rate: minimum ticks between two applied
     /// migrations.
     pub cooldown_ticks: u64,
+    /// Heavy-hitter byte-evidence blend in `[0, 1]` (see
+    /// [`RebalanceController::with_heavy_hitters`]). `0.0` — the
+    /// default — judges on packet counts alone; `> 0.0` folds the
+    /// pipeline's merged flow-sketch top-k into every judgment.
+    pub heavy_blend: f64,
 }
 
 impl Default for ControlConfig {
@@ -241,6 +296,7 @@ impl Default for ControlConfig {
             max_tick: Duration::from_millis(200),
             backoff: 2.0,
             cooldown_ticks: 4,
+            heavy_blend: 0.0,
         }
     }
 }
@@ -291,10 +347,10 @@ impl ControlLoop {
         rm: Arc<ResourceManager>,
     ) -> Result<Self> {
         let rm_task = rm.create_task(name)?;
-        let controller = Arc::new(Mutex::new(RebalanceController::new(
-            cfg.policy,
-            cfg.cooldown_ticks,
-        )));
+        let controller = Arc::new(Mutex::new(
+            RebalanceController::new(cfg.policy, cfg.cooldown_ticks)
+                .with_heavy_hitters(cfg.heavy_blend),
+        ));
         let tick_ctl = Arc::clone(&controller);
         let tick_rm = Arc::clone(&rm);
         let spec = PeriodicSpec::every(cfg.tick).with_backoff(cfg.backoff, cfg.max_tick);
@@ -435,6 +491,50 @@ mod tests {
         }
         assert_eq!(ctl.migrations(), 1);
         assert_eq!(ctl.noop_streak(), 0, "a migration resets the streak");
+    }
+
+    #[test]
+    fn byte_evidence_flips_a_hold_into_a_migration() {
+        // Uniform packets over buckets 0..8: the packet-only judgment
+        // is a permanent Hold. The same controller with a heavy-hitter
+        // blend sees the bytes and migrates.
+        let map = BucketMap::identity(2);
+        let uniform = window(&[
+            (0, 8),
+            (1, 8),
+            (2, 8),
+            (3, 8),
+            (4, 8),
+            (5, 8),
+            (6, 8),
+            (7, 8),
+        ]);
+        let evidence: Vec<HeavyHitter> = (0..8)
+            .map(|b| HeavyHitter {
+                hash: b as u64,
+                error: 0,
+                weight: if b % 2 == 0 { 2_000 } else { 500 },
+            })
+            .collect();
+        let mut packets_only = RebalanceController::new(eager_policy(), 0);
+        assert!(matches!(
+            packets_only.decide_with_evidence(&uniform, &[], &evidence, 1024, &map),
+            ControlDecision::Hold
+        ));
+        let mut blended = RebalanceController::new(eager_policy(), 0).with_heavy_hitters(1.0);
+        assert_eq!(blended.heavy_blend(), 1.0);
+        match blended.decide_with_evidence(&uniform, &[], &evidence, 1024, &map) {
+            ControlDecision::Migrate(plan) => {
+                assert!(plan.imbalance_after < plan.imbalance_before)
+            }
+            other => panic!("byte evidence must migrate, got {other:?}"),
+        }
+        // And with no evidence at hand the blended controller judges
+        // exactly like the packet-only one.
+        assert!(matches!(
+            blended.decide(&uniform, &[], 1024, &map),
+            ControlDecision::Hold
+        ));
     }
 
     #[test]

@@ -57,6 +57,7 @@ use std::sync::Arc;
 use netkit_kernel::nic::Nic;
 use netkit_kernel::shard::{ShardSpec, WorkerPool};
 use netkit_packet::batch::{BatchPool, PacketBatch};
+use netkit_packet::sketch::{FlowSketch, HeavyHitter, SketchConfig, SpaceSaving};
 use netkit_packet::steer::{BucketLoad, BucketMap};
 use opencom::capsule::Capsule;
 use opencom::error::Result;
@@ -70,7 +71,9 @@ pub mod control;
 pub mod rebalance;
 
 pub use control::{ControlConfig, ControlDecision, ControlLoop, ControlStats, RebalanceController};
-pub use rebalance::{MigrationReport, RebalancePlan, RebalancePolicy, WeightedRebalancePolicy};
+pub use rebalance::{
+    HeavyHitterPolicy, MigrationReport, RebalancePlan, RebalancePolicy, WeightedRebalancePolicy,
+};
 
 /// A swappable shard entry point: workers re-read it each batch, so a
 /// quiesce closure can retarget a shard's ingress (e.g. after replacing
@@ -225,6 +228,13 @@ pub struct ShardedPipeline {
     /// Per-bucket packet meters, fed on the worker side (one relaxed
     /// increment per packet), drained per rebalance window.
     bucket_load: Arc<BucketLoad>,
+    /// Per-shard flow sketches (count-min + Space-Saving top-k), fed
+    /// on the worker side in **bytes** per flow hash. Where
+    /// `bucket_load` counts packets, these meter byte mass — the
+    /// evidence that catches elephants hiding under uniform packet
+    /// counts. One sketch per shard: each worker writes its own,
+    /// [`Self::heavy_hitters`] merges on the control plane.
+    sketches: Vec<Arc<FlowSketch>>,
     /// Migration epochs applied via [`Self::install_bucket_map`].
     migrations: AtomicU64,
     entries: Vec<SharedEntry>,
@@ -274,6 +284,10 @@ impl ShardedPipeline {
         let worker_counters = Arc::clone(&counters);
         let bucket_load = Arc::new(BucketLoad::new());
         let worker_bucket_load = Arc::clone(&bucket_load);
+        let sketches: Vec<Arc<FlowSketch>> = (0..spec.workers)
+            .map(|_| Arc::new(FlowSketch::new(SketchConfig::default())))
+            .collect();
+        let worker_sketches = sketches.clone();
         let mut drains = drains;
         let pool = WorkerPool::start(spec, move |shard| {
             let entry = Arc::clone(&worker_entries[shard]);
@@ -284,6 +298,7 @@ impl ShardedPipeline {
             // would re-parse headers per packet for evidence nobody
             // can act on. Meter only when sharded.
             let bucket_load = (spec.workers > 1).then(|| Arc::clone(&worker_bucket_load));
+            let sketch = (spec.workers > 1).then(|| Arc::clone(&worker_sketches[shard]));
             let mut drain = drains[shard].take();
             Box::new(move |batch: PacketBatch| {
                 let n = batch.len() as u64;
@@ -293,6 +308,12 @@ impl ShardedPipeline {
                 // dispatch thread lean.
                 if let Some(meter) = &bucket_load {
                     meter.record_batch(&batch);
+                }
+                // Same gate for the byte sketch: per-flow byte mass
+                // keyed by the stamped hash, feeding heavy-hitter
+                // evidence to the control plane.
+                if let Some(sketch) = &sketch {
+                    sketch.record_batch(&batch);
                 }
                 // Snapshot the entry once per batch: cheap, and the
                 // quiesce closure can retarget it between batches.
@@ -319,6 +340,7 @@ impl ShardedPipeline {
             ),
             steering: RwLock::new(Arc::new(BucketMap::identity(spec.workers))),
             bucket_load,
+            sketches,
             migrations: AtomicU64::new(0),
             entries,
             capsules,
@@ -666,6 +688,26 @@ impl ShardedPipeline {
         self.bucket_load.decay(alpha);
     }
 
+    /// `shard`'s flow sketch: per-flow **byte** meters (count-min +
+    /// Space-Saving top-k) fed on the worker side alongside
+    /// [`Self::bucket_loads`]'s packet counts. Single-worker pipelines
+    /// never feed it (nothing to rebalance — see the worker gate in
+    /// [`Self::build`]).
+    pub fn flow_sketch(&self, shard: usize) -> &Arc<FlowSketch> {
+        &self.sketches[shard]
+    }
+
+    /// The merged heavy-hitter evidence across all shards: each
+    /// shard's Space-Saving top-k, summed per flow hash and re-ranked
+    /// (see [`SpaceSaving::merge`]). This is the byte-side input the
+    /// control loop feeds to
+    /// [`RebalanceController::decide_with_evidence`] when
+    /// [`ControlConfig::heavy_blend`] is non-zero.
+    pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
+        let tops: Vec<Vec<HeavyHitter>> = self.sketches.iter().map(|s| s.heavy_hitters()).collect();
+        SpaceSaving::merge(SketchConfig::default().top_capacity, &tops)
+    }
+
     /// One full turn of the **autonomous** control loop against this
     /// pipeline: snapshot the window and the shard pressure meters,
     /// let `ctl` decide, and apply the outcome — install + retire on a
@@ -681,15 +723,44 @@ impl ShardedPipeline {
         let window = self.bucket_load.snapshot();
         let loads = self.shard_loads();
         let current = self.bucket_map();
-        match ctl.decide(&window, &loads, self.spec.ring_capacity, &current) {
+        // The sketches follow the same peek-then-commit discipline as
+        // the packet window: snapshot what is judged, and on a
+        // migration retire exactly that — bytes recorded mid-turn stay
+        // for the next poll. Snapshots are only taken when the
+        // evidence can matter (non-zero blend), keeping the zero-blend
+        // control turn as cheap as it was without sketches.
+        let with_evidence = ctl.heavy_blend() > 0.0;
+        let sketch_windows: Vec<_> = if with_evidence {
+            self.sketches.iter().map(|s| s.snapshot()).collect()
+        } else {
+            Vec::new()
+        };
+        let heavy = if with_evidence {
+            SpaceSaving::merge(
+                SketchConfig::default().top_capacity,
+                &sketch_windows
+                    .iter()
+                    .map(|w| w.top.clone())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            Vec::new()
+        };
+        match ctl.decide_with_evidence(&window, &loads, &heavy, self.spec.ring_capacity, &current) {
             ControlDecision::Gathering => None,
             ControlDecision::Hold => {
                 self.bucket_load.decay(ctl.policy().decay);
+                for sketch in &self.sketches {
+                    sketch.decay(ctl.policy().decay);
+                }
                 None
             }
             ControlDecision::Migrate(plan) => {
                 let report = self.install_bucket_map(plan.map.clone(), nics);
                 self.bucket_load.retire(&window);
+                for (sketch, w) in self.sketches.iter().zip(&sketch_windows) {
+                    sketch.retire(w);
+                }
                 Some((plan, report))
             }
         }
@@ -1257,6 +1328,82 @@ mod tests {
         let retained = r.pipe.bucket_loads().iter().sum::<u64>();
         assert_eq!(retained, 64, "hold keeps alpha=0.5 of the window");
         assert_eq!(ctl.ticks(), 3);
+        r.pipe.shutdown();
+    }
+
+    /// `n` stamped packets per bucket, every packet `payload` bytes of
+    /// payload — uniform counts, controllable byte mass.
+    fn stamped_sized(buckets: &[u64], n: usize, payload: usize) -> PacketBatch {
+        let mut batch = PacketBatch::new();
+        for i in 0..n * buckets.len() {
+            let mut p = netkit_packet::packet::PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 9, 9)
+                .payload_len(payload)
+                .build();
+            p.meta.rss_hash = Some(buckets[i % buckets.len()]);
+            batch.push(p);
+        }
+        batch
+    }
+
+    #[test]
+    fn sketch_evidence_migrates_byte_elephants_the_packet_window_hides() {
+        let r = rig("elephants", 2);
+        let mut ctl = RebalanceController::new(
+            WeightedRebalancePolicy {
+                base: RebalancePolicy {
+                    max_imbalance: 1.25,
+                    min_samples: 32,
+                },
+                pressure_weight: 0.0,
+                decay: 0.5,
+            },
+            0,
+        )
+        .with_heavy_hitters(1.0);
+        // Uniform packet counts: 8 packets in each of buckets 0..8
+        // (identity(2): evens -> shard 0, odds -> shard 1). But every
+        // even-bucket flow is an elephant (1200-byte payloads) while
+        // the odd-bucket mice send empty datagrams — shard 0 carries
+        // almost all the bytes behind a perfectly balanced packet
+        // window.
+        r.pipe.dispatch(stamped_sized(&[0, 2, 4, 6], 8, 1200));
+        r.pipe.dispatch(stamped_sized(&[1, 3, 5, 7], 8, 0));
+        r.pipe.flush();
+        let heavy = r.pipe.heavy_hitters();
+        assert!(!heavy.is_empty(), "workers must feed the sketches");
+        let elephant_bytes: u64 = heavy
+            .iter()
+            .filter(|h| h.hash % 2 == 0)
+            .map(|h| h.weight)
+            .sum();
+        let mouse_bytes: u64 = heavy
+            .iter()
+            .filter(|h| h.hash % 2 == 1)
+            .map(|h| h.weight)
+            .sum();
+        assert!(elephant_bytes > 10 * mouse_bytes.max(1), "byte skew");
+
+        // A packet-only controller holds forever on this window...
+        let mut packets_only = RebalanceController::new(*ctl.policy(), 0);
+        assert!(r.pipe.control_turn(&mut packets_only, &[]).is_none());
+        assert_eq!(packets_only.holds(), 1, "judged and declined");
+        // (the hold decayed the windows; re-feed to full strength)
+        r.pipe.dispatch(stamped_sized(&[0, 2, 4, 6], 8, 1200));
+        r.pipe.dispatch(stamped_sized(&[1, 3, 5, 7], 8, 0));
+        r.pipe.flush();
+
+        // ...while the sketch-informed controller migrates, and the
+        // judged sketch windows retire with the packet window.
+        let (plan, _) = r
+            .pipe
+            .control_turn(&mut ctl, &[])
+            .expect("byte evidence must migrate");
+        assert!(plan.imbalance_after < plan.imbalance_before);
+        assert_eq!(r.pipe.bucket_loads().iter().sum::<u64>(), 0);
+        let residual: u64 = (0..r.pipe.workers())
+            .map(|s| r.pipe.flow_sketch(s).total_bytes())
+            .sum();
+        assert_eq!(residual, 0, "judged sketch windows retire exactly");
         r.pipe.shutdown();
     }
 

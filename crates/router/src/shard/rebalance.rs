@@ -36,7 +36,8 @@
 //! (hysteresis: balanced-enough placements are left alone, because
 //! every migration costs one quiesce epoch of pipeline pause).
 
-use netkit_packet::steer::{BucketMap, RSS_BUCKETS};
+use netkit_packet::sketch::HeavyHitter;
+use netkit_packet::steer::{bucket_of, BucketMap, RSS_BUCKETS};
 
 use super::ShardLoad;
 
@@ -284,6 +285,121 @@ impl WeightedRebalancePolicy {
         };
         judge.plan(&effective, current)
     }
+
+    /// Upgrades this policy with sketch-based heavy-hitter evidence:
+    /// the returned [`HeavyHitterPolicy`] blends per-flow *byte*
+    /// weight into the per-bucket window before planning. `blend` is
+    /// clamped to `[0, 1]`; `0.0` reproduces this policy exactly.
+    pub fn with_heavy_hitters(self, blend: f64) -> HeavyHitterPolicy {
+        HeavyHitterPolicy { base: self, blend }
+    }
+}
+
+/// A [`WeightedRebalancePolicy`] that additionally weighs **true
+/// elephant flows** via sketch evidence.
+///
+/// `BucketLoad` counts packets: every packet weighs one, so a bucket
+/// holding one elephant flow plus mice is indistinguishable from a
+/// bucket of mice alone whenever packet *counts* are uniform — the
+/// uniform policy provably holds while one shard carries most of the
+/// **bytes**. The per-shard [`netkit_packet::sketch::FlowSketch`]es
+/// meter bytes per flow; their merged top-k
+/// ([`netkit_packet::sketch::SpaceSaving::merge`]) is the evidence
+/// this policy folds in:
+///
+/// ```text
+/// hh[b]       = Σ weight of heavy hitters whose hash buckets to b
+/// scaled[b]   = hh[b] × (Σ effective / Σ hh)      (mass-normalised)
+/// combined[b] = (1 − blend) × effective[b] + blend × scaled[b]
+/// ```
+///
+/// The byte evidence is normalised to the packet window's total mass
+/// before blending, so `blend` interpolates between two *unit-free*
+/// load shapes: `0.0` plans purely on pressure-weighted packets,
+/// `1.0` purely on heavy-hitter bytes. The `min_samples` gate still
+/// judges the raw packet window (sketches never conjure evidence out
+/// of an idle dataplane), and bucket-granularity constraints are
+/// unchanged — the elephant's own bucket remains indivisible; the
+/// recovery comes from migrating the mice buckets *colocated* with
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeavyHitterPolicy {
+    /// The pressure-weighted policy supplying the packet-side window.
+    pub base: WeightedRebalancePolicy,
+    /// Byte-evidence blend factor in `[0, 1]`.
+    pub blend: f64,
+}
+
+impl HeavyHitterPolicy {
+    /// The blended per-bucket window (see the type docs). With
+    /// `blend == 0`, no heavy hitters, or an empty packet window this
+    /// is exactly the base policy's effective window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_bucket` does not hold [`RSS_BUCKETS`] entries.
+    pub fn blended_window(
+        &self,
+        per_bucket: &[u64],
+        loads: &[ShardLoad],
+        ring_capacity: usize,
+        heavy: &[HeavyHitter],
+        current: &BucketMap,
+    ) -> Vec<u64> {
+        let effective = self
+            .base
+            .effective_window(per_bucket, loads, ring_capacity, current);
+        let blend = self.blend.clamp(0.0, 1.0);
+        if blend == 0.0 || heavy.is_empty() {
+            return effective;
+        }
+        let mut hh = vec![0u64; RSS_BUCKETS];
+        for h in heavy {
+            hh[bucket_of(h.hash)] += h.weight;
+        }
+        let hh_total: u64 = hh.iter().sum();
+        let eff_total: u64 = effective.iter().sum();
+        if hh_total == 0 || eff_total == 0 {
+            return effective;
+        }
+        let scale = eff_total as f64 / hh_total as f64;
+        effective
+            .iter()
+            .zip(&hh)
+            .map(|(&eff, &bytes)| {
+                ((1.0 - blend) * eff as f64 + blend * bytes as f64 * scale).round() as u64
+            })
+            .collect()
+    }
+
+    /// Plans a migration over the blended window, or `None` when
+    /// rebalancing is not warranted. The `min_samples` gate judges the
+    /// **raw packet** window, exactly like
+    /// [`WeightedRebalancePolicy::plan`]; the plan's imbalance figures
+    /// are in blended units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_bucket` does not hold [`RSS_BUCKETS`] entries.
+    pub fn plan(
+        &self,
+        per_bucket: &[u64],
+        loads: &[ShardLoad],
+        ring_capacity: usize,
+        heavy: &[HeavyHitter],
+        current: &BucketMap,
+    ) -> Option<RebalancePlan> {
+        let raw_total: u64 = per_bucket.iter().sum();
+        if raw_total < self.base.base.min_samples.max(1) {
+            return None;
+        }
+        let blended = self.blended_window(per_bucket, loads, ring_capacity, heavy, current);
+        let judge = RebalancePolicy {
+            max_imbalance: self.base.base.max_imbalance,
+            min_samples: 1, // raw gate already passed
+        };
+        judge.plan(&blended, current)
+    }
 }
 
 /// What a completed migration did — returned by
@@ -479,6 +595,116 @@ mod tests {
         // Missing / short pressure slices degrade to factor 1.0.
         let big = loads(&[(0, 500), (2, 300), (1, 100)]);
         assert_eq!(policy.effective_window(&big, &[], 64, &current), big);
+    }
+
+    fn hitter(bucket: usize, weight: u64) -> HeavyHitter {
+        HeavyHitter {
+            hash: bucket as u64, // bucket_of(hash) == hash % RSS_BUCKETS
+            error: 0,
+            weight,
+        }
+    }
+
+    #[test]
+    fn zero_blend_reproduces_the_weighted_policy() {
+        let base = WeightedRebalancePolicy {
+            base: RebalancePolicy {
+                max_imbalance: 1.1,
+                min_samples: 1,
+            },
+            pressure_weight: 1.0,
+            decay: 0.5,
+        };
+        let hh = base.with_heavy_hitters(0.0);
+        let current = BucketMap::identity(2);
+        let w = loads(&[(0, 70), (2, 40), (4, 30), (1, 10)]);
+        let pressure = [shard_pressure(0, 512), shard_pressure(1, 16)];
+        // Even with loud byte evidence, blend 0 ignores it entirely.
+        let evidence = [hitter(1, 1_000_000)];
+        assert_eq!(
+            hh.blended_window(&w, &pressure, 1024, &evidence, &current),
+            base.effective_window(&w, &pressure, 1024, &current)
+        );
+        let a = hh
+            .plan(&w, &pressure, 1024, &evidence, &current)
+            .expect("skew");
+        let b = base.plan(&w, &pressure, 1024, &current).expect("skew");
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.moved, b.moved);
+    }
+
+    #[test]
+    fn byte_evidence_migrates_a_packet_balanced_window() {
+        // Packet counts are perfectly uniform: 8 packets in each of
+        // buckets 0..8, identity(2) maps evens to shard 0 and odds to
+        // shard 1 — 32/32, imbalance 1.0. The packet-only policy
+        // provably has nothing to act on.
+        let current = BucketMap::identity(2);
+        let w = loads(&[
+            (0, 8),
+            (1, 8),
+            (2, 8),
+            (3, 8),
+            (4, 8),
+            (5, 8),
+            (6, 8),
+            (7, 8),
+        ]);
+        let base = WeightedRebalancePolicy {
+            base: RebalancePolicy {
+                max_imbalance: 1.25,
+                min_samples: 32,
+            },
+            pressure_weight: 0.0,
+            decay: 0.5,
+        };
+        assert!(
+            base.plan(&w, &[], 1024, &current).is_none(),
+            "uniform packets: the packet-only policy must hold"
+        );
+
+        // But the bytes are anything but uniform: every even bucket
+        // carries a 2000-byte elephant while odd buckets carry 500
+        // bytes of mice. Shard 0 owns 8000 of 10000 bytes.
+        let evidence = [
+            hitter(0, 2_000),
+            hitter(1, 500),
+            hitter(2, 2_000),
+            hitter(3, 500),
+            hitter(4, 2_000),
+            hitter(5, 500),
+            hitter(6, 2_000),
+            hitter(7, 500),
+        ];
+        let hh = base.with_heavy_hitters(1.0);
+        let blended = hh.blended_window(&w, &[], 1024, &evidence, &current);
+        let shard_bytes = current.per_shard_load(&blended);
+        assert!(
+            shard_bytes[0] > 3 * shard_bytes[1],
+            "blended window must surface the byte skew: {shard_bytes:?}"
+        );
+        let plan = hh
+            .plan(&w, &[], 1024, &evidence, &current)
+            .expect("byte evidence must trigger a plan");
+        assert!(plan.imbalance_after < plan.imbalance_before);
+        // LPT pairs each elephant with mice: perfect 50/50 in bytes.
+        let after = plan.map.per_shard_load(&blended);
+        assert_eq!(after[0], after[1], "{after:?}");
+    }
+
+    #[test]
+    fn empty_or_zero_evidence_degrades_to_the_base_window() {
+        let hh = WeightedRebalancePolicy::default().with_heavy_hitters(0.8);
+        let current = BucketMap::identity(2);
+        let w = loads(&[(0, 500), (2, 300), (1, 100)]);
+        assert_eq!(hh.blended_window(&w, &[], 64, &[], &current), w);
+        assert_eq!(hh.blended_window(&w, &[], 64, &[hitter(3, 0)], &current), w);
+        // The min_samples gate still judges raw packets: byte evidence
+        // cannot conjure a plan out of an idle dataplane.
+        let idle = loads(&[(0, 10), (2, 10)]);
+        assert!(hh
+            .plan(&idle, &[], 64, &[hitter(0, 1_000_000)], &current)
+            .is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::fmt;
 use netkit_kernel::shard::ShardSpec;
 use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
+use netkit_packet::sketch::{FlowSketch, FlowSketchWindow, HeavyHitter, SketchConfig};
 use netkit_packet::steer::{BucketLoad, BucketMap};
 
 use crate::node::{NodeBehaviour, NodeCtx};
@@ -46,6 +47,12 @@ pub struct ShardedBehaviour {
     /// a single-shard behaviour has nothing to rebalance, mirroring
     /// the threaded pipeline's metering gate).
     load: BucketLoad,
+    /// Per-flow **byte** meter (count-min + Space-Saving top-k), fed
+    /// at demux time under the same sharded-only gate — the sim-side
+    /// analogue of the threaded pipeline's per-shard sketches, folded
+    /// into one (the demux is the only writer here), with the same
+    /// peek / decay / retire window discipline.
+    sketch: FlowSketch,
 }
 
 impl ShardedBehaviour {
@@ -63,6 +70,7 @@ impl ShardedBehaviour {
             shards: (0..workers).map(&mut factory).collect(),
             map: BucketMap::identity(workers),
             load: BucketLoad::new(),
+            sketch: FlowSketch::new(SketchConfig::default()),
         }
     }
 
@@ -119,6 +127,37 @@ impl ShardedBehaviour {
         self.load.decay(alpha);
     }
 
+    /// The demux-fed flow sketch (bytes per flow hash); see the field
+    /// docs. Empty while single-sharded.
+    pub fn flow_sketch(&self) -> &FlowSketch {
+        &self.sketch
+    }
+
+    /// Snapshot (peek, non-destructive) of the sketch — the byte-side
+    /// half of the inspect arm, judged together with
+    /// [`Self::bucket_loads`].
+    pub fn sketch_window(&self) -> FlowSketchWindow {
+        self.sketch.snapshot()
+    }
+
+    /// The sketch's current top-k per-flow byte evidence, ready for
+    /// `RebalanceController::decide_with_evidence`.
+    pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
+        self.sketch.heavy_hitters()
+    }
+
+    /// Subtracts a previously peeked sketch window — called next to
+    /// [`Self::retire_bucket_loads`] when a migration decision lands.
+    pub fn retire_sketch(&self, window: &FlowSketchWindow) {
+        self.sketch.retire(window);
+    }
+
+    /// Ages the sketch by one decay step — called next to
+    /// [`Self::decay_bucket_loads`] on a judged-but-declined turn.
+    pub fn decay_sketch(&self, alpha: f64) {
+        self.sketch.decay(alpha);
+    }
+
     /// The inner behaviours, for post-run inspection.
     pub fn shards(&self) -> &[Box<dyn NodeBehaviour>] {
         &self.shards
@@ -135,6 +174,7 @@ impl NodeBehaviour for ShardedBehaviour {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet) {
         if self.shards.len() > 1 {
             self.load.record_packet(&pkt);
+            self.sketch.record_packet(&pkt);
         }
         let shard = self.map.shard_of_packet(&pkt);
         self.shards[shard].on_packet(ctx, ingress, pkt);
@@ -153,6 +193,7 @@ impl NodeBehaviour for ShardedBehaviour {
         }
         let batch = PacketBatch::from_packets(pkts);
         self.load.record_batch(&batch);
+        self.sketch.record_batch(&batch);
         let split = batch.shard_split_with(&self.map);
         for (shard, part) in split.into_shard_batches().into_iter().enumerate() {
             if !part.is_empty() {
@@ -318,6 +359,52 @@ mod tests {
         };
         single.on_packet(&mut ctx, 0, pkt);
         assert_eq!(single.bucket_loads().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn demux_sketch_is_deterministic_and_windowed() {
+        let build = || {
+            ShardedBehaviour::new("sketched", ShardSpec::new(4), |_| {
+                Box::new(SinkBehaviour::new().0)
+            })
+        };
+        let traffic = || -> Vec<Packet> {
+            // One byte elephant among mice, identical on every run.
+            (0..16u16)
+                .map(|i| {
+                    PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80)
+                        .payload_len(if i == 3 { 1400 } else { 0 })
+                        .build()
+                })
+                .collect()
+        };
+        let mut a = build();
+        let mut b = build();
+        run_batch(&mut a, traffic());
+        run_batch(&mut b, traffic());
+        let top_a = a.heavy_hitters();
+        assert_eq!(top_a, b.heavy_hitters(), "bit-for-bit reproducible");
+        assert!(!top_a.is_empty());
+        let elephant = FlowKey::from_packet(&traffic()[3]).unwrap().rss_hash();
+        assert_eq!(top_a[0].hash, elephant, "the elephant ranks first");
+
+        // Same peek-then-commit discipline as the packet meter.
+        let judged = a.sketch_window();
+        run_batch(&mut a, traffic()[..2].to_vec());
+        a.retire_sketch(&judged);
+        let residual = a.flow_sketch().total_bytes();
+        let late: u64 = traffic()[..2].iter().map(|p| p.len() as u64).sum();
+        assert_eq!(residual, late, "post-snapshot arrivals survive");
+        a.decay_sketch(0.0);
+        assert_eq!(a.flow_sketch().total_bytes(), 0);
+
+        // Single-shard behaviours feed no sketch (nothing to rebalance).
+        let mut solo = ShardedBehaviour::new("solo", ShardSpec::new(1), |_| {
+            Box::new(SinkBehaviour::new().0)
+        });
+        run_batch(&mut solo, traffic());
+        assert!(solo.heavy_hitters().is_empty());
+        assert_eq!(solo.flow_sketch().total_bytes(), 0);
     }
 
     #[test]

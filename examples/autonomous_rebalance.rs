@@ -70,6 +70,7 @@ fn main() -> Result<(), netkit::opencom::error::Error> {
             max_tick: Duration::from_millis(16),
             backoff: 2.0,
             cooldown_ticks: 4,
+            heavy_blend: 0.0,
         },
         Arc::clone(&rm),
     )?;

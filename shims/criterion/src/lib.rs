@@ -16,9 +16,42 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Every reported series, `(name, ns_per_iter)`, collected for the
+/// machine-readable report (see [`flush_json_report`]).
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Writes every series reported so far as a JSON object (series name →
+/// mean ns/iter, keys sorted) to the path in `NETKIT_BENCH_JSON`, if
+/// set; a no-op otherwise. `criterion_main!` calls this after the last
+/// group, so bench runners get a machine-readable report alongside the
+/// printed lines without touching bench code.
+pub fn flush_json_report() {
+    let Ok(path) = std::env::var("NETKIT_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut results = RESULTS.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        // Series names are ASCII identifiers with `/` separators; the
+        // only JSON-escaping they could ever need is the quote itself.
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("  \"{escaped}\": {ns:.1}{sep}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: cannot write {path}: {err}");
+    }
+}
 
 /// How `iter_batched` amortizes setup between measurements. The shim
 /// times the routine per batch element either way; the variants exist
@@ -251,6 +284,10 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((format!("{}/{}", self.name, id.name), b.ns_per_iter));
         let mut line = format!(
             "{}/{:<40} time: {:>12.1} ns/iter",
             self.name, id.name, b.ns_per_iter
@@ -326,12 +363,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`.
+/// Declares the benchmark binary's `main`. After the last group runs,
+/// the collected series flush to `NETKIT_BENCH_JSON` (if set) via
+/// [`flush_json_report`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_report();
         }
     };
 }
@@ -360,6 +400,25 @@ mod tests {
         });
         group.finish();
         assert_eq!((iters.get(), batched.get()), (1, 1));
+    }
+
+    #[test]
+    fn json_report_flushes_reported_series() {
+        let path = std::env::temp_dir().join(format!("criterion-shim-{}.json", std::process::id()));
+        std::env::set_var("NETKIT_BENCH_JSON", &path);
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("json");
+        group.bench_function("noop", |b| b.iter(|| black_box(1u64)));
+        group.finish();
+        flush_json_report();
+        std::env::remove_var("NETKIT_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("report written");
+        let _ = std::fs::remove_file(&path);
+        assert!(body.starts_with('{') && body.ends_with("}\n"), "{body}");
+        assert!(body.contains("\"json/noop\": "), "{body}");
     }
 
     #[test]

@@ -170,6 +170,7 @@ fn autonomous_loop_recovers_mid_run_skew() {
         max_tick: Duration::from_millis(8),
         backoff: 2.0,
         cooldown_ticks: 2,
+        heavy_blend: 0.0,
     };
     let ctl = ControlLoop::spawn(
         "auto-e2e-control",
@@ -320,6 +321,7 @@ fn control_loop_soak_across_shifting_elephants() {
         max_tick: Duration::from_millis(4),
         backoff: 2.0,
         cooldown_ticks: 1,
+        heavy_blend: 0.0,
     };
     let ctl = ControlLoop::spawn(
         "auto-soak-control",

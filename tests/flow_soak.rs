@@ -1,0 +1,90 @@
+//! **Bounded-memory flow soak** — the ISSUE acceptance check: a
+//! million distinct flows through a [`ConnTracker`] whose table holds
+//! 64 Ki entries must run to completion with a *constant* memory
+//! footprint, shedding old flows by LRU instead of growing.
+//!
+//! The default run pushes 100 k flows so `cargo test` stays quick;
+//! set `NETKIT_FLOW_SOAK=1` (the CI soak step does, under
+//! `--release`) for the full million.
+//!
+//! Asserted: the tracker never exceeds its configured capacity, its
+//! backing-table footprint after warm-up is *byte-identical* to the
+//! footprint after the last flow (no rehash, no slab growth), every
+//! flow was admitted exactly once, and the overflow was paid for with
+//! LRU evictions — `insertions == flows` and
+//! `insertions - lru_evictions == len`.
+
+use netkit::packet::batch::PacketBatch;
+use netkit::packet::packet::{Packet, PacketBuilder};
+use netkit::router::api::IPacketPush;
+use netkit::router::flow::ConnTracker;
+
+const CAPACITY: usize = 65_536;
+const BATCH: usize = 256;
+
+fn flow_packet(i: usize) -> Packet {
+    // Distinct canonical keys: the endpoints' IPs are fixed and
+    // ordered, so every (src_port, dst_port) pair is its own flow.
+    PacketBuilder::udp_v4(
+        "192.0.2.1",
+        "10.0.9.9",
+        (i % 65_536) as u16,
+        1_000 + (i / 65_536) as u16,
+    )
+    .payload_len(16)
+    .build()
+}
+
+#[test]
+fn a_million_flows_run_in_constant_memory() {
+    let flows: usize = if std::env::var("NETKIT_FLOW_SOAK").is_ok() {
+        1_000_000
+    } else {
+        100_000
+    };
+    let tracker = ConnTracker::with_table(CAPACITY, u64::MAX);
+
+    // Warm up past capacity so the slab, free list, and index have
+    // all reached their steady-state size, then pin the footprint.
+    let warmup = CAPACITY + BATCH;
+    let mut sent = 0usize;
+    while sent < warmup {
+        let batch: PacketBatch = (sent..sent + BATCH).map(flow_packet).collect();
+        tracker.push_batch(batch);
+        sent += BATCH;
+    }
+    let footprint = tracker.footprint_bytes();
+    assert!(footprint > 0);
+    assert_eq!(tracker.len(), CAPACITY, "warm-up fills the table exactly");
+
+    while sent < flows {
+        let n = BATCH.min(flows - sent);
+        let batch: PacketBatch = (sent..sent + n).map(flow_packet).collect();
+        tracker.push_batch(batch);
+        sent += n;
+        if sent.is_multiple_of(BATCH * 512) {
+            assert!(tracker.len() <= CAPACITY, "capacity bound violated mid-run");
+            assert_eq!(
+                tracker.footprint_bytes(),
+                footprint,
+                "footprint drifted mid-run at {sent} flows"
+            );
+        }
+    }
+
+    assert_eq!(tracker.len(), CAPACITY, "bounded: len pinned at capacity");
+    assert_eq!(
+        tracker.footprint_bytes(),
+        footprint,
+        "memory must not grow after warm-up"
+    );
+    let stats = tracker.table_stats();
+    assert_eq!(stats.insertions, flows as u64, "every flow admitted once");
+    assert_eq!(
+        stats.insertions - stats.lru_evictions,
+        tracker.len() as u64,
+        "overflow paid for by LRU eviction, nothing leaked"
+    );
+    assert_eq!(stats.idle_evictions, 0, "no idle expiry in this run");
+    assert_eq!(tracker.untracked(), 0);
+}
