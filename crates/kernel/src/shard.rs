@@ -13,6 +13,14 @@
 //! no cross-thread hand-offs on the fast path, no locks shared between
 //! shards.
 //!
+//! The pool is generic over its work item; the packet dataplane
+//! instantiates it with [`ShardJob`], whose [`ShardJob::Range`] variant
+//! carries a shard's slice of a *shared* split parent instead of an
+//! owned sub-batch — see its docs for how the quiesce and per-flow
+//! order invariants are preserved under the shared-parent lifecycle.
+//! [`WorkerPool::submit_fanout`] is the matching batched publish: one
+//! gate transaction per dispatch instead of one per sub-batch.
+//!
 //! ## The epoch quiesce protocol
 //!
 //! Reflective reconfiguration (the architecture meta-model's
@@ -108,6 +116,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Sender};
+use netkit_packet::batch::{PacketBatch, SharedShardRange};
 
 /// Configuration of a sharded dataplane: how many run-to-completion
 /// workers and how deep each worker's ring is (in work items).
@@ -156,6 +165,79 @@ impl Default for ShardSpec {
 /// worker by the factory passed to [`WorkerPool::start`], so each shard
 /// owns its state outright (shared-nothing by construction).
 pub type ShardHandler<T> = Box<dyn FnMut(T) + Send>;
+
+/// The sharded dataplane's ring descriptor: what one slot of a worker
+/// ring names. The [`WorkerPool`] itself stays payload-agnostic — this
+/// is the concrete `T` the packet dataplane instantiates it with.
+///
+/// Two shapes, two hand-off disciplines:
+///
+/// * [`ShardJob::Batch`] moves an owned batch onto the ring — the
+///   multi-queue NIC path, where hardware (or `pump_nic`) already
+///   steered the batch to exactly one shard and there is nothing to
+///   share.
+/// * [`ShardJob::Range`] publishes one shard's slice of a **shared**
+///   split parent ([`SharedShardRange`], an `Arc`'d descriptor):
+///   the software-dispatch fast path. No packet moves at publish time;
+///   the worker gathers its slice on its own core
+///   ([`SharedShardRange::take_into`]) and the parent container
+///   recycles to its pool when the last shard's refcount drops.
+///
+/// ### Quiesce and per-flow order, re-proven for shared ranges
+///
+/// The epoch protocol's guarantees carry over unchanged because a
+/// range is one ring item like any other:
+///
+/// * **Happens-before** — sync markers are enqueued *behind* ranges,
+///   so every pre-marker range has been consumed (its packets moved
+///   out and run to completion) before the quiesce closure starts; by
+///   then every pre-marker split parent has been dropped by its last
+///   range and recycled. No shared parent is ever live across an
+///   epoch boundary.
+/// * **Per-flow order** — a flow maps to one bucket, a bucket to one
+///   shard, so all of a flow's packets ride ranges on one ring, in
+///   dispatch order (rings are FIFO). Sharing the parent adds no
+///   cross-ring path a flow could race itself on.
+/// * **Loss accounting** — a range that never reaches its worker
+///   (ring full, worker dead) is dropped *as a descriptor*: its
+///   packets stay in the shared parent and are freed — pooled frame
+///   buffers recycled — when the parent's last handle goes. The
+///   rejecting caller counts the range's packets as dropped; nothing
+///   leaks and nothing double-frees.
+#[derive(Debug)]
+pub enum ShardJob {
+    /// An owned, pre-steered batch (NIC multi-queue / direct submit).
+    Batch(PacketBatch),
+    /// One shard's slice of a shared split parent (dispatch fan-out).
+    Range(SharedShardRange),
+}
+
+impl ShardJob {
+    /// Number of packets this job carries.
+    pub fn len(&self) -> usize {
+        match self {
+            ShardJob::Batch(b) => b.len(),
+            ShardJob::Range(r) => r.len(),
+        }
+    }
+
+    /// True when the job carries no packets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<PacketBatch> for ShardJob {
+    fn from(batch: PacketBatch) -> Self {
+        ShardJob::Batch(batch)
+    }
+}
+
+impl From<SharedShardRange> for ShardJob {
+    fn from(range: SharedShardRange) -> Self {
+        ShardJob::Range(range)
+    }
+}
 
 enum Job<T> {
     Work(T),
@@ -214,12 +296,21 @@ impl Gate {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn submit_one(&self, shard: usize) {
+    /// Reserves one in-flight slot on `shard`. Returns `false` —
+    /// reserving nothing — when the worker is already marked dead: a
+    /// dead worker's ring never drains, so enqueuing would at best
+    /// strand the item invisibly and at worst block the producer on a
+    /// full ring no consumer will ever relieve.
+    fn submit_one(&self, shard: usize) -> bool {
         let mut st = self.lock();
+        if st.dead[shard] {
+            return false;
+        }
         st.in_flight[shard] += 1;
         if st.in_flight[shard] > st.ring_hwm[shard] {
             st.ring_hwm[shard] = st.in_flight[shard];
         }
+        true
     }
 
     fn retire_one(&self, shard: usize) {
@@ -395,7 +486,10 @@ impl<T: Send + 'static> WorkerPool<T> {
     }
 
     /// Enqueues `item` on `shard`'s ring, blocking while the ring is
-    /// full (backpressure).
+    /// full (backpressure). A worker already marked dead fails fast —
+    /// the item comes straight back rather than being stranded on a
+    /// ring nothing will drain (or, worse, blocking this producer on a
+    /// full ring no consumer will ever relieve).
     ///
     /// # Errors
     ///
@@ -404,7 +498,9 @@ impl<T: Send + 'static> WorkerPool<T> {
         let Some(queue) = self.queues.get(shard) else {
             return Err(item);
         };
-        self.gate.submit_one(shard);
+        if !self.gate.submit_one(shard) {
+            return Err(item); // dead worker: fail fast, never block
+        }
         match queue.send(Job::Work(item)) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -419,7 +515,9 @@ impl<T: Send + 'static> WorkerPool<T> {
 
     /// Enqueues `item` on `shard`'s ring without blocking; a full ring
     /// counts as a rejection (the multi-queue analogue of an rx-ring
-    /// tail drop).
+    /// tail drop). A dead worker fails fast like [`Self::submit`],
+    /// without counting toward [`Self::rejected`] — that meter is
+    /// ring-pressure evidence, not a fault log.
     ///
     /// # Errors
     ///
@@ -429,7 +527,9 @@ impl<T: Send + 'static> WorkerPool<T> {
         let Some(queue) = self.queues.get(shard) else {
             return Err(item);
         };
-        self.gate.submit_one(shard);
+        if !self.gate.submit_one(shard) {
+            return Err(item); // dead worker: fail fast
+        }
         match queue.try_send(Job::Work(item)) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -441,6 +541,80 @@ impl<T: Send + 'static> WorkerPool<T> {
                 }
             }
         }
+    }
+
+    /// Batched publish: enqueues one job on each shard yielded by
+    /// `shards` with a **single gate transaction** reserving every
+    /// live target's in-flight slot up front, then exactly one ring
+    /// write per shard — the per-publish synchronisation the
+    /// one-`submit`-per-sub-batch path pays N times collapses to one
+    /// lock acquisition per dispatch, which is what makes the shared
+    /// fan-out's producer cost independent of worker count.
+    ///
+    /// `shards` is iterated twice (reserve, then publish) and must
+    /// yield strictly in-range indices without duplicates.
+    /// `job_for(shard)` produces each ring's job — typically a cheap
+    /// refcount bump (`ShardJob::Range`); it is only invoked during
+    /// the publish pass, outside the gate lock. Jobs that cannot be
+    /// delivered — the worker was dead at reservation time, or died
+    /// racing the publish — are handed to `on_reject(shard, job)` so
+    /// the caller can account their payload. Returns the number of
+    /// jobs enqueued.
+    ///
+    /// Blocking semantics match [`Self::submit`]: a full live ring
+    /// backpressures the publish. Do **not** call inside a quiesce
+    /// closure (parked workers cannot relieve a full ring);
+    /// re-steering paths there use [`Self::try_submit`] per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any yielded shard index is out of range.
+    pub fn submit_fanout<I, F, R>(&self, shards: I, mut job_for: F, mut on_reject: R) -> usize
+    where
+        I: Iterator<Item = usize> + Clone,
+        F: FnMut(usize) -> T,
+        R: FnMut(usize, T),
+    {
+        // Phase 1: one gate transaction covers the whole fan-out.
+        // Dead shards reserve nothing; they are remembered (the Vec
+        // stays unallocated in the no-fault common case) so phase 2
+        // neither publishes to them nor mis-retires their slots.
+        let mut dead_skipped: Vec<usize> = Vec::new();
+        {
+            let mut st = self.gate.lock();
+            for shard in shards.clone() {
+                assert!(shard < self.queues.len(), "fanout shard out of range");
+                if st.dead[shard] {
+                    dead_skipped.push(shard);
+                    continue;
+                }
+                st.in_flight[shard] += 1;
+                if st.in_flight[shard] > st.ring_hwm[shard] {
+                    st.ring_hwm[shard] = st.in_flight[shard];
+                }
+            }
+        }
+        // Phase 2: one ring write per shard, no further gate traffic
+        // on the success path.
+        let mut sent = 0;
+        for shard in shards {
+            if dead_skipped.contains(&shard) {
+                on_reject(shard, job_for(shard));
+                continue;
+            }
+            match self.queues[shard].send(Job::Work(job_for(shard))) {
+                Ok(()) => sent += 1,
+                Err(e) => {
+                    // Worker died between reservation and publish.
+                    self.gate.retire_one(shard);
+                    match e.0 {
+                        Job::Work(item) => on_reject(shard, item),
+                        Job::Sync(_) => unreachable!("fanout only sends work"),
+                    }
+                }
+            }
+        }
+        sent
     }
 
     /// Blocks until every item submitted to a *live* worker has run to
@@ -530,6 +704,14 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// exists.
     pub fn in_flight_on(&self, shard: usize) -> Option<usize> {
         self.gate.lock().in_flight.get(shard).copied()
+    }
+
+    /// Whether `shard`'s worker can still accept work (`Some(false)`
+    /// once its thread exited — handler panic or shutdown — and the
+    /// dead-worker fast-fail in [`Self::submit`] / [`Self::try_submit`]
+    /// has engaged). `None` for an out-of-range shard.
+    pub fn worker_alive(&self, shard: usize) -> Option<bool> {
+        self.gate.lock().dead.get(shard).map(|dead| !dead)
     }
 
     /// High-water mark of `shard`'s ring occupancy since the pool
@@ -868,6 +1050,103 @@ mod tests {
         burst(2);
         assert_eq!(pool.ring_high_water(0), Some(2), "peak survives");
         assert_eq!(pool.take_ring_high_water(), vec![2]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_fanout_reaches_every_listed_shard_once() {
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let pool = WorkerPool::start(ShardSpec::new(4), |shard| {
+            let hits = Arc::clone(&hits);
+            Box::new(move |n: u64| {
+                hits[shard].fetch_add(n, Ordering::Relaxed);
+            })
+        });
+        // Fan out to shards {0, 2, 3}, skipping 1.
+        let sent = pool.submit_fanout(
+            (0..4).filter(|&s| s != 1),
+            |shard| shard as u64 + 10,
+            |_, _| panic!("no rejection expected"),
+        );
+        assert_eq!(sent, 3);
+        pool.flush();
+        let seen: Vec<u64> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(seen, [10, 0, 12, 13]);
+        // The fan-out's single reservation still feeds the meters.
+        assert!(pool.ring_high_water(0).unwrap() >= 1);
+        assert_eq!(pool.completed(0), Some(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_fanout_preserves_per_ring_fifo_against_submits() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pool = WorkerPool::start(ShardSpec::new(2), |_| {
+            let log = Arc::clone(&log);
+            Box::new(move |n: u32| log.lock().push(n))
+        });
+        for round in 0..50u32 {
+            pool.submit(0, round * 3).unwrap();
+            pool.submit_fanout(0..1, |_| round * 3 + 1, |_, _| {});
+            pool.submit(0, round * 3 + 2).unwrap();
+        }
+        pool.flush();
+        assert_eq!(*log.lock(), (0..150).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn fanout_rejects_jobs_for_dead_shards_without_wedging() {
+        let pool = WorkerPool::start(ShardSpec::new(2), |shard| {
+            Box::new(move |n: u8| {
+                if shard == 0 && n == 1 {
+                    panic!("injected fault");
+                }
+            })
+        });
+        pool.submit(0, 1).unwrap(); // kills worker 0
+                                    // Death is asynchronous: wait until the gate has registered it
+                                    // so the fan-out deterministically takes the dead-skip path.
+        while pool.worker_alive(0) == Some(true) {
+            std::thread::yield_now();
+        }
+        let rejected = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sent = pool.submit_fanout(
+            0..2,
+            |_| 0u8,
+            |shard, item| rejected.lock().push((shard, item)),
+        );
+        assert_eq!(sent, 1, "live shard still served");
+        assert_eq!(*rejected.lock(), vec![(0, 0u8)]);
+        pool.flush();
+        pool.quiesce(|| {}); // dead worker accounted at the gate
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_to_a_dead_worker_fails_fast_even_with_a_full_ring() {
+        // Regression: a producer blocked in submit() on a full ring
+        // whose worker has died must get its item back instead of
+        // spinning until the ring disconnects. With the dead-flag
+        // check the item never enqueues at all once death is marked.
+        let pool = WorkerPool::start(ShardSpec::new(1).with_ring_capacity(1), |_| {
+            Box::new(move |n: u8| {
+                if n == 1 {
+                    panic!("injected fault");
+                }
+            })
+        });
+        pool.submit(0, 1).unwrap(); // worker picks it up and dies
+        while pool.worker_alive(0) == Some(true) {
+            std::thread::yield_now();
+        }
+        // Marked dead: both flavours bounce immediately, item intact,
+        // and nothing is stranded in accounting (flush returns).
+        assert_eq!(pool.submit(0, 2), Err(2));
+        assert_eq!(pool.try_submit(0, 3), Err(3));
+        assert_eq!(pool.rejected(), 0, "a fault is not ring pressure");
+        pool.flush();
+        assert_eq!(pool.in_flight(), 0);
         pool.shutdown();
     }
 

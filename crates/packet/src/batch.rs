@@ -492,6 +492,27 @@ impl ShardSplit {
         self.into_batches_with(|_| PacketBatch::new())
     }
 
+    /// Converts the split into a **shared** split: the parent batch
+    /// stays whole behind one refcounted handle, and each shard's slice
+    /// becomes a cheap [`SharedShardRange`] descriptor that can cross a
+    /// thread boundary without moving a single packet. This is the
+    /// move-free ring protocol's producer half: where
+    /// [`Self::into_shard_batches_pooled`] re-materialises one owned
+    /// sub-batch per shard *on the dispatch thread*, `into_shared`
+    /// defers the per-shard gather to the consuming workers
+    /// ([`SharedShardRange::take_into`]), which run it in parallel.
+    /// The parent container — including a pool-homed one — recycles
+    /// whole when the last range (or the [`SharedSplit`] handle) drops.
+    pub fn into_shared(self) -> SharedSplit {
+        SharedSplit {
+            inner: Arc::new(SharedSplitInner {
+                parent: Mutex::new(self.batch),
+                perm: self.perm,
+                offsets: self.offsets,
+            }),
+        }
+    }
+
     /// Like [`Self::into_shard_batches`], but the sub-batch containers
     /// lease from `pool`, so in steady state the per-shard `Vec`s are
     /// recycled rather than allocated.
@@ -610,6 +631,205 @@ impl<'a> ShardView<'a> {
 impl fmt::Debug for ShardView<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ShardView(shard {}, {} packets)", self.s, self.len())
+    }
+}
+
+/// The refcounted interior of a [`SharedSplit`]: the steered parent
+/// batch (original packet order, never moved) plus the counting-sort
+/// view. Ranges lock the parent only for the brief moment they move
+/// their own slots out; the slots of distinct shards are disjoint by
+/// construction, so ranges never contend on data, only on the lock.
+struct SharedSplitInner {
+    parent: Mutex<PacketBatch>,
+    /// Original packet indices grouped by shard (see [`ShardSplit`]).
+    perm: Vec<u32>,
+    /// `offsets[s]..offsets[s + 1]` slices `perm` for shard `s`.
+    offsets: Vec<u32>,
+}
+
+impl SharedSplitInner {
+    fn bounds(&self, shard: usize) -> (usize, usize) {
+        (
+            self.offsets[shard] as usize,
+            self.offsets[shard + 1] as usize,
+        )
+    }
+}
+
+/// A [`ShardSplit`] whose parent batch is shared behind a refcount, so
+/// per-shard slices can be handed to worker rings as cheap
+/// [`SharedShardRange`] descriptors instead of re-materialised owned
+/// sub-batches (see [`ShardSplit::into_shared`]).
+///
+/// Lifecycle: the parent [`PacketBatch`] lives exactly as long as any
+/// handle on it — this split or any range. Whoever drops the last
+/// handle frees (or, for a pool-homed container, **recycles**) the
+/// parent; packets a range never claimed (a rejected or dead-shard
+/// range) are released with it, so no frame buffer leaks whatever the
+/// consumers' fate.
+///
+/// # Examples
+///
+/// ```
+/// use netkit_packet::batch::{BatchPool, PacketBatch};
+/// use netkit_packet::packet::PacketBuilder;
+///
+/// let batch: PacketBatch = (0..8u16)
+///     .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 1000 + i, 80).build())
+///     .collect();
+/// let shared = batch.shard_split(2).into_shared();
+/// let (a, b) = (shared.range(0), shared.range(1));
+/// drop(shared); // ranges keep the parent alive
+/// let pool = BatchPool::new(8, 0, 4);
+/// let mut out = pool.take();
+/// let taken = a.take_into(&mut out);
+/// assert_eq!(taken + b.len(), 8);
+/// ```
+pub struct SharedSplit {
+    inner: Arc<SharedSplitInner>,
+}
+
+impl SharedSplit {
+    /// Number of shards (always ≥ 1).
+    pub fn shards(&self) -> usize {
+        self.inner.offsets.len() - 1
+    }
+
+    /// Total number of packets across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.perm.len()
+    }
+
+    /// True when the parent batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.inner.perm.is_empty()
+    }
+
+    /// Number of packets steered to shard `s` (no lock taken — the
+    /// view is immutable for the split's lifetime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        let (lo, hi) = self.inner.bounds(s);
+        hi - lo
+    }
+
+    /// A refcounted descriptor of shard `s`'s slice — the unit the
+    /// dispatch fan-out publishes to each worker ring. Cloning cost is
+    /// one `Arc` bump; no packet moves until the consumer calls
+    /// [`SharedShardRange::take_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn range(&self, s: usize) -> SharedShardRange {
+        assert!(s < self.shards(), "shard index out of range");
+        SharedShardRange {
+            inner: Arc::clone(&self.inner),
+            shard: s,
+        }
+    }
+}
+
+impl fmt::Debug for SharedSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SharedSplit({} packets over {} shards)",
+            self.len(),
+            self.shards()
+        )
+    }
+}
+
+/// One shard's slice of a [`SharedSplit`]: a refcounted descriptor
+/// naming the packets steered to this shard, safe to move across
+/// threads without touching the packets themselves.
+///
+/// The consuming worker calls [`Self::take_into`] exactly once (the
+/// call consumes the range) to move its slots out of the shared parent
+/// into its own container. A range that is instead dropped — full ring,
+/// dead worker — releases its claim: the packets stay in the parent and
+/// are freed (pooled frame buffers recycled) when the parent's last
+/// handle goes.
+pub struct SharedShardRange {
+    inner: Arc<SharedSplitInner>,
+    shard: usize,
+}
+
+impl SharedShardRange {
+    /// The shard index this range covers.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of packets in this range.
+    pub fn len(&self) -> usize {
+        let (lo, hi) = self.inner.bounds(self.shard);
+        hi - lo
+    }
+
+    /// True when no packet steered to this shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves this range's packets (and labels) out of the shared parent
+    /// into `out`, preserving input order, and returns how many moved.
+    /// This is the consumer half of the move-free ring protocol: the
+    /// gather the owned dispatch path ran serially on the producer
+    /// happens here, on the worker, in parallel with its siblings. The
+    /// parent is locked only for the move itself; vacated slots are
+    /// backfilled with empty placeholder packets (allocation-free), so
+    /// the parent container still recycles whole once every handle is
+    /// gone.
+    ///
+    /// Labels survive: `out` inherits the parent's interned table by
+    /// `Arc` clone, no re-interning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not empty (ranges gather into fresh — usually
+    /// pool-leased — containers; merging into a partially filled batch
+    /// would need label-table reconciliation the fast path never wants).
+    pub fn take_into(self, out: &mut PacketBatch) -> usize {
+        assert!(
+            out.packets.is_empty() && out.table.is_empty(),
+            "take_into requires an empty output container"
+        );
+        let (lo, hi) = self.inner.bounds(self.shard);
+        if lo == hi {
+            return 0;
+        }
+        let mut parent = self.inner.parent.lock();
+        let parent = &mut *parent;
+        out.packets.reserve(hi - lo);
+        let has_labels = !parent.labels.is_empty();
+        if has_labels {
+            out.labels.reserve(hi - lo);
+            out.table.extend(parent.table.iter().cloned());
+        }
+        for &idx in &self.inner.perm[lo..hi] {
+            out.packets
+                .push(std::mem::take(&mut parent.packets[idx as usize]));
+            if has_labels {
+                out.labels.push(parent.labels[idx as usize]);
+            }
+        }
+        hi - lo
+    }
+}
+
+impl fmt::Debug for SharedShardRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SharedShardRange(shard {}, {} packets)",
+            self.shard,
+            self.len()
+        )
     }
 }
 
@@ -1172,6 +1392,100 @@ mod tests {
         b.push(pkt(3));
         assert_eq!(b.label_of(1), None, "stale label must not resurface");
         assert!(PacketBatch::new().pop().is_none());
+    }
+
+    #[test]
+    fn shared_ranges_agree_with_owned_partition() {
+        let build = || -> PacketBatch {
+            let mut b = PacketBatch::new();
+            for p in 1u16..=16 {
+                b.push(pkt(p));
+            }
+            let l = b.intern("marked");
+            b.set_label(3, l);
+            b.set_label(9, l);
+            b
+        };
+        let owned = build().partition_by_shard(4);
+        let shared = build().shard_split(4).into_shared();
+        assert_eq!(shared.shards(), 4);
+        assert_eq!(shared.len(), 16);
+        for (s, own) in owned.iter().enumerate() {
+            let range = shared.range(s);
+            assert_eq!(range.shard(), s);
+            assert_eq!(range.len(), own.len());
+            assert_eq!(shared.shard_len(s), own.len());
+            let mut out = PacketBatch::new();
+            assert_eq!(range.take_into(&mut out), own.len());
+            for i in 0..out.len() {
+                assert_eq!(out.packets()[i].data(), own.packets()[i].data());
+                assert_eq!(out.label_of(i), own.label_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_parent_recycles_when_last_range_drops() {
+        let pool = BatchPool::new(16, 0, 8);
+        for round in 0..3u64 {
+            let mut parent = pool.take();
+            for p in 1u16..=8 {
+                parent.push(pkt(p));
+            }
+            let shared = parent.shard_split(2).into_shared();
+            let (a, b) = (shared.range(0), shared.range(1));
+            drop(shared);
+            // While any range lives, the parent container stays out.
+            let mut out_a = pool.take();
+            a.take_into(&mut out_a);
+            drop(out_a);
+            let before = pool.stats().recycled;
+            let mut out_b = pool.take();
+            b.take_into(&mut out_b);
+            drop(out_b);
+            let s = pool.stats();
+            // Last range gone: parent + out_b both recycled, whole.
+            assert_eq!(s.recycled, before + 2, "round {round}");
+            assert_eq!(s.discarded, 0, "round {round}: nothing drops cold");
+        }
+        // Steady state: one parent + one gather container in flight at
+        // a time (out_b reuses out_a's recycled container) — two
+        // allocations ever, none after round 0.
+        assert_eq!(pool.stats().allocated, 2);
+    }
+
+    #[test]
+    fn dropped_range_releases_unclaimed_packets_with_the_parent() {
+        let pool = BatchPool::new(16, 0, 8);
+        let mut parent = pool.take();
+        for p in 1u16..=8 {
+            parent.push(pkt(p));
+        }
+        let shared = parent.shard_split(2).into_shared();
+        let taken_range = shared.range(0);
+        let rejected = shared.range(1);
+        let expect_left = rejected.len();
+        drop(shared);
+        let mut out = pool.take();
+        let taken = taken_range.take_into(&mut out);
+        assert_eq!(taken + expect_left, 8);
+        // Shard 1's range is dropped un-taken (full ring / dead worker):
+        // its packets die with the parent, the container still recycles.
+        drop(rejected);
+        let s = pool.stats();
+        assert!(s.recycled >= 1, "{s:?}");
+        assert_eq!(s.discarded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty output container")]
+    fn take_into_rejects_a_dirty_container() {
+        let mut b = PacketBatch::new();
+        b.push(pkt(1));
+        let shared = b.shard_split(1).into_shared();
+        let mut out = PacketBatch::new();
+        out.push(pkt(2));
+        shared.range(0).take_into(&mut out);
     }
 
     #[test]

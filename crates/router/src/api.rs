@@ -54,14 +54,18 @@
 //!   and per-output multisets remain identical to the single-threaded
 //!   pipeline (enforced by `tests/sharded_equiv.rs` for N = 1..4,
 //!   with 0 shards ≡ 1 shard at every layer).
-//! * **Steering is index-based and parse-free.** The dispatcher runs
-//!   `PacketBatch::shard_split_with` — one counting-sort pass over
-//!   driver-stamped `PacketMeta::rss_hash` values (written once at NIC
-//!   rx or batch construction, never re-parsed) producing borrowing
-//!   per-shard *views*; packets move only at the ring hand-off, into
-//!   pool-recycled containers whose labels are shared from the
-//!   parent's interned table. Elements therefore must not assume a
-//!   batch's label table holds only labels its own packets use.
+//! * **Steering is index-based, parse-free — and move-free on the
+//!   dispatcher.** `dispatch` runs `PacketBatch::shard_split_with` —
+//!   one counting-sort pass over driver-stamped
+//!   `PacketMeta::rss_hash` values (written once at NIC rx or batch
+//!   construction, never re-parsed) — then wraps the parent once
+//!   (`ShardSplit::into_shared`) and publishes one refcounted
+//!   shard-range *descriptor* per target ring. Packets move exactly
+//!   once, on the **worker** (`SharedShardRange::take_into` into a
+//!   pool-recycled gather container whose labels are shared from the
+//!   parent's interned table). Elements therefore must not assume a
+//!   batch's label table holds only labels its own packets use. See
+//!   "The dispatch contract" below for the parent's lifecycle.
 //! * **Batches arrive pool-homed.** A batch a worker receives may
 //!   lease its container (and its packets' frame buffers) from the
 //!   pipeline's `BatchPool`/`BufferPool`; terminal elements should
@@ -167,6 +171,96 @@
 //! assert_eq!(pipe.shard_stats(old).packets, 8);
 //! assert_eq!(pipe.shard_stats(new).packets, 8);
 //! assert_eq!(pipe.migrations(), 1);
+//! pipe.shutdown();
+//! # Ok::<(), opencom::error::Error>(())
+//! ```
+//!
+//! ## The dispatch contract, precisely
+//!
+//! Software dispatch ([`crate::shard::ShardedPipeline::dispatch`])
+//! publishes **shared shard ranges**, not owned sub-batches. The
+//! lifecycle rules:
+//!
+//! * **One publish per dispatch.** A dispatch is one counting-sort
+//!   split, one shared wrap of the parent batch, one worker-pool gate
+//!   transaction reserving *every* non-empty target shard, and one
+//!   ring write per such shard — a refcount bump, not a packet move.
+//!   The owned-move protocol (split, re-materialise each shard's
+//!   packets into its own pooled sub-batch, one gate transaction per
+//!   sub-batch) survives as
+//!   [`crate::shard::ShardedPipeline::dispatch_owned`], the measured
+//!   baseline of bench series `e13_dispatch`.
+//! * **The last range handle frees the parent.** The caller hands the
+//!   parent batch to `dispatch` and never sees it again: each ring's
+//!   descriptor holds one reference; a worker consuming its range
+//!   moves its packets out (disjoint permutation slots, so workers
+//!   never contend for a packet) and drops its handle. Whichever
+//!   handle drops **last** — normally the last worker to run, but
+//!   equally a descriptor rejected by a dead worker or dropped on a
+//!   re-steer — returns the parent's container to the pipeline's
+//!   [`crate::shard::ShardedPipeline::batch_pool`]. Neither the
+//!   dispatcher nor any element ever frees a parent explicitly, and a
+//!   pool-leased parent recycles whole (the doctest below proves it).
+//! * **Rejected ranges are accounted, then freed like any range.** A
+//!   descriptor that cannot be delivered (dead worker, or a full ring
+//!   on the non-blocking re-steer path) has its packet count added to
+//!   the target shard's `dropped` meter; dropping the descriptor
+//!   releases its parent reference, so rejection never leaks the
+//!   container or wedges siblings that did get their ranges.
+//! * **Quiesce interaction.** `dispatch` publishes with a *blocking*
+//!   ring write outside any epoch, and every descriptor enqueued
+//!   before a quiesce is consumed before its worker parks (the sync
+//!   marker queues behind it) — so a quiesce closure never observes a
+//!   live shared parent, and reconfiguration cannot interleave with a
+//!   half-consumed split. Inside the epoch the rules invert: parked
+//!   workers can never relieve a full ring, so the NIC-drain re-steer
+//!   in `install_bucket_map` publishes its ranges with per-shard
+//!   non-blocking writes and counts full-ring rejections as drops
+//!   rather than deadlocking.
+//!
+//! Runnable — the caller leases the parent, the last worker frees it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use netkit_kernel::shard::ShardSpec;
+//! use netkit_packet::packet::PacketBuilder;
+//! use netkit_router::api::register_packet_interfaces;
+//! use netkit_router::elements::Counter;
+//! use netkit_router::shard::{ShardGraph, ShardedPipeline};
+//! use opencom::capsule::Capsule;
+//! use opencom::meta::resources::ResourceManager;
+//! use opencom::runtime::Runtime;
+//!
+//! let rm = Arc::new(ResourceManager::new());
+//! let pipe = ShardedPipeline::build("doc-dispatch", ShardSpec::new(2), rm, |_| {
+//!     let rt = Runtime::new();
+//!     register_packet_interfaces(&rt);
+//!     let capsule = Capsule::new("shard", &rt);
+//!     Ok(ShardGraph::new(capsule, Counter::new())) // sink mode
+//! })?;
+//!
+//! // Lease the parent from the pipeline's own pool and fill it with
+//! // several flows, so the split fans out to both workers.
+//! let mut parent = pipe.batch_pool().take();
+//! for port in 0..16u16 {
+//!     parent.push(
+//!         PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 5000 + port, 443).build(),
+//!     );
+//! }
+//! let before = pipe.batch_pool().stats();
+//!
+//! // One publish; ownership of `parent` is gone from this thread.
+//! pipe.dispatch(parent);
+//! pipe.flush();
+//!
+//! // Every packet ran, nothing dropped — and the parent's container
+//! // came back to the pool, recycled by the LAST worker to consume
+//! // its range, never by the dispatcher.
+//! let stats = pipe.stats();
+//! assert_eq!((stats.packets, stats.dropped), (16, 0));
+//! let after = pipe.batch_pool().stats();
+//! assert!(after.recycled > before.recycled, "parent recycled: {after:?}");
+//! assert_eq!(after.discarded, before.discarded, "recycled whole, not shed");
 //! pipe.shutdown();
 //! # Ok::<(), opencom::error::Error>(())
 //! ```

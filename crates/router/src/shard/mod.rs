@@ -11,10 +11,16 @@
 //! ([`PacketBatch::shard_split`] — a single counting-sort pass over
 //! stamped RSS hashes, no sub-batch re-materialisation) keeps each flow
 //! on one replica, preserving intra-flow order with zero sharing on the
-//! fast path. Batch containers come from a [`BatchPool`] freelist and
-//! the NIC pump path ([`ShardedPipeline::pump_nic`]) moves pool-leased
-//! frame buffers straight into packets, so steady-state forwarding is
-//! allocation-free per batch.
+//! fast path. The split parent is then *shared*, not moved:
+//! [`ShardedPipeline::dispatch`] publishes one refcounted shard-range
+//! descriptor per ring in a single batched fan-out
+//! ([`WorkerPool::submit_fanout`]), each worker gathers its slice into
+//! a pooled container in parallel, and the parent recycles when the
+//! last range drops. Batch containers come from a [`BatchPool`]
+//! freelist and the NIC pump path ([`ShardedPipeline::pump_nic`])
+//! moves pool-leased frame buffers straight into packets, so
+//! steady-state forwarding is allocation- and move-free per batch on
+//! the dispatch thread.
 //!
 //! Two things keep the replicas *one component* in the reflective
 //! model's eyes:
@@ -55,7 +61,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use netkit_kernel::nic::Nic;
-use netkit_kernel::shard::{ShardSpec, WorkerPool};
+use netkit_kernel::shard::{ShardJob, ShardSpec, WorkerPool};
 use netkit_packet::batch::{BatchPool, PacketBatch};
 use netkit_packet::sketch::{FlowSketch, HeavyHitter, SketchConfig, SpaceSaving};
 use netkit_packet::steer::{BucketLoad, BucketMap};
@@ -214,10 +220,12 @@ pub struct ShardLoad {
 /// # Ok::<(), opencom::error::Error>(())
 /// ```
 pub struct ShardedPipeline {
-    pool: WorkerPool<PacketBatch>,
-    /// Batch-container freelist for the steering fast path: dispatch
-    /// sub-batches and NIC rx batches lease here and return on drop at
-    /// the end of each worker's run-to-completion pass.
+    pool: WorkerPool<ShardJob>,
+    /// Batch-container freelist for the steering fast path: NIC rx
+    /// batches and the workers' shard-range gather containers lease
+    /// here and return on drop at the end of each worker's
+    /// run-to-completion pass (shared split parents recycle here too
+    /// when their last range drops).
     batch_pool: BatchPool,
     /// The authoritative bucket → shard table. Readers
     /// ([`Self::dispatch`], [`Self::pump_nic`], [`Self::submit`]) hold
@@ -289,9 +297,18 @@ impl ShardedPipeline {
             .collect();
         let worker_sketches = sketches.clone();
         let mut drains = drains;
+        // Built before the pool starts: each worker clones a handle so
+        // it can gather shared shard ranges into pooled containers.
+        let batch_pool = BatchPool::new(
+            DISPATCH_BATCH_CAPACITY,
+            spec.workers.saturating_mul(4),
+            spec.workers.saturating_mul(8).max(16),
+        );
+        let worker_batch_pool = batch_pool.clone();
         let pool = WorkerPool::start(spec, move |shard| {
             let entry = Arc::clone(&worker_entries[shard]);
             let counters = Arc::clone(&worker_counters);
+            let gather_pool = worker_batch_pool.clone();
             // A single-worker pipeline never rebalances (there is
             // nowhere to move a bucket), and its dispatch fast path
             // skips the split that stamps RSS hashes — metering there
@@ -300,7 +317,22 @@ impl ShardedPipeline {
             let bucket_load = (spec.workers > 1).then(|| Arc::clone(&worker_bucket_load));
             let sketch = (spec.workers > 1).then(|| Arc::clone(&worker_sketches[shard]));
             let mut drain = drains[shard].take();
-            Box::new(move |batch: PacketBatch| {
+            Box::new(move |job: ShardJob| {
+                let batch = match job {
+                    // Pre-steered owned batch: runs as-is.
+                    ShardJob::Batch(batch) => batch,
+                    // Shared-range dispatch: gather this shard's slice
+                    // of the split parent into a pooled container. The
+                    // move happens *here*, on the worker, in parallel
+                    // across shards — the dispatch thread only wrote
+                    // one descriptor per ring. When the last sibling
+                    // range is consumed the parent container recycles.
+                    ShardJob::Range(range) => {
+                        let mut out = gather_pool.take();
+                        range.take_into(&mut out);
+                        out
+                    }
+                };
                 let n = batch.len() as u64;
                 // Meter per-bucket load on the worker (packets are
                 // rss-stamped by the split / NIC by now, so this is a
@@ -333,11 +365,7 @@ impl ShardedPipeline {
         });
         Ok(Self {
             pool,
-            batch_pool: BatchPool::new(
-                DISPATCH_BATCH_CAPACITY,
-                spec.workers.saturating_mul(4),
-                spec.workers.saturating_mul(8).max(16),
-            ),
+            batch_pool,
             steering: RwLock::new(Arc::new(BucketMap::identity(spec.workers))),
             bucket_load,
             sketches,
@@ -367,25 +395,64 @@ impl ShardedPipeline {
         self.task
     }
 
-    /// RSS-dispatches a batch: steers it by flow affinity through the
-    /// installed bucket table with the index-based split
+    /// RSS-dispatches a batch, move-free: steers it by flow affinity
+    /// through the installed bucket table with the index-based split
     /// ([`PacketBatch::shard_split_with`] — one counting-sort pass,
-    /// RSS stamps reused or written once, no label re-interning) and
-    /// enqueues each non-empty sub-batch on its shard's ring (blocking
-    /// on backpressure). Sub-batch containers lease from the
-    /// pipeline's [`BatchPool`] and recycle when the workers finish
-    /// with them. A single-worker pipeline skips the split entirely
+    /// RSS stamps reused or written once, no label re-interning), then
+    /// shares the split parent ([`ShardSplit::into_shared`]) and
+    /// publishes one [`ShardJob::Range`] descriptor per non-empty
+    /// shard in a single batched fan-out
+    /// ([`WorkerPool::submit_fanout`]: one gate transaction for the
+    /// whole call, blocking on backpressure). No packet moves and no
+    /// container leases on this thread — each worker gathers its slice
+    /// into a pooled container in parallel, and the parent batch
+    /// recycles to the [`BatchPool`] when the last shard's range is
+    /// consumed. A single-worker pipeline skips the split entirely
     /// (0 ≡ 1 shard: the batch goes to shard 0 as-is). Returns the
-    /// number of sub-batches enqueued.
+    /// number of shard ranges enqueued.
+    ///
+    /// Packets whose ring publish fails (the shard's worker died) are
+    /// counted into that shard's `dropped` statistic and released with
+    /// the parent — nothing leaks and the loss is visible.
     ///
     /// The steering-table read lock is held across the ring hand-off,
     /// so a dispatch never interleaves with a table migration — the
     /// serialisation per-flow ordering across a rebalance relies on
     /// (see [`rebalance`]).
+    ///
+    /// [`ShardSplit::into_shared`]: netkit_packet::batch::ShardSplit::into_shared
     pub fn dispatch(&self, batch: PacketBatch) -> usize {
         let map = self.steering.read();
         if self.spec.workers <= 1 {
-            return usize::from(!batch.is_empty() && self.pool.submit(0, batch).is_ok());
+            return self.submit_counting_drops(0, batch);
+        }
+        let shared = batch.shard_split_with(&map).into_shared();
+        self.pool.submit_fanout(
+            (0..self.spec.workers).filter(|&s| shared.shard_len(s) > 0),
+            |shard| ShardJob::Range(shared.range(shard)),
+            |shard, job| {
+                if let Some(c) = self.counters.get(shard) {
+                    c.dropped.fetch_add(job.len() as u64, Ordering::Relaxed);
+                }
+                // The rejected range drops here; its packets release
+                // with the shared parent, whose pooled container (if
+                // leased) recycles on the last sibling's drop.
+            },
+        )
+    }
+
+    /// The pre-shared-ring dispatch baseline: the same counting-sort
+    /// split, but each shard's slice is re-materialised as an **owned**
+    /// sub-batch ([`PacketBatch`] leased from the pool, packets moved
+    /// on *this* thread) and published with one ring transaction per
+    /// sub-batch. Semantically equivalent to [`Self::dispatch`]
+    /// (verdicts, per-output multisets, per-flow order — see the
+    /// differential proptest); kept as the comparison arm for the E13
+    /// dispatch bench and for callers that must not share the parent.
+    pub fn dispatch_owned(&self, batch: PacketBatch) -> usize {
+        let map = self.steering.read();
+        if self.spec.workers <= 1 {
+            return self.submit_counting_drops(0, batch);
         }
         let mut sent = 0;
         let split = batch.shard_split_with(&map);
@@ -394,11 +461,39 @@ impl ShardedPipeline {
             .into_iter()
             .enumerate()
         {
-            if !part.is_empty() && self.pool.submit(shard, part).is_ok() {
-                sent += 1;
+            if part.is_empty() {
+                continue;
+            }
+            let n = part.len() as u64;
+            match self.pool.submit(shard, ShardJob::Batch(part)) {
+                Ok(()) => sent += 1,
+                Err(_) => {
+                    if let Some(c) = self.counters.get(shard) {
+                        c.dropped.fetch_add(n, Ordering::Relaxed);
+                    }
+                }
             }
         }
         sent
+    }
+
+    /// Single-shard hand-off with loss accounting: empty batches are
+    /// not published, and a failed publish (dead worker) lands in the
+    /// shard's `dropped` stat instead of vanishing silently.
+    fn submit_counting_drops(&self, shard: usize, batch: PacketBatch) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let n = batch.len() as u64;
+        match self.pool.submit(shard, ShardJob::Batch(batch)) {
+            Ok(()) => 1,
+            Err(_) => {
+                if let Some(c) = self.counters.get(shard) {
+                    c.dropped.fetch_add(n, Ordering::Relaxed);
+                }
+                0
+            }
+        }
     }
 
     /// The pipeline's batch-container freelist. NIC pump loops should
@@ -432,9 +527,11 @@ impl ShardedPipeline {
         if taken == 0 {
             return 0; // empty container recycles on drop
         }
-        match self.pool.submit(shard, batch) {
+        match self.pool.submit(shard, ShardJob::Batch(batch)) {
             Ok(()) => taken,
             Err(_) => {
+                // The bounced batch drops here: frames counted lost,
+                // pooled container recycles on drop.
                 if let Some(c) = self.counters.get(shard) {
                     c.dropped.fetch_add(taken as u64, Ordering::Relaxed);
                 }
@@ -454,7 +551,11 @@ impl ShardedPipeline {
     /// Returns the batch if `shard` is out of range or its worker died.
     pub fn submit(&self, shard: usize, batch: PacketBatch) -> std::result::Result<(), PacketBatch> {
         let _map = self.steering.read();
-        self.pool.submit(shard, batch)
+        match self.pool.submit(shard, ShardJob::Batch(batch)) {
+            Ok(()) => Ok(()),
+            Err(ShardJob::Batch(batch)) => Err(batch),
+            Err(ShardJob::Range(_)) => unreachable!("submitted a Batch"),
+        }
     }
 
     /// Blocks until every dispatched batch has run to completion, then
@@ -572,22 +673,28 @@ impl ShardedPipeline {
                         if nic.rx_burst_batch(queue, DISPATCH_BATCH_CAPACITY, &mut batch) == 0 {
                             break; // empty container recycles on drop
                         }
-                        let split = batch.shard_split_with(&map);
-                        for (shard, part) in split
-                            .into_shard_batches_pooled(&self.batch_pool)
-                            .into_iter()
-                            .enumerate()
-                        {
-                            if part.is_empty() {
+                        let shared = batch.shard_split_with(&map).into_shared();
+                        for shard in 0..self.spec.workers {
+                            let n = shared.shard_len(shard);
+                            if n == 0 {
                                 continue;
                             }
-                            let n = part.len();
-                            // try_submit: a blocking submit inside the
-                            // quiesce would deadlock against the parked
-                            // workers if a ring were full.
-                            match self.pool.try_submit(shard, part) {
+                            // Per-range try_submit, NOT submit_fanout: a
+                            // blocking publish inside the quiesce would
+                            // deadlock against the parked workers if a
+                            // ring were full.
+                            match self
+                                .pool
+                                .try_submit(shard, ShardJob::Range(shared.range(shard)))
+                            {
                                 Ok(()) => report.resubmitted += n,
                                 Err(_) => {
+                                    // The bounced range's packets free
+                                    // with the shared parent, and the
+                                    // parent's pooled container recycles
+                                    // once the accepted siblings are
+                                    // consumed — full-ring loss is
+                                    // counted, never leaked.
                                     report.dropped += n;
                                     if let Some(c) = self.counters.get(shard) {
                                         c.dropped.fetch_add(n as u64, Ordering::Relaxed);
@@ -1424,5 +1531,116 @@ mod tests {
         assert_eq!(r.pipe.shard_stats(1).packets, 0);
         assert!(r.pipe.submit(5, PacketBatch::new()).is_err());
         r.pipe.shutdown();
+    }
+
+    #[test]
+    fn dispatch_owned_agrees_with_shared_dispatch() {
+        let shared = rig("agree-shared", 4);
+        let owned = rig("agree-owned", 4);
+        shared.pipe.dispatch(burst(16, 8));
+        owned.pipe.dispatch_owned(burst(16, 8));
+        shared.pipe.flush();
+        owned.pipe.flush();
+        assert_eq!(shared.pipe.stats(), owned.pipe.stats());
+        for shard in 0..4 {
+            assert_eq!(
+                shared.pipe.shard_stats(shard),
+                owned.pipe.shard_stats(shard),
+                "per-shard steering identical on shard {shard}"
+            );
+        }
+        shared.pipe.shutdown();
+        owned.pipe.shutdown();
+    }
+
+    #[test]
+    fn install_counts_full_ring_rejections_and_recycles_containers() {
+        use netkit_kernel::nic::{Nic, PortId};
+        use netkit_packet::flow::FlowKey;
+
+        // Satellite regression: frames that bounce off a full ring
+        // during the install re-steer must land in the shard's
+        // `dropped` stat, and every pooled container — including the
+        // shared parents of rejected ranges — must come back.
+        let workers = 2usize;
+        let r = rig_with(
+            "install-full",
+            ShardSpec::new(workers).with_ring_capacity(1),
+        );
+        let nic = Nic::with_queues(PortId(0), workers, 64, 64, 1_000_000);
+        let mut per_queue = vec![0usize; workers];
+        let mut map = r.pipe.bucket_map();
+        for i in 0..16u16 {
+            let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000 + i, 80).build();
+            let key = FlowKey::from_packet(&wire).unwrap();
+            per_queue[key.shard_for(workers)] += 1;
+            map.set(key.bucket(), 1); // everything migrates to shard 1
+            assert!(nic.inject_rx_frame(wire.data()));
+        }
+        assert!(
+            per_queue.iter().all(|&n| n > 0),
+            "flows span both queues: {per_queue:?}"
+        );
+        let before = r.pipe.batch_pool().stats();
+        let report = r.pipe.install_bucket_map(map, &[&nic]);
+        // Queue 0 drains first and its shard-1 range fills the 1-slot
+        // ring (workers are parked); queue 1's range then bounces.
+        assert_eq!(report.resubmitted, per_queue[0]);
+        assert_eq!(report.dropped, per_queue[1]);
+        r.pipe.flush();
+        assert_eq!(r.pipe.shard_stats(1).packets, per_queue[0] as u64);
+        assert_eq!(r.pipe.shard_stats(1).dropped, per_queue[1] as u64);
+        // Both drained parents (accepted and rejected) plus the empty
+        // end-of-queue takes recycled; the freelist never overflowed.
+        let after = r.pipe.batch_pool().stats();
+        assert!(
+            after.recycled >= before.recycled + 4,
+            "{before:?} -> {after:?}"
+        );
+        assert_eq!(after.discarded, before.discarded);
+        r.pipe.shutdown();
+    }
+
+    /// An ingress that kills its worker on the first packet.
+    struct Exploder;
+
+    impl crate::api::IPacketPush for Exploder {
+        fn push(&self, _pkt: netkit_packet::packet::Packet) -> crate::api::PushResult {
+            panic!("injected fault");
+        }
+    }
+
+    #[test]
+    fn pump_nic_fails_fast_on_a_dead_worker_and_counts_the_loss() {
+        use netkit_kernel::nic::{Nic, PortId};
+
+        // Satellite regression: once the worker is marked dead,
+        // pump_nic must return immediately (no ring-timeout block),
+        // count the drained frames as dropped, and recycle its pooled
+        // container.
+        let rm = Arc::new(ResourceManager::new());
+        let pipe = ShardedPipeline::build("dead-pump", ShardSpec::single(), rm, |_| {
+            let rt = Runtime::new();
+            register_packet_interfaces(&rt);
+            let capsule = Capsule::new("shard", &rt);
+            Ok(ShardGraph::new(Arc::clone(&capsule), Arc::new(Exploder)))
+        })
+        .unwrap();
+        pipe.submit(0, burst(1, 1)).unwrap(); // poisons the worker
+        while pipe.pool.worker_alive(0) == Some(true) {
+            std::thread::yield_now();
+        }
+        let nic = Nic::with_queues(PortId(0), 1, 64, 64, 1_000_000);
+        for i in 0..4u16 {
+            let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000 + i, 80).build();
+            assert!(nic.inject_rx_frame(wire.data()));
+        }
+        let before = pipe.batch_pool().stats();
+        assert_eq!(pipe.pump_nic(&nic, 0, 64), 0, "dead worker: fast fail");
+        assert_eq!(pipe.shard_stats(0).dropped, 4, "the loss is counted");
+        let after = pipe.batch_pool().stats();
+        assert_eq!(after.recycled, before.recycled + 1, "container returns");
+        pipe.flush(); // does not wedge on the dead shard
+        pipe.shutdown();
     }
 }

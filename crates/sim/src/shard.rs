@@ -182,9 +182,14 @@ impl NodeBehaviour for ShardedBehaviour {
 
     /// Coalesced bursts are steered once with the index-based split
     /// ([`PacketBatch::shard_split_with`], the identical table-driven
-    /// pass the threaded dispatcher runs) and handed to each shard as
-    /// its own burst, in shard index order — the deterministic
-    /// serialisation of what the worker pool does in parallel.
+    /// pass the threaded dispatcher runs), shared
+    /// ([`ShardSplit::into_shared`] — the same refcounted shard-range
+    /// protocol the threaded dispatcher publishes to its rings), and
+    /// each shard's range is gathered and run in shard index order —
+    /// the deterministic serialisation of what the worker pool does in
+    /// parallel, exercising the identical shared-parent lifecycle.
+    ///
+    /// [`ShardSplit::into_shared`]: netkit_packet::batch::ShardSplit::into_shared
     fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
         if self.shards.len() == 1 {
             // 0/1-shard equivalence: no steering work at all.
@@ -194,11 +199,14 @@ impl NodeBehaviour for ShardedBehaviour {
         let batch = PacketBatch::from_packets(pkts);
         self.load.record_batch(&batch);
         self.sketch.record_batch(&batch);
-        let split = batch.shard_split_with(&self.map);
-        for (shard, part) in split.into_shard_batches().into_iter().enumerate() {
-            if !part.is_empty() {
-                self.shards[shard].on_batch(ctx, ingress, part.into_packets());
+        let shared = batch.shard_split_with(&self.map).into_shared();
+        for shard in 0..self.shards.len() {
+            if shared.shard_len(shard) == 0 {
+                continue;
             }
+            let mut part = PacketBatch::new();
+            shared.range(shard).take_into(&mut part);
+            self.shards[shard].on_batch(ctx, ingress, part.into_packets());
         }
     }
 

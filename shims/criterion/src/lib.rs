@@ -30,6 +30,12 @@ static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 /// set; a no-op otherwise. `criterion_main!` calls this after the last
 /// group, so bench runners get a machine-readable report alongside the
 /// printed lines without touching bench code.
+///
+/// A `meta/cpus` key records the CPU count the run saw
+/// (`std::thread::available_parallelism`), so a report from a 1-CPU
+/// container — where multi-worker series measure coordination only,
+/// not parallel speed-up — is machine-distinguishable from a real
+/// multi-core run.
 pub fn flush_json_report() {
     let Ok(path) = std::env::var("NETKIT_BENCH_JSON") else {
         return;
@@ -38,6 +44,8 @@ pub fn flush_json_report() {
         return;
     }
     let mut results = RESULTS.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    results.push(("meta/cpus".to_string(), cpus as f64));
     results.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {
@@ -419,6 +427,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         assert!(body.starts_with('{') && body.ends_with("}\n"), "{body}");
         assert!(body.contains("\"json/noop\": "), "{body}");
+        assert!(body.contains("\"meta/cpus\": "), "{body}");
     }
 
     #[test]
