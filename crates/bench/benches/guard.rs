@@ -1,0 +1,320 @@
+//! **E14 — guard overhead and the recovery cycle** (the PR's
+//! acceptance experiment; see `crates/bench/NOTES.md`).
+//!
+//! Two questions, one series each:
+//!
+//! * What does the inline heavy-hitter [`Guard`] cost traffic that is
+//!   *not* attacking? `e14_guard` drives the same 64 × 32-packet
+//!   benign mix (64 mouse flows, every estimate far below threshold)
+//!   through the canonical 12-stage Counter chain (the E6 per-shard
+//!   graph) with and without a guard bound at
+//!   the head, batch-first (`push_batch`, the way the sharded worker
+//!   enters the graph) — both arms pay the sketch metering the worker
+//!   always pays, so the delta is the guard's fast path alone (an
+//!   early-exit count-min read + a counter bump per packet, one
+//!   receptacle hop per batch). Acceptance: ≤ 5% overhead on the
+//!   benign arm. `benign_admit_only` prices that fast path in
+//!   isolation (sink mode, empty sketch) — the stable marginal number
+//!   on a noisy host — and `attack_guarded` prices the same chain
+//!   under a half-elephant mix, where the heavy path (flow-table
+//!   budget spend per elephant packet) engages.
+//! * What does self-healing cost? `e14_respawn` prices the health
+//!   probe when nothing is wrong (`health_turn_idle`, the per-tick tax
+//!   the control loop pays forever) and the full `recovery_cycle` —
+//!   arm a crash, lose the worker mid-packet, detect the death, and
+//!   run one `health_turn` (quarantine re-steer + factory rebuild +
+//!   respawn + steering restore) back to a healthy dataplane.
+//!
+//! Run with `NETKIT_BENCH_JSON=<abs path>/BENCH_guard.json cargo bench
+//! --bench guard` for the machine-readable report; `meta/cpus` records
+//! whether worker wake-ups in `recovery_cycle` serialised (1-CPU
+//! container) or overlapped (real cores).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use netkit_bench::{netkit_chain, PipelineRig};
+use netkit_kernel::shard::ShardSpec;
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::packet::{Packet, PacketBuilder};
+use netkit_packet::sketch::{FlowSketch, SketchConfig};
+use netkit_router::api::{register_packet_interfaces, IPacketPush, PushResult, IPACKET_PUSH};
+use netkit_router::flow::{Guard, GuardConfig};
+use netkit_router::shard::{ShardGraph, ShardedPipeline};
+use opencom::capsule::Capsule;
+use opencom::cf::Principal;
+use opencom::meta::resources::ResourceManager;
+use opencom::runtime::Runtime;
+
+const BATCH: usize = 32;
+const BATCHES_PER_ITER: usize = 64;
+/// The canonical per-shard graph depth of the E6/E11 series — the
+/// pipeline a guard would actually sit at the head of.
+const CHAIN: usize = 12;
+const FLOWS: u64 = 64;
+
+/// A flow packet stamped the way the sharded worker sees it: the RSS
+/// hash is both the steering key and the sketch/guard flow identity.
+fn stamped(flow: u64, payload: usize) -> Packet {
+    let mut p = PacketBuilder::udp_v4("192.0.2.1", "10.0.7.9", 6000 + flow as u16, 53)
+        .payload_len(payload)
+        .build();
+    p.meta.rss_hash = Some(flow);
+    p
+}
+
+/// 64 batches of 32 packets, flows round-robin, every flow a mouse
+/// (~4.5 KiB per flow per iteration — far below the 64 KiB threshold).
+fn benign_bursts() -> Vec<Vec<Packet>> {
+    (0..BATCHES_PER_ITER)
+        .map(|b| {
+            (0..BATCH)
+                .map(|i| stamped((b * BATCH + i) as u64 % FLOWS, 100))
+                .collect()
+        })
+        .collect()
+}
+
+/// Same shape, but every other packet belongs to one 1000-byte-payload
+/// elephant: ~1 MiB per iteration through flow 0, so the heavy path
+/// (threshold crossed, then budget exhausted) engages within the first
+/// window.
+fn attack_bursts() -> Vec<Vec<Packet>> {
+    (0..BATCHES_PER_ITER)
+        .map(|b| {
+            (0..BATCH)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        stamped(0, 1000)
+                    } else {
+                        stamped(1 + (b * BATCH + i) as u64 % (FLOWS - 1), 100)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Binds a [`Guard`] at the head of a [`netkit_chain`] rig through the
+/// CF, returning the guard and its push entry (the guarded chain).
+fn guarded_chain(rig: &PipelineRig, sketch: Arc<FlowSketch>) -> (Arc<Guard>, Arc<dyn IPacketPush>) {
+    let sys = Principal::system();
+    let guard = Guard::new(sketch, GuardConfig::default());
+    let gid = rig.capsule.adopt(guard.clone()).expect("adopt guard");
+    rig.cf.plug(&sys, gid).expect("plug guard");
+    rig.cf
+        .bind(&sys, gid, "out", "", rig.head, IPACKET_PUSH)
+        .expect("bind guard -> chain");
+    let entry: Arc<dyn IPacketPush> = rig
+        .capsule
+        .query_interface(gid, IPACKET_PUSH)
+        .expect("guard exports IPacketPush")
+        .downcast()
+        .expect("push interface");
+    (guard, entry)
+}
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_guard");
+    group.throughput(Throughput::Elements((BATCH * BATCHES_PER_ITER) as u64));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    let benign = benign_bursts();
+    let clone_bursts = |bursts: &[Vec<Packet>]| -> Vec<PacketBatch> {
+        bursts
+            .iter()
+            .map(|pkts| PacketBatch::from_packets(pkts.clone()))
+            .collect()
+    };
+
+    // Baseline arm: sketch metering + the bare chain. The per-window
+    // sketch retire runs in setup — it is control-plane work, off the
+    // per-packet path in the real pipeline.
+    {
+        let rig = netkit_chain(CHAIN).expect("rig");
+        let sk = FlowSketch::new(SketchConfig::default());
+        group.bench_function("benign_unguarded", |b| {
+            b.iter_batched(
+                || {
+                    sk.decay(0.0); // close the window without allocating
+                    clone_bursts(&benign)
+                },
+                |batches| {
+                    for batch in batches {
+                        sk.record_batch(&batch);
+                        criterion::black_box(rig.entry.push_batch(batch));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(rig.sink.count() > 0, "the baseline chain really forwarded");
+    }
+
+    // Guarded arm: identical traffic and chain, guard bound at the
+    // head. Every packet must take the benign fast path — if anything
+    // was limited, the series measured enforcement, not overhead.
+    {
+        let rig = netkit_chain(CHAIN).expect("rig");
+        let sk = Arc::new(FlowSketch::new(SketchConfig::default()));
+        let (guard, entry) = guarded_chain(&rig, Arc::clone(&sk));
+        group.bench_function("benign_guarded", |b| {
+            b.iter_batched(
+                || {
+                    sk.decay(0.0);
+                    guard.retire_window();
+                    clone_bursts(&benign)
+                },
+                |batches| {
+                    for batch in batches {
+                        sk.record_batch(&batch);
+                        criterion::black_box(entry.push_batch(batch));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let s = guard.stats();
+        assert_eq!(s.limited, 0, "benign arm must stay on the fast path");
+        assert_eq!(s.passed, rig.sink.count(), "every packet passed through");
+    }
+
+    // The guard's marginal cost in isolation: sink mode (no chain, no
+    // sketch recording — an empty sketch keeps every flow provably
+    // benign), so this series is the admission fast path and nothing
+    // else. On a noisy 1-CPU host this small, single-threaded number
+    // is the stable measure of what the guard adds per benign packet;
+    // the paired arms above put it in proportion.
+    {
+        let sk = Arc::new(FlowSketch::new(SketchConfig::default()));
+        let guard = Guard::new(Arc::clone(&sk), GuardConfig::default());
+        group.bench_function("benign_admit_only", |b| {
+            b.iter_batched(
+                || clone_bursts(&benign),
+                |batches| {
+                    for batch in batches {
+                        criterion::black_box(guard.push_batch(batch));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let s = guard.stats();
+        assert_eq!((s.budgeted, s.limited), (0, 0), "pure fast path");
+    }
+
+    // Attack arm: half the packets are one elephant, so the heavy path
+    // — table lock, budget spend, then RateLimited verdicts — is live.
+    {
+        let attack = attack_bursts();
+        let rig = netkit_chain(CHAIN).expect("rig");
+        let sk = Arc::new(FlowSketch::new(SketchConfig::default()));
+        let (guard, entry) = guarded_chain(&rig, Arc::clone(&sk));
+        group.bench_function("attack_guarded", |b| {
+            b.iter_batched(
+                || {
+                    sk.decay(0.0);
+                    guard.retire_window();
+                    clone_bursts(&attack)
+                },
+                |batches| {
+                    for batch in batches {
+                        sk.record_batch(&batch);
+                        criterion::black_box(entry.push_batch(batch));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let s = guard.stats();
+        assert!(s.limited > 0, "the elephant must hit the limiter");
+        assert!(s.passed > 0, "the mice must keep flowing");
+    }
+
+    group.finish();
+}
+
+/// Replica entry that kills its worker on the next armed packet — the
+/// bench-side trigger for a deterministic mid-traffic crash.
+struct TriggeredCrash {
+    armed: Arc<AtomicBool>,
+}
+
+impl IPacketPush for TriggeredCrash {
+    fn push(&self, _pkt: Packet) -> PushResult {
+        if self.armed.swap(false, Ordering::SeqCst) {
+            panic!("bench: injected worker crash");
+        }
+        Ok(())
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_respawn");
+
+    // The injected crash fires once per measured cycle; printing a
+    // backtrace for each would put panic-report I/O inside the timed
+    // window. Silence exactly that panic, keep every other report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|msg| msg.contains("injected worker crash"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let armed = Arc::new(AtomicBool::new(false));
+    let rm = Arc::new(ResourceManager::new());
+    let pipe = {
+        let armed = Arc::clone(&armed);
+        ShardedPipeline::build("e14-respawn", ShardSpec::new(2), rm, move |_shard| {
+            let rt = Runtime::new();
+            register_packet_interfaces(&rt);
+            let capsule = Capsule::new("shard", &rt);
+            let entry: Arc<dyn IPacketPush> = Arc::new(TriggeredCrash {
+                armed: Arc::clone(&armed),
+            });
+            Ok(ShardGraph::new(capsule, entry))
+        })
+        .expect("pipeline builds")
+    };
+    let trigger = || PacketBatch::from_packets(vec![stamped(0, 64)]);
+
+    // The floor: what the control loop's health probe costs every tick
+    // while nothing is wrong (one aliveness read per shard).
+    group.bench_function("health_turn_idle", |b| {
+        b.iter(|| {
+            let turn = pipe.health_turn(&[]).expect("healthy turn");
+            assert!(turn.is_none(), "nothing to recover");
+        })
+    });
+
+    // The full cycle: arm the crash, lose shard 0 mid-packet, wait for
+    // the kernel to publish the death, then one health_turn brings the
+    // dataplane back (quarantine re-steer + replica rebuild + respawn
+    // + steering restore). On a 1-CPU host the detection wait includes
+    // scheduling the dying thread's unwind — see NOTES.md.
+    group.bench_function("recovery_cycle", |b| {
+        b.iter(|| {
+            armed.store(true, Ordering::SeqCst);
+            pipe.dispatch(trigger());
+            while pipe.worker_alive(0) != Some(false) {
+                std::thread::yield_now();
+            }
+            let recovery = pipe.health_turn(&[]).expect("recovery succeeds");
+            assert!(recovery.is_some(), "the cycle must really recover");
+        })
+    });
+    assert!(pipe.recoveries() >= 1, "at least one real recovery ran");
+    pipe.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_guard_overhead, bench_recovery);
+criterion_main!(benches);

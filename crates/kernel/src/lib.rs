@@ -20,6 +20,10 @@
 //!   ([`shard::ShardSpec`], [`shard::WorkerPool`]) with the epoch-based
 //!   quiesce protocol that keeps reflective reconfiguration atomic
 //!   across workers.
+//! * [`fault`] — seeded, replayable fault-injection plans
+//!   ([`fault::FaultPlan`]: crash-on-nth-packet, wire drop/corrupt/
+//!   duplicate, forced ring pressure) shared by the chaos tests and
+//!   the sim.
 //! * [`task`] — supervised periodic background tasks with idle backoff
 //!   ([`task::PeriodicTask`]), the cadence primitive autonomous
 //!   control loops run on.
@@ -31,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod exec;
+pub mod fault;
 pub mod ixp;
 pub mod mem;
 pub mod nic;

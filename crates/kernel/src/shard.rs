@@ -115,8 +115,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use netkit_packet::batch::{PacketBatch, SharedShardRange};
+use parking_lot::RwLock;
 
 /// Configuration of a sharded dataplane: how many run-to-completion
 /// workers and how deep each worker's ring is (in work items).
@@ -239,6 +240,20 @@ impl From<SharedShardRange> for ShardJob {
     }
 }
 
+/// Why a submission bounced — the classification
+/// [`WorkerPool::try_submit_tagged`] reports so callers can tell
+/// backpressure (ring pressure, shed load) from faults (a dead worker,
+/// whose traffic is a recovery concern) from caller error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitRejection {
+    /// The target ring was full: backpressure evidence (tail drop).
+    RingFull,
+    /// The target worker is dead (handler panic): fault evidence.
+    DeadWorker,
+    /// The shard index does not exist in this pool.
+    OutOfRange,
+}
+
 enum Job<T> {
     Work(T),
     Sync(u64),
@@ -315,7 +330,11 @@ impl Gate {
 
     fn retire_one(&self, shard: usize) {
         let mut st = self.lock();
-        st.in_flight[shard] -= 1;
+        // Saturating: a respawn zeroes a shard's in-flight count while a
+        // producer that lost the death race may still deliver (and thus
+        // retire) one late item on the fresh ring — that retirement must
+        // not underflow the new window's count.
+        st.in_flight[shard] = st.in_flight[shard].saturating_sub(1);
         if st.in_flight[shard] == 0 {
             self.drained.notify_all();
         }
@@ -402,14 +421,28 @@ impl Drop for WorkerExit<'_> {
 /// pool.shutdown();
 /// ```
 pub struct WorkerPool<T: Send + 'static> {
-    queues: Vec<Sender<Job<T>>>,
-    handles: Vec<JoinHandle<()>>,
+    /// One ring per shard. The pool keeps **both** endpoints: the
+    /// sender feeds the worker, and the receiver clone is what lets
+    /// [`Self::respawn`] drain a dead worker's stranded items (the
+    /// dead thread's own receiver died with it). Slots are swapped
+    /// wholesale on respawn, hence the per-slot lock; the fast path
+    /// only ever takes it shared.
+    slots: Vec<RwLock<Slot<T>>>,
+    handles: parking_lot::Mutex<Vec<Option<JoinHandle<()>>>>,
     gate: Arc<Gate>,
-    /// Serialises concurrent quiescers.
+    /// Serialises concurrent quiescers — and respawns, which must not
+    /// interleave with an epoch barrier (a fresh worker never saw the
+    /// in-flight sync marker and could wedge the quiescer).
     quiesce_serial: Mutex<()>,
     spec: ShardSpec,
     completed: Arc<Vec<AtomicU64>>,
     rejected: AtomicU64,
+    respawned: AtomicU64,
+}
+
+struct Slot<T> {
+    tx: Sender<Job<T>>,
+    rx: Receiver<Job<T>>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -437,47 +470,60 @@ impl<T: Send + 'static> WorkerPool<T> {
                 .map(|_| AtomicU64::new(0))
                 .collect::<Vec<_>>(),
         );
-        let mut queues = Vec::with_capacity(spec.workers);
+        let mut slots = Vec::with_capacity(spec.workers);
         let mut handles = Vec::with_capacity(spec.workers);
         for shard in 0..spec.workers {
             let (tx, rx) = bounded::<Job<T>>(spec.ring_capacity);
-            let mut handler = factory(shard);
-            let gate = Arc::clone(&gate);
-            let completed = Arc::clone(&completed);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("netkit-shard-{shard}"))
-                    .spawn(move || {
-                        let _exit = WorkerExit(&gate, shard);
-                        while let Ok(job) = rx.recv() {
-                            match job {
-                                Job::Work(item) => {
-                                    let _retire = Retire(&gate, shard);
-                                    handler(item);
-                                    completed[shard].fetch_add(1, Ordering::Relaxed);
-                                }
-                                Job::Sync(target) => gate.park(target),
-                            }
-                        }
-                    })
-                    .expect("spawn worker thread"),
-            );
-            queues.push(tx);
+            let handler = factory(shard);
+            handles.push(Some(Self::spawn_worker(
+                shard,
+                handler,
+                rx.clone(),
+                Arc::clone(&gate),
+                Arc::clone(&completed),
+            )));
+            slots.push(RwLock::new(Slot { tx, rx }));
         }
         Self {
-            queues,
-            handles,
+            slots,
+            handles: parking_lot::Mutex::new(handles),
             gate,
             quiesce_serial: Mutex::new(()),
             spec,
             completed,
             rejected: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
         }
+    }
+
+    fn spawn_worker(
+        shard: usize,
+        mut handler: ShardHandler<T>,
+        rx: Receiver<Job<T>>,
+        gate: Arc<Gate>,
+        completed: Arc<Vec<AtomicU64>>,
+    ) -> JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("netkit-shard-{shard}"))
+            .spawn(move || {
+                let _exit = WorkerExit(&gate, shard);
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Work(item) => {
+                            let _retire = Retire(&gate, shard);
+                            handler(item);
+                            completed[shard].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Job::Sync(target) => gate.park(target),
+                    }
+                }
+            })
+            .expect("spawn worker thread")
     }
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
-        self.queues.len()
+        self.slots.len()
     }
 
     /// The configuring spec.
@@ -495,19 +541,45 @@ impl<T: Send + 'static> WorkerPool<T> {
     ///
     /// Returns the item if `shard` is out of range or the worker died.
     pub fn submit(&self, shard: usize, item: T) -> Result<(), T> {
-        let Some(queue) = self.queues.get(shard) else {
+        let Some(slot) = self.slots.get(shard) else {
             return Err(item);
         };
         if !self.gate.submit_one(shard) {
             return Err(item); // dead worker: fail fast, never block
         }
-        match queue.send(Job::Work(item)) {
+        let slot = slot.read();
+        match self.send_work(shard, &slot, item) {
             Ok(()) => Ok(()),
-            Err(e) => {
+            Err(item) => {
                 self.gate.retire_one(shard);
-                match e.0 {
-                    Job::Work(item) => Err(item),
-                    Job::Sync(_) => unreachable!("submit only sends work"),
+                Err(item)
+            }
+        }
+    }
+
+    /// Backpressure-aware ring write: retries a full ring until the
+    /// item fits, yielding between attempts, but watches the dead bit
+    /// so a producer never waits on a ring whose worker has died
+    /// mid-wait (the pool holds a receiver clone for respawn, so
+    /// channel disconnection can no longer signal worker death).
+    ///
+    /// Returns the item if the worker died before it could be queued.
+    fn send_work(&self, shard: usize, slot: &Slot<T>, item: T) -> Result<(), T> {
+        let mut msg = Job::Work(item);
+        loop {
+            match slot.tx.try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let full = e.is_full();
+                    let item = match e.into_inner() {
+                        Job::Work(item) => item,
+                        Job::Sync(_) => unreachable!("send_work only sends work"),
+                    };
+                    if !full || self.gate.lock().dead[shard] {
+                        return Err(item);
+                    }
+                    msg = Job::Work(item);
+                    std::thread::yield_now();
                 }
             }
         }
@@ -524,19 +596,35 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// Returns the item when the ring is full, the shard is out of
     /// range, or the worker died.
     pub fn try_submit(&self, shard: usize, item: T) -> Result<(), T> {
-        let Some(queue) = self.queues.get(shard) else {
-            return Err(item);
+        self.try_submit_tagged(shard, item)
+            .map_err(|(item, _)| item)
+    }
+
+    /// [`Self::try_submit`] with the rejection *classified*: the caller
+    /// learns whether a bounced item is backpressure evidence
+    /// ([`SubmitRejection::RingFull`] — counted in [`Self::rejected`])
+    /// or fault evidence ([`SubmitRejection::DeadWorker`] — not ring
+    /// pressure, so not counted there). Cause-tagged drop accounting in
+    /// the sharded router is built on this split.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item and why it bounced.
+    pub fn try_submit_tagged(&self, shard: usize, item: T) -> Result<(), (T, SubmitRejection)> {
+        let Some(slot) = self.slots.get(shard) else {
+            return Err((item, SubmitRejection::OutOfRange));
         };
         if !self.gate.submit_one(shard) {
-            return Err(item); // dead worker: fail fast
+            return Err((item, SubmitRejection::DeadWorker)); // fail fast
         }
-        match queue.try_send(Job::Work(item)) {
+        let slot = slot.read();
+        match slot.tx.try_send(Job::Work(item)) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.gate.retire_one(shard);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 match e.into_inner() {
-                    Job::Work(item) => Err(item),
+                    Job::Work(item) => Err((item, SubmitRejection::RingFull)),
                     Job::Sync(_) => unreachable!("try_submit only sends work"),
                 }
             }
@@ -583,7 +671,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         {
             let mut st = self.gate.lock();
             for shard in shards.clone() {
-                assert!(shard < self.queues.len(), "fanout shard out of range");
+                assert!(shard < self.slots.len(), "fanout shard out of range");
                 if st.dead[shard] {
                     dead_skipped.push(shard);
                     continue;
@@ -602,15 +690,13 @@ impl<T: Send + 'static> WorkerPool<T> {
                 on_reject(shard, job_for(shard));
                 continue;
             }
-            match self.queues[shard].send(Job::Work(job_for(shard))) {
+            let slot = self.slots[shard].read();
+            match self.send_work(shard, &slot, job_for(shard)) {
                 Ok(()) => sent += 1,
-                Err(e) => {
+                Err(item) => {
                     // Worker died between reservation and publish.
                     self.gate.retire_one(shard);
-                    match e.0 {
-                        Job::Work(item) => on_reject(shard, item),
-                        Job::Sync(_) => unreachable!("fanout only sends work"),
-                    }
+                    on_reject(shard, item);
                 }
             }
         }
@@ -648,13 +734,30 @@ impl<T: Send + 'static> WorkerPool<T> {
             st.requested += 1;
             st.requested
         };
-        for queue in &self.queues {
+        for (shard, slot) in self.slots.iter().enumerate() {
             // A dead worker cannot park; `dead` accounting covers it.
-            let _ = queue.send(Job::Sync(target));
+            // A full live ring backpressures the marker (the worker is
+            // draining), re-checking the dead bit between attempts so a
+            // death mid-wait cannot wedge the quiescer.
+            let slot = slot.read();
+            let mut msg = Job::Sync(target);
+            loop {
+                if self.gate.lock().dead[shard] {
+                    break;
+                }
+                match slot.tx.try_send(msg) {
+                    Ok(()) => break,
+                    Err(e) if e.is_full() => {
+                        msg = e.into_inner();
+                        std::thread::yield_now();
+                    }
+                    Err(_) => break,
+                }
+            }
         }
         {
             let mut st = self.gate.lock();
-            while st.parked + st.dead_count() < self.queues.len() {
+            while st.parked + st.dead_count() < self.slots.len() {
                 st = self
                     .gate
                     .arrived
@@ -714,6 +817,98 @@ impl<T: Send + 'static> WorkerPool<T> {
         self.gate.lock().dead.get(shard).map(|dead| !dead)
     }
 
+    /// Replaces a **dead** worker (handler panic) with a fresh thread
+    /// and a fresh ring — the crash-recovery half of the self-healing
+    /// dataplane.
+    ///
+    /// The dead ring's stranded work items are drained and handed to
+    /// `on_stranded` (oldest first) so the caller can account and
+    /// recycle their payloads — counted, never leaked. Stale sync
+    /// markers from quiesces that ran while the worker was dead are
+    /// discarded (those epochs already accounted the shard as dead at
+    /// the gate). `handler` is the replacement shard state, typically
+    /// rebuilt by the same factory that produced the original.
+    ///
+    /// Serialises against [`Self::quiesce`]: a respawn never
+    /// interleaves with an epoch barrier, so the fresh worker cannot
+    /// miss a sync marker and wedge a quiescer. The fresh ring starts
+    /// empty with zeroed occupancy meters; [`Self::completed`] keeps
+    /// accumulating across the generation change. A producer that lost
+    /// the death race may deliver one late item onto the fresh ring —
+    /// it is processed normally (the in-flight meter saturates rather
+    /// than double-counts).
+    ///
+    /// Returns the number of stranded work items recovered, or `None`
+    /// if `shard` is out of range or its worker is still alive (only
+    /// dead workers respawn).
+    pub fn respawn(
+        &self,
+        shard: usize,
+        handler: ShardHandler<T>,
+        mut on_stranded: impl FnMut(T),
+    ) -> Option<usize> {
+        if shard >= self.slots.len() {
+            return None;
+        }
+        let _serial = self
+            .quiesce_serial
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if !self.gate.lock().dead[shard] {
+            return None;
+        }
+        // Reap the dead thread first: after the join, nobody but this
+        // call touches the old ring's receiving side.
+        if let Some(handle) = self.handles.lock()[shard].take() {
+            let _ = handle.join();
+        }
+        let mut stranded = 0usize;
+        let mut drain = |rx: &Receiver<Job<T>>| {
+            while let Ok(job) = rx.try_recv() {
+                if let Job::Work(item) = job {
+                    stranded += 1;
+                    on_stranded(item);
+                }
+            }
+        };
+        // Pass 1 (shared lock): frees ring space so any producer that
+        // lost the death race and is still waiting on a full ring can
+        // finish — or notice the dead bit — and release its hold.
+        drain(&self.slots[shard].read().rx);
+        {
+            // Pass 2 (exclusive): no producer holds the slot, so a
+            // racer's late landing is caught before the swap.
+            let mut slot = self.slots[shard].write();
+            drain(&slot.rx);
+            let (tx, rx) = bounded::<Job<T>>(self.spec.ring_capacity);
+            *slot = Slot { tx, rx };
+        }
+        let rx = self.slots[shard].read().rx.clone();
+        let handle = Self::spawn_worker(
+            shard,
+            handler,
+            rx,
+            Arc::clone(&self.gate),
+            Arc::clone(&self.completed),
+        );
+        self.handles.lock()[shard] = Some(handle);
+        {
+            // Only now does the shard accept traffic again: fresh ring,
+            // zeroed occupancy window, dead bit cleared last.
+            let mut st = self.gate.lock();
+            st.in_flight[shard] = 0;
+            st.ring_hwm[shard] = 0;
+            st.dead[shard] = false;
+        }
+        self.respawned.fetch_add(1, Ordering::Relaxed);
+        Some(stranded)
+    }
+
+    /// Workers respawned ([`Self::respawn`]) over the pool's lifetime.
+    pub fn respawned(&self) -> u64 {
+        self.respawned.load(Ordering::Relaxed)
+    }
+
     /// High-water mark of `shard`'s ring occupancy since the pool
     /// started (or since the last [`Self::reset_ring_high_water`]) —
     /// the load meter that distinguishes a backed-up shard from a busy
@@ -765,10 +960,10 @@ impl<T: Send + 'static> WorkerPool<T> {
     }
 
     fn close_and_join(&mut self) {
-        // Dropping the senders disconnects the rings; workers finish
-        // queued work, then exit.
-        self.queues.clear();
-        for handle in self.handles.drain(..) {
+        // Dropping the slots (sender and drain-receiver both)
+        // disconnects the rings; workers finish queued work, then exit.
+        self.slots.clear();
+        for handle in self.handles.lock().drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -785,7 +980,7 @@ impl<T: Send + 'static> fmt::Debug for WorkerPool<T> {
         write!(
             f,
             "WorkerPool({} workers, {} completed, epoch {})",
-            self.queues.len(),
+            self.slots.len(),
             self.total_completed(),
             self.epoch()
         )
@@ -1147,6 +1342,123 @@ mod tests {
         assert_eq!(pool.rejected(), 0, "a fault is not ring pressure");
         pool.flush();
         assert_eq!(pool.in_flight(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawn_revives_a_dead_worker_and_recovers_stranded_items() {
+        // Handler: 254 parks until the gate opens (so items can queue
+        // behind it deterministically), 255 is poison, anything else
+        // is counted work.
+        let open = Arc::new((Mutex::new(false), Condvar::new()));
+        let done = Arc::new(AtomicU64::new(0));
+        let make_handler =
+            |open: &Arc<(Mutex<bool>, Condvar)>, done: &Arc<AtomicU64>| -> ShardHandler<u8> {
+                let open = Arc::clone(open);
+                let done = Arc::clone(done);
+                Box::new(move |n: u8| match n {
+                    254 => {
+                        let (lock, cv) = &*open;
+                        let mut o = lock.lock().unwrap();
+                        while !*o {
+                            o = cv.wait(o).unwrap();
+                        }
+                    }
+                    255 => panic!("injected fault"),
+                    _ => {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            };
+        let pool = WorkerPool::start(ShardSpec::new(2), |_| make_handler(&open, &done));
+
+        pool.submit(0, 254).unwrap(); // worker parks on this item
+        pool.submit(0, 255).unwrap(); // poison, queued behind it
+        pool.submit(0, 1).unwrap(); // will be stranded
+        pool.submit(0, 2).unwrap(); // will be stranded
+        {
+            let (lock, cv) = &*open;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        while pool.worker_alive(0) == Some(true) {
+            std::thread::yield_now();
+        }
+
+        // A live worker does not respawn; neither does a ghost shard.
+        assert!(pool
+            .respawn(1, make_handler(&open, &done), |_| {})
+            .is_none());
+        assert!(pool
+            .respawn(9, make_handler(&open, &done), |_| {})
+            .is_none());
+
+        let mut stranded = Vec::new();
+        let recovered = pool.respawn(0, make_handler(&open, &done), |item| stranded.push(item));
+        assert_eq!(recovered, Some(2));
+        assert_eq!(stranded, vec![1, 2], "oldest first, nothing leaked");
+        assert_eq!(pool.worker_alive(0), Some(true));
+        assert_eq!(pool.respawned(), 1);
+        assert_eq!(pool.in_flight_on(0), Some(0), "fresh ring starts empty");
+        assert_eq!(pool.ring_high_water(0), Some(0));
+
+        // The revived shard serves traffic and parks at epochs again.
+        pool.submit(0, 3).unwrap();
+        pool.flush();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+        pool.quiesce(|| {});
+        assert_eq!(pool.epoch(), 1);
+        // 254 completed before the fault; 3 completed after respawn.
+        // (The poison item retired via the panic guard, uncounted.)
+        assert_eq!(pool.completed(0), Some(2));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_submit_tagged_classifies_rejections() {
+        // Shard 0's handler parks forever; shard capacity 1 makes the
+        // ring trivially fillable.
+        let open = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = {
+            let open = Arc::clone(&open);
+            WorkerPool::start(ShardSpec::new(2).with_ring_capacity(1), move |shard| {
+                let open = Arc::clone(&open);
+                Box::new(move |n: u8| {
+                    if shard == 0 {
+                        let (lock, cv) = &*open;
+                        let mut o = lock.lock().unwrap();
+                        while !*o {
+                            o = cv.wait(o).unwrap();
+                        }
+                    } else if n == 255 {
+                        panic!("injected fault");
+                    }
+                })
+            })
+        };
+        assert_eq!(
+            pool.try_submit_tagged(7, 0).unwrap_err().1,
+            SubmitRejection::OutOfRange
+        );
+        pool.submit(0, 0).unwrap(); // worker parks on it
+        pool.submit(0, 1).unwrap(); // fills the 1-deep ring
+        let (item, why) = pool.try_submit_tagged(0, 2).unwrap_err();
+        assert_eq!((item, why), (2, SubmitRejection::RingFull));
+        assert_eq!(pool.rejected(), 1, "ring pressure is counted");
+
+        pool.submit(1, 255).unwrap(); // kills worker 1
+        while pool.worker_alive(1) == Some(true) {
+            std::thread::yield_now();
+        }
+        let (item, why) = pool.try_submit_tagged(1, 3).unwrap_err();
+        assert_eq!((item, why), (3, SubmitRejection::DeadWorker));
+        assert_eq!(pool.rejected(), 1, "a fault is not ring pressure");
+        {
+            let (lock, cv) = &*open;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.flush();
         pool.shutdown();
     }
 

@@ -130,6 +130,9 @@ struct TaskShared {
     panics: AtomicU64,
     interval_nanos: AtomicU64,
     running: AtomicBool,
+    /// Set by `nudge()`: the sleeping loop cuts its wait short and
+    /// ticks now instead of waiting out a backed-off interval.
+    nudged: AtomicBool,
 }
 
 /// A supervised background thread ticking a closure on an adaptive
@@ -159,6 +162,7 @@ impl PeriodicTask {
             panics: AtomicU64::new(0),
             interval_nanos: AtomicU64::new(spec.interval.as_nanos() as u64),
             running: AtomicBool::new(true),
+            nudged: AtomicBool::new(false),
         });
         let worker = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -172,6 +176,9 @@ impl PeriodicTask {
                         let mut stopped = worker.stop.lock().unwrap_or_else(|e| e.into_inner());
                         let mut left = current;
                         while !*stopped && !left.is_zero() {
+                            if worker.nudged.swap(false, Ordering::SeqCst) {
+                                break; // tick now, don't wait out backoff
+                            }
                             let before = std::time::Instant::now();
                             let (guard, timeout) = worker
                                 .wake
@@ -260,6 +267,20 @@ impl PeriodicTask {
     /// [`TickOutcome::Stop`]).
     pub fn is_running(&self) -> bool {
         self.shared.running.load(Ordering::Acquire)
+    }
+
+    /// Wakes a sleeping task to tick **now** instead of waiting out a
+    /// (possibly backed-off) interval. The cadence itself is untouched:
+    /// the nudged tick's outcome decides the next interval as usual
+    /// (`Progress` snaps to base). Use when an external observer
+    /// already knows there is work — e.g. a caller that just saw a
+    /// worker die nudges the control loop so the health turn runs
+    /// promptly even deep into idle backoff. Idempotent; a nudge while
+    /// mid-tick makes the next sleep a no-op rather than stacking.
+    pub fn nudge(&self) {
+        self.shared.nudged.store(true, Ordering::SeqCst);
+        let _stopped = self.shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+        self.shared.wake.notify_all();
     }
 
     /// Signals the task to stop and joins its thread. A sleeping task
@@ -399,6 +420,29 @@ mod tests {
         );
         assert!(task.is_running());
         assert_eq!(task.progress_ticks(), 0);
+        task.stop();
+    }
+
+    #[test]
+    fn nudge_cuts_a_backed_off_sleep_short() {
+        let spec = PeriodicSpec::every(Duration::from_micros(100))
+            .with_backoff(1000.0, Duration::from_secs(60));
+        let task = PeriodicTask::spawn("nudged", spec, || TickOutcome::Idle);
+        // Let it back off to the (minute-long) cap.
+        assert!(
+            wait_for(|| task.current_interval() >= Duration::from_secs(60)),
+            "idle ticks must reach the cap"
+        );
+        let before_ticks = task.ticks();
+        let started = Instant::now();
+        task.nudge();
+        // Without the nudge the next tick is a minute away; with it,
+        // the tick fires promptly.
+        assert!(
+            wait_for(|| task.ticks() > before_ticks),
+            "nudge must force a prompt tick"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
         task.stop();
     }
 

@@ -452,6 +452,15 @@ impl UdpHeader {
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {
+    /// The FIN bit.
+    pub const FIN: Self = Self(0x01);
+    /// The SYN bit.
+    pub const SYN: Self = Self(0x02);
+    /// The RST bit.
+    pub const RST: Self = Self(0x04);
+    /// The ACK bit.
+    pub const ACK: Self = Self(0x10);
+
     /// SYN bit set?
     pub fn syn(&self) -> bool {
         self.0 & 0x02 != 0
@@ -467,6 +476,13 @@ impl TcpFlags {
     /// RST bit set?
     pub fn rst(&self) -> bool {
         self.0 & 0x04 != 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = Self;
+    fn bitor(self, rhs: Self) -> Self {
+        Self(self.0 | rhs.0)
     }
 }
 
@@ -522,6 +538,21 @@ impl TcpHeader {
             flags: TcpFlags(buf[13]),
             window: u16::from_be_bytes([buf[14], buf[15]]),
         })
+    }
+
+    /// Appends the wire form to `out` (option-less: the data offset is
+    /// written as `header_len / 4`; checksum and urgent pointer as
+    /// zero).
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(((self.header_len / 4) as u8) << 4);
+        out.push(self.flags.0);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // checksum
+        out.extend_from_slice(&0u16.to_be_bytes()); // urgent pointer
     }
 }
 

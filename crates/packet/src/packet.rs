@@ -14,7 +14,8 @@ use bytes::BytesMut;
 
 use crate::error::ParseResult;
 use crate::headers::{
-    proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr, TcpHeader, UdpHeader,
+    proto, EtherType, EthernetHeader, Ipv4Header, Ipv6Header, MacAddr, TcpFlags, TcpHeader,
+    UdpHeader,
 };
 use crate::pool::PooledBuf;
 
@@ -339,6 +340,7 @@ pub struct PacketBuilder {
     protocol: u8,
     dscp: u8,
     ttl: u8,
+    tcp_flags: TcpFlags,
     payload: Vec<u8>,
     src_mac: MacAddr,
     dst_mac: MacAddr,
@@ -360,10 +362,32 @@ impl PacketBuilder {
             protocol: proto::UDP,
             dscp: 0,
             ttl: 64,
+            tcp_flags: TcpFlags::default(),
             payload: Vec::new(),
             src_mac: MacAddr([2, 0, 0, 0, 0, 1]),
             dst_mac: MacAddr([2, 0, 0, 0, 0, 2]),
         }
+    }
+
+    /// Starts a TCP-over-IPv4 packet (flags default to ACK — a
+    /// mid-connection segment; see [`Self::tcp_flags`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address literals are malformed.
+    pub fn tcp_v4(src: &str, dst: &str, src_port: u16, dst_port: u16) -> Self {
+        let mut b = Self::udp_v4(src, dst, src_port, dst_port);
+        b.protocol = proto::TCP;
+        b.tcp_flags = TcpFlags::ACK;
+        b
+    }
+
+    /// Sets the TCP flag bits (builder-style; only meaningful after
+    /// [`Self::tcp_v4`]). Combine with `|`:
+    /// `TcpFlags::SYN | TcpFlags::ACK`.
+    pub fn tcp_flags(mut self, flags: TcpFlags) -> Self {
+        self.tcp_flags = flags;
+        self
     }
 
     /// Starts a UDP-over-IPv6 packet.
@@ -402,9 +426,39 @@ impl PacketBuilder {
         self
     }
 
+    /// Writes the L4 header (UDP or TCP by `self.protocol`).
+    fn write_l4(&self, out: &mut Vec<u8>) {
+        if self.protocol == proto::TCP {
+            TcpHeader {
+                src_port: self.src_port,
+                dst_port: self.dst_port,
+                seq: 0,
+                ack: 0,
+                header_len: TcpHeader::MIN_LEN,
+                flags: self.tcp_flags,
+                window: u16::MAX,
+            }
+            .write(out);
+        } else {
+            UdpHeader {
+                src_port: self.src_port,
+                dst_port: self.dst_port,
+                length: (UdpHeader::LEN + self.payload.len()) as u16,
+                checksum: 0,
+            }
+            .write(out);
+        }
+    }
+
     /// Assembles the frame.
     pub fn build(self) -> Packet {
         let mut out = Vec::with_capacity(64 + self.payload.len());
+        let l4_header_len = if self.protocol == proto::TCP {
+            TcpHeader::MIN_LEN
+        } else {
+            UdpHeader::LEN
+        };
+        let l4_len = (l4_header_len + self.payload.len()) as u16;
         match (self.src, self.dst) {
             (IpAddr::V4(src), IpAddr::V4(dst)) => {
                 EthernetHeader {
@@ -413,11 +467,10 @@ impl PacketBuilder {
                     ethertype: EtherType::Ipv4,
                 }
                 .write(&mut out);
-                let udp_len = (UdpHeader::LEN + self.payload.len()) as u16;
                 Ipv4Header {
                     dscp: self.dscp,
                     ecn: 0,
-                    total_len: Ipv4Header::MIN_LEN as u16 + udp_len,
+                    total_len: Ipv4Header::MIN_LEN as u16 + l4_len,
                     identification: 0,
                     dont_fragment: true,
                     more_fragments: false,
@@ -430,13 +483,7 @@ impl PacketBuilder {
                     header_len: Ipv4Header::MIN_LEN,
                 }
                 .write(&mut out);
-                UdpHeader {
-                    src_port: self.src_port,
-                    dst_port: self.dst_port,
-                    length: udp_len,
-                    checksum: 0,
-                }
-                .write(&mut out);
+                self.write_l4(&mut out);
             }
             (IpAddr::V6(src), IpAddr::V6(dst)) => {
                 EthernetHeader {
@@ -445,24 +492,17 @@ impl PacketBuilder {
                     ethertype: EtherType::Ipv6,
                 }
                 .write(&mut out);
-                let udp_len = (UdpHeader::LEN + self.payload.len()) as u16;
                 Ipv6Header {
                     traffic_class: self.dscp << 2,
                     flow_label: 0,
-                    payload_len: udp_len,
+                    payload_len: l4_len,
                     next_header: self.protocol,
                     hop_limit: self.ttl,
                     src,
                     dst,
                 }
                 .write(&mut out);
-                UdpHeader {
-                    src_port: self.src_port,
-                    dst_port: self.dst_port,
-                    length: udp_len,
-                    checksum: 0,
-                }
-                .write(&mut out);
+                self.write_l4(&mut out);
             }
             _ => unreachable!("builder never mixes address families"),
         }

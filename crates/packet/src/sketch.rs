@@ -107,7 +107,15 @@ impl CountMinSketch {
     }
 
     fn column(&self, row: usize, hash: u64) -> usize {
-        (fmix64(hash ^ row_seed(row)) % self.width as u64) as usize
+        let mixed = fmix64(hash ^ row_seed(row));
+        // The default geometries use power-of-two widths; masking
+        // replaces the 64-bit division on the per-packet record and
+        // admission-check paths.
+        if self.width.is_power_of_two() {
+            (mixed as usize) & (self.width - 1)
+        } else {
+            (mixed % self.width as u64) as usize
+        }
     }
 
     /// Adds `weight` to the key's counter in every row. Any thread.
@@ -130,6 +138,19 @@ impl CountMinSketch {
             })
             .min()
             .unwrap_or(0)
+    }
+
+    /// Whether the key's weight is provably below `threshold` — i.e.
+    /// `estimate(hash) < threshold` — exiting at the first row that
+    /// proves it. The estimate is the minimum over rows, so one row
+    /// below the threshold settles the question; for the common case
+    /// (a light key, every row small) this is a single counter read
+    /// instead of `depth`.
+    pub fn below(&self, hash: u64, threshold: u64) -> bool {
+        (0..self.depth).any(|row| {
+            let col = self.column(row, hash);
+            self.cells[row * self.width + col].load(Ordering::Relaxed) < threshold
+        })
     }
 
     /// Total recorded weight: the minimum row sum (rows agree exactly
@@ -561,6 +582,14 @@ impl FlowSketch {
         self.cms.estimate(hash)
     }
 
+    /// Whether the flow's byte weight is provably below `threshold`
+    /// (`estimate < threshold`), with the early-exit read of
+    /// [`CountMinSketch::below`] — the per-packet admission check of
+    /// an inline guard, priced at one counter read for light flows.
+    pub fn below(&self, hash: u64, threshold: u64) -> bool {
+        self.cms.below(hash, threshold)
+    }
+
     /// The monitored heavy hitters, heaviest first.
     pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
         self.top.top()
@@ -653,6 +682,24 @@ mod tests {
         assert_eq!(cms.estimate(1), 100);
         assert_eq!(cms.estimate(2), 250);
         assert_eq!(cms.total(), 350);
+    }
+
+    #[test]
+    fn cms_below_agrees_with_estimate() {
+        let cms = CountMinSketch::new(64, 4);
+        for i in 0..200u64 {
+            cms.record(fmix64(i), 1 + i * 13 % 977);
+        }
+        for i in 0..220u64 {
+            let hash = fmix64(i);
+            for threshold in [0, 1, 100, 500, 10_000] {
+                assert_eq!(
+                    cms.below(hash, threshold),
+                    cms.estimate(hash) < threshold,
+                    "key {i}, threshold {threshold}"
+                );
+            }
+        }
     }
 
     #[test]

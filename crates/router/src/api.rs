@@ -410,6 +410,149 @@
 //! assert_eq!(tracker.len(), 1, "one entry for both directions");
 //! assert_eq!(tracker.info(&kr).unwrap().state, ConnState::Established);
 //! ```
+//!
+//! ## The failure contract, precisely
+//!
+//! The sharded runtime treats a replica crash and sustained overload
+//! as *expected inputs*, not exceptional states. The rules:
+//!
+//! * **A crash is contained to its shard, and published.** A panic
+//!   anywhere in a replica's `push`/`push_batch` kills exactly that
+//!   worker thread; the kernel marks it dead
+//!   ([`crate::shard::ShardedPipeline::worker_alive`] →
+//!   `Some(false)`) and sibling shards keep forwarding untouched. A
+//!   dead shard's ring accepts no new descriptors: dispatches aimed
+//!   at it are rejected on the spot and filed under the dead-worker
+//!   drop cause — never queued behind a thread that will not return.
+//! * **Recovery is a control-plane act, and only a control-plane
+//!   act.** No element, worker, or dispatcher self-heals. The
+//!   [`crate::shard::control::ControlLoop`] runs one
+//!   [`crate::shard::ShardedPipeline::health_turn`] before each
+//!   control turn: *quarantine* (one quiesce epoch re-steers every
+//!   bucket of each dead shard round-robin onto the live ones — a
+//!   bucket moves wholesale, so the per-flow ordering guarantee of
+//!   the steering contract holds across the fault), *respawn*
+//!   ([`crate::shard::ShardedPipeline::respawn_shard`]: the dead
+//!   ring's stranded descriptors are drained, cause-accounted, and
+//!   recycled — counted, never leaked — then the build-time factory
+//!   produces a fresh replica on a fresh thread), and *restore* (the
+//!   pre-fault steering table comes back, so recovered shards take
+//!   their buckets back). Neither steering patch counts as a
+//!   migration; recovery work bills `FAULTS` on the resources task.
+//! * **Every loss has exactly one cause.** The pipeline's drop
+//!   accounting ([`crate::shard::DropStats`]) partitions `dropped`
+//!   into ring-full, dead-worker, re-steer-shed, guard, and graph;
+//!   `DropStats::total` equals `PipelineStats::dropped` at every
+//!   instant. The only packets outside the meters are the in-flight
+//!   batch a dying worker takes down with it — those are the fault
+//!   injector's to account (the chaos harness keeps a crash ledger
+//!   and proves `delivered + drops + crash-lost = dispatched`).
+//! * **Overload is shed inline, before the graph.** A
+//!   [`crate::flow::Guard`] at a replica's head consumes the shard's
+//!   always-on byte sketch: flows under the threshold pay one
+//!   early-exit counter read; heavy flows spend a per-flow byte
+//!   budget and then rate-limit, each such verdict filed under the
+//!   guard drop cause by the worker. Shedding at the head means an
+//!   attack *reduces* per-packet work instead of adding any
+//!   (measured in `crates/bench/NOTES.md`, series `e14_guard`).
+//! * **Proof is deterministic.** `tests/chaos_soak.rs` kills a
+//!   worker mid-elephant under a seeded fault plan and requires the
+//!   control loop alone to restore delivery with the books closed
+//!   and per-flow order intact; `tests/proptest_chaos.rs` (router)
+//!   does the same for arbitrary seeded fault schedules.
+//!
+//! Runnable — crash, one health turn, delivery resumes:
+//!
+//! ```
+//! use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+//! use std::sync::Arc;
+//! use netkit_kernel::shard::ShardSpec;
+//! use netkit_packet::batch::PacketBatch;
+//! use netkit_packet::packet::{Packet, PacketBuilder};
+//! use netkit_router::api::{register_packet_interfaces, IPacketPush, PushResult};
+//! use netkit_router::shard::{ShardGraph, ShardedPipeline};
+//! use opencom::capsule::Capsule;
+//! use opencom::meta::resources::ResourceManager;
+//! use opencom::runtime::Runtime;
+//!
+//! // A replica that counts deliveries — and kills its worker when armed.
+//! struct CrashOnce {
+//!     armed: Arc<AtomicBool>,
+//!     delivered: Arc<AtomicU64>,
+//! }
+//! impl IPacketPush for CrashOnce {
+//!     fn push(&self, _pkt: Packet) -> PushResult {
+//!         if self.armed.swap(false, Ordering::SeqCst) {
+//!             panic!("doc: injected worker crash");
+//!         }
+//!         self.delivered.fetch_add(1, Ordering::Relaxed);
+//!         Ok(())
+//!     }
+//! }
+//!
+//! // Keep the injected panic's report out of the test output; every
+//! // other panic still prints normally.
+//! let hook = std::panic::take_hook();
+//! std::panic::set_hook(Box::new(move |info| {
+//!     let injected = info
+//!         .payload()
+//!         .downcast_ref::<&str>()
+//!         .is_some_and(|m| m.contains("injected worker crash"));
+//!     if !injected {
+//!         hook(info);
+//!     }
+//! }));
+//!
+//! let armed = Arc::new(AtomicBool::new(false));
+//! let delivered = Arc::new(AtomicU64::new(0));
+//! let rm = Arc::new(ResourceManager::new());
+//! let pipe = {
+//!     let (armed, delivered) = (Arc::clone(&armed), Arc::clone(&delivered));
+//!     ShardedPipeline::build("doc-respawn", ShardSpec::new(2), rm, move |_shard| {
+//!         let rt = Runtime::new();
+//!         register_packet_interfaces(&rt);
+//!         let capsule = Capsule::new("shard", &rt);
+//!         let entry: Arc<dyn IPacketPush> = Arc::new(CrashOnce {
+//!             armed: Arc::clone(&armed),
+//!             delivered: Arc::clone(&delivered),
+//!         });
+//!         Ok(ShardGraph::new(capsule, entry))
+//!     })?
+//! };
+//!
+//! // One flow, pinned to shard 0 by its stamped RSS hash.
+//! let mk = || {
+//!     let mut p = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7777, 443).build();
+//!     p.meta.rss_hash = Some(0);
+//!     p
+//! };
+//! pipe.dispatch(PacketBatch::from_packets(vec![mk()]));
+//! pipe.flush();
+//! assert_eq!(delivered.load(Ordering::Relaxed), 1);
+//!
+//! // Crash shard 0 mid-packet, then wait for the kernel to publish it.
+//! armed.store(true, Ordering::SeqCst);
+//! pipe.dispatch(PacketBatch::from_packets(vec![mk()]));
+//! while pipe.worker_alive(0) != Some(false) {
+//!     std::thread::yield_now();
+//! }
+//!
+//! // One health turn heals it: quarantine re-steer, factory rebuild,
+//! // thread respawn, steering restore.
+//! let recovery = pipe.health_turn(&[])?.expect("a dead shard recovers");
+//! assert_eq!(recovery.respawned, vec![0]);
+//! assert_eq!(pipe.worker_alive(0), Some(true));
+//! assert_eq!(pipe.recoveries(), 1);
+//!
+//! // Delivery resumes through the rebuilt replica — and the books
+//! // close: every metered loss is filed under exactly one cause.
+//! pipe.dispatch(PacketBatch::from_packets(vec![mk()]));
+//! pipe.flush();
+//! assert_eq!(delivered.load(Ordering::Relaxed), 2);
+//! assert_eq!(pipe.drop_stats().total(), pipe.stats().dropped);
+//! pipe.shutdown();
+//! # Ok::<(), opencom::error::Error>(())
+//! ```
 
 use std::fmt;
 use std::net::{AddrParseError, IpAddr};
@@ -453,6 +596,11 @@ pub enum PushError {
     Veto(String),
     /// The (isolated) component crashed or its transport failed.
     Crashed(String),
+    /// The inline heavy-hitter guard rate-limited the flow: its byte
+    /// estimate crossed the guard's threshold and the flow's window
+    /// budget was exhausted (see `netkit_router::flow::Guard`). The
+    /// sharded pipeline files these under their own drop cause.
+    RateLimited,
 }
 
 impl fmt::Display for PushError {
@@ -465,6 +613,7 @@ impl fmt::Display for PushError {
             PushError::NoRoute => write!(f, "no route to destination"),
             PushError::Veto(msg) => write!(f, "call vetoed: {msg}"),
             PushError::Crashed(msg) => write!(f, "component crashed: {msg}"),
+            PushError::RateLimited => write!(f, "rate-limited by heavy-hitter guard"),
         }
     }
 }

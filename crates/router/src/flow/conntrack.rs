@@ -43,6 +43,11 @@ pub struct ConnInfo {
     pub rev_packets: u64,
     /// Bytes seen in the reverse direction.
     pub rev_bytes: u64,
+    /// A TCP SYN has been observed on this flow. Together with
+    /// [`ConnState::New`] this marks a **half-open** connection — a
+    /// handshake started but never completed, the signature a SYN
+    /// flood leaves in the table (see [`ConnTracker::half_open`]).
+    pub syn_seen: bool,
 }
 
 impl Default for ConnInfo {
@@ -53,6 +58,7 @@ impl Default for ConnInfo {
             fwd_bytes: 0,
             rev_packets: 0,
             rev_bytes: 0,
+            syn_seen: false,
         }
     }
 }
@@ -66,6 +72,14 @@ impl ConnInfo {
     /// Total bytes, both directions.
     pub fn bytes(&self) -> u64 {
         self.fwd_bytes + self.rev_bytes
+    }
+
+    /// True while the connection is a half-open TCP handshake: a SYN
+    /// has been seen but no handshake-completing ACK (and no
+    /// FIN/RST). The population of these is the SYN-flood evidence
+    /// the tracker exports as a gauge.
+    pub fn is_half_open(&self) -> bool {
+        self.state == ConnState::New && self.syn_seen
     }
 
     /// Folds one observed packet into the state machine. The same
@@ -85,6 +99,11 @@ impl ConnInfo {
             FlowDirection::Reverse => {
                 self.rev_packets += 1;
                 self.rev_bytes += bytes;
+            }
+        }
+        if let Some(f) = tcp {
+            if f.syn() {
+                self.syn_seen = true;
             }
         }
         match tcp {
@@ -107,8 +126,8 @@ impl ConnInfo {
 }
 
 /// Parses the TCP flags out of an Ethernet+IPv4+TCP frame, if that is
-/// what the frame is.
-fn tcp_flags(pkt: &Packet) -> Option<TcpFlags> {
+/// what the frame is. Shared with [`Guard`](super::Guard)'s SYN arm.
+pub(super) fn tcp_flags(pkt: &Packet) -> Option<TcpFlags> {
     let frame = pkt.data();
     let eth = EthernetHeader::parse(frame).ok()?;
     if eth.ethertype != netkit_packet::headers::EtherType::Ipv4 {
@@ -141,7 +160,24 @@ pub struct ConnTracker {
     table: Mutex<FlowTable<ConnInfo>>,
     clock: FlowClock,
     untracked: AtomicU64,
+    /// Live half-open connections (SYN seen, handshake never
+    /// completed) — a gauge, maintained at every state transition and
+    /// eviction. SYN-flood evidence for the heavy-hitter guard.
+    half_open: AtomicU64,
+    /// Teardown timer: a [`ConnState::Closing`] entry (FIN/RST seen)
+    /// is reclaimed by [`Self::sweep`] this many ticks after its last
+    /// packet. `u64::MAX` disables.
+    closing_timeout: u64,
+    /// Half-open timer: a SYN-without-ACK entry is reclaimed by
+    /// [`Self::sweep`] this many ticks after its last packet.
+    /// `u64::MAX` disables.
+    syn_timeout: u64,
 }
+
+/// How far [`ConnTracker`] scans from the LRU end for a half-open
+/// victim before letting plain LRU eviction run, when the table is
+/// full. Bounded so the worst-case per-insert cost stays O(1).
+const HALF_OPEN_EVICT_SCAN: usize = 16;
 
 impl ConnTracker {
     /// Default table bound: 64 Ki connections per shard.
@@ -154,15 +190,54 @@ impl ConnTracker {
 
     /// Creates a tracker with an explicit table bound and idle timeout
     /// (in [`FlowClock`] ticks — nanoseconds when frames carry
-    /// timestamps).
+    /// timestamps). Teardown and half-open timers are disabled; use
+    /// [`Self::with_timeouts`] to arm them.
     pub fn with_table(capacity: usize, idle_timeout: u64) -> Arc<Self> {
+        Self::with_timeouts(capacity, idle_timeout, u64::MAX, u64::MAX)
+    }
+
+    /// Creates a tracker with the full timeout policy:
+    ///
+    /// * `idle_timeout` — any entry dies this long after its last
+    ///   packet (the base LRU idle expiry);
+    /// * `closing_timeout` — a FIN/RST-seen entry dies this much
+    ///   sooner (teardown timer: closed connections should not squat
+    ///   on table slots for the full idle window);
+    /// * `syn_timeout` — a half-open entry (SYN, no completing ACK)
+    ///   dies this much sooner (SYN-flood entries age out fast).
+    ///
+    /// All in [`FlowClock`] ticks; `u64::MAX` disables a timer. The
+    /// state-specific timers are enforced by [`Self::sweep`], which a
+    /// control-plane cadence must call.
+    pub fn with_timeouts(
+        capacity: usize,
+        idle_timeout: u64,
+        closing_timeout: u64,
+        syn_timeout: u64,
+    ) -> Arc<Self> {
         Arc::new(Self {
             core: element_core("netkit.ConnTracker"),
             out: Receptacle::single("out", IPACKET_PUSH),
             table: Mutex::new(FlowTable::new(capacity, idle_timeout)),
             clock: FlowClock::new(),
             untracked: AtomicU64::new(0),
+            half_open: AtomicU64::new(0),
+            closing_timeout,
+            syn_timeout,
         })
+    }
+
+    /// Retires an evicted entry's contribution to the half-open gauge.
+    fn retire_gauge(&self, corpse: &ConnInfo) {
+        if corpse.is_half_open() {
+            // Saturating: gauge transitions and evictions are all
+            // under the table lock, so this never actually underflows.
+            let _ = self
+                .half_open
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(1))
+                });
+        }
     }
 
     fn track(&self, table: &mut FlowTable<ConnInfo>, pkt: &Packet) {
@@ -174,8 +249,38 @@ impl ConnTracker {
         let now = self.clock.advance(pkt.meta.timestamp_ns);
         let flags = tcp_flags(pkt);
         let bytes = pkt.len() as u64;
+        // Eviction pressure prefers half-open victims: when the table
+        // is full and this packet will insert, sacrifice a nearby
+        // half-open entry (bounded tail scan) before LRU takes an
+        // established connection — under a SYN flood the attack evicts
+        // itself, not the legitimate traffic.
+        if table.len() == table.capacity() && table.peek(&ckey).is_none() {
+            if let Some((_, corpse)) =
+                table.evict_where_bounded(HALF_OPEN_EVICT_SCAN, |info, _| info.is_half_open())
+            {
+                self.retire_gauge(&corpse);
+            }
+        }
         let admission = table.get_or_insert_with(ckey, now, ConnInfo::default);
+        let was_half_open = !admission.created && admission.value.is_half_open();
         admission.value.observe(dir, bytes, flags);
+        let is_half_open = admission.value.is_half_open();
+        if let Some((_, corpse)) = &admission.evicted {
+            self.retire_gauge(corpse);
+        }
+        match (was_half_open, is_half_open) {
+            (false, true) => {
+                self.half_open.fetch_add(1, Ordering::Relaxed);
+            }
+            (true, false) => {
+                let _ = self
+                    .half_open
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(1))
+                    });
+            }
+            _ => {}
+        }
     }
 
     /// Tracked connection count.
@@ -215,7 +320,51 @@ impl ConnTracker {
     pub fn expire_idle(&self) -> usize {
         let mut table = self.table.lock();
         let now = self.clock.now();
-        table.expire_idle(now).len()
+        let dead = table.expire_idle(now);
+        for (_, corpse) in &dead {
+            self.retire_gauge(corpse);
+        }
+        dead.len()
+    }
+
+    /// Live half-open connections: TCP flows where a SYN was seen but
+    /// the handshake never completed. A normal workload keeps this
+    /// near zero (handshakes complete in a round-trip); a climbing
+    /// gauge is SYN-flood evidence, exported here so the inline
+    /// [`Guard`](super::Guard) can arm its SYN defence on it.
+    pub fn half_open(&self) -> u64 {
+        self.half_open.load(Ordering::Relaxed)
+    }
+
+    /// Runs the state-specific timers now: reclaims
+    /// [`ConnState::Closing`] entries older than the teardown timer
+    /// and half-open entries older than the SYN timer (see
+    /// [`Self::with_timeouts`]). Returns how many entries died.
+    ///
+    /// The sweep walks the whole table (per-state expiries are not
+    /// LRU-ordered), so call it on a control-plane cadence — the
+    /// reflective control loop's tick, a periodic task — not per
+    /// packet.
+    pub fn sweep(&self) -> usize {
+        if self.closing_timeout == u64::MAX && self.syn_timeout == u64::MAX {
+            return 0;
+        }
+        let now = self.clock.now();
+        let closing = self.closing_timeout;
+        let syn = self.syn_timeout;
+        let mut table = self.table.lock();
+        let dead = table.expire_matching(|info, last_seen| {
+            let age = now.saturating_sub(last_seen);
+            match info.state {
+                ConnState::Closing => closing != u64::MAX && age > closing,
+                ConnState::New if info.syn_seen => syn != u64::MAX && age > syn,
+                _ => false,
+            }
+        });
+        for (_, corpse) in &dead {
+            self.retire_gauge(corpse);
+        }
+        dead.len()
     }
 }
 
@@ -334,6 +483,107 @@ mod tests {
         let stats = ct.table_stats();
         assert_eq!(stats.insertions, 10);
         assert_eq!(stats.lru_evictions, 6);
+    }
+
+    fn tcp(src: &str, dst: &str, sport: u16, dport: u16, flags: TcpFlags) -> Packet {
+        PacketBuilder::tcp_v4(src, dst, sport, dport)
+            .tcp_flags(flags)
+            .build()
+    }
+
+    #[test]
+    fn half_open_gauge_tracks_the_handshake() {
+        let ct = ConnTracker::new();
+        // SYN: half-open.
+        ct.push(tcp("10.0.0.1", "10.9.9.9", 5000, 80, TcpFlags::SYN))
+            .unwrap();
+        assert_eq!(ct.half_open(), 1);
+        // SYN+ACK reply: still handshaking, still half-open.
+        ct.push(tcp(
+            "10.9.9.9",
+            "10.0.0.1",
+            80,
+            5000,
+            TcpFlags::SYN | TcpFlags::ACK,
+        ))
+        .unwrap();
+        assert_eq!(ct.half_open(), 1);
+        // Final ACK completes the handshake: the gauge falls.
+        ct.push(tcp("10.0.0.1", "10.9.9.9", 5000, 80, TcpFlags::ACK))
+            .unwrap();
+        assert_eq!(ct.half_open(), 0);
+        let key = FlowKey {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.9.9.9".parse().unwrap(),
+            protocol: proto::TCP,
+            src_port: 5000,
+            dst_port: 80,
+        };
+        assert_eq!(ct.info(&key).unwrap().state, ConnState::Established);
+    }
+
+    #[test]
+    fn rst_moves_to_closing_and_sweep_reclaims_after_teardown_timer() {
+        // idle=1000, closing=10, syn=50 ticks. Frames carry no stamps,
+        // so the clock ticks once per packet.
+        let ct = ConnTracker::with_timeouts(16, 1000, 10, 50);
+        ct.push(tcp("10.0.0.1", "10.9.9.9", 5000, 80, TcpFlags::ACK))
+            .unwrap();
+        ct.push(tcp("10.0.0.1", "10.9.9.9", 5000, 80, TcpFlags::RST))
+            .unwrap();
+        let key =
+            FlowKey::from_packet(&tcp("10.0.0.1", "10.9.9.9", 5000, 80, TcpFlags::ACK)).unwrap();
+        assert_eq!(ct.info(&key).unwrap().state, ConnState::Closing);
+        // Not yet past the teardown timer: survives the sweep.
+        assert_eq!(ct.sweep(), 0);
+        // Age the clock past closing_timeout with unrelated traffic.
+        for n in 0..12u16 {
+            ct.push(udp("10.0.0.2", "10.9.9.9", 7000 + n, 53)).unwrap();
+        }
+        assert_eq!(ct.sweep(), 1, "closing entry reclaimed");
+        assert!(ct.info(&key).is_none());
+    }
+
+    #[test]
+    fn sweep_reclaims_stale_half_opens_and_keeps_the_gauge_honest() {
+        let ct = ConnTracker::with_timeouts(64, u64::MAX, u64::MAX, 5);
+        for n in 0..4u16 {
+            ct.push(tcp("10.0.0.1", "10.9.9.9", 5000 + n, 80, TcpFlags::SYN))
+                .unwrap();
+        }
+        assert_eq!(ct.half_open(), 4);
+        // Age past the SYN timer.
+        for n in 0..8u16 {
+            ct.push(udp("10.0.0.2", "10.9.9.9", 7000 + n, 53)).unwrap();
+        }
+        let dead = ct.sweep();
+        assert!(dead >= 3, "stale half-opens reclaimed, got {dead}");
+        assert_eq!(ct.half_open() as usize, 4 - dead);
+    }
+
+    #[test]
+    fn full_table_prefers_half_open_victims() {
+        let ct = ConnTracker::with_table(4, u64::MAX);
+        // Two established UDP flows, two half-open handshakes.
+        ct.push(udp("10.0.0.1", "10.9.9.9", 6000, 53)).unwrap();
+        ct.push(udp("10.9.9.9", "10.0.0.1", 53, 6000)).unwrap();
+        ct.push(udp("10.0.0.1", "10.9.9.9", 6001, 53)).unwrap();
+        ct.push(udp("10.9.9.9", "10.0.0.1", 53, 6001)).unwrap();
+        ct.push(tcp("10.0.0.3", "10.9.9.9", 5000, 80, TcpFlags::SYN))
+            .unwrap();
+        ct.push(tcp("10.0.0.3", "10.9.9.9", 5001, 80, TcpFlags::SYN))
+            .unwrap();
+        assert_eq!((ct.len(), ct.half_open()), (4, 2));
+        // A new flow on the full table sacrifices a half-open entry —
+        // NOT the (older) established ones.
+        ct.push(udp("10.0.0.4", "10.9.9.9", 6002, 53)).unwrap();
+        assert_eq!(ct.len(), 4);
+        assert_eq!(ct.half_open(), 1, "a half-open entry was the victim");
+        let established = FlowKey::from_packet(&udp("10.0.0.1", "10.9.9.9", 6000, 53)).unwrap();
+        assert!(
+            ct.info(&established).is_some(),
+            "established flow must survive the pressure"
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`L4LoadBalancer`] — virtual-IP load balancing with a
 //!   rendezvous-hash backend pick, flow-table stickiness, and
 //!   backend draining.
+//! * [`Guard`] — inline heavy-hitter overload protection: one
+//!   lock-free sketch read admits benign flows untouched, flows past
+//!   the byte threshold spend a per-window budget, and a
+//!   [`ConnTracker`]-fed SYN defence arms under half-open pressure.
 //!
 //! # State across rebalances
 //!
@@ -52,12 +56,14 @@
 //! timestamps (tick per packet).
 
 mod conntrack;
+mod guard;
 mod lb;
 mod nat;
 mod rewrite;
 mod table;
 
 pub use conntrack::{ConnInfo, ConnState, ConnTracker};
+pub use guard::{Guard, GuardConfig, GuardStats};
 pub use lb::{BackendStats, L4LoadBalancer};
 pub use nat::{Nat44, Nat44Config, Nat44Stats};
 pub use table::{Admission, FlowClock, FlowTable, FlowTableStats};

@@ -379,6 +379,56 @@ impl<T> FlowTable<T> {
         }
         out
     }
+
+    /// Sweeps every live entry through `pred` (value, last-seen tick),
+    /// evicting the matches and returning the corpses oldest-first —
+    /// the hook for timeout policies richer than the single idle
+    /// timeout (per-state teardown timers, half-open expiry). Unlike
+    /// [`expire_idle`](Self::expire_idle) this cannot stop at the
+    /// first live entry (different states expire on different clocks),
+    /// so it walks the whole LRU list; run it on a control cadence,
+    /// not per packet. Evictions count as idle evictions.
+    pub fn expire_matching(&mut self, mut pred: impl FnMut(&T, u64) -> bool) -> Vec<(FlowKey, T)> {
+        let mut out = Vec::new();
+        let mut idx = self.tail;
+        while idx != NIL {
+            let s = self.slot(idx);
+            let prev = s.prev;
+            if pred(&s.value, s.last_seen) {
+                self.stats.idle_evictions += 1;
+                out.push(self.evict_slot(idx));
+            }
+            idx = prev;
+        }
+        out
+    }
+
+    /// Walks up to `scan` entries from the LRU end and evicts the
+    /// first one `pred` matches — bounded *preferential* eviction for
+    /// full-table pressure: a caller that would rather sacrifice, say,
+    /// a half-open handshake than an established connection checks
+    /// here before letting plain LRU pick the victim. Returns the
+    /// corpse, or `None` when nothing in the scanned window matched
+    /// (the caller falls back to ordinary LRU). The eviction counts as
+    /// an LRU eviction.
+    pub fn evict_where_bounded(
+        &mut self,
+        scan: usize,
+        mut pred: impl FnMut(&T, u64) -> bool,
+    ) -> Option<(FlowKey, T)> {
+        let mut idx = self.tail;
+        let mut remaining = scan;
+        while idx != NIL && remaining > 0 {
+            let s = self.slot(idx);
+            if pred(&s.value, s.last_seen) {
+                self.stats.lru_evictions += 1;
+                return Some(self.evict_slot(idx));
+            }
+            idx = s.prev;
+            remaining -= 1;
+        }
+        None
+    }
 }
 
 impl<T> fmt::Debug for FlowTable<T> {

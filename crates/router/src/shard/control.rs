@@ -66,6 +66,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -312,6 +313,10 @@ pub struct ControlStats {
     pub holds: u64,
     /// Tick panics survived (supervision).
     pub panics: u64,
+    /// Fault recoveries driven by the loop's health turn: dead-shard
+    /// episodes it quarantined, respawned, and restored (see
+    /// [`ShardedPipeline::health_turn`]).
+    pub recoveries: u64,
     /// The interval the next tick will wait (backoff state).
     pub current_interval: Duration,
 }
@@ -325,6 +330,7 @@ pub struct ControlStats {
 pub struct ControlLoop {
     task: PeriodicTask,
     controller: Arc<Mutex<RebalanceController>>,
+    recoveries: Arc<AtomicU64>,
     rm: Arc<ResourceManager>,
     rm_task: TaskId,
 }
@@ -353,19 +359,40 @@ impl ControlLoop {
         ));
         let tick_ctl = Arc::clone(&controller);
         let tick_rm = Arc::clone(&rm);
+        let recoveries = Arc::new(AtomicU64::new(0));
+        let tick_recoveries = Arc::clone(&recoveries);
         let spec = PeriodicSpec::every(cfg.tick).with_backoff(cfg.backoff, cfg.max_tick);
         let task = PeriodicTask::spawn(name, spec, move || {
             let _ = tick_rm.consume(rm_task, classes::TICKS, 1);
             let nic_refs: Vec<&Nic> = nics.iter().map(Arc::as_ref).collect();
+            // Health before balance: a dead shard makes every load
+            // judgment moot (its buckets drain nowhere), so the turn
+            // first quarantines/respawns/restores, then rebalances.
+            let healed = match pipe.health_turn(&nic_refs) {
+                Ok(Some(recovery)) => {
+                    if !recovery.respawned.is_empty() {
+                        tick_recoveries.fetch_add(1, Ordering::Relaxed);
+                    }
+                    true
+                }
+                Ok(None) => false,
+                // Factory failure: the shard stays dead, quarantine
+                // re-steering keeps traffic flowing, and the next turn
+                // retries. Count it as progress so backoff resets and
+                // the retry comes soon.
+                Err(_) => true,
+            };
             let mut ctl = tick_ctl.lock();
             match pipe.control_turn(&mut ctl, &nic_refs) {
                 Some(_) => TickOutcome::Progress,
+                None if healed => TickOutcome::Progress,
                 None => TickOutcome::Idle,
             }
         });
         Ok(Self {
             task,
             controller,
+            recoveries,
             rm,
             rm_task,
         })
@@ -385,6 +412,7 @@ impl ControlLoop {
             migrations: ctl.migrations(),
             holds: ctl.holds(),
             panics: self.task.panics(),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
             current_interval: self.task.current_interval(),
         }
     }

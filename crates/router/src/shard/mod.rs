@@ -61,17 +61,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use netkit_kernel::nic::Nic;
-use netkit_kernel::shard::{ShardJob, ShardSpec, WorkerPool};
+use netkit_kernel::shard::{ShardHandler, ShardJob, ShardSpec, SubmitRejection, WorkerPool};
 use netkit_packet::batch::{BatchPool, PacketBatch};
 use netkit_packet::sketch::{FlowSketch, HeavyHitter, SketchConfig, SpaceSaving};
-use netkit_packet::steer::{BucketLoad, BucketMap};
+use netkit_packet::steer::{BucketLoad, BucketMap, RSS_BUCKETS};
 use opencom::capsule::Capsule;
 use opencom::error::Result;
 use opencom::ident::{ComponentId, TaskId};
 use opencom::meta::resources::{classes, ResourceManager};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::api::IPacketPush;
+use crate::api::{IPacketPush, PushError};
 
 pub mod control;
 pub mod rebalance;
@@ -135,6 +135,81 @@ impl fmt::Debug for ShardGraph {
     }
 }
 
+/// Why a dropped packet was dropped — the cause tag every loss
+/// accounting site in the pipeline files its drops under. See
+/// [`DropStats`] for the public roll-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DropCause {
+    /// Bounced off a full ring on a non-blocking publish.
+    RingFull,
+    /// Publish refused (or work stranded) because the target shard's
+    /// worker died.
+    DeadWorker,
+    /// Shed while a fault-recovery steering patch (quarantine or
+    /// restore — see [`ShardedPipeline::health_turn`]) re-steered
+    /// queued frames.
+    ResteerShed,
+    /// Rate-limited by the inline heavy-hitter guard
+    /// ([`crate::flow::Guard`] — verdict [`PushError::RateLimited`]).
+    Guard,
+    /// Dropped by graph policy (queue tail drop, TTL, no route, …) —
+    /// any element verdict that is not the guard's.
+    Graph,
+}
+
+/// Per-cause drop accounting — the breakdown of [`PipelineStats`]'s
+/// aggregate `dropped` figure. Every packet the pipeline loses is
+/// filed under exactly one cause, so [`Self::total`] always equals
+/// the `dropped` sum: **zero silent loss** is an checkable invariant,
+/// not an aspiration (the chaos soak asserts it after every fault
+/// storm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Bounced off a full ring on a non-blocking publish (the
+    /// migration re-steer path; blocking dispatch never tail-drops).
+    pub ring_full: u64,
+    /// Lost to a dead worker: failed publishes to a shard whose
+    /// thread panicked, plus the stranded ring items drained (counted,
+    /// recycled, never leaked) when the shard respawned.
+    pub dead_worker: u64,
+    /// Shed by a quarantine/restore steering patch while the
+    /// self-healing control loop re-routed a dead shard's buckets.
+    pub resteer_shed: u64,
+    /// Rate-limited inline by the heavy-hitter guard.
+    pub guard: u64,
+    /// Dropped by ordinary graph policy (queue tail drop, TTL expiry,
+    /// no route, veto, …).
+    pub graph: u64,
+}
+
+impl DropStats {
+    /// Sum over all causes — by construction identical to the
+    /// aggregate [`PipelineStats::dropped`] figure.
+    pub fn total(&self) -> u64 {
+        self.ring_full + self.dead_worker + self.resteer_shed + self.guard + self.graph
+    }
+}
+
+/// What one [`ShardedPipeline::health_turn`] did — the control loop's
+/// record of a completed crash recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultRecovery {
+    /// Shards whose workers were respawned, in shard order.
+    pub respawned: Vec<usize>,
+    /// Packets drained off dead rings during the respawns (filed under
+    /// the dead-worker drop cause — counted, recycled, never leaked).
+    pub stranded: u64,
+    /// Buckets temporarily re-steered off dead shards by the
+    /// quarantine table.
+    pub quarantined_buckets: usize,
+    /// Frames re-steered onto live rings by the quarantine and restore
+    /// patches (delivered, not lost).
+    pub resteered: u64,
+    /// Frames the patches could not land (full ring or still-dead
+    /// worker), filed under the re-steer-shed drop cause.
+    pub shed: u64,
+}
+
 #[derive(Debug, Default)]
 struct ShardCounters {
     batches: AtomicU64,
@@ -143,6 +218,40 @@ struct ShardCounters {
     dropped: AtomicU64,
     /// Packets already rolled up into the resources task.
     reported: AtomicU64,
+    drop_ring_full: AtomicU64,
+    drop_dead_worker: AtomicU64,
+    drop_resteer_shed: AtomicU64,
+    drop_guard: AtomicU64,
+    drop_graph: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Files `n` drops under `cause`, keeping the aggregate `dropped`
+    /// meter the exact sum of the cause meters.
+    fn drop_cause(&self, cause: DropCause, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+        let cell = match cause {
+            DropCause::RingFull => &self.drop_ring_full,
+            DropCause::DeadWorker => &self.drop_dead_worker,
+            DropCause::ResteerShed => &self.drop_resteer_shed,
+            DropCause::Guard => &self.drop_guard,
+            DropCause::Graph => &self.drop_graph,
+        };
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn drop_stats(&self) -> DropStats {
+        DropStats {
+            ring_full: self.drop_ring_full.load(Ordering::Relaxed),
+            dead_worker: self.drop_dead_worker.load(Ordering::Relaxed),
+            resteer_shed: self.drop_resteer_shed.load(Ordering::Relaxed),
+            guard: self.drop_guard.load(Ordering::Relaxed),
+            graph: self.drop_graph.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Aggregate dataplane counters — the single-logical-component view
@@ -245,8 +354,20 @@ pub struct ShardedPipeline {
     sketches: Vec<Arc<FlowSketch>>,
     /// Migration epochs applied via [`Self::install_bucket_map`].
     migrations: AtomicU64,
+    /// Fault recoveries applied via [`Self::respawn_shard`].
+    recoveries: AtomicU64,
     entries: Vec<SharedEntry>,
-    capsules: Vec<Arc<Capsule>>,
+    /// Per-shard capsules, behind locks so [`Self::respawn_shard`] can
+    /// swap in a fresh replica (safe: the shard's worker is dead while
+    /// the swap happens, so nothing races the read side).
+    capsules: Vec<RwLock<Arc<Capsule>>>,
+    /// Per-shard components attached to the rolled-up task — detached
+    /// and replaced when a respawn rebuilds the replica.
+    components: Vec<Mutex<Vec<ComponentId>>>,
+    /// The replica factory, retained so [`Self::respawn_shard`] can
+    /// rebuild a crashed shard's graph with the same recipe that built
+    /// it.
+    factory: Mutex<Box<dyn FnMut(usize) -> Result<ShardGraph> + Send>>,
     counters: Arc<Vec<ShardCounters>>,
     rm: Arc<ResourceManager>,
     task: TaskId,
@@ -268,11 +389,12 @@ impl ShardedPipeline {
         mut factory: F,
     ) -> Result<Self>
     where
-        F: FnMut(usize) -> Result<ShardGraph>,
+        F: FnMut(usize) -> Result<ShardGraph> + Send + 'static,
     {
         let task = rm.create_task(name)?;
         let mut entries: Vec<SharedEntry> = Vec::with_capacity(spec.workers);
         let mut capsules = Vec::with_capacity(spec.workers);
+        let mut components = Vec::with_capacity(spec.workers);
         let mut drains = Vec::with_capacity(spec.workers);
         for shard in 0..spec.workers {
             let graph = factory(shard)?;
@@ -280,7 +402,8 @@ impl ShardedPipeline {
                 rm.attach(task, *component)?;
             }
             entries.push(Arc::new(RwLock::new(graph.entry)));
-            capsules.push(graph.capsule);
+            capsules.push(RwLock::new(graph.capsule));
+            components.push(Mutex::new(graph.components));
             drains.push(graph.drain);
         }
         let counters: Arc<Vec<ShardCounters>> = Arc::new(
@@ -306,62 +429,20 @@ impl ShardedPipeline {
         );
         let worker_batch_pool = batch_pool.clone();
         let pool = WorkerPool::start(spec, move |shard| {
-            let entry = Arc::clone(&worker_entries[shard]);
-            let counters = Arc::clone(&worker_counters);
-            let gather_pool = worker_batch_pool.clone();
-            // A single-worker pipeline never rebalances (there is
-            // nowhere to move a bucket), and its dispatch fast path
-            // skips the split that stamps RSS hashes — metering there
-            // would re-parse headers per packet for evidence nobody
-            // can act on. Meter only when sharded.
-            let bucket_load = (spec.workers > 1).then(|| Arc::clone(&worker_bucket_load));
-            let sketch = (spec.workers > 1).then(|| Arc::clone(&worker_sketches[shard]));
-            let mut drain = drains[shard].take();
-            Box::new(move |job: ShardJob| {
-                let batch = match job {
-                    // Pre-steered owned batch: runs as-is.
-                    ShardJob::Batch(batch) => batch,
-                    // Shared-range dispatch: gather this shard's slice
-                    // of the split parent into a pooled container. The
-                    // move happens *here*, on the worker, in parallel
-                    // across shards — the dispatch thread only wrote
-                    // one descriptor per ring. When the last sibling
-                    // range is consumed the parent container recycles.
-                    ShardJob::Range(range) => {
-                        let mut out = gather_pool.take();
-                        range.take_into(&mut out);
-                        out
-                    }
-                };
-                let n = batch.len() as u64;
-                // Meter per-bucket load on the worker (packets are
-                // rss-stamped by the split / NIC by now, so this is a
-                // modulo + relaxed increment each), keeping the
-                // dispatch thread lean.
-                if let Some(meter) = &bucket_load {
-                    meter.record_batch(&batch);
-                }
-                // Same gate for the byte sketch: per-flow byte mass
-                // keyed by the stamped hash, feeding heavy-hitter
-                // evidence to the control plane.
-                if let Some(sketch) = &sketch {
-                    sketch.record_batch(&batch);
-                }
-                // Snapshot the entry once per batch: cheap, and the
-                // quiesce closure can retarget it between batches.
-                let target = Arc::clone(&entry.read());
-                let result = target.push_batch(batch);
-                let c = &counters[shard];
-                c.batches.fetch_add(1, Ordering::Relaxed);
-                c.packets.fetch_add(n, Ordering::Relaxed);
-                c.accepted
-                    .fetch_add(result.accepted() as u64, Ordering::Relaxed);
-                c.dropped
-                    .fetch_add(result.dropped() as u64, Ordering::Relaxed);
-                if let Some(drain) = drain.as_mut() {
-                    drain();
-                }
-            })
+            Self::make_handler(
+                shard,
+                Arc::clone(&worker_entries[shard]),
+                Arc::clone(&worker_counters),
+                worker_batch_pool.clone(),
+                // A single-worker pipeline never rebalances (there is
+                // nowhere to move a bucket), and its dispatch fast path
+                // skips the split that stamps RSS hashes — metering
+                // there would re-parse headers per packet for evidence
+                // nobody can act on. Meter only when sharded.
+                (spec.workers > 1).then(|| Arc::clone(&worker_bucket_load)),
+                (spec.workers > 1).then(|| Arc::clone(&worker_sketches[shard])),
+                drains[shard].take(),
+            )
         });
         Ok(Self {
             pool,
@@ -370,12 +451,87 @@ impl ShardedPipeline {
             bucket_load,
             sketches,
             migrations: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
             entries,
             capsules,
+            components,
+            factory: Mutex::new(Box::new(factory)),
             counters,
             rm,
             task,
             spec,
+        })
+    }
+
+    /// Builds one shard's run-to-completion handler — the closure the
+    /// worker thread runs per ring item. Shared between [`Self::build`]
+    /// (pool start) and [`Self::respawn_shard`] (crash recovery), so a
+    /// respawned worker runs *exactly* the same loop as an original
+    /// one: gather, meter, push, cause-tagged accounting, drain.
+    fn make_handler(
+        shard: usize,
+        entry: SharedEntry,
+        counters: Arc<Vec<ShardCounters>>,
+        gather_pool: BatchPool,
+        bucket_load: Option<Arc<BucketLoad>>,
+        sketch: Option<Arc<FlowSketch>>,
+        mut drain: Option<Box<dyn FnMut() + Send>>,
+    ) -> ShardHandler<ShardJob> {
+        Box::new(move |job: ShardJob| {
+            let batch = match job {
+                // Pre-steered owned batch: runs as-is.
+                ShardJob::Batch(batch) => batch,
+                // Shared-range dispatch: gather this shard's slice
+                // of the split parent into a pooled container. The
+                // move happens *here*, on the worker, in parallel
+                // across shards — the dispatch thread only wrote
+                // one descriptor per ring. When the last sibling
+                // range is consumed the parent container recycles.
+                ShardJob::Range(range) => {
+                    let mut out = gather_pool.take();
+                    range.take_into(&mut out);
+                    out
+                }
+            };
+            let n = batch.len() as u64;
+            // Meter per-bucket load on the worker (packets are
+            // rss-stamped by the split / NIC by now, so this is a
+            // modulo + relaxed increment each), keeping the
+            // dispatch thread lean.
+            if let Some(meter) = &bucket_load {
+                meter.record_batch(&batch);
+            }
+            // Same gate for the byte sketch: per-flow byte mass
+            // keyed by the stamped hash, feeding heavy-hitter
+            // evidence to the control plane.
+            if let Some(sketch) = &sketch {
+                sketch.record_batch(&batch);
+            }
+            // Snapshot the entry once per batch: cheap, and the
+            // quiesce closure can retarget it between batches.
+            let target = Arc::clone(&entry.read());
+            let result = target.push_batch(batch);
+            let c = &counters[shard];
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            c.packets.fetch_add(n, Ordering::Relaxed);
+            c.accepted
+                .fetch_add(result.accepted() as u64, Ordering::Relaxed);
+            if result.dropped() > 0 {
+                // Split graph verdicts by cause: the guard's
+                // rate-limit verdict gets its own meter; everything
+                // else is ordinary graph policy.
+                let guard = result
+                    .verdicts
+                    .iter()
+                    .filter(|v| matches!(v, Err(PushError::RateLimited)))
+                    .count() as u64;
+                let graph = result.dropped() as u64 - guard;
+                c.drop_cause(DropCause::Guard, guard);
+                c.drop_cause(DropCause::Graph, graph);
+            }
+            if let Some(drain) = drain.as_mut() {
+                drain();
+            }
         })
     }
 
@@ -432,7 +588,9 @@ impl ShardedPipeline {
             |shard| ShardJob::Range(shared.range(shard)),
             |shard, job| {
                 if let Some(c) = self.counters.get(shard) {
-                    c.dropped.fetch_add(job.len() as u64, Ordering::Relaxed);
+                    // Fanout only skips a shard whose worker died —
+                    // blocking publishes never tail-drop on pressure.
+                    c.drop_cause(DropCause::DeadWorker, job.len() as u64);
                 }
                 // The rejected range drops here; its packets release
                 // with the shared parent, whose pooled container (if
@@ -469,7 +627,7 @@ impl ShardedPipeline {
                 Ok(()) => sent += 1,
                 Err(_) => {
                     if let Some(c) = self.counters.get(shard) {
-                        c.dropped.fetch_add(n, Ordering::Relaxed);
+                        c.drop_cause(DropCause::DeadWorker, n);
                     }
                 }
             }
@@ -489,7 +647,7 @@ impl ShardedPipeline {
             Ok(()) => 1,
             Err(_) => {
                 if let Some(c) = self.counters.get(shard) {
-                    c.dropped.fetch_add(n, Ordering::Relaxed);
+                    c.drop_cause(DropCause::DeadWorker, n);
                 }
                 0
             }
@@ -533,7 +691,7 @@ impl ShardedPipeline {
                 // The bounced batch drops here: frames counted lost,
                 // pooled container recycles on drop.
                 if let Some(c) = self.counters.get(shard) {
-                    c.dropped.fetch_add(taken as u64, Ordering::Relaxed);
+                    c.drop_cause(DropCause::DeadWorker, taken as u64);
                 }
                 0
             }
@@ -651,6 +809,22 @@ impl ShardedPipeline {
     /// pipeline runs — a table must never steer to a worker that does
     /// not exist.
     pub fn install_bucket_map(&self, map: BucketMap, nics: &[&Nic]) -> MigrationReport {
+        self.install_map_inner(map, nics, None, true)
+    }
+
+    /// The shared body behind [`Self::install_bucket_map`] (a
+    /// migration: counts an epoch, bills `REBALANCES`, files bounces
+    /// by their real rejection) and [`Self::health_turn`]'s
+    /// quarantine/restore patches (not migrations: every bounce is
+    /// filed under `cause_override` — re-steer shed — and no
+    /// rebalance accounting moves).
+    fn install_map_inner(
+        &self,
+        map: BucketMap,
+        nics: &[&Nic],
+        cause_override: Option<DropCause>,
+        as_migration: bool,
+    ) -> MigrationReport {
         assert_eq!(
             map.shards(),
             self.spec.workers,
@@ -685,10 +859,10 @@ impl ShardedPipeline {
                             // ring were full.
                             match self
                                 .pool
-                                .try_submit(shard, ShardJob::Range(shared.range(shard)))
+                                .try_submit_tagged(shard, ShardJob::Range(shared.range(shard)))
                             {
                                 Ok(()) => report.resubmitted += n,
-                                Err(_) => {
+                                Err((_, rejection)) => {
                                     // The bounced range's packets free
                                     // with the shared parent, and the
                                     // parent's pooled container recycles
@@ -696,8 +870,13 @@ impl ShardedPipeline {
                                     // consumed — full-ring loss is
                                     // counted, never leaked.
                                     report.dropped += n;
+                                    let cause = cause_override.unwrap_or(match rejection {
+                                        SubmitRejection::RingFull => DropCause::RingFull,
+                                        SubmitRejection::DeadWorker
+                                        | SubmitRejection::OutOfRange => DropCause::DeadWorker,
+                                    });
                                     if let Some(c) = self.counters.get(shard) {
-                                        c.dropped.fetch_add(n as u64, Ordering::Relaxed);
+                                        c.drop_cause(cause, n as u64);
                                     }
                                 }
                             }
@@ -716,8 +895,10 @@ impl ShardedPipeline {
             self.pool.reset_ring_high_water();
         });
         report.epoch = self.pool.epoch();
-        self.migrations.fetch_add(1, Ordering::Relaxed);
-        let _ = self.rm.consume(self.task, classes::REBALANCES, 1);
+        if as_migration {
+            self.migrations.fetch_add(1, Ordering::Relaxed);
+            let _ = self.rm.consume(self.task, classes::REBALANCES, 1);
+        }
         report
     }
 
@@ -873,9 +1054,212 @@ impl ShardedPipeline {
         }
     }
 
-    /// The capsule hosting `shard`'s replica.
-    pub fn capsule(&self, shard: usize) -> &Arc<Capsule> {
-        &self.capsules[shard]
+    /// Whether `shard`'s worker can still accept work (`Some(false)`
+    /// once its thread died — the health signal
+    /// [`Self::health_turn`] acts on). `None` for an out-of-range
+    /// shard.
+    pub fn worker_alive(&self, shard: usize) -> Option<bool> {
+        self.pool.worker_alive(shard)
+    }
+
+    /// Fault recoveries applied: successful [`Self::respawn_shard`]
+    /// calls over the pipeline's lifetime.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Per-cause drop accounting aggregated over all shards. The sum
+    /// ([`DropStats::total`]) always equals [`PipelineStats::dropped`]
+    /// from [`Self::stats`] — every lost packet is filed under exactly
+    /// one cause.
+    pub fn drop_stats(&self) -> DropStats {
+        let mut total = DropStats::default();
+        for c in self.counters.iter() {
+            let s = c.drop_stats();
+            total.ring_full += s.ring_full;
+            total.dead_worker += s.dead_worker;
+            total.resteer_shed += s.resteer_shed;
+            total.guard += s.guard;
+            total.graph += s.graph;
+        }
+        total
+    }
+
+    /// One shard's per-cause drop accounting.
+    pub fn shard_drop_stats(&self, shard: usize) -> DropStats {
+        self.counters[shard].drop_stats()
+    }
+
+    /// Replaces `shard`'s dead worker with a fresh replica and thread —
+    /// the crash-recovery half of the self-healing dataplane.
+    ///
+    /// In order:
+    ///
+    /// 1. bails with `Ok(None)` unless the shard's worker is actually
+    ///    dead (respawning a live worker would orphan its ring);
+    /// 2. rebuilds the shard's element graph with the **same factory**
+    ///    that built it at [`Self::build`] time, detaching the dead
+    ///    replica's components from the rolled-up resources task and
+    ///    attaching the new ones;
+    /// 3. swaps the shard's entry and capsule — safe outside a quiesce
+    ///    *only because the worker is dead*: nothing reads them, and
+    ///    dispatchers merely clone the `Arc` behind the entry lock;
+    /// 4. respawns the kernel worker ([`WorkerPool::respawn`]): the
+    ///    dead ring's stranded descriptors are drained and their
+    ///    packets filed under the dead-worker drop cause (counted,
+    ///    recycled, never leaked), then a fresh thread starts on a
+    ///    fresh ring and the shard accepts traffic again.
+    ///
+    /// Returns `Ok(Some(stranded_packets))` on success. Bills one
+    /// `FAULTS` unit on the resources task, so recovery work is
+    /// visible to the same reflective accounting as everything else.
+    ///
+    /// Call from the control plane only — the [`ControlLoop`]'s health
+    /// turn is the intended (single) caller; concurrent respawns of
+    /// the same shard are serialised by the kernel pool, but the
+    /// entry/capsule swap assumes no other control-plane writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factory and resource-attach failures (the worker
+    /// stays dead; a later turn can retry).
+    pub fn respawn_shard(&self, shard: usize) -> Result<Option<u64>> {
+        if self.pool.worker_alive(shard) != Some(false) {
+            return Ok(None);
+        }
+        let graph = (self.factory.lock())(shard)?;
+        {
+            let mut comps = self.components[shard].lock();
+            for component in comps.drain(..) {
+                let _ = self.rm.detach(self.task, component);
+            }
+            for component in &graph.components {
+                self.rm.attach(self.task, *component)?;
+            }
+            *comps = graph.components.clone();
+        }
+        *self.entries[shard].write() = graph.entry;
+        *self.capsules[shard].write() = graph.capsule;
+        let handler = Self::make_handler(
+            shard,
+            Arc::clone(&self.entries[shard]),
+            Arc::clone(&self.counters),
+            self.batch_pool.clone(),
+            (self.spec.workers > 1).then(|| Arc::clone(&self.bucket_load)),
+            (self.spec.workers > 1).then(|| Arc::clone(&self.sketches[shard])),
+            graph.drain,
+        );
+        let mut stranded_packets = 0u64;
+        let respawned = self.pool.respawn(shard, handler, |job| {
+            let n = job.len() as u64;
+            stranded_packets += n;
+            self.counters[shard].drop_cause(DropCause::DeadWorker, n);
+        });
+        if respawned.is_none() {
+            // Lost a (theoretical) race with another respawner; the
+            // replica swap above is idempotent-safe — the fresh graph
+            // simply becomes the shard's current one.
+            return Ok(None);
+        }
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        let _ = self.rm.consume(self.task, classes::FAULTS, 1);
+        Ok(Some(stranded_packets))
+    }
+
+    /// One health turn of the self-healing loop: detect dead shards,
+    /// quarantine their buckets onto live shards, respawn them, and
+    /// restore steering. Returns `Ok(None)` when every worker is alive
+    /// (the overwhelmingly common case — one liveness probe per shard
+    /// and out).
+    ///
+    /// When at least one shard is dead and at least one is live:
+    ///
+    /// 1. **Quarantine** — installs a patched bucket table re-steering
+    ///    every bucket of a dead shard round-robin onto the live
+    ///    shards, under one quiesce epoch (same machinery as a
+    ///    migration, same per-flow-order guarantee: a bucket moves
+    ///    wholesale, so a flow's frames stay in one FIFO). Queued
+    ///    frames for dead shards re-steer to live ones; anything that
+    ///    cannot land is filed under the re-steer-shed drop cause.
+    /// 2. **Respawn** — [`Self::respawn_shard`] for each dead shard;
+    ///    stranded ring packets are cause-accounted dead-worker.
+    /// 3. **Restore** — re-installs the pre-fault steering table so
+    ///    the recovered shards take their buckets back.
+    ///
+    /// Neither patch counts as a migration ([`Self::migrations`] is
+    /// unchanged — rebalance tests and policies keep their meaning);
+    /// each bills one `FAULTS` unit instead. With *every* shard dead,
+    /// there is nowhere to quarantine to: the turn just respawns them
+    /// all.
+    ///
+    /// Single control-plane caller, like all window/steering
+    /// operations — the [`ControlLoop`] runs this before each control
+    /// turn when spawned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::respawn_shard`] failures after attempting
+    /// every dead shard (steering is still restored first so traffic
+    /// keeps flowing to whatever recovered).
+    pub fn health_turn(&self, nics: &[&Nic]) -> Result<Option<FaultRecovery>> {
+        let dead: Vec<usize> = (0..self.spec.workers)
+            .filter(|&s| self.pool.worker_alive(s) == Some(false))
+            .collect();
+        if dead.is_empty() {
+            return Ok(None);
+        }
+        let live: Vec<usize> = (0..self.spec.workers)
+            .filter(|s| !dead.contains(s))
+            .collect();
+        let saved = self.bucket_map();
+        let mut recovery = FaultRecovery::default();
+        if !live.is_empty() {
+            let mut quarantine = saved.clone();
+            let mut next = 0usize;
+            for bucket in 0..RSS_BUCKETS {
+                if dead.contains(&quarantine.shard_of_bucket(bucket)) {
+                    quarantine.set(bucket, live[next % live.len()]);
+                    next += 1;
+                    recovery.quarantined_buckets += 1;
+                }
+            }
+            let report =
+                self.install_map_inner(quarantine, nics, Some(DropCause::ResteerShed), false);
+            recovery.resteered += report.resubmitted as u64;
+            recovery.shed += report.dropped as u64;
+            let _ = self.rm.consume(self.task, classes::FAULTS, 1);
+        }
+        let mut first_err = None;
+        for &shard in &dead {
+            match self.respawn_shard(shard) {
+                Ok(Some(stranded)) => {
+                    recovery.stranded += stranded;
+                    recovery.respawned.push(shard);
+                }
+                Ok(None) => {}
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if !live.is_empty() {
+            // Hand the recovered shards their buckets back. Restored
+            // even when a respawn failed: the quarantine table is only
+            // correct while its dead-set matches reality, and the next
+            // health turn re-derives it from scratch anyway.
+            let report = self.install_map_inner(saved, nics, Some(DropCause::ResteerShed), false);
+            recovery.resteered += report.resubmitted as u64;
+            recovery.shed += report.dropped as u64;
+            let _ = self.rm.consume(self.task, classes::FAULTS, 1);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(Some(recovery)),
+        }
+    }
+
+    /// The capsule hosting `shard`'s replica (the *current* one — a
+    /// respawn swaps in a fresh capsule).
+    pub fn capsule(&self, shard: usize) -> Arc<Capsule> {
+        Arc::clone(&self.capsules[shard].read())
     }
 
     /// `shard`'s current ingress interface.
@@ -1641,6 +2025,198 @@ mod tests {
         let after = pipe.batch_pool().stats();
         assert_eq!(after.recycled, before.recycled + 1, "container returns");
         pipe.flush(); // does not wedge on the dead shard
+        assert_eq!(
+            pipe.shard_drop_stats(0).dead_worker,
+            4,
+            "fast-fail loss files under the dead-worker cause"
+        );
+        assert_eq!(pipe.drop_stats().total(), pipe.stats().dropped);
+        pipe.shutdown();
+    }
+
+    /// Factory whose first build of `poison_shard` is an [`Exploder`];
+    /// every rebuild is a healthy Counter→Discard replica whose sink
+    /// is pushed onto `sinks`.
+    fn poisoned_factory(
+        poison_shard: usize,
+        sinks: Arc<parking_lot::Mutex<Vec<Arc<Discard>>>>,
+    ) -> impl FnMut(usize) -> Result<ShardGraph> + Send + 'static {
+        let poisoned = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        move |shard| {
+            let rt = Runtime::new();
+            register_packet_interfaces(&rt);
+            let capsule = Capsule::new("shard", &rt);
+            if shard == poison_shard && !poisoned.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                return Ok(ShardGraph::new(Arc::clone(&capsule), Arc::new(Exploder)));
+            }
+            let counter = Counter::new();
+            let sink = Discard::new();
+            let cid = capsule.adopt(counter.clone())?;
+            let sid = capsule.adopt(sink.clone())?;
+            capsule.bind_simple(cid, "out", sid, IPACKET_PUSH)?;
+            sinks.lock().push(sink);
+            Ok(ShardGraph::new(Arc::clone(&capsule), counter).with_components(vec![cid, sid]))
+        }
+    }
+
+    #[test]
+    fn respawn_rebuilds_the_replica_and_accounts_stranded_packets() {
+        let rm = Arc::new(ResourceManager::new());
+        let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pipe = ShardedPipeline::build(
+            "respawn",
+            ShardSpec::single(),
+            Arc::clone(&rm),
+            poisoned_factory(0, Arc::clone(&sinks)),
+        )
+        .unwrap();
+        // Park the worker and pile the poison plus three more batches
+        // into its ring; on release the first packet kills the worker
+        // mid-job, stranding the three untouched batches (12 packets).
+        pipe.quiesce(|| {
+            pipe.submit(0, burst(1, 1)).unwrap();
+            for _ in 0..3 {
+                pipe.submit(0, burst(2, 2)).unwrap();
+            }
+        });
+        while pipe.worker_alive(0) == Some(true) {
+            std::thread::yield_now();
+        }
+        let stranded = pipe
+            .respawn_shard(0)
+            .unwrap()
+            .expect("a dead worker respawns");
+        assert_eq!(stranded, 12, "every stranded ring packet is counted");
+        assert_eq!(pipe.shard_drop_stats(0).dead_worker, 12);
+        assert_eq!(pipe.recoveries(), 1);
+        assert_eq!(pipe.worker_alive(0), Some(true));
+        // Respawning a live worker is refused, not destructive.
+        assert_eq!(pipe.respawn_shard(0).unwrap(), None);
+        assert_eq!(pipe.recoveries(), 1);
+        // The fresh replica delivers; the recovery billed FAULTS.
+        pipe.dispatch(burst(4, 4));
+        pipe.flush();
+        let delivered: u64 = sinks.lock().iter().map(|s| s.count()).sum();
+        assert_eq!(delivered, 16, "traffic flows through the new graph");
+        let info = rm.task_info(pipe.task()).unwrap();
+        assert_eq!(info.usage[classes::FAULTS], 1);
+        assert_eq!(
+            info.attached.len(),
+            2,
+            "dead replica's components detached, fresh ones attached"
+        );
+        assert_eq!(pipe.drop_stats().total(), pipe.stats().dropped);
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn health_turn_quarantines_respawns_and_restores_steering() {
+        use netkit_kernel::nic::{Nic, PortId};
+        use netkit_packet::flow::FlowKey;
+
+        let workers = 2usize;
+        let rm = Arc::new(ResourceManager::new());
+        let sinks = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pipe = ShardedPipeline::build(
+            "health",
+            ShardSpec::new(workers),
+            Arc::clone(&rm),
+            poisoned_factory(1, Arc::clone(&sinks)),
+        )
+        .unwrap();
+        // Kill shard 1 with one poisoned packet.
+        pipe.submit(1, burst(1, 1)).unwrap();
+        while pipe.worker_alive(1) == Some(true) {
+            std::thread::yield_now();
+        }
+        // Park frames for the dead shard in its NIC queue: under the
+        // identity table they have nowhere to go.
+        let nic = Nic::with_queues(PortId(0), workers, 64, 64, 1_000_000);
+        let mut parked = 0u64;
+        for i in 0..32u16 {
+            let wire = PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 2000 + i, 80).build();
+            let key = FlowKey::from_packet(&wire).unwrap();
+            if key.shard_for(workers) == 1 {
+                assert!(nic.inject_rx_frame(wire.data()));
+                parked += 1;
+            }
+        }
+        assert!(parked > 0, "some flows must steer to the dead shard");
+        let saved = pipe.bucket_map();
+        let migrations_before = pipe.migrations();
+
+        let recovery = pipe
+            .health_turn(&[&nic])
+            .unwrap()
+            .expect("a dead shard is detected");
+        assert_eq!(recovery.respawned, vec![1]);
+        assert_eq!(recovery.stranded, 0, "the poison job was consumed");
+        assert_eq!(
+            recovery.quarantined_buckets,
+            RSS_BUCKETS / workers,
+            "every bucket of the dead shard re-steers"
+        );
+        assert_eq!(
+            recovery.resteered, parked,
+            "queued frames re-steer to live shards"
+        );
+        assert_eq!(recovery.shed, 0);
+        // Steering is restored, the quarantine never counted as a
+        // migration, and the parked frames landed on the live shard.
+        assert_eq!(pipe.bucket_map(), saved);
+        assert_eq!(nic.indirection(), saved, "NIC mirrors the restore");
+        assert_eq!(pipe.migrations(), migrations_before);
+        pipe.flush();
+        assert_eq!(pipe.shard_stats(0).packets, parked);
+        // The respawned shard delivers again.
+        assert_eq!(pipe.worker_alive(1), Some(true));
+        pipe.submit(1, burst(2, 2)).unwrap();
+        pipe.flush();
+        let delivered: u64 = sinks.lock().iter().map(|s| s.count()).sum();
+        assert_eq!(delivered, parked + 4);
+        // Quarantine + respawn + restore each billed FAULTS.
+        let info = rm.task_info(pipe.task()).unwrap();
+        assert_eq!(info.usage[classes::FAULTS], 3);
+        // A healthy pipeline's health turn is one probe and out.
+        assert_eq!(pipe.health_turn(&[]).unwrap(), None);
+        assert_eq!(pipe.drop_stats().total(), pipe.stats().dropped);
+        pipe.shutdown();
+    }
+
+    /// An ingress that rejects even packets as rate-limited (the
+    /// guard's verdict) and odd packets as queue-full (graph policy).
+    struct Alternator(AtomicU64);
+
+    impl crate::api::IPacketPush for Alternator {
+        fn push(&self, _pkt: netkit_packet::packet::Packet) -> crate::api::PushResult {
+            if self.0.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                Err(crate::api::PushError::RateLimited)
+            } else {
+                Err(crate::api::PushError::QueueFull)
+            }
+        }
+    }
+
+    #[test]
+    fn workers_split_graph_verdicts_into_guard_and_graph_causes() {
+        let rm = Arc::new(ResourceManager::new());
+        let pipe = ShardedPipeline::build("causes", ShardSpec::single(), rm, |_| {
+            let rt = Runtime::new();
+            register_packet_interfaces(&rt);
+            let capsule = Capsule::new("shard", &rt);
+            Ok(ShardGraph::new(
+                Arc::clone(&capsule),
+                Arc::new(Alternator(AtomicU64::new(0))),
+            ))
+        })
+        .unwrap();
+        pipe.submit(0, burst(4, 4)).unwrap();
+        pipe.flush();
+        let causes = pipe.shard_drop_stats(0);
+        assert_eq!(causes.guard, 8, "rate-limit verdicts meter separately");
+        assert_eq!(causes.graph, 8, "other graph verdicts stay graph policy");
+        assert_eq!(causes.total(), pipe.stats().dropped, "the sum invariant");
+        assert_eq!(pipe.stats().accepted, 0);
         pipe.shutdown();
     }
 }

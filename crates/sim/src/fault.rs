@@ -1,0 +1,274 @@
+//! Deterministic fault injection for sim nodes.
+//!
+//! [`FaultedBehaviour`] wraps any [`NodeBehaviour`] and runs every
+//! arriving packet past a shared
+//! [`FaultPlan`] — the same seeded,
+//! replayable schedule the threaded chaos tests drive their NICs with —
+//! so a single plan can script a whole experiment: wire loss and
+//! duplication on the way in, plus a crash on the scheduled n-th
+//! packet.
+//!
+//! The simulator is single-threaded, so a crash cannot unwind a worker
+//! thread; it is *modelled*: when the plan's crash fault fires the
+//! wrapper goes **dead** — the crashing packet and everything after it
+//! (including the rest of the same batch, mirroring a panicking
+//! worker's lost job) is counted on [`FaultedBehaviour::crash_dropped`]
+//! and filed as a node drop — until [`FaultedBehaviour::revive`], the
+//! sim-side analogue of the threaded pipeline's `respawn_shard`.
+//! Accounting stays closed under chaos: every packet the wrapper eats
+//! shows up either in the plan's [`FaultStats`] (wire faults) or in
+//! `crash_dropped` (the crash), so a test can prove nothing was lost
+//! *silently*.
+//!
+//! [`FaultStats`]: netkit_kernel::fault::FaultStats
+
+use std::fmt;
+use std::sync::Arc;
+
+use netkit_kernel::fault::{FaultPlan, RxFault};
+use netkit_packet::packet::Packet;
+
+use crate::node::{NodeBehaviour, NodeCtx};
+
+/// A [`NodeBehaviour`] decorator driven by a [`FaultPlan`]. See the
+/// module docs.
+pub struct FaultedBehaviour {
+    name: String,
+    inner: Box<dyn NodeBehaviour>,
+    plan: Arc<FaultPlan>,
+    dead: bool,
+    crash_dropped: u64,
+}
+
+impl FaultedBehaviour {
+    /// Wraps `inner`, subjecting its ingress to `plan`'s schedule.
+    pub fn new(inner: Box<dyn NodeBehaviour>, plan: Arc<FaultPlan>) -> Self {
+        Self {
+            name: format!("faulted-{}", inner.name()),
+            inner,
+            plan,
+            dead: false,
+            crash_dropped: 0,
+        }
+    }
+
+    /// True after the plan's crash fault fired and before
+    /// [`Self::revive`]: the wrapper is eating every packet.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Brings a crashed behaviour back — the sim-side respawn. The
+    /// inner behaviour's state survives (the threaded analogue rebuilds
+    /// the replica; here the crash models the *worker*, not the graph).
+    pub fn revive(&mut self) {
+        self.dead = false;
+    }
+
+    /// Packets eaten by the crash: the one that fired the fault plus
+    /// everything that arrived dead (the stranded-ring analogue).
+    pub fn crash_dropped(&self) -> u64 {
+        self.crash_dropped
+    }
+
+    /// The shared plan, for closing the accounting books.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    /// The wrapped behaviour, for post-run inspection.
+    pub fn inner(&self) -> &dyn NodeBehaviour {
+        self.inner.as_ref()
+    }
+
+    /// Runs one packet through the fault schedule; `None` means the
+    /// plan (or the dead state) consumed it. A duplicate returns the
+    /// extra copy alongside.
+    fn filter(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet) -> Option<(Packet, Option<Packet>)> {
+        if self.dead {
+            self.crash_dropped += 1;
+            ctx.drop_packet(pkt);
+            return None;
+        }
+        if self.plan.should_panic() {
+            // The crashing packet dies with its "worker", like the
+            // in-flight job of a panicking thread.
+            self.dead = true;
+            self.crash_dropped += 1;
+            ctx.drop_packet(pkt);
+            return None;
+        }
+        match self.plan.rx_action() {
+            RxFault::Deliver => Some((pkt, None)),
+            RxFault::Drop => {
+                ctx.drop_packet(pkt);
+                None
+            }
+            RxFault::Corrupt => {
+                let mut pkt = pkt;
+                // Flip the last byte: deterministic, and late enough to
+                // hit payload/L4 rather than always beheading L2.
+                let len = pkt.len();
+                if len > 0 {
+                    pkt.data_mut()[len - 1] ^= 0xFF;
+                }
+                Some((pkt, None))
+            }
+            RxFault::Duplicate => {
+                let dup = pkt.clone();
+                Some((pkt, Some(dup)))
+            }
+        }
+    }
+}
+
+impl NodeBehaviour for FaultedBehaviour {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkt: Packet) {
+        if let Some((pkt, dup)) = self.filter(ctx, pkt) {
+            self.inner.on_packet(ctx, ingress, pkt);
+            if let Some(dup) = dup {
+                self.inner.on_packet(ctx, ingress, dup);
+            }
+        }
+    }
+
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
+        // Filter the whole burst first, then hand the survivors down as
+        // one batch so the inner behaviour keeps its burst semantics. A
+        // crash mid-burst eats the tail (the dead check in `filter`),
+        // exactly like a worker panicking mid-job.
+        let mut out = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            if let Some((pkt, dup)) = self.filter(ctx, pkt) {
+                out.push(pkt);
+                out.extend(dup);
+            }
+        }
+        if !out.is_empty() {
+            self.inner.on_batch(ctx, ingress, out);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if !self.dead {
+            self.inner.on_timer(ctx, token);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for FaultedBehaviour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FaultedBehaviour(`{}`, dead: {}, crash_dropped: {})",
+            self.name, self.dead, self.crash_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeId, SinkBehaviour};
+    use netkit_kernel::fault::FaultConfig;
+    use netkit_kernel::time::SimTime;
+    use netkit_packet::packet::PacketBuilder;
+
+    fn run_batch(b: &mut dyn NodeBehaviour, pkts: Vec<Packet>) -> u64 {
+        let (mut em, mut ti, mut de, mut dr) = (Vec::new(), Vec::new(), Vec::new(), 0u64);
+        let mut ctx = NodeCtx {
+            node: NodeId(0),
+            now: SimTime::from_nanos(0),
+            emissions: &mut em,
+            timers: &mut ti,
+            deliveries: &mut de,
+            drops: &mut dr,
+        };
+        b.on_batch(&mut ctx, 0, pkts);
+        dr
+    }
+
+    fn traffic(n: u16) -> Vec<Packet> {
+        (0..n)
+            .map(|i| PacketBuilder::udp_v4("10.0.0.1", "10.0.0.2", 7000 + i, 80).build())
+            .collect()
+    }
+
+    #[test]
+    fn crash_eats_the_burst_tail_and_revive_resumes() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig::new(11).panic_on_nth(5)));
+        let (sink, counters) = SinkBehaviour::new();
+        let mut faulted = FaultedBehaviour::new(Box::new(sink), plan);
+        let drops = run_batch(&mut faulted, traffic(16));
+        // Packets 1-4 delivered, 5 crashed, 6-16 arrived dead.
+        assert_eq!(counters.received(), 4);
+        assert!(faulted.is_dead());
+        assert_eq!(faulted.crash_dropped(), 12);
+        assert_eq!(drops, 12, "every eaten packet is a counted node drop");
+        // Still dead: nothing gets through.
+        run_batch(&mut faulted, traffic(4));
+        assert_eq!(counters.received(), 4);
+        assert_eq!(faulted.crash_dropped(), 16);
+        // The respawn analogue restores delivery.
+        faulted.revive();
+        run_batch(&mut faulted, traffic(4));
+        assert_eq!(counters.received(), 8);
+        assert_eq!(faulted.plan().stats().panics_fired, 1);
+    }
+
+    #[test]
+    fn wire_faults_close_the_accounting_books() {
+        let cfg = FaultConfig::new(77).rx_drop(0.25).rx_duplicate(0.125);
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let (sink, counters) = SinkBehaviour::new();
+        let mut faulted = FaultedBehaviour::new(Box::new(sink), Arc::clone(&plan));
+        let injected = 512u64;
+        let drops = run_batch(&mut faulted, traffic(injected as u16));
+        let stats = plan.stats();
+        assert_eq!(stats.rx_frames, injected);
+        assert!(stats.rx_dropped > 0 && stats.rx_duplicated > 0);
+        // delivered = injected - plan drops + plan duplicates: nothing
+        // is lost silently.
+        assert_eq!(
+            counters.received(),
+            injected - stats.rx_dropped + stats.rx_duplicated
+        );
+        assert_eq!(drops, stats.rx_dropped, "plan drops are node drops");
+        assert_eq!(faulted.crash_dropped(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_chaos() {
+        let run = || {
+            let plan = Arc::new(FaultPlan::new(
+                FaultConfig::new(42)
+                    .rx_drop(0.2)
+                    .rx_corrupt(0.1)
+                    .rx_duplicate(0.1)
+                    .panic_on_nth(40),
+            ));
+            let (sink, counters) = SinkBehaviour::new();
+            let mut faulted = FaultedBehaviour::new(Box::new(sink), plan);
+            run_batch(&mut faulted, traffic(64));
+            (counters.received(), faulted.crash_dropped())
+        };
+        assert_eq!(run(), run(), "a chaos run replays bit-for-bit");
+    }
+
+    #[test]
+    fn corruption_mangles_the_frame_but_delivers_it() {
+        let plan = Arc::new(FaultPlan::new(FaultConfig::new(5).rx_corrupt(1.0)));
+        let (sink, counters) = SinkBehaviour::new();
+        let mut faulted = FaultedBehaviour::new(Box::new(sink), Arc::clone(&plan));
+        let pristine = traffic(1);
+        let original_len = pristine[0].len() as u64;
+        run_batch(&mut faulted, pristine);
+        assert_eq!(counters.received(), 1, "corrupt frames still arrive");
+        assert_eq!(counters.bytes(), original_len, "mangled, not truncated");
+        assert_eq!(plan.stats().rx_corrupted, 1);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`shard`] — deterministic RSS demux: one inner behaviour per
 //!   worker of a `ShardSpec`, fed flow-affinely, modelling the
 //!   multi-queue dataplane without sacrificing reproducibility.
+//! * [`fault`] — a [`FaultPlan`](netkit_kernel::fault::FaultPlan)-driven
+//!   behaviour decorator: seeded wire loss / corruption / duplication
+//!   plus a modelled crash-and-revive, replayable bit-for-bit.
 //! * [`link`] — full-duplex links with latency, serialisation, and
 //!   bounded drop-tail transmit queues.
 //! * [`traffic`] — CBR / Poisson / bursty generators, all seeded.
@@ -47,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod shard;

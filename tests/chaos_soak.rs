@@ -1,0 +1,364 @@
+//! **Self-healing chaos soak** — a worker is killed *mid-elephant* by a
+//! seeded [`FaultPlan`](netkit::kernel::fault::FaultPlan) crash fault,
+//! and the spawned [`ControlLoop`] is the **only** recovery actor: its
+//! health turn must detect the dead shard, quarantine its buckets onto
+//! live shards, respawn the worker through the pipeline's factory, and
+//! restore steering — no test code ever calls `respawn_shard` or
+//! `health_turn` directly.
+//!
+//! The books must close to zero silent loss. Every dispatched packet is
+//! provably in exactly one of:
+//!
+//! * the delivery log (the per-flow order witness),
+//! * the pipeline's cause-tagged drop meters (dead-worker submits,
+//!   stranded ring descriptors, re-steer shed, ring-full), whose sum
+//!   equals the aggregate `dropped` stat by construction, or
+//! * the crash ledger: the in-flight batch a panicking worker takes
+//!   down with it, counted *by the injected element itself* before it
+//!   panics.
+//!
+//! On top of the accounting: no duplication (every `(flow, seq)` pair
+//! is delivered at most once), per-flow order holds across crash,
+//! quarantine, and restore epochs (sequence numbers stay strictly
+//! increasing per flow — gaps are allowed, reordering is not), the
+//! elephant flow demonstrably resumes after recovery, and the batch
+//! pool stops allocating once the post-recovery steady state is warm.
+//!
+//! One seeded round runs by default; `NETKIT_CHAOS_SOAK=1` extends the
+//! soak to several rounds with distinct seeds (CI runs the extended
+//! variant in release mode).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netkit::kernel::fault::{FaultConfig, FaultPlan};
+use netkit::kernel::shard::ShardSpec;
+use netkit::opencom::capsule::Capsule;
+use netkit::opencom::meta::resources::{classes, ResourceManager};
+use netkit::opencom::runtime::Runtime;
+use netkit::packet::batch::PacketBatch;
+use netkit::packet::flow::FlowKey;
+use netkit::packet::packet::{Packet, PacketBuilder};
+use netkit::packet::steer::BucketMap;
+use netkit::router::api::{register_packet_interfaces, BatchResult, IPacketPush, PushResult};
+use netkit::router::shard::control::{ControlConfig, ControlLoop};
+use netkit::router::shard::{
+    RebalancePolicy, ShardGraph, ShardedPipeline, WeightedRebalancePolicy,
+};
+use parking_lot::Mutex;
+
+const WORKERS: usize = 4;
+const VICTIM: usize = 0;
+
+// ---------------------------------------------------------------- rig
+
+/// Terminal element logging `(src_port, seq)` arrivals — the witness
+/// for loss, duplication, and per-flow order.
+struct GlobalRecorder {
+    log: Arc<Mutex<Vec<(u16, u16)>>>,
+}
+
+impl IPacketPush for GlobalRecorder {
+    fn push(&self, pkt: Packet) -> PushResult {
+        let src_port = pkt.udp_v4().expect("udp").src_port;
+        let payload = pkt.udp_payload_v4().expect("seq payload");
+        self.log
+            .lock()
+            .push((src_port, u16::from_be_bytes([payload[0], payload[1]])));
+        Ok(())
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        let mut result = BatchResult::with_capacity(batch.len());
+        for pkt in batch.drain_all() {
+            result.record(self.push(pkt));
+        }
+        result
+    }
+}
+
+/// The chaos ingress: consults the shared [`FaultPlan`] per packet and
+/// panics when the crash fault fires — after writing the packets the
+/// panic takes down (this one plus the undrained rest of the batch)
+/// into the crash ledger, so even the in-flight batch of a dying
+/// worker is cause-accounted, not silently lost.
+struct CrashInjector {
+    plan: Arc<FaultPlan>,
+    crash_lost: Arc<AtomicU64>,
+    inner: GlobalRecorder,
+}
+
+impl IPacketPush for CrashInjector {
+    fn push(&self, pkt: Packet) -> PushResult {
+        if self.plan.should_panic() {
+            self.crash_lost.fetch_add(1, Ordering::SeqCst);
+            panic!("injected crash fault");
+        }
+        self.inner.push(pkt)
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        let pkts: Vec<Packet> = batch.drain_all().collect();
+        let total = pkts.len();
+        let mut result = BatchResult::with_capacity(total);
+        for (i, pkt) in pkts.into_iter().enumerate() {
+            if self.plan.should_panic() {
+                self.crash_lost
+                    .fetch_add((total - i) as u64, Ordering::SeqCst);
+                panic!("injected crash fault");
+            }
+            result.record(self.inner.push(pkt));
+        }
+        result
+    }
+}
+
+fn flow_packet(port: u16, seq: u16) -> Packet {
+    PacketBuilder::udp_v4("10.0.0.1", "10.0.9.9", port, 443)
+        .payload(&seq.to_be_bytes())
+        .build()
+}
+
+/// Finds `count` ports on distinct, previously unused buckets that the
+/// given table steers to `target`.
+fn colocated_ports(
+    map: &BucketMap,
+    target: usize,
+    count: usize,
+    start_port: u16,
+    used: &mut HashSet<usize>,
+) -> Vec<u16> {
+    let mut out = Vec::new();
+    let mut port = start_port;
+    while out.len() < count {
+        let bucket = FlowKey::from_packet(&flow_packet(port, 0))
+            .unwrap()
+            .bucket();
+        if map.shard_of_bucket(bucket) == target && !used.contains(&bucket) {
+            used.insert(bucket);
+            out.push(port);
+        }
+        port = port.checked_add(1).expect("port space suffices");
+    }
+    out
+}
+
+/// Per-flow order under loss: sequence numbers must be strictly
+/// increasing (gaps fine — those packets are in the drop ledgers), and
+/// strict increase also rules out duplication within a flow.
+fn assert_per_flow_monotone(log: &[(u16, u16)], ports: &[u16]) {
+    for &port in ports {
+        let seqs: Vec<u16> = log
+            .iter()
+            .filter(|(p, _)| *p == port)
+            .map(|(_, s)| *s)
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "flow {port}: order broken across crash/quarantine epochs: {seqs:?}"
+        );
+    }
+}
+
+// ------------------------------------------------------- the scenario
+
+/// One full crash-and-recover round under the given seed. Returns the
+/// packets dispatched, for the caller's curiosity.
+fn chaos_round(seed: u64) -> u64 {
+    let log: Arc<Mutex<Vec<(u16, u16)>>> = Arc::new(Mutex::new(Vec::new()));
+    let crash_lost = Arc::new(AtomicU64::new(0));
+    // The crash fires on the n-th packet *through the victim shard's
+    // ingress* — mid-run, while the elephant is flowing. The respawned
+    // replica is built from the same factory with the same plan; the
+    // fault fires exactly once, so the rebuilt injector is benign.
+    let plan = Arc::new(FaultPlan::new(FaultConfig::new(seed).panic_on_nth(150)));
+    let rm = Arc::new(ResourceManager::new());
+    let pipe = {
+        let (log, crash_lost, plan) =
+            (Arc::clone(&log), Arc::clone(&crash_lost), Arc::clone(&plan));
+        ShardedPipeline::build(
+            &format!("chaos-{seed}"),
+            ShardSpec::new(WORKERS),
+            Arc::clone(&rm),
+            move |shard| {
+                let rt = Runtime::new();
+                register_packet_interfaces(&rt);
+                let capsule = Capsule::new("shard", &rt);
+                let recorder = GlobalRecorder {
+                    log: Arc::clone(&log),
+                };
+                let entry: Arc<dyn IPacketPush> = if shard == VICTIM {
+                    Arc::new(CrashInjector {
+                        plan: Arc::clone(&plan),
+                        crash_lost: Arc::clone(&crash_lost),
+                        inner: recorder,
+                    })
+                } else {
+                    Arc::new(recorder)
+                };
+                Ok(ShardGraph::new(capsule, entry))
+            },
+        )
+        .expect("pipeline builds")
+    };
+    let pipe = Arc::new(pipe);
+    let ctl = ControlLoop::spawn(
+        &format!("chaos-{seed}-control"),
+        Arc::clone(&pipe),
+        Vec::new(),
+        ControlConfig {
+            policy: WeightedRebalancePolicy {
+                base: RebalancePolicy {
+                    max_imbalance: 1.25,
+                    min_samples: 1 << 20, // effectively: health turns only
+                },
+                pressure_weight: 0.0,
+                decay: 0.5,
+            },
+            tick: Duration::from_millis(1),
+            max_tick: Duration::from_millis(8),
+            backoff: 2.0,
+            cooldown_ticks: 1,
+            heavy_blend: 0.0,
+        },
+        Arc::clone(&rm),
+    )
+    .expect("loop spawns");
+
+    // An elephant plus mice on the victim shard, mice everywhere else.
+    let mut used = HashSet::new();
+    let identity = pipe.bucket_map();
+    let elephant = colocated_ports(&identity, VICTIM, 1, 20_000, &mut used)[0];
+    let mut ports: Vec<u16> = vec![elephant];
+    for shard in 0..WORKERS {
+        ports.extend(colocated_ports(&identity, shard, 3, 1_000, &mut used));
+    }
+    let mut seq: Vec<u16> = vec![0; ports.len()];
+    let mut dispatched = 0u64;
+    // One round: 4 elephant packets + 1 per mouse.
+    let traffic_round = |seq: &mut Vec<u16>| -> PacketBatch {
+        let mut batch = PacketBatch::new();
+        for _ in 0..4 {
+            batch.push(flow_packet(ports[0], seq[0]));
+            seq[0] += 1;
+        }
+        for (i, &p) in ports.iter().enumerate().skip(1) {
+            batch.push(flow_packet(p, seq[i]));
+            seq[i] += 1;
+        }
+        batch
+    };
+
+    // Drive traffic until the crash has fired AND the loop alone has
+    // recovered the shard. The dispatcher never stops — the kill lands
+    // mid-elephant by construction.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while ctl.stats().recoveries == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "control loop never recovered the dead shard (seed {seed})"
+        );
+        let batch = traffic_round(&mut seq);
+        dispatched += batch.len() as u64;
+        pipe.dispatch(batch);
+        pipe.flush();
+        std::thread::sleep(Duration::from_micros(300));
+    }
+    assert!(
+        plan.stats().panics_fired >= 1,
+        "recovery implies the crash fired"
+    );
+    assert_eq!(pipe.worker_alive(VICTIM), Some(true), "victim respawned");
+
+    // Delivery resumes through the recovered shard: the elephant keeps
+    // going, with fresh sequence numbers landing in the log.
+    let elephant_at_recovery = log.lock().iter().filter(|(p, _)| *p == elephant).count();
+    for _ in 0..8 {
+        let batch = traffic_round(&mut seq);
+        dispatched += batch.len() as u64;
+        pipe.dispatch(batch);
+        pipe.flush();
+    }
+    let elephant_after = log.lock().iter().filter(|(p, _)| *p == elephant).count();
+    assert!(
+        elephant_after > elephant_at_recovery,
+        "the elephant must flow again after recovery"
+    );
+
+    // Post-recovery steady state allocates nothing: the respawn paid
+    // its one-off costs; traffic afterwards runs on recycled storage.
+    let warm = pipe.batch_pool().stats().allocated;
+    for _ in 0..16 {
+        let batch = traffic_round(&mut seq);
+        dispatched += batch.len() as u64;
+        pipe.dispatch(batch);
+        pipe.flush();
+    }
+    assert_eq!(
+        pipe.batch_pool().stats().allocated,
+        warm,
+        "steady-state allocations must return to zero after recovery"
+    );
+
+    // Stop the loop, then close the books.
+    let final_ctl = ctl.stop();
+    assert!(final_ctl.recoveries >= 1);
+    assert_eq!(final_ctl.panics, 0, "the loop thread itself never faults");
+    assert!(pipe.recoveries() >= 1);
+    pipe.flush();
+
+    // Zero silent loss: delivered + cause-tagged drops + crash ledger
+    // account for every dispatched packet.
+    let drops = pipe.drop_stats();
+    let delivered = log.lock().len() as u64;
+    assert_eq!(
+        drops.total(),
+        pipe.stats().dropped,
+        "every pipeline drop files under exactly one cause: {drops:?}"
+    );
+    assert_eq!(
+        delivered + drops.total() + crash_lost.load(Ordering::SeqCst),
+        dispatched,
+        "books must close: {delivered} delivered, {drops:?}, {} crash-lost of {dispatched}",
+        crash_lost.load(Ordering::SeqCst)
+    );
+    assert!(
+        drops.dead_worker > 0,
+        "the dead window must have filed dead-worker drops"
+    );
+
+    // No duplication anywhere, and per-flow order holds across the
+    // crash, quarantine, and restore epochs.
+    let log = log.lock();
+    let unique: HashSet<&(u16, u16)> = log.iter().collect();
+    assert_eq!(unique.len(), log.len(), "no (flow, seq) delivered twice");
+    assert_per_flow_monotone(&log, &ports);
+    drop(log);
+
+    // The recovery trail is on the meta-model: quarantine + restore +
+    // respawn each billed the FAULTS class on the pipeline's task.
+    let usage = rm.task_info(pipe.task()).unwrap().usage[classes::FAULTS];
+    assert!(
+        usage >= 3,
+        "quarantine+respawn+restore bill FAULTS: {usage}"
+    );
+
+    Arc::try_unwrap(pipe).expect("sole owner").shutdown();
+    dispatched
+}
+
+#[test]
+fn control_loop_alone_recovers_a_mid_elephant_crash() {
+    // NETKIT_CHAOS_SOAK=1 extends the soak: more rounds, fresh seeds —
+    // each a full build/kill/recover/verify cycle.
+    let rounds: u64 = match std::env::var("NETKIT_CHAOS_SOAK") {
+        Ok(v) if v != "0" => 4,
+        _ => 1,
+    };
+    for round in 0..rounds {
+        let dispatched = chaos_round(0xC0FFEE + round);
+        assert!(dispatched > 0);
+    }
+}
