@@ -75,11 +75,13 @@ use crate::api::{IPacketPush, PushError};
 
 pub mod control;
 pub mod rebalance;
+pub mod solo;
 
 pub use control::{ControlConfig, ControlDecision, ControlLoop, ControlStats, RebalanceController};
 pub use rebalance::{
     HeavyHitterPolicy, MigrationReport, RebalancePlan, RebalancePolicy, WeightedRebalancePolicy,
 };
+pub use solo::SoloPipeline;
 
 /// A swappable shard entry point: workers re-read it each batch, so a
 /// quiesce closure can retarget a shard's ingress (e.g. after replacing

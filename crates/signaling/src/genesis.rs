@@ -24,6 +24,7 @@ use opencom::cf::Principal;
 use opencom::error::Error as OcError;
 use opencom::runtime::Runtime;
 
+use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
 use netkit_router::api::{
     FilterPattern, FilterSpec, IClassifier, IPacketPull, IPacketPush, IPACKET_PULL, IPACKET_PUSH,
@@ -154,6 +155,14 @@ impl VirtualRouter {
     /// Propagates the classifier's [`PushError`](netkit_router::api::PushError).
     pub fn push(&self, pkt: Packet) -> netkit_router::api::PushResult {
         self.classifier.push(pkt)
+    }
+
+    /// Pushes a whole batch into the virtual data path in one call —
+    /// the batched mirror of [`push`](Self::push), delegating to the
+    /// classifier's native batch entry so per-packet dispatch overhead
+    /// is paid once per burst.
+    pub fn push_batch(&self, batch: PacketBatch) -> netkit_router::api::BatchResult {
+        self.classifier.push_batch(batch)
     }
 
     /// The virtual router's classifier (for installing extra filters).
@@ -554,6 +563,33 @@ impl Genesis {
             }
         }
         None
+    }
+
+    /// Forwards a whole burst one hop inside `virtnet` starting at
+    /// `node`: pushes the batch through the virtual router's batched
+    /// ingress, then drains every port scheduler dry. Returns the
+    /// `(egress port, packet)` pairs in port order — the batched
+    /// mirror of [`forward`](Self::forward), and the hook the
+    /// simulator-hosted pipeline nodes use for signaling bursts.
+    pub fn forward_batch(
+        &self,
+        virtnet: VirtnetId,
+        node: usize,
+        batch: PacketBatch,
+    ) -> Vec<(u16, Packet)> {
+        let Some(router) = self.router(virtnet, node) else {
+            return Vec::new();
+        };
+        let _ = router.push_batch(batch);
+        let mut out = Vec::new();
+        for (port, _) in &router.queues {
+            if let Some(sched) = self.nodes[node].port_scheds.get(port) {
+                while let Some(pkt) = sched.pull() {
+                    out.push((*port, pkt));
+                }
+            }
+        }
+        out
     }
 
     fn ensure_port_scheduler(

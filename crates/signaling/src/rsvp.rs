@@ -466,26 +466,52 @@ impl NodeBehaviour for RsvpAgent {
         self.arm_timers(ctx);
     }
 
+    /// Native batch path: one timer arm around the whole batch instead
+    /// of two per packet. Control and data packets keep their relative
+    /// order — a RESV riding behind the data it reserves for is
+    /// handled after it, exactly as on the per-packet path.
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, ingress: u16, pkts: Vec<Packet>) {
+        self.arm_timers(ctx);
+        for pkt in pkts {
+            let control = pkt
+                .udp_v4()
+                .ok()
+                .filter(|u| u.dst_port == RSVP_PORT)
+                .and_then(|_| pkt.udp_payload_v4().ok().and_then(Msg::decode));
+            match control {
+                Some(msg) => self.handle_control(ctx, ingress, msg),
+                None => self.forward_data(ctx, pkt),
+            }
+        }
+        self.arm_timers(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         let now = ctx.now().as_nanos();
         match token {
             TOKEN_SWEEP => {
-                let expired_paths: Vec<SessionId> = self
+                // The maps iterate in RandomState order; sort so the
+                // expiry events (and anything downstream of them) come
+                // out the same on every run — the simulator's
+                // bit-for-bit replay contract covers signaling too.
+                let mut expired_paths: Vec<SessionId> = self
                     .path_state
                     .iter()
                     .filter(|(_, s)| s.expires <= now)
                     .map(|(id, _)| *id)
                     .collect();
+                expired_paths.sort_unstable();
                 for id in expired_paths {
                     self.path_state.remove(&id);
                     self.events.push(RsvpEvent::Expired(id));
                 }
-                let expired_resv: Vec<SessionId> = self
+                let mut expired_resv: Vec<SessionId> = self
                     .resv_state
                     .iter()
                     .filter(|(_, s)| s.expires <= now)
                     .map(|(id, _)| *id)
                     .collect();
+                expired_resv.sort_unstable();
                 for id in expired_resv {
                     self.release(id);
                     self.events.push(RsvpEvent::Expired(id));
@@ -497,8 +523,11 @@ impl NodeBehaviour for RsvpAgent {
                 }
             }
             TOKEN_REFRESH => {
-                let sessions: Vec<(SessionId, LocalSession)> =
+                // Sorted for the same reason as the sweep: refresh
+                // PATHs must hit the wire in a reproducible order.
+                let mut sessions: Vec<(SessionId, LocalSession)> =
                     self.sending.iter().map(|(id, s)| (*id, *s)).collect();
+                sessions.sort_unstable_by_key(|(id, _)| *id);
                 for (id, s) in sessions {
                     if s.refreshing {
                         let path = Msg {

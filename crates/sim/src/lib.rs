@@ -53,6 +53,8 @@
 pub mod fault;
 pub mod link;
 pub mod node;
+pub mod pipeline;
+pub mod scenario;
 pub mod shard;
 pub mod stats;
 pub mod topology;

@@ -70,6 +70,16 @@ impl NodeCtx<'_> {
     pub fn drop_packet(&mut self, _pkt: Packet) {
         *self.drops += 1;
     }
+
+    /// Counts `n` packets consumed inside a hosted dataplane — graph
+    /// or guard policy drops whose packets were swallowed by elements
+    /// and never surface as a `Packet` to hand to
+    /// [`Self::drop_packet`]. Keeps the simulator's conservation books
+    /// (`injected == delivered + link_drops + node_drops`) exact for
+    /// nodes hosting real element graphs.
+    pub fn count_drops(&mut self, n: u64) {
+        *self.drops += n;
+    }
 }
 
 /// Per-node packet-handling logic.
