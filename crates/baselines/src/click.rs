@@ -22,7 +22,17 @@
 //!
 //! Classes: `Counter`, `Discard`, `Queue(cap)`, `DecTtl`,
 //! `Classifier(rule out, …)` (rules: `udp`, `tcp`, `dscp N`,
-//! `dst A.B.C.D/L`, `dport LO-HI`, `any`), `Tee(n)`.
+//! `dst A.B.C.D/L`, `dport LO-HI`, `any`), `Tee(n)`, and the stateful
+//! edge trio mirroring `netkit_router::flow` —
+//! `ConnTracker(capacity)` (bounded flow table, new flows beyond the
+//! bound drop), `Guard(byte_threshold)` (per-flow byte meter, heavy
+//! flows drop), `Nat44(ext_ip, port_base, pool)` (source NAT with a
+//! sequential, **never-reclaimed** port pool: the baseline has no
+//! teardown, which is exactly the reconfigurability gap the component
+//! router's RST/sweep reclamation closes). The NAT rewrites with the
+//! same incremental-checksum helper as the component element
+//! ([`rewrite_ipv4_endpoint`]), so the stateful-edge benches compare
+//! dispatch and bookkeeping — not checksum arithmetic.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -32,6 +42,7 @@ use std::net::Ipv4Addr;
 use netkit_packet::flow::FlowKey;
 use netkit_packet::headers::{proto, Ipv4Header};
 use netkit_packet::packet::Packet;
+use netkit_router::flow::{rewrite_ipv4_endpoint, RewriteSide};
 use parking_lot::Mutex;
 
 /// A parse/compile failure with position information.
@@ -125,6 +136,24 @@ enum ElementKind {
     },
     Tee {
         n: usize,
+    },
+    ConnTracker {
+        capacity: usize,
+        flows: Mutex<HashMap<FlowKey, u64>>,
+        dropped: Mutex<u64>,
+    },
+    Guard {
+        byte_threshold: u64,
+        meters: Mutex<HashMap<FlowKey, u64>>,
+        dropped: Mutex<u64>,
+    },
+    Nat44 {
+        external_ip: Ipv4Addr,
+        port_base: u16,
+        pool: usize,
+        bindings: Mutex<HashMap<FlowKey, u16>>,
+        next: Mutex<usize>,
+        dropped: Mutex<u64>,
     },
 }
 
@@ -338,6 +367,72 @@ impl ClickRouter {
                 }
                 Ok(ElementKind::Classifier { rules })
             }
+            "ConnTracker" => {
+                let capacity: usize = if args.is_empty() {
+                    4_096
+                } else {
+                    args.parse()
+                        .map_err(|_| err(line, format!("bad conntrack capacity `{args}`")))?
+                };
+                if capacity == 0 {
+                    return Err(err(line, "conntrack capacity must be positive"));
+                }
+                Ok(ElementKind::ConnTracker {
+                    capacity,
+                    flows: Mutex::new(HashMap::new()),
+                    dropped: Mutex::new(0),
+                })
+            }
+            "Guard" => {
+                let byte_threshold: u64 = if args.is_empty() {
+                    1 << 20
+                } else {
+                    args.parse()
+                        .map_err(|_| err(line, format!("bad guard threshold `{args}`")))?
+                };
+                Ok(ElementKind::Guard {
+                    byte_threshold,
+                    meters: Mutex::new(HashMap::new()),
+                    dropped: Mutex::new(0),
+                })
+            }
+            "Nat44" => {
+                let parts: Vec<&str> = if args.is_empty() {
+                    Vec::new()
+                } else {
+                    args.split(',').map(str::trim).collect()
+                };
+                if !parts.is_empty() && parts.len() != 3 {
+                    return Err(err(
+                        line,
+                        "Nat44 takes (ext_ip, port_base, pool) or nothing",
+                    ));
+                }
+                let external_ip: Ipv4Addr =
+                    parts.first().map_or(Ok(Ipv4Addr::new(192, 0, 2, 1)), |s| {
+                        s.parse()
+                            .map_err(|_| err(line, format!("bad NAT external ip `{s}`")))
+                    })?;
+                let port_base: u16 = parts.get(1).map_or(Ok(10_000), |s| {
+                    s.parse()
+                        .map_err(|_| err(line, format!("bad NAT port base `{s}`")))
+                })?;
+                let pool: usize = parts.get(2).map_or(Ok(4_096), |s| {
+                    s.parse()
+                        .map_err(|_| err(line, format!("bad NAT pool size `{s}`")))
+                })?;
+                if port_base as usize + pool > u16::MAX as usize + 1 {
+                    return Err(err(line, "NAT port pool must fit in u16"));
+                }
+                Ok(ElementKind::Nat44 {
+                    external_ip,
+                    port_base,
+                    pool,
+                    bindings: Mutex::new(HashMap::new()),
+                    next: Mutex::new(0),
+                    dropped: Mutex::new(0),
+                })
+            }
             other => Err(err(line, format!("unknown element class `{other}`"))),
         }
     }
@@ -509,6 +604,82 @@ impl ClickRouter {
                     }
                     idx = last;
                 }
+                ElementKind::ConnTracker {
+                    capacity,
+                    flows,
+                    dropped,
+                } => {
+                    if let Some(key) = FlowKey::from_packet(&pkt) {
+                        let mut flows = flows.lock();
+                        let key = key.canonical();
+                        if let Some(pkts) = flows.get_mut(&key) {
+                            *pkts += 1;
+                        } else if flows.len() < *capacity {
+                            flows.insert(key, 1);
+                        } else {
+                            *dropped.lock() += 1;
+                            return;
+                        }
+                    }
+                    match el.first_out() {
+                        Some(next) => idx = next,
+                        None => return,
+                    }
+                }
+                ElementKind::Guard {
+                    byte_threshold,
+                    meters,
+                    dropped,
+                } => {
+                    if let Some(key) = FlowKey::from_packet(&pkt) {
+                        let mut meters = meters.lock();
+                        let bytes = meters.entry(key.canonical()).or_insert(0);
+                        *bytes += pkt.data().len() as u64;
+                        if *bytes > *byte_threshold {
+                            *dropped.lock() += 1;
+                            return;
+                        }
+                    }
+                    match el.first_out() {
+                        Some(next) => idx = next,
+                        None => return,
+                    }
+                }
+                ElementKind::Nat44 {
+                    external_ip,
+                    port_base,
+                    pool,
+                    bindings,
+                    next,
+                    dropped,
+                } => {
+                    let translatable = FlowKey::from_packet(&pkt).filter(|k| {
+                        matches!(k.dst, std::net::IpAddr::V4(d) if d != *external_ip)
+                            && (k.protocol == proto::UDP || k.protocol == proto::TCP)
+                    });
+                    if let Some(key) = translatable {
+                        let mut bindings = bindings.lock();
+                        let ext_port = match bindings.get(&key.canonical()) {
+                            Some(&p) => p,
+                            None => {
+                                let mut cursor = next.lock();
+                                if *cursor >= *pool {
+                                    *dropped.lock() += 1;
+                                    return;
+                                }
+                                let p = port_base + *cursor as u16;
+                                *cursor += 1;
+                                bindings.insert(key.canonical(), p);
+                                p
+                            }
+                        };
+                        rewrite_ipv4_endpoint(&mut pkt, RewriteSide::Src, *external_ip, ext_port);
+                    }
+                    match el.first_out() {
+                        Some(next) => idx = next,
+                        None => return,
+                    }
+                }
             }
         }
     }
@@ -546,6 +717,38 @@ impl ClickRouter {
         let idx = self.by_name.get(name)?;
         match &self.elements[*idx].kind {
             ElementKind::Queue { drops, .. } => Some(*drops.lock()),
+            _ => None,
+        }
+    }
+
+    /// Packets dropped by a stateful element: table-full for
+    /// `ConnTracker`, over-threshold for `Guard`, pool-exhausted for
+    /// `Nat44`.
+    pub fn stateful_drops(&self, name: &str) -> Option<u64> {
+        let idx = self.by_name.get(name)?;
+        match &self.elements[*idx].kind {
+            ElementKind::ConnTracker { dropped, .. }
+            | ElementKind::Guard { dropped, .. }
+            | ElementKind::Nat44 { dropped, .. } => Some(*dropped.lock()),
+            _ => None,
+        }
+    }
+
+    /// Live flow count of a `ConnTracker` element.
+    pub fn tracked_flows(&self, name: &str) -> Option<usize> {
+        let idx = self.by_name.get(name)?;
+        match &self.elements[*idx].kind {
+            ElementKind::ConnTracker { flows, .. } => Some(flows.lock().len()),
+            _ => None,
+        }
+    }
+
+    /// External ports allocated by a `Nat44` element (never reclaimed —
+    /// the baseline's defining limitation).
+    pub fn nat_ports_in_use(&self, name: &str) -> Option<usize> {
+        let idx = self.by_name.get(name)?;
+        match &self.elements[*idx].kind {
+            ElementKind::Nat44 { next, .. } => Some(*next.lock()),
             _ => None,
         }
     }
@@ -587,6 +790,39 @@ mod tests {
         .unwrap();
         router.push("a", udp(1));
         assert_eq!(router.queue_len("c"), Some(1));
+    }
+
+    #[test]
+    fn stateful_edge_chain_translates_and_exhausts() {
+        let router = ClickRouter::compile(
+            "guard :: Guard(1000000);
+             ct :: ConnTracker(64);
+             nat :: Nat44(192.0.2.1, 40000, 2);
+             sink :: Discard;
+             guard -> ct -> nat -> sink;",
+        )
+        .unwrap();
+        for dport in [81, 82, 83] {
+            router.push("guard", udp(dport));
+        }
+        assert_eq!(router.tracked_flows("ct"), Some(3));
+        assert_eq!(router.nat_ports_in_use("nat"), Some(2));
+        assert_eq!(
+            router.stateful_drops("nat"),
+            Some(1),
+            "pool of 2: third flow drops"
+        );
+        assert_eq!(router.count("sink"), Some(2));
+    }
+
+    #[test]
+    fn guard_drops_heavy_flows() {
+        let router = ClickRouter::compile("g :: Guard(100); sink :: Discard; g -> sink;").unwrap();
+        for _ in 0..4 {
+            router.push("g", udp(9)); // ~46-byte frames: the third crosses 100 bytes
+        }
+        assert!(router.stateful_drops("g").unwrap() >= 1);
+        assert!(router.count("sink").unwrap() < 4);
     }
 
     #[test]

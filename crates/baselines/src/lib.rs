@@ -28,5 +28,8 @@ pub mod monolithic;
 pub mod sharded;
 
 pub use click::{ClickError, ClickRouter};
-pub use monolithic::{DropReason, ForwarderStats, MonolithicForwarder};
+pub use monolithic::{
+    DropReason, EdgeDropReason, EdgeStats, ForwarderStats, MonolithicForwarder,
+    MonolithicStatefulEdge,
+};
 pub use sharded::{ShardedClick, ShardedMonolithic};

@@ -192,6 +192,158 @@ impl MonolithicForwarder {
     }
 }
 
+/// Why the stateful edge dropped a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeDropReason {
+    /// Not a parseable IPv4 UDP/TCP flow.
+    NotAFlow,
+    /// The flow's byte meter crossed the guard threshold.
+    RateLimited,
+    /// The connection table was full and the flow was new.
+    TableFull,
+    /// The NAT external-port pool had no free slot.
+    Exhausted,
+}
+
+/// Counters kept by [`MonolithicStatefulEdge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Packets translated and delivered.
+    pub delivered: u64,
+    /// Non-flow drops.
+    pub not_a_flow: u64,
+    /// Guard drops.
+    pub rate_limited: u64,
+    /// Connection-table drops.
+    pub table_full: u64,
+    /// NAT-pool drops.
+    pub exhausted: u64,
+}
+
+/// The stateful edge — guard, connection tracking, source NAT — as one
+/// straight-line function: the performance lower bound the
+/// component-based edge (and its declarative-description build) is
+/// benchmarked against.
+///
+/// Same simplifications as the Click baseline's stateful trio, and the
+/// same defining limitation: plain hash maps, a sequential
+/// **never-reclaimed** port pool, no teardown, no timers, no
+/// reconfiguration. The NAT rewrite reuses
+/// [`rewrite_ipv4_endpoint`](netkit_router::flow::rewrite_ipv4_endpoint)
+/// so checksum arithmetic is identical across all three contenders.
+#[derive(Debug)]
+pub struct MonolithicStatefulEdge {
+    byte_threshold: u64,
+    conn_capacity: usize,
+    external_ip: std::net::Ipv4Addr,
+    port_base: u16,
+    pool: usize,
+    state: Mutex<EdgeState>,
+}
+
+#[derive(Debug, Default)]
+struct EdgeState {
+    meters: std::collections::HashMap<netkit_packet::flow::FlowKey, u64>,
+    flows: std::collections::HashMap<netkit_packet::flow::FlowKey, u64>,
+    bindings: std::collections::HashMap<netkit_packet::flow::FlowKey, u16>,
+    next_port: usize,
+    stats: EdgeStats,
+}
+
+impl MonolithicStatefulEdge {
+    /// Creates an edge with the given guard threshold, connection-table
+    /// bound, and NAT pool (`port_base .. port_base + pool`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port pool does not fit in `u16`.
+    pub fn new(
+        byte_threshold: u64,
+        conn_capacity: usize,
+        external_ip: std::net::Ipv4Addr,
+        port_base: u16,
+        pool: usize,
+    ) -> Self {
+        assert!(
+            port_base as usize + pool <= u16::MAX as usize + 1,
+            "port pool must fit in u16"
+        );
+        Self {
+            byte_threshold,
+            conn_capacity,
+            external_ip,
+            port_base,
+            pool,
+            state: Mutex::new(EdgeState::default()),
+        }
+    }
+
+    /// The entire stateful data path in one function: meter → track →
+    /// translate. Returns the allocated external port on delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EdgeDropReason`] when the packet is not delivered.
+    pub fn process(&self, pkt: &mut Packet) -> Result<u16, EdgeDropReason> {
+        use netkit_packet::flow::FlowKey;
+        use netkit_packet::headers::proto;
+        use netkit_router::flow::{rewrite_ipv4_endpoint, RewriteSide};
+
+        let mut st = self.state.lock();
+        // 1. Flow recognition.
+        let key = match FlowKey::from_packet(pkt) {
+            Some(k) if k.protocol == proto::UDP || k.protocol == proto::TCP => k.canonical(),
+            _ => {
+                st.stats.not_a_flow += 1;
+                return Err(EdgeDropReason::NotAFlow);
+            }
+        };
+        // 2. Guard: per-flow byte meter.
+        let bytes = st.meters.entry(key).or_insert(0);
+        *bytes += pkt.data().len() as u64;
+        if *bytes > self.byte_threshold {
+            st.stats.rate_limited += 1;
+            return Err(EdgeDropReason::RateLimited);
+        }
+        // 3. Connection tracking (bounded; new flows past the bound drop).
+        if let Some(pkts) = st.flows.get_mut(&key) {
+            *pkts += 1;
+        } else if st.flows.len() < self.conn_capacity {
+            st.flows.insert(key, 1);
+        } else {
+            st.stats.table_full += 1;
+            return Err(EdgeDropReason::TableFull);
+        }
+        // 4. Source NAT with a sequential pool.
+        let ext_port = match st.bindings.get(&key) {
+            Some(&p) => p,
+            None => {
+                if st.next_port >= self.pool {
+                    st.stats.exhausted += 1;
+                    return Err(EdgeDropReason::Exhausted);
+                }
+                let p = self.port_base + st.next_port as u16;
+                st.next_port += 1;
+                st.bindings.insert(key, p);
+                p
+            }
+        };
+        rewrite_ipv4_endpoint(pkt, RewriteSide::Src, self.external_ip, ext_port);
+        st.stats.delivered += 1;
+        Ok(ext_port)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EdgeStats {
+        self.state.lock().stats
+    }
+
+    /// External ports allocated (never reclaimed).
+    pub fn ports_in_use(&self) -> usize {
+        self.state.lock().next_port
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +435,29 @@ mod tests {
         assert_eq!(f.forward(pkt()), Err(DropReason::QueueFull));
         f.drain(0).unwrap();
         assert!(f.forward(pkt()).is_ok(), "drained capacity is reusable");
+    }
+
+    #[test]
+    fn stateful_edge_straight_line_path() {
+        let edge =
+            MonolithicStatefulEdge::new(1 << 20, 64, "192.0.2.1".parse().unwrap(), 40_000, 2);
+        let mut a = PacketBuilder::udp_v4("10.0.0.1", "203.0.113.9", 1001, 80).build();
+        let mut b = PacketBuilder::udp_v4("10.0.0.2", "203.0.113.9", 1002, 80).build();
+        let mut c = PacketBuilder::udp_v4("10.0.0.3", "203.0.113.9", 1003, 80).build();
+        let pa = edge.process(&mut a).unwrap();
+        assert!((40_000..40_002).contains(&pa));
+        assert_eq!(
+            a.ipv4().unwrap().src,
+            "192.0.2.1".parse::<std::net::Ipv4Addr>().unwrap()
+        );
+        edge.process(&mut b).unwrap();
+        assert_eq!(edge.process(&mut c), Err(EdgeDropReason::Exhausted));
+        assert_eq!(edge.ports_in_use(), 2);
+        let s = edge.stats();
+        assert_eq!((s.delivered, s.exhausted), (2, 1));
+        // Repeat traffic on a bound flow reuses its port.
+        let mut a2 = PacketBuilder::udp_v4("10.0.0.1", "203.0.113.9", 1001, 80).build();
+        assert_eq!(edge.process(&mut a2), Ok(pa));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! **E16 — the price of declarative reconfiguration** (see
+//! `crates/bench/NOTES.md`).
+//!
+//! The description layer (`netkit_router::desc`, ARCHITECTURE.md §8)
+//! claims a strict cost ordering for changing a *running* pipeline:
+//! computing a diff costs control-plane arithmetic only; a param-only
+//! patch costs hot `Capsule::replace` swaps and **zero quiesce
+//! epochs**; a structural patch costs exactly **one** pipeline-wide
+//! quiesce no matter how many ops it batches; and the alternative —
+//! tearing the pipeline down and rebuilding from the new description —
+//! costs thread spawns and teardown, orders of magnitude above either
+//! patch. This series prices each tier on the threaded driver and
+//! *asserts* the quiesce accounting per iteration: a param-only patch
+//! that consumed an epoch, or touched more shards than the patch
+//! addresses, fails the bench rather than skewing the curve.
+//!
+//! Run with `NETKIT_BENCH_JSON=<abs path>/BENCH_reconfig.json cargo
+//! bench --bench reconfig` for the machine-readable report. The
+//! structural and rebuild rows quiesce/spawn real workers — on a 1-CPU
+//! host those waits serialise; see NOTES.md.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netkit_kernel::shard::ShardSpec;
+use netkit_router::desc::{diff, Compiler, PipelineDesc, TableEntry};
+use opencom::meta::resources::ResourceManager;
+
+const WORKERS: usize = 2;
+
+/// The described stateful edge the series reconfigures: guard →
+/// conntrack [→ NAT44] → counter → discard, with the conntrack
+/// capacity and the NAT stage's existence as the moving parts.
+fn edge_desc(ct_capacity: u64, with_nat: bool, backends: u8) -> PipelineDesc {
+    let mut d = PipelineDesc::new("e16-edge")
+        .element_with("guard", "guard", &[("byte_threshold", (4u64 << 20).into())])
+        .element_with("ct", "conntrack", &[("capacity", ct_capacity.into())])
+        .element_with(
+            "lb",
+            "l4lb",
+            &[("vip", "10.0.7.9".into()), ("vport", 443u16.into())],
+        )
+        .element("egress", "counter")
+        .element("sink", "discard")
+        .ingress("guard")
+        .edge("guard", "ct")
+        .edge("egress", "sink");
+    d = if with_nat {
+        d.element_with(
+            "nat",
+            "nat44",
+            &[
+                ("external_ip", "192.0.2.1".into()),
+                ("port_base", 10_000u16.into()),
+            ],
+        )
+        .edge("ct", "nat")
+        .edge("nat", "lb")
+    } else {
+        d.edge("ct", "lb")
+    };
+    d = d.edge("lb", "egress");
+    for backend in 1..=backends {
+        d = d.table(
+            "lb",
+            TableEntry::Backend {
+                ip: format!("10.1.0.{backend}"),
+                port: 8080,
+            },
+        );
+    }
+    d
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_reconfig");
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    let base = edge_desc(4_096, true, 2);
+    let retuned = edge_desc(8_192, true, 2);
+    let without_nat = edge_desc(4_096, false, 2);
+    let more_backends = edge_desc(4_096, true, 3);
+
+    // Tier 0: the diff itself — canonicalise two descriptions and
+    // compute the minimal plan. Pure control-plane arithmetic, no
+    // pipeline involved.
+    group.bench_function("diff_param_only", |b| {
+        b.iter(|| criterion::black_box(diff(&base, &retuned)))
+    });
+    group.bench_function("diff_structural", |b| {
+        b.iter(|| criterion::black_box(diff(&base, &without_nat)))
+    });
+
+    // One live threaded pipeline carries every patch tier below; the
+    // binding alternates between the two target descriptions so each
+    // iteration applies a real, non-empty patch.
+    let rm = Arc::new(ResourceManager::new());
+    let (pipe, mut binding) = Compiler::new()
+        .build_sharded(&base, ShardSpec::new(WORKERS), Arc::clone(&rm))
+        .expect("edge compiles");
+
+    // Tier 1a: a pure table op (grow the VIP backend set) — the
+    // cheapest change a running pipeline can absorb.
+    group.bench_function("apply_table_op", |b| {
+        let mut grow = true;
+        b.iter(|| {
+            let target = if grow { &more_backends } else { &base };
+            grow = !grow;
+            let patch = binding.diff_to(target).expect("diffable");
+            let report = binding.apply_sharded(&pipe, &patch).expect("applies");
+            assert!(patch.param_only());
+            assert_eq!(
+                (report.epochs, report.table_ops),
+                (0, WORKERS),
+                "a backend change is one hot table op per shard"
+            );
+        })
+    });
+
+    // Tier 1b: param-only element swap (conntrack capacity). The
+    // assertion is the series' contract: zero quiesce epochs, and the
+    // object graph touched on exactly the shards the patch addresses —
+    // never quiesced pipeline-wide.
+    group.bench_function("apply_param_only", |b| {
+        let mut retune = true;
+        b.iter(|| {
+            let target = if retune { &retuned } else { &base };
+            retune = !retune;
+            let patch = binding.diff_to(target).expect("diffable");
+            let report = binding.apply_sharded(&pipe, &patch).expect("applies");
+            assert!(patch.param_only());
+            assert_eq!(report.epochs, 0, "param-only patches never quiesce");
+            assert_eq!(report.structural, 0);
+            assert_eq!(
+                report.shards_touched, WORKERS,
+                "touches each replica of the swapped element, nothing more"
+            );
+        })
+    });
+
+    // Tier 2: structural patch (retire / reinstate the NAT stage).
+    // Exactly one pipeline-wide quiesce epoch per apply, regardless of
+    // how many ops the plan batches.
+    group.bench_function("apply_structural", |b| {
+        let mut retire = true;
+        b.iter(|| {
+            let target = if retire { &without_nat } else { &base };
+            retire = !retire;
+            let patch = binding.diff_to(target).expect("diffable");
+            let report = binding.apply_sharded(&pipe, &patch).expect("applies");
+            assert!(!patch.param_only());
+            assert_eq!(report.epochs, 1, "structural patches batch into one epoch");
+        })
+    });
+    pipe.shutdown();
+
+    // Tier 3: the alternative the patch path replaces — compile the
+    // new description from scratch, spawn fresh workers, tear the old
+    // world down. What "reconfiguration" costs without an incremental
+    // control plane.
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let (pipe, _binding) = Compiler::new()
+                .build_sharded(&retuned, ShardSpec::new(WORKERS), Arc::clone(&rm))
+                .expect("edge compiles");
+            pipe.shutdown();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+criterion_main!(benches);

@@ -160,6 +160,63 @@ pub fn routing_table(n: usize, ports: u16) -> RoutingTable {
     table
 }
 
+/// The shared stateful-edge topology (guard → conntrack → NAT44 →
+/// egress) compiled from the declarative description in
+/// [`netkit_services::edge`], with a NAT pool of `pool` ports. One
+/// worker, deterministic — the component contender for the
+/// stateful-edge like-for-like series.
+///
+/// # Errors
+///
+/// Propagates description-validation failures (none expected for the
+/// canonical profile).
+pub fn netkit_stateful_edge(
+    pool: u16,
+) -> Result<(
+    netkit_router::shard::SoloPipeline,
+    netkit_router::desc::DescBinding,
+)> {
+    let profile = netkit_services::edge::EdgeProfile {
+        nat_blocks: 1,
+        nat_block_size: pool,
+        ..netkit_services::edge::EdgeProfile::default()
+    };
+    netkit_services::edge::build_stateful_edge(&profile, 1, Arc::new(ResourceManager::new()))
+}
+
+/// The equivalent Click configuration for the stateful edge: the same
+/// chain and knobs as [`netkit_stateful_edge`], in the baseline's
+/// config language (`ConnTracker`/`Guard`/`Nat44` classes).
+pub fn click_stateful_edge_config(pool: usize) -> String {
+    format!(
+        "guard :: Guard(1048576);\n\
+         ct :: ConnTracker(4096);\n\
+         nat :: Nat44(192.0.2.1, 10000, {pool});\n\
+         sink :: Discard;\n\
+         guard -> ct -> nat -> sink;\n"
+    )
+}
+
+/// The monolithic stateful edge with the same knobs as
+/// [`netkit_stateful_edge`] — the straight-line lower bound.
+pub fn monolithic_stateful_edge(pool: usize) -> netkit_baselines::MonolithicStatefulEdge {
+    netkit_baselines::MonolithicStatefulEdge::new(
+        1 << 20,
+        4_096,
+        std::net::Ipv4Addr::new(192, 0, 2, 1),
+        10_000,
+        pool,
+    )
+}
+
+/// A canned UDP packet for flow number `flow` headed through the
+/// stateful edge (distinct flows get distinct NAT bindings).
+pub fn edge_packet(flow: u16) -> Packet {
+    PacketBuilder::udp_v4("10.0.0.5", "203.0.113.9", flow, 443)
+        .payload_len(64)
+        .build()
+}
+
 /// A canned 64-byte-payload UDP packet to a destination inside
 /// [`routing_table`]'s space.
 pub fn test_packet() -> Packet {
@@ -193,6 +250,33 @@ mod tests {
         router.push("c0", test_packet());
         assert_eq!(router.count("sink"), Some(1));
         assert_eq!(router.element_count(), 6);
+    }
+
+    #[test]
+    fn stateful_edge_contenders_agree_on_exhaustion() {
+        // Six distinct flows through a four-port NAT pool: every
+        // contender must deliver four and drop two — the like-for-like
+        // contract behind the stateful-edge bench series.
+        let flows: Vec<u16> = (5_001..=5_006).collect();
+
+        let (mut pipe, _binding) = netkit_stateful_edge(4).unwrap();
+        pipe.dispatch(flows.iter().map(|&f| edge_packet(f)).collect());
+        assert_eq!((pipe.stats().accepted, pipe.stats().dropped), (4, 2));
+
+        let click = ClickRouter::compile(&click_stateful_edge_config(4)).unwrap();
+        for &f in &flows {
+            click.push("guard", edge_packet(f));
+        }
+        assert_eq!(click.count("sink"), Some(4));
+        assert_eq!(click.stateful_drops("nat"), Some(2));
+
+        let mono = monolithic_stateful_edge(4);
+        let outcomes: Vec<bool> = flows
+            .iter()
+            .map(|&f| mono.process(&mut edge_packet(f)).is_ok())
+            .collect();
+        assert_eq!(outcomes.iter().filter(|ok| **ok).count(), 4);
+        assert_eq!(mono.ports_in_use(), 4);
     }
 
     #[test]

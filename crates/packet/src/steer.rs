@@ -143,6 +143,21 @@ impl BucketMap {
         self.map[bucket % RSS_BUCKETS] = shard as u16;
     }
 
+    /// Applies sparse bucket → shard pins (builder-style) — the
+    /// lowering of a pipeline description's steering section onto a
+    /// base table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pin names a shard `>= self.shards()` (see
+    /// [`Self::set`]).
+    pub fn with_pins(mut self, pins: &[(usize, usize)]) -> Self {
+        for &(bucket, shard) in pins {
+            self.set(bucket, shard);
+        }
+        self
+    }
+
     /// True when the table equals [`Self::identity`] for its shard
     /// count.
     pub fn is_identity(&self) -> bool {

@@ -596,6 +596,12 @@ pub enum PushError {
     Veto(String),
     /// The (isolated) component crashed or its transport failed.
     Crashed(String),
+    /// A finite resource pool (e.g. the NAT44 external-port pool) had
+    /// no free slot for a new flow. Distinct from [`PushError::Veto`]:
+    /// the packet was well-formed and admissible, the box simply ran
+    /// out of the named pool — callers can shed load or retry after
+    /// teardown reclaims capacity.
+    Exhausted(&'static str),
     /// The inline heavy-hitter guard rate-limited the flow: its byte
     /// estimate crossed the guard's threshold and the flow's window
     /// budget was exhausted (see `netkit_router::flow::Guard`). The
@@ -613,6 +619,7 @@ impl fmt::Display for PushError {
             PushError::NoRoute => write!(f, "no route to destination"),
             PushError::Veto(msg) => write!(f, "call vetoed: {msg}"),
             PushError::Crashed(msg) => write!(f, "component crashed: {msg}"),
+            PushError::Exhausted(pool) => write!(f, "pool exhausted: {pool}"),
             PushError::RateLimited => write!(f, "rate-limited by heavy-hitter guard"),
         }
     }

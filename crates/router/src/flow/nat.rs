@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::api::{BatchResult, IPacketPush, PushError, PushResult, IPACKET_PUSH};
 use crate::elements::element_core;
 
+use super::conntrack::tcp_flags;
 use super::rewrite::{rewrite_ipv4_endpoint, RewriteSide};
 use super::table::{FlowClock, FlowTable};
 
@@ -154,9 +155,22 @@ impl NatInner {
 /// either side unlinks its pair and frees the port.
 ///
 /// Packets the NAT cannot serve are *dropped with a verdict* through
-/// the normal batch paths: [`PushError::Veto`] for port exhaustion and
-/// for inbound traffic with no binding. Non-IPv4 and port-less frames
-/// pass through untouched.
+/// the normal batch paths: [`PushError::Exhausted`] when the external
+/// port pool has no free slot, [`PushError::Veto`] for inbound traffic
+/// with no binding. Non-IPv4 and port-less frames pass through
+/// untouched.
+///
+/// Bindings are reclaimed three ways: LRU pressure in the bounded
+/// table (eviction unlinks the pair and frees the port), an observed
+/// TCP RST in either direction (immediate teardown — the connection is
+/// dead and the port goes straight back to the pool), and [`sweep`]
+/// (idle-timeout expiry; `get_mut`'s lazy expiry hides stale entries
+/// from lookups but leaves their ports allocated until a sweep walks
+/// the corpses out). A `FIN` does **not** tear the binding down
+/// inline: the FIN/ACK handshake still needs the reverse mapping, so
+/// half-closed flows age out via the idle timeout instead.
+///
+/// [`sweep`]: Nat44::sweep
 ///
 /// Deployment note: rewriting changes the flow tuple, so the external
 /// side of a binding hashes differently from the inside flow. The
@@ -233,6 +247,26 @@ impl Nat44 {
         }
     }
 
+    /// Reclaims idle-expired bindings and returns their external ports
+    /// to the pool. Returns the number of ports freed.
+    ///
+    /// The flow table expires entries lazily: an idle-timed-out
+    /// binding stops matching lookups immediately, but its slots — and
+    /// crucially its **allocated external port** — linger until LRU
+    /// pressure reaches them. Under churn that lag manifests as
+    /// spurious [`PushError::Exhausted`] drops while the pool is
+    /// nominally free. Call this from the control plane (e.g. a
+    /// control-turn tick) to walk the corpses out eagerly.
+    pub fn sweep(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let now = self.clock.now();
+        let before = inner.used_count;
+        for (_, corpse) in inner.table.expire_idle(now) {
+            inner.unlink(&self.cfg, corpse);
+        }
+        before - inner.used_count
+    }
+
     /// Translates one packet in place. `Ok(true)` = translated,
     /// `Ok(false)` = passed through untouched.
     fn translate(&self, inner: &mut NatInner, pkt: &mut Packet) -> Result<bool, PushError> {
@@ -247,6 +281,10 @@ impl Nat44 {
             return Ok(false);
         }
         let now = self.clock.advance(pkt.meta.timestamp_ns);
+        // An RST in either direction kills the connection: translate
+        // the packet (the peer still needs to see it), then tear the
+        // binding down and return the port to the pool immediately.
+        let rst = key.protocol == proto::TCP && tcp_flags(pkt).is_some_and(|f| f.rst());
         if dst4 == self.cfg.external_ip {
             // Inbound: restore the inside endpoint from the binding.
             let ckey = key.canonical();
@@ -264,6 +302,11 @@ impl Nat44 {
             inner.table.get_mut(&pair, now);
             rewrite_ipv4_endpoint(pkt, RewriteSide::Dst, inside_ip, inside_port);
             self.translated_in.fetch_add(1, Ordering::Relaxed);
+            if rst {
+                if let Some(e) = inner.table.remove(&ckey) {
+                    inner.unlink(&self.cfg, e);
+                }
+            }
             return Ok(true);
         }
         // Outbound: find or create the binding.
@@ -282,7 +325,7 @@ impl Nat44 {
             None => {
                 let Some(ext_port) = inner.alloc(&self.cfg, key.rss_hash()) else {
                     self.exhausted.fetch_add(1, Ordering::Relaxed);
-                    return Err(PushError::Veto("nat44: port pool exhausted".into()));
+                    return Err(PushError::Exhausted("nat44 external-port pool"));
                 };
                 let IpAddr::V4(src4) = key.src else {
                     unreachable!("checked above")
@@ -320,6 +363,11 @@ impl Nat44 {
         };
         rewrite_ipv4_endpoint(pkt, RewriteSide::Src, self.cfg.external_ip, ext_port);
         self.translated_out.fetch_add(1, Ordering::Relaxed);
+        if rst {
+            if let Some(e) = inner.table.remove(&ckey) {
+                inner.unlink(&self.cfg, e);
+            }
+        }
         Ok(true)
     }
 
@@ -420,6 +468,7 @@ impl fmt::Debug for Nat44 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netkit_packet::headers::TcpFlags;
     use netkit_packet::packet::PacketBuilder;
 
     fn nat() -> Arc<Nat44> {
@@ -491,7 +540,7 @@ mod tests {
         n.push(udp("10.0.0.1", "203.0.113.9", 1001, 80)).unwrap();
         n.push(udp("10.0.0.2", "203.0.113.9", 1002, 80)).unwrap();
         let err = n.push(udp("10.0.0.3", "203.0.113.9", 1003, 80));
-        assert!(matches!(err, Err(PushError::Veto(_))));
+        assert!(matches!(err, Err(PushError::Exhausted(_))));
         assert_eq!(n.stats().exhausted, 1);
     }
 
@@ -523,6 +572,126 @@ mod tests {
         assert!(n.inner.lock().table.len() <= 4);
     }
 
+    fn tcp(src: &str, dst: &str, sport: u16, dport: u16, flags: TcpFlags) -> Packet {
+        PacketBuilder::tcp_v4(src, dst, sport, dport)
+            .tcp_flags(flags)
+            .build()
+    }
+
+    #[test]
+    fn rst_tears_the_binding_down_in_either_direction() {
+        let n = nat();
+        // Outbound RST after establishment frees the port.
+        n.push(tcp("10.0.0.5", "203.0.113.9", 5555, 80, TcpFlags::SYN))
+            .unwrap();
+        assert_eq!(n.ports_in_use(), 1);
+        n.push(tcp("10.0.0.5", "203.0.113.9", 5555, 80, TcpFlags::RST))
+            .unwrap();
+        assert_eq!((n.bindings(), n.ports_in_use()), (0, 0));
+
+        // Inbound RST (from the remote peer) frees the port too.
+        let syn = tcp("10.0.0.6", "203.0.113.9", 6666, 80, TcpFlags::SYN);
+        let key = FlowKey::from_packet(&syn).unwrap();
+        n.push(syn).unwrap();
+        let ext = n.binding(&key).unwrap();
+        n.push(tcp("203.0.113.9", "192.0.2.1", 80, ext, TcpFlags::RST))
+            .unwrap();
+        assert_eq!((n.bindings(), n.ports_in_use()), (0, 0));
+
+        // A FIN does NOT tear down inline: the close handshake still
+        // needs the mapping.
+        n.push(tcp("10.0.0.7", "203.0.113.9", 7777, 80, TcpFlags::SYN))
+            .unwrap();
+        n.push(tcp(
+            "10.0.0.7",
+            "203.0.113.9",
+            7777,
+            80,
+            TcpFlags::FIN | TcpFlags::ACK,
+        ))
+        .unwrap();
+        assert_eq!(n.ports_in_use(), 1);
+    }
+
+    #[test]
+    fn churn_cycles_the_pool_past_block_capacity() {
+        // Pool of exactly 2 ports (1 block × 2). Each round opens two
+        // TCP flows (filling the pool), proves the third is refused
+        // with the *typed* exhaustion verdict, then resets both flows
+        // and proves the ports came back. Twelve rounds with distinct
+        // tuples cycle total allocations to 24 — 12× the pool — so any
+        // leaked port (the pre-reclamation bug) fails the run within
+        // one round of leaking.
+        let n = Nat44::new(Nat44Config {
+            external_ip: "192.0.2.1".parse().unwrap(),
+            port_base: 40_000,
+            blocks: 1,
+            block_size: 2,
+            table_capacity: 64,
+            idle_timeout: u64::MAX,
+        });
+        for round in 0..12u16 {
+            let base = 1000 + round * 10;
+            for i in 0..2 {
+                n.push(tcp("10.0.0.8", "203.0.113.9", base + i, 80, TcpFlags::SYN))
+                    .unwrap();
+            }
+            assert_eq!(n.ports_in_use(), 2, "round {round}: pool full");
+            let err = n.push(tcp("10.0.0.8", "203.0.113.9", base + 2, 80, TcpFlags::SYN));
+            assert!(
+                matches!(err, Err(PushError::Exhausted("nat44 external-port pool"))),
+                "round {round}: typed exhaustion verdict, got {err:?}"
+            );
+            for i in 0..2 {
+                n.push(tcp("10.0.0.8", "203.0.113.9", base + i, 80, TcpFlags::RST))
+                    .unwrap();
+            }
+            assert_eq!(
+                (n.bindings(), n.ports_in_use()),
+                (0, 0),
+                "round {round}: teardown reclaimed the pool"
+            );
+        }
+        assert_eq!(n.stats().exhausted, 12);
+        assert_eq!(n.stats().translated_out, 12 * 4);
+    }
+
+    #[test]
+    fn sweep_reclaims_idle_expired_ports() {
+        // Lazy expiry hides idle bindings from lookups but leaves
+        // their ports allocated; sweep() walks them out.
+        let n = Nat44::new(Nat44Config {
+            external_ip: "192.0.2.1".parse().unwrap(),
+            port_base: 40_000,
+            blocks: 1,
+            block_size: 2,
+            table_capacity: 64,
+            idle_timeout: 10,
+        });
+        for (i, sport) in [9001u16, 9002].into_iter().enumerate() {
+            let mut p = udp("10.0.0.9", "203.0.113.9", sport, 80);
+            p.meta.timestamp_ns = 1 + i as u64;
+            n.push(p).unwrap();
+        }
+        assert_eq!(n.ports_in_use(), 2);
+        // A much-later arrival advances the clock past the idle
+        // timeout; the pool is still *nominally* exhausted because the
+        // expired bindings' ports were never released.
+        let mut late = udp("10.0.0.9", "203.0.113.9", 9003, 80);
+        late.meta.timestamp_ns = 1_000;
+        assert!(matches!(n.push(late), Err(PushError::Exhausted(_))));
+        assert_eq!(n.ports_in_use(), 2, "lazy expiry leaves ports allocated");
+
+        assert_eq!(n.sweep(), 2);
+        assert_eq!((n.bindings(), n.ports_in_use()), (0, 0));
+
+        // And the pool serves new flows again.
+        let mut fresh = udp("10.0.0.9", "203.0.113.9", 9004, 80);
+        fresh.meta.timestamp_ns = 1_001;
+        n.push(fresh).unwrap();
+        assert_eq!(n.ports_in_use(), 1);
+    }
+
     #[test]
     fn batch_path_mixes_verdicts_in_order() {
         let n = Nat44::new(Nat44Config {
@@ -543,7 +712,7 @@ mod tests {
         let result = n.push_batch(batch);
         assert_eq!(result.len(), 3);
         assert!(result.verdicts[0].is_ok());
-        assert!(matches!(result.verdicts[1], Err(PushError::Veto(_))));
+        assert!(matches!(result.verdicts[1], Err(PushError::Exhausted(_))));
         assert!(result.verdicts[2].is_ok());
         assert_eq!(n.stats().passthrough, 1);
     }

@@ -14,7 +14,7 @@ use netkit_packet::packet::Packet;
 
 /// Which endpoint of the frame to rewrite.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum RewriteSide {
+pub enum RewriteSide {
     /// Source address + source port.
     Src,
     /// Destination address + destination port.
@@ -51,7 +51,7 @@ fn patch_checksum(b: &mut [u8], off: usize, old_word: u16, new_word: u16) {
 ///
 /// Returns `false` (frame untouched) if the frame is not IPv4 or is
 /// too short for its own headers.
-pub(crate) fn rewrite_ipv4_endpoint(
+pub fn rewrite_ipv4_endpoint(
     pkt: &mut Packet,
     side: RewriteSide,
     new_ip: Ipv4Addr,

@@ -73,6 +73,7 @@
 pub mod api;
 pub mod cf;
 pub mod composite;
+pub mod desc;
 pub mod elements;
 pub mod flow;
 pub mod routing;

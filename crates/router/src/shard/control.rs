@@ -80,6 +80,7 @@ use parking_lot::Mutex;
 
 use netkit_packet::sketch::HeavyHitter;
 
+use super::decision::{DecisionCore, Evidence, WeightedCore};
 use super::rebalance::{RebalancePlan, WeightedRebalancePolicy};
 use super::{ShardLoad, ShardedPipeline};
 
@@ -101,7 +102,7 @@ pub enum ControlDecision {
 /// The deterministic decision core of the autonomous control loop. See
 /// the module docs for where it sits and a runnable example.
 pub struct RebalanceController {
-    policy: WeightedRebalancePolicy,
+    core: Box<dyn DecisionCore>,
     /// Minimum number of ticks between two applied migrations — the
     /// hard cap on migration rate (each migration costs a quiesce
     /// epoch; 0 = no cap).
@@ -115,11 +116,20 @@ pub struct RebalanceController {
 }
 
 impl RebalanceController {
-    /// A controller judging with `policy`, applying at most one
-    /// migration per `cooldown_ticks + 1` ticks.
+    /// A controller judging with the default [`WeightedCore`] over
+    /// `policy`, applying at most one migration per
+    /// `cooldown_ticks + 1` ticks.
     pub fn new(policy: WeightedRebalancePolicy, cooldown_ticks: u64) -> Self {
+        Self::with_core(Box::new(WeightedCore::new(policy)), cooldown_ticks)
+    }
+
+    /// A controller judging with an arbitrary plug-in
+    /// [`DecisionCore`] — how descriptions select hysteresis/EWMA (or
+    /// external) judgments by name; see
+    /// [`core_by_name`](super::decision::core_by_name).
+    pub fn with_core(core: Box<dyn DecisionCore>, cooldown_ticks: u64) -> Self {
         Self {
-            policy,
+            core,
             cooldown_ticks,
             heavy_blend: 0.0,
             ticks: 0,
@@ -140,10 +150,22 @@ impl RebalanceController {
         self
     }
 
-    /// The judging policy (the caller needs its `decay` to apply
-    /// [`ControlDecision::Hold`]).
-    pub fn policy(&self) -> &WeightedRebalancePolicy {
-        &self.policy
+    /// The registry name of the judging core (`"weighted"` unless a
+    /// plug-in was installed via [`with_core`](Self::with_core)).
+    pub fn core_name(&self) -> &'static str {
+        self.core.name()
+    }
+
+    /// The core's judged-window retention factor (the caller needs it
+    /// to apply [`ControlDecision::Hold`]).
+    pub fn decay(&self) -> f64 {
+        self.core.decay()
+    }
+
+    /// The core's gathering gate: minimum raw packets in a window
+    /// before any judgment is made.
+    pub fn min_samples(&self) -> u64 {
+        self.core.min_samples()
     }
 
     /// The heavy-hitter byte-evidence blend factor in `[0, 1]`.
@@ -188,7 +210,7 @@ impl RebalanceController {
     ) -> ControlDecision {
         self.ticks += 1;
         let raw_total: u64 = window.iter().sum();
-        if raw_total < self.policy.base.min_samples.max(1) {
+        if raw_total < self.core.min_samples().max(1) {
             self.noop_streak += 1;
             return ControlDecision::Gathering;
         }
@@ -202,17 +224,14 @@ impl RebalanceController {
                 return ControlDecision::Hold;
             }
         }
-        let plan = if self.heavy_blend > 0.0 && !heavy.is_empty() {
-            self.policy.with_heavy_hitters(self.heavy_blend).plan(
-                window,
-                loads,
-                ring_capacity,
-                heavy,
-                current,
-            )
-        } else {
-            self.policy.plan(window, loads, ring_capacity, current)
-        };
+        let plan = self.core.plan(&Evidence {
+            window,
+            loads,
+            heavy,
+            heavy_blend: self.heavy_blend,
+            ring_capacity,
+            current,
+        });
         match plan {
             Some(plan) => {
                 self.migrations += 1;
@@ -260,8 +279,11 @@ impl fmt::Debug for RebalanceController {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "RebalanceController({} ticks, {} migrations, {} holds)",
-            self.ticks, self.migrations, self.holds
+            "RebalanceController({} core, {} ticks, {} migrations, {} holds)",
+            self.core.name(),
+            self.ticks,
+            self.migrations,
+            self.holds
         )
     }
 }

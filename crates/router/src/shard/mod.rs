@@ -74,10 +74,12 @@ use parking_lot::{Mutex, RwLock};
 use crate::api::{IPacketPush, PushError};
 
 pub mod control;
+pub mod decision;
 pub mod rebalance;
 pub mod solo;
 
 pub use control::{ControlConfig, ControlDecision, ControlLoop, ControlStats, RebalanceController};
+pub use decision::{core_by_name, DecisionCore, Evidence, EwmaCore, HysteresisCore, WeightedCore};
 pub use rebalance::{
     HeavyHitterPolicy, MigrationReport, RebalancePlan, RebalancePolicy, WeightedRebalancePolicy,
 };
@@ -1039,9 +1041,9 @@ impl ShardedPipeline {
         match ctl.decide_with_evidence(&window, &loads, &heavy, self.spec.ring_capacity, &current) {
             ControlDecision::Gathering => None,
             ControlDecision::Hold => {
-                self.bucket_load.decay(ctl.policy().decay);
+                self.bucket_load.decay(ctl.decay());
                 for sketch in &self.sketches {
-                    sketch.decay(ctl.policy().decay);
+                    sketch.decay(ctl.decay());
                 }
                 None
             }
@@ -1877,7 +1879,17 @@ mod tests {
         assert!(elephant_bytes > 10 * mouse_bytes.max(1), "byte skew");
 
         // A packet-only controller holds forever on this window...
-        let mut packets_only = RebalanceController::new(*ctl.policy(), 0);
+        let mut packets_only = RebalanceController::new(
+            WeightedRebalancePolicy {
+                base: RebalancePolicy {
+                    max_imbalance: 1.25,
+                    min_samples: 32,
+                },
+                pressure_weight: 0.0,
+                decay: 0.5,
+            },
+            0,
+        );
         assert!(r.pipe.control_turn(&mut packets_only, &[]).is_none());
         assert_eq!(packets_only.holds(), 1, "judged and declined");
         // (the hold decayed the windows; re-feed to full strength)

@@ -51,7 +51,7 @@ use netkit_kernel::shard::ShardSpec;
 /// One shard's replica as the solo drive holds it.
 struct SoloGraph {
     /// Kept alive for the replica's lifetime (elements live here).
-    _capsule: Arc<Capsule>,
+    capsule: Arc<Capsule>,
     entry: Arc<dyn IPacketPush>,
     drain: Option<Box<dyn FnMut() + Send>>,
 }
@@ -175,7 +175,7 @@ impl SoloPipeline {
                 rm.attach(task, *component)?;
             }
             graphs.push(SoloGraph {
-                _capsule: graph.capsule,
+                capsule: graph.capsule,
                 entry: graph.entry,
                 drain: graph.drain,
             });
@@ -196,6 +196,27 @@ impl SoloPipeline {
     /// Number of shards (replicas).
     pub fn workers(&self) -> usize {
         self.graphs.len()
+    }
+
+    /// `shard`'s hosting capsule — the reflective mutation surface the
+    /// declarative patch applier (and tests) reconfigure through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn capsule(&self, shard: usize) -> Arc<Capsule> {
+        Arc::clone(&self.graphs[shard].capsule)
+    }
+
+    /// Re-points `shard`'s ingress — the caller is always at a batch
+    /// boundary, so this is a plain assignment (the solo twin of the
+    /// threaded pipeline's `set_entry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn set_entry(&mut self, shard: usize, entry: Arc<dyn IPacketPush>) {
+        self.graphs[shard].entry = entry;
     }
 
     /// The configuring spec.
@@ -384,9 +405,9 @@ impl SoloPipeline {
         match ctl.decide_with_evidence(&window, &loads, &heavy, self.spec.ring_capacity, &current) {
             ControlDecision::Gathering => None,
             ControlDecision::Hold => {
-                self.bucket_load.decay(ctl.policy().decay);
+                self.bucket_load.decay(ctl.decay());
                 for sketch in &self.sketches {
-                    sketch.decay(ctl.policy().decay);
+                    sketch.decay(ctl.decay());
                 }
                 None
             }

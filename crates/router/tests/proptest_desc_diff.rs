@@ -1,0 +1,410 @@
+//! Differential property test for the description layer: the
+//! incremental-control-plane correctness contract.
+//!
+//! For random description pairs `(d1, d2)` drawn from a family of
+//! classifier-split pipelines (a counter chain on one branch, an
+//! optional guard → conntrack → NAT44 service chain on the other),
+//! `apply(diff(d1, d2))` on a **live** pipeline — one that has already
+//! carried traffic under `d1` — must be packet-equivalent to a fresh
+//! build of `d2`: identical per-output packet *sequences* (which
+//! subsumes per-output multisets and per-flow order), identical
+//! accept/drop verdict counts, no loss, no duplication. A second
+//! property pins the hot-path promise the reconfiguration bench
+//! prices: a param-only pair produces a patch with **zero** structural
+//! ops that applies without a quiesce epoch.
+//!
+//! The family is built so the contract is exact rather than merely
+//! probable: guard thresholds sit far above what the probe traffic can
+//! accumulate, conntrack capacity far above the flow count, and the
+//! NAT pool far above the flow universe — so surviving state in
+//! elements the patch does not touch (the whole point of incremental
+//! apply) cannot diverge observably from a fresh instance, whose
+//! deterministic allocator hands the same flows the same ports.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use netkit_kernel::shard::ShardSpec;
+use netkit_packet::batch::PacketBatch;
+use netkit_packet::packet::{Packet, PacketBuilder};
+use netkit_router::api::{BatchResult, IPacketPush, PushResult, IPACKET_PUSH};
+use netkit_router::desc::{
+    diff, Compiler, DescBinding, ElementHandle, PatternDesc, PipelineDesc, TableEntry,
+};
+use netkit_router::shard::SoloPipeline;
+use opencom::component::{Component, ComponentCore, ComponentDescriptor, Registrar};
+use opencom::ident::Version;
+use opencom::meta::resources::ResourceManager;
+use parking_lot::Mutex;
+
+// ---- recording sink (external element kind) ------------------------------
+
+/// Terminal element that records every packet it receives, in arrival
+/// order, so two pipelines' per-output sequences can be compared.
+struct Collector {
+    core: ComponentCore,
+    inbox: Mutex<Vec<Packet>>,
+}
+
+impl Collector {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            core: ComponentCore::new(ComponentDescriptor::new(
+                "netkit.test.DiffCollector",
+                Version::new(1, 0, 0),
+            )),
+            inbox: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn drain(&self) -> Vec<Packet> {
+        std::mem::take(&mut *self.inbox.lock())
+    }
+}
+
+impl IPacketPush for Collector {
+    fn push(&self, pkt: Packet) -> PushResult {
+        self.inbox.lock().push(pkt);
+        Ok(())
+    }
+
+    fn push_batch(&self, mut batch: PacketBatch) -> BatchResult {
+        let n = batch.len();
+        self.inbox.lock().extend(batch.drain_all());
+        BatchResult::ok(n)
+    }
+}
+
+impl Component for Collector {
+    fn core(&self) -> &ComponentCore {
+        &self.core
+    }
+    fn publish(self: Arc<Self>, reg: &Registrar<'_>) {
+        let push: Arc<dyn IPacketPush> = self.clone();
+        reg.expose(IPACKET_PUSH, &push);
+    }
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+// ---- the description family ----------------------------------------------
+
+/// One point in the description family. Every field change is
+/// expressible as a diff: `split` is a classifier-table delta,
+/// `counters` adds/removes chain elements, the three service options
+/// toggle structure, and their payloads are hot param swaps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct DescSpec {
+    /// Classifier split: dports below this go to the `lo` branch.
+    split: u16,
+    /// Pass-through counters on the `lo` branch (0..=2).
+    counters: usize,
+    /// Guard on the `hi` branch, with this byte threshold.
+    guard: Option<u64>,
+    /// Conntrack on the `hi` branch, with this capacity.
+    conntrack: Option<u64>,
+    /// NAT44 on the `hi` branch, with this external port base.
+    nat: Option<u16>,
+}
+
+impl DescSpec {
+    /// The structural skeleton — two specs with equal skeletons must
+    /// diff to a param-only patch.
+    fn skeleton(&self) -> (usize, bool, bool, bool) {
+        (
+            self.counters,
+            self.guard.is_some(),
+            self.conntrack.is_some(),
+            self.nat.is_some(),
+        )
+    }
+}
+
+/// Renders a spec as a validated [`PipelineDesc`]: classifier ingress
+/// splitting on dport, `lo` → counter chain → recording sink, `hi` →
+/// optional guard/conntrack/NAT44 → recording sink.
+fn describe(s: &DescSpec) -> PipelineDesc {
+    let mut d = PipelineDesc::new("diffprop")
+        .element("cls", "classifier")
+        .element("sink_lo", "sink_lo")
+        .element("sink_hi", "sink_hi")
+        .ingress("cls")
+        .table(
+            "cls",
+            TableEntry::Filter {
+                pattern: PatternDesc::any().dst_port_range(0, s.split - 1),
+                output: "lo".to_owned(),
+                priority: 10,
+            },
+        )
+        .table(
+            "cls",
+            TableEntry::Filter {
+                pattern: PatternDesc::any(),
+                output: "hi".to_owned(),
+                priority: 0,
+            },
+        );
+
+    // lo branch: cls/lo -> lo0 -> .. -> sink_lo
+    let lo_chain: Vec<String> = (0..s.counters).map(|i| format!("lo{i}")).collect();
+    for name in &lo_chain {
+        d = d.element(name, "counter");
+    }
+    d = wire(d, "lo", &lo_chain, "sink_lo");
+
+    // hi branch: cls/hi -> [guard] -> [ct] -> [nat] -> sink_hi
+    let mut hi_chain: Vec<String> = Vec::new();
+    if let Some(threshold) = s.guard {
+        d = d.element_with(
+            "guard",
+            "guard",
+            &[
+                ("byte_threshold", threshold.into()),
+                ("window_budget", threshold.into()),
+            ],
+        );
+        hi_chain.push("guard".to_owned());
+    }
+    if let Some(capacity) = s.conntrack {
+        d = d.element_with("ct", "conntrack", &[("capacity", capacity.into())]);
+        hi_chain.push("ct".to_owned());
+    }
+    if let Some(port_base) = s.nat {
+        d = d.element_with(
+            "nat",
+            "nat44",
+            &[
+                ("external_ip", "192.0.2.1".into()),
+                ("port_base", port_base.into()),
+            ],
+        );
+        hi_chain.push("nat".to_owned());
+    }
+    wire(d, "hi", &hi_chain, "sink_hi")
+}
+
+/// Wires `cls --label--> nodes[0] -> .. -> sink` (or straight to the
+/// sink for an empty chain).
+fn wire(mut d: PipelineDesc, label: &str, nodes: &[String], sink: &str) -> PipelineDesc {
+    match nodes.first() {
+        None => d.edge_labelled("cls", label, sink),
+        Some(first) => {
+            d = d.edge_labelled("cls", label, first);
+            for w in nodes.windows(2) {
+                d = d.edge(&w[0], &w[1]);
+            }
+            d.edge(&nodes[nodes.len() - 1], sink)
+        }
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = DescSpec> {
+    (
+        prop_oneof![Just(1_000u16), Just(2_000u16)],
+        0usize..=2,
+        prop_oneof![Just(None), Just(Some(1u64 << 20)), Just(Some(2u64 << 20))],
+        prop_oneof![Just(None), Just(Some(1_024u64)), Just(Some(4_096u64))],
+        prop_oneof![Just(None), Just(Some(10_000u16)), Just(Some(20_000u16))],
+    )
+        .prop_map(|(split, counters, guard, conntrack, nat)| DescSpec {
+            split,
+            counters,
+            guard,
+            conntrack,
+            nat,
+        })
+}
+
+// ---- traffic --------------------------------------------------------------
+
+/// A packet draw: one of six flows (distinct sports) headed to one of
+/// three dports, chosen to land below/above/astride the two possible
+/// classifier splits.
+fn traffic_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..6, 0u8..3), 0..32)
+}
+
+fn packet(flow: u8, dport_sel: u8) -> Packet {
+    let dport = [500u16, 1_500, 2_500][usize::from(dport_sel) % 3];
+    PacketBuilder::udp_v4(
+        "10.0.0.5",
+        "203.0.113.9",
+        5_000 + u16::from(flow % 6),
+        dport,
+    )
+    .payload_len(32 + usize::from(flow % 6) * 8)
+    .build()
+}
+
+fn batch_of(draws: &[(u8, u8)]) -> PacketBatch {
+    draws.iter().map(|&(f, p)| packet(f, p)).collect()
+}
+
+/// Observable identity of an egressed packet: the full frame (NAT
+/// rewrites change it, so allocation must agree too).
+fn prints(pkts: Vec<Packet>) -> Vec<Vec<u8>> {
+    pkts.into_iter().map(|p| p.data().to_vec()).collect()
+}
+
+// ---- rigs ------------------------------------------------------------------
+
+struct Rig {
+    pipe: SoloPipeline,
+    binding: DescBinding,
+    lo: Arc<Collector>,
+    hi: Arc<Collector>,
+}
+
+fn compile(desc: &PipelineDesc) -> Rig {
+    let lo = Collector::new();
+    let hi = Collector::new();
+    let lo_slot = Arc::clone(&lo);
+    let hi_slot = Arc::clone(&hi);
+    let compiler = Compiler::new()
+        .external("sink_lo", move |_shard| {
+            (
+                Arc::clone(&lo_slot) as Arc<dyn Component>,
+                ElementHandle::Plain,
+            )
+        })
+        .external("sink_hi", move |_shard| {
+            (
+                Arc::clone(&hi_slot) as Arc<dyn Component>,
+                ElementHandle::Plain,
+            )
+        });
+    let (pipe, binding) = compiler
+        .build_solo(desc, ShardSpec::new(1), Arc::new(ResourceManager::new()))
+        .expect("family descriptions always compile");
+    Rig {
+        pipe,
+        binding,
+        lo,
+        hi,
+    }
+}
+
+// ---- properties ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `apply(diff(d1, d2))` on a live, warmed-up pipeline is
+    /// packet-equivalent to a fresh build of `d2`.
+    #[test]
+    fn patched_live_pipeline_matches_fresh_build(
+        s1 in spec_strategy(),
+        s2 in spec_strategy(),
+        warmup in traffic_strategy(),
+        probe in traffic_strategy(),
+    ) {
+        let d1 = describe(&s1);
+        let d2 = describe(&s2);
+
+        // Live pipeline: built from d1, carries warm-up traffic first
+        // so element state (counters, conntrack entries, NAT bindings,
+        // guard byte evidence) exists when the patch lands.
+        let mut live = compile(&d1);
+        live.pipe.dispatch(batch_of(&warmup));
+        let warm_lo = prints(live.lo.drain()).len();
+        let warm_hi = prints(live.hi.drain()).len();
+        let pre = live.pipe.stats();
+        // No loss, no duplication during warm-up either.
+        prop_assert_eq!(pre.accepted as usize, warm_lo + warm_hi);
+        prop_assert_eq!(pre.packets as usize, warmup.len());
+
+        let patch = live.binding.diff_to(&d2).expect("family pairs are diffable");
+        let report = live
+            .binding
+            .apply_solo(&mut live.pipe, &patch)
+            .expect("family patches apply");
+
+        // Reference: a cold build of d2.
+        let mut fresh = compile(&d2);
+
+        live.pipe.dispatch(batch_of(&probe));
+        fresh.pipe.dispatch(batch_of(&probe));
+
+        // Identical per-output packet sequences (subsumes multiset and
+        // per-flow-order equality) and identical verdict tallies.
+        prop_assert_eq!(prints(live.lo.drain()), prints(fresh.lo.drain()));
+        prop_assert_eq!(prints(live.hi.drain()), prints(fresh.hi.drain()));
+        let post = live.pipe.stats();
+        let refr = fresh.pipe.stats();
+        prop_assert_eq!(post.accepted - pre.accepted, refr.accepted);
+        prop_assert_eq!(post.dropped - pre.dropped, refr.dropped);
+
+        // Same-skeleton pairs must have patched hot: no structure, no
+        // quiesce epochs.
+        if s1.skeleton() == s2.skeleton() {
+            prop_assert!(patch.param_only(), "skeleton-equal pair produced structure:\n{}", patch.render());
+            prop_assert_eq!(report.structural, 0);
+            prop_assert_eq!(report.epochs, 0);
+        }
+
+        // Convergence: the binding's view now *is* d2 — re-diffing is
+        // a no-op.
+        prop_assert!(diff(live.binding.desc(), &d2).is_empty());
+    }
+
+    /// Param-only pairs — same skeleton, every knob flipped — produce
+    /// a patch with zero structural ops that applies without a quiesce
+    /// and swaps exactly the parameterised elements.
+    #[test]
+    fn param_only_pairs_never_touch_structure(
+        s1 in spec_strategy(),
+        traffic in traffic_strategy(),
+    ) {
+        let s2 = DescSpec {
+            split: if s1.split == 1_000 { 2_000 } else { 1_000 },
+            counters: s1.counters,
+            guard: s1.guard.map(|t| if t == 1 << 20 { 2 << 20 } else { 1 << 20 }),
+            conntrack: s1.conntrack.map(|c| if c == 1_024 { 4_096 } else { 1_024 }),
+            nat: s1.nat.map(|p| if p == 10_000 { 20_000 } else { 10_000 }),
+        };
+        let d1 = describe(&s1);
+        let d2 = describe(&s2);
+
+        let mut live = compile(&d1);
+        live.pipe.dispatch(batch_of(&traffic));
+
+        let patch = live.binding.diff_to(&d2).expect("param tweaks diff");
+        prop_assert!(patch.param_only());
+        prop_assert_eq!(patch.structural_ops(), 0);
+        // The ingress element is untouched, so not even the
+        // entry-swap quiesce applies.
+        prop_assert!(!patch.requires_quiesce());
+
+        let report = live
+            .binding
+            .apply_solo(&mut live.pipe, &patch)
+            .expect("param-only patches apply");
+        prop_assert_eq!(report.structural, 0);
+        prop_assert_eq!(report.epochs, 0);
+        prop_assert_eq!(report.entry_swaps, 0);
+        // Exactly the parameterised service elements were hot-swapped
+        // (one shard), and the split change is two table ops
+        // (delete old filter, install new).
+        let parameterised = usize::from(s1.guard.is_some())
+            + usize::from(s1.conntrack.is_some())
+            + usize::from(s1.nat.is_some());
+        prop_assert_eq!(report.replaced, parameterised);
+        prop_assert_eq!(report.table_ops, 2);
+
+        // And the patched pipeline still forwards: a probe flow lands
+        // in the branch the *new* split dictates.
+        live.lo.drain();
+        live.hi.drain();
+        live.pipe.dispatch(batch_of(&[(0, 1)])); // dport 1500
+        let lo_got = live.lo.drain().len();
+        let hi_got = live.hi.drain().len();
+        if s2.split == 2_000 {
+            prop_assert_eq!((lo_got, hi_got), (1, 0));
+        } else {
+            prop_assert_eq!((lo_got, hi_got), (0, 1));
+        }
+    }
+}

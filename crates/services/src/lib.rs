@@ -15,6 +15,9 @@
 //!   adaptation) as Router-CF-conformant components.
 //! * [`component`] — the EE wrapped as a Router-CF plug-in, closing the
 //!   loop with stratum 2.
+//! * [`edge`] — the canonical stateful edge (Guard → conntrack →
+//!   NAT44) stated as a declarative [`netkit_router::desc`]
+//!   description and compiled through the diff-to-patch layer.
 //!
 //! ## Example: run a capsule
 //!
@@ -41,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod component;
+pub mod edge;
 pub mod ee;
 pub mod media;
 pub mod programs;
 
 pub use component::{EeComponent, EeNode};
+pub use edge::{build_stateful_edge, stateful_edge_desc, EdgeProfile};
 pub use ee::{Capsule, EeBudget, EeError, ExecutionEnv, NodeInfo, OpCode, Program};
 pub use media::{DropLevel, FrameDropFilter, FrameType, QualityAdaptor};
 pub use programs::{active_ping, multicast_duplicator, path_collector, Assembler};

@@ -43,6 +43,7 @@ use netkit_packet::batch::PacketBatch;
 use netkit_packet::packet::Packet;
 use netkit_packet::sketch::{FlowSketch, SketchConfig};
 use netkit_router::api::{BatchResult, IPacketPush, PushResult, IPACKET_PUSH};
+use netkit_router::desc::{Compiler, DescBinding, ElementHandle, PipelineDesc};
 use netkit_router::shard::{RebalanceController, ShardGraph, SoloPipeline};
 use opencom::component::{Component, ComponentCore, ComponentDescriptor, Registrar};
 use opencom::error::Result;
@@ -259,6 +260,65 @@ impl PipelineNode {
             control_turns: 0,
             name: name.to_string(),
         })
+    }
+
+    /// Builds a node whose shard graphs are **compiled from a
+    /// declarative description** instead of a hand-written factory.
+    ///
+    /// The description may terminate chains in the external `egress`
+    /// element kind; each shard's instance is that shard's
+    /// [`EgressCollector`], so packets reaching it re-enter the
+    /// simulation exactly as with [`build`](Self::build). Returns the
+    /// node plus the [`DescBinding`] — diff the description against a
+    /// successor and [`DescBinding::apply_solo`] the patch on
+    /// [`pipeline_mut`](Self::pipeline_mut) to reconfigure the live
+    /// dataplane mid-run, which is how the scenario engine rewires
+    /// cities from configs.
+    ///
+    /// Guards compiled from the description read the same per-shard
+    /// sketches the pipeline drive meters, current batch included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates description validation/compile failures.
+    pub fn build_desc(
+        name: &str,
+        desc: &PipelineDesc,
+        spec: ShardSpec,
+    ) -> Result<(Self, DescBinding)> {
+        let workers = spec.workers.max(1);
+        let collectors: Vec<Arc<EgressCollector>> =
+            (0..workers).map(|_| EgressCollector::new()).collect();
+        let sketches: Vec<Arc<FlowSketch>> = (0..workers)
+            .map(|_| Arc::new(FlowSketch::new(SketchConfig::default())))
+            .collect();
+        let compiler = {
+            let collectors = collectors.clone();
+            Compiler::new().external("egress", move |shard| {
+                (
+                    collectors[shard].clone() as Arc<dyn Component>,
+                    ElementHandle::Plain,
+                )
+            })
+        };
+        let rm = Arc::new(ResourceManager::new());
+        let (pipe, binding) = compiler.build_solo_with_sketches(desc, spec, rm, sketches)?;
+        Ok((
+            Self {
+                pipe,
+                collectors,
+                route: Box::new(|_| RouteAction::Deliver),
+                controller: None,
+                control_interval_ns: 0,
+                control_hooks: Vec::new(),
+                tap: None,
+                timer_armed: false,
+                packets_since_turn: 0,
+                control_turns: 0,
+                name: name.to_string(),
+            },
+            binding,
+        ))
     }
 
     /// A fresh capsule (plus the runtime keeping it alive) with the
@@ -550,6 +610,65 @@ mod tests {
         let behaviour = sim.node_behaviour_mut::<PipelineNode>(host).unwrap();
         assert!(behaviour.control_turns() > 0, "control loop must have run");
         assert_eq!(sim.stats().delivered, 256);
+    }
+
+    #[test]
+    fn desc_built_node_runs_and_repatches_mid_run() {
+        // The sim node compiled from a description, reconfigured
+        // mid-run by diffing against a successor description — the
+        // scenario engine's "cities rewire from configs" path.
+        fn base_desc() -> PipelineDesc {
+            PipelineDesc::new("sim-edge")
+                .element("ct", "conntrack")
+                .element("egress", "egress")
+                .ingress("ct")
+                .edge("ct", "egress")
+        }
+        let (node, mut binding) =
+            PipelineNode::build_desc("edge", &base_desc(), ShardSpec::new(2)).unwrap();
+        let mut sim = Simulator::new(3);
+        let host = sim.add_node(Box::new(node));
+        sim.attach_source(
+            host,
+            Box::new(CbrGen::new(
+                500,
+                32,
+                udp_flow("10.0.0.1", "10.0.0.2", 4005, 80, 16),
+            )),
+        );
+        sim.run_to_idle();
+        assert_eq!(sim.stats().delivered, 32);
+
+        // Structural patch: insert a guard upstream of the tracker.
+        let next = PipelineDesc::new("sim-edge")
+            .element("ct", "conntrack")
+            .element_with("guard", "guard", &[("byte_threshold", (1u64 << 20).into())])
+            .element("egress", "egress")
+            .ingress("guard")
+            .edge("guard", "ct")
+            .edge("ct", "egress");
+        let patch = binding.diff_to(&next).unwrap();
+        assert!(!patch.param_only());
+        let behaviour = sim.node_behaviour_mut::<PipelineNode>(host).unwrap();
+        binding
+            .apply_solo(behaviour.pipeline_mut(), &patch)
+            .unwrap();
+
+        sim.attach_source(
+            host,
+            Box::new(CbrGen::new(
+                500,
+                16,
+                udp_flow("10.0.0.3", "10.0.0.4", 4006, 80, 16),
+            )),
+        );
+        sim.run_to_idle();
+        let stats = sim.stats();
+        assert_eq!(stats.delivered, 48, "patched dataplane keeps delivering");
+        assert_eq!(
+            stats.injected,
+            stats.delivered + stats.link_drops + stats.node_drops
+        );
     }
 
     #[test]

@@ -1,109 +1,164 @@
-//! The stateful services layer on the sharded dataplane: every
-//! replica runs its own conntrack → L4 load-balancer chain, with
-//! per-shard single-writer flow tables — no shared state, no
-//! cross-shard locks, because the canonical flow key pins both
-//! directions of a connection to one shard.
+//! The stateful services layer on the sharded dataplane — written as a
+//! *description*, not as hand-built topology code.
 //!
-//! 64 client flows hit one VIP across a 2-worker pipeline. Each
-//! shard's `ConnTracker` admits only the flows steered to it; the
-//! shard-local `L4LoadBalancer` pins each flow to a backend by
-//! rendezvous hashing, which is stable across shards — the same flow
-//! would pick the same backend no matter where steering lands it.
+//! Earlier revisions of this example adopted and bound every element
+//! by hand (capsule per shard, adopt conntrack, adopt balancer, bind
+//! the edges, register the backends). All of that is now five lines of
+//! data: a [`PipelineDesc`] with a conntrack → L4 load-balancer →
+//! discard chain and a VIP backend table, compiled through the same
+//! factory path. Every replica still runs its own chain with per-shard
+//! single-writer flow tables — no shared state, no cross-shard locks,
+//! because the canonical flow key pins both directions of a connection
+//! to one shard.
+//!
+//! The description stays live after the build: the example grows the
+//! backend set *mid-traffic* by diffing against an amended description
+//! — a pure table patch, zero structural ops, no quiesce.
 //!
 //! Run with: `cargo run --example stateful_services`
 
 use std::sync::Arc;
 
 use netkit::kernel::shard::ShardSpec;
-use netkit::opencom::capsule::Capsule;
 use netkit::opencom::meta::resources::ResourceManager;
-use netkit::opencom::runtime::Runtime;
 use netkit::packet::batch::PacketBatch;
 use netkit::packet::packet::PacketBuilder;
-use netkit::router::api::register_packet_interfaces;
-use netkit::router::elements::Discard;
-use netkit::router::flow::{ConnTracker, L4LoadBalancer};
-use netkit::router::shard::{ShardGraph, ShardedPipeline};
-use netkit::router::IPACKET_PUSH;
+use netkit::router::desc::{Compiler, ElementHandle, PipelineDesc, TableEntry};
 
 const WORKERS: usize = 2;
 const FLOWS: u16 = 64;
 const PACKETS_PER_FLOW: usize = 8;
 
+/// conntrack -> lb -> sink, with `backends` servers behind the VIP.
+fn edge_desc(backends: u8) -> PipelineDesc {
+    let mut d = PipelineDesc::new("stateful-edge")
+        .element_with("ct", "conntrack", &[("capacity", 4_096u64.into())])
+        .element_with(
+            "lb",
+            "l4lb",
+            &[("vip", "10.0.7.9".into()), ("vport", 443u16.into())],
+        )
+        .element("sink", "discard")
+        .ingress("ct")
+        .edge("ct", "lb")
+        .edge("lb", "sink");
+    for backend in 1..=backends {
+        d = d.table(
+            "lb",
+            TableEntry::Backend {
+                ip: format!("10.1.0.{backend}"),
+                port: 8080,
+            },
+        );
+    }
+    d
+}
+
+fn burst(sport_base: u16) -> PacketBatch {
+    (0..FLOWS)
+        .map(|i| {
+            PacketBuilder::udp_v4("192.0.2.7", "10.0.7.9", sport_base + i, 443)
+                .payload_len(64)
+                .build()
+        })
+        .collect()
+}
+
 fn main() -> Result<(), netkit::opencom::error::Error> {
-    let rm = Arc::new(ResourceManager::new());
-
-    // Keep handles to every shard's stateful elements so the control
-    // plane can introspect them after traffic has run.
-    let trackers: Arc<parking_lot::Mutex<Vec<Arc<ConnTracker>>>> = Arc::default();
-    let balancers: Arc<parking_lot::Mutex<Vec<Arc<L4LoadBalancer>>>> = Arc::default();
-
-    let (t2, b2) = (Arc::clone(&trackers), Arc::clone(&balancers));
-    let pipe = ShardedPipeline::build(
-        "stateful-edge",
+    // 64 client flows hit one VIP across a 2-worker pipeline; each
+    // shard's balancer pins its flows to backends by rendezvous
+    // hashing, which is stable across shards.
+    let v1 = edge_desc(4);
+    let (pipe, mut binding) = Compiler::new().build_sharded(
+        &v1,
         ShardSpec::new(WORKERS),
-        Arc::clone(&rm),
-        move |shard| {
-            let rt = Runtime::new();
-            register_packet_interfaces(&rt);
-            let capsule = Capsule::new(format!("worker-{shard}"), &rt);
-
-            // conntrack -> lb -> sink, one private chain per replica.
-            let tracker = ConnTracker::new();
-            let lb = L4LoadBalancer::new("10.0.7.9".parse().unwrap(), 443, 4096, u64::MAX);
-            for backend in 1..=4u8 {
-                lb.add_backend(format!("10.1.0.{backend}").parse().unwrap(), 8080);
-            }
-            let sink = Discard::new();
-            let tid = capsule.adopt(tracker.clone())?;
-            let lid = capsule.adopt(lb.clone())?;
-            let sid = capsule.adopt(sink)?;
-            capsule.bind_simple(tid, "out", lid, IPACKET_PUSH)?;
-            capsule.bind_simple(lid, "out", sid, IPACKET_PUSH)?;
-
-            t2.lock().push(tracker.clone());
-            b2.lock().push(lb);
-            Ok(ShardGraph::new(Arc::clone(&capsule), tracker).with_components(vec![tid, lid, sid]))
-        },
+        Arc::new(ResourceManager::new()),
     )?;
 
-    // 64 distinct client flows, all aimed at the VIP.
     for _ in 0..PACKETS_PER_FLOW {
-        let burst: PacketBatch = (0..FLOWS)
-            .map(|i| {
-                PacketBuilder::udp_v4("192.0.2.7", "10.0.7.9", 10_000 + i, 443)
-                    .payload_len(64)
-                    .build()
-            })
-            .collect();
-        pipe.dispatch(burst);
+        pipe.dispatch(burst(10_000));
     }
     pipe.flush();
 
-    let trackers = trackers.lock();
-    let balancers = balancers.lock();
-    let mut tracked = 0;
+    // The binding resolves description names to live control handles,
+    // so introspection needs no element references of its own.
+    let mut balanced_flows = 0;
     for shard in 0..WORKERS {
-        let t = &trackers[shard];
-        tracked += t.len();
-        println!(
-            "shard {shard}: {} connections tracked ({} B table footprint)",
-            t.len(),
-            t.footprint_bytes(),
-        );
-        for b in balancers[shard].backends() {
-            println!(
-                "  backend {}:{} — {} flows, {} packets",
-                b.ip, b.port, b.flows, b.packets
-            );
-        }
+        binding
+            .with_shard(shard, |cs| {
+                let Some(ElementHandle::Lb(lb)) = cs.handle_of("lb") else {
+                    panic!("`lb` compiled to a balancer");
+                };
+                for b in lb.backends() {
+                    balanced_flows += b.flows;
+                    println!(
+                        "shard {shard}: backend {}:{} — {} flows, {} packets",
+                        b.ip, b.port, b.flows, b.packets
+                    );
+                }
+            })
+            .expect("shard exists");
     }
-    assert_eq!(tracked, FLOWS as usize, "every flow tracked exactly once");
-    let (balanced, _, _) = balancers.iter().fold((0, 0, 0), |acc, b| {
-        let (x, y, z) = b.counters();
-        (acc.0 + x, acc.1 + y, acc.2 + z)
-    });
-    println!("total: {tracked} connections across {WORKERS} shards, {balanced} packets balanced");
+    assert_eq!(
+        balanced_flows,
+        u64::from(FLOWS),
+        "every flow balanced exactly once"
+    );
+
+    // Grow the backend set mid-traffic: amend the description, diff,
+    // apply. A backend addition is a pure table op — no structure, no
+    // quiesce.
+    let v2 = edge_desc(5);
+    let patch = binding.diff_to(&v2)?;
+    assert!(patch.param_only());
+    let report = binding.apply_sharded(&pipe, &patch)?;
+    assert_eq!(
+        (report.structural, report.epochs, report.table_ops),
+        (0, 0, WORKERS),
+        "one table upsert per shard, nothing else"
+    );
+    println!(
+        "grew VIP pool to 5 backends: {} table ops ({WORKERS} shards), 0 quiesce epochs",
+        report.table_ops
+    );
+
+    // Existing flows keep their affinity; a second wave of *new*
+    // flows sees the widened pool, and rendezvous hashing hands the
+    // newcomer its share.
+    for _ in 0..PACKETS_PER_FLOW {
+        pipe.dispatch(burst(20_000));
+    }
+    pipe.flush();
+
+    let mut on_new_backend = 0;
+    for shard in 0..WORKERS {
+        binding.with_shard(shard, |cs| {
+            if let Some(ElementHandle::Lb(lb)) = cs.handle_of("lb") {
+                on_new_backend += lb
+                    .backends()
+                    .iter()
+                    .filter(|b| b.ip.octets()[3] == 5)
+                    .map(|b| b.flows)
+                    .sum::<u64>();
+            }
+        });
+    }
+    assert!(
+        on_new_backend > 0,
+        "the new backend takes a share of new flows"
+    );
+    println!("rendezvous hashing handed {on_new_backend} of the new flows to the new backend");
+
+    let stats = pipe.stats();
+    assert_eq!(
+        stats.accepted,
+        2 * (PACKETS_PER_FLOW as u64) * u64::from(FLOWS),
+        "no loss across the live patch"
+    );
+    println!(
+        "total: {} packets balanced across {WORKERS} shards, description and dataplane agree",
+        stats.accepted
+    );
     pipe.shutdown();
     Ok(())
 }

@@ -512,7 +512,7 @@ fn sim_control_run() -> SimRunHistory {
             match ctl.decide(&window, &[], 1, &current) {
                 ControlDecision::Gathering => {}
                 ControlDecision::Hold => {
-                    behaviour.decay_bucket_loads(ctl.policy().decay);
+                    behaviour.decay_bucket_loads(ctl.decay());
                 }
                 ControlDecision::Migrate(plan) => {
                     behaviour.set_map(plan.map.clone());
